@@ -1,0 +1,161 @@
+// Ablation bench for the design choices DESIGN.md §5 calls out:
+//   1. event-driven synapse phase vs dense all-pairs loop,
+//   2. core-clustered fan-out (one packet per spike) vs per-synapse packets,
+//   3. Compass message aggregation vs per-spike messages,
+//   4. counter-based PRNG vs hardware-style LFSR,
+//   5. Block2D vs Linear corelet placement (mesh hop cost),
+//   6. per-component energy attribution at three operating points.
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "src/compass/simulator.hpp"
+#include "src/core/reference_sim.hpp"
+#include "src/corelet/lib.hpp"
+#include "src/corelet/place.hpp"
+#include "src/energy/units.hpp"
+#include "src/noc/route.hpp"
+#include "src/util/table.hpp"
+
+namespace {
+
+using namespace nsc;
+
+double seconds(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Design-choice ablations (DESIGN.md S5) ===\n\n");
+  const core::Geometry geom{1, 1, 8, 8};
+  const core::Tick ticks = 20;
+
+  netgen::RecurrentSpec spec;
+  spec.geom = geom;
+  spec.rate_hz = 50;
+  spec.synapses_per_axon = 128;
+  spec.seed = 3;
+  const core::Network net = netgen::make_recurrent(spec);
+
+  // 1. Event-driven vs dense synapse phase.
+  {
+    tn::TrueNorthSimulator event_sim(net);
+    const double t_event = seconds([&] { event_sim.run(ticks, nullptr, nullptr); });
+    core::ReferenceSimulator dense_sim(net);
+    const double t_dense = seconds([&] { dense_sim.run(ticks, nullptr, nullptr); });
+    std::printf("1. synapse phase (64 cores, 50 Hz, 128 syn, %lld ticks):\n",
+                static_cast<long long>(ticks));
+    std::printf("   event-driven %.1f ms   dense %.1f ms   -> %.1fx advantage\n\n",
+                1e3 * t_event, 1e3 * t_dense, t_dense / t_event);
+  }
+
+  // 2. Packets per spike: clustered fan-out sends 1; per-synapse addressing
+  //    would send one per active synapse (the paper's S/N argument).
+  {
+    tn::TrueNorthSimulator sim(net);
+    sim.run(ticks, nullptr, nullptr);
+    const auto& s = sim.stats();
+    std::printf("2. network traffic per spike:\n");
+    std::printf("   clustered cores: 1 packet/spike (%llu packets);"
+                " per-synapse addressing: %.0f packets/spike (%llu packets) -> %.0fx reduction\n\n",
+                static_cast<unsigned long long>(s.spikes - s.dropped_spikes),
+                s.mean_synapses_per_delivery(), static_cast<unsigned long long>(s.sops),
+                s.mean_synapses_per_delivery());
+  }
+
+  // 3. Message aggregation between Compass processes.
+  {
+    compass::Simulator agg(net, {.threads = 4, .aggregate_messages = true});
+    agg.run(ticks, nullptr, nullptr);
+    compass::Simulator per(net, {.threads = 4, .aggregate_messages = false});
+    per.run(ticks, nullptr, nullptr);
+    std::printf("3. Compass inter-process messages (4 processes, %lld ticks):\n",
+                static_cast<long long>(ticks));
+    std::printf("   aggregated %llu   per-spike %llu   -> %.0fx fewer messages\n\n",
+                static_cast<unsigned long long>(agg.messages_sent()),
+                static_cast<unsigned long long>(per.messages_sent()),
+                static_cast<double>(per.messages_sent()) /
+                    static_cast<double>(std::max<std::uint64_t>(1, agg.messages_sent())));
+  }
+
+  // 4. PRNG throughput.
+  {
+    const util::CounterPrng cp(1);
+    util::GaloisLfsr16 lfsr(0x5EED);
+    volatile std::uint64_t sink = 0;
+    const int n = 20'000'000;
+    const double t_counter = seconds([&] {
+      std::uint64_t acc = 0;
+      for (int i = 0; i < n; ++i) acc ^= cp.draw(1, 2, static_cast<std::uint64_t>(i), 3);
+      sink = acc;
+    });
+    const double t_lfsr = seconds([&] {
+      std::uint64_t acc = 0;
+      for (int i = 0; i < n; ++i) acc ^= lfsr.next();
+      sink = acc;
+    });
+    std::printf("4. PRNG draws (%d draws): counter-based %.1f ns/draw, LFSR %.1f ns/draw\n",
+                n, 1e9 * t_counter / n, 1e9 * t_lfsr / n);
+    std::printf("   (counter-based draws are order-independent -> exact 1:1 equivalence at any\n"
+                "    thread count; the LFSR is cheaper but order-sensitive)\n\n");
+  }
+
+  // 5. Placement strategy: mean hops of a 64-core pipeline corelet.
+  {
+    corelet::Corelet pipe("pipeline");
+    int prev = pipe.absorb(corelet::make_relay(64));
+    for (int stage = 1; stage < 48; ++stage) {
+      const int next = pipe.absorb(corelet::make_relay(64));
+      for (int i = 0; i < 64; ++i) {
+        pipe.connect({prev, static_cast<std::uint16_t>(i)}, {next, static_cast<std::uint16_t>(i)},
+                     1);
+      }
+      prev = next;
+    }
+    const core::Geometry pg{1, 1, 8, 8};
+    double hops[2] = {0, 0};
+    for (const auto strategy : {corelet::PlaceStrategy::kLinear, corelet::PlaceStrategy::kBlock2D}) {
+      const auto placed = corelet::place(pipe, pg, strategy);
+      double total = 0;
+      int n = 0;
+      for (core::CoreId c = 0; c < static_cast<core::CoreId>(pg.total_cores()); ++c) {
+        for (const auto& p : placed.network.core(c).neuron) {
+          if (!p.enabled || !p.target.valid()) continue;
+          total += noc::route_dor(pg, c, p.target.core).hops;
+          ++n;
+        }
+      }
+      hops[strategy == corelet::PlaceStrategy::kLinear ? 0 : 1] = n ? total / n : 0;
+    }
+    std::printf("5. placement (48-stage pipeline on an 8x8 mesh): mean hops linear %.2f,"
+                " block2D %.2f\n\n", hops[0], hops[1]);
+  }
+
+  // 6. Energy attribution at three operating points.
+  {
+    const energy::TrueNorthPowerModel power;
+    util::Table t({"operating point", "SOP %", "axon %", "neuron %", "spike %", "hop %",
+                   "passive %", "total uJ/tick"});
+    for (const auto& [r, k] : {std::pair{5.0, 32}, {20.0, 128}, {200.0, 256}}) {
+      const auto run = bench::run_characterization(core::Geometry{1, 1, 16, 16}, r, k, 20);
+      const auto b = power.breakdown(run.stats, 256, 0.75, energy::kRealTimeTickHz);
+      const double tot = b.total();
+      t.add_row_numeric(util::format_sig(r, 3) + "Hz/" + std::to_string(k) + "syn",
+                        {100 * b.sop_j / tot, 100 * b.axon_j / tot, 100 * b.neuron_j / tot,
+                         100 * b.spike_j / tot, 100 * b.hop_j / tot, 100 * b.passive_j / tot,
+                         1e6 * tot / static_cast<double>(run.stats.ticks)},
+                        3);
+    }
+    std::printf("6. energy attribution (scaled 256-core chip):\n");
+    t.print(std::cout);
+    std::printf("   passive dominates at sparse activity; synaptic events take over at the\n"
+                "   dense corner - the mechanism behind Fig. 5(e)'s efficiency gradient.\n");
+  }
+  return 0;
+}

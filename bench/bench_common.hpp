@@ -1,0 +1,80 @@
+// Shared helpers for the figure benches: scaled geometries, characterization
+// runs, and standard headers. Each bench prints the scale factors it runs
+// at; ratios (speedup, energy improvement, GSOPS/W) are scale-invariant
+// because workload and platform models scale together (DESIGN.md §4).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/core/network.hpp"
+#include "src/energy/truenorth_power.hpp"
+#include "src/energy/truenorth_timing.hpp"
+#include "src/netgen/recurrent.hpp"
+#include "src/tn/chip_sim.hpp"
+
+namespace nsc::bench {
+
+/// Scale knob: NSC_BENCH_SCALE = small | quarter | full (default quarter).
+/// quarter = 1,024 cores (32×32); full = the 4,096-core TrueNorth chip.
+inline core::Geometry scaled_chip() {
+  const char* env = std::getenv("NSC_BENCH_SCALE");
+  const std::string scale = env != nullptr ? env : "quarter";
+  if (scale == "full") return core::Geometry{1, 1, 64, 64};
+  if (scale == "small") return core::Geometry{1, 1, 8, 8};
+  return core::Geometry{1, 1, 32, 32};
+}
+
+/// Ticks per characterization point (NSC_BENCH_TICKS, default 10).
+inline core::Tick bench_ticks() {
+  const char* env = std::getenv("NSC_BENCH_TICKS");
+  return env != nullptr ? std::atoll(env) : 10;
+}
+
+/// Warmup ticks before counters start (NSC_BENCH_WARMUP, default 40): the
+/// recurrent networks converge to their target rate geometrically with
+/// ratio K/α ≤ 0.8, so ~40 ticks reach equilibrium from the phase-
+/// distributed cold start.
+inline core::Tick bench_warmup() {
+  const char* env = std::getenv("NSC_BENCH_WARMUP");
+  return env != nullptr ? std::atoll(env) : 40;
+}
+
+/// Factor converting scaled-chip counters to full-chip-equivalent values.
+inline double full_chip_factor(const core::Geometry& g) {
+  return 4096.0 / static_cast<double>(g.total_cores());
+}
+
+/// One characterization run: builds the (rate, synapses) recurrent network
+/// on the scaled chip and executes it on the TrueNorth expression.
+struct CharacterizationRun {
+  core::KernelStats stats;
+  int cores = 0;
+  double mean_hops = 0.0;
+};
+
+inline CharacterizationRun run_characterization(const core::Geometry& geom, double rate_hz,
+                                                int synapses, core::Tick ticks,
+                                                std::uint64_t seed = 99) {
+  netgen::RecurrentSpec spec;
+  spec.geom = geom;
+  spec.rate_hz = rate_hz;
+  spec.synapses_per_axon = synapses;
+  spec.seed = seed;
+  const core::Network net = netgen::make_recurrent(spec);
+  tn::TrueNorthSimulator sim(net);
+  sim.run(bench_warmup(), nullptr, nullptr);
+  sim.reset_stats();
+  sim.run(ticks, nullptr, nullptr);
+  return {sim.stats(), geom.total_cores(), sim.mean_hops_per_spike()};
+}
+
+inline void print_banner(const char* title, const core::Geometry& g, core::Tick ticks) {
+  std::printf("%s\n", title);
+  std::printf("scale: %d cores (%s chip), %lld ticks per point; ", g.total_cores(),
+              g.total_cores() == 4096 ? "full" : "scaled", static_cast<long long>(ticks));
+  std::printf("full-chip factor %.1fx applied where noted\n\n", full_chip_factor(g));
+}
+
+}  // namespace nsc::bench

@@ -1,0 +1,136 @@
+// Regenerates the paper's §VI-A one-to-one equivalence methodology (E1 in
+// DESIGN.md): randomized single-core and multi-core regressions comparing
+// the TrueNorth expression, the Compass expression (several thread counts),
+// and the dense reference simulator — requiring 100% spike-for-spike
+// agreement — plus a long-duration drift regression and a max-speed probe
+// (the "increase frequency until execution error" experiment, reported as
+// the modeled max tick rate).
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+#include "src/compass/simulator.hpp"
+#include "src/core/reference_sim.hpp"
+#include "src/core/spike_sink.hpp"
+#include "src/energy/truenorth_timing.hpp"
+#include "src/netgen/random_net.hpp"
+#include "src/netgen/recurrent.hpp"
+#include "src/tn/chip_sim.hpp"
+#include "src/util/table.hpp"
+
+namespace {
+
+using namespace nsc;
+
+struct RegressionTally {
+  int runs = 0;
+  int matched = 0;
+  std::uint64_t spikes = 0;
+};
+
+template <typename MakeNet>
+RegressionTally regress(int count, core::Tick ticks, MakeNet&& make_net) {
+  RegressionTally tally;
+  for (int i = 0; i < count; ++i) {
+    const auto [net, inputs] = make_net(static_cast<std::uint64_t>(i + 1));
+    core::VectorSink ref_sink, tn_sink, cp_sink;
+    {
+      core::ReferenceSimulator sim(net);
+      sim.run(ticks, &inputs, &ref_sink);
+    }
+    {
+      tn::TrueNorthSimulator sim(net);
+      sim.run(ticks, &inputs, &tn_sink);
+    }
+    {
+      compass::Simulator sim(net, {.threads = 1 + static_cast<int>(i % 4)});
+      sim.run(ticks, &inputs, &cp_sink);
+    }
+    const bool ok = core::first_mismatch(ref_sink.spikes(), tn_sink.spikes()) == -1 &&
+                    core::first_mismatch(ref_sink.spikes(), cp_sink.spikes()) == -1;
+    ++tally.runs;
+    tally.matched += ok ? 1 : 0;
+    tally.spikes += ref_sink.spikes().size();
+  }
+  return tally;
+}
+
+std::pair<core::Network, core::InputSchedule> random_case(std::uint64_t seed,
+                                                          core::Geometry geom,
+                                                          core::Tick input_ticks) {
+  netgen::RandomNetSpec spec;
+  spec.geom = geom;
+  spec.seed = seed * 2654435761ULL;
+  spec.input_drive_hz = 150.0;
+  core::Network net = netgen::make_random(spec);
+  core::InputSchedule in = netgen::make_poisson_inputs(spec, net, input_ticks);
+  return {std::move(net), std::move(in)};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== SVI-A: one-to-one equivalence regressions ===\n");
+  std::printf("(scaled from the paper's 413,333 single-core + 7,536 full-chip runs)\n\n");
+  const auto t0 = std::chrono::steady_clock::now();
+
+  util::Table t({"suite", "regressions", "matched", "ticks each", "total spikes compared"});
+
+  const auto single =
+      regress(60, 120, [&](std::uint64_t s) { return random_case(s, {1, 1, 1, 1}, 100); });
+  t.add_row({"single-core", std::to_string(single.runs), std::to_string(single.matched), "120",
+             std::to_string(single.spikes)});
+
+  const auto multi =
+      regress(25, 80, [&](std::uint64_t s) { return random_case(s, {1, 1, 4, 4}, 60); });
+  t.add_row({"16-core", std::to_string(multi.runs), std::to_string(multi.matched), "80",
+             std::to_string(multi.spikes)});
+
+  const auto multichip =
+      regress(10, 60, [&](std::uint64_t s) { return random_case(s, {2, 2, 2, 2}, 40); });
+  t.add_row({"4-chip array", std::to_string(multichip.runs), std::to_string(multichip.matched),
+             "60", std::to_string(multichip.spikes)});
+
+  // Long-duration drift (paper: 10k–100M ticks with zero mismatches).
+  const auto longrun =
+      regress(2, 20000, [&](std::uint64_t s) { return random_case(s, {1, 1, 2, 1}, 500); });
+  t.add_row({"long-run 20k ticks", std::to_string(longrun.runs),
+             std::to_string(longrun.matched), "20000", std::to_string(longrun.spikes)});
+
+  // Stochastic recurrent assay (divergence amplifier).
+  const auto assay = regress(6, 150, [&](std::uint64_t s) {
+    netgen::RecurrentSpec spec;
+    spec.geom = {1, 1, 4, 4};
+    spec.rate_hz = 50 + 20 * static_cast<double>(s % 4);
+    spec.synapses_per_axon = 64;
+    spec.seed = s;
+    return std::pair{netgen::make_recurrent(spec), core::InputSchedule{}};
+  });
+  t.add_row({"recurrent assay", std::to_string(assay.runs), std::to_string(assay.matched), "150",
+             std::to_string(assay.spikes)});
+
+  t.print(std::cout);
+
+  const int total_runs =
+      single.runs + multi.runs + multichip.runs + longrun.runs + assay.runs;
+  const int total_ok =
+      single.matched + multi.matched + multichip.matched + longrun.matched + assay.matched;
+  const auto t1 = std::chrono::steady_clock::now();
+  std::printf("\nagreement: %d/%d (paper: 100%% across all regressions)\n", total_ok, total_runs);
+  std::printf("wall time: %.1f s\n", std::chrono::duration<double>(t1 - t0).count());
+
+  // Max-speed probe: the modeled frequency at which the worst-case network
+  // would first miss its tick deadline (§VI-A's error-onset experiment).
+  nsc::energy::TrueNorthTimingModel timing;
+  core::KernelStats worst;
+  worst.ticks = 1;
+  worst.sum_max_core_axon_events = 256;
+  worst.sum_max_core_sops = 256 * 256;
+  worst.sum_max_core_spikes = 256;
+  std::printf("\nworst-case network (all synapses, all neurons firing):\n");
+  for (double v : {0.67, 0.75, 0.90, 1.05}) {
+    std::printf("  @%.2fV: execution error beyond %.2f kHz tick rate\n", v,
+                1e-3 * timing.max_tick_hz(worst, v));
+  }
+  return total_ok == total_runs ? 0 : 1;
+}

@@ -1,0 +1,131 @@
+// Regenerates paper Fig. 5(a-f): TrueNorth characterization over the 88
+// probabilistically-generated recurrent networks (rate × active synapses),
+// at 0.75 V, plus the voltage sweeps at 50 Hz (E2–E7 in DESIGN.md).
+//
+// Output: six contour-style grids matching the figure panels. Absolute
+// values are full-chip equivalents reconstructed through the calibrated
+// component models (src/energy); shapes and headline anchors follow the
+// paper (see EXPERIMENTS.md for paper-vs-measured).
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "src/energy/units.hpp"
+#include "src/util/csv.hpp"
+#include "src/util/table.hpp"
+
+int main() {
+  using namespace nsc;
+  const core::Geometry geom = bench::scaled_chip();
+  const core::Tick ticks = bench::bench_ticks();
+  bench::print_banner("=== Fig. 5: TrueNorth characterization (a-f) ===", geom, ticks);
+  const double factor = bench::full_chip_factor(geom);
+
+  const std::vector<double> rates = netgen::grid_rates();
+  const std::vector<int> synapses = netgen::grid_synapses();
+  const energy::TrueNorthPowerModel power;
+  const energy::TrueNorthTimingModel timing;
+  constexpr double kV = 0.75;
+
+  // One simulation per grid point; all six panels derive from these stats.
+  std::vector<std::vector<core::KernelStats>> stats(
+      rates.size(), std::vector<core::KernelStats>(synapses.size()));
+  std::vector<std::vector<double>> gsops(rates.size(), std::vector<double>(synapses.size()));
+  std::vector<std::vector<double>> fmax_khz(rates.size(), std::vector<double>(synapses.size()));
+  std::vector<std::vector<double>> energy_uj(rates.size(), std::vector<double>(synapses.size()));
+  std::vector<std::vector<double>> gsops_w(rates.size(), std::vector<double>(synapses.size()));
+
+  for (std::size_t ri = 0; ri < rates.size(); ++ri) {
+    for (std::size_t si = 0; si < synapses.size(); ++si) {
+      const auto run = bench::run_characterization(geom, rates[ri], synapses[si], ticks);
+      const core::KernelStats& s = run.stats;
+      stats[ri][si] = s;
+      gsops[ri][si] =
+          1e-9 * factor * energy::TrueNorthPowerModel::sops_per_second(s, energy::kRealTimeTickHz);
+      fmax_khz[ri][si] = 1e-3 * timing.max_tick_hz(s, kV);
+      energy_uj[ri][si] = 1e6 * factor *
+                          power.total_energy_j(s, geom.total_cores(), kV,
+                                               energy::kRealTimeTickHz) /
+                          static_cast<double>(s.ticks ? s.ticks : 1);
+      gsops_w[ri][si] =
+          1e-9 * power.sops_per_watt(s, geom.total_cores(), kV, energy::kRealTimeTickHz);
+    }
+    std::fprintf(stderr, "  rate %.0f Hz row done\n", rates[ri]);
+  }
+
+  // Optional CSV export for external plotting: set NSC_BENCH_CSV to a
+  // directory to dump one long-format file covering panels (a), (b), (d), (e).
+  if (const char* csv_dir = std::getenv("NSC_BENCH_CSV")) {
+    util::CsvWriter csv(std::string(csv_dir) + "/fig5.csv",
+                        {"rate_hz", "synapses", "gsops", "fmax_khz", "energy_uj", "gsops_per_w"});
+    for (std::size_t ri = 0; ri < rates.size(); ++ri) {
+      for (std::size_t si = 0; si < synapses.size(); ++si) {
+        csv.add_row(std::vector<double>{rates[ri], static_cast<double>(synapses[si]),
+                                        gsops[ri][si], fmax_khz[ri][si], energy_uj[ri][si],
+                                        gsops_w[ri][si]});
+      }
+    }
+    std::fprintf(stderr, "wrote %s/fig5.csv\n", csv_dir);
+  }
+
+  std::vector<double> syn_axis(synapses.begin(), synapses.end());
+  util::print_grid(std::cout, "(a) Computation per time, GSOPS (full-chip equiv) @0.75V",
+                   "synapses", "rate(Hz)", syn_axis, rates, gsops);
+  std::cout << '\n';
+  util::print_grid(std::cout, "(b) Maximum time-step frequency, kHz @0.75V", "synapses",
+                   "rate(Hz)", syn_axis, rates, fmax_khz);
+  std::cout << '\n';
+  util::print_grid(std::cout, "(d) Total energy per time step, uJ (full-chip equiv) @0.75V",
+                   "synapses", "rate(Hz)", syn_axis, rates, energy_uj);
+  std::cout << '\n';
+  util::print_grid(std::cout, "(e) Computation per energy, GSOPS/W @0.75V", "synapses",
+                   "rate(Hz)", syn_axis, rates, gsops_w);
+  std::cout << '\n';
+
+  // Panels (c) and (f): voltage sweeps at 50 Hz, reusing the 50 Hz row.
+  const std::vector<double> volts = {0.67, 0.70, 0.75, 0.80, 0.85, 0.90, 0.95, 1.00, 1.05};
+  std::size_t r50 = 0;
+  for (std::size_t ri = 0; ri < rates.size(); ++ri) {
+    if (rates[ri] == 50.0) r50 = ri;
+  }
+  std::vector<std::vector<double>> fmax_v(volts.size(), std::vector<double>(synapses.size()));
+  std::vector<std::vector<double>> gsops_w_v(volts.size(), std::vector<double>(synapses.size()));
+  for (std::size_t vi = 0; vi < volts.size(); ++vi) {
+    for (std::size_t si = 0; si < synapses.size(); ++si) {
+      const core::KernelStats& s = stats[r50][si];
+      fmax_v[vi][si] = 1e-3 * timing.max_tick_hz(s, volts[vi]);
+      gsops_w_v[vi][si] =
+          1e-9 * power.sops_per_watt(s, geom.total_cores(), volts[vi], energy::kRealTimeTickHz);
+    }
+  }
+  util::print_grid(std::cout, "(c) Maximum time-step frequency, kHz @50Hz mean rate", "synapses",
+                   "V", syn_axis, volts, fmax_v);
+  std::cout << '\n';
+  util::print_grid(std::cout, "(f) Computation per energy, GSOPS/W @50Hz mean rate", "synapses",
+                   "V", syn_axis, volts, gsops_w_v);
+
+  // The paper's textual anchors, for quick comparison.
+  std::cout << "\nAnchors (paper -> model):\n";
+  std::size_t r20 = 0, s128 = 0, r200 = 0, s256 = 0;
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    if (rates[i] == 20.0) r20 = i;
+    if (rates[i] == 200.0) r200 = i;
+  }
+  for (std::size_t i = 0; i < synapses.size(); ++i) {
+    if (synapses[i] == 128) s128 = i;
+    if (synapses[i] == 256) s256 = i;
+  }
+  const double watts_20_128 = 1e3 * factor *
+                              power.mean_power_w(stats[r20][s128], geom.total_cores(), kV,
+                                                 energy::kRealTimeTickHz);
+  std::printf("  20Hz/128syn real-time: 65 mW, 46 GSOPS/W  ->  %.1f mW (full-chip equiv), "
+              "%.1f GSOPS/W\n", watts_20_128, gsops_w[r20][s128]);
+  const double fast = 1e-9 * power.sops_per_watt(stats[r20][s128], geom.total_cores(), kV,
+                                                 5 * energy::kRealTimeTickHz);
+  std::printf("  same network ~5x faster: 81 GSOPS/W  ->  %.1f GSOPS/W\n", fast);
+  std::printf("  200Hz/256syn: >400 GSOPS/W  ->  %.1f GSOPS/W\n", gsops_w[r200][s256]);
+  return 0;
+}

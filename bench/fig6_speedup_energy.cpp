@@ -1,0 +1,105 @@
+// Regenerates paper Fig. 6(a-d): TrueNorth speedup and energy improvement
+// versus Compass on 32-card Blue Gene/Q and on the dual-socket x86 server,
+// over the 88-network characterization space (E8/E9 in DESIGN.md).
+//
+// TrueNorth runs in real time (1 ms/tick, the paper's comparison basis);
+// platform times come from the calibrated host models driven by each
+// network's measured work units, and the host-measured Compass wall clock
+// on a subset validates the modeling (see EXPERIMENTS.md).
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "src/compass/simulator.hpp"
+#include "src/energy/host_models.hpp"
+#include "src/energy/units.hpp"
+#include "src/util/table.hpp"
+
+int main() {
+  using namespace nsc;
+  const core::Geometry geom = bench::scaled_chip();
+  const core::Tick ticks = bench::bench_ticks();
+  bench::print_banner("=== Fig. 6: speedup & energy improvement vs Compass (a-d) ===", geom,
+                      ticks);
+  const double factor = bench::full_chip_factor(geom);
+
+  const std::vector<double> rates = netgen::grid_rates();
+  const std::vector<int> synapses = netgen::grid_synapses();
+  const energy::TrueNorthPowerModel tnp;
+  const energy::X86Model x86;
+  const energy::BgqModel bgq;
+  constexpr double kV = 0.75;
+  const double tn_tick_s = 1.0 / energy::kRealTimeTickHz;
+
+  using Grid = std::vector<std::vector<double>>;
+  Grid speed_bgq(rates.size(), std::vector<double>(synapses.size()));
+  Grid energy_bgq(rates.size(), std::vector<double>(synapses.size()));
+  Grid speed_x86(rates.size(), std::vector<double>(synapses.size()));
+  Grid energy_x86(rates.size(), std::vector<double>(synapses.size()));
+
+  for (std::size_t ri = 0; ri < rates.size(); ++ri) {
+    for (std::size_t si = 0; si < synapses.size(); ++si) {
+      const auto run = bench::run_characterization(geom, rates[ri], synapses[si], ticks);
+      core::KernelStats s = run.stats;
+      // Full-chip-equivalent work for the platform models.
+      s.sops = static_cast<std::uint64_t>(static_cast<double>(s.sops) * factor);
+      s.neuron_updates =
+          static_cast<std::uint64_t>(static_cast<double>(s.neuron_updates) * factor);
+      s.axon_events = static_cast<std::uint64_t>(static_cast<double>(s.axon_events) * factor);
+      s.hop_sum = static_cast<std::uint64_t>(static_cast<double>(s.hop_sum) * factor);
+      s.spikes = static_cast<std::uint64_t>(static_cast<double>(s.spikes) * factor);
+
+      const double tn_j_tick =
+          tnp.total_energy_j(s, 4096, kV, energy::kRealTimeTickHz) / static_cast<double>(s.ticks);
+      const double bgq_t = bgq.seconds_per_tick(s, 32, 64);
+      const double x86_t = x86.seconds_per_tick(s, 12);
+      speed_bgq[ri][si] = bgq_t / tn_tick_s;
+      speed_x86[ri][si] = x86_t / tn_tick_s;
+      energy_bgq[ri][si] = bgq.energy_per_tick_j(s, 32, 64) / tn_j_tick;
+      energy_x86[ri][si] = x86.energy_per_tick_j(s, 12) / tn_j_tick;
+    }
+    std::fprintf(stderr, "  rate %.0f Hz row done\n", rates[ri]);
+  }
+
+  std::vector<double> syn_axis(synapses.begin(), synapses.end());
+  util::print_grid(std::cout, "(a) x Speedup vs Compass on 32-card BG/Q", "synapses", "rate(Hz)",
+                   syn_axis, rates, speed_bgq);
+  std::cout << '\n';
+  util::print_grid(std::cout, "(b) x Energy improvement vs BG/Q", "synapses", "rate(Hz)",
+                   syn_axis, rates, energy_bgq);
+  std::cout << '\n';
+  util::print_grid(std::cout, "(c) x Speedup vs Compass on dual-socket x86", "synapses",
+                   "rate(Hz)", syn_axis, rates, speed_x86);
+  std::cout << '\n';
+  util::print_grid(std::cout, "(d) x Energy improvement vs x86", "synapses", "rate(Hz)",
+                   syn_axis, rates, energy_x86);
+
+  // Validation subset: actually run Compass on this host and compare its
+  // measured per-tick time against the x86 model's per-thread projection.
+  std::cout << "\nHost-measured Compass validation subset (1 thread on this machine):\n";
+  util::Table t({"rate(Hz)", "synapses", "model x86 1-thr (s/tick)", "measured host (s/tick)",
+                 "measured/model"});
+  for (const auto& [r, k] : std::vector<std::pair<double, int>>{{20, 128}, {100, 64}, {50, 256}}) {
+    netgen::RecurrentSpec spec;
+    spec.geom = geom;
+    spec.rate_hz = r;
+    spec.synapses_per_axon = k;
+    spec.seed = 99;
+    const core::Network net = netgen::make_recurrent(spec);
+    compass::Simulator sim(net, {.threads = 1});
+    const auto t0 = std::chrono::steady_clock::now();
+    sim.run(ticks, nullptr, nullptr);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double measured =
+        std::chrono::duration<double>(t1 - t0).count() / static_cast<double>(ticks);
+    const double modeled = x86.seconds_per_tick(sim.stats(), 1);
+    t.add_row_numeric(util::format_sig(r, 3) + " / " + std::to_string(k),
+                      {static_cast<double>(k), modeled, measured, measured / modeled});
+  }
+  t.print(std::cout);
+  std::cout << "(this host's lean in-process simulator runs faster per work unit than the\n"
+               " paper-calibrated Compass-on-x86 model; ratios quantify the gap)\n";
+  return 0;
+}

@@ -1,0 +1,169 @@
+// Regenerates paper Fig. 7(a,b) and the §IV-B application statistics table
+// (E10/E11/E16 in DESIGN.md): the five computer-vision applications on
+// TrueNorth versus Compass on BG/Q and x86 — relative time, relative power,
+// and energy improvement — plus the NeoVision precision/recall measurement.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "src/apps/haar.hpp"
+#include "src/apps/lbp.hpp"
+#include "src/apps/neovision.hpp"
+#include "src/apps/saccade.hpp"
+#include "src/apps/saliency.hpp"
+#include "src/core/spike_sink.hpp"
+#include "src/energy/host_models.hpp"
+#include "src/energy/scaling_model.hpp"
+#include "src/energy/truenorth_power.hpp"
+#include "src/energy/truenorth_timing.hpp"
+#include "src/energy/units.hpp"
+#include "src/util/table.hpp"
+
+namespace {
+
+using namespace nsc;
+
+struct AppRow {
+  std::string name;
+  apps::AppRunResult tn;     ///< TrueNorth expression (stats + hops).
+  apps::AppRunResult host;   ///< Compass on this host (measured).
+  int cores = 0;             ///< Measured (scaled) network cores.
+  std::uint64_t neurons = 0;
+  int paper_cores = 0;       ///< Paper §IV-B network size.
+  core::KernelStats paper_stats;  ///< Counters scaled to the paper network.
+};
+
+/// `paper_neurons`/`paper_cores` are the §IV-B network sizes; the scaled
+/// run's counters are extrapolated proportionally so the platform models see
+/// the paper's workload.
+AppRow measure(const char* name, const apps::AppNetwork& net, double paper_neurons,
+               int paper_cores) {
+  AppRow row;
+  row.name = name;
+  row.cores = net.used_cores();
+  row.neurons = net.neurons();
+  row.paper_cores = paper_cores;
+  row.tn = apps::run_on_truenorth(net);
+  row.host = apps::run_on_compass(net, 1);
+  const double k = paper_neurons / static_cast<double>(net.neurons());
+  row.paper_stats = row.tn.stats;
+  row.paper_stats.sops = static_cast<std::uint64_t>(static_cast<double>(row.tn.stats.sops) * k);
+  row.paper_stats.neuron_updates =
+      static_cast<std::uint64_t>(static_cast<double>(row.tn.stats.neuron_updates) * k);
+  row.paper_stats.spikes =
+      static_cast<std::uint64_t>(static_cast<double>(row.tn.stats.spikes) * k);
+  row.paper_stats.axon_events =
+      static_cast<std::uint64_t>(static_cast<double>(row.tn.stats.axon_events) * k);
+  row.paper_stats.hop_sum =
+      static_cast<std::uint64_t>(static_cast<double>(row.tn.stats.hop_sum) * k);
+  std::fprintf(stderr, "  %s done (%llu spikes)\n", name,
+               static_cast<unsigned long long>(row.tn.stats.spikes));
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  apps::AppConfig cfg;
+  cfg.img_w = 64;
+  cfg.img_h = 64;
+  cfg.frames = 8;
+  cfg.ticks_per_frame = 33;  // ~30 fps at the 1 kHz tick
+  cfg.scene_objects = 3;
+  cfg.seed = 7;
+
+  std::printf("=== Fig. 7: application performance vs Compass (five apps) ===\n");
+  std::printf("workload: %dx%d video, %d frames at ~30 fps (%lld ticks)\n\n", cfg.img_w,
+              cfg.img_h, cfg.frames, static_cast<long long>(cfg.frames) * cfg.ticks_per_frame);
+
+  // Paper §IV-B network sizes (neurons, cores) for workload extrapolation.
+  std::vector<AppRow> rows;
+  {
+    const auto haar = apps::make_haar_app(cfg);
+    rows.push_back(measure("haar", haar.net, 617567, 2605));
+    const auto lbp = apps::make_lbp_app(cfg);
+    rows.push_back(measure("lbp", lbp.net, 813978, 3836));
+    const auto sal = apps::make_saliency_app(cfg);
+    rows.push_back(measure("saliency", sal.net, 889461, 3926));
+    const auto sac = apps::make_saccade_app(cfg);
+    rows.push_back(measure("saccade", sac.net, 612458, 2571));
+  }
+  // NeoVision also reports detection quality (paper: 0.85 P / 0.80 R).
+  const auto neo = apps::make_neovision_app(cfg);
+  rows.push_back(measure("neovision", neo.net, 660009, 4018));
+  // Quality is measured over several short, less crowded clips (the Tower
+  // scenes have scattered objects; three objects in a 64×64 crop merge
+  // hypotheses) and aggregated, as the paper does over its test set.
+  vision::DetectionCounts neo_quality;
+  for (std::uint64_t seed : {3u, 5u, 9u, 11u}) {
+    apps::AppConfig quality_cfg = cfg;
+    quality_cfg.scene_objects = 2;
+    quality_cfg.frames = 6;
+    quality_cfg.seed = seed;
+    const auto neo_q = apps::make_neovision_app(quality_cfg);
+    core::WindowedCountSink neo_sink(
+        static_cast<std::uint64_t>(neo_q.net.network().geom.neurons()), neo_q.ticks_per_frame);
+    (void)apps::run_on_truenorth(neo_q.net, &neo_sink);
+    neo_quality += apps::decode_detections(neo_q, neo_sink).counts;
+  }
+
+  const energy::TrueNorthPowerModel tnp;
+  const energy::TrueNorthTimingModel tnt;
+  const energy::X86Model x86;
+  const energy::BgqModel bgq;
+  constexpr double kV = 0.75;
+
+  // E16: the §IV-B application statistics block.
+  util::Table stats_table({"app", "cores", "neurons", "mean rate (Hz)", "spikes", "SOPs"});
+  for (const AppRow& r : rows) {
+    stats_table.add_row(
+        {r.name, std::to_string(r.cores), std::to_string(r.neurons),
+         util::format_sig(r.tn.stats.mean_rate_hz(r.neurons), 3),
+         std::to_string(r.tn.stats.spikes), std::to_string(r.tn.stats.sops)});
+  }
+  std::printf("Application networks (paper SIV-B analogue):\n");
+  stats_table.print(std::cout);
+
+  // Fig. 7(a): relative time vs relative power; Fig. 7(b): energy bars.
+  util::Table fig7({"app", "rel.time BG/Q", "rel.power BG/Q", "x energy BG/Q", "rel.time x86",
+                    "rel.power x86", "x energy x86", "host-measured rel.time"});
+  const double tn_tick_s = 1.0 / energy::kRealTimeTickHz;
+  for (const AppRow& r : rows) {
+    const core::KernelStats& s = r.paper_stats;
+    const double tn_p = tnp.mean_power_w(s, r.paper_cores, kV, energy::kRealTimeTickHz);
+    const double tn_j = tn_p * tn_tick_s;
+    // Weak scaling on BG/Q, as the paper does: ≈2 cores per thread.
+    const int bgq_hosts = std::clamp(r.paper_cores / (2 * 32), 1, 32);
+    const double bgq_t = bgq.seconds_per_tick(s, bgq_hosts, 32);
+    const double bgq_p = bgq.power_w(bgq_hosts, 32);
+    const double x86_t = x86.seconds_per_tick(s, 12);
+    const double x86_p = x86.power_w(12);
+    fig7.add_row_numeric(r.name, {bgq_t / tn_tick_s, bgq_p / tn_p, bgq_t * bgq_p / tn_j,
+                                  x86_t / tn_tick_s, x86_p / tn_p, x86_t * x86_p / tn_j,
+                                  r.host.seconds_per_tick() / tn_tick_s},
+                         3);
+  }
+  std::printf("\nFig. 7 series (TrueNorth = 1 on both axes):\n");
+  fig7.print(std::cout);
+
+  // TrueNorth feasibility: all five apps must hold real time on-chip.
+  util::Table rt({"app", "max tick rate (kHz)", "real-time?", "chip power (mW)",
+                  "power density (mW/cm2)"});
+  for (const AppRow& r : rows) {
+    const double khz = 1e-3 * tnt.max_tick_hz(r.tn.stats, kV);
+    const double mw =
+        1e3 * tnp.mean_power_w(r.paper_stats, r.paper_cores, kV, energy::kRealTimeTickHz);
+    rt.add_row({r.name, util::format_sig(khz, 3), khz >= 1.0 ? "yes" : "NO",
+                util::format_sig(mw, 3),
+                util::format_sig(1e3 * energy::truenorth_power_density_w_per_cm2(mw * 1e-3), 3)});
+  }
+  std::printf("\nTrueNorth real-time feasibility:\n");
+  rt.print(std::cout);
+
+  std::printf("\nNeoVision detection quality (paper: 0.85 precision / 0.80 recall):\n");
+  std::printf("  precision %.2f   recall %.2f   (tp %d, fp %d, fn %d; synthetic scenes)\n",
+              neo_quality.precision(), neo_quality.recall(), neo_quality.true_positives,
+              neo_quality.false_positives, neo_quality.false_negatives);
+  return 0;
+}

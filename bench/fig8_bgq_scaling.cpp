@@ -1,0 +1,72 @@
+// Regenerates paper Fig. 8 (E12 in DESIGN.md): strong scaling of the
+// NeoVision application on Blue Gene/Q — run time per tick versus power as
+// hosts (1..32) and threads per host (8..64) vary — plus the x86 1-host
+// 4/6/8/12-thread series the figure overlays.
+#include <cstdio>
+#include <iostream>
+
+#include "src/apps/neovision.hpp"
+#include "src/energy/host_models.hpp"
+#include "src/energy/units.hpp"
+#include "src/util/table.hpp"
+
+int main() {
+  using namespace nsc;
+  apps::AppConfig cfg;
+  cfg.img_w = 64;
+  cfg.img_h = 64;
+  cfg.frames = 6;
+  cfg.ticks_per_frame = 33;
+  cfg.scene_objects = 3;
+  cfg.seed = 7;
+
+  std::printf("=== Fig. 8: NeoVision strong scaling on BG/Q (time vs power) ===\n\n");
+  const auto neo = apps::make_neovision_app(cfg);
+  const apps::AppRunResult run = apps::run_on_truenorth(neo.net);
+  // Scale the measured workload to the paper's NeoVision network (660,009
+  // neurons in 4,018 cores, §IV-B); the scaled run is a proportional sample.
+  const double scale = 660009.0 / static_cast<double>(neo.net.neurons());
+  core::KernelStats s = run.stats;
+  s.sops = static_cast<std::uint64_t>(static_cast<double>(s.sops) * scale);
+  s.neuron_updates = static_cast<std::uint64_t>(static_cast<double>(s.neuron_updates) * scale);
+  s.spikes = static_cast<std::uint64_t>(static_cast<double>(s.spikes) * scale);
+  s.axon_events = static_cast<std::uint64_t>(static_cast<double>(s.axon_events) * scale);
+  std::printf("workload: measured %d cores / %llu neurons, scaled %.0fx to the paper's\n"
+              "660,009-neuron NeoVision network -> %.2e work units/tick\n\n",
+              neo.net.used_cores(), static_cast<unsigned long long>(neo.net.neurons()), scale,
+              energy::work_units_per_tick(s));
+
+  const energy::BgqModel bgq;
+  const energy::X86Model x86;
+
+  util::Table t({"series", "hosts", "threads/host", "run time (s/tick)", "power (W)",
+                 "energy (J/tick)", "x real-time"});
+  for (int hosts : {1, 2, 4, 8, 16, 32}) {
+    for (int threads : {8, 16, 32, 64}) {
+      const double sec = bgq.seconds_per_tick(s, hosts, threads);
+      const double w = bgq.power_w(hosts, threads);
+      t.add_row({"BG/Q", std::to_string(hosts), std::to_string(threads),
+                 util::format_sig(sec, 4), util::format_sig(w, 4),
+                 util::format_sig(sec * w, 4), util::format_sig(sec / 1e-3, 3)});
+    }
+  }
+  for (int threads : {4, 6, 8, 12}) {
+    const double sec = x86.seconds_per_tick(s, threads);
+    const double w = x86.power_w(threads);
+    t.add_row({"x86", "1", std::to_string(threads), util::format_sig(sec, 4),
+               util::format_sig(w, 4), util::format_sig(sec * w, 4),
+               util::format_sig(sec / 1e-3, 3)});
+  }
+  t.print(std::cout);
+
+  // The paper's summary observations.
+  const double best = bgq.seconds_per_tick(s, 32, 64);
+  const double single = bgq.seconds_per_tick(s, 1, 8);
+  std::printf("\nbest BG/Q point: %.1f ms/tick = %.1fx slower than real time"
+              " (paper: best point 12x slower)\n", 1e3 * best, best / 1e-3);
+  std::printf("1-host 8-thread point: %.3f s/tick; 32-host speedup over it: %.1fx\n", single,
+              single / best);
+  std::printf("single host is most power-efficient but slowest; 32 hosts fastest but\n"
+              "most power — the trade-off of paper Fig. 8.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Regenerates paper §VII-D (E15 in DESIGN.md): the projected system
+// hierarchy (boards → backplanes → racks → human-scale), and the
+// energy-to-solution comparisons against the historical Blue Gene cortical
+// simulations (rat-scale on BG/L: ~6,400× less energy; 1%-human-scale on
+// BG/P: ~128,000× with the paper's accounting).
+#include <cstdio>
+#include <iostream>
+
+#include "src/energy/scaling_model.hpp"
+#include "src/util/table.hpp"
+
+int main() {
+  using namespace nsc::energy;
+
+  std::printf("=== SVII-D: future systems and energy-to-solution projections ===\n\n");
+
+  nsc::util::Table tiers({"tier", "chips", "neurons", "synapses", "power (W)", "GSOPS @20Hz/128 (est)"});
+  for (const SystemTier& t : paper_system_tiers()) {
+    // Estimated sustained GSOPS at the headline operating point.
+    const double gsops = t.neurons * 20.0 * 128.0 * 1e-9;
+    tiers.add_row({t.name, std::to_string(t.chips), nsc::util::format_sig(t.neurons, 4),
+                   nsc::util::format_sig(t.synapses, 4),
+                   nsc::util::format_sig(t.total_power_w, 4),
+                   nsc::util::format_sig(gsops, 4)});
+  }
+  tiers.print(std::cout);
+
+  std::printf("\nEnergy-to-solution vs historical cortical simulations:\n");
+  nsc::util::Table cmp({"comparison", "hist. racks", "rack power (W)", "slowdown",
+                   "TrueNorth tier power (W)", "x energy reduction", "paper claims"});
+  const auto all = paper_system_tiers();
+  const SystemTier* backplane = nullptr;
+  const SystemTier* rack = nullptr;
+  for (const auto& t : all) {
+    if (t.chips == 1024) backplane = &t;
+    if (t.chips == 4096) rack = &t;
+  }
+  {
+    const HistoricalRun h = bgl_rat_scale();
+    cmp.add_row({h.name, nsc::util::format_sig(h.racks, 3),
+                 nsc::util::format_sig(h.rack_power_w, 4), nsc::util::format_sig(h.slowdown, 3),
+                 nsc::util::format_sig(backplane->total_power_w, 4),
+                 nsc::util::format_sig(energy_to_solution_ratio(h, *backplane), 4), "6,400x"});
+  }
+  {
+    const HistoricalRun h = bgp_one_percent_human();
+    cmp.add_row({h.name, nsc::util::format_sig(h.racks, 3),
+                 nsc::util::format_sig(h.rack_power_w, 4), nsc::util::format_sig(h.slowdown, 3),
+                 nsc::util::format_sig(rack->total_power_w, 4),
+                 nsc::util::format_sig(energy_to_solution_ratio(h, *rack), 4),
+                 "128,000x (see EXPERIMENTS.md)"});
+  }
+  cmp.print(std::cout);
+
+  std::printf("\nhuman-scale context: 96 racks x 4,096 chips = %.2e synapses at %.0f kW\n",
+              all.back().synapses, all.back().total_power_w / 1000.0);
+  std::printf("(the Compass run of the same scale used 96 racks of Blue Gene/Q, ~7.9 MW)\n");
+
+  std::printf("\npower density: chip at 65 mW -> %.1f mW/cm2"
+              " (paper: ~20 mW/cm2 vs ~100 W/cm2 CPU, ~4 orders of magnitude)\n",
+              1e3 * truenorth_power_density_w_per_cm2(0.065));
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Regenerates the paper's headline numbers (E13 in DESIGN.md, §I / §VI-B):
+//   * 65 mW and 46 GSOPS/W at 20 Hz / 128 active synapses, real time, 0.75 V
+//   * 81 GSOPS/W when the same network runs ~5× faster than real time
+//   * >400 GSOPS/W at 200 Hz / 256 synapses
+//   * ~10 pJ per synaptic event (all-in)
+//   * 20 mW/cm² power density (~4 orders below a conventional processor)
+// plus a demonstration of the emulated ADC power-measurement chain (§V-2).
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "src/energy/power_meter.hpp"
+#include "src/energy/scaling_model.hpp"
+#include "src/energy/units.hpp"
+#include "src/util/table.hpp"
+
+int main() {
+  using namespace nsc;
+  const core::Geometry geom = bench::scaled_chip();
+  const core::Tick ticks = std::max<core::Tick>(bench::bench_ticks(), 20);
+  bench::print_banner("=== Headline metrics (paper abstract / SVI-B) ===", geom, ticks);
+  const double factor = bench::full_chip_factor(geom);
+
+  const energy::TrueNorthPowerModel power;
+  const energy::TrueNorthTimingModel timing;
+  constexpr double kV = 0.75;
+
+  const auto main_run = bench::run_characterization(geom, 20.0, 128, ticks);
+  const auto corner_run = bench::run_characterization(geom, 200.0, 256, ticks);
+  const core::KernelStats& s = main_run.stats;
+  const core::KernelStats& sc = corner_run.stats;
+
+  util::Table t({"metric", "paper", "this reproduction"});
+  const double mw = 1e3 * factor *
+                    power.mean_power_w(s, geom.total_cores(), kV, energy::kRealTimeTickHz) /
+                    factor * factor;
+  t.add_row({"chip power @20Hz/128syn, real-time", "65 mW",
+             util::format_sig(1e3 * factor *
+                                  power.mean_power_w(s, geom.total_cores(), kV,
+                                                     energy::kRealTimeTickHz),
+                              3) +
+                 " mW (full-chip equiv)"});
+  (void)mw;
+  t.add_row({"GSOPS/W @20Hz/128syn, real-time", "46",
+             util::format_sig(
+                 1e-9 * power.sops_per_watt(s, geom.total_cores(), kV, energy::kRealTimeTickHz),
+                 3)});
+  t.add_row({"GSOPS/W same network, ~5x faster", "81",
+             util::format_sig(1e-9 * power.sops_per_watt(s, geom.total_cores(), kV,
+                                                         5 * energy::kRealTimeTickHz),
+                              3)});
+  t.add_row({"GSOPS/W @200Hz/256syn", ">400",
+             util::format_sig(
+                 1e-9 * power.sops_per_watt(sc, geom.total_cores(), kV, energy::kRealTimeTickHz),
+                 3)});
+  const double e_sop = power.total_energy_j(s, geom.total_cores(), kV, energy::kRealTimeTickHz) /
+                       static_cast<double>(s.sops);
+  t.add_row({"energy per synaptic event (all-in)", "~10 pJ",
+             util::format_sig(1e12 * e_sop, 3) + " pJ"});
+  const double chip_w =
+      factor * power.mean_power_w(s, geom.total_cores(), kV, energy::kRealTimeTickHz);
+  t.add_row({"power density", "20 mW/cm2",
+             util::format_sig(1e3 * energy::truenorth_power_density_w_per_cm2(chip_w), 3) +
+                 " mW/cm2"});
+  t.add_row({"max tick rate @20Hz/128syn", "> real-time",
+             util::format_sig(1e-3 * timing.max_tick_hz(s, kV), 3) + " kHz"});
+  t.add_row({"measured network rate / synapses", "20 Hz / 128",
+             util::format_sig(s.mean_rate_hz(static_cast<std::uint64_t>(geom.neurons())), 3) +
+                 " Hz / " + util::format_sig(s.mean_synapses_per_delivery(), 4)});
+  t.print(std::cout);
+
+  // §V-2: the ADC measurement chain, applied to the modeled waveform.
+  const double active_per_tick =
+      factor * power.active_energy_j(s, kV) / static_cast<double>(s.ticks);
+  const double passive = factor * power.passive_power_w(geom.total_cores(), kV);
+  const energy::PowerMeter meter;
+  const auto reading =
+      meter.measure(active_per_tick, passive, energy::kRealTimeTickHz, 600);
+  const double analytic = passive + active_per_tick * energy::kRealTimeTickHz;
+  std::printf("\nEmulated AD7689 measurement chain (65.2 kHz, >500-tick average):\n");
+  std::printf("  analytic %.2f mW, reconstructed %.2f mW (%.2f%% error; paper calibration 3%%)\n",
+              1e3 * analytic, 1e3 * reading.rms_power_w,
+              100.0 * std::abs(reading.rms_power_w - analytic) / analytic);
+  return 0;
+}

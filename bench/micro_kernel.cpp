@@ -1,0 +1,133 @@
+// Micro benchmarks of the kernel's hot paths and the ablations DESIGN.md
+// calls out: event-driven vs dense synapse phase, crossbar row iteration,
+// PRNG variants, routing, partitioning, and message aggregation.
+#include <benchmark/benchmark.h>
+
+#include "src/compass/simulator.hpp"
+#include "src/core/reference_sim.hpp"
+#include "src/netgen/recurrent.hpp"
+#include "src/noc/route.hpp"
+#include "src/tn/chip_sim.hpp"
+#include "src/util/bitrow.hpp"
+#include "src/util/prng.hpp"
+
+namespace {
+
+using nsc::core::Geometry;
+using nsc::core::Network;
+
+Network small_recurrent(double rate, int syn) {
+  nsc::netgen::RecurrentSpec spec;
+  spec.geom = Geometry{1, 1, 8, 8};
+  spec.rate_hz = rate;
+  spec.synapses_per_axon = syn;
+  spec.seed = 12345;
+  return nsc::netgen::make_recurrent(spec);
+}
+
+/// Event-driven synapse phase (the kernel) on a 64-core recurrent network.
+void BM_EventDrivenTick(benchmark::State& state) {
+  const Network net = small_recurrent(50, static_cast<int>(state.range(0)));
+  nsc::tn::TrueNorthSimulator sim(net);
+  for (auto _ : state) {
+    sim.run(1, nullptr, nullptr);
+  }
+  state.counters["sops/tick"] = static_cast<double>(sim.stats().sops) /
+                                static_cast<double>(sim.stats().ticks);
+  state.SetItemsProcessed(static_cast<std::int64_t>(sim.stats().sops));
+}
+BENCHMARK(BM_EventDrivenTick)->Arg(32)->Arg(128)->Arg(256);
+
+/// Dense synapse phase (the ablation baseline): loops over all 65,536
+/// (axon, neuron) pairs per core per tick regardless of activity.
+void BM_DenseReferenceTick(benchmark::State& state) {
+  const Network net = small_recurrent(50, static_cast<int>(state.range(0)));
+  nsc::core::ReferenceSimulator sim(net);
+  for (auto _ : state) {
+    sim.run(1, nullptr, nullptr);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(sim.stats().sops));
+}
+BENCHMARK(BM_DenseReferenceTick)->Arg(32)->Arg(128);
+
+/// Compass tick with aggregated inter-process messages.
+void BM_CompassTickAggregated(benchmark::State& state) {
+  const Network net = small_recurrent(50, 128);
+  nsc::compass::Simulator sim(net, {.threads = static_cast<int>(state.range(0)),
+                                    .aggregate_messages = true});
+  for (auto _ : state) {
+    sim.run(1, nullptr, nullptr);
+  }
+  state.counters["messages"] = static_cast<double>(sim.messages_sent());
+}
+BENCHMARK(BM_CompassTickAggregated)->Arg(1)->Arg(2)->Arg(4);
+
+/// Message-count ablation: per-spike messaging explodes the message count
+/// by the aggregation factor (the paper's S/N ≈ 256 argument, §III-A).
+void BM_CompassTickPerSpikeMessages(benchmark::State& state) {
+  const Network net = small_recurrent(50, 128);
+  nsc::compass::Simulator sim(net, {.threads = 4, .aggregate_messages = false});
+  for (auto _ : state) {
+    sim.run(1, nullptr, nullptr);
+  }
+  state.counters["messages"] = static_cast<double>(sim.messages_sent());
+}
+BENCHMARK(BM_CompassTickPerSpikeMessages);
+
+void BM_BitRowForEachSet(benchmark::State& state) {
+  nsc::util::BitRow256 row;
+  nsc::util::Xoshiro rng(9);
+  for (int i = 0; i < state.range(0); ++i) {
+    row.set(static_cast<int>(rng.next_below(256)));
+  }
+  long sum = 0;
+  for (auto _ : state) {
+    row.for_each_set([&](int i) { sum += i; });
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_BitRowForEachSet)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_CounterPrngDraw(benchmark::State& state) {
+  const nsc::util::CounterPrng prng(7);
+  std::uint64_t t = 0, acc = 0;
+  for (auto _ : state) {
+    acc ^= prng.draw(1, 2, t++, 3);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_CounterPrngDraw);
+
+void BM_GaloisLfsrNext(benchmark::State& state) {
+  nsc::util::GaloisLfsr16 lfsr(0x1234);
+  std::uint32_t acc = 0;
+  for (auto _ : state) {
+    acc ^= lfsr.next();
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_GaloisLfsrNext);
+
+void BM_RouteDor(benchmark::State& state) {
+  const Geometry g = nsc::core::truenorth_chip();
+  nsc::util::Xoshiro rng(5);
+  int acc = 0;
+  for (auto _ : state) {
+    const auto a = static_cast<nsc::core::CoreId>(rng.next_below(4096));
+    const auto b = static_cast<nsc::core::CoreId>(rng.next_below(4096));
+    acc += nsc::noc::route_dor(g, a, b).hops;
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_RouteDor);
+
+void BM_PartitionBalanced(benchmark::State& state) {
+  const Network net = small_recurrent(20, 128);
+  for (auto _ : state) {
+    auto parts = nsc::compass::partition_balanced(net, static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(parts);
+  }
+}
+BENCHMARK(BM_PartitionBalanced)->Arg(4)->Arg(32);
+
+}  // namespace

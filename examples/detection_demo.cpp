@@ -1,0 +1,57 @@
+// Multi-object detection & classification demo: the NeoVision-style
+// What/Where system on synthetic labeled video (paper §IV-B).
+//
+//   $ ./detection_demo
+//
+// Shows the full application loop: scene → spike encoding (with the
+// frame-lagged tap for the transient Where network) → TrueNorth execution →
+// What/Where binding into labeled boxes → precision/recall scoring.
+#include <cstdio>
+
+#include "src/apps/app_common.hpp"
+#include "src/apps/neovision.hpp"
+#include "src/core/spike_sink.hpp"
+#include "src/vision/image.hpp"
+
+int main() {
+  using namespace nsc;
+
+  apps::AppConfig cfg;
+  cfg.img_w = 64;
+  cfg.img_h = 64;
+  cfg.frames = 8;
+  cfg.ticks_per_frame = 33;
+  cfg.scene_objects = 2;
+  cfg.seed = 4;
+
+  std::printf("building What/Where detection network...\n");
+  const apps::NeovisionApp app = apps::make_neovision_app(cfg);
+  std::printf("  %d cores, %llu neurons; %dx%d regions of %dx%d px\n",
+              app.net.used_cores(), static_cast<unsigned long long>(app.net.neurons()),
+              app.region_cols, app.region_rows, app.region_w, app.region_h);
+
+  core::WindowedCountSink sink(static_cast<std::uint64_t>(app.net.network().geom.neurons()),
+                               app.ticks_per_frame);
+  const apps::AppRunResult run = apps::run_on_truenorth(app.net, &sink);
+  std::printf("ran %llu ticks (%.1f ms wall): %llu spikes\n\n",
+              static_cast<unsigned long long>(run.stats.ticks), 1e3 * run.wall_seconds,
+              static_cast<unsigned long long>(run.stats.spikes));
+
+  const apps::NeovisionResult result = apps::decode_detections(app, sink);
+  for (std::size_t f = 0; f < result.detections.size(); ++f) {
+    std::printf("frame %zu:\n  truth:", f);
+    for (const auto& b : app.ground_truth[f]) {
+      std::printf(" %s(%d,%d %dx%d)", vision::class_name(b.cls), b.x, b.y, b.w, b.h);
+    }
+    std::printf("\n  found:");
+    for (const auto& b : result.detections[f]) {
+      std::printf(" %s(%d,%d %dx%d)", vision::class_name(b.cls), b.x, b.y, b.w, b.h);
+    }
+    std::printf("%s\n", f == 0 ? "  (frame 0 has no motion reference)" : "");
+  }
+
+  std::printf("\nscore (frames 1..%d, IoU>=0.15, class must match):\n", cfg.frames - 1);
+  std::printf("  precision %.2f  recall %.2f  f1 %.2f   (paper: 0.85 / 0.80 on NeoVision2 Tower)\n",
+              result.counts.precision(), result.counts.recall(), result.counts.f1());
+  return 0;
+}

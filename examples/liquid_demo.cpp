@@ -1,0 +1,39 @@
+// Liquid state machine demo (paper Fig. 2 lists LSMs among the demonstrated
+// applications): temporal patterns with identical spike counts — separable
+// only through timing — classified from the reservoir's echo.
+//
+//   $ ./liquid_demo
+#include <cstdio>
+
+#include "src/apps/lsm.hpp"
+
+int main() {
+  using namespace nsc;
+
+  apps::LsmConfig cfg;
+  cfg.seed = 3;
+  const apps::Lsm lsm = apps::make_lsm(cfg);
+  std::printf("reservoir: 1 core, 256 neurons, subcritical recurrence, delays 1-6\n");
+  std::printf("task: %d classes x %d channels, %d spikes/channel — identical counts,\n"
+              "      class-specific timing (jitter %.0f%%, drop %.0f%%)\n\n",
+              cfg.classes, cfg.input_channels, cfg.spikes_per_channel,
+              100 * cfg.jitter_prob, 100 * cfg.drop_prob);
+
+  // Timing-blind baseline: per-channel spike counts.
+  const train::Dataset base_train = apps::make_lsm_dataset(lsm, 25, false, 100);
+  const train::Dataset base_test = apps::make_lsm_dataset(lsm, 12, false, 999);
+  const auto base = train::train_perceptron(base_train, {.epochs = 10});
+  std::printf("count-only readout (no reservoir): %.0f%% accuracy (chance = 25%%)\n",
+              100.0 * base.accuracy(base_test));
+
+  // Reservoir echo readout.
+  const train::Dataset res_train = apps::make_lsm_dataset(lsm, 25, true, 100);
+  const train::Dataset res_test = apps::make_lsm_dataset(lsm, 12, true, 999);
+  const auto readout = train::train_perceptron(res_train, {.epochs = 10});
+  std::printf("reservoir-echo readout:            %.0f%% accuracy\n",
+              100.0 * readout.accuracy(res_test));
+
+  std::printf("\nThe echo window starts after the last input spike: every bit of class\n"
+              "information there is the liquid's fading memory of input *timing*.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Vision pipeline example: saliency → saccade on synthetic streaming video,
+// with an ASCII visualization of where the network's attention lands.
+//
+//   $ ./vision_pipeline
+//
+// Demonstrates corelet composition (the saccade app absorbs the saliency
+// corelet, a WTA stage and a delay-line inhibition-of-return loop) and
+// frame-windowed spike decoding.
+#include <cstdio>
+#include <vector>
+
+#include "src/apps/app_common.hpp"
+#include "src/apps/saccade.hpp"
+#include "src/core/spike_sink.hpp"
+#include "src/vision/scene.hpp"
+
+int main() {
+  using namespace nsc;
+
+  apps::AppConfig cfg;
+  cfg.img_w = 64;
+  cfg.img_h = 64;
+  cfg.frames = 10;
+  cfg.ticks_per_frame = 33;
+  cfg.scene_objects = 2;
+  cfg.seed = 21;
+
+  std::printf("building saliency+saccade network...\n");
+  const apps::SaccadeApp app = apps::make_saccade_app(cfg);
+  std::printf("  %d cores, %llu neurons, %d attention regions, IoR delay %d ticks\n",
+              app.net.used_cores(), static_cast<unsigned long long>(app.net.neurons()),
+              app.regions, app.ior_delay_ticks);
+
+  // Run on the TrueNorth expression, windowing spikes per frame.
+  core::WindowedCountSink sink(static_cast<std::uint64_t>(app.net.network().geom.neurons()),
+                               cfg.ticks_per_frame);
+  const apps::AppRunResult run = apps::run_on_truenorth(app.net, &sink);
+  std::printf("ran %llu ticks: %llu spikes, %llu synaptic ops\n\n",
+              static_cast<unsigned long long>(run.stats.ticks),
+              static_cast<unsigned long long>(run.stats.spikes),
+              static_cast<unsigned long long>(run.stats.sops));
+
+  // Replay the scene to show ground truth beside the attention map. The
+  // saccade grid is 4 patches wide (patches are 16x8 over a 64x64 frame).
+  vision::SceneConfig sc;
+  sc.width = cfg.img_w;
+  sc.height = cfg.img_h;
+  sc.objects = cfg.scene_objects;
+  sc.seed = cfg.seed;
+  vision::SyntheticScene scene(sc);
+
+  const int grid_cols = cfg.img_w / 16;   // saccade regions per row
+  const int grid_rows = cfg.img_h / 8;
+  for (int f = 0; f < cfg.frames; ++f) {
+    const auto gt = scene.ground_truth();
+    if (static_cast<std::size_t>(f) < sink.windows().size()) {
+      const auto& counts = sink.windows()[static_cast<std::size_t>(f)];
+      // Winner = region with the most saccade output spikes this frame.
+      int best = -1;
+      std::uint32_t best_count = 0;
+      for (int r = 0; r < app.regions; ++r) {
+        const std::uint32_t n = counts[app.net.placed.output_flat_index(r)];
+        if (n > best_count) {
+          best_count = n;
+          best = r;
+        }
+      }
+      std::printf("frame %d: attention -> ", f);
+      if (best >= 0) {
+        std::printf("region (%d,%d), %u spikes. ", best % grid_cols, best / grid_cols,
+                    best_count);
+      } else {
+        std::printf("none. ");
+      }
+      std::printf("objects:");
+      for (const auto& b : gt) {
+        std::printf(" %s@(%d,%d)", vision::class_name(b.cls), b.x, b.y);
+      }
+      std::printf("\n");
+      // Attention heat strip (one char per region, row-major).
+      for (int gy = 0; gy < grid_rows; ++gy) {
+        std::printf("    ");
+        for (int gx = 0; gx < grid_cols; ++gx) {
+          const int r = gy * grid_cols + gx;
+          const std::uint32_t n =
+              r < app.regions ? counts[app.net.placed.output_flat_index(r)] : 0;
+          std::printf("%c", n == 0 ? '.' : (n < 3 ? '+' : '#'));
+        }
+        std::printf("\n");
+      }
+    }
+    scene.step();
+  }
+
+  std::printf("\nThe WTA selects the most salient region; inhibition-of-return (a %d-tick\n"
+              "delay loop) forces exploration instead of locking on (paper SIV-B).\n",
+              app.ior_delay_ticks);
+  return 0;
+}

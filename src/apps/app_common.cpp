@@ -1,0 +1,38 @@
+#include "src/apps/app_common.hpp"
+
+#include <chrono>
+
+#include "src/compass/simulator.hpp"
+#include "src/tn/chip_sim.hpp"
+
+namespace nsc::apps {
+namespace {
+
+template <typename MakeSim>
+AppRunResult timed_run(const AppNetwork& app, core::SpikeSink* sink, MakeSim&& make) {
+  auto sim = make();
+  const auto t0 = std::chrono::steady_clock::now();
+  sim->run(app.ticks, &app.inputs, sink);
+  const auto t1 = std::chrono::steady_clock::now();
+  AppRunResult r;
+  r.stats = sim->stats();
+  r.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  return r;
+}
+
+}  // namespace
+
+AppRunResult run_on_truenorth(const AppNetwork& app, core::SpikeSink* sink) {
+  return timed_run(app, sink, [&] {
+    return std::make_unique<tn::TrueNorthSimulator>(app.placed.network);
+  });
+}
+
+AppRunResult run_on_compass(const AppNetwork& app, int threads, core::SpikeSink* sink) {
+  return timed_run(app, sink, [&] {
+    return std::make_unique<compass::Simulator>(app.placed.network,
+                                                compass::Config{.threads = threads});
+  });
+}
+
+}  // namespace nsc::apps

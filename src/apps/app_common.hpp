@@ -1,0 +1,55 @@
+// Shared application harness: a built application network plus the machinery
+// to run it on either kernel expression and collect the measurements the
+// Fig. 7/8 benches need.
+#pragma once
+
+#include <string>
+
+#include "src/core/input_schedule.hpp"
+#include "src/core/network.hpp"
+#include "src/corelet/place.hpp"
+
+namespace nsc::apps {
+
+/// Standard workload configuration for the five characterization apps.
+struct AppConfig {
+  int img_w = 64;
+  int img_h = 64;
+  int frames = 6;
+  core::Tick ticks_per_frame = 33;  ///< ≈30 fps at the 1 kHz real-time tick.
+  int scene_objects = 3;
+  std::uint64_t seed = 1;
+};
+
+/// A deployable application: network + stimulus.
+struct AppNetwork {
+  std::string name;
+  corelet::PlacedCorelet placed;
+  core::InputSchedule inputs;
+  core::Tick ticks = 0;
+
+  [[nodiscard]] const core::Network& network() const { return placed.network; }
+  [[nodiscard]] int used_cores() const { return placed.network.used_cores(); }
+  [[nodiscard]] std::uint64_t neurons() const { return placed.network.enabled_neurons(); }
+};
+
+/// Result of executing an application on one backend.
+struct AppRunResult {
+  core::KernelStats stats;
+  double wall_seconds = 0.0;  ///< Measured host wall-clock for the whole run.
+
+  [[nodiscard]] double seconds_per_tick() const {
+    return stats.ticks ? wall_seconds / static_cast<double>(stats.ticks) : 0.0;
+  }
+};
+
+/// Runs on the TrueNorth expression (collects hop counts and per-tick
+/// critical path for the energy/timing models). `sink` may be null.
+[[nodiscard]] AppRunResult run_on_truenorth(const AppNetwork& app, core::SpikeSink* sink = nullptr);
+
+/// Runs on the Compass expression with `threads` simulated processes,
+/// measuring host wall-clock. `sink` may be null.
+[[nodiscard]] AppRunResult run_on_compass(const AppNetwork& app, int threads,
+                                          core::SpikeSink* sink = nullptr);
+
+}  // namespace nsc::apps

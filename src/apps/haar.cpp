@@ -1,0 +1,172 @@
+#include "src/apps/haar.hpp"
+
+#include <array>
+#include <vector>
+
+#include "src/apps/patch.hpp"
+#include "src/corelet/corelet.hpp"
+#include "src/vision/scene.hpp"
+
+namespace nsc::apps {
+namespace {
+
+/// One Haar-like kernel: a w×h grid of {-1, 0, +1}.
+struct HaarKernel {
+  int w, h;
+  std::array<std::int8_t, 64> sign;  // row-major, w*h entries used
+};
+
+std::int8_t& cell(HaarKernel& k, int x, int y) { return k.sign[static_cast<std::size_t>(y * k.w + x)]; }
+
+/// The ten kernels: edges, lines, diagonals and center-surround at two
+/// scales — the classic Viola–Jones feature set.
+std::vector<HaarKernel> haar_kernels() {
+  std::vector<HaarKernel> ks;
+  auto filled = [](int w, int h) {
+    HaarKernel k{w, h, {}};
+    return k;
+  };
+  {  // 1: horizontal edge 8x4 (top +, bottom -)
+    HaarKernel k = filled(8, 4);
+    for (int y = 0; y < 4; ++y)
+      for (int x = 0; x < 8; ++x) cell(k, x, y) = y < 2 ? 1 : -1;
+    ks.push_back(k);
+  }
+  {  // 2: vertical edge 8x4 (left +, right -)
+    HaarKernel k = filled(8, 4);
+    for (int y = 0; y < 4; ++y)
+      for (int x = 0; x < 8; ++x) cell(k, x, y) = x < 4 ? 1 : -1;
+    ks.push_back(k);
+  }
+  {  // 3: horizontal line 8x4 (middle rows +, outer -)
+    HaarKernel k = filled(8, 4);
+    for (int y = 0; y < 4; ++y)
+      for (int x = 0; x < 8; ++x) cell(k, x, y) = (y == 1 || y == 2) ? 1 : -1;
+    ks.push_back(k);
+  }
+  {  // 4: vertical line 8x4 (middle columns +, outer -)
+    HaarKernel k = filled(8, 4);
+    for (int y = 0; y < 4; ++y)
+      for (int x = 0; x < 8; ++x) cell(k, x, y) = (x >= 3 && x <= 4) ? 1 : -1;
+    ks.push_back(k);
+  }
+  {  // 5: diagonal 8x4 (quadrant checkerboard)
+    HaarKernel k = filled(8, 4);
+    for (int y = 0; y < 4; ++y)
+      for (int x = 0; x < 8; ++x) cell(k, x, y) = ((x < 4) == (y < 2)) ? 1 : -1;
+    ks.push_back(k);
+  }
+  {  // 6: center-surround 8x4
+    HaarKernel k = filled(8, 4);
+    for (int y = 0; y < 4; ++y)
+      for (int x = 0; x < 8; ++x)
+        cell(k, x, y) = (x >= 2 && x < 6 && y >= 1 && y < 3) ? 1 : -1;
+    ks.push_back(k);
+  }
+  {  // 7: horizontal edge 4x4
+    HaarKernel k = filled(4, 4);
+    for (int y = 0; y < 4; ++y)
+      for (int x = 0; x < 4; ++x) cell(k, x, y) = y < 2 ? 1 : -1;
+    ks.push_back(k);
+  }
+  {  // 8: vertical edge 4x4
+    HaarKernel k = filled(4, 4);
+    for (int y = 0; y < 4; ++y)
+      for (int x = 0; x < 4; ++x) cell(k, x, y) = x < 2 ? 1 : -1;
+    ks.push_back(k);
+  }
+  {  // 9: diagonal 4x4
+    HaarKernel k = filled(4, 4);
+    for (int y = 0; y < 4; ++y)
+      for (int x = 0; x < 4; ++x) cell(k, x, y) = ((x < 2) == (y < 2)) ? 1 : -1;
+    ks.push_back(k);
+  }
+  {  // 10: center-surround 4x4
+    HaarKernel k = filled(4, 4);
+    for (int y = 0; y < 4; ++y)
+      for (int x = 0; x < 4; ++x)
+        cell(k, x, y) = (x >= 1 && x < 3 && y >= 1 && y < 3) ? 1 : -1;
+    ks.push_back(k);
+  }
+  return ks;
+}
+
+}  // namespace
+
+HaarApp make_haar_app(const AppConfig& cfg) {
+  const PatchGrid grid{cfg.img_w, cfg.img_h, 16, 8};
+  const auto kernels = haar_kernels();
+
+  corelet::Corelet net("haar");
+  std::vector<int> patch_core(static_cast<std::size_t>(grid.count()));
+
+  int neurons_per_patch = 0;
+  for (int k = 0; k < grid.count(); ++k) {
+    const PatchGrid::Patch pa = grid.patch(k);
+    const int ci = net.add_core();
+    patch_core[static_cast<std::size_t>(k)] = ci;
+    core::CoreSpec& spec = net.core(ci);
+    configure_pair_axons(spec, pa.pixels());
+
+    int j = 0;
+    constexpr int kStride = 4;
+    for (const HaarKernel& ker : kernels) {
+      for (int oy = 0; oy + ker.h <= pa.h; oy += kStride) {
+        for (int ox = 0; ox + ker.w <= pa.w; ox += kStride) {
+          if (j >= core::kCoreSize) break;
+          int plus = 0;
+          for (int dy = 0; dy < ker.h; ++dy) {
+            for (int dx = 0; dx < ker.w; ++dx) {
+              const std::int8_t s = ker.sign[static_cast<std::size_t>(dy * ker.w + dx)];
+              if (s == 0) continue;
+              const int lp = (oy + dy) * pa.w + (ox + dx);
+              spec.crossbar.set(s > 0 ? PatchGrid::plus_axon(lp) : PatchGrid::minus_axon(lp), j);
+              plus += s > 0 ? 1 : 0;
+            }
+          }
+          core::NeuronParams& p = spec.neuron[j];
+          p.enabled = 1;
+          p.weight[0] = 1;
+          p.weight[1] = -1;
+          // Threshold scales with the positive area so responses rate-code
+          // the normalized feature value; mild decay forgets stale evidence.
+          p.threshold = std::max(2, plus / 2);
+          p.leak = -1;
+          p.neg_threshold = 0;
+          p.negative_mode = core::NegativeMode::kSaturate;
+          p.reset_mode = core::ResetMode::kLinear;
+          net.add_output({ci, static_cast<std::uint16_t>(j)});
+          ++j;
+        }
+      }
+    }
+    if (k == 0) neurons_per_patch = j;
+  }
+
+  HaarApp app;
+  app.patches = grid.count();
+  app.neurons_per_patch = neurons_per_patch;
+  app.net.name = "haar";
+  app.net.placed = corelet::place(net, corelet::fit_geometry(net));
+  app.net.ticks = static_cast<core::Tick>(cfg.frames) * cfg.ticks_per_frame;
+
+  // Stimulus: the synthetic scene, rate-encoded onto the patch axon pairs.
+  vision::SceneConfig sc;
+  sc.width = cfg.img_w;
+  sc.height = cfg.img_h;
+  sc.objects = cfg.scene_objects;
+  sc.seed = cfg.seed;
+  vision::SyntheticScene scene(sc);
+  std::vector<vision::Image> frames;
+  frames.reserve(static_cast<std::size_t>(cfg.frames));
+  for (int f = 0; f < cfg.frames; ++f) {
+    frames.push_back(scene.render());
+    scene.step();
+  }
+  const vision::RateEncoder enc(0.5, cfg.seed ^ 0xE5C0DE);
+  encode_frames(grid, frames, cfg.ticks_per_frame, enc, app.net.placed, patch_core,
+                app.net.inputs);
+  return app;
+}
+
+}  // namespace nsc::apps

@@ -1,0 +1,23 @@
+// Haar-like feature extraction corelet (paper §IV-B: ten Haar-like features
+// over streaming video, the face-detection-style front end of Viola–Jones).
+//
+// Each patch core evaluates the ten kernels at a stride-4 grid of positions.
+// Kernels are ± rectangular patterns; the plus/minus axon-pair idiom (see
+// patch.hpp) realizes the sign pattern on the binary crossbar, and output
+// neurons rate-code the rectified feature response.
+#pragma once
+
+#include "src/apps/app_common.hpp"
+
+namespace nsc::apps {
+
+struct HaarApp {
+  AppNetwork net;
+  int features = 10;           ///< Kernels evaluated.
+  int neurons_per_patch = 0;   ///< Feature neurons per patch core.
+  int patches = 0;
+};
+
+[[nodiscard]] HaarApp make_haar_app(const AppConfig& cfg);
+
+}  // namespace nsc::apps

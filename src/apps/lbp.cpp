@@ -1,0 +1,110 @@
+#include "src/apps/lbp.hpp"
+
+#include <vector>
+
+#include "src/apps/patch.hpp"
+#include "src/corelet/corelet.hpp"
+#include "src/vision/scene.hpp"
+
+namespace nsc::apps {
+namespace {
+
+constexpr int kBins = 20;
+constexpr int kNeighbors = 8;
+constexpr int kOffsets[kNeighbors][2] = {{-1, -1}, {0, -1}, {1, -1}, {-1, 0},
+                                         {1, 0},   {-1, 1}, {0, 1},  {1, 1}};
+
+}  // namespace
+
+LbpApp make_lbp_app(const AppConfig& cfg) {
+  const PatchGrid grid{cfg.img_w, cfg.img_h, 16, 8};
+  corelet::Corelet net("lbp");
+  std::vector<int> patch_core(static_cast<std::size_t>(grid.count()));
+
+  int comparisons = 0;
+  for (int k = 0; k < grid.count(); ++k) {
+    const PatchGrid::Patch pa = grid.patch(k);
+    const int l1 = net.add_core();
+    patch_core[static_cast<std::size_t>(k)] = l1;
+    core::CoreSpec& spec = net.core(l1);
+    configure_pair_axons(spec, pa.pixels());
+
+    // Layer 2: the histogram core for this patch.
+    const int l2 = net.add_core();
+    core::CoreSpec& hist = net.core(l2);
+
+    // Layer 1: comparison neurons on a stride-2 grid of interior centers.
+    int j = 0;
+    for (int cy = 1; cy < pa.h - 1; cy += 2) {
+      for (int cx = 1; cx < pa.w - 1; cx += 2) {
+        for (int d = 0; d < kNeighbors; ++d) {
+          if (j >= core::kCoreSize) break;
+          const int lc = cy * pa.w + cx;
+          const int ln = (cy + kOffsets[d][1]) * pa.w + (cx + kOffsets[d][0]);
+          // Fires when the center's rate exceeds the neighbor's: the LBP
+          // bit center > neighbor, rate-coded.
+          spec.crossbar.set(PatchGrid::plus_axon(lc), j);
+          spec.crossbar.set(PatchGrid::minus_axon(ln), j);
+          core::NeuronParams& p = spec.neuron[j];
+          p.enabled = 1;
+          // ±4 so a rate-coded difference (< 1 spike/tick) overcomes the
+          // −1/tick decay; at ±1 the comparison would never cross threshold.
+          p.weight[0] = 4;
+          p.weight[1] = -4;
+          p.threshold = 4;
+          p.leak = -1;
+          p.negative_mode = core::NegativeMode::kSaturate;
+          p.reset_mode = core::ResetMode::kLinear;
+          // Route this comparison into the histogram core: axon j carries
+          // (sample, direction); the fixed projection below bins it.
+          net.connect({l1, static_cast<std::uint16_t>(j)}, {l2, static_cast<std::uint16_t>(j)},
+                      core::kMinDelay);
+          ++j;
+        }
+      }
+    }
+    if (k == 0) comparisons = j;
+
+    // Layer 2: bin b accumulates all comparisons with (sample*8+dir) ≡ b
+    // (mod 20) — the fixed projection standing in for the uniform-pattern
+    // code table.
+    for (int b = 0; b < kBins; ++b) {
+      for (int a = b; a < j; a += kBins) {
+        hist.crossbar.set(a, b);
+      }
+      core::NeuronParams& p = hist.neuron[b];
+      p.enabled = 1;
+      p.weight[0] = 1;
+      p.threshold = 6;
+      p.leak = 0;
+      p.reset_mode = core::ResetMode::kLinear;
+      net.add_output({l2, static_cast<std::uint16_t>(b)});
+    }
+  }
+
+  LbpApp app;
+  app.subpatches = grid.count();
+  app.comparisons_per_patch = comparisons;
+  app.net.name = "lbp";
+  app.net.placed = corelet::place(net, corelet::fit_geometry(net));
+  app.net.ticks = static_cast<core::Tick>(cfg.frames) * cfg.ticks_per_frame;
+
+  vision::SceneConfig sc;
+  sc.width = cfg.img_w;
+  sc.height = cfg.img_h;
+  sc.objects = cfg.scene_objects;
+  sc.seed = cfg.seed;
+  vision::SyntheticScene scene(sc);
+  std::vector<vision::Image> frames;
+  frames.reserve(static_cast<std::size_t>(cfg.frames));
+  for (int f = 0; f < cfg.frames; ++f) {
+    frames.push_back(scene.render());
+    scene.step();
+  }
+  const vision::RateEncoder enc(0.5, cfg.seed ^ 0x1B9);
+  encode_frames(grid, frames, cfg.ticks_per_frame, enc, app.net.placed, patch_core,
+                app.net.inputs);
+  return app;
+}
+
+}  // namespace nsc::apps

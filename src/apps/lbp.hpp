@@ -1,0 +1,25 @@
+// Local Binary Pattern histogram corelet (paper §IV-B: 20-bin LBP feature
+// histograms over 8 subpatches — the texture front end used in biometrics
+// and robot navigation).
+//
+// Two-layer composition: layer 1 cores compute the 8 center-vs-neighbor
+// comparisons per sampled pixel (the bits of the LBP code), layer 2 cores
+// accumulate 20-bin histograms per subpatch. Binning uses a fixed projection
+// from (sample, direction) to bin — a documented simplification of the
+// rotation-invariant uniform-pattern code (see DESIGN.md §3).
+#pragma once
+
+#include "src/apps/app_common.hpp"
+
+namespace nsc::apps {
+
+struct LbpApp {
+  AppNetwork net;
+  int bins = 20;
+  int subpatches = 0;   ///< Histogram cores (one per image patch).
+  int comparisons_per_patch = 0;
+};
+
+[[nodiscard]] LbpApp make_lbp_app(const AppConfig& cfg);
+
+}  // namespace nsc::apps

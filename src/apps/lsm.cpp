@@ -1,0 +1,145 @@
+#include "src/apps/lsm.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/core/spike_sink.hpp"
+#include "src/tn/chip_sim.hpp"
+#include "src/util/prng.hpp"
+
+namespace nsc::apps {
+namespace {
+
+constexpr int kInputAxons = 32;   // [0, 32): type 0
+constexpr int kExcAxons = 160;    // [32, 192): type 1
+constexpr int kInhAxonBase = 192; // [192, 256): type 2
+
+}  // namespace
+
+Lsm make_lsm(const LsmConfig& cfg) {
+  assert(cfg.input_channels <= kInputAxons);
+  Lsm lsm;
+  lsm.cfg = cfg;
+  lsm.reservoir = core::Network(core::Geometry{1, 1, 1, 1}, cfg.seed);
+  util::Xoshiro rng(cfg.seed * 6364136223846793005ULL + 1442695040888963407ULL);
+
+  core::CoreSpec& cs = lsm.reservoir.core(0);
+  for (int a = 0; a < core::kCoreSize; ++a) {
+    cs.axon_type[static_cast<std::size_t>(a)] =
+        a < kInputAxons ? 0 : (a < kInhAxonBase ? 1 : 2);
+  }
+  // 20% of reservoir neurons are inhibitory (they project to type-2 axons).
+  std::vector<bool> inhibitory(core::kCoreSize);
+  for (int j = 0; j < core::kCoreSize; ++j) inhibitory[static_cast<std::size_t>(j)] = rng.next_double() < 0.2;
+
+  for (int j = 0; j < core::kCoreSize; ++j) {
+    core::NeuronParams& p = cs.neuron[j];
+    p.enabled = 1;
+    p.weight[0] = 8;   // input drive
+    p.weight[1] = 2;   // recurrent excitation — subcritical: the echo must
+    p.weight[2] = -6;  // fade, not self-sustain (a chaotic attractor would
+                       // forget its input and destroy class information)
+    p.threshold = 10 + static_cast<std::int32_t>(rng.next_below(8));
+    p.leak = -1;  // fading memory
+    p.neg_threshold = 10;
+    p.negative_mode = core::NegativeMode::kSaturate;
+    p.reset_mode = core::ResetMode::kLinear;  // carry sub-threshold trace
+    p.init_v = static_cast<std::int32_t>(rng.next_below(8));
+    // Each neuron listens to ~3 input channels and ~8 recurrent axons.
+    for (int k = 0; k < 3; ++k) {
+      cs.crossbar.set(static_cast<int>(rng.next_below(static_cast<std::uint64_t>(cfg.input_channels))), j);
+    }
+    for (int k = 0; k < 8; ++k) {
+      cs.crossbar.set(kInputAxons + static_cast<int>(rng.next_below(kExcAxons + 64)), j);
+    }
+    // Recurrent projection: excitatory neurons strike a type-1 axon,
+    // inhibitory ones a type-2 axon, with delays 1–6 for temporal mixing.
+    const int axon = inhibitory[static_cast<std::size_t>(j)]
+                         ? kInhAxonBase + static_cast<int>(rng.next_below(64))
+                         : kInputAxons + static_cast<int>(rng.next_below(kExcAxons));
+    p.target = {0, static_cast<std::uint16_t>(axon),
+                static_cast<std::uint8_t>(1 + rng.next_below(6))};
+  }
+
+  // Timing-only class templates: every class places the same number of
+  // spikes on every channel, at class-specific ticks.
+  lsm.templates.resize(static_cast<std::size_t>(cfg.classes));
+  for (int c = 0; c < cfg.classes; ++c) {
+    auto& cls = lsm.templates[static_cast<std::size_t>(c)];
+    cls.resize(static_cast<std::size_t>(cfg.input_channels));
+    for (int ch = 0; ch < cfg.input_channels; ++ch) {
+      auto& ticks = cls[static_cast<std::size_t>(ch)];
+      while (static_cast<int>(ticks.size()) < cfg.spikes_per_channel) {
+        const auto t = static_cast<core::Tick>(rng.next_below(
+            static_cast<std::uint64_t>(cfg.pattern_ticks)));
+        if (std::find(ticks.begin(), ticks.end(), t) == ticks.end()) ticks.push_back(t);
+      }
+      std::sort(ticks.begin(), ticks.end());
+    }
+  }
+  return lsm;
+}
+
+core::InputSchedule make_lsm_sample(const Lsm& lsm, int cls, std::uint64_t sample_seed) {
+  assert(cls >= 0 && cls < lsm.cfg.classes);
+  core::InputSchedule in;
+  util::Xoshiro rng(sample_seed * 0x9E3779B97F4A7C15ULL + static_cast<std::uint64_t>(cls) + 1);
+  const auto& tmpl = lsm.templates[static_cast<std::size_t>(cls)];
+  for (int ch = 0; ch < lsm.cfg.input_channels; ++ch) {
+    for (core::Tick t : tmpl[static_cast<std::size_t>(ch)]) {
+      if (rng.next_double() < lsm.cfg.drop_prob) continue;
+      core::Tick jt = t;
+      if (rng.next_double() < lsm.cfg.jitter_prob) {
+        jt += rng.next_double() < 0.5 ? -1 : 1;
+        jt = std::clamp<core::Tick>(jt, 0, lsm.cfg.pattern_ticks - 1);
+      }
+      in.add(jt, 0, static_cast<std::uint16_t>(ch));
+    }
+  }
+  in.finalize();
+  return in;
+}
+
+std::vector<float> reservoir_state(const Lsm& lsm, const core::InputSchedule& in) {
+  tn::TrueNorthSimulator sim(lsm.reservoir);
+  // Drive the liquid through the pattern, then read its echo: per-neuron
+  // spike counts in the post-stimulus window, where any class information
+  // can only come from the reservoir's fading memory of input *timing*.
+  sim.run(lsm.cfg.pattern_ticks, &in, nullptr);
+  core::CountSink sink(static_cast<std::uint64_t>(core::kCoreSize));
+  const core::Tick echo = std::max<core::Tick>(1, lsm.cfg.readout_ticks - lsm.cfg.pattern_ticks);
+  sim.run(echo, &in, &sink);
+  std::vector<float> state(static_cast<std::size_t>(core::kCoreSize), 0.0f);
+  for (int j = 0; j < core::kCoreSize; ++j) {
+    state[static_cast<std::size_t>(j)] =
+        static_cast<float>(sink.count(0, static_cast<std::uint16_t>(j))) /
+        static_cast<float>(echo);
+  }
+  return state;
+}
+
+train::Dataset make_lsm_dataset(const Lsm& lsm, int per_class, bool use_reservoir,
+                                std::uint64_t seed) {
+  train::Dataset d;
+  d.classes = lsm.cfg.classes;
+  for (int c = 0; c < lsm.cfg.classes; ++c) {
+    for (int s = 0; s < per_class; ++s) {
+      const auto sample_seed = seed + static_cast<std::uint64_t>(c * per_class + s) * 7919ULL;
+      const core::InputSchedule in = make_lsm_sample(lsm, c, sample_seed);
+      if (use_reservoir) {
+        d.x.push_back(reservoir_state(lsm, in));
+      } else {
+        // Timing-blind baseline: per-channel spike counts (identical across
+        // classes up to drop noise — the task's design).
+        std::vector<float> counts(static_cast<std::size_t>(lsm.cfg.input_channels), 0.0f);
+        for (const auto& e : in.events()) counts[e.axon] += 1.0f;
+        for (float& x : counts) x /= static_cast<float>(lsm.cfg.spikes_per_channel);
+        d.x.push_back(std::move(counts));
+      }
+      d.y.push_back(c);
+    }
+  }
+  return d;
+}
+
+}  // namespace nsc::apps

@@ -1,0 +1,60 @@
+// Liquid state machine (paper Fig. 2: LSMs are among the applications
+// demonstrated on Compass and TrueNorth).
+//
+// A fixed random recurrent reservoir (mixed excitatory/inhibitory, fading
+// memory) projects input spike trains into a high-dimensional state; a
+// linear readout trained offline on reservoir spike counts classifies
+// *temporal* patterns. The benchmark task here is constructed so timing is
+// the only signal: every class drives every channel with the same number of
+// spikes, differing only in when they arrive — a count-based readout on the
+// raw input is at chance, while the reservoir's temporal mixing makes the
+// classes linearly separable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/input_schedule.hpp"
+#include "src/core/network.hpp"
+#include "src/train/perceptron.hpp"
+
+namespace nsc::apps {
+
+struct LsmConfig {
+  int input_channels = 32;
+  int classes = 4;
+  core::Tick pattern_ticks = 40;   ///< Length of one temporal pattern.
+  core::Tick readout_ticks = 50;   ///< Observation window (pattern + echo).
+  int spikes_per_channel = 6;      ///< Identical for every class (timing-only task).
+  double jitter_prob = 0.25;       ///< P(spike shifts ±1 tick) per sample.
+  double drop_prob = 0.05;         ///< P(spike dropped) per sample.
+  std::uint64_t seed = 1;
+};
+
+/// The reservoir: one core, 256 neurons, random recurrence. Axons [0,32)
+/// carry inputs (type 0), [32,192) excitatory recurrence (type 1),
+/// [192,256) inhibitory recurrence (type 2).
+struct Lsm {
+  LsmConfig cfg;
+  core::Network reservoir;
+  /// Class template rasters: spike ticks per (class, channel, spike).
+  std::vector<std::vector<std::vector<core::Tick>>> templates;
+};
+
+[[nodiscard]] Lsm make_lsm(const LsmConfig& cfg);
+
+/// Draws one jittered sample of class `cls` (deterministic per sample_seed).
+[[nodiscard]] core::InputSchedule make_lsm_sample(const Lsm& lsm, int cls,
+                                                  std::uint64_t sample_seed);
+
+/// Runs one sample through the reservoir and returns the pooled state:
+/// 64 features (4 neurons each), normalized spike counts.
+[[nodiscard]] std::vector<float> reservoir_state(const Lsm& lsm, const core::InputSchedule& in);
+
+/// Builds a dataset of `per_class` jittered samples per class, featurized
+/// through the reservoir (`use_reservoir` = true) or as raw per-channel
+/// input counts (the timing-blind baseline).
+[[nodiscard]] train::Dataset make_lsm_dataset(const Lsm& lsm, int per_class, bool use_reservoir,
+                                              std::uint64_t seed);
+
+}  // namespace nsc::apps

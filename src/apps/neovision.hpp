@@ -1,0 +1,62 @@
+// NeoVision-style multi-object detection and classification (paper §IV-B):
+// a Where network detects moving objects via ON/OFF transient cells, a What
+// network classifies regions into the five NeoVision classes, and a
+// What/Where binding stage emits labeled bounding boxes whose precision/
+// recall is measured against the synthetic scene's ground truth.
+//
+// Where: per-patch transient cores compare the current frame against a
+//   frame-lagged copy (the off-chip frame buffer role the Zynq plays);
+//   ON cells fire on appearing energy, OFF cells on vanishing energy; a
+//   per-patch pooling neuron rate-codes regional motion energy.
+// What: per-region classifier cores band-classify the region's luminous
+//   mass (area × brightness — the archetypes are separable on this axis)
+//   through a threshold ladder and band-binding neurons.
+// Binding: decode_detections() fuses motion regions with class bands into
+//   labeled boxes per frame window.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "src/apps/app_common.hpp"
+#include "src/core/spike_sink.hpp"
+#include "src/vision/image.hpp"
+#include "src/vision/metrics.hpp"
+
+namespace nsc::apps {
+
+struct NeovisionApp {
+  AppNetwork net;
+  int region_cols = 0, region_rows = 0;  ///< What/Where region tiling.
+  int region_w = 0, region_h = 0;        ///< Region size in pixels.
+  core::Tick ticks_per_frame = 0;
+  int frames = 0;
+
+  /// Output bookkeeping for the decoder: flat sink indices.
+  std::vector<std::size_t> motion_index;              ///< per region.
+  std::vector<std::array<std::size_t, 5>> class_index;///< per region × class.
+  std::vector<std::array<std::size_t, 5>> ladder_index;  ///< per region × band.
+
+  /// Classifier calibration (drive units = expected spikes/tick).
+  std::array<int, 5> band_cut{};      ///< Ladder cuts, ascending.
+  std::array<double, 5> class_drive{};///< Expected full-object drive per class.
+  double bg_drive = 0.0;
+
+  /// Ground truth per frame (from the synthetic scene).
+  std::vector<std::vector<vision::LabeledBox>> ground_truth;
+};
+
+[[nodiscard]] NeovisionApp make_neovision_app(const AppConfig& cfg);
+
+/// Decodes labeled boxes per frame from windowed spike counts and matches
+/// them against the ground truth.
+struct NeovisionResult {
+  vision::DetectionCounts counts;
+  std::vector<std::vector<vision::LabeledBox>> detections;  ///< Per frame.
+};
+
+[[nodiscard]] NeovisionResult decode_detections(const NeovisionApp& app,
+                                                const core::WindowedCountSink& sink,
+                                                std::uint32_t motion_threshold = 2);
+
+}  // namespace nsc::apps

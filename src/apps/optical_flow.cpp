@@ -1,0 +1,256 @@
+#include "src/apps/optical_flow.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/corelet/corelet.hpp"
+#include "src/corelet/place.hpp"
+#include "src/vision/encode.hpp"
+#include "src/vision/scene.hpp"
+
+namespace nsc::apps {
+namespace {
+
+constexpr int kRegionPx = 16;
+constexpr int kStride = 2;
+constexpr int kSide = kRegionPx / kStride;        // 8 samples per axis
+constexpr int kSamples = kSide * kSide;           // 64 samples per region
+constexpr int kShift = 1;                         // detector offset, in samples
+
+/// Sample-offset of each direction's excitatory lagged tap: motion to the
+/// right means the pattern was at x−Δ one frame ago.
+constexpr int kTapDx[4] = {-kShift, kShift, 0, 0};
+constexpr int kTapDy[4] = {0, 0, -kShift, kShift};
+
+}  // namespace
+
+const char* flow_dir_name(FlowDir d) {
+  switch (d) {
+    case FlowDir::kRight: return "right";
+    case FlowDir::kLeft: return "left";
+    case FlowDir::kDown: return "down";
+    case FlowDir::kUp: return "up";
+  }
+  return "?";
+}
+
+OpticalFlowApp make_optical_flow_net(const AppConfig& cfg) {
+  OpticalFlowApp app;
+  app.region_cols = cfg.img_w / kRegionPx;
+  app.region_rows = cfg.img_h / kRegionPx;
+  app.region_px = kRegionPx;
+  app.ticks_per_frame = cfg.ticks_per_frame;
+  app.frames = cfg.frames;
+  const int regions = app.region_cols * app.region_rows;
+  app.opponency_index.resize(static_cast<std::size_t>(regions));
+
+  corelet::Corelet net("optical_flow");
+  std::vector<int> detect_core(static_cast<std::size_t>(regions));
+  std::vector<int> pool_core(static_cast<std::size_t>(regions));
+
+  for (int r = 0; r < regions; ++r) {
+    // Detector core: axons [0,64) now taps (type 0), [64,128) lagged taps
+    // (type 1). Detector neuron for direction d at interior sample (sx,sy):
+    //   +4·now(s)  +4·old(s + tap_d)  −4·old(s)      θ=6, leak −1.
+    // The lagged taps ride type 1 with both signs needed — impossible with
+    // one type — so the inhibitory self-lag tap rides type 2 via a second
+    // copy of the lagged taps on axons [128,192).
+    const int dc = net.add_core();
+    detect_core[static_cast<std::size_t>(r)] = dc;
+    core::CoreSpec& spec = net.core(dc);
+    for (int s = 0; s < kSamples; ++s) {
+      spec.axon_type[static_cast<std::size_t>(s)] = 0;
+      spec.axon_type[static_cast<std::size_t>(kSamples + s)] = 1;
+      spec.axon_type[static_cast<std::size_t>(2 * kSamples + s)] = 2;
+    }
+
+    const int pc = net.add_core();
+    pool_core[static_cast<std::size_t>(r)] = pc;
+    core::CoreSpec& pool = net.core(pc);
+
+    int j = 0;
+    int pool_axon = 0;
+    for (int d = 0; d < 4; ++d) {
+      for (int sy = kShift; sy < kSide - kShift; ++sy) {
+        for (int sx = kShift; sx < kSide - kShift; ++sx) {
+          const int s = sy * kSide + sx;
+          const int lag = (sy + kTapDy[d]) * kSide + (sx + kTapDx[d]);
+          spec.crossbar.set(s, j);                    // +now(s)
+          spec.crossbar.set(kSamples + lag, j);       // +old(s + tap)
+          spec.crossbar.set(2 * kSamples + s, j);     // −old(s)
+          core::NeuronParams& n = spec.neuron[j];
+          n.enabled = 1;
+          n.weight[0] = 4;
+          n.weight[1] = 4;
+          n.weight[2] = -4;
+          n.threshold = 6;
+          n.leak = -1;
+          n.neg_threshold = 0;
+          n.negative_mode = core::NegativeMode::kSaturate;
+          n.reset_mode = core::ResetMode::kAbsolute;
+          // Pool core: axon typed by direction.
+          pool.axon_type[static_cast<std::size_t>(pool_axon)] = static_cast<std::uint8_t>(d);
+          net.connect({dc, static_cast<std::uint16_t>(j)},
+                      {pc, static_cast<std::uint16_t>(pool_axon)}, 1);
+          ++j;
+          ++pool_axon;
+        }
+      }
+    }
+
+    // Opponency neurons: R−L, L−R, D−U, U−D, each reading all detector
+    // axons through per-type weights (+2 own direction, −2 opponent).
+    for (int d = 0; d < 4; ++d) {
+      const int opp = d ^ 1;  // right<->left, down<->up
+      const int neuron = d;
+      for (int a = 0; a < pool_axon; ++a) pool.crossbar.set(a, neuron);
+      core::NeuronParams& n = pool.neuron[neuron];
+      n.enabled = 1;
+      n.weight[d] = 2;
+      n.weight[opp] = -2;
+      // No decay: the directional evidence is a slow drift (opposing
+      // detector populations nearly cancel), so any leak would swamp it;
+      // the saturating negative floor bounds the integration instead.
+      n.threshold = 4;
+      n.leak = 0;
+      n.neg_threshold = 8;
+      n.negative_mode = core::NegativeMode::kSaturate;
+      n.reset_mode = core::ResetMode::kLinear;
+      net.add_output({pc, static_cast<std::uint16_t>(neuron)});
+    }
+  }
+
+  app.net.name = "optical_flow";
+  app.net.placed = corelet::place(net, corelet::fit_geometry(net));
+  app.net.ticks = static_cast<core::Tick>(cfg.frames) * cfg.ticks_per_frame;
+  for (int r = 0; r < regions; ++r) {
+    const core::CoreId pc =
+        app.net.placed.core_map[static_cast<std::size_t>(pool_core[static_cast<std::size_t>(r)])];
+    for (int d = 0; d < 4; ++d) {
+      app.opponency_index[static_cast<std::size_t>(r)][static_cast<std::size_t>(d)] =
+          static_cast<std::size_t>(pc) * core::kCoreSize + static_cast<std::size_t>(d);
+    }
+  }
+
+  return app;
+}
+
+void encode_flow_frames(OpticalFlowApp& app, const std::vector<vision::Image>& frames,
+                        std::uint64_t encoder_seed) {
+  const int regions = app.region_cols * app.region_rows;
+  const int img_w = app.region_cols * kRegionPx;
+  const vision::RateEncoder enc(0.5, encoder_seed);
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    const core::Tick t0 = static_cast<core::Tick>(f) * app.ticks_per_frame;
+    const vision::Image& now = frames[f];
+    const vision::Image& old = frames[f == 0 ? 0 : f - 1];
+    for (int r = 0; r < regions; ++r) {
+      const int rx = (r % app.region_cols) * kRegionPx;
+      const int ry = (r / app.region_cols) * kRegionPx;
+      // Detector core precedes its pool core in the placement map.
+      const core::CoreId dc = static_cast<core::CoreId>(
+          app.net.placed.core_map[static_cast<std::size_t>(2 * r)]);
+      for (int sy = 0; sy < kSide; ++sy) {
+        for (int sx = 0; sx < kSide; ++sx) {
+          const int x = rx + sx * kStride, y = ry + sy * kStride;
+          const auto pix = static_cast<std::uint32_t>(y * img_w + x);
+          const int s = sy * kSide + sx;
+          for (core::Tick dt = 0; dt < app.ticks_per_frame; ++dt) {
+            const core::Tick t = t0 + dt;
+            if (enc.fires(pix, t, now.at(x, y))) {
+              app.net.inputs.add(t, dc, static_cast<std::uint16_t>(s));
+            }
+            if (enc.fires(pix, t, old.at(x, y))) {
+              app.net.inputs.add(t, dc, static_cast<std::uint16_t>(kSamples + s));
+              app.net.inputs.add(t, dc, static_cast<std::uint16_t>(2 * kSamples + s));
+            }
+          }
+        }
+      }
+    }
+  }
+  app.net.inputs.finalize();
+}
+
+OpticalFlowApp make_optical_flow_app(const AppConfig& cfg) {
+  OpticalFlowApp app = make_optical_flow_net(cfg);
+
+  // Stimulus: moving objects, encoded with now + frame-lagged taps using
+  // common random numbers (see neovision.cpp).
+  vision::SceneConfig sc;
+  sc.width = cfg.img_w;
+  sc.height = cfg.img_h;
+  sc.objects = cfg.scene_objects;
+  sc.seed = cfg.seed;
+  sc.min_separation = 2 * kRegionPx;
+  // The Reichardt taps are tuned to ~2 px/frame (one sample): scale the
+  // walk speeds so velocities cluster there — slower motion never crosses
+  // the sample grid, much faster motion outruns the tap.
+  sc.speed_scale = 1.6;
+  vision::SyntheticScene scene(sc);
+  std::vector<vision::Image> frames;
+  std::vector<std::pair<double, double>> mean_v;
+  frames.reserve(static_cast<std::size_t>(cfg.frames));
+  for (int f = 0; f < cfg.frames; ++f) {
+    frames.push_back(scene.render());
+    // Ground truth: dominant axis of the mean displacement this frame.
+    const auto before = scene.ground_truth();
+    scene.step();
+    const auto after = scene.ground_truth();
+    double vx = 0, vy = 0;
+    for (std::size_t o = 0; o < before.size() && o < after.size(); ++o) {
+      vx += after[o].x - before[o].x;
+      vy += after[o].y - before[o].y;
+    }
+    mean_v.push_back({vx, vy});
+  }
+  // true_direction[f] refers to the displacement from frame f-1 to f. Only
+  // frames whose dominant axis clearly wins (≥ 2× the other) carry a label:
+  // near-diagonal motion has no well-defined four-way ground truth.
+  app.true_direction.assign(static_cast<std::size_t>(cfg.frames), -1);
+  for (int f = 1; f < cfg.frames; ++f) {
+    const auto [vx, vy] = mean_v[static_cast<std::size_t>(f - 1)];
+    if (std::abs(vx) >= 2.0 * std::abs(vy) && vx != 0) {
+      app.true_direction[static_cast<std::size_t>(f)] =
+          static_cast<int>(vx > 0 ? FlowDir::kRight : FlowDir::kLeft);
+    } else if (std::abs(vy) >= 2.0 * std::abs(vx) && vy != 0) {
+      app.true_direction[static_cast<std::size_t>(f)] =
+          static_cast<int>(vy > 0 ? FlowDir::kDown : FlowDir::kUp);
+    }
+  }
+
+  encode_flow_frames(app, frames, cfg.seed ^ 0xF10);
+  return app;
+}
+
+FlowResult decode_flow(const OpticalFlowApp& app, const core::WindowedCountSink& sink) {
+  FlowResult out;
+  const int regions = app.region_cols * app.region_rows;
+  for (std::size_t w = 0; w < sink.windows().size(); ++w) {
+    const auto& counts = sink.windows()[w];
+    std::uint64_t dir_energy[4] = {0, 0, 0, 0};
+    for (int r = 0; r < regions; ++r) {
+      for (int d = 0; d < 4; ++d) {
+        dir_energy[d] +=
+            counts[app.opponency_index[static_cast<std::size_t>(r)][static_cast<std::size_t>(d)]];
+      }
+    }
+    int best = -1;
+    std::uint64_t best_e = 0;
+    for (int d = 0; d < 4; ++d) {
+      if (dir_energy[d] > best_e) {
+        best_e = dir_energy[d];
+        best = d;
+      }
+    }
+    out.dominant_direction.push_back(best);
+    if (w >= 1 && w < app.true_direction.size() &&
+        app.true_direction[w] >= 0) {
+      ++out.scored_frames;
+      if (best == app.true_direction[w]) ++out.correct_frames;
+    }
+  }
+  return out;
+}
+
+}  // namespace nsc::apps

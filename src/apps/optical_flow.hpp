@@ -1,0 +1,65 @@
+// Optical flow corelet (paper §IV-A lists optical flow among the corelet
+// library's applications).
+//
+// Reichardt-style direction selectivity on frame-lagged taps: a rightward
+// detector at sample x fires when the current frame is bright at x AND the
+// previous frame was bright at x−Δ (the pattern moved right by Δ between
+// frames), with the stationary component suppressed by an inhibitory tap at
+// the detector's own position in the previous frame. Four direction
+// channels (R, L, U, D) per region feed an opponency stage (R−L, U−D) whose
+// outputs the decoder reads as a per-region flow field.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "src/apps/app_common.hpp"
+#include "src/core/spike_sink.hpp"
+#include "src/vision/image.hpp"
+
+namespace nsc::apps {
+
+enum class FlowDir : std::uint8_t { kRight = 0, kLeft, kDown, kUp };
+[[nodiscard]] const char* flow_dir_name(FlowDir d);
+
+struct OpticalFlowApp {
+  AppNetwork net;
+  int region_cols = 0, region_rows = 0;
+  int region_px = 0;
+  core::Tick ticks_per_frame = 0;
+  int frames = 0;
+  /// Flat sink index of the opponency neuron for (region, direction).
+  std::vector<std::array<std::size_t, 4>> opponency_index;
+  /// Ground truth dominant direction per frame (from object velocities),
+  /// or -1 when no object moves in that frame.
+  std::vector<int> true_direction;
+};
+
+/// Builds the flow network only (no stimulus); callers encode frames via
+/// encode_flow_frames. `true_direction` stays empty.
+[[nodiscard]] OpticalFlowApp make_optical_flow_net(const AppConfig& cfg);
+
+/// Rate-encodes `frames` (with the common-random-number frame-lagged taps)
+/// into `app.net.inputs` and finalizes the schedule. Call once.
+void encode_flow_frames(OpticalFlowApp& app, const std::vector<vision::Image>& frames,
+                        std::uint64_t encoder_seed);
+
+/// Convenience: network + synthetic-scene stimulus + ground-truth labels.
+[[nodiscard]] OpticalFlowApp make_optical_flow_app(const AppConfig& cfg);
+
+/// Decoded flow: per frame, the dominant direction over all regions
+/// (argmax of summed opponency spikes; -1 if no motion energy).
+struct FlowResult {
+  std::vector<int> dominant_direction;  ///< Per frame.
+  int correct_frames = 0;               ///< Frames matching ground truth.
+  int scored_frames = 0;
+
+  [[nodiscard]] double accuracy() const {
+    return scored_frames ? static_cast<double>(correct_frames) / scored_frames : 0.0;
+  }
+};
+
+[[nodiscard]] FlowResult decode_flow(const OpticalFlowApp& app,
+                                     const core::WindowedCountSink& sink);
+
+}  // namespace nsc::apps

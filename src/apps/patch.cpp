@@ -1,0 +1,47 @@
+#include "src/apps/patch.hpp"
+
+#include <cassert>
+
+namespace nsc::apps {
+
+void configure_pair_axons(core::CoreSpec& spec, int pixels) {
+  assert(pixels <= kMaxPatchPixels);
+  for (int p = 0; p < pixels; ++p) {
+    spec.axon_type[static_cast<std::size_t>(2 * p)] = 0;
+    spec.axon_type[static_cast<std::size_t>(2 * p + 1)] = 1;
+  }
+}
+
+void encode_frames(const PatchGrid& grid, std::span<const vision::Image> frames,
+                   core::Tick ticks_per_frame, const vision::RateEncoder& enc,
+                   const corelet::PlacedCorelet& placed, const std::vector<int>& patch_core_local,
+                   core::InputSchedule& out) {
+  assert(static_cast<int>(patch_core_local.size()) == grid.count());
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    const vision::Image& img = frames[f];
+    const core::Tick t0 = static_cast<core::Tick>(f) * ticks_per_frame;
+    for (int k = 0; k < grid.count(); ++k) {
+      const PatchGrid::Patch pa = grid.patch(k);
+      const core::CoreId cid =
+          placed.core_map[static_cast<std::size_t>(patch_core_local[static_cast<std::size_t>(k)])];
+      for (int yy = 0; yy < pa.h; ++yy) {
+        for (int xx = 0; xx < pa.w; ++xx) {
+          const std::uint8_t v = img.at(pa.x0 + xx, pa.y0 + yy);
+          if (v == 0) continue;
+          const auto pixel_id =
+              static_cast<std::uint32_t>((pa.y0 + yy) * grid.img_w + (pa.x0 + xx));
+          const int lp = yy * pa.w + xx;
+          for (core::Tick dt = 0; dt < ticks_per_frame; ++dt) {
+            const core::Tick t = t0 + dt;
+            if (!enc.fires(pixel_id, t, v)) continue;
+            out.add(t, cid, PatchGrid::plus_axon(lp));
+            out.add(t, cid, PatchGrid::minus_axon(lp));
+          }
+        }
+      }
+    }
+  }
+  out.finalize();
+}
+
+}  // namespace nsc::apps

@@ -1,0 +1,73 @@
+// Patch decomposition shared by the vision corelets.
+//
+// A feature core sees one image patch. Every patch pixel owns an *axon
+// pair*: axon 2p (type 0, the "plus" tap) and axon 2p+1 (type 1, the
+// "minus" tap) carry identical spike trains; a neuron takes the pixel with
+// weight S⁰ by connecting to the plus tap or with S¹ by connecting to the
+// minus tap. This is the standard TrueNorth idiom for signed kernels over a
+// binary crossbar: arbitrary ±-patterned receptive fields from per-neuron
+// axon-type weights. Patches hold ≤128 pixels so the pair layout fits the
+// 256 axons of one core.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/core/input_schedule.hpp"
+#include "src/corelet/place.hpp"
+#include "src/vision/encode.hpp"
+#include "src/vision/image.hpp"
+
+namespace nsc::apps {
+
+inline constexpr int kMaxPatchPixels = 128;
+
+struct PatchGrid {
+  int img_w = 64, img_h = 64;
+  int patch_w = 16, patch_h = 8;  ///< 128 pixels by default.
+
+  [[nodiscard]] int cols() const { return (img_w + patch_w - 1) / patch_w; }
+  [[nodiscard]] int rows() const { return (img_h + patch_h - 1) / patch_h; }
+  [[nodiscard]] int count() const { return cols() * rows(); }
+
+  struct Patch {
+    int x0, y0, w, h;
+    [[nodiscard]] int pixels() const { return w * h; }
+  };
+
+  [[nodiscard]] Patch patch(int index) const {
+    const int px = index % cols(), py = index / cols();
+    const int x0 = px * patch_w, y0 = py * patch_h;
+    return {x0, y0, std::min(patch_w, img_w - x0), std::min(patch_h, img_h - y0)};
+  }
+
+  /// Local pixel index within patch, or -1 when (x, y) is outside it.
+  [[nodiscard]] static int local_pixel(const Patch& p, int x, int y) {
+    if (x < p.x0 || y < p.y0 || x >= p.x0 + p.w || y >= p.y0 + p.h) return -1;
+    return (y - p.y0) * p.w + (x - p.x0);
+  }
+
+  /// Plus/minus axons of a local pixel.
+  [[nodiscard]] static std::uint16_t plus_axon(int local_pixel) {
+    return static_cast<std::uint16_t>(2 * local_pixel);
+  }
+  [[nodiscard]] static std::uint16_t minus_axon(int local_pixel) {
+    return static_cast<std::uint16_t>(2 * local_pixel + 1);
+  }
+};
+
+/// Marks the pair-tap axon types on a patch core (even axons type 0, odd
+/// axons type 1) for the first `pixels` pixels.
+void configure_pair_axons(core::CoreSpec& spec, int pixels);
+
+/// Rate-encodes `frames` (each shown for `ticks_per_frame`) into `out`,
+/// delivering every pixel's identical spike train to its axon pair on the
+/// owning patch core. `patch_core_local[k]` is the local corelet core index
+/// of patch k; draws are keyed by global pixel id so overlapping consumers
+/// stay correlated.
+void encode_frames(const PatchGrid& grid, std::span<const vision::Image> frames,
+                   core::Tick ticks_per_frame, const vision::RateEncoder& enc,
+                   const corelet::PlacedCorelet& placed, const std::vector<int>& patch_core_local,
+                   core::InputSchedule& out);
+
+}  // namespace nsc::apps

@@ -1,0 +1,129 @@
+#include "src/apps/saccade.hpp"
+
+#include <vector>
+
+#include "src/apps/saliency.hpp"
+#include "src/corelet/lib.hpp"
+#include "src/corelet/place.hpp"
+#include "src/vision/scene.hpp"
+
+namespace nsc::apps {
+
+SaccadeApp make_saccade_app(const AppConfig& cfg) {
+  SaliencyCorelet sal = build_saliency_corelet(cfg.img_w, cfg.img_h);
+  const int n = static_cast<int>(sal.energy_pins.size());
+  const int kIorDelay = 25;
+
+  corelet::Corelet net("saccade");
+  const int sal_off = net.absorb(std::move(sal.net));
+
+  // WTA-with-IoR core. Axons: [0,n) saliency-energy inputs (type 0),
+  // [n,2n) winner feedback (type 1), [2n,3n) inhibition-of-return (type 2).
+  // Neurons: [0,n) winners, [n,2n) output copies, [2n,3n) IoR copies.
+  const int wta = net.add_core();
+  {
+    core::CoreSpec& spec = net.core(wta);
+    for (int i = 0; i < n; ++i) {
+      spec.axon_type[static_cast<std::size_t>(i)] = 0;
+      spec.axon_type[static_cast<std::size_t>(n + i)] = 1;
+      spec.axon_type[static_cast<std::size_t>(2 * n + i)] = 2;
+    }
+    for (int j = 0; j < n; ++j) {
+      // Winner j: excited by region j's saliency energy, inhibited by all
+      // other winners and by its own delayed IoR echo.
+      spec.crossbar.set(j, j);
+      for (int i = 0; i < n; ++i) {
+        if (i != j) spec.crossbar.set(n + i, j);
+      }
+      spec.crossbar.set(2 * n + j, j);
+      core::NeuronParams& w = spec.neuron[j];
+      w.enabled = 1;
+      // Saliency-energy inputs arrive well below 1 spike/tick, so the
+      // excitation must integrate without decay; inhibition and IoR supply
+      // all the competitive dynamics.
+      w.weight[0] = 8;
+      w.weight[1] = -10;
+      w.weight[2] = -40;
+      w.threshold = 12;
+      w.leak = 0;
+      w.neg_threshold = 24;
+      w.negative_mode = core::NegativeMode::kSaturate;
+      w.reset_mode = core::ResetMode::kAbsolute;
+      net.connect({wta, static_cast<std::uint16_t>(j)},
+                  {wta, static_cast<std::uint16_t>(n + j)}, 1);
+
+      // Output copy (external saccade signal) and IoR copy (loop driver),
+      // both fed by the winner's feedback row.
+      spec.crossbar.set(n + j, n + j);
+      spec.crossbar.set(n + j, 2 * n + j);
+      for (int copy : {n + j, 2 * n + j}) {
+        core::NeuronParams& cpy = spec.neuron[copy];
+        cpy.enabled = 1;
+        cpy.weight[1] = 1;
+        cpy.threshold = 1;
+        cpy.reset_mode = core::ResetMode::kAbsolute;
+      }
+      net.add_output({wta, static_cast<std::uint16_t>(n + j)});
+    }
+  }
+
+  // Close the IoR loop through a delay line: winner spike → 25 ticks later
+  // the same channel's IoR axon is struck.
+  const int dl_off = net.absorb(corelet::make_delay_line(n, kIorDelay - 2));
+  // (−2: one tick through the feedback axon, one through the IoR copy.)
+  {
+    // Wire: IoR copy → delay line input; delay line output → IoR axon.
+    // Delay-line pins were exported before absorb, so rebase them.
+    for (int j = 0; j < n; ++j) {
+      net.connect({wta, static_cast<std::uint16_t>(2 * n + j)},
+                  {dl_off, static_cast<std::uint16_t>(j)}, 1);
+    }
+  }
+
+  // The delay line's terminal relay is its last core; find each channel's
+  // terminal neuron via the line's exported outputs, which absorb() did not
+  // import — reconstruct: make_delay_line chains relays; outputs live on
+  // the final relay core with neuron index == channel. The final core is
+  // the last absorbed core.
+  const int dl_last = net.core_count() - 1;
+  for (int j = 0; j < n; ++j) {
+    net.connect({dl_last, static_cast<std::uint16_t>(j)},
+                {wta, static_cast<std::uint16_t>(2 * n + j)}, 1);
+  }
+
+  // Wire saliency energy outputs into the WTA inputs.
+  for (int j = 0; j < n; ++j) {
+    const corelet::OutputPin e = corelet::Corelet::offset_pin(sal.energy_pins[static_cast<std::size_t>(j)], sal_off);
+    net.connect(e, {wta, static_cast<std::uint16_t>(j)}, 1);
+  }
+
+  SaccadeApp app;
+  app.regions = n;
+  app.ior_delay_ticks = kIorDelay;
+  app.net.name = "saccade";
+  app.net.placed = corelet::place(net, corelet::fit_geometry(net));
+  app.net.ticks = static_cast<core::Tick>(cfg.frames) * cfg.ticks_per_frame;
+
+  // Stimulus identical to the saliency app.
+  std::vector<int> patch_core;
+  patch_core.reserve(sal.patch_core.size());
+  for (int c : sal.patch_core) patch_core.push_back(c + sal_off);
+  vision::SceneConfig sc;
+  sc.width = cfg.img_w;
+  sc.height = cfg.img_h;
+  sc.objects = cfg.scene_objects;
+  sc.seed = cfg.seed;
+  vision::SyntheticScene scene(sc);
+  std::vector<vision::Image> frames;
+  frames.reserve(static_cast<std::size_t>(cfg.frames));
+  for (int f = 0; f < cfg.frames; ++f) {
+    frames.push_back(scene.render());
+    scene.step();
+  }
+  const vision::RateEncoder enc(0.5, cfg.seed ^ 0x5ACC);
+  encode_frames(sal.grid, frames, cfg.ticks_per_frame, enc, app.net.placed, patch_core,
+                app.net.inputs);
+  return app;
+}
+
+}  // namespace nsc::apps

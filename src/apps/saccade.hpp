@@ -1,0 +1,21 @@
+// Saccade corelet (paper §IV-B): selects regions of interest by applying
+// winner-take-all to the saliency map, with temporal inhibition-of-return so
+// attention explores the scene instead of locking onto one region.
+//
+// Composition showcase: absorbs the saliency corelet, adds a WTA stage with
+// an inhibition-of-return loop closed through a delay-line corelet.
+#pragma once
+
+#include "src/apps/app_common.hpp"
+
+namespace nsc::apps {
+
+struct SaccadeApp {
+  AppNetwork net;
+  int regions = 0;          ///< WTA channels (one per image patch).
+  int ior_delay_ticks = 0;  ///< Inhibition-of-return loop latency.
+};
+
+[[nodiscard]] SaccadeApp make_saccade_app(const AppConfig& cfg);
+
+}  // namespace nsc::apps

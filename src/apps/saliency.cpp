@@ -1,0 +1,121 @@
+#include "src/apps/saliency.hpp"
+
+#include "src/corelet/place.hpp"
+#include "src/vision/scene.hpp"
+
+namespace nsc::apps {
+namespace {
+
+/// Ring offsets: scale A at radius 1 (8-neighborhood), scale B at radius 2.
+constexpr int kRingA[8][2] = {{-1, -1}, {0, -1}, {1, -1}, {-1, 0},
+                              {1, 0},   {-1, 1}, {0, 1},  {1, 1}};
+constexpr int kRingB[8][2] = {{-2, -2}, {0, -2}, {2, -2}, {-2, 0},
+                              {2, 0},   {-2, 2}, {0, 2},  {2, 2}};
+
+}  // namespace
+
+SaliencyCorelet build_saliency_corelet(int img_w, int img_h) {
+  SaliencyCorelet s;
+  s.grid = PatchGrid{img_w, img_h, 16, 8};
+
+  for (int k = 0; k < s.grid.count(); ++k) {
+    const PatchGrid::Patch pa = s.grid.patch(k);
+    const int l1 = s.net.add_core();
+    s.patch_core.push_back(l1);
+    core::CoreSpec& spec = s.net.core(l1);
+    configure_pair_axons(spec, pa.pixels());
+
+    const int l2 = s.net.add_core();
+    core::CoreSpec& combine = s.net.core(l2);
+
+    // Layer 1: one DoG neuron per (center, scale); both scales share the
+    // stride-2 interior center grid with a 2-pixel margin.
+    int centers = 0;
+    int j = 0;
+    for (int cy = 2; cy < pa.h - 2; cy += 2) {
+      for (int cx = 2; cx < pa.w - 2; cx += 2) {
+        for (int scale = 0; scale < 2; ++scale) {
+          const auto& ring = scale == 0 ? kRingA : kRingB;
+          const int lc = cy * pa.w + cx;
+          spec.crossbar.set(PatchGrid::plus_axon(lc), j);
+          for (const auto& d : ring) {
+            const int ln = (cy + d[1]) * pa.w + (cx + d[0]);
+            spec.crossbar.set(PatchGrid::minus_axon(ln), j);
+          }
+          core::NeuronParams& p = spec.neuron[j];
+          p.enabled = 1;
+          p.weight[0] = 8;   // balanced center-surround: +8 vs 8 × (−1)
+          p.weight[1] = -1;
+          p.threshold = 8;
+          p.leak = -1;
+          p.negative_mode = core::NegativeMode::kSaturate;
+          p.reset_mode = core::ResetMode::kLinear;
+          // Combine core axon j carries (center, scale).
+          s.net.connect({l1, static_cast<std::uint16_t>(j)},
+                        {l2, static_cast<std::uint16_t>(j)}, core::kMinDelay);
+          ++j;
+        }
+        ++centers;
+      }
+    }
+    s.centers_per_patch = centers;
+
+    // Layer 2: per-center map neurons (sum of the two scales) and one
+    // region-energy neuron over everything.
+    for (int c = 0; c < centers; ++c) {
+      combine.crossbar.set(2 * c, c);
+      combine.crossbar.set(2 * c + 1, c);
+      core::NeuronParams& p = combine.neuron[c];
+      p.enabled = 1;
+      p.weight[0] = 1;
+      p.threshold = 2;
+      p.leak = -1;
+      p.negative_mode = core::NegativeMode::kSaturate;
+      p.reset_mode = core::ResetMode::kLinear;
+      s.map_pins.push_back({l2, static_cast<std::uint16_t>(c)});
+    }
+    const int energy = centers;
+    for (int a = 0; a < 2 * centers; ++a) combine.crossbar.set(a, energy);
+    core::NeuronParams& pe = combine.neuron[energy];
+    pe.enabled = 1;
+    pe.weight[0] = 1;
+    pe.threshold = 10;
+    pe.leak = -1;
+    pe.negative_mode = core::NegativeMode::kSaturate;
+    pe.reset_mode = core::ResetMode::kLinear;
+    s.energy_pins.push_back({l2, static_cast<std::uint16_t>(energy)});
+  }
+  return s;
+}
+
+SaliencyApp make_saliency_app(const AppConfig& cfg) {
+  SaliencyCorelet s = build_saliency_corelet(cfg.img_w, cfg.img_h);
+  for (const auto& pin : s.map_pins) s.net.add_output(pin);
+  for (const auto& pin : s.energy_pins) s.net.add_output(pin);
+
+  SaliencyApp app;
+  app.centers_per_patch = s.centers_per_patch;
+  app.patches = s.grid.count();
+  app.net.name = "saliency";
+  app.net.placed = corelet::place(s.net, corelet::fit_geometry(s.net));
+  app.net.ticks = static_cast<core::Tick>(cfg.frames) * cfg.ticks_per_frame;
+
+  vision::SceneConfig sc;
+  sc.width = cfg.img_w;
+  sc.height = cfg.img_h;
+  sc.objects = cfg.scene_objects;
+  sc.seed = cfg.seed;
+  vision::SyntheticScene scene(sc);
+  std::vector<vision::Image> frames;
+  frames.reserve(static_cast<std::size_t>(cfg.frames));
+  for (int f = 0; f < cfg.frames; ++f) {
+    frames.push_back(scene.render());
+    scene.step();
+  }
+  const vision::RateEncoder enc(0.5, cfg.seed ^ 0x5A11);
+  encode_frames(s.grid, frames, cfg.ticks_per_frame, enc, app.net.placed, s.patch_core,
+                app.net.inputs);
+  return app;
+}
+
+}  // namespace nsc::apps

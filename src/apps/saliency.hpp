@@ -1,0 +1,38 @@
+// Saliency-map corelet (paper §IV-B): center-surround (difference-of-
+// Gaussians style) contrast at two scales, combined into a per-location
+// saliency map plus a per-region saliency energy signal.
+//
+// Exposed as a reusable builder because the saccade system (saccade.hpp)
+// composes it with a winner-take-all stage — the corelet-composition
+// workflow of the paper's CPE.
+#pragma once
+
+#include <vector>
+
+#include "src/apps/app_common.hpp"
+#include "src/apps/patch.hpp"
+#include "src/corelet/corelet.hpp"
+
+namespace nsc::apps {
+
+struct SaliencyCorelet {
+  corelet::Corelet net{"saliency"};
+  PatchGrid grid;
+  std::vector<int> patch_core;              ///< Layer-1 core per patch (encoding target).
+  std::vector<corelet::OutputPin> map_pins; ///< Saliency map, patch-major then center.
+  std::vector<corelet::OutputPin> energy_pins;  ///< One per patch (region energy).
+  int centers_per_patch = 0;
+};
+
+/// Builds the two-layer saliency network for a full image.
+[[nodiscard]] SaliencyCorelet build_saliency_corelet(int img_w, int img_h);
+
+struct SaliencyApp {
+  AppNetwork net;
+  int centers_per_patch = 0;
+  int patches = 0;
+};
+
+[[nodiscard]] SaliencyApp make_saliency_app(const AppConfig& cfg);
+
+}  // namespace nsc::apps

@@ -1,0 +1,58 @@
+#include "src/compass/partition.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nsc::compass {
+
+double core_load_estimate(const core::CoreSpec& spec) {
+  if (spec.disabled) return 0.0;
+  int enabled = 0;
+  for (const auto& p : spec.neuron) enabled += p.enabled ? 1 : 0;
+  // Neuron updates run every tick; synaptic work is event-driven and scales
+  // with crossbar population. The 1/16 activity factor approximates typical
+  // cortical firing sparsity; balancing only needs relative weights.
+  return static_cast<double>(enabled) + static_cast<double>(spec.crossbar.count()) / 16.0;
+}
+
+std::vector<CoreRange> partition_balanced(const core::Network& net, int parts) {
+  assert(parts >= 1);
+  const auto ncores = static_cast<core::CoreId>(net.geom.total_cores());
+  std::vector<double> prefix(static_cast<std::size_t>(ncores) + 1, 0.0);
+  for (core::CoreId c = 0; c < ncores; ++c) {
+    prefix[static_cast<std::size_t>(c) + 1] =
+        prefix[static_cast<std::size_t>(c)] + core_load_estimate(net.core(c));
+  }
+  const double total = prefix.back();
+
+  std::vector<CoreRange> ranges;
+  ranges.reserve(static_cast<std::size_t>(parts));
+  core::CoreId cursor = 0;
+  for (int p = 0; p < parts; ++p) {
+    const double target = total * static_cast<double>(p + 1) / parts;
+    // First core index whose prefix load reaches the target; ranges stay
+    // contiguous and monotone.
+    core::CoreId hi = cursor;
+    while (hi < ncores && prefix[static_cast<std::size_t>(hi) + 1] < target) ++hi;
+    if (hi < ncores) ++hi;
+    if (p == parts - 1) hi = ncores;  // last range absorbs any remainder
+    ranges.push_back({cursor, hi});
+    cursor = hi;
+  }
+  return ranges;
+}
+
+double load_imbalance(const core::Network& net, const std::vector<CoreRange>& parts) {
+  if (parts.empty()) return 1.0;
+  double max_load = 0.0, sum = 0.0;
+  for (const CoreRange& r : parts) {
+    double load = 0.0;
+    for (core::CoreId c = r.begin; c < r.end; ++c) load += core_load_estimate(net.core(c));
+    max_load = std::max(max_load, load);
+    sum += load;
+  }
+  const double mean = sum / static_cast<double>(parts.size());
+  return mean > 0.0 ? max_load / mean : 1.0;
+}
+
+}  // namespace nsc::compass

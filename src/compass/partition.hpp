@@ -1,0 +1,39 @@
+// Core-to-process partitioning with load balancing (paper §III-B: Compass
+// "uses meticulous load-balancing" and exploits spatial structure).
+//
+// Partitions are contiguous core ranges: contiguity preserves the canonical
+// (core, neuron) spike order when per-partition outputs are concatenated,
+// and it maps cleanly onto the clustered topology the kernel assumes.
+// Balancing weighs each core by its expected per-tick work: enabled neurons
+// (leak/threshold every tick) plus active synapses (event-driven, scaled by
+// expected activity).
+#pragma once
+
+#include <vector>
+
+#include "src/core/network.hpp"
+
+namespace nsc::compass {
+
+/// Half-open range of cores owned by one simulated process.
+struct CoreRange {
+  core::CoreId begin = 0;
+  core::CoreId end = 0;
+
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(end - begin); }
+  [[nodiscard]] bool contains(core::CoreId c) const noexcept { return c >= begin && c < end; }
+};
+
+/// Splits the network's cores into `parts` contiguous ranges with near-equal
+/// estimated load. Always returns exactly `parts` ranges (possibly empty
+/// trailing ones for tiny networks).
+[[nodiscard]] std::vector<CoreRange> partition_balanced(const core::Network& net, int parts);
+
+/// Estimated per-tick work of one core (arbitrary units, used for balancing).
+[[nodiscard]] double core_load_estimate(const core::CoreSpec& spec);
+
+/// Largest partition load divided by mean partition load (1.0 = perfect).
+[[nodiscard]] double load_imbalance(const core::Network& net,
+                                    const std::vector<CoreRange>& parts);
+
+}  // namespace nsc::compass

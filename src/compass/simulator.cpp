@@ -1,0 +1,198 @@
+#include "src/compass/simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nsc::compass {
+
+using core::CoreId;
+using core::kCoreSize;
+using core::NeuronParams;
+using core::Tick;
+
+Simulator::Simulator(const core::Network& net, Config cfg)
+    : net_(net),
+      cfg_(cfg),
+      prng_(net.seed),
+      parts_(partition_balanced(net, cfg.threads)),
+      pool_(std::make_unique<util::ThreadPool>(cfg.threads)),
+      v_(static_cast<std::size_t>(net.geom.total_cores()) * kCoreSize, 0),
+      delay_(static_cast<std::size_t>(net.geom.total_cores()) * kDelaySlots),
+      enabled_(static_cast<std::size_t>(net.geom.total_cores())),
+      enabled_count_(static_cast<std::size_t>(net.geom.total_cores()), 0),
+      target_ok_(static_cast<std::size_t>(net.geom.total_cores()) * kCoreSize, 0),
+      outbox_(static_cast<std::size_t>(cfg.threads) * static_cast<std::size_t>(cfg.threads)),
+      spike_buf_(static_cast<std::size_t>(cfg.threads)),
+      local_(static_cast<std::size_t>(cfg.threads)) {
+  const auto ncores = static_cast<CoreId>(net.geom.total_cores());
+  for (CoreId c = 0; c < ncores; ++c) {
+    const core::CoreSpec& spec = net.core(c);
+    for (int j = 0; j < kCoreSize; ++j) {
+      v_[static_cast<std::size_t>(c) * kCoreSize + static_cast<std::size_t>(j)] =
+          spec.neuron[j].init_v;
+    }
+    if (spec.disabled) continue;
+    for (int j = 0; j < kCoreSize; ++j) {
+      const NeuronParams& p = spec.neuron[j];
+      if (!p.enabled) continue;
+      enabled_[c].set(j);
+      ++enabled_count_[c];
+      const std::size_t nid = static_cast<std::size_t>(c) * kCoreSize + static_cast<std::size_t>(j);
+      if (p.target.valid() && p.target.core < ncores && !net.core(p.target.core).disabled) {
+        target_ok_[nid] = 1;
+      }
+    }
+  }
+}
+
+Simulator::~Simulator() = default;
+
+void Simulator::reset_stats() {
+  stats_.reset();
+  messages_ = 0;
+}
+
+void Simulator::phase_compute(int p, Tick t, const core::InputSchedule* inputs, bool record) {
+  const CoreRange range = parts_[static_cast<std::size_t>(p)];
+  const int P = cfg_.threads;
+  LocalStats& ls = local_[static_cast<std::size_t>(p)];
+
+  if (inputs != nullptr) {
+    for (const core::InputSpike& s : inputs->at(t)) {
+      if (range.contains(s.core) && !net_.core(s.core).disabled) slot_of(s.core, t).set(s.axon);
+    }
+  }
+
+  std::int32_t acc[kCoreSize];
+  for (CoreId c = range.begin; c < range.end; ++c) {
+    util::BitRow256& axons = slot_of(c, t);
+    const core::CoreSpec& spec = net_.core(c);
+    if (spec.disabled) {
+      axons.reset();
+      continue;
+    }
+    const std::uint64_t core_axons = static_cast<std::uint64_t>(axons.count());
+    if (enabled_count_[c] == 0) {
+      axons.reset();
+      ls.axon_events += core_axons;
+      continue;
+    }
+
+    if (core_axons != 0) {
+      std::fill(acc, acc + kCoreSize, 0);
+      axons.for_each_set([&](int i) {
+        const int g = spec.axon_type[static_cast<std::size_t>(i)];
+        util::BitRow256 masked = spec.crossbar.row(i);
+        for (int w = 0; w < util::BitRow256::kWords; ++w) {
+          masked.set_word(w, masked.word(w) & enabled_[c].word(w));
+        }
+        masked.for_each_set([&](int j) {
+          const NeuronParams& pj = spec.neuron[j];
+          if (pj.stochastic_weight == 0) {
+            acc[j] += pj.weight[g];
+          } else {
+            acc[j] += core::synapse_delta(pj, g, prng_, c, static_cast<std::uint32_t>(j), t,
+                                          static_cast<std::uint32_t>(i));
+          }
+          ++ls.sops;
+        });
+      });
+    }
+
+    enabled_[c].for_each_set([&](int j) {
+      const NeuronParams& pj = spec.neuron[j];
+      const std::size_t nid = static_cast<std::size_t>(c) * kCoreSize + static_cast<std::size_t>(j);
+      std::int32_t vj = v_[nid];
+      if (core_axons != 0) {
+        vj = core::clamp_potential(static_cast<std::int64_t>(vj) + acc[j]);
+      }
+      ++ls.neuron_updates;
+      const bool fired =
+          core::leak_threshold_update(vj, pj, prng_, c, static_cast<std::uint32_t>(j), t);
+      v_[nid] = vj;
+      if (!fired) return;
+
+      ++ls.spikes;
+      if (record) spike_buf_[static_cast<std::size_t>(p)].push_back({t, c, static_cast<std::uint16_t>(j)});
+      if (target_ok_[nid] == 0) {
+        ++ls.dropped;
+        return;
+      }
+      const Tick arrive = t + pj.target.delay;
+      if (range.contains(pj.target.core)) {
+        // Local delivery: straight into the owner's own delay buffer.
+        slot_of(pj.target.core, arrive).set(pj.target.axon);
+      } else {
+        // Remote delivery: enqueue for the owning process. In aggregated
+        // mode the whole outbox is one logical message; otherwise every
+        // delivery is its own message (counted in phase_exchange).
+        int dst = 0;
+        while (!parts_[static_cast<std::size_t>(dst)].contains(pj.target.core)) ++dst;
+        outbox_[static_cast<std::size_t>(p) * static_cast<std::size_t>(P) +
+                static_cast<std::size_t>(dst)]
+            .push_back({pj.target.core, pj.target.axon,
+                        static_cast<std::uint16_t>(arrive % kDelaySlots)});
+      }
+    });
+
+    axons.reset();
+    ls.axon_events += core_axons;
+  }
+
+  // Message accounting for this tick's sends.
+  for (int dst = 0; dst < P; ++dst) {
+    if (dst == p) continue;
+    const auto& box = outbox_[static_cast<std::size_t>(p) * static_cast<std::size_t>(P) +
+                              static_cast<std::size_t>(dst)];
+    if (box.empty()) continue;
+    ls.messages += cfg_.aggregate_messages ? 1 : box.size();
+  }
+}
+
+void Simulator::phase_exchange(int p) {
+  const int P = cfg_.threads;
+  for (int src = 0; src < P; ++src) {
+    auto& box = outbox_[static_cast<std::size_t>(src) * static_cast<std::size_t>(P) +
+                        static_cast<std::size_t>(p)];
+    for (const Delivery& d : box) {
+      delay_[static_cast<std::size_t>(d.core) * kDelaySlots + d.slot].set(d.axon);
+    }
+    box.clear();
+  }
+}
+
+void Simulator::run(Tick nticks, const core::InputSchedule* inputs, core::SpikeSink* sink) {
+  const bool record = sink != nullptr;
+  for (Tick i = 0; i < nticks; ++i) {
+    const Tick t = now_;
+    // Phase 1+2 (synapse + neuron), all processes in parallel; run_all joins,
+    // which is the first of the kernel's two per-tick synchronization steps.
+    pool_->run_all([&](int p) { phase_compute(p, t, inputs, record); });
+    // Exchange: every process drains the outboxes addressed to it. The join
+    // below is the second synchronization step.
+    pool_->run_all([&](int p) { phase_exchange(p); });
+    if (record) {
+      // Partitions are contiguous ascending core ranges, so concatenation is
+      // the canonical (core, neuron) order.
+      for (auto& buf : spike_buf_) {
+        for (const core::Spike& s : buf) sink->on_spike(s.tick, s.core, s.neuron);
+        buf.clear();
+      }
+      sink->on_tick_end(t);
+    }
+    ++stats_.ticks;
+    ++now_;
+  }
+  // Fold per-process counters into the aggregate view.
+  for (auto& ls : local_) {
+    stats_.spikes += ls.spikes;
+    stats_.sops += ls.sops;
+    stats_.axon_events += ls.axon_events;
+    stats_.neuron_updates += ls.neuron_updates;
+    stats_.dropped_spikes += ls.dropped;
+    messages_ += ls.messages;
+    ls = LocalStats{};
+  }
+}
+
+}  // namespace nsc::compass

@@ -1,0 +1,111 @@
+// Compass expression of the kernel: a multi-threaded, message-passing
+// function-level simulator (paper §III-B).
+//
+// Each simulated "process" (thread) owns a contiguous, load-balanced range of
+// cores and their state. One tick runs the kernel's three phases
+// (Listing 1):
+//   Synapse+Neuron phase — each process integrates pending axon events and
+//     runs leak/threshold/fire for its local neurons; spikes to local cores
+//     are written straight into the local delay buffers, spikes to remote
+//     cores are appended to a per-destination outbox (message aggregation:
+//     all spikes between a pair of processes travel as one "message" per
+//     tick, the optimization Compass used to cut MPI message counts).
+//   Exchange phase — after a barrier, every process drains the outboxes
+//     addressed to it into its own delay buffers (double-buffered, race-free
+//     by construction).
+//   Commit phase — after a second barrier, recorded output spikes are
+//     emitted in canonical (core, neuron) order. Two barriers per tick match
+//     the paper's "innovative synchronization scheme requiring just two
+//     communication steps regardless of the number of the processors".
+//
+// Functional behaviour is spike-for-spike identical to tn::TrueNorthSimulator
+// for every network, thread count and seed — the property the paper's 413k
+// regression methodology checks between Compass and TrueNorth silicon.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/compass/partition.hpp"
+#include "src/core/input_schedule.hpp"
+#include "src/core/network.hpp"
+#include "src/util/barrier.hpp"
+#include "src/util/bitrow.hpp"
+#include "src/util/prng.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace nsc::compass {
+
+struct Config {
+  int threads = 1;                 ///< Simulated processes (1..hardware limit).
+  bool aggregate_messages = true;  ///< Ablation: false = one message per spike.
+};
+
+class Simulator final : public core::Simulator {
+ public:
+  /// The network must outlive the simulator.
+  Simulator(const core::Network& net, Config cfg);
+  ~Simulator() override;
+
+  void run(core::Tick nticks, const core::InputSchedule* inputs, core::SpikeSink* sink) override;
+  [[nodiscard]] core::Tick now() const override { return now_; }
+  [[nodiscard]] const core::KernelStats& stats() const override { return stats_; }
+  void reset_stats() override;
+
+  [[nodiscard]] std::int32_t potential(core::CoreId c, int neuron) const {
+    return v_[static_cast<std::size_t>(c) * core::kCoreSize + static_cast<std::size_t>(neuron)];
+  }
+
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+  [[nodiscard]] const std::vector<CoreRange>& partitions() const noexcept { return parts_; }
+
+  /// Inter-process messages sent so far (aggregated mode counts one per
+  /// non-empty (src, dst) pair per tick; per-spike mode counts every spike).
+  [[nodiscard]] std::uint64_t messages_sent() const noexcept { return messages_; }
+
+ private:
+  /// A spike delivery bound for a remote partition.
+  struct Delivery {
+    core::CoreId core;
+    std::uint16_t axon;
+    std::uint16_t slot;  ///< Absolute (tick + delay) % kDelaySlots at send time.
+  };
+
+  static constexpr int kDelaySlots = core::kMaxDelay + 1;
+
+  [[nodiscard]] util::BitRow256& slot_of(core::CoreId c, core::Tick t) {
+    return delay_[static_cast<std::size_t>(c) * kDelaySlots +
+                  static_cast<std::size_t>(t % kDelaySlots)];
+  }
+
+  void phase_compute(int p, core::Tick t, const core::InputSchedule* inputs, bool record);
+  void phase_exchange(int p);
+
+  const core::Network& net_;
+  Config cfg_;
+  util::CounterPrng prng_;
+  core::Tick now_ = 0;
+  core::KernelStats stats_;
+  std::vector<CoreRange> parts_;
+  std::unique_ptr<util::ThreadPool> pool_;
+
+  std::vector<std::int32_t> v_;
+  std::vector<util::BitRow256> delay_;
+  std::vector<util::BitRow256> enabled_;
+  std::vector<std::uint16_t> enabled_count_;
+  std::vector<std::uint8_t> target_ok_;
+
+  /// outbox_[src * P + dst]: deliveries produced by src for dst this tick.
+  std::vector<std::vector<Delivery>> outbox_;
+  /// Per-partition recorded output spikes (core,neuron ascending), per tick.
+  std::vector<std::vector<core::Spike>> spike_buf_;
+  /// Per-partition stats, merged after every run() to avoid false sharing.
+  struct alignas(64) LocalStats {
+    std::uint64_t spikes = 0, sops = 0, axon_events = 0, neuron_updates = 0, dropped = 0;
+    std::uint64_t messages = 0;
+  };
+  std::vector<LocalStats> local_;
+  std::uint64_t messages_ = 0;
+};
+
+}  // namespace nsc::compass

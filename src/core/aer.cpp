@@ -1,0 +1,126 @@
+#include "src/core/aer.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace nsc::core {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4E414552u;  // "NAER"
+constexpr std::uint32_t kVersion = 1;
+
+struct Record {
+  std::int64_t tick;
+  std::uint32_t core;
+  std::uint16_t address;
+};
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+void read_pod(std::istream& is, T& v) {
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!is) throw std::runtime_error("AER file truncated");
+}
+
+void write_header(std::ostream& os, std::uint64_t count) {
+  write_pod(os, kMagic);
+  write_pod(os, kVersion);
+  write_pod(os, count);
+}
+
+std::uint64_t read_header(std::istream& is) {
+  std::uint32_t magic = 0, version = 0;
+  std::uint64_t count = 0;
+  read_pod(is, magic);
+  read_pod(is, version);
+  read_pod(is, count);
+  if (magic != kMagic) throw std::runtime_error("not an AER file");
+  if (version != kVersion) throw std::runtime_error("unsupported AER version");
+  return count;
+}
+
+void write_record(std::ostream& os, const Record& r) {
+  write_pod(os, r.tick);
+  write_pod(os, r.core);
+  write_pod(os, r.address);
+}
+
+Record read_record(std::istream& is) {
+  Record r{};
+  read_pod(is, r.tick);
+  read_pod(is, r.core);
+  read_pod(is, r.address);
+  return r;
+}
+
+}  // namespace
+
+void save_aer(const InputSchedule& events, std::ostream& os) {
+  write_header(os, events.size());
+  for (const InputSpike& s : events.events()) {
+    write_record(os, {s.tick, s.core, s.axon});
+  }
+  if (!os) throw std::runtime_error("AER write failed");
+}
+
+void save_aer(const InputSchedule& events, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open " + path + " for writing");
+  save_aer(events, f);
+}
+
+void save_aer(const std::vector<Spike>& spikes, std::ostream& os) {
+  write_header(os, spikes.size());
+  for (const Spike& s : spikes) {
+    write_record(os, {s.tick, s.core, s.neuron});
+  }
+  if (!os) throw std::runtime_error("AER write failed");
+}
+
+void save_aer(const std::vector<Spike>& spikes, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open " + path + " for writing");
+  save_aer(spikes, f);
+}
+
+InputSchedule load_aer_inputs(std::istream& is) {
+  const std::uint64_t n = read_header(is);
+  InputSchedule in;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const Record r = read_record(is);
+    in.add(r.tick, r.core, r.address);
+  }
+  in.finalize();
+  return in;
+}
+
+InputSchedule load_aer_inputs(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  return load_aer_inputs(f);
+}
+
+std::vector<Spike> load_aer_spikes(std::istream& is) {
+  const std::uint64_t n = read_header(is);
+  std::vector<Spike> out;
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const Record r = read_record(is);
+    out.push_back({r.tick, r.core, r.address});
+  }
+  return out;
+}
+
+std::vector<Spike> load_aer_spikes(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  return load_aer_spikes(f);
+}
+
+}  // namespace nsc::core

@@ -1,0 +1,34 @@
+// Address-event representation (AER) files: the interchange format of the
+// neuromorphic world (the physical boards stream spikes as address events
+// over the merge/split ports; datasets and recorded outputs are shipped as
+// event files). Binary format: magic + version + count, then packed
+// (tick i64, core u32, address u16) records — used both for input schedules
+// (address = axon) and recorded spikes (address = neuron).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/core/input_schedule.hpp"
+#include "src/core/types.hpp"
+
+namespace nsc::core {
+
+/// Writes input events (address = target axon).
+void save_aer(const InputSchedule& events, std::ostream& os);
+void save_aer(const InputSchedule& events, const std::string& path);
+
+/// Writes recorded spikes (address = source neuron).
+void save_aer(const std::vector<Spike>& spikes, std::ostream& os);
+void save_aer(const std::vector<Spike>& spikes, const std::string& path);
+
+/// Reads an AER file as an input schedule (finalized).
+[[nodiscard]] InputSchedule load_aer_inputs(std::istream& is);
+[[nodiscard]] InputSchedule load_aer_inputs(const std::string& path);
+
+/// Reads an AER file as a spike record.
+[[nodiscard]] std::vector<Spike> load_aer_spikes(std::istream& is);
+[[nodiscard]] std::vector<Spike> load_aer_spikes(const std::string& path);
+
+}  // namespace nsc::core

@@ -1,0 +1,2 @@
+// Crossbar is header-only; this TU anchors the library target.
+#include "src/core/crossbar.hpp"

@@ -1,0 +1,61 @@
+// The 256×256 binary synaptic crossbar of one neurosynaptic core.
+//
+// Rows are axons, columns are neurons (paper Fig. 3(a)). The crossbar is the
+// data structure that lets one spike event fan out to up to 256 synapses
+// locally, cutting network traffic by a factor of S/N ≈ 256 versus
+// per-synapse addressing (paper §III-A).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "src/core/types.hpp"
+#include "src/util/bitrow.hpp"
+
+namespace nsc::core {
+
+class Crossbar {
+ public:
+  /// Sets/clears the synapse from axon `i` to neuron `j`.
+  void set(int i, int j, bool on = true) {
+    if (on) {
+      rows_[static_cast<std::size_t>(i)].set(j);
+    } else {
+      rows_[static_cast<std::size_t>(i)].clear(j);
+    }
+  }
+
+  [[nodiscard]] bool test(int i, int j) const { return rows_[static_cast<std::size_t>(i)].test(j); }
+
+  /// All synapses of axon `i` as a bit row (event-driven fan-out unit).
+  [[nodiscard]] const util::BitRow256& row(int i) const { return rows_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] util::BitRow256& row(int i) { return rows_[static_cast<std::size_t>(i)]; }
+
+  /// Number of active synapses on axon `i` (its fan-out).
+  [[nodiscard]] int row_count(int i) const { return rows_[static_cast<std::size_t>(i)].count(); }
+
+  /// Total active synapses in the core.
+  [[nodiscard]] int count() const {
+    int n = 0;
+    for (const auto& r : rows_) n += r.count();
+    return n;
+  }
+
+  /// In-degree of neuron `j` (column population count).
+  [[nodiscard]] int column_count(int j) const {
+    int n = 0;
+    for (const auto& r : rows_) n += r.test(j) ? 1 : 0;
+    return n;
+  }
+
+  void clear() {
+    for (auto& r : rows_) r.reset();
+  }
+
+  friend bool operator==(const Crossbar&, const Crossbar&) = default;
+
+ private:
+  std::array<util::BitRow256, kCoreSize> rows_{};
+};
+
+}  // namespace nsc::core

@@ -1,0 +1,35 @@
+#include "src/core/input_schedule.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nsc::core {
+
+void InputSchedule::finalize() {
+  if (finalized_) return;
+  std::sort(events_.begin(), events_.end());
+  events_.erase(std::unique(events_.begin(), events_.end()), events_.end());
+  const Tick last = events_.empty() ? -1 : events_.back().tick;
+  assert(events_.empty() || events_.front().tick >= 0);
+  offsets_.assign(static_cast<std::size_t>(last + 2), 0);
+  // Counting sort of offsets: offsets_[t] = first event index at tick >= t.
+  std::size_t e = 0;
+  for (Tick t = 0; t <= last; ++t) {
+    offsets_[static_cast<std::size_t>(t)] = e;
+    while (e < events_.size() && events_[e].tick == t) ++e;
+  }
+  offsets_[static_cast<std::size_t>(last + 1)] = events_.size();
+  finalized_ = true;
+}
+
+std::span<const InputSpike> InputSchedule::at(Tick tick) const {
+  assert(finalized_);
+  if (tick < 0 || static_cast<std::size_t>(tick) + 1 >= offsets_.size()) return {};
+  const std::size_t b = offsets_[static_cast<std::size_t>(tick)];
+  const std::size_t f = offsets_[static_cast<std::size_t>(tick) + 1];
+  return {events_.data() + b, f - b};
+}
+
+Tick InputSchedule::last_tick() const noexcept { return events_.empty() ? -1 : events_.back().tick; }
+
+}  // namespace nsc::core

@@ -1,0 +1,47 @@
+// External input spikes, pre-sorted by tick for O(1) per-tick lookup.
+//
+// On the physical system, off-chip spikes arrive through the chip's merge
+// ports (driven by the Zynq "thalamus" FPGA, paper §VII-A); here the encoder
+// corelets of the vision substrate produce an InputSchedule per video clip.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/core/types.hpp"
+
+namespace nsc::core {
+
+class InputSchedule {
+ public:
+  void add(Tick tick, CoreId core, std::uint16_t axon) { events_.push_back({tick, core, axon}); }
+  void add(const InputSpike& s) { events_.push_back(s); }
+
+  /// Sorts events and builds the per-tick index. Must be called after the
+  /// last add() and before the first at(). Idempotent.
+  void finalize();
+
+  /// All events scheduled for `tick` (finalize() required first).
+  [[nodiscard]] std::span<const InputSpike> at(Tick tick) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] Tick last_tick() const noexcept;
+
+  /// All events (sorted and deduplicated once finalized). Used by the AER
+  /// serializer.
+  [[nodiscard]] std::span<const InputSpike> events() const noexcept { return events_; }
+
+  void clear() {
+    events_.clear();
+    offsets_.clear();
+    finalized_ = false;
+  }
+
+ private:
+  std::vector<InputSpike> events_;
+  std::vector<std::size_t> offsets_;  ///< offsets_[t] .. offsets_[t+1] span tick t.
+  bool finalized_ = false;
+};
+
+}  // namespace nsc::core

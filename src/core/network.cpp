@@ -1,0 +1,50 @@
+#include "src/core/network.hpp"
+
+namespace nsc::core {
+
+double CoreSpec::mean_row_synapses() const {
+  int rows_used = 0;
+  int syn = 0;
+  for (int i = 0; i < kCoreSize; ++i) {
+    const int c = crossbar.row_count(i);
+    if (c > 0) {
+      ++rows_used;
+      syn += c;
+    }
+  }
+  return rows_used ? static_cast<double>(syn) / rows_used : 0.0;
+}
+
+std::uint64_t Network::total_synapses() const {
+  std::uint64_t n = 0;
+  for (const auto& c : cores) n += static_cast<std::uint64_t>(c.crossbar.count());
+  return n;
+}
+
+std::uint64_t Network::enabled_neurons() const {
+  std::uint64_t n = 0;
+  for (const auto& c : cores) {
+    for (const auto& p : c.neuron) n += p.enabled ? 1 : 0;
+  }
+  return n;
+}
+
+int Network::used_cores() const {
+  int n = 0;
+  for (const auto& c : cores) {
+    if (c.disabled) continue;
+    bool used = c.crossbar.count() > 0;
+    if (!used) {
+      for (const auto& p : c.neuron) {
+        if (p.enabled) {
+          used = true;
+          break;
+        }
+      }
+    }
+    n += used ? 1 : 0;
+  }
+  return n;
+}
+
+}  // namespace nsc::core

@@ -1,0 +1,115 @@
+// NetworkDescription: the shared model both kernel expressions execute.
+//
+// A network is a geometry plus one CoreSpec per core: crossbar bits, axon
+// types, and 256 neuron parameter blocks. The paper's co-design methodology
+// ("any model on the software simulator runs unchanged on the hardware",
+// Fig. 2) is realized here: src/tn and src/compass both consume this type
+// and must produce identical spike streams.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/crossbar.hpp"
+#include "src/core/neuron_model.hpp"
+#include "src/core/types.hpp"
+
+namespace nsc::core {
+
+/// Configuration of a single neurosynaptic core.
+struct CoreSpec {
+  Crossbar crossbar;
+  std::array<std::uint8_t, kCoreSize> axon_type{};  ///< G_i in [0, kAxonTypes).
+  std::array<NeuronParams, kCoreSize> neuron{};
+  std::uint8_t disabled = 0;  ///< Faulted cores are disabled and routed around.
+
+  /// Mean active synapses per axon row (fan-out density).
+  [[nodiscard]] double mean_row_synapses() const;
+};
+
+/// A complete network: the unit of deployment for both expressions.
+struct Network {
+  Geometry geom;
+  std::uint64_t seed = 1;  ///< Keys all stochastic neuron draws.
+  std::vector<CoreSpec> cores;
+
+  Network() = default;
+  explicit Network(const Geometry& g, std::uint64_t prng_seed = 1)
+      : geom(g), seed(prng_seed), cores(static_cast<std::size_t>(g.total_cores())) {}
+
+  [[nodiscard]] CoreSpec& core(CoreId c) { return cores[static_cast<std::size_t>(c)]; }
+  [[nodiscard]] const CoreSpec& core(CoreId c) const { return cores[static_cast<std::size_t>(c)]; }
+
+  /// Total active synapses across all cores.
+  [[nodiscard]] std::uint64_t total_synapses() const;
+
+  /// Neurons with enabled flag set.
+  [[nodiscard]] std::uint64_t enabled_neurons() const;
+
+  /// Cores with at least one enabled neuron or any active synapse.
+  [[nodiscard]] int used_cores() const;
+};
+
+/// Aggregate runtime counters shared by all simulator backends.
+///
+/// `sops` counts synaptic operations exactly as the paper defines them: one
+/// conditional weighted-accumulate per (active axon, active synapse) pair.
+/// `axon_events` counts spike deliveries into cores (one crossbar row read
+/// each); `sum_max_core_*` accumulate per-tick maxima over cores, which feed
+/// the TrueNorth critical-path timing model.
+struct KernelStats {
+  std::uint64_t ticks = 0;
+  std::uint64_t spikes = 0;            ///< Neuron firings.
+  std::uint64_t sops = 0;              ///< Synaptic operations (paper's SOPS numerator).
+  std::uint64_t axon_events = 0;       ///< Spike deliveries (crossbar row activations).
+  std::uint64_t neuron_updates = 0;    ///< Leak+threshold evaluations.
+  std::uint64_t hop_sum = 0;           ///< Total mesh hops traversed (tn backend).
+  std::uint64_t interchip_crossings = 0;  ///< Packets serialized through merge-split.
+  std::uint64_t dropped_spikes = 0;    ///< Spikes with no valid target (sinks).
+  std::uint64_t sum_max_core_sops = 0;        ///< Σ_t max_core SOPs(core, t).
+  std::uint64_t sum_max_core_axon_events = 0; ///< Σ_t max_core deliveries(core, t).
+  std::uint64_t sum_max_core_spikes = 0;      ///< Σ_t max_core firings(core, t).
+
+  void reset() { *this = KernelStats{}; }
+
+  /// Mean firing rate in Hz assuming the nominal 1 kHz tick (1 ms/tick).
+  [[nodiscard]] double mean_rate_hz(std::uint64_t neurons) const {
+    if (ticks == 0 || neurons == 0) return 0.0;
+    return 1000.0 * static_cast<double>(spikes) /
+           (static_cast<double>(ticks) * static_cast<double>(neurons));
+  }
+
+  /// Mean active synapses traversed per spike (SOP / spike deliveries).
+  [[nodiscard]] double mean_synapses_per_delivery() const {
+    return axon_events ? static_cast<double>(sops) / static_cast<double>(axon_events) : 0.0;
+  }
+};
+
+/// Receives output spikes from a simulator, in canonical order: ticks
+/// ascending; within a tick, (core, neuron) ascending. Both expressions
+/// guarantee this order, making streams directly comparable.
+class SpikeSink {
+ public:
+  virtual ~SpikeSink() = default;
+  virtual void on_spike(Tick tick, CoreId core, std::uint16_t neuron) = 0;
+  /// Called once per simulated tick after all of that tick's spikes.
+  virtual void on_tick_end(Tick /*tick*/) {}
+};
+
+/// Abstract simulator: the kernel contract both expressions implement.
+class Simulator {
+ public:
+  virtual ~Simulator() = default;
+
+  /// Runs `nticks` steps. `inputs` (nullable) supplies external spikes;
+  /// `sink` (nullable) receives output spikes in canonical order.
+  virtual void run(Tick nticks, const class InputSchedule* inputs, SpikeSink* sink) = 0;
+
+  [[nodiscard]] virtual Tick now() const = 0;
+  [[nodiscard]] virtual const KernelStats& stats() const = 0;
+  virtual void reset_stats() = 0;
+};
+
+}  // namespace nsc::core

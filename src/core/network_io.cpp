@@ -1,0 +1,136 @@
+#include "src/core/network_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace nsc::core {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4E53434Eu;  // "NSCN"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+void read_pod(std::istream& is, T& v) {
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!is) throw std::runtime_error("network file truncated");
+}
+
+void write_neuron(std::ostream& os, const NeuronParams& p) {
+  for (int g = 0; g < kAxonTypes; ++g) write_pod(os, p.weight[g]);
+  write_pod(os, p.leak);
+  write_pod(os, p.threshold);
+  write_pod(os, p.neg_threshold);
+  write_pod(os, p.reset_v);
+  write_pod(os, p.init_v);
+  write_pod(os, p.threshold_mask);
+  write_pod(os, p.stochastic_weight);
+  write_pod(os, p.stochastic_leak);
+  write_pod(os, p.leak_reversal);
+  write_pod(os, static_cast<std::uint8_t>(p.reset_mode));
+  write_pod(os, static_cast<std::uint8_t>(p.negative_mode));
+  write_pod(os, p.target.core);
+  write_pod(os, p.target.axon);
+  write_pod(os, p.target.delay);
+  write_pod(os, p.enabled);
+}
+
+void read_neuron(std::istream& is, NeuronParams& p) {
+  for (int g = 0; g < kAxonTypes; ++g) read_pod(is, p.weight[g]);
+  read_pod(is, p.leak);
+  read_pod(is, p.threshold);
+  read_pod(is, p.neg_threshold);
+  read_pod(is, p.reset_v);
+  read_pod(is, p.init_v);
+  read_pod(is, p.threshold_mask);
+  read_pod(is, p.stochastic_weight);
+  read_pod(is, p.stochastic_leak);
+  read_pod(is, p.leak_reversal);
+  std::uint8_t rm = 0, nm = 0;
+  read_pod(is, rm);
+  read_pod(is, nm);
+  p.reset_mode = static_cast<ResetMode>(rm);
+  p.negative_mode = static_cast<NegativeMode>(nm);
+  read_pod(is, p.target.core);
+  read_pod(is, p.target.axon);
+  read_pod(is, p.target.delay);
+  read_pod(is, p.enabled);
+}
+
+}  // namespace
+
+void save_network(const Network& net, std::ostream& os) {
+  write_pod(os, kMagic);
+  write_pod(os, kVersion);
+  write_pod(os, net.geom.chips_x);
+  write_pod(os, net.geom.chips_y);
+  write_pod(os, net.geom.cores_x);
+  write_pod(os, net.geom.cores_y);
+  write_pod(os, net.seed);
+  for (const CoreSpec& c : net.cores) {
+    write_pod(os, c.disabled);
+    for (int i = 0; i < kCoreSize; ++i) {
+      for (int w = 0; w < util::BitRow256::kWords; ++w) write_pod(os, c.crossbar.row(i).word(w));
+    }
+    os.write(reinterpret_cast<const char*>(c.axon_type.data()),
+             static_cast<std::streamsize>(c.axon_type.size()));
+    for (int j = 0; j < kCoreSize; ++j) write_neuron(os, c.neuron[j]);
+  }
+  if (!os) throw std::runtime_error("network write failed");
+}
+
+void save_network(const Network& net, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open " + path + " for writing");
+  save_network(net, f);
+}
+
+Network load_network(std::istream& is) {
+  std::uint32_t magic = 0, version = 0;
+  read_pod(is, magic);
+  read_pod(is, version);
+  if (magic != kMagic) throw std::runtime_error("not a neurosyn network file");
+  if (version != kVersion) throw std::runtime_error("unsupported network file version");
+  Geometry g;
+  read_pod(is, g.chips_x);
+  read_pod(is, g.chips_y);
+  read_pod(is, g.cores_x);
+  read_pod(is, g.cores_y);
+  if (g.chips_x <= 0 || g.chips_y <= 0 || g.cores_x <= 0 || g.cores_y <= 0 ||
+      g.total_cores() > (1 << 24)) {
+    throw std::runtime_error("implausible geometry in network file");
+  }
+  std::uint64_t seed = 0;
+  read_pod(is, seed);
+  Network net(g, seed);
+  for (CoreSpec& c : net.cores) {
+    read_pod(is, c.disabled);
+    for (int i = 0; i < kCoreSize; ++i) {
+      for (int w = 0; w < util::BitRow256::kWords; ++w) {
+        std::uint64_t word = 0;
+        read_pod(is, word);
+        c.crossbar.row(i).set_word(w, word);
+      }
+    }
+    is.read(reinterpret_cast<char*>(c.axon_type.data()),
+            static_cast<std::streamsize>(c.axon_type.size()));
+    if (!is) throw std::runtime_error("network file truncated");
+    for (int j = 0; j < kCoreSize; ++j) read_neuron(is, c.neuron[j]);
+  }
+  return net;
+}
+
+Network load_network(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  return load_network(f);
+}
+
+}  // namespace nsc::core

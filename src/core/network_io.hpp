@@ -1,0 +1,21 @@
+// Binary model files: save/load a Network so trained models can move between
+// tools, mirroring the paper's deploy-unchanged workflow (Compass-trained
+// models run on TrueNorth without modification).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/core/network.hpp"
+
+namespace nsc::core {
+
+/// Serializes `net` (magic + version header, geometry, seed, dense cores).
+void save_network(const Network& net, std::ostream& os);
+void save_network(const Network& net, const std::string& path);
+
+/// Deserializes a network; throws std::runtime_error on format errors.
+[[nodiscard]] Network load_network(std::istream& is);
+[[nodiscard]] Network load_network(const std::string& path);
+
+}  // namespace nsc::core

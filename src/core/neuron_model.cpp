@@ -1,0 +1,11 @@
+#include "src/core/neuron_model.hpp"
+
+namespace nsc::core {
+
+bool leak_threshold_update(std::int32_t& v, const NeuronParams& p, const util::CounterPrng& prng,
+                           std::uint32_t core, std::uint32_t neuron, Tick tick) noexcept {
+  v = clamp_potential(static_cast<std::int64_t>(v) + leak_delta(p, prng, core, neuron, tick, v));
+  return threshold_fire_reset(v, p, prng, core, neuron, tick);
+}
+
+}  // namespace nsc::core

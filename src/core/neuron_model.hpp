@@ -1,0 +1,145 @@
+// The TrueNorth digital neuron (Cassidy et al., IJCNN 2013 — the model the
+// paper's kernel executes; see paper §III, Listing 1 and §V "SOPS").
+//
+// Per tick, a neuron j:
+//   1. Synapse phase: for every active axon i with W[i][j] = 1, integrates
+//      the per-type signed weight S^{G_i}_j (deterministically or
+//      stochastically) — this conditional weighted-accumulate is one
+//      "synaptic operation" (SOP), the paper's fundamental unit of work.
+//   2. Leak phase: adds the signed leak λ_j (deterministic or stochastic).
+//   3. Threshold phase: fires if V ≥ α_j + (draw & Mα_j); on firing, resets
+//      per the configured reset mode. A negative floor β_j either saturates
+//      or resets the potential from below.
+//
+// These functions are the single source of truth for the arithmetic: the
+// TrueNorth expression (src/tn), the Compass expression (src/compass) and
+// the dense reference simulator all call them, so any spike mismatch between
+// expressions isolates an event-plumbing bug, not a modelling divergence.
+#pragma once
+
+#include <cstdint>
+
+#include "src/core/types.hpp"
+#include "src/util/prng.hpp"
+
+namespace nsc::core {
+
+/// What happens to V when the neuron fires (positive threshold crossing).
+enum class ResetMode : std::uint8_t {
+  kAbsolute = 0,  ///< V <- reset_v ("zero reset" when reset_v == 0).
+  kLinear = 1,    ///< V <- V - α (carries the overshoot into the next tick).
+  kNone = 2,      ///< V unchanged (free-running; used by accumulator corelets).
+};
+
+/// What happens at the negative floor β.
+enum class NegativeMode : std::uint8_t {
+  kSaturate = 0,  ///< V <- -β when V < -β.
+  kReset = 1,     ///< V <- -reset_v when V ≤ -β (symmetric reset).
+};
+
+/// Full per-neuron programmable parameter set.
+struct NeuronParams {
+  std::int16_t weight[kAxonTypes] = {0, 0, 0, 0};  ///< S^G_j, signed 9-bit in HW.
+  std::int16_t leak = 0;                           ///< λ_j, signed 9-bit in HW.
+  std::int32_t threshold = 1;                      ///< α_j > 0, 18-bit in HW.
+  std::int32_t neg_threshold = 0;                  ///< β_j >= 0 (floor at -β).
+  std::int32_t reset_v = 0;                        ///< Reset potential R_j.
+  std::int32_t init_v = 0;                         ///< Membrane potential at t = 0.
+  std::uint32_t threshold_mask = 0;                ///< Mα: stochastic threshold jitter.
+  std::uint8_t stochastic_weight = 0;              ///< Bit g: type-g synapses stochastic.
+  std::uint8_t stochastic_leak = 0;                ///< Nonzero: leak stochastic.
+  /// Leak-reversal flag ε_j (IJCNN'13): the leak's sign follows sgn(V), so a
+  /// positive λ drives V away from zero and a negative λ decays it toward
+  /// zero from either side (the idiom for symmetric decay of signed
+  /// evidence). V == 0 leaks nothing in this mode.
+  std::uint8_t leak_reversal = 0;
+  ResetMode reset_mode = ResetMode::kAbsolute;
+  NegativeMode negative_mode = NegativeMode::kSaturate;
+  AxonTarget target;                               ///< Where this neuron's spikes go.
+  std::uint8_t enabled = 1;                        ///< Disabled neurons never update.
+};
+
+/// PRNG draw salts: each phase of the neuron update consumes an independent
+/// stream keyed by (core, neuron, tick, salt). Synapse draws use the axon
+/// index (0..255) directly.
+inline constexpr std::uint32_t kSaltLeak = 0x100;
+inline constexpr std::uint32_t kSaltThreshold = 0x101;
+
+/// Clamps v into the hardware's 20-bit signed membrane-potential range.
+[[nodiscard]] constexpr std::int32_t clamp_potential(std::int64_t v) noexcept {
+  if (v > kPotentialMax) return kPotentialMax;
+  if (v < kPotentialMin) return kPotentialMin;
+  return static_cast<std::int32_t>(v);
+}
+
+/// Synaptic contribution of one active synapse of axon type `g`.
+///
+/// Deterministic mode adds the signed weight. Stochastic mode draws an 8-bit
+/// uniform and adds sign(S) when draw < |S| — expected value S/256 per event,
+/// emulating the chip's probabilistic integration (paper §III-A).
+[[nodiscard]] inline std::int32_t synapse_delta(const NeuronParams& p, int g,
+                                                const util::CounterPrng& prng, std::uint32_t core,
+                                                std::uint32_t neuron, Tick tick,
+                                                std::uint32_t axon) noexcept {
+  const std::int32_t s = p.weight[g];
+  if ((p.stochastic_weight & (1u << g)) == 0) return s;
+  const std::uint32_t draw =
+      static_cast<std::uint32_t>(prng.draw(core, neuron, static_cast<std::uint64_t>(tick), axon) & 0xFF);
+  const std::int32_t mag = s < 0 ? -s : s;
+  if (static_cast<std::int32_t>(draw) >= mag) return 0;
+  return s < 0 ? -1 : 1;
+}
+
+/// Leak contribution for one tick (deterministic or stochastic, as synapses).
+/// `v` is the pre-leak potential, consulted only by the leak-reversal mode.
+[[nodiscard]] inline std::int32_t leak_delta(const NeuronParams& p, const util::CounterPrng& prng,
+                                             std::uint32_t core, std::uint32_t neuron, Tick tick,
+                                             std::int32_t v) noexcept {
+  std::int32_t l = p.leak;
+  if (p.leak_reversal != 0) {
+    if (v == 0) return 0;
+    if (v < 0) l = static_cast<std::int32_t>(-l);
+  }
+  if (p.stochastic_leak == 0) return l;
+  const std::uint32_t draw = static_cast<std::uint32_t>(
+      prng.draw(core, neuron, static_cast<std::uint64_t>(tick), kSaltLeak) & 0xFF);
+  const std::int32_t mag = l < 0 ? -l : l;
+  if (static_cast<std::int32_t>(draw) >= mag) return 0;
+  return l < 0 ? -1 : 1;
+}
+
+/// Threshold/fire/reset phase. `v` holds the post-leak potential on entry and
+/// the post-reset potential on exit. Returns true if the neuron fired.
+[[nodiscard]] inline bool threshold_fire_reset(std::int32_t& v, const NeuronParams& p,
+                                               const util::CounterPrng& prng, std::uint32_t core,
+                                               std::uint32_t neuron, Tick tick) noexcept {
+  std::int32_t alpha = p.threshold;
+  if (p.threshold_mask != 0) {
+    const std::uint32_t draw = static_cast<std::uint32_t>(
+        prng.draw(core, neuron, static_cast<std::uint64_t>(tick), kSaltThreshold));
+    alpha += static_cast<std::int32_t>(draw & p.threshold_mask);
+  }
+  if (v >= alpha) {
+    switch (p.reset_mode) {
+      case ResetMode::kAbsolute: v = p.reset_v; break;
+      case ResetMode::kLinear: v = clamp_potential(static_cast<std::int64_t>(v) - alpha); break;
+      case ResetMode::kNone: break;
+    }
+    return true;
+  }
+  const std::int32_t floor = -p.neg_threshold;
+  if (p.negative_mode == NegativeMode::kSaturate) {
+    if (v < floor) v = floor;
+  } else {
+    if (v <= floor) v = -p.reset_v;
+  }
+  return false;
+}
+
+/// Convenience: full leak+threshold update (phases 2–3). Synaptic input must
+/// already be folded into `v` by the caller's event loop.
+[[nodiscard]] bool leak_threshold_update(std::int32_t& v, const NeuronParams& p,
+                                         const util::CounterPrng& prng, std::uint32_t core,
+                                         std::uint32_t neuron, Tick tick) noexcept;
+
+}  // namespace nsc::core

@@ -1,0 +1,93 @@
+#include "src/core/reference_sim.hpp"
+
+#include <algorithm>
+
+namespace nsc::core {
+
+ReferenceSimulator::ReferenceSimulator(const Network& net)
+    : net_(net),
+      prng_(net.seed),
+      v_(static_cast<std::size_t>(net.geom.total_cores()) * kCoreSize, 0),
+      delay_(static_cast<std::size_t>(net.geom.total_cores()) * kDelaySlots) {
+  for (CoreId c = 0; c < static_cast<CoreId>(net.geom.total_cores()); ++c) {
+    for (int j = 0; j < kCoreSize; ++j) {
+      v_[static_cast<std::size_t>(c) * kCoreSize + static_cast<std::size_t>(j)] =
+          net.core(c).neuron[j].init_v;
+    }
+  }
+}
+
+void ReferenceSimulator::run(Tick nticks, const InputSchedule* inputs, SpikeSink* sink) {
+  const int ncores = net_.geom.total_cores();
+  for (Tick step = 0; step < nticks; ++step) {
+    const Tick t = now_;
+    std::uint64_t max_sops = 0, max_axons = 0, max_spikes = 0;
+
+    // Merge external inputs into this tick's axon vectors.
+    if (inputs != nullptr) {
+      for (const InputSpike& s : inputs->at(t)) {
+        if (s.core < static_cast<CoreId>(ncores) && !net_.core(s.core).disabled) {
+          slot(s.core, t).set(s.axon);
+        }
+      }
+    }
+
+    for (CoreId c = 0; c < static_cast<CoreId>(ncores); ++c) {
+      const CoreSpec& spec = net_.core(c);
+      util::BitRow256& axons = slot(c, t);
+      if (spec.disabled) {
+        axons.reset();
+        continue;
+      }
+      const std::uint64_t core_axons = static_cast<std::uint64_t>(axons.count());
+      std::uint64_t core_sops = 0, core_spikes = 0;
+
+      for (int j = 0; j < kCoreSize; ++j) {
+        const NeuronParams& p = spec.neuron[j];
+        if (!p.enabled) continue;
+        std::int64_t v = v_[static_cast<std::size_t>(c) * kCoreSize + static_cast<std::size_t>(j)];
+
+        // Dense synapse phase: scan every axon, active or not.
+        for (int i = 0; i < kCoreSize; ++i) {
+          if (!axons.test(i) || !spec.crossbar.test(i, j)) continue;
+          v += synapse_delta(p, spec.axon_type[static_cast<std::size_t>(i)], prng_, c,
+                             static_cast<std::uint32_t>(j), t, static_cast<std::uint32_t>(i));
+          ++core_sops;
+        }
+        std::int32_t vc = clamp_potential(v);
+
+        ++stats_.neuron_updates;
+        const bool fired = leak_threshold_update(vc, p, prng_, c, static_cast<std::uint32_t>(j), t);
+        v_[static_cast<std::size_t>(c) * kCoreSize + static_cast<std::size_t>(j)] = vc;
+
+        if (fired) {
+          ++core_spikes;
+          if (sink != nullptr) sink->on_spike(t, c, static_cast<std::uint16_t>(j));
+          if (p.target.valid() && p.target.core < static_cast<CoreId>(ncores) &&
+              !net_.core(p.target.core).disabled) {
+            slot(p.target.core, t + p.target.delay).set(p.target.axon);
+          } else {
+            ++stats_.dropped_spikes;
+          }
+        }
+      }
+
+      axons.reset();  // Slot becomes the (t + kDelaySlots) buffer.
+      stats_.sops += core_sops;
+      stats_.axon_events += core_axons;
+      stats_.spikes += core_spikes;
+      max_sops = std::max(max_sops, core_sops);
+      max_axons = std::max(max_axons, core_axons);
+      max_spikes = std::max(max_spikes, core_spikes);
+    }
+
+    stats_.sum_max_core_sops += max_sops;
+    stats_.sum_max_core_axon_events += max_axons;
+    stats_.sum_max_core_spikes += max_spikes;
+    ++stats_.ticks;
+    if (sink != nullptr) sink->on_tick_end(t);
+    ++now_;
+  }
+}
+
+}  // namespace nsc::core

@@ -1,0 +1,53 @@
+// Dense reference simulator: the semantic gold standard and the ablation
+// baseline for the event-driven kernel.
+//
+// Instead of the kernel's event-driven synapse phase, this simulator scans
+// every (axon, neuron) pair of every core on every tick — the "alternative
+// approach that loops over all synapses" the paper's kernel explicitly
+// improves on (§III, "Event-based computation"). It is deliberately simple
+// and slow: a third, independent witness for the 1:1 equivalence tests and
+// the baseline for the event-vs-dense micro bench.
+#pragma once
+
+#include <vector>
+
+#include "src/core/input_schedule.hpp"
+#include "src/core/network.hpp"
+#include "src/util/bitrow.hpp"
+#include "src/util/prng.hpp"
+
+namespace nsc::core {
+
+class ReferenceSimulator final : public Simulator {
+ public:
+  /// The network must outlive the simulator (it is the read-only program;
+  /// simulators keep only mutable neuron/axon state).
+  explicit ReferenceSimulator(const Network& net);
+
+  void run(Tick nticks, const InputSchedule* inputs, SpikeSink* sink) override;
+  [[nodiscard]] Tick now() const override { return now_; }
+  [[nodiscard]] const KernelStats& stats() const override { return stats_; }
+  void reset_stats() override { stats_.reset(); }
+
+  /// Current membrane potential (for white-box tests).
+  [[nodiscard]] std::int32_t potential(CoreId core, int neuron) const {
+    return v_[static_cast<std::size_t>(core) * kCoreSize + static_cast<std::size_t>(neuron)];
+  }
+
+ private:
+  static constexpr int kDelaySlots = kMaxDelay + 1;
+
+  [[nodiscard]] util::BitRow256& slot(CoreId core, Tick tick) {
+    return delay_[static_cast<std::size_t>(core) * kDelaySlots +
+                  static_cast<std::size_t>(tick % kDelaySlots)];
+  }
+
+  const Network& net_;
+  util::CounterPrng prng_;
+  Tick now_ = 0;
+  KernelStats stats_;
+  std::vector<std::int32_t> v_;          ///< Membrane potentials, core-major.
+  std::vector<util::BitRow256> delay_;   ///< 16 axon-vector slots per core.
+};
+
+}  // namespace nsc::core

@@ -1,0 +1,80 @@
+#include "src/core/spike_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace nsc::core {
+
+std::vector<std::uint32_t> population_trace(const std::vector<Spike>& spikes, Tick t0,
+                                            Tick ticks) {
+  std::vector<std::uint32_t> trace(static_cast<std::size_t>(std::max<Tick>(ticks, 0)), 0);
+  for (const Spike& s : spikes) {
+    if (s.tick < t0 || s.tick >= t0 + ticks) continue;
+    ++trace[static_cast<std::size_t>(s.tick - t0)];
+  }
+  return trace;
+}
+
+std::vector<std::uint32_t> per_neuron_counts(const std::vector<Spike>& spikes,
+                                             std::uint64_t neurons) {
+  std::vector<std::uint32_t> counts(static_cast<std::size_t>(neurons), 0);
+  for (const Spike& s : spikes) {
+    const std::uint64_t idx = static_cast<std::uint64_t>(s.core) * kCoreSize + s.neuron;
+    if (idx < neurons) ++counts[static_cast<std::size_t>(idx)];
+  }
+  return counts;
+}
+
+SpikeTrainStats analyze_spikes(const std::vector<Spike>& spikes, std::uint64_t neurons, Tick t0,
+                               Tick ticks) {
+  SpikeTrainStats out;
+  if (neurons == 0 || ticks <= 0) return out;
+
+  // Per-neuron last-spike times for ISI accumulation.
+  std::map<std::uint64_t, Tick> last;
+  double isi_sum = 0.0, isi_sq = 0.0;
+  std::uint64_t isi_n = 0;
+  std::vector<std::uint32_t> trace(static_cast<std::size_t>(ticks), 0);
+  std::map<std::uint64_t, std::uint32_t> per_neuron;
+
+  for (const Spike& s : spikes) {
+    if (s.tick < t0 || s.tick >= t0 + ticks) continue;
+    ++out.spikes;
+    ++trace[static_cast<std::size_t>(s.tick - t0)];
+    const std::uint64_t id = static_cast<std::uint64_t>(s.core) * kCoreSize + s.neuron;
+    ++per_neuron[id];
+    const auto it = last.find(id);
+    if (it != last.end()) {
+      const double isi = static_cast<double>(s.tick - it->second);
+      isi_sum += isi;
+      isi_sq += isi * isi;
+      ++isi_n;
+      it->second = s.tick;
+    } else {
+      last.emplace(id, s.tick);
+    }
+  }
+
+  out.mean_rate_hz = 1000.0 * static_cast<double>(out.spikes) /
+                     (static_cast<double>(ticks) * static_cast<double>(neurons));
+  out.active_fraction = static_cast<double>(per_neuron.size()) / static_cast<double>(neurons);
+  if (isi_n > 0) {
+    out.isi_mean = isi_sum / static_cast<double>(isi_n);
+    const double var = isi_sq / static_cast<double>(isi_n) - out.isi_mean * out.isi_mean;
+    out.isi_cv = out.isi_mean > 0.0 ? std::sqrt(std::max(0.0, var)) / out.isi_mean : 0.0;
+  }
+  double mean = 0.0;
+  for (std::uint32_t c : trace) {
+    mean += c;
+    out.peak_tick_count = std::max(out.peak_tick_count, c);
+  }
+  mean /= static_cast<double>(ticks);
+  double var = 0.0;
+  for (std::uint32_t c : trace) var += (c - mean) * (c - mean);
+  var /= static_cast<double>(ticks);
+  out.synchrony = mean > 0.0 ? var / mean : 0.0;
+  return out;
+}
+
+}  // namespace nsc::core

@@ -1,0 +1,41 @@
+// Spike-train analysis: the measurement toolkit behind the paper's reported
+// network statistics (mean firing rates per application, §IV-B) and the
+// diagnostics a practitioner needs when a corelet misbehaves — per-neuron
+// rates, inter-spike-interval statistics, population synchrony, and
+// tick-resolution population traces.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/types.hpp"
+
+namespace nsc::core {
+
+/// Summary of one recorded spike stream over [0, ticks).
+struct SpikeTrainStats {
+  std::uint64_t spikes = 0;
+  double mean_rate_hz = 0.0;       ///< Per enabled neuron, at 1 kHz ticks.
+  double active_fraction = 0.0;    ///< Neurons that fired at least once.
+  double isi_mean = 0.0;           ///< Mean inter-spike interval (ticks).
+  double isi_cv = 0.0;             ///< ISI coefficient of variation
+                                   ///  (0 = clockwork, ~1 = Poisson-like).
+  double synchrony = 0.0;          ///< Var(per-tick count)/Mean(per-tick
+                                   ///  count); 1 = Poisson, >1 = synchronized.
+  std::uint32_t peak_tick_count = 0;
+};
+
+/// Analyzes `spikes` (canonical order not required) for a population of
+/// `neurons` observed over `ticks` ticks starting at tick `t0`.
+[[nodiscard]] SpikeTrainStats analyze_spikes(const std::vector<Spike>& spikes,
+                                             std::uint64_t neurons, Tick t0, Tick ticks);
+
+/// Per-tick population spike counts over [t0, t0 + ticks).
+[[nodiscard]] std::vector<std::uint32_t> population_trace(const std::vector<Spike>& spikes,
+                                                          Tick t0, Tick ticks);
+
+/// Spike counts per neuron (flat core*256+neuron indexing, size = neurons).
+[[nodiscard]] std::vector<std::uint32_t> per_neuron_counts(const std::vector<Spike>& spikes,
+                                                           std::uint64_t neurons);
+
+}  // namespace nsc::core

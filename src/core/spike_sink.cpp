@@ -1,0 +1,16 @@
+#include "src/core/spike_sink.hpp"
+
+#include <algorithm>
+
+namespace nsc::core {
+
+std::int64_t first_mismatch(const std::vector<Spike>& a, const std::vector<Spike>& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) return static_cast<std::int64_t>(i);
+  }
+  if (a.size() != b.size()) return static_cast<std::int64_t>(n);
+  return -1;
+}
+
+}  // namespace nsc::core

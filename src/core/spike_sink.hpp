@@ -1,0 +1,103 @@
+// Concrete SpikeSink implementations shared by tests, benches and apps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/network.hpp"
+#include "src/core/types.hpp"
+
+namespace nsc::core {
+
+/// Discards spikes (characterization runs that only need counters).
+class NullSink final : public SpikeSink {
+ public:
+  void on_spike(Tick, CoreId, std::uint16_t) override {}
+};
+
+/// Records every spike; the equivalence tests compare two VectorSinks.
+class VectorSink final : public SpikeSink {
+ public:
+  void on_spike(Tick tick, CoreId core, std::uint16_t neuron) override {
+    spikes_.push_back({tick, core, neuron});
+  }
+
+  [[nodiscard]] const std::vector<Spike>& spikes() const noexcept { return spikes_; }
+  void clear() { spikes_.clear(); }
+
+ private:
+  std::vector<Spike> spikes_;
+};
+
+/// Counts spikes per (core, neuron) — the decoder substrate for rate-coded
+/// application outputs.
+class CountSink final : public SpikeSink {
+ public:
+  explicit CountSink(std::uint64_t total_neurons)
+      : counts_(static_cast<std::size_t>(total_neurons), 0) {}
+
+  void on_spike(Tick, CoreId core, std::uint16_t neuron) override {
+    ++counts_[static_cast<std::size_t>(core) * kCoreSize + neuron];
+  }
+
+  [[nodiscard]] std::uint32_t count(CoreId core, std::uint16_t neuron) const {
+    return counts_[static_cast<std::size_t>(core) * kCoreSize + neuron];
+  }
+
+  void clear() { counts_.assign(counts_.size(), 0); }
+
+  [[nodiscard]] const std::vector<std::uint32_t>& counts() const noexcept { return counts_; }
+
+ private:
+  std::vector<std::uint32_t> counts_;
+};
+
+/// Streams spikes into per-tick windows; used by frame-based decoders that
+/// need counts per video frame rather than per whole run.
+class WindowedCountSink final : public SpikeSink {
+ public:
+  WindowedCountSink(std::uint64_t total_neurons, Tick window)
+      : window_(window), counts_(static_cast<std::size_t>(total_neurons), 0) {}
+
+  void on_spike(Tick, CoreId core, std::uint16_t neuron) override {
+    ++counts_[static_cast<std::size_t>(core) * kCoreSize + neuron];
+  }
+
+  void on_tick_end(Tick tick) override {
+    if ((tick + 1) % window_ == 0) {
+      windows_.push_back(counts_);
+      counts_.assign(counts_.size(), 0);
+    }
+  }
+
+  [[nodiscard]] const std::vector<std::vector<std::uint32_t>>& windows() const noexcept {
+    return windows_;
+  }
+
+ private:
+  Tick window_;
+  std::vector<std::uint32_t> counts_;
+  std::vector<std::vector<std::uint32_t>> windows_;
+};
+
+/// Fans one spike stream out to several sinks.
+class TeeSink final : public SpikeSink {
+ public:
+  explicit TeeSink(std::vector<SpikeSink*> sinks) : sinks_(std::move(sinks)) {}
+
+  void on_spike(Tick tick, CoreId core, std::uint16_t neuron) override {
+    for (auto* s : sinks_) s->on_spike(tick, core, neuron);
+  }
+  void on_tick_end(Tick tick) override {
+    for (auto* s : sinks_) s->on_tick_end(tick);
+  }
+
+ private:
+  std::vector<SpikeSink*> sinks_;
+};
+
+/// Compares two recorded spike streams; returns the index of the first
+/// mismatch or -1 when identical. Used by the 1:1 regression harness.
+[[nodiscard]] std::int64_t first_mismatch(const std::vector<Spike>& a, const std::vector<Spike>& b);
+
+}  // namespace nsc::core

@@ -1,0 +1,131 @@
+// Fundamental types of the neurosynaptic kernel (paper §III).
+//
+// A system is a 2D array of chips; a chip is a 2D array of neurosynaptic
+// cores; a core couples kCoreSize input axons to kCoreSize neurons through a
+// binary crossbar. All coordinates below exist to make spike routing and hop
+// accounting explicit.
+#pragma once
+
+#include <cstdint>
+
+namespace nsc::core {
+
+/// Discrete simulation time step ("tick"); nominally 1 ms of biological time.
+using Tick = std::int64_t;
+
+/// Axons / neurons per core, and crossbar dimension (256 in TrueNorth).
+inline constexpr int kCoreSize = 256;
+
+/// Axonal delays are programmable from 1 to 15 ticks (4-bit field).
+inline constexpr int kMinDelay = 1;
+inline constexpr int kMaxDelay = 15;
+
+/// Number of axon types; each neuron holds one signed weight per type.
+inline constexpr int kAxonTypes = 4;
+
+/// Membrane potential is a 20-bit signed integer in hardware.
+inline constexpr std::int32_t kPotentialMax = (1 << 19) - 1;
+inline constexpr std::int32_t kPotentialMin = -(1 << 19);
+
+/// Dense index of a core within the whole (possibly multi-chip) system.
+using CoreId = std::uint32_t;
+
+/// Sentinel for "no core".
+inline constexpr CoreId kInvalidCore = 0xFFFFFFFFu;
+
+/// Grid shape of the system. Cores are indexed chip-major, then row-major
+/// within a chip; `GlobalXY` gives seamless global mesh coordinates (chips
+/// tile edge-to-edge, paper Fig. 3(c)).
+struct Geometry {
+  int chips_x = 1;        ///< Chips along x.
+  int chips_y = 1;        ///< Chips along y.
+  int cores_x = 64;       ///< Cores along x within one chip (64 in TrueNorth).
+  int cores_y = 64;       ///< Cores along y within one chip.
+
+  [[nodiscard]] constexpr int cores_per_chip() const noexcept { return cores_x * cores_y; }
+  [[nodiscard]] constexpr int chips() const noexcept { return chips_x * chips_y; }
+  [[nodiscard]] constexpr int total_cores() const noexcept { return chips() * cores_per_chip(); }
+  [[nodiscard]] constexpr int neurons() const noexcept { return total_cores() * kCoreSize; }
+
+  /// Chip index (0..chips) containing `c`.
+  [[nodiscard]] constexpr int chip_of(CoreId c) const noexcept {
+    return static_cast<int>(c) / cores_per_chip();
+  }
+
+  struct XY {
+    int x;
+    int y;
+  };
+
+  /// Core position within its chip.
+  [[nodiscard]] constexpr XY local_xy(CoreId c) const noexcept {
+    const int l = static_cast<int>(c) % cores_per_chip();
+    return {l % cores_x, l / cores_x};
+  }
+
+  /// Chip position within the board/system.
+  [[nodiscard]] constexpr XY chip_xy(CoreId c) const noexcept {
+    const int ch = chip_of(c);
+    return {ch % chips_x, ch / chips_x};
+  }
+
+  /// Seamless global mesh coordinates of a core across chip boundaries.
+  [[nodiscard]] constexpr XY global_xy(CoreId c) const noexcept {
+    const XY l = local_xy(c);
+    const XY ch = chip_xy(c);
+    return {ch.x * cores_x + l.x, ch.y * cores_y + l.y};
+  }
+
+  /// CoreId from chip index and local position.
+  [[nodiscard]] constexpr CoreId core_at(int chip, int x, int y) const noexcept {
+    return static_cast<CoreId>(chip * cores_per_chip() + y * cores_x + x);
+  }
+
+  /// CoreId from global mesh coordinates.
+  [[nodiscard]] constexpr CoreId core_at_global(int gx, int gy) const noexcept {
+    const int cx = gx / cores_x, lx = gx % cores_x;
+    const int cy = gy / cores_y, ly = gy % cores_y;
+    return core_at(cy * chips_x + cx, lx, ly);
+  }
+
+  friend constexpr bool operator==(const Geometry&, const Geometry&) = default;
+};
+
+/// TrueNorth full-chip geometry: 64×64 cores = 4,096 cores, 1M neurons.
+[[nodiscard]] constexpr Geometry truenorth_chip() noexcept { return Geometry{1, 1, 64, 64}; }
+
+/// A spike in flight or recorded: emitted by `neuron` on `core`.
+struct Spike {
+  Tick tick;        ///< Tick at which the neuron fired.
+  CoreId core;
+  std::uint16_t neuron;
+
+  friend constexpr bool operator==(const Spike&, const Spike&) = default;
+  friend constexpr auto operator<=>(const Spike&, const Spike&) = default;
+};
+
+/// Destination of a neuron's spikes: one axon on one core, after `delay`
+/// ticks. Each TrueNorth neuron has exactly one programmable target; fan-out
+/// beyond 256 is achieved by splitter cores (see corelet library).
+struct AxonTarget {
+  CoreId core = kInvalidCore;
+  std::uint16_t axon = 0;
+  std::uint8_t delay = kMinDelay;
+
+  [[nodiscard]] constexpr bool valid() const noexcept { return core != kInvalidCore; }
+
+  friend constexpr bool operator==(const AxonTarget&, const AxonTarget&) = default;
+};
+
+/// External input event: a spike presented to (core, axon) at `tick`
+/// (delay already resolved; it is processed in that tick's synapse phase).
+struct InputSpike {
+  Tick tick;
+  CoreId core;
+  std::uint16_t axon;
+
+  friend constexpr bool operator==(const InputSpike&, const InputSpike&) = default;
+  friend constexpr auto operator<=>(const InputSpike&, const InputSpike&) = default;
+};
+
+}  // namespace nsc::core

@@ -1,0 +1,62 @@
+#include "src/core/validation.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace nsc::core {
+
+std::vector<ValidationIssue> validate(const Network& net) {
+  std::vector<ValidationIssue> issues;
+  const auto ncores = static_cast<CoreId>(net.geom.total_cores());
+  if (net.cores.size() != ncores) {
+    issues.push_back({"core vector size does not match geometry", kInvalidCore, -1});
+    return issues;
+  }
+  for (CoreId c = 0; c < ncores; ++c) {
+    const CoreSpec& spec = net.core(c);
+    for (int i = 0; i < kCoreSize; ++i) {
+      if (spec.axon_type[static_cast<std::size_t>(i)] >= kAxonTypes) {
+        issues.push_back({"axon type out of range", c, i});
+      }
+    }
+    for (int j = 0; j < kCoreSize; ++j) {
+      const NeuronParams& p = spec.neuron[j];
+      if (!p.enabled) continue;
+      if (spec.disabled) {
+        issues.push_back({"enabled neuron on disabled core", c, j});
+      }
+      if (p.threshold <= 0) {
+        issues.push_back({"threshold must be positive", c, j});
+      }
+      if (p.neg_threshold < 0) {
+        issues.push_back({"negative threshold must be >= 0", c, j});
+      }
+      if (p.target.valid()) {
+        if (p.target.core >= ncores) {
+          issues.push_back({"target core out of range", c, j});
+        } else if (net.core(p.target.core).disabled) {
+          issues.push_back({"target core is disabled", c, j});
+        }
+        if (p.target.delay < kMinDelay || p.target.delay > kMaxDelay) {
+          issues.push_back({"axonal delay out of [1,15]", c, j});
+        }
+      }
+    }
+  }
+  return issues;
+}
+
+void validate_or_throw(const Network& net) {
+  const auto issues = validate(net);
+  if (issues.empty()) return;
+  std::ostringstream os;
+  os << "network validation failed with " << issues.size() << " issue(s):";
+  const std::size_t show = issues.size() < 5 ? issues.size() : 5;
+  for (std::size_t i = 0; i < show; ++i) {
+    os << "\n  core " << issues[i].core << " neuron " << issues[i].neuron << ": "
+       << issues[i].message;
+  }
+  throw std::runtime_error(os.str());
+}
+
+}  // namespace nsc::core

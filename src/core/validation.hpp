@@ -1,0 +1,30 @@
+// Network validation: catches mis-programmed models before deployment, the
+// software analogue of the Corelet Programming Environment's checks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/network.hpp"
+
+namespace nsc::core {
+
+/// One validation finding, with the location that triggered it.
+struct ValidationIssue {
+  std::string message;
+  CoreId core = kInvalidCore;
+  int neuron = -1;  ///< -1 when the issue is core-level.
+};
+
+/// Validates `net` and returns all issues (empty means deployable):
+///  - every neuron target core in range and not disabled;
+///  - delays within [kMinDelay, kMaxDelay];
+///  - thresholds positive; negative thresholds non-negative;
+///  - axon types < kAxonTypes;
+///  - enabled neurons on disabled cores (configuration smell).
+[[nodiscard]] std::vector<ValidationIssue> validate(const Network& net);
+
+/// Throws std::runtime_error listing the first issues if validation fails.
+void validate_or_throw(const Network& net);
+
+}  // namespace nsc::core

@@ -1,0 +1,66 @@
+#include "src/corelet/corelet.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace nsc::corelet {
+
+int Corelet::add_core() {
+  cores_.emplace_back();
+  core::CoreSpec& cs = cores_.back();
+  for (auto& p : cs.neuron) {
+    p.enabled = 0;
+    p.target = core::AxonTarget{};
+  }
+  return static_cast<int>(cores_.size()) - 1;
+}
+
+void Corelet::connect(OutputPin src, InputPin dst, int delay) {
+  if (src.core < 0 || src.core >= core_count() || dst.core < 0 || dst.core >= core_count()) {
+    throw std::out_of_range("corelet connect: core index out of range");
+  }
+  if (delay < core::kMinDelay || delay > core::kMaxDelay) {
+    throw std::out_of_range("corelet connect: delay out of [1,15]");
+  }
+  core::NeuronParams& p = core(src.core).neuron[src.neuron];
+  // Local-index encoding: resolved to a physical CoreId at placement.
+  p.target.core = static_cast<core::CoreId>(dst.core);
+  p.target.axon = dst.axon;
+  p.target.delay = static_cast<std::uint8_t>(delay);
+}
+
+int Corelet::add_input(InputPin pin) {
+  assert(pin.core >= 0 && pin.core < core_count());
+  inputs_.push_back(pin);
+  return static_cast<int>(inputs_.size()) - 1;
+}
+
+int Corelet::add_output(OutputPin pin) {
+  assert(pin.core >= 0 && pin.core < core_count());
+  outputs_.push_back(pin);
+  return static_cast<int>(outputs_.size()) - 1;
+}
+
+int Corelet::absorb(Corelet child) {
+  const int offset = core_count();
+  for (auto& cs : child.cores_) {
+    // Rebase internal connections into the parent's index space.
+    for (auto& p : cs.neuron) {
+      if (p.target.valid()) {
+        p.target.core += static_cast<core::CoreId>(offset);
+      }
+    }
+    cores_.push_back(std::move(cs));
+  }
+  return offset;
+}
+
+std::uint64_t Corelet::enabled_neurons() const {
+  std::uint64_t n = 0;
+  for (const auto& cs : cores_) {
+    for (const auto& p : cs.neuron) n += p.enabled ? 1 : 0;
+  }
+  return n;
+}
+
+}  // namespace nsc::corelet

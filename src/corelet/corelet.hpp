@@ -1,0 +1,93 @@
+// Corelet layer: compositional network construction (paper §IV-A).
+//
+// A corelet encapsulates a network of neurosynaptic cores behind named input
+// pins (axons that receive external spikes) and output pins (neurons whose
+// spikes leave the corelet). Corelets compose hierarchically: a parent
+// absorbs children, wires child outputs to child inputs, and re-exports the
+// pins that remain external — the "object-oriented, compositional" model of
+// the Corelet Programming Environment, reduced to its structural essence.
+//
+// While under construction, neuron targets refer to *local* core indices;
+// placement (place.hpp) assigns physical CoreIds and rewrites the targets,
+// so one corelet can be deployed at any position of any chip array.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/network.hpp"
+
+namespace nsc::corelet {
+
+/// An axon of a logical core: where spikes enter.
+struct InputPin {
+  int core = 0;
+  std::uint16_t axon = 0;
+};
+
+/// A neuron of a logical core: where spikes exit.
+struct OutputPin {
+  int core = 0;
+  std::uint16_t neuron = 0;
+};
+
+class Corelet {
+ public:
+  explicit Corelet(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] int core_count() const noexcept { return static_cast<int>(cores_.size()); }
+
+  /// Adds a fresh logical core (all neurons disabled) and returns its index.
+  int add_core();
+
+  [[nodiscard]] core::CoreSpec& core(int i) { return cores_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] const core::CoreSpec& core(int i) const {
+    return cores_[static_cast<std::size_t>(i)];
+  }
+
+  /// Routes `src`'s spikes to `dst` (both local), with the given axonal
+  /// delay. A neuron has exactly one target; re-connecting overwrites it.
+  void connect(OutputPin src, InputPin dst, int delay = core::kMinDelay);
+
+  // ---- Pin namespace ------------------------------------------------------
+  int add_input(InputPin pin);
+  int add_output(OutputPin pin);
+  [[nodiscard]] int input_count() const noexcept { return static_cast<int>(inputs_.size()); }
+  [[nodiscard]] int output_count() const noexcept { return static_cast<int>(outputs_.size()); }
+  [[nodiscard]] InputPin input(int i) const { return inputs_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] OutputPin output(int i) const { return outputs_[static_cast<std::size_t>(i)]; }
+
+  // ---- Composition --------------------------------------------------------
+
+  /// Absorbs `child`'s cores (after this call the child must not be reused);
+  /// returns the core-index offset of the child's first core. The child's
+  /// internal connections are rebased automatically; its pins are NOT
+  /// auto-exported — use offset_pin / wire helpers below.
+  int absorb(Corelet child);
+
+  /// Rebases a child pin into this corelet's index space.
+  [[nodiscard]] static InputPin offset_pin(InputPin p, int core_offset) {
+    return {p.core + core_offset, p.axon};
+  }
+  [[nodiscard]] static OutputPin offset_pin(OutputPin p, int core_offset) {
+    return {p.core + core_offset, p.neuron};
+  }
+
+  /// Total enabled neurons across all cores (reported per app, paper §IV-B).
+  [[nodiscard]] std::uint64_t enabled_neurons() const;
+
+ private:
+  std::string name_;
+  std::vector<core::CoreSpec> cores_;
+
+  friend struct PlacedCorelet;
+  friend class Placer;
+  [[nodiscard]] const std::vector<core::CoreSpec>& cores() const noexcept { return cores_; }
+
+  std::vector<InputPin> inputs_;
+  std::vector<OutputPin> outputs_;
+};
+
+}  // namespace nsc::corelet

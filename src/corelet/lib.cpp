@@ -1,0 +1,120 @@
+#include "src/corelet/lib.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace nsc::corelet {
+
+using core::kCoreSize;
+
+Corelet make_splitter(int fanout) {
+  if (fanout < 1 || fanout > kCoreSize) throw std::out_of_range("splitter fanout");
+  Corelet c("splitter");
+  const int k = c.add_core();
+  auto& cs = c.core(k);
+  for (int j = 0; j < fanout; ++j) {
+    cs.crossbar.set(0, j);
+    core::NeuronParams& p = cs.neuron[j];
+    p.enabled = 1;
+    p.weight[0] = 1;
+    p.threshold = 1;
+    p.reset_mode = core::ResetMode::kAbsolute;
+    c.add_output({k, static_cast<std::uint16_t>(j)});
+  }
+  c.add_input({k, 0});
+  return c;
+}
+
+Corelet make_relay(int width) {
+  if (width < 1 || width > kCoreSize) throw std::out_of_range("relay width");
+  Corelet c("relay");
+  const int k = c.add_core();
+  auto& cs = c.core(k);
+  for (int j = 0; j < width; ++j) {
+    cs.crossbar.set(j, j);
+    core::NeuronParams& p = cs.neuron[j];
+    p.enabled = 1;
+    p.weight[0] = 1;
+    p.threshold = 1;
+    c.add_input({k, static_cast<std::uint16_t>(j)});
+    c.add_output({k, static_cast<std::uint16_t>(j)});
+  }
+  return c;
+}
+
+Corelet make_delay_line(int width, int total_delay) {
+  if (total_delay < 0) throw std::out_of_range("delay line length");
+  // A relay neuron fires in the same tick its axon event arrives, so chain
+  // latency comes entirely from the axonal delays *between* relays: a chain
+  // of R relays realizes any delay expressible as R−1 hops of 1..15 ticks.
+  Corelet c("delay_line");
+  int prev = c.absorb(make_relay(width));
+  for (int i = 0; i < width; ++i) {
+    c.add_input(Corelet::offset_pin(InputPin{0, static_cast<std::uint16_t>(i)}, prev));
+  }
+  int remaining = total_delay;
+  while (remaining > 0) {
+    const int hop = std::min(remaining, static_cast<int>(core::kMaxDelay));
+    const int next = c.absorb(make_relay(width));
+    for (int i = 0; i < width; ++i) {
+      c.connect(Corelet::offset_pin(OutputPin{0, static_cast<std::uint16_t>(i)}, prev),
+                Corelet::offset_pin(InputPin{0, static_cast<std::uint16_t>(i)}, next), hop);
+    }
+    prev = next;
+    remaining -= hop;
+  }
+  for (int i = 0; i < width; ++i) {
+    c.add_output(Corelet::offset_pin(OutputPin{0, static_cast<std::uint16_t>(i)}, prev));
+  }
+  return c;
+}
+
+Corelet make_wta(const WtaParams& p) {
+  if (p.channels < 1 || 2 * p.channels > kCoreSize) throw std::out_of_range("wta channels");
+  Corelet c("wta");
+  const int k = c.add_core();
+  auto& cs = c.core(k);
+  const int n = p.channels;
+  // A neuron has exactly one target, and the winner's target is consumed by
+  // the recurrent loop — so each winner drives a *feedback axon* whose
+  // crossbar row fans out to (a) every other winner (inhibition) and (b) a
+  // dedicated output-copy neuron whose own target stays free for callers.
+  // The per-neuron type-1 weight is negative on winners and positive on
+  // copies, which is precisely what per-neuron axon-type weights are for.
+  for (int i = 0; i < n; ++i) {
+    cs.axon_type[static_cast<std::size_t>(i)] = 0;      // feed-forward excitation
+    cs.axon_type[static_cast<std::size_t>(n + i)] = 1;  // recurrent feedback
+  }
+  for (int j = 0; j < n; ++j) {
+    // Winner neuron j.
+    cs.crossbar.set(j, j);
+    for (int i = 0; i < n; ++i) {
+      if (i != j) cs.crossbar.set(n + i, j);
+    }
+    core::NeuronParams& winner = cs.neuron[j];
+    winner.enabled = 1;
+    winner.weight[0] = p.excite;
+    winner.weight[1] = p.inhibit;
+    winner.leak = p.leak;
+    winner.threshold = p.threshold;
+    winner.neg_threshold = 2 * p.threshold;  // bounded suppression depth
+    winner.negative_mode = core::NegativeMode::kSaturate;
+    winner.reset_mode = core::ResetMode::kAbsolute;
+    c.connect(OutputPin{k, static_cast<std::uint16_t>(j)},
+              InputPin{k, static_cast<std::uint16_t>(n + j)}, 1);
+
+    // Output copy neuron n + j relays the winner's spikes outward.
+    cs.crossbar.set(n + j, n + j);
+    core::NeuronParams& copy = cs.neuron[n + j];
+    copy.enabled = 1;
+    copy.weight[1] = 1;
+    copy.threshold = 1;
+    copy.reset_mode = core::ResetMode::kAbsolute;
+
+    c.add_input({k, static_cast<std::uint16_t>(j)});
+    c.add_output({k, static_cast<std::uint16_t>(n + j)});
+  }
+  return c;
+}
+
+}  // namespace nsc::corelet

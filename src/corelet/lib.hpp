@@ -1,0 +1,43 @@
+// Reusable corelets: the seed of the paper's "corelet library" (§IV-A).
+//
+// Building blocks every application network needs:
+//   splitter    — fan one spike stream out to N copies (a neuron has exactly
+//                 one target, so fan-out beyond a core's local crossbar is
+//                 built from splitter cores),
+//   relay       — identity passthrough (placement/pipelining glue),
+//   delay line  — delays beyond the 15-tick axonal maximum, built from
+//                 chained relays,
+//   WTA         — winner-take-all via recurrent cross-inhibition, the
+//                 mechanism behind the saccade corelet's region selection.
+#pragma once
+
+#include "src/corelet/corelet.hpp"
+
+namespace nsc::corelet {
+
+/// One core that replicates one input axon to `fanout` output neurons
+/// (fanout ≤ 256). Inputs: 1 pin; outputs: `fanout` pins.
+[[nodiscard]] Corelet make_splitter(int fanout);
+
+/// One core passing `width` independent channels through unchanged
+/// (width ≤ 256). Inputs/outputs: `width` pins.
+[[nodiscard]] Corelet make_relay(int width);
+
+/// Delays `width` channels by `total_delay` ticks (any positive value);
+/// chains relays when total_delay > 15. Inputs/outputs: `width` pins.
+[[nodiscard]] Corelet make_delay_line(int width, int total_delay);
+
+/// Winner-take-all over `n` channels (n ≤ 128: n input axons + n feedback
+/// axons share one core). Each winner neuron integrates its input (+weight)
+/// and is inhibited by every *other* channel's recent winner spikes
+/// (−inhibition, one-tick feedback loop). Inputs: n pins; outputs: n pins.
+struct WtaParams {
+  int channels = 16;
+  std::int16_t excite = 8;
+  std::int16_t inhibit = -12;
+  std::int32_t threshold = 24;
+  std::int16_t leak = -1;  ///< Mild decay so stale evidence fades.
+};
+[[nodiscard]] Corelet make_wta(const WtaParams& p);
+
+}  // namespace nsc::corelet

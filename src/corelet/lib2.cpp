@@ -1,0 +1,219 @@
+#include "src/corelet/lib2.hpp"
+
+#include <stdexcept>
+
+namespace nsc::corelet {
+
+using core::kCoreSize;
+
+Corelet make_max_pool(int groups, int pool) {
+  if (groups < 1 || pool < 1 || groups * pool > kCoreSize || groups > kCoreSize) {
+    throw std::out_of_range("max_pool shape");
+  }
+  Corelet c("max_pool");
+  const int k = c.add_core();
+  auto& cs = c.core(k);
+  for (int g = 0; g < groups; ++g) {
+    for (int p = 0; p < pool; ++p) {
+      const int axon = g * pool + p;
+      cs.crossbar.set(axon, g);
+      c.add_input({k, static_cast<std::uint16_t>(axon)});
+    }
+    core::NeuronParams& n = cs.neuron[g];
+    n.enabled = 1;
+    n.weight[0] = 1;
+    n.threshold = 1;
+    n.reset_mode = core::ResetMode::kAbsolute;  // any input this tick -> fire
+    c.add_output({k, static_cast<std::uint16_t>(g)});
+  }
+  return c;
+}
+
+Corelet make_coincidence(int channels) {
+  if (channels < 1 || 2 * channels > kCoreSize) throw std::out_of_range("coincidence channels");
+  Corelet c("coincidence");
+  const int k = c.add_core();
+  auto& cs = c.core(k);
+  for (int i = 0; i < channels; ++i) {
+    cs.crossbar.set(i, i);             // A_i
+    cs.crossbar.set(channels + i, i);  // B_i
+    core::NeuronParams& n = cs.neuron[i];
+    n.enabled = 1;
+    // Leak applies before the threshold check (kernel phase order), so a
+    // same-tick pair must clear θ *after* the −1 decay: 2·2 − 1 ≥ 3, while
+    // a lone spike leaves 1 and a stale+fresh pair reaches only 2.
+    n.weight[0] = 2;
+    n.threshold = 3;
+    n.leak = -1;
+    n.neg_threshold = 0;
+    n.negative_mode = core::NegativeMode::kSaturate;
+    n.reset_mode = core::ResetMode::kAbsolute;
+    c.add_output({k, static_cast<std::uint16_t>(i)});
+  }
+  for (int i = 0; i < channels; ++i) c.add_input({k, static_cast<std::uint16_t>(i)});
+  for (int i = 0; i < channels; ++i) {
+    c.add_input({k, static_cast<std::uint16_t>(channels + i)});
+  }
+  return c;
+}
+
+Corelet make_threshold_bank(int n_inputs, const std::vector<int>& levels) {
+  if (n_inputs < 1 || n_inputs > kCoreSize || levels.empty() ||
+      static_cast<int>(levels.size()) > kCoreSize) {
+    throw std::out_of_range("threshold_bank shape");
+  }
+  Corelet c("threshold_bank");
+  const int k = c.add_core();
+  auto& cs = c.core(k);
+  for (int i = 0; i < n_inputs; ++i) c.add_input({k, static_cast<std::uint16_t>(i)});
+  for (std::size_t l = 0; l < levels.size(); ++l) {
+    if (levels[l] < 1 || levels[l] > 255) throw std::out_of_range("threshold_bank level");
+    for (int i = 0; i < n_inputs; ++i) cs.crossbar.set(i, static_cast<int>(l));
+    core::NeuronParams& n = cs.neuron[l];
+    n.enabled = 1;
+    n.weight[0] = 1;
+    n.leak = static_cast<std::int16_t>(-levels[l]);
+    n.threshold = 2;
+    n.neg_threshold = 0;
+    n.negative_mode = core::NegativeMode::kSaturate;
+    n.reset_mode = core::ResetMode::kLinear;
+    c.add_output({k, static_cast<std::uint16_t>(l)});
+  }
+  return c;
+}
+
+Corelet make_temporal_filter(int width, int gain) {
+  if (width < 1 || width > kCoreSize || gain < 1 || gain > 255) {
+    throw std::out_of_range("temporal_filter shape");
+  }
+  Corelet c("temporal_filter");
+  const int k = c.add_core();
+  auto& cs = c.core(k);
+  for (int i = 0; i < width; ++i) {
+    cs.crossbar.set(i, i);
+    core::NeuronParams& n = cs.neuron[i];
+    n.enabled = 1;
+    n.weight[0] = static_cast<std::int16_t>(gain);
+    n.leak = -1;
+    n.threshold = static_cast<std::int32_t>(gain);
+    n.neg_threshold = 0;
+    n.negative_mode = core::NegativeMode::kSaturate;
+    n.reset_mode = core::ResetMode::kLinear;
+    c.add_input({k, static_cast<std::uint16_t>(i)});
+    c.add_output({k, static_cast<std::uint16_t>(i)});
+  }
+  return c;
+}
+
+Corelet make_rate_scaler(int width, int num) {
+  if (width < 1 || width > kCoreSize || num < 1 || num > 256) {
+    throw std::out_of_range("rate_scaler shape");
+  }
+  Corelet c("rate_scaler");
+  const int k = c.add_core();
+  auto& cs = c.core(k);
+  for (int i = 0; i < width; ++i) {
+    cs.crossbar.set(i, i);
+    core::NeuronParams& n = cs.neuron[i];
+    n.enabled = 1;
+    // Probabilistic integration: weight `num` in stochastic mode applies +1
+    // with probability num/256 per input spike (paper §III-A).
+    n.weight[0] = static_cast<std::int16_t>(num == 256 ? 255 : num);
+    n.stochastic_weight = num == 256 ? 0 : 1;  // 256/256 = deterministic
+    n.threshold = 1;
+    n.reset_mode = core::ResetMode::kAbsolute;
+    c.add_input({k, static_cast<std::uint16_t>(i)});
+    c.add_output({k, static_cast<std::uint16_t>(i)});
+  }
+  return c;
+}
+
+Corelet make_gate(GateKind kind) {
+  Corelet c("gate");
+  const int k = c.add_core();
+  auto& cs = c.core(k);
+  // Axons: 0 = A, 1 = B (or clock for NOT), 2..3 = internal echoes (XOR).
+  switch (kind) {
+    case GateKind::kOr: {
+      cs.crossbar.set(0, 0);
+      cs.crossbar.set(1, 0);
+      core::NeuronParams& n = cs.neuron[0];
+      n.enabled = 1;
+      n.weight[0] = 1;
+      n.threshold = 1;
+      n.reset_mode = core::ResetMode::kAbsolute;
+      break;
+    }
+    case GateKind::kAnd: {
+      cs.crossbar.set(0, 0);
+      cs.crossbar.set(1, 0);
+      core::NeuronParams& n = cs.neuron[0];
+      n.enabled = 1;
+      // See make_coincidence: θ clears only when both inputs land in the
+      // same tick, net of the −1 decay that runs before thresholding.
+      n.weight[0] = 2;
+      n.threshold = 3;
+      n.leak = -1;
+      n.neg_threshold = 0;
+      n.negative_mode = core::NegativeMode::kSaturate;
+      n.reset_mode = core::ResetMode::kAbsolute;
+      break;
+    }
+    case GateKind::kNot: {
+      // Fires on clock ticks when A is silent: clock +1, A −2, θ = 1.
+      cs.axon_type[0] = 1;  // A on the inhibitory type
+      cs.crossbar.set(0, 0);
+      cs.crossbar.set(1, 0);
+      core::NeuronParams& n = cs.neuron[0];
+      n.enabled = 1;
+      n.weight[0] = 1;   // clock (axon 1, type 0)
+      n.weight[1] = -2;  // A (axon 0, type 1)
+      n.threshold = 1;
+      n.neg_threshold = 0;
+      n.negative_mode = core::NegativeMode::kSaturate;
+      n.reset_mode = core::ResetMode::kAbsolute;
+      break;
+    }
+    case GateKind::kXor: {
+      // Layer 1: OR (neuron 1) and AND (neuron 2) echo into axons 2 and 3;
+      // layer 2: XOR = OR − 2·AND one tick later (neuron 0).
+      cs.axon_type[3] = 1;
+      for (int a : {0, 1}) {
+        cs.crossbar.set(a, 1);
+        cs.crossbar.set(a, 2);
+      }
+      core::NeuronParams& orn = cs.neuron[1];
+      orn.enabled = 1;
+      orn.weight[0] = 1;
+      orn.threshold = 1;
+      orn.reset_mode = core::ResetMode::kAbsolute;
+      core::NeuronParams& andn = cs.neuron[2];
+      andn = orn;
+      andn.weight[0] = 2;
+      andn.threshold = 3;
+      andn.leak = -1;
+      andn.neg_threshold = 0;
+      andn.negative_mode = core::NegativeMode::kSaturate;
+      c.connect({k, 1}, {k, 2}, 1);
+      c.connect({k, 2}, {k, 3}, 1);
+      cs.crossbar.set(2, 0);
+      cs.crossbar.set(3, 0);
+      core::NeuronParams& x = cs.neuron[0];
+      x.enabled = 1;
+      x.weight[0] = 2;   // OR echo (clears θ net of the decay)
+      x.weight[1] = -4;  // AND echo veto
+      x.threshold = 1;
+      x.leak = -1;
+      x.neg_threshold = 0;
+      x.negative_mode = core::NegativeMode::kSaturate;
+      x.reset_mode = core::ResetMode::kAbsolute;
+      break;
+    }
+  }
+  c.add_input({k, 0});
+  c.add_input({k, 1});
+  c.add_output({k, 0});
+  return c;
+}
+
+}  // namespace nsc::corelet

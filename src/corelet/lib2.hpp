@@ -1,0 +1,44 @@
+// Corelet library, part 2: signal-processing and logic building blocks
+// (paper §IV-A: the corelet library covers "linear and non-linear signal and
+// image processing; spatio-temporal filtering" — and the architecture is
+// Turing-complete, which the spiking logic gates make concrete).
+#pragma once
+
+#include "src/corelet/corelet.hpp"
+
+namespace nsc::corelet {
+
+/// OR-pooling: `groups` outputs, each firing when ANY of its `pool` inputs
+/// fires that tick (binary max-pool). groups*pool inputs, ≤256.
+[[nodiscard]] Corelet make_max_pool(int groups, int pool);
+
+/// Coincidence detection: one output per channel pair, firing only when both
+/// the A and B input of that channel fire in the same tick.
+/// Inputs: 2*channels pins (A0..An-1, B0..Bn-1); outputs: channels pins.
+[[nodiscard]] Corelet make_coincidence(int channels);
+
+/// Threshold ladder over a population: `n_inputs` axons feed `levels.size()`
+/// neurons; neuron k fires persistently while the per-tick input spike count
+/// exceeds levels[k] (leak −levels[k], threshold 2 — the NeoVision What
+/// ladder as a reusable block).
+[[nodiscard]] Corelet make_threshold_bank(int n_inputs, const std::vector<int>& levels);
+
+/// First-order low-pass rate filter per channel: output rate tracks input
+/// rate with time constant ≈ gain ticks (integrate `gain` per spike, decay 1
+/// per tick, fire per `gain` accumulated).
+[[nodiscard]] Corelet make_temporal_filter(int width, int gain);
+
+/// Stochastic rate scaler: output rate ≈ input rate × num/256, using the
+/// chip's probabilistic synapse mode (num in [1, 256]).
+[[nodiscard]] Corelet make_rate_scaler(int width, int num);
+
+/// Spiking logic gates (per tick, over rate-coded binary signals).
+enum class GateKind { kOr, kAnd, kNot, kXor };
+
+/// One gate: inputs A (and B for binary gates; NOT takes A plus a clock pin
+/// that defines "when to evaluate"). Output pin 0 is the gate result.
+/// XOR composes OR and AND internally through one-tick echo axons, so its
+/// output lags the inputs by one tick.
+[[nodiscard]] Corelet make_gate(GateKind kind);
+
+}  // namespace nsc::corelet

@@ -1,0 +1,62 @@
+#include "src/corelet/place.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nsc::corelet {
+
+core::Geometry fit_geometry(const Corelet& c) {
+  const int n = std::max(1, c.core_count());
+  int side = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(n))));
+  // Chips are square in this reproduction's scaled geometries; round up so
+  // side*side >= n.
+  return core::Geometry{1, 1, side, side};
+}
+
+PlacedCorelet place(const Corelet& c, const core::Geometry& geom, PlaceStrategy strategy,
+                    std::uint64_t seed) {
+  const int n = c.core_count();
+  if (n > geom.total_cores()) {
+    throw std::runtime_error("place: corelet has " + std::to_string(n) +
+                             " cores but geometry holds only " +
+                             std::to_string(geom.total_cores()));
+  }
+
+  PlacedCorelet out;
+  out.network = core::Network(geom, seed);
+  out.core_map.resize(static_cast<std::size_t>(n));
+
+  if (strategy == PlaceStrategy::kLinear) {
+    for (int i = 0; i < n; ++i) out.core_map[static_cast<std::size_t>(i)] = static_cast<core::CoreId>(i);
+  } else {
+    // Snake order over a w×h block: consecutive logical cores stay mesh
+    // neighbors, which keeps pipeline-style corelets' routes short.
+    const int w = geom.chips_x * geom.cores_x;
+    int placed = 0;
+    for (int y = 0; placed < n; ++y) {
+      for (int k = 0; k < w && placed < n; ++k) {
+        const int x = (y % 2 == 0) ? k : w - 1 - k;
+        out.core_map[static_cast<std::size_t>(placed++)] =
+            geom.core_at_global(x, y);
+      }
+    }
+  }
+
+  for (int i = 0; i < n; ++i) {
+    core::CoreSpec spec = c.core(i);
+    for (auto& p : spec.neuron) {
+      if (p.target.valid()) {
+        p.target.core = out.core_map[static_cast<std::size_t>(p.target.core)];
+      }
+    }
+    out.network.core(out.core_map[static_cast<std::size_t>(i)]) = std::move(spec);
+  }
+
+  out.inputs.reserve(static_cast<std::size_t>(c.input_count()));
+  for (int i = 0; i < c.input_count(); ++i) out.inputs.push_back(c.input(i));
+  out.outputs.reserve(static_cast<std::size_t>(c.output_count()));
+  for (int i = 0; i < c.output_count(); ++i) out.outputs.push_back(c.output(i));
+  return out;
+}
+
+}  // namespace nsc::corelet

@@ -1,0 +1,56 @@
+// Placement: mapping a corelet's logical cores onto physical cores of a chip
+// (or chip array) and rewriting neuron targets from local indices to
+// CoreIds. Two strategies are provided and ablated in the benches:
+//   kLinear  — logical core i → CoreId i (simple, long average routes),
+//   kBlock2D — logical cores fill a compact square block in snake order,
+//              shortening average mesh routes for locally-connected corelets
+//              (the clustered-topology assumption the kernel exploits).
+#pragma once
+
+#include <vector>
+
+#include "src/core/input_schedule.hpp"
+#include "src/core/network.hpp"
+#include "src/corelet/corelet.hpp"
+
+namespace nsc::corelet {
+
+enum class PlaceStrategy { kLinear, kBlock2D };
+
+/// A corelet deployed onto a network: the network plus the pin resolution
+/// tables the encoders/decoders need.
+struct PlacedCorelet {
+  core::Network network;
+  std::vector<core::CoreId> core_map;  ///< local core index → CoreId.
+  std::vector<InputPin> inputs;        ///< copied pin tables (local indices).
+  std::vector<OutputPin> outputs;
+
+  /// Physical location of input pin `i`.
+  [[nodiscard]] core::InputSpike input_at(int i, core::Tick t) const {
+    const InputPin p = inputs[static_cast<std::size_t>(i)];
+    return {t, core_map[static_cast<std::size_t>(p.core)], p.axon};
+  }
+
+  /// Physical (core, neuron) of output pin `i`.
+  [[nodiscard]] std::pair<core::CoreId, std::uint16_t> output_at(int i) const {
+    const OutputPin p = outputs[static_cast<std::size_t>(i)];
+    return {core_map[static_cast<std::size_t>(p.core)], p.neuron};
+  }
+
+  /// Flat index of output pin `i` into a CountSink's counts() vector.
+  [[nodiscard]] std::size_t output_flat_index(int i) const {
+    const auto [c, n] = output_at(i);
+    return static_cast<std::size_t>(c) * core::kCoreSize + n;
+  }
+};
+
+/// Places `c` onto a fresh network with the given geometry. Throws
+/// std::runtime_error if the corelet does not fit.
+[[nodiscard]] PlacedCorelet place(const Corelet& c, const core::Geometry& geom,
+                                  PlaceStrategy strategy = PlaceStrategy::kBlock2D,
+                                  std::uint64_t seed = 1);
+
+/// Smallest square-ish geometry (single chip) that fits `c`.
+[[nodiscard]] core::Geometry fit_geometry(const Corelet& c);
+
+}  // namespace nsc::corelet

@@ -1,0 +1,42 @@
+#include "src/energy/host_models.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace nsc::energy {
+
+double work_units(const core::KernelStats& s) {
+  return static_cast<double>(s.sops) + 0.6 * static_cast<double>(s.neuron_updates);
+}
+
+double work_units_per_tick(const core::KernelStats& s) {
+  return s.ticks ? work_units(s) / static_cast<double>(s.ticks) : 0.0;
+}
+
+double X86Model::seconds_per_tick(const core::KernelStats& stats, int threads) const {
+  assert(threads >= 1 && threads <= p_.max_threads());
+  return work_units_per_tick(stats) * p_.t_work_unit / static_cast<double>(threads) +
+         p_.t_tick_overhead;
+}
+
+double X86Model::power_w(int threads) const {
+  assert(threads >= 1 && threads <= p_.max_threads());
+  return p_.idle_package_w + static_cast<double>(threads) * p_.active_core_w + p_.dram_active_w;
+}
+
+double BgqModel::seconds_per_tick(const core::KernelStats& stats, int hosts,
+                                  int threads_per_host) const {
+  assert(hosts >= 1 && hosts <= p_.max_hosts);
+  assert(threads_per_host >= 1 && threads_per_host <= p_.max_threads_per_host);
+  const double workers = static_cast<double>(hosts) * static_cast<double>(threads_per_host);
+  return work_units_per_tick(stats) * p_.t_work_unit / workers + p_.t_tick_overhead +
+         p_.t_collective * std::log2(static_cast<double>(hosts));
+}
+
+double BgqModel::power_w(int hosts, int threads_per_host) const {
+  assert(hosts >= 1 && hosts <= p_.max_hosts);
+  return static_cast<double>(hosts) *
+         (p_.card_idle_w + static_cast<double>(threads_per_host) * p_.thread_active_w);
+}
+
+}  // namespace nsc::energy

@@ -1,0 +1,108 @@
+// Von Neumann comparison platforms: the x86 server and the Blue Gene/Q
+// system the paper benchmarks Compass on (§V), reconstructed as analytic
+// models because neither machine is available to this reproduction.
+//
+// Timing uses a work-unit abstraction: one tick of Compass costs
+//   work_units = sops + 0.6 · neuron_updates
+// (synaptic events dominate; the 0.6 weighs the fixed per-neuron leak/
+// threshold pass, fit from the relative cost of the two inner loops).
+// A platform is then (per-thread work-unit time, per-tick overhead, strong-
+// scaling penalty) plus a power model.
+//
+// Calibration anchors from the paper:
+//   * BG/Q, NeoVision (≈1.5M work-units/tick): 1 host × 64 threads
+//     ≈ 0.13 s/tick; 32 hosts ≈ 12 ms/tick — "12× slower than real-time"
+//     at the best operating point (paper Fig. 8, §VI-E).
+//   * x86 (dual E5-2440, 12 cores): two-to-three orders of magnitude slower
+//     than TrueNorth real time (paper Fig. 6(c)); implied per-thread rate
+//     ≈ 2.5 M work-units/s.
+//   * Power: EMON-style node-card telemetry for BG/Q (§V-2: node card /32
+//     per compute card), RAPL-style package+DRAM for x86.
+//
+// The host this reproduction runs on also executes Compass for real; its
+// *measured* wall clock is reported alongside these models (EXPERIMENTS.md
+// discusses measured-vs-modeled).
+#pragma once
+
+#include "src/core/network.hpp"
+#include "src/energy/units.hpp"
+
+namespace nsc::energy {
+
+/// Work units for one run (see file comment).
+[[nodiscard]] double work_units(const core::KernelStats& stats);
+
+/// Work units per tick.
+[[nodiscard]] double work_units_per_tick(const core::KernelStats& stats);
+
+/// Dual-socket x86 server model (2 × 6-core E5-2440, §V).
+struct X86Params {
+  int sockets = 2;
+  int cores_per_socket = 6;
+  double t_work_unit = 0.40 * kMicro;  ///< Per-thread work-unit time (Fig. 8 x86 series).
+  double t_tick_overhead = 2.0 * kMilli;  ///< Per-tick sync/bookkeeping.
+  double idle_package_w = 70.0;   ///< Both packages idle (uncore + fixed).
+  double active_core_w = 8.5;     ///< Each busy core.
+  double dram_active_w = 15.0;    ///< DRAM under simulation load.
+
+  [[nodiscard]] int max_threads() const noexcept { return sockets * cores_per_socket; }
+};
+
+class X86Model {
+ public:
+  explicit X86Model(X86Params params = {}) : p_(params) {}
+
+  [[nodiscard]] const X86Params& params() const noexcept { return p_; }
+
+  /// Seconds per simulated tick with `threads` busy threads.
+  [[nodiscard]] double seconds_per_tick(const core::KernelStats& stats, int threads) const;
+
+  /// RAPL-style package+DRAM power with `threads` busy threads, in watts.
+  [[nodiscard]] double power_w(int threads) const;
+
+  /// Energy per simulated tick, joules.
+  [[nodiscard]] double energy_per_tick_j(const core::KernelStats& stats, int threads) const {
+    return seconds_per_tick(stats, threads) * power_w(threads);
+  }
+
+ private:
+  X86Params p_;
+};
+
+/// Blue Gene/Q model: up to 32 compute cards, 16 app cores × 4 SMT threads
+/// each (§V). Strong scaling follows T = W/(hosts·threads·rate) + overhead,
+/// with a logarithmic collective term — the α–β shape of the two-step
+/// synchronization scheme.
+struct BgqParams {
+  int max_hosts = 32;
+  int max_threads_per_host = 64;
+  double t_work_unit = 5.46 * kMicro;   ///< Per-thread work-unit time (A2 core).
+  double t_tick_overhead = 5.0 * kMilli;///< Fixed per-tick cost (Compass loop).
+  double t_collective = 0.6 * kMilli;   ///< Per log2(hosts) synchronization cost.
+  double card_idle_w = 18.0;            ///< Compute card at idle (node card / 32).
+  double thread_active_w = 0.18;        ///< Per busy hardware thread.
+};
+
+class BgqModel {
+ public:
+  explicit BgqModel(BgqParams params = {}) : p_(params) {}
+
+  [[nodiscard]] const BgqParams& params() const noexcept { return p_; }
+
+  /// Seconds per simulated tick on `hosts` cards × `threads` threads each.
+  [[nodiscard]] double seconds_per_tick(const core::KernelStats& stats, int hosts,
+                                        int threads_per_host) const;
+
+  /// EMON-style power of `hosts` cards with `threads_per_host` busy, watts.
+  [[nodiscard]] double power_w(int hosts, int threads_per_host) const;
+
+  [[nodiscard]] double energy_per_tick_j(const core::KernelStats& stats, int hosts,
+                                         int threads_per_host) const {
+    return seconds_per_tick(stats, hosts, threads_per_host) * power_w(hosts, threads_per_host);
+  }
+
+ private:
+  BgqParams p_;
+};
+
+}  // namespace nsc::energy

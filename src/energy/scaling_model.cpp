@@ -1,0 +1,42 @@
+#include "src/energy/scaling_model.hpp"
+
+namespace nsc::energy {
+
+std::vector<SystemTier> paper_system_tiers() {
+  // Neuron/synapse counts: 1e6 and 256e6 per chip.
+  auto tier = [](std::string name, int chips, double power_w) {
+    return SystemTier{std::move(name), chips, power_w, 1e6 * chips, 256e6 * chips};
+  };
+  return {
+      tier("single chip (real-time, typical app)", 1, 0.065),
+      tier("8-board Ethernet rack node set", 8, 8 * 2.0),  // chip + Zynq per board
+      tier("4x4 array board (measured 7.2 W)", 16, 7.2),
+      tier("quarter-rack backplane (64 boards)", 1024, 1000.0),
+      tier("full rack (4,096 chips)", 4096, 4000.0),
+      tier("96-rack human-scale (100T synapses)", 4096 * 96, 4000.0 * 96),
+  };
+}
+
+double energy_to_solution_ratio(const HistoricalRun& hist, const SystemTier& tier) {
+  const double hist_energy = hist.racks * hist.rack_power_w * hist.slowdown;
+  return hist_energy / tier.total_power_w;
+}
+
+HistoricalRun bgl_rat_scale() {
+  // Ananthanarayanan & Modha, SC'07: 32 racks of Blue Gene/L, 10× slower
+  // than real time. ~20 kW installed per BG/L rack.
+  return {"rat-scale (32 racks BG/L, 10x slower than real time)", 32.0, 20000.0, 10.0};
+}
+
+HistoricalRun bgp_one_percent_human() {
+  // Ananthanarayanan et al., SC'09: 16 racks of LLNL Dawn Blue Gene/P,
+  // 400x slower than real time. ~40 kW installed per BG/P rack.
+  return {"1%-human-scale (16 racks BG/P, 400x slower than real time)", 16.0, 40000.0, 400.0};
+}
+
+double truenorth_power_density_w_per_cm2(double chip_power_w) {
+  constexpr double kChipAreaCm2 = 4.3;  // 5.4B transistors in 4.3 cm² (§III-C).
+  return chip_power_w / kChipAreaCm2;
+}
+
+}  // namespace nsc::energy

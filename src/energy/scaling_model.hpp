@@ -1,0 +1,51 @@
+// Large-scale system projections (paper §VII): boards, backplanes, racks,
+// and the energy-to-solution comparisons against the historical Blue Gene
+// cortical simulations (rat-scale on BG/L, 1%-human-scale on BG/P).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/energy/units.hpp"
+
+namespace nsc::energy {
+
+/// One level of the paper's system hierarchy (Fig. 1(h-j), §VII-D).
+struct SystemTier {
+  std::string name;
+  int chips;                 ///< TrueNorth processors.
+  double total_power_w;      ///< Budgeted total power (chips + support).
+  double neurons;            ///< 1M per chip.
+  double synapses;           ///< 256M per chip.
+};
+
+/// The tiers the paper describes: single chip, 16-chip board (measured
+/// 7.2 W: 2.5 W array at 1.0 V + 4.7 W support, §VII-C), 64-board
+/// quarter-rack backplane (1 kW budget), full rack with 4,096 chips (4 kW).
+[[nodiscard]] std::vector<SystemTier> paper_system_tiers();
+
+/// A historical supercomputer cortical simulation to compare against.
+struct HistoricalRun {
+  std::string name;        ///< e.g. "rat-scale, 32 racks BG/L".
+  double racks;
+  double rack_power_w;     ///< Installed power per rack.
+  double slowdown;         ///< ×real-time (10× for BG/L rat, 400× for BG/P 1%-human).
+};
+
+/// Energy-to-solution ratio of `hist` versus a TrueNorth tier running the
+/// same model in real time: (P_hist · slowdown) / P_tier. Both sides
+/// simulate the same biological interval, so time-to-solution divides out
+/// into the slowdown factor.
+[[nodiscard]] double energy_to_solution_ratio(const HistoricalRun& hist, const SystemTier& tier);
+
+/// The paper's two §VII-D comparisons with our installed-power assumptions
+/// (BG/L ≈ 20 kW/rack, BG/P ≈ 40 kW/rack — see EXPERIMENTS.md for the
+/// sensitivity of the 6,400× / 128,000× claims to these constants).
+[[nodiscard]] HistoricalRun bgl_rat_scale();
+[[nodiscard]] HistoricalRun bgp_one_percent_human();
+
+/// Power density (W/cm²): the paper contrasts TrueNorth's ~20 mW/cm² against
+/// ~100 W/cm² for a modern processor. Chip area is 4.3 cm².
+[[nodiscard]] double truenorth_power_density_w_per_cm2(double chip_power_w);
+
+}  // namespace nsc::energy

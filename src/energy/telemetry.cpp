@@ -1,0 +1,54 @@
+#include "src/energy/telemetry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nsc::energy {
+
+void TelemetryLog::record(const std::string& channel, double time_s, double value) {
+  auto& samples = channels_[channel];
+  if (!samples.empty() && time_s < samples.back().time_s) {
+    throw std::invalid_argument("telemetry: out-of-order sample on " + channel);
+  }
+  samples.push_back({time_s, value});
+}
+
+bool TelemetryLog::has_channel(const std::string& channel) const {
+  return channels_.count(channel) != 0;
+}
+
+std::size_t TelemetryLog::sample_count(const std::string& channel) const {
+  const auto it = channels_.find(channel);
+  return it == channels_.end() ? 0 : it->second.size();
+}
+
+std::vector<std::string> TelemetryLog::channels() const {
+  std::vector<std::string> out;
+  out.reserve(channels_.size());
+  for (const auto& [name, _] : channels_) out.push_back(name);
+  return out;
+}
+
+double TelemetryLog::integral_over(const std::string& channel, double t0, double t1) const {
+  const auto it = channels_.find(channel);
+  if (it == channels_.end() || it->second.empty() || t1 <= t0) return 0.0;
+  const auto& s = it->second;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    // Sample i holds over [s[i].time, s[i+1].time); the first sample also
+    // covers any window time before it (zero-order hold extension).
+    const double seg0 = i == 0 ? std::min(t0, s[0].time_s) : s[i].time_s;
+    const double seg1 = i + 1 < s.size() ? s[i + 1].time_s : std::max(t1, s.back().time_s);
+    const double lo = std::max(seg0, t0);
+    const double hi = std::min(seg1, t1);
+    if (hi > lo) acc += s[i].value * (hi - lo);
+  }
+  return acc;
+}
+
+double TelemetryLog::mean_over(const std::string& channel, double t0, double t1) const {
+  if (t1 <= t0) return 0.0;
+  return integral_over(channel, t0, t1) / (t1 - t0);
+}
+
+}  // namespace nsc::energy

@@ -1,0 +1,52 @@
+// Environmental telemetry log, EMON-style (paper §V-2: Blue Gene systems
+// periodically log time-stamped power samples from each component into a
+// DB2 database; measurements are recovered by querying and averaging the
+// log). This module reproduces that measurement chain: a TelemetryLog
+// collects time-stamped samples per named channel, and queries compute
+// windowed averages/energy the way the paper derives compute-card power
+// from node-card records.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nsc::energy {
+
+struct TelemetrySample {
+  double time_s;
+  double value;
+};
+
+class TelemetryLog {
+ public:
+  /// Appends a sample to `channel` (timestamps must be non-decreasing per
+  /// channel; out-of-order samples are rejected with std::invalid_argument).
+  void record(const std::string& channel, double time_s, double value);
+
+  [[nodiscard]] bool has_channel(const std::string& channel) const;
+  [[nodiscard]] std::size_t sample_count(const std::string& channel) const;
+  [[nodiscard]] std::vector<std::string> channels() const;
+
+  /// Time-weighted average of `channel` over [t0, t1] (samples hold until
+  /// the next sample; the value before the first sample is taken as the
+  /// first sample's). Returns 0 for unknown channels or empty windows.
+  [[nodiscard]] double mean_over(const std::string& channel, double t0, double t1) const;
+
+  /// Integral of the channel over [t0, t1] — power channel → joules.
+  [[nodiscard]] double integral_over(const std::string& channel, double t0, double t1) const;
+
+  /// The paper's node-card → compute-card estimate: mean of `channel`
+  /// divided by `parts` (EMON reports the 32-card node card; per-card power
+  /// is the mean divided by 32).
+  [[nodiscard]] double mean_per_part(const std::string& channel, double t0, double t1,
+                                     int parts) const {
+    return parts > 0 ? mean_over(channel, t0, t1) / parts : 0.0;
+  }
+
+ private:
+  std::map<std::string, std::vector<TelemetrySample>> channels_;
+};
+
+}  // namespace nsc::energy

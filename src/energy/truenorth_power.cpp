@@ -1,0 +1,58 @@
+#include "src/energy/truenorth_power.hpp"
+
+namespace nsc::energy {
+
+double TrueNorthPowerModel::active_energy_j(const core::KernelStats& s, double volts) const {
+  const double e = static_cast<double>(s.sops) * p_.e_sop +
+                   static_cast<double>(s.axon_events) * p_.e_axon_event +
+                   static_cast<double>(s.neuron_updates) * p_.e_neuron_update +
+                   static_cast<double>(s.spikes) * p_.e_spike +
+                   static_cast<double>(s.hop_sum) * p_.e_hop +
+                   static_cast<double>(s.interchip_crossings) * p_.e_chip_crossing;
+  return e * p_.active_scale(volts);
+}
+
+double TrueNorthPowerModel::passive_power_w(int total_cores, double volts) const {
+  return static_cast<double>(total_cores) * p_.passive_w_per_core * p_.passive_scale(volts);
+}
+
+double TrueNorthPowerModel::total_energy_j(const core::KernelStats& s, int total_cores,
+                                           double volts, double tick_hz) const {
+  const double wall_seconds = static_cast<double>(s.ticks) / tick_hz;
+  return active_energy_j(s, volts) + passive_power_w(total_cores, volts) * wall_seconds;
+}
+
+double TrueNorthPowerModel::mean_power_w(const core::KernelStats& s, int total_cores, double volts,
+                                         double tick_hz) const {
+  if (s.ticks == 0) return passive_power_w(total_cores, volts);
+  const double wall_seconds = static_cast<double>(s.ticks) / tick_hz;
+  return total_energy_j(s, total_cores, volts, tick_hz) / wall_seconds;
+}
+
+double TrueNorthPowerModel::sops_per_second(const core::KernelStats& s, double tick_hz) {
+  if (s.ticks == 0) return 0.0;
+  return static_cast<double>(s.sops) / static_cast<double>(s.ticks) * tick_hz;
+}
+
+double TrueNorthPowerModel::sops_per_watt(const core::KernelStats& s, int total_cores,
+                                          double volts, double tick_hz) const {
+  const double p = mean_power_w(s, total_cores, volts, tick_hz);
+  return p > 0.0 ? sops_per_second(s, tick_hz) / p : 0.0;
+}
+
+EnergyBreakdown TrueNorthPowerModel::breakdown(const core::KernelStats& s, int total_cores,
+                                               double volts, double tick_hz) const {
+  const double a = p_.active_scale(volts);
+  EnergyBreakdown b;
+  b.sop_j = static_cast<double>(s.sops) * p_.e_sop * a;
+  b.axon_j = static_cast<double>(s.axon_events) * p_.e_axon_event * a;
+  b.neuron_j = static_cast<double>(s.neuron_updates) * p_.e_neuron_update * a;
+  b.spike_j = static_cast<double>(s.spikes) * p_.e_spike * a;
+  b.hop_j = static_cast<double>(s.hop_sum) * p_.e_hop * a;
+  b.crossing_j = static_cast<double>(s.interchip_crossings) * p_.e_chip_crossing * a;
+  b.passive_j =
+      passive_power_w(total_cores, volts) * static_cast<double>(s.ticks) / tick_hz;
+  return b;
+}
+
+}  // namespace nsc::energy

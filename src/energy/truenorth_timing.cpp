@@ -1,0 +1,17 @@
+#include "src/energy/truenorth_timing.hpp"
+
+#include "src/core/types.hpp"
+
+namespace nsc::energy {
+
+double TrueNorthTimingModel::tick_time_s(const core::KernelStats& s, double volts) const {
+  const double ticks = s.ticks ? static_cast<double>(s.ticks) : 1.0;
+  const double a_hat = static_cast<double>(s.sum_max_core_axon_events) / ticks;
+  const double sop_hat = static_cast<double>(s.sum_max_core_sops) / ticks;
+  const double spike_hat = static_cast<double>(s.sum_max_core_spikes) / ticks;
+  const double t = p_.t_fixed + a_hat * p_.t_row + sop_hat * p_.t_sop +
+                   static_cast<double>(core::kCoreSize) * p_.t_neuron + spike_hat * p_.t_spike;
+  return t / p_.speed(volts);
+}
+
+}  // namespace nsc::energy

@@ -1,0 +1,63 @@
+// TrueNorth maximum tick frequency model (paper Fig. 5(b,c)).
+//
+// A tick completes when the busiest core has drained its axon events,
+// integrated its synaptic events, updated all neurons, and emitted its
+// spikes — plus a fixed synchronization/routing envelope. The asynchronous
+// logic speeds up roughly linearly in the gate overdrive (V − Vt):
+//
+//   t_tick(V) = [t_fixed + Â·t_row + ŜOP·t_sop + 256·t_neuron + Ŝ·t_spike]
+//               / speed(V),     speed(V) = (V − Vt)/(V0 − Vt)
+//
+// where Â, ŜOP, Ŝ are the mean per-tick *maxima over cores* of axon events,
+// SOPs and spikes (critical path, from KernelStats.sum_max_core_*).
+// Calibration (0.75 V): the absolute worst case — every axon active, every
+// synapse set, every neuron firing every tick (65,536 SOPs/core/tick, the
+// stress test of §VI-A) — lands slightly below 1 kHz real time; the
+// 200 Hz/256-synapse corner sustains ≈1 kHz (paper: real-time); light loads
+// run several kHz (paper: faster-than-real-time possible when "active
+// synapses are few and firing rates are low").
+#pragma once
+
+#include "src/core/network.hpp"
+#include "src/energy/units.hpp"
+
+namespace nsc::energy {
+
+struct TrueNorthTimingParams {
+  double v_nominal = 0.75;
+  double vt = 0.40;               ///< Effective threshold voltage of the process.
+  double t_fixed = 60.0 * kMicro; ///< Per-tick sync + network drain envelope.
+  double t_row = 300.0 * kNano;   ///< Axon event: crossbar row read + decode.
+  double t_sop = 40.0 * kNano;    ///< One serialized synaptic integration.
+  double t_neuron = 200.0 * kNano;///< One neuron's leak/threshold slot.
+  double t_spike = 500.0 * kNano; ///< Spike generation + injection.
+
+  [[nodiscard]] double speed(double volts) const {
+    return (volts - vt) / (v_nominal - vt);
+  }
+};
+
+class TrueNorthTimingModel {
+ public:
+  explicit TrueNorthTimingModel(TrueNorthTimingParams params = {}) : p_(params) {}
+
+  [[nodiscard]] const TrueNorthTimingParams& params() const noexcept { return p_; }
+
+  /// Mean per-tick critical-path time at `volts`, in seconds.
+  [[nodiscard]] double tick_time_s(const core::KernelStats& stats, double volts) const;
+
+  /// Maximum sustainable tick frequency at `volts`, in Hz.
+  [[nodiscard]] double max_tick_hz(const core::KernelStats& stats, double volts) const {
+    return 1.0 / tick_time_s(stats, volts);
+  }
+
+  /// True if the workload sustains biological real time (≥ 1 kHz ticks).
+  [[nodiscard]] bool sustains_real_time(const core::KernelStats& stats, double volts) const {
+    return max_tick_hz(stats, volts) >= kRealTimeTickHz;
+  }
+
+ private:
+  TrueNorthTimingParams p_;
+};
+
+}  // namespace nsc::energy

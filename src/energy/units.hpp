@@ -1,0 +1,20 @@
+// Physical units used throughout the energy/timing models. All internal
+// computation is in SI (joules, watts, seconds, hertz); these constants make
+// the calibration tables readable.
+#pragma once
+
+namespace nsc::energy {
+
+inline constexpr double kPico = 1e-12;
+inline constexpr double kNano = 1e-9;
+inline constexpr double kMicro = 1e-6;
+inline constexpr double kMilli = 1e-3;
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+
+/// Nominal biological-real-time tick: 1 ms (1 kHz update, paper §III-A).
+inline constexpr double kRealTimeTickSeconds = 1e-3;
+inline constexpr double kRealTimeTickHz = 1000.0;
+
+}  // namespace nsc::energy

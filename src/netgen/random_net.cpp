@@ -1,0 +1,79 @@
+#include "src/netgen/random_net.hpp"
+
+#include <algorithm>
+
+#include "src/util/prng.hpp"
+
+namespace nsc::netgen {
+
+using core::kCoreSize;
+
+core::Network make_random(const RandomNetSpec& spec) {
+  core::Network net(spec.geom, spec.seed);
+  util::Xoshiro rng(spec.seed * 0xA24BAED4963EE407ULL + 11);
+  const auto ncores = static_cast<core::CoreId>(spec.geom.total_cores());
+
+  for (core::CoreId c = 0; c < ncores; ++c) {
+    core::CoreSpec& cs = net.core(c);
+    for (int i = 0; i < kCoreSize; ++i) {
+      cs.axon_type[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(rng.next_below(core::kAxonTypes));
+      for (int j = 0; j < kCoreSize; ++j) {
+        if (rng.next_double() < spec.synapse_density) cs.crossbar.set(i, j);
+      }
+    }
+    for (int j = 0; j < kCoreSize; ++j) {
+      core::NeuronParams& p = cs.neuron[j];
+      // Signed 9-bit weights, mixed excitatory/inhibitory with an
+      // excitatory bias so the network actually fires.
+      for (int g = 0; g < core::kAxonTypes; ++g) {
+        p.weight[g] = static_cast<std::int16_t>(rng.next_below(24)) - 8;
+      }
+      p.leak = static_cast<std::int16_t>(rng.next_below(7)) - 3;
+      p.threshold = 1 + static_cast<std::int32_t>(rng.next_below(96));
+      p.neg_threshold = static_cast<std::int32_t>(rng.next_below(64));
+      p.reset_v = static_cast<std::int32_t>(rng.next_below(8));
+      p.init_v = static_cast<std::int32_t>(rng.next_below(
+          static_cast<std::uint64_t>(p.threshold)));
+      p.reset_mode = static_cast<core::ResetMode>(rng.next_below(3));
+      p.negative_mode = static_cast<core::NegativeMode>(rng.next_below(2));
+      if (spec.stochastic_modes) {
+        p.stochastic_weight = static_cast<std::uint8_t>(rng.next_below(16));
+        p.stochastic_leak = rng.next_double() < 0.25 ? 1 : 0;
+        p.leak_reversal = rng.next_double() < 0.15 ? 1 : 0;
+        if (rng.next_double() < 0.25) {
+          p.threshold_mask = (1u << rng.next_below(5)) - 1u;
+        }
+      }
+      p.enabled = rng.next_double() < spec.disabled_neuron_fraction ? 0 : 1;
+      if (rng.next_double() < spec.invalid_target_fraction) {
+        p.target = core::AxonTarget{};  // invalid: spike is dropped
+      } else {
+        p.target.core = static_cast<core::CoreId>(rng.next_below(ncores));
+        p.target.axon = static_cast<std::uint16_t>(rng.next_below(kCoreSize));
+        p.target.delay =
+            static_cast<std::uint8_t>(core::kMinDelay + rng.next_below(core::kMaxDelay));
+      }
+    }
+  }
+  return net;
+}
+
+core::InputSchedule make_poisson_inputs(const RandomNetSpec& spec, const core::Network& net,
+                                        core::Tick ticks) {
+  core::InputSchedule in;
+  util::Xoshiro rng(spec.seed ^ 0x5851F42D4C957F2DULL);
+  const double p = spec.input_drive_hz / 1000.0;
+  const auto ncores = static_cast<core::CoreId>(net.geom.total_cores());
+  for (core::Tick t = 0; t < ticks; ++t) {
+    for (core::CoreId c = 0; c < ncores; ++c) {
+      for (int a = 0; a < kCoreSize; ++a) {
+        if (rng.next_double() < p) in.add(t, c, static_cast<std::uint16_t>(a));
+      }
+    }
+  }
+  in.finalize();
+  return in;
+}
+
+}  // namespace nsc::netgen

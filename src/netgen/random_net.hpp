@@ -1,0 +1,35 @@
+// Randomized test networks: the regression workload for the 1:1 equivalence
+// methodology (paper §VI-A ran 413,333 single-core and 7,536 full-chip
+// random regressions between Compass and the hardware design).
+//
+// Unlike the characterization networks, these exercise *every* programmable
+// feature with adversarial randomness: all reset modes, stochastic synapse/
+// leak/threshold modes, inhibitory weights, negative-threshold behaviors,
+// the full delay range, disabled neurons, and spikes aimed at invalid
+// targets (dropped).
+#pragma once
+
+#include "src/core/input_schedule.hpp"
+#include "src/core/network.hpp"
+
+namespace nsc::netgen {
+
+struct RandomNetSpec {
+  core::Geometry geom{1, 1, 4, 4};  ///< Small by default; tests scale up.
+  std::uint64_t seed = 1;
+  double synapse_density = 0.25;    ///< P(crossbar bit set).
+  double input_drive_hz = 100.0;    ///< Used by make_poisson_inputs.
+  bool stochastic_modes = true;     ///< Include PRNG-driven neuron features.
+  double disabled_neuron_fraction = 0.05;
+  double invalid_target_fraction = 0.02;  ///< Spikes to nowhere (dropped).
+};
+
+/// Builds a fully randomized network per `spec`.
+[[nodiscard]] core::Network make_random(const RandomNetSpec& spec);
+
+/// Poisson external input: each (core, axon) fires independently at
+/// `spec.input_drive_hz` (1 kHz ticks) for `ticks` ticks.
+[[nodiscard]] core::InputSchedule make_poisson_inputs(const RandomNetSpec& spec,
+                                                      const core::Network& net, core::Tick ticks);
+
+}  // namespace nsc::netgen

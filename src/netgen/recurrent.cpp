@@ -1,0 +1,108 @@
+#include "src/netgen/recurrent.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/util/prng.hpp"
+
+namespace nsc::netgen {
+
+using core::kCoreSize;
+
+RateCalibration calibrate(const RecurrentSpec& spec) {
+  assert(spec.rate_hz > 0.0 && spec.synapses_per_axon >= 0 &&
+         spec.synapses_per_axon <= kCoreSize);
+  const int k = spec.synapses_per_axon;
+  // Branching ratio K/α ≤ 0.8  ⇒  Δ ≥ K/4.
+  const int delta_min = std::max(1, (k + 3) / 4);
+  // Small integer search over (λ, Δ): the fixed point 1000·λ/Δ must land on
+  // the target rate despite Δ's lower bound and λ's 9-bit range.
+  std::int16_t leak = 1;
+  std::int32_t delta = delta_min;
+  double best_err = 1e30;
+  for (int l = 1; l <= 255; ++l) {
+    const auto d = static_cast<std::int32_t>(
+        std::max<long>(delta_min, std::lround(1000.0 * l / spec.rate_hz)));
+    const double err = std::abs(1000.0 * l / d - spec.rate_hz);
+    if (err < best_err) {
+      best_err = err;
+      leak = static_cast<std::int16_t>(l);
+      delta = d;
+    }
+    if (best_err < 0.002 * spec.rate_hz) break;
+  }
+
+  std::uint32_t mask = 0;
+  if (spec.threshold_jitter) {
+    // Largest 2^m − 1 not exceeding Δ/2: jitter decorrelates phases without
+    // moving the operating point once compensated below.
+    while ((mask << 1 | 1u) <= static_cast<std::uint32_t>(delta) / 2) mask = mask << 1 | 1u;
+  }
+  const std::int32_t alpha = k + delta - static_cast<std::int32_t>(mask / 2);
+  return RateCalibration{alpha, delta, leak, mask, 1000.0 * leak / delta};
+}
+
+core::Network make_recurrent(const RecurrentSpec& spec) {
+  const RateCalibration cal = calibrate(spec);
+  core::Network net(spec.geom, spec.seed);
+  util::Xoshiro rng(spec.seed * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL);
+
+  const auto ncores = static_cast<core::CoreId>(spec.geom.total_cores());
+  // Reusable Fisher–Yates pool: sample_distinct would allocate per row, and
+  // a full chip has a million rows.
+  int pool[kCoreSize];
+  for (int i = 0; i < kCoreSize; ++i) pool[i] = i;
+  for (core::CoreId c = 0; c < ncores; ++c) {
+    core::CoreSpec& cs = net.core(c);
+    for (int i = 0; i < kCoreSize; ++i) {
+      cs.axon_type[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i % core::kAxonTypes);
+      for (int t = 0; t < spec.synapses_per_axon; ++t) {
+        const int j = t + static_cast<int>(rng.next_below(static_cast<std::uint64_t>(kCoreSize - t)));
+        std::swap(pool[t], pool[j]);
+        cs.crossbar.set(i, pool[t]);
+      }
+    }
+    for (int j = 0; j < kCoreSize; ++j) {
+      core::NeuronParams& p = cs.neuron[j];
+      for (int g = 0; g < core::kAxonTypes; ++g) p.weight[g] = 1;
+      p.leak = cal.leak;
+      p.threshold = cal.threshold;
+      p.threshold_mask = cal.jitter_mask;
+      // Linear reset carries threshold overshoot into the next inter-spike
+      // interval, making the renewal rate equation exact: with absolute
+      // reset the mean overshoot (≈ half the per-tick drive) inflates the
+      // effective threshold and depresses high-rate networks by >20%.
+      p.reset_mode = core::ResetMode::kLinear;
+      p.reset_v = 0;
+      p.neg_threshold = 0;
+      p.negative_mode = core::NegativeMode::kSaturate;
+      // Phase-distributed start: the network is at its equilibrium the
+      // moment the first tick runs, so short measurement windows are valid.
+      p.init_v = static_cast<std::int32_t>(
+          rng.next_below(static_cast<std::uint64_t>(std::max(1, cal.threshold))));
+      p.target.core = static_cast<core::CoreId>(rng.next_below(ncores));
+      p.target.axon = static_cast<std::uint16_t>(rng.next_below(kCoreSize));
+      p.target.delay = core::kMinDelay;
+      p.enabled = 1;
+    }
+  }
+  return net;
+}
+
+std::vector<double> grid_rates() { return {2, 5, 10, 20, 50, 100, 150, 200}; }
+
+std::vector<int> grid_synapses() {
+  return {0, 26, 51, 77, 102, 128, 154, 179, 205, 230, 256};
+}
+
+std::vector<GridPoint> characterization_grid() {
+  std::vector<GridPoint> grid;
+  grid.reserve(88);
+  for (double r : grid_rates()) {
+    for (int s : grid_synapses()) grid.push_back({r, s});
+  }
+  return grid;
+}
+
+}  // namespace nsc::netgen

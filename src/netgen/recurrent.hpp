@@ -1,0 +1,69 @@
+// The paper's characterization workload: probabilistically generated
+// recurrent networks spanning mean firing rates 0–200 Hz and active synapses
+// per neuron 0–256 (paper §IV-B: 88 networks, all 4,096 cores, every neuron;
+// targets uniformly distributed, averaging 21.66 hops in each dimension —
+// which is exactly the mean |Δ| of two uniform draws on a 64-wide grid, so
+// uniform targeting reproduces the paper's hop statistics).
+//
+// Rate calibration (how a generated network holds its target rate):
+// every neuron is excitatory with weight 1, fires at threshold α = K + Δ
+// (K = active synapses per axon row), carries a positive leak λ, and uses
+// linear reset (V -= α, conserving overshoot so the renewal rate equation
+// is exact). At equilibrium the rate satisfies r = 1000·(λ + K·r/1000)/α, i.e.
+// r* = 1000·λ/Δ, with branching ratio K/α ≤ 0.8 — subcritical, so the
+// dynamics are self-stabilizing rather than critical. λ and Δ are chosen so
+// r* ≈ the requested rate; `expected_rate_hz` reports the exact integer
+// fixed point. Initial potentials are drawn uniformly in [0, α) to start at
+// equilibrium phase distribution (no burn-in), and a stochastic threshold
+// jitter (PRNG-masked, compensated in α) decorrelates neurons — making the
+// network the "sensitive assay" the paper uses: one missed synaptic
+// operation changes a potential, shifts a spike, and chaotically diverges.
+#pragma once
+
+#include <vector>
+
+#include "src/core/network.hpp"
+
+namespace nsc::netgen {
+
+/// Parameters of one characterization network.
+struct RecurrentSpec {
+  core::Geometry geom = core::truenorth_chip();
+  double rate_hz = 20.0;       ///< Target mean firing rate per neuron.
+  int synapses_per_axon = 128; ///< Active synapses on every crossbar row (K).
+  std::uint64_t seed = 1;
+  bool threshold_jitter = true;  ///< Stochastic threshold decorrelation.
+};
+
+/// Integer calibration derived from a RecurrentSpec.
+struct RateCalibration {
+  std::int32_t threshold;    ///< α (before jitter compensation).
+  std::int32_t delta;        ///< Δ = α − K.
+  std::int16_t leak;         ///< λ.
+  std::uint32_t jitter_mask; ///< Threshold PRNG mask (0 if jitter disabled).
+  double expected_rate_hz;   ///< Fixed point 1000·λ/Δ of the integer params.
+};
+
+/// Computes the integer neuron parameters that realize `spec`'s target rate.
+[[nodiscard]] RateCalibration calibrate(const RecurrentSpec& spec);
+
+/// Builds the recurrent network: K set synapses on every axon row, one
+/// uniformly random (core, axon) target per neuron, delay 1.
+[[nodiscard]] core::Network make_recurrent(const RecurrentSpec& spec);
+
+/// One point of the paper's 88-network characterization sweep.
+struct GridPoint {
+  double rate_hz;
+  int synapses;
+};
+
+/// The 8 × 11 = 88 (rate, synapse) grid of paper Fig. 5 / §IV-B.
+[[nodiscard]] std::vector<GridPoint> characterization_grid();
+
+/// The distinct rate values of the grid (ascending).
+[[nodiscard]] std::vector<double> grid_rates();
+
+/// The distinct synapse counts of the grid (ascending).
+[[nodiscard]] std::vector<int> grid_synapses();
+
+}  // namespace nsc::netgen

@@ -1,0 +1,113 @@
+#include "src/noc/route.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <queue>
+
+namespace nsc::noc {
+
+using core::CoreId;
+using core::Geometry;
+
+int manhattan(const Geometry& g, CoreId a, CoreId b) {
+  const auto pa = g.global_xy(a);
+  const auto pb = g.global_xy(b);
+  return std::abs(pa.x - pb.x) + std::abs(pa.y - pb.y);
+}
+
+namespace {
+
+/// Chip boundaries crossed moving along one axis from global coordinate a to
+/// b, where each chip spans `span` cores on that axis.
+int crossings_1d(int a, int b, int span) {
+  return std::abs(a / span - b / span);
+}
+
+}  // namespace
+
+RouteInfo route_dor(const Geometry& g, CoreId src, CoreId dst) {
+  RouteInfo r;
+  if (src == dst) return r;
+  const auto ps = g.global_xy(src);
+  const auto pd = g.global_xy(dst);
+  r.hops = std::abs(pd.x - ps.x) + std::abs(pd.y - ps.y);
+  // X leg at row ps.y, then Y leg at column pd.x.
+  r.chip_crossings =
+      crossings_1d(ps.x, pd.x, g.cores_x) + crossings_1d(ps.y, pd.y, g.cores_y);
+  return r;
+}
+
+bool dor_path_blocked(const Geometry& g, const FaultSet& faults, CoreId src, CoreId dst) {
+  if (faults.empty() || src == dst) return false;
+  const auto ps = g.global_xy(src);
+  const auto pd = g.global_xy(dst);
+  // X leg along row ps.y. The turn core (pd.x, ps.y) is an intermediate hop
+  // and is checked unless it is the destination itself.
+  if (ps.x != pd.x) {
+    const int sx = ps.x < pd.x ? 1 : -1;
+    for (int x = ps.x + sx;; x += sx) {
+      if (x == pd.x && ps.y == pd.y) break;  // destination, excluded
+      if (faults.is_faulted(g.core_at_global(x, ps.y))) return true;
+      if (x == pd.x) break;
+    }
+  }
+  // Y leg along column pd.x, destination excluded.
+  if (ps.y != pd.y) {
+    const int sy = ps.y < pd.y ? 1 : -1;
+    for (int y = ps.y + sy; y != pd.y; y += sy) {
+      if (faults.is_faulted(g.core_at_global(pd.x, y))) return true;
+    }
+  }
+  return false;
+}
+
+RouteInfo route_with_faults(const Geometry& g, const FaultSet& faults, CoreId src, CoreId dst) {
+  if (faults.empty() || !dor_path_blocked(g, faults, src, dst)) return route_dor(g, src, dst);
+
+  // BFS shortest detour over non-faulted cores in the global mesh. The mesh
+  // is small (≤ a few thousand cores per system in our runs) and blocked
+  // routes are rare, so an exact search is cheaper than a heuristic that
+  // would need livelock proofs.
+  const int w = g.chips_x * g.cores_x;
+  const int h = g.chips_y * g.cores_y;
+  const auto pd = g.global_xy(dst);
+  std::vector<std::int32_t> dist(static_cast<std::size_t>(w) * static_cast<std::size_t>(h), -1);
+  auto idx = [w](int x, int y) { return static_cast<std::size_t>(y) * static_cast<std::size_t>(w) + static_cast<std::size_t>(x); };
+  std::queue<std::pair<int, int>> q;
+  const auto ps = g.global_xy(src);
+  dist[idx(ps.x, ps.y)] = 0;
+  q.push({ps.x, ps.y});
+  while (!q.empty()) {
+    const auto [x, y] = q.front();
+    q.pop();
+    if (x == pd.x && y == pd.y) break;
+    const int d = dist[idx(x, y)];
+    constexpr int dx[4] = {1, -1, 0, 0};
+    constexpr int dy[4] = {0, 0, 1, -1};
+    for (int k = 0; k < 4; ++k) {
+      const int nx = x + dx[k], ny = y + dy[k];
+      if (nx < 0 || nx >= w || ny < 0 || ny >= h) continue;
+      if (dist[idx(nx, ny)] != -1) continue;
+      const CoreId cid = g.core_at_global(nx, ny);
+      // Intermediate cores must be healthy; the destination is allowed even
+      // if marked (callers guarantee endpoints are healthy anyway).
+      if (faults.is_faulted(cid) && !(nx == pd.x && ny == pd.y)) continue;
+      dist[idx(nx, ny)] = d + 1;
+      q.push({nx, ny});
+    }
+  }
+  RouteInfo r;
+  const std::int32_t d = dist[idx(pd.x, pd.y)];
+  if (d < 0) {
+    r.reachable = false;
+    return r;
+  }
+  r.hops = d;
+  // Detours can wander across chip boundaries; approximate crossings by the
+  // straight-line count (lower bound) — the merge–split traffic model only
+  // needs crossing counts on healthy meshes, where DOR is exact.
+  r.chip_crossings = route_dor(g, src, dst).chip_crossings;
+  return r;
+}
+
+}  // namespace nsc::noc

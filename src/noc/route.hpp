@@ -1,0 +1,70 @@
+// Mesh routing: deadlock-free X-then-Y dimension-order routing (paper §III-C,
+// citing Dally & Seitz), fault-avoiding detours, and chip-boundary crossing
+// accounting for the merge–split structures (paper Fig. 3(c)).
+//
+// Every spike is a single-word packet injected by the source core's router
+// and passed hop-by-hop, first along x then along y, until it reaches the
+// target core where it fans out through the crossbar. Chips tile seamlessly:
+// the global mesh coordinate system spans chip boundaries, and each boundary
+// crossing passes through a merge (serialize onto the shared inter-chip link)
+// and a split (fan back out to the tagged row/column).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/types.hpp"
+
+namespace nsc::noc {
+
+/// Summary of one packet's path through the mesh.
+struct RouteInfo {
+  int hops = 0;             ///< Router-to-router traversals (0 for local fan-out).
+  int chip_crossings = 0;   ///< Inter-chip merge–split traversals.
+  bool reachable = true;    ///< False only if faults disconnect src from dst.
+};
+
+/// Set of faulted (disabled) cores; routing detours around them. The paper's
+/// fault-tolerance claim (§III-C: "if a core fails, we disable it and route
+/// spike events around it") is modelled by shortest-path detours.
+class FaultSet {
+ public:
+  FaultSet() = default;
+  explicit FaultSet(int total_cores) : faulted_(static_cast<std::size_t>(total_cores), 0) {}
+
+  void mark(core::CoreId c) {
+    if (faulted_.empty()) return;
+    faulted_[static_cast<std::size_t>(c)] = 1;
+    ++count_;
+  }
+  [[nodiscard]] bool is_faulted(core::CoreId c) const {
+    return !faulted_.empty() && faulted_[static_cast<std::size_t>(c)] != 0;
+  }
+  [[nodiscard]] int count() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+
+ private:
+  std::vector<std::uint8_t> faulted_;
+  int count_ = 0;
+};
+
+/// Manhattan distance between two cores in global mesh coordinates.
+[[nodiscard]] int manhattan(const core::Geometry& g, core::CoreId a, core::CoreId b);
+
+/// Fault-free dimension-order route: hops = |Δx| + |Δy|; chip crossings are
+/// counted along the X leg then the Y leg.
+[[nodiscard]] RouteInfo route_dor(const core::Geometry& g, core::CoreId src, core::CoreId dst);
+
+/// Route avoiding faulted cores. Falls back to route_dor when the DOR path is
+/// clean; otherwise finds a shortest detour (BFS over non-faulted cores).
+/// Endpoint cores themselves must not be faulted (callers disable neurons on
+/// faulted cores, so no traffic originates or terminates there).
+[[nodiscard]] RouteInfo route_with_faults(const core::Geometry& g, const FaultSet& faults,
+                                          core::CoreId src, core::CoreId dst);
+
+/// True if the straight DOR path from src to dst passes through a faulted
+/// intermediate core (endpoints excluded).
+[[nodiscard]] bool dor_path_blocked(const core::Geometry& g, const FaultSet& faults,
+                                    core::CoreId src, core::CoreId dst);
+
+}  // namespace nsc::noc

@@ -1,0 +1,56 @@
+#include "src/noc/traffic.hpp"
+
+#include <algorithm>
+
+namespace nsc::noc {
+
+using core::CoreId;
+using core::Geometry;
+
+InterChipTraffic::InterChipTraffic(const Geometry& g)
+    : geom_(g),
+      chips_(g.chips()),
+      tick_counts_(static_cast<std::size_t>(chips_) * 4, 0),
+      link_totals_(static_cast<std::size_t>(chips_) * 4, 0) {}
+
+void InterChipTraffic::bump(int chip, LinkDir dir) {
+  const std::size_t i = static_cast<std::size_t>(chip) * 4 + static_cast<std::size_t>(dir);
+  ++tick_counts_[i];
+  ++link_totals_[i];
+  ++total_;
+}
+
+void InterChipTraffic::record_route(CoreId src, CoreId dst) {
+  if (chips_ <= 1 || src == dst) return;
+  const auto cs = geom_.chip_xy(src);
+  const auto cd = geom_.chip_xy(dst);
+  // X leg: the packet stays in the source chip row; it exits east/west once
+  // per chip-column boundary between cs.x and cd.x.
+  if (cd.x > cs.x) {
+    for (int cx = cs.x; cx < cd.x; ++cx) bump(cs.y * geom_.chips_x + cx, LinkDir::kEast);
+  } else {
+    for (int cx = cs.x; cx > cd.x; --cx) bump(cs.y * geom_.chips_x + cx, LinkDir::kWest);
+  }
+  // Y leg: at the destination chip column.
+  if (cd.y > cs.y) {
+    for (int cy = cs.y; cy < cd.y; ++cy) bump(cy * geom_.chips_x + cd.x, LinkDir::kSouth);
+  } else {
+    for (int cy = cs.y; cy > cd.y; --cy) bump(cy * geom_.chips_x + cd.x, LinkDir::kNorth);
+  }
+}
+
+void InterChipTraffic::end_tick() {
+  std::uint32_t m = 0;
+  for (std::uint32_t c : tick_counts_) m = std::max(m, c);
+  max_per_tick_ = std::max<std::uint64_t>(max_per_tick_, m);
+  std::fill(tick_counts_.begin(), tick_counts_.end(), 0);
+}
+
+void InterChipTraffic::reset() {
+  std::fill(tick_counts_.begin(), tick_counts_.end(), 0);
+  std::fill(link_totals_.begin(), link_totals_.end(), 0);
+  max_per_tick_ = 0;
+  total_ = 0;
+}
+
+}  // namespace nsc::noc

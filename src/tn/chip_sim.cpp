@@ -1,0 +1,169 @@
+#include "src/tn/chip_sim.hpp"
+
+#include <algorithm>
+
+namespace nsc::tn {
+
+using core::CoreId;
+using core::kCoreSize;
+using core::NeuronParams;
+using core::Tick;
+
+TrueNorthSimulator::TrueNorthSimulator(const core::Network& net, SimOptions opts)
+    : net_(net),
+      opts_(opts),
+      prng_(net.seed),
+      faults_(net.geom.total_cores()),
+      traffic_(net.geom),
+      v_(static_cast<std::size_t>(net.geom.total_cores()) * kCoreSize, 0),
+      delay_(static_cast<std::size_t>(net.geom.total_cores()) * kDelaySlots),
+      enabled_(static_cast<std::size_t>(net.geom.total_cores())),
+      enabled_count_(static_cast<std::size_t>(net.geom.total_cores()), 0),
+      route_(static_cast<std::size_t>(net.geom.total_cores()) * kCoreSize),
+      target_ok_(static_cast<std::size_t>(net.geom.total_cores()) * kCoreSize, 0) {
+  const auto ncores = static_cast<CoreId>(net.geom.total_cores());
+  for (CoreId c = 0; c < ncores; ++c) {
+    if (net.core(c).disabled) faults_.mark(c);
+    for (int j = 0; j < kCoreSize; ++j) {
+      v_[static_cast<std::size_t>(c) * kCoreSize + static_cast<std::size_t>(j)] =
+          net.core(c).neuron[j].init_v;
+    }
+  }
+  for (CoreId c = 0; c < ncores; ++c) {
+    const core::CoreSpec& spec = net.core(c);
+    if (spec.disabled) continue;
+    for (int j = 0; j < kCoreSize; ++j) {
+      const NeuronParams& p = spec.neuron[j];
+      if (!p.enabled) continue;
+      enabled_[c].set(j);
+      ++enabled_count_[c];
+      const std::size_t nid = static_cast<std::size_t>(c) * kCoreSize + static_cast<std::size_t>(j);
+      if (p.target.valid() && p.target.core < ncores && !net.core(p.target.core).disabled) {
+        target_ok_[nid] = 1;
+        route_[nid] = noc::route_with_faults(net.geom, faults_, c, p.target.core);
+        if (!route_[nid].reachable) {
+          // Fault-disconnected target: function-level delivery proceeds (a
+          // deployable configuration must avoid this; the counter flags it)
+          // with Manhattan hop accounting, keeping the two kernel
+          // expressions functionally identical.
+          ++unreachable_targets_;
+          route_[nid] = noc::route_dor(net.geom, c, p.target.core);
+        }
+      }
+    }
+  }
+}
+
+void TrueNorthSimulator::step(Tick t, const core::InputSchedule* inputs, core::SpikeSink* sink) {
+  const auto ncores = static_cast<CoreId>(net_.geom.total_cores());
+  const bool multichip = net_.geom.chips() > 1 && opts_.track_interchip_traffic;
+
+  if (inputs != nullptr) {
+    for (const core::InputSpike& s : inputs->at(t)) {
+      if (s.core < ncores && !net_.core(s.core).disabled) slot(s.core, t).set(s.axon);
+    }
+  }
+
+  std::uint64_t max_sops = 0, max_axons = 0, max_spikes = 0;
+  // Accumulator for one core's synaptic input; lives outside the loop so the
+  // hot path never reallocates.
+  std::int32_t acc[kCoreSize];
+
+  for (CoreId c = 0; c < ncores; ++c) {
+    util::BitRow256& axons = slot(c, t);
+    const core::CoreSpec& spec = net_.core(c);
+    if (spec.disabled) {
+      // Faulted cores absorb nothing; stale bits must not survive into the
+      // slot's next reuse 16 ticks later.
+      axons.reset();
+      continue;
+    }
+    const std::uint64_t core_axons = static_cast<std::uint64_t>(axons.count());
+    if (enabled_count_[c] == 0) {
+      // Crossbar rows are still read on delivery even when no neuron
+      // consumes them (counted as axon events, zero SOPs).
+      axons.reset();
+      stats_.axon_events += core_axons;
+      max_axons = std::max(max_axons, core_axons);
+      continue;
+    }
+    std::uint64_t core_sops = 0, core_spikes = 0;
+
+    // --- Synapse phase: event-driven walk of active axons only. ---
+    if (core_axons != 0) {
+      std::fill(acc, acc + kCoreSize, 0);
+      axons.for_each_set([&](int i) {
+        const int g = spec.axon_type[static_cast<std::size_t>(i)];
+        // Mask to enabled neurons: SOPs are counted only where a neuron
+        // consumes the weighted-accumulate.
+        util::BitRow256 masked = spec.crossbar.row(i);
+        for (int w = 0; w < util::BitRow256::kWords; ++w) {
+          masked.set_word(w, masked.word(w) & enabled_[c].word(w));
+        }
+        masked.for_each_set([&](int j) {
+          const NeuronParams& p = spec.neuron[j];
+          if (p.stochastic_weight == 0) {
+            acc[j] += p.weight[g];
+          } else {
+            acc[j] += core::synapse_delta(p, g, prng_, c, static_cast<std::uint32_t>(j), t,
+                                          static_cast<std::uint32_t>(i));
+          }
+          ++core_sops;
+        });
+      });
+    }
+
+    // --- Neuron phase: leak, threshold, fire, reset — every enabled neuron,
+    // every tick (the chip multiplexes one physical neuron circuit over all
+    // 256 logical neurons each tick). ---
+    enabled_[c].for_each_set([&](int j) {
+      const NeuronParams& p = spec.neuron[j];
+      const std::size_t nid = static_cast<std::size_t>(c) * kCoreSize + static_cast<std::size_t>(j);
+      std::int32_t vj = v_[nid];
+      if (core_axons != 0) {
+        vj = core::clamp_potential(static_cast<std::int64_t>(vj) + acc[j]);
+      }
+      ++stats_.neuron_updates;
+      const bool fired =
+          core::leak_threshold_update(vj, p, prng_, c, static_cast<std::uint32_t>(j), t);
+      v_[nid] = vj;
+      if (!fired) return;
+
+      ++core_spikes;
+      if (sink != nullptr) sink->on_spike(t, c, static_cast<std::uint16_t>(j));
+      if (target_ok_[nid] != 0) {
+        slot(p.target.core, t + p.target.delay).set(p.target.axon);
+        stats_.hop_sum += static_cast<std::uint64_t>(route_[nid].hops);
+        stats_.interchip_crossings += static_cast<std::uint64_t>(route_[nid].chip_crossings);
+        if (multichip && route_[nid].chip_crossings > 0) traffic_.record_route(c, p.target.core);
+      } else {
+        ++stats_.dropped_spikes;
+      }
+    });
+
+    axons.reset();
+    stats_.sops += core_sops;
+    stats_.axon_events += core_axons;
+    stats_.spikes += core_spikes;
+    max_sops = std::max(max_sops, core_sops);
+    max_axons = std::max(max_axons, core_axons);
+    max_spikes = std::max(max_spikes, core_spikes);
+  }
+
+  stats_.sum_max_core_sops += max_sops;
+  stats_.sum_max_core_axon_events += max_axons;
+  stats_.sum_max_core_spikes += max_spikes;
+  ++stats_.ticks;
+  if (multichip) traffic_.end_tick();
+  if (sink != nullptr) sink->on_tick_end(t);
+}
+
+void TrueNorthSimulator::run(Tick nticks, const core::InputSchedule* inputs,
+                             core::SpikeSink* sink) {
+  for (Tick i = 0; i < nticks; ++i) {
+    step(now_, inputs, sink);
+    ++now_;
+  }
+}
+
+}  // namespace nsc::tn

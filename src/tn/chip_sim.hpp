@@ -1,0 +1,99 @@
+// TrueNorth expression of the kernel: an architectural simulator of the chip
+// (and of seamlessly tiled multi-chip arrays).
+//
+// This is the silicon side of the paper's co-design pair. It executes the
+// same NetworkDescription as the Compass expression, spike-for-spike, while
+// additionally accounting for what the silicon would do physically:
+//   - event-driven synaptic integration through per-core 256×256 crossbars,
+//   - 16-slot axonal delay buffers (delays 1–15, paper §III-A),
+//   - dimension-order routing hop counts per spike (paper §III-C),
+//   - merge–split inter-chip crossings for tiled arrays (paper Fig. 3(c)),
+//   - per-tick critical-path core load, which bounds the maximum tick
+//     frequency (paper Fig. 5(b,c)),
+//   - detour routing around faulted cores.
+// The energy/timing models in src/energy consume these counters to produce
+// the paper's power, GSOPS and GSOPS/W numbers.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/core/input_schedule.hpp"
+#include "src/core/network.hpp"
+#include "src/noc/route.hpp"
+#include "src/noc/traffic.hpp"
+#include "src/util/bitrow.hpp"
+#include "src/util/prng.hpp"
+
+namespace nsc::tn {
+
+struct SimOptions {
+  bool track_interchip_traffic = true;  ///< Record merge–split link loads.
+};
+
+class TrueNorthSimulator final : public core::Simulator {
+ public:
+  /// The network must outlive the simulator. Cores marked `disabled` are
+  /// treated as faulted: they produce nothing, absorb nothing, and routes
+  /// detour around them (hop counts reflect the detours).
+  explicit TrueNorthSimulator(const core::Network& net, SimOptions opts = {});
+
+  void run(core::Tick nticks, const core::InputSchedule* inputs, core::SpikeSink* sink) override;
+  [[nodiscard]] core::Tick now() const override { return now_; }
+  [[nodiscard]] const core::KernelStats& stats() const override { return stats_; }
+  void reset_stats() override {
+    stats_.reset();
+    traffic_.reset();
+  }
+
+  /// Membrane potential access for white-box tests.
+  [[nodiscard]] std::int32_t potential(core::CoreId c, int neuron) const {
+    return v_[static_cast<std::size_t>(c) * core::kCoreSize + static_cast<std::size_t>(neuron)];
+  }
+
+  /// Inter-chip merge–split traffic (meaningful when geometry has >1 chip).
+  [[nodiscard]] const noc::InterChipTraffic& traffic() const noexcept { return traffic_; }
+
+  /// Mean mesh hops per routed spike so far.
+  [[nodiscard]] double mean_hops_per_spike() const {
+    const auto routed = stats_.spikes - stats_.dropped_spikes;
+    return routed ? static_cast<double>(stats_.hop_sum) / static_cast<double>(routed) : 0.0;
+  }
+
+  /// Neurons whose targets cannot be physically routed around the fault set
+  /// (a deployment error: such spikes are still delivered function-level so
+  /// the kernel expressions stay 1:1, but the configuration is unshippable).
+  [[nodiscard]] std::uint64_t unreachable_targets() const noexcept {
+    return unreachable_targets_;
+  }
+
+ private:
+  static constexpr int kDelaySlots = core::kMaxDelay + 1;
+
+  [[nodiscard]] util::BitRow256& slot(core::CoreId c, core::Tick t) {
+    return delay_[static_cast<std::size_t>(c) * kDelaySlots +
+                  static_cast<std::size_t>(t % kDelaySlots)];
+  }
+
+  void step(core::Tick t, const core::InputSchedule* inputs, core::SpikeSink* sink);
+
+  const core::Network& net_;
+  SimOptions opts_;
+  util::CounterPrng prng_;
+  core::Tick now_ = 0;
+  core::KernelStats stats_;
+  noc::FaultSet faults_;
+  noc::InterChipTraffic traffic_;
+
+  std::vector<std::int32_t> v_;              ///< Membrane potentials, core-major.
+  std::vector<util::BitRow256> delay_;       ///< Axon delay buffers, 16 slots/core.
+  std::vector<util::BitRow256> enabled_;     ///< Per-core enabled-neuron mask.
+  std::vector<std::uint16_t> enabled_count_; ///< Enabled neurons per core.
+  /// Precomputed route of each neuron's (static) target: hops + crossings.
+  std::vector<noc::RouteInfo> route_;
+  /// Neurons with valid, healthy targets (others drop their spikes).
+  std::vector<std::uint8_t> target_ok_;
+  std::uint64_t unreachable_targets_ = 0;
+};
+
+}  // namespace nsc::tn

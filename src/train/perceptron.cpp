@@ -1,0 +1,265 @@
+#include "src/train/perceptron.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "src/core/input_schedule.hpp"
+#include "src/core/spike_sink.hpp"
+#include "src/corelet/place.hpp"
+#include "src/tn/chip_sim.hpp"
+#include "src/util/prng.hpp"
+
+namespace nsc::train {
+
+int LinearModel::predict(const std::vector<float>& x) const {
+  int best = 0;
+  float best_s = -1e30f;
+  for (std::size_t c = 0; c < w.size(); ++c) {
+    float s = 0.0f;
+    for (std::size_t i = 0; i < x.size(); ++i) s += w[c][i] * x[i];
+    if (s > best_s) {
+      best_s = s;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+double LinearModel::accuracy(const Dataset& d) const {
+  if (d.size() == 0) return 0.0;
+  int ok = 0;
+  for (std::size_t i = 0; i < d.size(); ++i) ok += predict(d.x[i]) == d.y[i] ? 1 : 0;
+  return static_cast<double>(ok) / static_cast<double>(d.size());
+}
+
+LinearModel train_perceptron(const Dataset& d, const TrainConfig& cfg) {
+  assert(d.classes > 0 && d.size() > 0);
+  const int f = d.features();
+  LinearModel m;
+  m.w.assign(static_cast<std::size_t>(d.classes), std::vector<float>(static_cast<std::size_t>(f), 0.0f));
+  // Averaged perceptron: accumulate weight snapshots for stability.
+  auto acc = m.w;
+  std::vector<std::size_t> order(d.size());
+  std::iota(order.begin(), order.end(), 0);
+  util::Xoshiro rng(cfg.shuffle_seed);
+  for (int e = 0; e < cfg.epochs; ++e) {
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.next_below(i)]);
+    }
+    for (std::size_t idx : order) {
+      const auto& x = d.x[idx];
+      const int truth = d.y[idx];
+      const int pred = m.predict(x);
+      if (pred != truth) {
+        for (std::size_t i = 0; i < x.size(); ++i) {
+          m.w[static_cast<std::size_t>(truth)][i] += cfg.lr * x[i];
+          m.w[static_cast<std::size_t>(pred)][i] -= cfg.lr * x[i];
+        }
+      }
+      for (std::size_t c = 0; c < m.w.size(); ++c) {
+        for (std::size_t i = 0; i < m.w[c].size(); ++i) acc[c][i] += m.w[c][i];
+      }
+    }
+  }
+  return LinearModel{std::move(acc)};
+}
+
+QuantizedRow quantize_row(const std::vector<float>& w, float scale, int levels) {
+  assert(levels >= 1 && levels <= core::kAxonTypes);
+  QuantizedRow q;
+  q.assign.assign(w.size(), 0xFF);
+  // Scale to the integer grid; zeros stay off the crossbar.
+  std::vector<float> v(w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) v[i] = w[i] * scale;
+
+  // Initialize centers at spread quantiles of the nonzero values.
+  std::vector<float> nz;
+  for (float x : v) {
+    if (std::fabs(x) >= 0.5f) nz.push_back(x);
+  }
+  if (nz.empty()) return q;
+  std::sort(nz.begin(), nz.end());
+  std::vector<float> centers(static_cast<std::size_t>(levels));
+  for (int k = 0; k < levels; ++k) {
+    centers[static_cast<std::size_t>(k)] =
+        nz[nz.size() * (2 * static_cast<std::size_t>(k) + 1) / (2 * static_cast<std::size_t>(levels))];
+  }
+  // Lloyd iterations.
+  for (int it = 0; it < 12; ++it) {
+    std::vector<double> sum(static_cast<std::size_t>(levels), 0.0);
+    std::vector<int> count(static_cast<std::size_t>(levels), 0);
+    for (float x : nz) {
+      int best = 0;
+      for (int k = 1; k < levels; ++k) {
+        if (std::fabs(x - centers[static_cast<std::size_t>(k)]) <
+            std::fabs(x - centers[static_cast<std::size_t>(best)])) {
+          best = k;
+        }
+      }
+      sum[static_cast<std::size_t>(best)] += x;
+      ++count[static_cast<std::size_t>(best)];
+    }
+    for (int k = 0; k < levels; ++k) {
+      if (count[static_cast<std::size_t>(k)] > 0) {
+        centers[static_cast<std::size_t>(k)] =
+            static_cast<float>(sum[static_cast<std::size_t>(k)] / count[static_cast<std::size_t>(k)]);
+      }
+    }
+  }
+  for (int k = 0; k < levels; ++k) {
+    const long r = std::lround(centers[static_cast<std::size_t>(k)]);
+    q.level[k] = static_cast<std::int16_t>(std::clamp(r, -255L, 255L));
+  }
+  // Assign each significant weight to its nearest level; levels rounded to 0
+  // switch the synapse off instead.
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (std::fabs(v[i]) < 0.5f) continue;
+    int best = 0;
+    for (int k = 1; k < levels; ++k) {
+      if (std::fabs(v[i] - centers[static_cast<std::size_t>(k)]) <
+          std::fabs(v[i] - centers[static_cast<std::size_t>(best)])) {
+        best = k;
+      }
+    }
+    if (q.level[best] != 0) q.assign[i] = static_cast<std::uint8_t>(best);
+  }
+  return q;
+}
+
+ClassifierCorelet emit_classifier(const LinearModel& m, const EmitConfig& cfg) {
+  ClassifierCorelet out;
+  out.classes = static_cast<int>(m.w.size());
+  out.features = m.w.empty() ? 0 : static_cast<int>(m.w[0].size());
+  if (core::kAxonTypes * out.features > core::kCoreSize) {
+    throw std::out_of_range("emit_classifier: more than 64 features per core");
+  }
+  // Global normalization: one scale for all rows keeps the class scores
+  // comparable (per-row scaling would distort the argmax).
+  float gmax = 0.0f;
+  for (const auto& row : m.w) {
+    for (float x : row) gmax = std::max(gmax, std::fabs(x));
+  }
+  const float scale = gmax > 0.0f ? cfg.weight_scale / gmax : 1.0f;
+
+  const int k = out.net.add_core();
+  core::CoreSpec& cs = out.net.core(k);
+  // Axon i*4+g carries feature i on type g.
+  for (int i = 0; i < out.features; ++i) {
+    for (int g = 0; g < core::kAxonTypes; ++g) {
+      cs.axon_type[static_cast<std::size_t>(core::kAxonTypes * i + g)] =
+          static_cast<std::uint8_t>(g);
+    }
+    out.net.add_input({k, static_cast<std::uint16_t>(core::kAxonTypes * i)});
+  }
+  std::int32_t max_pos_drive = 0;
+  std::vector<QuantizedRow> rows;
+  rows.reserve(static_cast<std::size_t>(out.classes));
+  for (int c = 0; c < out.classes; ++c) {
+    rows.push_back(quantize_row(m.w[static_cast<std::size_t>(c)], scale));
+    std::int32_t pos = 0;
+    const QuantizedRow& q = rows.back();
+    for (int i = 0; i < out.features; ++i) {
+      const std::uint8_t g = q.assign[static_cast<std::size_t>(i)];
+      if (g != 0xFF && q.level[g] > 0) pos += q.level[g];
+    }
+    max_pos_drive = std::max(max_pos_drive, pos);
+  }
+  // Adaptive threshold: the winner's expected per-tick drive at typical
+  // coding rates (~0.5 spikes/tick per active feature, roughly half the
+  // features positive-active) sits near 0.3 × max positive row sum; placing
+  // θ there keeps the winner near — but not past — saturation.
+  out.threshold = cfg.threshold > 0
+                      ? cfg.threshold
+                      : std::max<std::int32_t>(8, max_pos_drive * 3 / 10);
+
+  for (int c = 0; c < out.classes; ++c) {
+    const QuantizedRow& q = rows[static_cast<std::size_t>(c)];
+    core::NeuronParams& n = cs.neuron[c];
+    n.enabled = 1;
+    for (int g = 0; g < core::kAxonTypes; ++g) n.weight[g] = q.level[g];
+    n.threshold = out.threshold;
+    n.leak = -1;  // evidence decays between samples
+    n.neg_threshold = 0;
+    n.negative_mode = core::NegativeMode::kSaturate;
+    n.reset_mode = core::ResetMode::kLinear;
+    for (int i = 0; i < out.features; ++i) {
+      const std::uint8_t g = q.assign[static_cast<std::size_t>(i)];
+      if (g != 0xFF) cs.crossbar.set(core::kAxonTypes * i + g, c);
+    }
+    out.net.add_output({k, static_cast<std::uint16_t>(c)});
+  }
+  return out;
+}
+
+double spiking_accuracy(const ClassifierCorelet& clf, const Dataset& d, core::Tick ticks_per_sample,
+                        double max_prob, std::uint64_t seed) {
+  if (d.size() == 0) return 0.0;
+  const corelet::PlacedCorelet placed =
+      corelet::place(clf.net, core::Geometry{1, 1, 1, 1}, corelet::PlaceStrategy::kLinear);
+  const util::CounterPrng prng(seed);
+  int ok = 0;
+  for (std::size_t s = 0; s < d.size(); ++s) {
+    core::InputSchedule in;
+    for (core::Tick t = 0; t < ticks_per_sample; ++t) {
+      for (int i = 0; i < clf.features; ++i) {
+        const float x = d.x[s][static_cast<std::size_t>(i)];
+        if (x <= 0.0f) continue;
+        const auto p16 = static_cast<std::uint32_t>(std::min(1.0, max_prob * x) * 65536.0);
+        if (!prng.bernoulli16(static_cast<std::uint32_t>(s), static_cast<std::uint32_t>(i),
+                              static_cast<std::uint64_t>(t), 0x5EED, p16)) {
+          continue;
+        }
+        for (std::uint16_t axon : clf.feature_axons(i)) in.add(t, 0, axon);
+      }
+    }
+    in.finalize();
+    tn::TrueNorthSimulator sim(placed.network);
+    core::CountSink sink(static_cast<std::uint64_t>(placed.network.geom.neurons()));
+    sim.run(ticks_per_sample + 2, &in, &sink);
+    int best = 0;
+    std::uint32_t best_count = 0;
+    for (int c = 0; c < clf.classes; ++c) {
+      const std::uint32_t n = sink.count(0, static_cast<std::uint16_t>(c));
+      if (n > best_count) {
+        best_count = n;
+        best = c;
+      }
+    }
+    ok += best == d.y[s] ? 1 : 0;
+  }
+  return static_cast<double>(ok) / static_cast<double>(d.size());
+}
+
+Dataset make_pattern_dataset(int per_class, double noise, std::uint64_t seed) {
+  Dataset d;
+  d.classes = 4;
+  util::Xoshiro rng(seed * 48271 + 13);
+  for (int cls = 0; cls < 4; ++cls) {
+    for (int s = 0; s < per_class; ++s) {
+      std::vector<float> x(64, 0.0f);
+      // Fixed phase: a random phase would equalize every pixel's class-
+      // conditional mean at 0.5, making the stripe classes linearly
+      // inseparable — this dataset must suit a linear model.
+      for (int yy = 0; yy < 8; ++yy) {
+        for (int xx = 0; xx < 8; ++xx) {
+          bool on = false;
+          switch (cls) {
+            case 0: on = yy % 2 == 0; break;                           // horizontal stripes
+            case 1: on = xx % 2 == 0; break;                           // vertical stripes
+            case 2: on = (xx + yy) % 2 == 0; break;                    // checkerboard
+            case 3: on = xx >= 2 && xx < 6 && yy >= 2 && yy < 6; break;// center blob
+          }
+          if (rng.next_double() < noise) on = !on;
+          x[static_cast<std::size_t>(yy * 8 + xx)] = on ? 1.0f : 0.0f;
+        }
+      }
+      d.x.push_back(std::move(x));
+      d.y.push_back(cls);
+    }
+  }
+  return d;
+}
+
+}  // namespace nsc::train

@@ -1,0 +1,105 @@
+// Offline training substrate (paper Fig. 2 / §VII-D: networks are trained
+// off-line — on Compass, or any conventional learner — then deployed
+// unchanged on TrueNorth; "learning large-scale neural networks ... is an
+// important direction").
+//
+// This module closes that loop in miniature: a multi-class averaged
+// perceptron is trained in floating point, each output neuron's weight
+// vector is quantized to the chip's representation (≤ 4 signed levels per
+// neuron, selected through the axon-type mechanism), and the result is
+// emitted as a classifier corelet whose spiking accuracy can be compared
+// against the float model.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/corelet/corelet.hpp"
+
+namespace nsc::train {
+
+/// A labeled dataset of dense feature vectors in [0, 1].
+struct Dataset {
+  std::vector<std::vector<float>> x;
+  std::vector<int> y;
+  int classes = 0;
+
+  [[nodiscard]] std::size_t size() const noexcept { return x.size(); }
+  [[nodiscard]] int features() const { return x.empty() ? 0 : static_cast<int>(x[0].size()); }
+};
+
+/// Dense linear model (one weight row per class, no bias — inputs carry an
+/// always-on feature if a bias is wanted).
+struct LinearModel {
+  std::vector<std::vector<float>> w;  ///< [classes][features]
+
+  [[nodiscard]] int predict(const std::vector<float>& x) const;
+  [[nodiscard]] double accuracy(const Dataset& d) const;
+};
+
+struct TrainConfig {
+  int epochs = 20;
+  float lr = 1.0f;
+  std::uint64_t shuffle_seed = 1;
+};
+
+/// Averaged multi-class perceptron.
+[[nodiscard]] LinearModel train_perceptron(const Dataset& d, const TrainConfig& cfg = {});
+
+/// Per-neuron quantization of one weight row to at most `kAxonTypes` signed
+/// integer levels (1-D k-means / Lloyd iterations). `scale` maps float
+/// weights to the integer grid before clustering.
+struct QuantizedRow {
+  std::int16_t level[core::kAxonTypes] = {0, 0, 0, 0};
+  std::vector<std::uint8_t> assign;  ///< feature → level index (or 0xFF = off)
+};
+[[nodiscard]] QuantizedRow quantize_row(const std::vector<float>& w, float scale,
+                                        int levels = core::kAxonTypes);
+
+/// Emits the quantized model as a single-core classifier corelet:
+/// feature i is presented on axons {4i+g}; neuron j (class j) connects
+/// feature i on the axon whose type carries j's nearest weight level.
+/// Requires 4 * features ≤ 256 (≤ 64 features per core).
+/// Inputs: `features` pins (pin i fans to that feature's 4 axons is the
+/// caller's job via input_axons()); outputs: `classes` pins.
+struct ClassifierCorelet {
+  corelet::Corelet net{"classifier"};
+  int features = 0;
+  int classes = 0;
+  std::int32_t threshold = 0;
+
+  /// The four axons feature `i` must be driven on (identical spike train).
+  [[nodiscard]] std::array<std::uint16_t, core::kAxonTypes> feature_axons(int i) const {
+    std::array<std::uint16_t, core::kAxonTypes> a{};
+    for (int g = 0; g < core::kAxonTypes; ++g) {
+      a[static_cast<std::size_t>(g)] = static_cast<std::uint16_t>(core::kAxonTypes * i + g);
+    }
+    return a;
+  }
+};
+
+struct EmitConfig {
+  float weight_scale = 16.0f;  ///< Integer grid after global normalization.
+  /// Evidence per output spike; <= 0 selects an adaptive threshold placed
+  /// just below the strongest class's saturation point (a class neuron can
+  /// fire at most once per tick, so an oversized drive-to-threshold ratio
+  /// saturates every class and destroys the argmax).
+  std::int32_t threshold = 0;
+};
+
+[[nodiscard]] ClassifierCorelet emit_classifier(const LinearModel& m, const EmitConfig& cfg = {});
+
+/// Evaluates the spiking classifier on a dataset: each sample is rate-coded
+/// for `ticks_per_sample` ticks (probability = feature value × max_prob);
+/// prediction = class neuron with the most spikes. Returns accuracy.
+[[nodiscard]] double spiking_accuracy(const ClassifierCorelet& clf, const Dataset& d,
+                                      core::Tick ticks_per_sample = 48, double max_prob = 0.5,
+                                      std::uint64_t seed = 9);
+
+/// Synthetic pattern dataset: `per_class` samples of 8×8 patterns in four
+/// classes (horizontal stripes, vertical stripes, checkerboard, center
+/// blob), with flip noise. A standing replacement for image data.
+[[nodiscard]] Dataset make_pattern_dataset(int per_class, double noise, std::uint64_t seed);
+
+}  // namespace nsc::train

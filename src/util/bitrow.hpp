@@ -1,0 +1,70 @@
+// Fixed 256-bit row: the unit of crossbar storage (one axon's outgoing connections).
+//
+// A TrueNorth crossbar row is exactly 256 binary synapses; we store it as four
+// 64-bit words so the event-driven synaptic phase can iterate set bits with
+// countr_zero in O(active synapses), the property the kernel's efficiency
+// argument rests on (paper §III).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "src/util/bits.hpp"
+
+namespace nsc::util {
+
+class BitRow256 {
+ public:
+  static constexpr int kBits = 256;
+  static constexpr int kWords = 4;
+
+  constexpr BitRow256() noexcept : words_{} {}
+
+  void set(int i) noexcept { words_[static_cast<unsigned>(i) >> 6] |= word_bit(i); }
+  void clear(int i) noexcept { words_[static_cast<unsigned>(i) >> 6] &= ~word_bit(i); }
+  [[nodiscard]] bool test(int i) const noexcept {
+    return (words_[static_cast<unsigned>(i) >> 6] & word_bit(i)) != 0;
+  }
+  void reset() noexcept { words_.fill(0); }
+
+  [[nodiscard]] int count() const noexcept {
+    int n = 0;
+    for (std::uint64_t w : words_) n += popcount64(w);
+    return n;
+  }
+
+  [[nodiscard]] bool any() const noexcept {
+    return (words_[0] | words_[1] | words_[2] | words_[3]) != 0;
+  }
+
+  [[nodiscard]] std::uint64_t word(int i) const noexcept { return words_[static_cast<std::size_t>(i)]; }
+  void set_word(int i, std::uint64_t v) noexcept { words_[static_cast<std::size_t>(i)] = v; }
+
+  /// Visits the index of every set bit in ascending order.
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    for (int wi = 0; wi < kWords; ++wi) {
+      std::uint64_t w = words_[static_cast<std::size_t>(wi)];
+      while (w != 0) {
+        fn(wi * 64 + lowest_set(w));
+        w = clear_lowest(w);
+      }
+    }
+  }
+
+  BitRow256& operator|=(const BitRow256& o) noexcept {
+    for (int i = 0; i < kWords; ++i) words_[static_cast<std::size_t>(i)] |= o.words_[static_cast<std::size_t>(i)];
+    return *this;
+  }
+
+  friend bool operator==(const BitRow256&, const BitRow256&) = default;
+
+ private:
+  static constexpr std::uint64_t word_bit(int i) noexcept {
+    return std::uint64_t{1} << (static_cast<unsigned>(i) & 63U);
+  }
+
+  std::array<std::uint64_t, kWords> words_;
+};
+
+}  // namespace nsc::util

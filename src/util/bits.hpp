@@ -1,0 +1,29 @@
+// Bit-manipulation helpers shared by the crossbar and router implementations.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace nsc::util {
+
+/// Number of set bits in a 64-bit word.
+[[nodiscard]] constexpr int popcount64(std::uint64_t w) noexcept { return std::popcount(w); }
+
+/// Index of the lowest set bit; undefined for w == 0.
+[[nodiscard]] constexpr int lowest_set(std::uint64_t w) noexcept { return std::countr_zero(w); }
+
+/// Clears the lowest set bit of `w` and returns the new value.
+[[nodiscard]] constexpr std::uint64_t clear_lowest(std::uint64_t w) noexcept { return w & (w - 1); }
+
+/// Rounds `v` up to the next multiple of `m` (m must be a power of two).
+[[nodiscard]] constexpr std::size_t round_up_pow2(std::size_t v, std::size_t m) noexcept {
+  return (v + m - 1) & ~(m - 1);
+}
+
+/// Integer ceiling division.
+template <typename T>
+[[nodiscard]] constexpr T ceil_div(T a, T b) noexcept {
+  return (a + b - 1) / b;
+}
+
+}  // namespace nsc::util

@@ -1,0 +1,47 @@
+#include "src/util/csv.hpp"
+
+#include <stdexcept>
+
+#include "src/util/table.hpp"
+
+namespace nsc::util {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << csv_escape(header[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::add_row(const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) cells.push_back(format_sig(v, 9));
+  add_row(cells);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  if (cells.size() != columns_) throw std::runtime_error("CsvWriter: column count mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << csv_escape(cells[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+}  // namespace nsc::util

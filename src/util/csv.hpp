@@ -1,0 +1,30 @@
+// CSV writer: benches optionally dump their series for external plotting.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace nsc::util {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws
+  /// std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void add_row(const std::vector<double>& values);
+  void add_row(const std::vector<std::string>& cells);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+/// Escapes a cell per RFC 4180 (quotes cells containing comma/quote/newline).
+[[nodiscard]] std::string csv_escape(const std::string& cell);
+
+}  // namespace nsc::util

@@ -1,0 +1,21 @@
+#include "src/util/prng.hpp"
+
+#include <cassert>
+#include <vector>
+
+namespace nsc::util {
+
+void sample_distinct(Xoshiro& rng, int n, int k, int* out) {
+  assert(k >= 0 && k <= n);
+  // Partial Fisher–Yates over an index pool; O(n) setup, O(k) draws. The pool
+  // is small (n <= 256 for a crossbar row) so setup cost is irrelevant.
+  std::vector<int> pool(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) pool[static_cast<std::size_t>(i)] = i;
+  for (int i = 0; i < k; ++i) {
+    const int j = i + static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n - i)));
+    std::swap(pool[static_cast<std::size_t>(i)], pool[static_cast<std::size_t>(j)]);
+    out[i] = pool[static_cast<std::size_t>(i)];
+  }
+}
+
+}  // namespace nsc::util

@@ -1,0 +1,118 @@
+// Pseudo-random number generation for the stochastic neuron modes.
+//
+// TrueNorth places one LFSR in every core and draws from it in a fixed
+// hardware-defined order; Compass replays the identical order so the two
+// expressions stay spike-for-spike equal (paper §VI-A). A software
+// reproduction that parallelizes over threads cannot cheaply guarantee a
+// global draw order, so our *primary* generator is counter-based: each draw
+// is a stateless mix of (seed, core, neuron, tick, salt). Any evaluation
+// order yields identical streams, which is exactly the property the paper's
+// 1:1 regression methodology needs. The Galois LFSR the hardware uses is
+// also provided (and unit-tested) for fidelity and for the PRNG ablation
+// bench.
+#pragma once
+
+#include <cstdint>
+
+namespace nsc::util {
+
+/// SplitMix64 finalizer: a full-avalanche 64-bit mixing function.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Counter-based PRNG: stateless draws keyed by logical coordinates.
+///
+/// Draws are independent of evaluation order, so the TrueNorth and Compass
+/// expressions (and any Compass thread count) consume identical randomness.
+class CounterPrng {
+ public:
+  constexpr explicit CounterPrng(std::uint64_t seed = 0) noexcept : seed_(seed) {}
+
+  [[nodiscard]] constexpr std::uint64_t seed() const noexcept { return seed_; }
+
+  /// 64-bit draw keyed by (core, neuron, tick, salt).
+  [[nodiscard]] constexpr std::uint64_t draw(std::uint32_t core, std::uint32_t neuron,
+                                             std::uint64_t tick, std::uint32_t salt) const noexcept {
+    std::uint64_t k = seed_;
+    k = mix64(k ^ (std::uint64_t{core} << 32 | neuron));
+    k = mix64(k ^ tick);
+    k = mix64(k ^ salt);
+    return k;
+  }
+
+  /// Uniform draw in [0, 2^bits), bits in [1, 64].
+  [[nodiscard]] constexpr std::uint64_t draw_bits(std::uint32_t core, std::uint32_t neuron,
+                                                  std::uint64_t tick, std::uint32_t salt,
+                                                  int bits) const noexcept {
+    return draw(core, neuron, tick, salt) >> (64 - bits);
+  }
+
+  /// Bernoulli draw with probability p16 / 2^16.
+  [[nodiscard]] constexpr bool bernoulli16(std::uint32_t core, std::uint32_t neuron,
+                                           std::uint64_t tick, std::uint32_t salt,
+                                           std::uint32_t p16) const noexcept {
+    return (draw(core, neuron, tick, salt) >> 48) < p16;
+  }
+
+ private:
+  std::uint64_t seed_;
+};
+
+/// 16-bit Galois LFSR with taps 16,15,13,4 (maximal period 2^16 - 1), the
+/// style of generator a neurosynaptic core implements in silicon.
+class GaloisLfsr16 {
+ public:
+  explicit GaloisLfsr16(std::uint16_t seed = 0xACE1u) noexcept : state_(seed ? seed : 1) {}
+
+  /// Advances one step and returns the new 16-bit state.
+  std::uint16_t next() noexcept {
+    const std::uint16_t lsb = state_ & 1u;
+    state_ >>= 1;
+    if (lsb != 0) state_ ^= kTaps;
+    return state_;
+  }
+
+  [[nodiscard]] std::uint16_t state() const noexcept { return state_; }
+
+  /// Period of the maximal-length 16-bit LFSR.
+  static constexpr std::uint32_t kPeriod = 65535;
+
+ private:
+  static constexpr std::uint16_t kTaps = 0xB400u;  // x^16 + x^15 + x^13 + x^4 + 1
+  std::uint16_t state_;
+};
+
+/// Sequential xorshift64* generator for workload/network generation (not used
+/// inside the simulated neuron update, where order-independence matters).
+class Xoshiro {
+ public:
+  explicit Xoshiro(std::uint64_t seed = 1) noexcept : s_(seed ? mix64(seed) : 0x1234567ULL) {}
+
+  std::uint64_t next() noexcept {
+    s_ ^= s_ >> 12;
+    s_ ^= s_ << 25;
+    s_ ^= s_ >> 27;
+    return s_ * 0x2545F4914F6CDD1DULL;
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t next_below(std::uint64_t n) noexcept { return next() % n; }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t s_;
+};
+
+/// Fisher–Yates choice of k distinct values in [0, n); deterministic per rng state.
+/// Writes the chosen values (ascending order not guaranteed) into out[0..k).
+void sample_distinct(Xoshiro& rng, int n, int k, int* out);
+
+}  // namespace nsc::util

@@ -1,0 +1,62 @@
+#include "src/util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace nsc::util {
+
+void RunningStat::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double d = x - mean_;
+  mean_ += d / static_cast<double>(n_);
+  m2_ += d * (x - mean_);
+}
+
+double RunningStat::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, int bins)
+    : lo_(lo), hi_(hi), counts_(static_cast<std::size_t>(bins), 0) {
+  assert(bins > 0 && hi > lo);
+}
+
+void Histogram::add(double x) noexcept {
+  const int n = bins();
+  int i = static_cast<int>((x - lo_) / (hi_ - lo_) * n);
+  i = std::clamp(i, 0, n - 1);
+  ++counts_[static_cast<std::size_t>(i)];
+  ++total_;
+}
+
+double Histogram::bin_lo(int i) const noexcept {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / bins();
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (total_ == 0) return lo_;
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  const double width = (hi_ - lo_) / bins();
+  for (int i = 0; i < bins(); ++i) {
+    const double c = static_cast<double>(counts_[static_cast<std::size_t>(i)]);
+    if (cum + c >= target) {
+      const double frac = c > 0 ? (target - cum) / c : 0.0;
+      return bin_lo(i) + frac * width;
+    }
+    cum += c;
+  }
+  return hi_;
+}
+
+}  // namespace nsc::util

@@ -1,0 +1,53 @@
+// Streaming statistics accumulators used by the measurement harnesses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace nsc::util {
+
+/// Welford mean/variance accumulator; numerically stable for long runs.
+class RunningStat {
+ public:
+  void add(double x) noexcept;
+  void reset() noexcept { *this = RunningStat{}; }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;  ///< Sample variance (n-1).
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// edge bins, matching how the power-meter emulation bins current samples.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int bins);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::uint64_t bin_count(int i) const noexcept { return counts_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] int bins() const noexcept { return static_cast<int>(counts_.size()); }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_lo(int i) const noexcept;
+  /// Value below which `q` (0..1) of the samples fall (linear within a bin).
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace nsc::util

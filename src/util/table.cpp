@@ -1,0 +1,83 @@
+#include "src/util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace nsc::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_row_numeric(const std::string& label, const std::vector<double>& values,
+                            int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(format_sig(v, precision));
+  add_row(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : header_[c];
+      os << "  ";
+      os << cell;
+      for (std::size_t p = cell.size(); p < width[c]; ++p) os << ' ';
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (std::size_t w : width) total += w + 2;
+  os << "  " << std::string(total > 2 ? total - 2 : 0, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string format_sig(double v, int sig) {
+  char buf[64];
+  if (v == 0.0) {
+    std::snprintf(buf, sizeof buf, "0");
+    return buf;
+  }
+  const double a = std::fabs(v);
+  if (a >= 1e-3 && a < 1e6) {
+    const int int_digits = a >= 1.0 ? static_cast<int>(std::floor(std::log10(a))) + 1 : 1;
+    const int frac = std::max(0, sig - int_digits);
+    std::snprintf(buf, sizeof buf, "%.*f", frac, v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.*e", std::max(0, sig - 1), v);
+  }
+  return buf;
+}
+
+void print_grid(std::ostream& os, const std::string& title, const std::string& x_name,
+                const std::string& y_name, const std::vector<double>& xs,
+                const std::vector<double>& ys, const std::vector<std::vector<double>>& z,
+                int precision) {
+  os << title << '\n';
+  std::vector<std::string> header;
+  header.push_back(y_name + " \\ " + x_name);
+  header.reserve(xs.size() + 1);
+  for (double x : xs) header.push_back(format_sig(x, 4));
+  Table t(std::move(header));
+  // Descending y so the highest firing-rate / voltage row prints on top,
+  // matching the orientation of the paper's contour plots.
+  for (std::size_t yi = ys.size(); yi-- > 0;) {
+    t.add_row_numeric(format_sig(ys[yi], 4), z[yi], precision);
+  }
+  t.print(os);
+}
+
+}  // namespace nsc::util

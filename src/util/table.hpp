@@ -1,0 +1,43 @@
+// ASCII table/contour printers: every bench regenerates its paper figure as a
+// table (rows/series) or a contour grid on stdout.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nsc::util {
+
+/// Column-aligned ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Convenience: formats doubles with `precision` significant digits.
+  void add_row_numeric(const std::string& label, const std::vector<double>& values,
+                       int precision = 4);
+
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `v` with `sig` significant digits, using engineering-friendly
+/// fixed/scientific selection (e.g. "46.2", "6.5e+04").
+[[nodiscard]] std::string format_sig(double v, int sig = 4);
+
+/// Prints a 2D grid z(x, y) as a contour-style table: one row per y value
+/// (descending, so the plot reads like the paper's figures), one column per
+/// x value. Used for the Fig. 5 characterization surfaces.
+void print_grid(std::ostream& os, const std::string& title, const std::string& x_name,
+                const std::string& y_name, const std::vector<double>& xs,
+                const std::vector<double>& ys,
+                const std::vector<std::vector<double>>& z,  // z[yi][xi]
+                int precision = 3);
+
+}  // namespace nsc::util

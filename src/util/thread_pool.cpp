@@ -1,0 +1,61 @@
+#include "src/util/thread_pool.hpp"
+
+#include <cassert>
+
+namespace nsc::util {
+
+ThreadPool::ThreadPool(int n) : n_(n) {
+  assert(n >= 1);
+  threads_.reserve(static_cast<std::size_t>(n - 1));
+  for (int i = 1; i < n; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::run_all(const std::function<void(int)>& fn) {
+  if (n_ == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = &fn;
+    outstanding_ = n_ - 1;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  fn(0);
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [this] { return outstanding_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::worker_loop(int index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_start_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    (*job)(index);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--outstanding_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace nsc::util

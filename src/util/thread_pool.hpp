@@ -1,0 +1,46 @@
+// Minimal persistent thread pool used by the Compass simulator.
+//
+// Workers are created once and reused for every simulated tick; the
+// alternative (spawning threads per tick) would dominate run time at the
+// kernel's millisecond tick granularity.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nsc::util {
+
+class ThreadPool {
+ public:
+  /// Creates `n` worker threads (n >= 1). Worker 0 is the calling thread's
+  /// partner: run_all executes index 0 inline to keep single-thread runs
+  /// free of cross-thread latency.
+  explicit ThreadPool(int n);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int size() const noexcept { return n_; }
+
+  /// Runs fn(i) for every worker index i in [0, size()) and waits for all.
+  void run_all(const std::function<void(int)>& fn);
+
+ private:
+  void worker_loop(int index);
+
+  int n_;
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(int)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  int outstanding_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace nsc::util

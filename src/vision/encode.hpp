@@ -1,0 +1,50 @@
+// Spike encoding/decoding: the off-chip transduction layer (the role the
+// Zynq "thalamus" FPGA plays on the physical boards, paper §VII-A).
+//
+// Rate coding: while a frame is presented for `ticks_per_frame` ticks, each
+// pixel fires Bernoulli spikes with probability max_prob · value/255 per
+// tick. Draws are counter-based (keyed by pixel, tick, stream), so encoding
+// is deterministic and identical regardless of traversal order.
+#pragma once
+
+#include <cstdint>
+
+#include "src/core/input_schedule.hpp"
+#include "src/util/prng.hpp"
+#include "src/vision/image.hpp"
+
+namespace nsc::vision {
+
+class RateEncoder {
+ public:
+  explicit RateEncoder(double max_prob = 0.5, std::uint64_t seed = 2718)
+      : max_prob_(max_prob), prng_(seed) {}
+
+  /// Whether pixel `pixel_id` with value `v` fires at tick `t` on stream
+  /// `stream` (streams decorrelate multiple taps of the same pixel).
+  [[nodiscard]] bool fires(std::uint32_t pixel_id, core::Tick t, std::uint8_t v,
+                           std::uint32_t stream = 0) const {
+    if (v == 0) return false;
+    const auto p16 = static_cast<std::uint32_t>(max_prob_ * 65536.0 * v / 255.0);
+    return prng_.bernoulli16(pixel_id, stream, static_cast<std::uint64_t>(t), 0x7A0, p16);
+  }
+
+  [[nodiscard]] double max_prob() const noexcept { return max_prob_; }
+
+  /// Expected per-tick firing probability of a pixel value.
+  [[nodiscard]] double prob(std::uint8_t v) const { return max_prob_ * v / 255.0; }
+
+ private:
+  double max_prob_;
+  util::CounterPrng prng_;
+};
+
+/// Spike-count decoding over a window: rate estimate in [0, 1] relative to
+/// the encoder's maximum rate.
+[[nodiscard]] inline double decode_rate(std::uint32_t spike_count, core::Tick window_ticks,
+                                        double max_prob) {
+  if (window_ticks <= 0 || max_prob <= 0.0) return 0.0;
+  return static_cast<double>(spike_count) / (static_cast<double>(window_ticks) * max_prob);
+}
+
+}  // namespace nsc::vision

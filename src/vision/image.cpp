@@ -1,0 +1,35 @@
+#include "src/vision/image.hpp"
+
+#include <algorithm>
+
+namespace nsc::vision {
+
+void Image::fill_rect(int x, int y, int w, int h, std::uint8_t v) {
+  const int x0 = std::max(0, x), y0 = std::max(0, y);
+  const int x1 = std::min(w_, x + w), y1 = std::min(h_, y + h);
+  for (int yy = y0; yy < y1; ++yy) {
+    for (int xx = x0; xx < x1; ++xx) set(xx, yy, v);
+  }
+}
+
+const char* class_name(ObjectClass c) {
+  switch (c) {
+    case ObjectClass::kPerson: return "person";
+    case ObjectClass::kCyclist: return "cyclist";
+    case ObjectClass::kCar: return "car";
+    case ObjectClass::kBus: return "bus";
+    case ObjectClass::kTruck: return "truck";
+  }
+  return "?";
+}
+
+double iou(const LabeledBox& a, const LabeledBox& b) {
+  const int x0 = std::max(a.x, b.x), y0 = std::max(a.y, b.y);
+  const int x1 = std::min(a.x + a.w, b.x + b.w), y1 = std::min(a.y + a.h, b.y + b.h);
+  const int iw = std::max(0, x1 - x0), ih = std::max(0, y1 - y0);
+  const double inter = static_cast<double>(iw) * ih;
+  const double uni = static_cast<double>(a.w) * a.h + static_cast<double>(b.w) * b.h - inter;
+  return uni > 0.0 ? inter / uni : 0.0;
+}
+
+}  // namespace nsc::vision

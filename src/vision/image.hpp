@@ -1,0 +1,60 @@
+// Minimal grayscale image/bounding-box types for the vision applications.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nsc::vision {
+
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height, std::uint8_t fill = 0)
+      : w_(width), h_(height), px_(static_cast<std::size_t>(width) * height, fill) {}
+
+  [[nodiscard]] int width() const noexcept { return w_; }
+  [[nodiscard]] int height() const noexcept { return h_; }
+
+  [[nodiscard]] std::uint8_t at(int x, int y) const {
+    return px_[static_cast<std::size_t>(y) * w_ + static_cast<std::size_t>(x)];
+  }
+  void set(int x, int y, std::uint8_t v) {
+    px_[static_cast<std::size_t>(y) * w_ + static_cast<std::size_t>(x)] = v;
+  }
+
+  /// Clamped read: out-of-bounds coordinates return 0 (black border).
+  [[nodiscard]] std::uint8_t at_clamped(int x, int y) const {
+    if (x < 0 || y < 0 || x >= w_ || y >= h_) return 0;
+    return at(x, y);
+  }
+
+  void fill(std::uint8_t v) { std::fill(px_.begin(), px_.end(), v); }
+
+  /// Fills the axis-aligned rectangle [x, x+w) × [y, y+h), clipped.
+  void fill_rect(int x, int y, int w, int h, std::uint8_t v);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& pixels() const noexcept { return px_; }
+
+ private:
+  int w_ = 0;
+  int h_ = 0;
+  std::vector<std::uint8_t> px_;
+};
+
+/// The five NeoVision2 Tower object classes (paper §IV-B).
+enum class ObjectClass : std::uint8_t { kPerson = 0, kCyclist, kCar, kBus, kTruck };
+inline constexpr int kObjectClasses = 5;
+
+[[nodiscard]] const char* class_name(ObjectClass c);
+
+/// Axis-aligned labeled bounding box.
+struct LabeledBox {
+  int x = 0, y = 0, w = 0, h = 0;
+  ObjectClass cls = ObjectClass::kPerson;
+};
+
+/// Intersection-over-union of two boxes.
+[[nodiscard]] double iou(const LabeledBox& a, const LabeledBox& b);
+
+}  // namespace nsc::vision

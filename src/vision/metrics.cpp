@@ -1,0 +1,35 @@
+#include "src/vision/metrics.hpp"
+
+#include <algorithm>
+
+namespace nsc::vision {
+
+DetectionCounts match_detections(const std::vector<LabeledBox>& ground_truth,
+                                 const std::vector<LabeledBox>& detections,
+                                 double iou_threshold, bool require_class) {
+  DetectionCounts c;
+  std::vector<bool> claimed(ground_truth.size(), false);
+  for (const LabeledBox& det : detections) {
+    int best = -1;
+    double best_iou = iou_threshold;
+    for (std::size_t g = 0; g < ground_truth.size(); ++g) {
+      if (claimed[g]) continue;
+      if (require_class && ground_truth[g].cls != det.cls) continue;
+      const double v = iou(ground_truth[g], det);
+      if (v >= best_iou) {
+        best_iou = v;
+        best = static_cast<int>(g);
+      }
+    }
+    if (best >= 0) {
+      claimed[static_cast<std::size_t>(best)] = true;
+      ++c.true_positives;
+    } else {
+      ++c.false_positives;
+    }
+  }
+  c.false_negatives = static_cast<int>(ground_truth.size()) - c.true_positives;
+  return c;
+}
+
+}  // namespace nsc::vision

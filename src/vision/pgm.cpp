@@ -1,0 +1,72 @@
+#include "src/vision/pgm.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace nsc::vision {
+
+void write_pgm(const Image& img, std::ostream& os) {
+  os << "P5\n" << img.width() << ' ' << img.height() << "\n255\n";
+  os.write(reinterpret_cast<const char*>(img.pixels().data()),
+           static_cast<std::streamsize>(img.pixels().size()));
+  if (!os) throw std::runtime_error("PGM write failed");
+}
+
+void write_pgm(const Image& img, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open " + path + " for writing");
+  write_pgm(img, f);
+}
+
+Image read_pgm(std::istream& is) {
+  std::string magic;
+  is >> magic;
+  if (magic != "P5") throw std::runtime_error("not a binary PGM (P5) file");
+  int w = 0, h = 0, maxval = 0;
+  is >> w >> h >> maxval;
+  if (!is || w <= 0 || h <= 0 || maxval <= 0 || maxval > 255 || w > 1 << 16 || h > 1 << 16) {
+    throw std::runtime_error("malformed PGM header");
+  }
+  is.get();  // the single whitespace byte after maxval
+  Image img(w, h);
+  std::vector<char> buf(static_cast<std::size_t>(w) * static_cast<std::size_t>(h));
+  is.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+  if (!is) throw std::runtime_error("PGM pixel data truncated");
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      img.set(x, y, static_cast<std::uint8_t>(buf[static_cast<std::size_t>(y) * w + x]));
+    }
+  }
+  return img;
+}
+
+Image read_pgm(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  return read_pgm(f);
+}
+
+Image gray_from_grid(const std::vector<std::vector<double>>& rows) {
+  const int h = static_cast<int>(rows.size());
+  const int w = h > 0 ? static_cast<int>(rows[0].size()) : 0;
+  Image img(std::max(w, 1), std::max(h, 1));
+  double lo = 1e300, hi = -1e300;
+  for (const auto& row : rows) {
+    for (double v : row) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (h == 0 || w == 0 || hi <= lo) return img;
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      img.set(x, y, static_cast<std::uint8_t>(255.0 * (rows[static_cast<std::size_t>(y)][static_cast<std::size_t>(x)] - lo) / (hi - lo)));
+    }
+  }
+  return img;
+}
+
+}  // namespace nsc::vision

@@ -1,0 +1,26 @@
+// PGM (portable graymap) image output: scenes, saliency maps, and decoded
+// activity maps can be dumped for visual inspection with any image viewer.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/vision/image.hpp"
+
+namespace nsc::vision {
+
+/// Writes `img` as binary PGM (P5).
+void write_pgm(const Image& img, std::ostream& os);
+void write_pgm(const Image& img, const std::string& path);
+
+/// Reads a binary PGM (P5, maxval <= 255); throws std::runtime_error on
+/// malformed input.
+[[nodiscard]] Image read_pgm(std::istream& is);
+[[nodiscard]] Image read_pgm(const std::string& path);
+
+/// Renders a grid of doubles as an image, min–max normalized (all-equal
+/// grids map to 0). Used to visualize saliency/activity maps.
+[[nodiscard]] Image gray_from_grid(const std::vector<std::vector<double>>& rows);
+
+}  // namespace nsc::vision

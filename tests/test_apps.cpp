@@ -1,0 +1,159 @@
+// Integration tests for the five characterization applications: networks
+// build and validate, run on both expressions with identical spikes, produce
+// sensible activity, and the NeoVision pipeline detects and classifies
+// moving objects above chance.
+#include <gtest/gtest.h>
+
+#include "src/apps/haar.hpp"
+#include "src/apps/lbp.hpp"
+#include "src/apps/neovision.hpp"
+#include "src/apps/saccade.hpp"
+#include "src/apps/saliency.hpp"
+#include "src/core/spike_sink.hpp"
+#include "src/core/validation.hpp"
+
+namespace nsc::apps {
+namespace {
+
+AppConfig small_cfg() {
+  AppConfig cfg;
+  cfg.img_w = 64;
+  cfg.img_h = 64;
+  cfg.frames = 4;
+  cfg.ticks_per_frame = 20;
+  cfg.scene_objects = 2;
+  cfg.seed = 11;
+  return cfg;
+}
+
+void expect_valid_and_equivalent(const AppNetwork& net) {
+  EXPECT_TRUE(core::validate(net.network()).empty()) << net.name;
+  core::VectorSink tn_sink, compass_sink;
+  const AppRunResult tn = run_on_truenorth(net, &tn_sink);
+  const AppRunResult cp = run_on_compass(net, 3, &compass_sink);
+  EXPECT_EQ(core::first_mismatch(tn_sink.spikes(), compass_sink.spikes()), -1)
+      << net.name << ": expressions diverged";
+  EXPECT_EQ(tn.stats.spikes, cp.stats.spikes) << net.name;
+  EXPECT_GT(tn.stats.spikes, 0u) << net.name << ": network is silent";
+  EXPECT_GT(tn.stats.sops, 0u) << net.name;
+}
+
+TEST(HaarApp, BuildsRunsAndExtractsFeatures) {
+  const HaarApp app = make_haar_app(small_cfg());
+  EXPECT_EQ(app.features, 10);
+  EXPECT_GT(app.neurons_per_patch, 30);
+  EXPECT_EQ(app.patches, 32);
+  EXPECT_GT(app.net.inputs.size(), 0u);
+  expect_valid_and_equivalent(app.net);
+}
+
+TEST(HaarApp, FeaturesRespondToStructure) {
+  // A textured scene must excite more feature spikes than a blank one.
+  AppConfig cfg = small_cfg();
+  const HaarApp textured = make_haar_app(cfg);
+  core::CountSink sink(
+      static_cast<std::uint64_t>(textured.net.network().geom.neurons()));
+  (void)run_on_truenorth(textured.net, &sink);
+  std::uint64_t total = 0;
+  for (auto v : sink.counts()) total += v;
+  EXPECT_GT(total, 100u);
+}
+
+TEST(LbpApp, BuildsRunsAndBins) {
+  const LbpApp app = make_lbp_app(small_cfg());
+  EXPECT_EQ(app.bins, 20);
+  EXPECT_EQ(app.subpatches, 32);
+  EXPECT_GT(app.comparisons_per_patch, 100);
+  expect_valid_and_equivalent(app.net);
+}
+
+TEST(SaliencyApp, BuildsRunsAndHighlightsObjects) {
+  const SaliencyApp app = make_saliency_app(small_cfg());
+  EXPECT_GT(app.centers_per_patch, 5);
+  expect_valid_and_equivalent(app.net);
+}
+
+TEST(SaliencyApp, ObjectRegionsBeatEmptyRegions) {
+  AppConfig cfg = small_cfg();
+  cfg.frames = 3;
+  const SaliencyApp app = make_saliency_app(cfg);
+  core::CountSink sink(static_cast<std::uint64_t>(app.net.network().geom.neurons()));
+  (void)run_on_truenorth(app.net, &sink);
+  // Energy outputs are the last `patches` output pins.
+  std::uint64_t max_energy = 0, total_energy = 0;
+  const int patches = app.patches;
+  const int first_energy = static_cast<int>(app.net.placed.outputs.size()) - patches;
+  for (int i = 0; i < patches; ++i) {
+    const auto n = sink.counts()[app.net.placed.output_flat_index(first_energy + i)];
+    max_energy = std::max<std::uint64_t>(max_energy, n);
+    total_energy += n;
+  }
+  EXPECT_GT(total_energy, 0u);
+  // Saliency must be spatially selective, not uniform.
+  EXPECT_GT(static_cast<double>(max_energy) * patches,
+            2.0 * static_cast<double>(total_energy));
+}
+
+TEST(SaccadeApp, BuildsRunsAndSelects) {
+  const SaccadeApp app = make_saccade_app(small_cfg());
+  EXPECT_GT(app.regions, 8);
+  EXPECT_GT(app.ior_delay_ticks, 10);
+  expect_valid_and_equivalent(app.net);
+}
+
+TEST(SaccadeApp, WinnerSelectionIsSparse) {
+  AppConfig cfg = small_cfg();
+  cfg.frames = 5;
+  const SaccadeApp app = make_saccade_app(cfg);
+  core::CountSink sink(static_cast<std::uint64_t>(app.net.network().geom.neurons()));
+  (void)run_on_truenorth(app.net, &sink);
+  int active_regions = 0;
+  std::uint64_t total = 0;
+  for (int i = 0; i < static_cast<int>(app.net.placed.outputs.size()); ++i) {
+    const auto n = sink.counts()[app.net.placed.output_flat_index(i)];
+    active_regions += n > 0 ? 1 : 0;
+    total += n;
+  }
+  EXPECT_GT(total, 0u);
+  // WTA + IoR: selection concentrates on a few regions at a time.
+  EXPECT_LT(active_regions, app.regions);
+}
+
+TEST(NeovisionApp, BuildsRunsAndBinds) {
+  AppConfig cfg = small_cfg();
+  cfg.frames = 6;
+  cfg.ticks_per_frame = 25;
+  const NeovisionApp app = make_neovision_app(cfg);
+  EXPECT_EQ(app.region_cols * app.region_rows, 16);
+  EXPECT_TRUE(core::validate(app.net.network()).empty());
+
+  core::WindowedCountSink sink(static_cast<std::uint64_t>(app.net.network().geom.neurons()),
+                               app.ticks_per_frame);
+  (void)run_on_truenorth(app.net, &sink);
+  ASSERT_EQ(sink.windows().size(), static_cast<std::size_t>(cfg.frames));
+
+  const NeovisionResult res = decode_detections(app, sink);
+  // Moving bright objects must be detected well above chance; classification
+  // of the separable archetypes must be mostly right.
+  EXPECT_GT(res.counts.true_positives + res.counts.false_negatives, 0);
+  EXPECT_GT(res.counts.recall(), 0.3);
+  EXPECT_GT(res.counts.precision(), 0.3);
+}
+
+TEST(NeovisionApp, ExpressionsAgree) {
+  AppConfig cfg = small_cfg();
+  cfg.frames = 3;
+  const NeovisionApp app = make_neovision_app(cfg);
+  expect_valid_and_equivalent(app.net);
+}
+
+TEST(AppHarness, WallClockAndStatsPopulated) {
+  const HaarApp app = make_haar_app(small_cfg());
+  const AppRunResult r = run_on_compass(app.net, 2);
+  EXPECT_GT(r.wall_seconds, 0.0);
+  EXPECT_GT(r.seconds_per_tick(), 0.0);
+  EXPECT_EQ(r.stats.ticks, static_cast<std::uint64_t>(app.net.ticks));
+}
+
+}  // namespace
+}  // namespace nsc::apps

@@ -1,0 +1,192 @@
+// Tests for crossbar, geometry, input schedules, network description,
+// serialization round-trips and validation.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/core/crossbar.hpp"
+#include "src/core/input_schedule.hpp"
+#include "src/core/network.hpp"
+#include "src/core/network_io.hpp"
+#include "src/core/types.hpp"
+#include "src/core/validation.hpp"
+#include "src/netgen/random_net.hpp"
+
+namespace nsc::core {
+namespace {
+
+TEST(GeometryTest, TrueNorthChipCounts) {
+  const Geometry g = truenorth_chip();
+  EXPECT_EQ(g.total_cores(), 4096);
+  EXPECT_EQ(g.neurons(), 1'048'576);
+  EXPECT_EQ(g.cores_per_chip(), 4096);
+  EXPECT_EQ(g.chips(), 1);
+}
+
+TEST(GeometryTest, LocalAndGlobalXYRoundTrip) {
+  const Geometry g{2, 3, 8, 8};  // 6 chips of 64 cores
+  EXPECT_EQ(g.total_cores(), 6 * 64);
+  for (CoreId c = 0; c < static_cast<CoreId>(g.total_cores()); c += 7) {
+    const auto gxy = g.global_xy(c);
+    EXPECT_EQ(g.core_at_global(gxy.x, gxy.y), c);
+  }
+}
+
+TEST(GeometryTest, ChipOfMatchesChipXY) {
+  const Geometry g{2, 2, 4, 4};
+  const CoreId c = g.core_at(3, 1, 2);  // chip 3 = (1,1)
+  EXPECT_EQ(g.chip_of(c), 3);
+  EXPECT_EQ(g.chip_xy(c).x, 1);
+  EXPECT_EQ(g.chip_xy(c).y, 1);
+  EXPECT_EQ(g.local_xy(c).x, 1);
+  EXPECT_EQ(g.local_xy(c).y, 2);
+}
+
+TEST(CrossbarTest, SetTestCountColumns) {
+  Crossbar x;
+  x.set(0, 0);
+  x.set(0, 255);
+  x.set(200, 0);
+  EXPECT_TRUE(x.test(0, 0));
+  EXPECT_FALSE(x.test(1, 0));
+  EXPECT_EQ(x.count(), 3);
+  EXPECT_EQ(x.row_count(0), 2);
+  EXPECT_EQ(x.column_count(0), 2);
+  x.set(0, 0, false);
+  EXPECT_EQ(x.count(), 2);
+  x.clear();
+  EXPECT_EQ(x.count(), 0);
+}
+
+TEST(InputScheduleTest, SortsAndIndexes) {
+  InputSchedule in;
+  in.add(5, 1, 10);
+  in.add(2, 0, 3);
+  in.add(5, 0, 7);
+  in.add(2, 0, 3);  // duplicate: merged
+  in.finalize();
+  EXPECT_EQ(in.size(), 3u);
+  EXPECT_EQ(in.at(2).size(), 1u);
+  EXPECT_EQ(in.at(5).size(), 2u);
+  EXPECT_EQ(in.at(3).size(), 0u);
+  EXPECT_EQ(in.at(99).size(), 0u);
+  EXPECT_EQ(in.last_tick(), 5);
+  // Canonical order within tick 5.
+  EXPECT_EQ(in.at(5)[0].core, 0u);
+  EXPECT_EQ(in.at(5)[1].core, 1u);
+}
+
+TEST(InputScheduleTest, EmptySchedule) {
+  InputSchedule in;
+  in.finalize();
+  EXPECT_TRUE(in.empty());
+  EXPECT_EQ(in.at(0).size(), 0u);
+  EXPECT_EQ(in.last_tick(), -1);
+}
+
+TEST(NetworkTest, CountsSynapsesAndNeurons) {
+  Network net(Geometry{1, 1, 2, 1});
+  net.core(0).crossbar.set(0, 0);
+  net.core(0).crossbar.set(1, 5);
+  net.core(1).neuron[0].enabled = 1;
+  net.core(0).neuron[0].enabled = 1;
+  for (int j = 1; j < kCoreSize; ++j) {
+    net.core(0).neuron[j].enabled = 0;
+    net.core(1).neuron[j].enabled = 0;
+  }
+  EXPECT_EQ(net.total_synapses(), 2u);
+  EXPECT_EQ(net.enabled_neurons(), 2u);
+  EXPECT_EQ(net.used_cores(), 2);
+}
+
+TEST(NetworkIoTest, RoundTripRandomNetwork) {
+  netgen::RandomNetSpec spec;
+  spec.geom = Geometry{1, 1, 3, 2};
+  spec.seed = 99;
+  const Network net = netgen::make_random(spec);
+  std::stringstream buf;
+  save_network(net, buf);
+  const Network loaded = load_network(buf);
+  ASSERT_EQ(loaded.geom, net.geom);
+  EXPECT_EQ(loaded.seed, net.seed);
+  for (CoreId c = 0; c < static_cast<CoreId>(net.geom.total_cores()); ++c) {
+    ASSERT_EQ(loaded.core(c).crossbar, net.core(c).crossbar) << "core " << c;
+    ASSERT_EQ(loaded.core(c).axon_type, net.core(c).axon_type);
+    for (int j = 0; j < kCoreSize; ++j) {
+      const NeuronParams& a = loaded.core(c).neuron[j];
+      const NeuronParams& b = net.core(c).neuron[j];
+      ASSERT_EQ(a.threshold, b.threshold);
+      ASSERT_EQ(a.leak, b.leak);
+      ASSERT_EQ(a.init_v, b.init_v);
+      ASSERT_EQ(a.target.core, b.target.core);
+      ASSERT_EQ(a.target.axon, b.target.axon);
+      ASSERT_EQ(a.target.delay, b.target.delay);
+      ASSERT_EQ(a.stochastic_weight, b.stochastic_weight);
+    }
+  }
+}
+
+TEST(NetworkIoTest, RejectsGarbage) {
+  std::stringstream buf("this is not a network file at all");
+  EXPECT_THROW((void)load_network(buf), std::runtime_error);
+}
+
+TEST(ValidationTest, CleanNetworkPasses) {
+  netgen::RandomNetSpec spec;
+  spec.geom = Geometry{1, 1, 2, 2};
+  const Network net = netgen::make_random(spec);
+  EXPECT_TRUE(validate(net).empty());
+  EXPECT_NO_THROW(validate_or_throw(net));
+}
+
+TEST(ValidationTest, CatchesBadTargetCore) {
+  Network net(Geometry{1, 1, 2, 1});
+  net.core(0).neuron[0].target = {999, 0, 1};
+  const auto issues = validate(net);
+  ASSERT_FALSE(issues.empty());
+  EXPECT_EQ(issues[0].core, 0u);
+  EXPECT_THROW(validate_or_throw(net), std::runtime_error);
+}
+
+TEST(ValidationTest, CatchesBadDelay) {
+  Network net(Geometry{1, 1, 2, 1});
+  net.core(0).neuron[3].target = {1, 0, 0};  // delay 0 < kMinDelay
+  EXPECT_FALSE(validate(net).empty());
+  net.core(0).neuron[3].target = {1, 0, 16};  // > kMaxDelay
+  EXPECT_FALSE(validate(net).empty());
+}
+
+TEST(ValidationTest, CatchesNonPositiveThreshold) {
+  Network net(Geometry{1, 1, 1, 1});
+  net.core(0).neuron[0].threshold = 0;
+  EXPECT_FALSE(validate(net).empty());
+}
+
+TEST(ValidationTest, CatchesTargetOnDisabledCore) {
+  Network net(Geometry{1, 1, 2, 1});
+  net.core(1).disabled = 1;
+  for (auto& p : net.core(1).neuron) p.enabled = 0;
+  net.core(0).neuron[0].target = {1, 0, 1};
+  EXPECT_FALSE(validate(net).empty());
+}
+
+TEST(KernelStatsTest, RateAndSynapsesPerDelivery) {
+  KernelStats s;
+  s.ticks = 100;
+  s.spikes = 2000;
+  s.sops = 256000;
+  s.axon_events = 2000;
+  // 2000 spikes / (100 ticks * 1000 neurons) * 1000 Hz = 20 Hz
+  EXPECT_DOUBLE_EQ(s.mean_rate_hz(1000), 20.0);
+  EXPECT_DOUBLE_EQ(s.mean_synapses_per_delivery(), 128.0);
+}
+
+TEST(SpikeOrdering, ComparesLexicographically) {
+  const Spike a{1, 2, 3}, b{1, 2, 4}, c{2, 0, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (Spike{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace nsc::core

@@ -1,0 +1,204 @@
+// Tests for the corelet compositional layer: pins, connections, absorption,
+// placement strategies, and the library corelets (splitter, relay, delay
+// line, WTA) executed on the TrueNorth backend.
+#include <gtest/gtest.h>
+
+#include "src/core/spike_sink.hpp"
+#include "src/core/validation.hpp"
+#include "src/corelet/corelet.hpp"
+#include "src/corelet/lib.hpp"
+#include "src/corelet/place.hpp"
+#include "src/tn/chip_sim.hpp"
+
+namespace nsc::corelet {
+namespace {
+
+using core::InputSchedule;
+using core::Spike;
+using core::Tick;
+using core::VectorSink;
+
+/// Places, validates and runs a corelet against an input schedule.
+std::vector<Spike> run_corelet(const Corelet& c, const InputSchedule& in, Tick ticks,
+                               PlaceStrategy strategy = PlaceStrategy::kBlock2D) {
+  PlacedCorelet placed = place(c, fit_geometry(c), strategy);
+  core::validate_or_throw(placed.network);
+  tn::TrueNorthSimulator sim(placed.network);
+  VectorSink sink;
+  sim.run(ticks, &in, &sink);
+  return sink.spikes();
+}
+
+TEST(CoreletTest, AddCoreStartsDisabled) {
+  Corelet c("t");
+  const int k = c.add_core();
+  EXPECT_EQ(k, 0);
+  EXPECT_EQ(c.core_count(), 1);
+  EXPECT_EQ(c.enabled_neurons(), 0u);
+}
+
+TEST(CoreletTest, ConnectValidatesArguments) {
+  Corelet c("t");
+  c.add_core();
+  EXPECT_THROW(c.connect({1, 0}, {0, 0}), std::out_of_range);
+  EXPECT_THROW(c.connect({0, 0}, {0, 0}, 0), std::out_of_range);
+  EXPECT_THROW(c.connect({0, 0}, {0, 0}, 16), std::out_of_range);
+  EXPECT_NO_THROW(c.connect({0, 0}, {0, 0}, 15));
+}
+
+TEST(CoreletTest, AbsorbRebasesInternalConnections) {
+  Corelet child("child");
+  child.add_core();
+  child.add_core();
+  child.connect({0, 5}, {1, 7}, 2);
+
+  Corelet parent("parent");
+  parent.add_core();
+  const int off = parent.absorb(std::move(child));
+  EXPECT_EQ(off, 1);
+  EXPECT_EQ(parent.core_count(), 3);
+  const auto& target = parent.core(1).neuron[5].target;
+  EXPECT_EQ(target.core, 2u);  // rebased from 1
+  EXPECT_EQ(target.axon, 7);
+  EXPECT_EQ(target.delay, 2);
+}
+
+TEST(PlaceTest, LinearMapsIdentity) {
+  Corelet c("t");
+  c.add_core();
+  c.add_core();
+  const PlacedCorelet p = place(c, core::Geometry{1, 1, 2, 2}, PlaceStrategy::kLinear);
+  EXPECT_EQ(p.core_map[0], 0u);
+  EXPECT_EQ(p.core_map[1], 1u);
+}
+
+TEST(PlaceTest, Block2DKeepsNeighborsClose) {
+  Corelet c("t");
+  for (int i = 0; i < 16; ++i) c.add_core();
+  const core::Geometry g{1, 1, 8, 8};
+  const PlacedCorelet p = place(c, g, PlaceStrategy::kBlock2D);
+  // Consecutive logical cores must be mesh neighbors in snake order.
+  for (int i = 0; i + 1 < 16; ++i) {
+    const auto a = g.global_xy(p.core_map[static_cast<std::size_t>(i)]);
+    const auto b = g.global_xy(p.core_map[static_cast<std::size_t>(i + 1)]);
+    EXPECT_EQ(std::abs(a.x - b.x) + std::abs(a.y - b.y), 1) << "at " << i;
+  }
+}
+
+TEST(PlaceTest, ThrowsWhenTooSmall) {
+  Corelet c("t");
+  for (int i = 0; i < 5; ++i) c.add_core();
+  EXPECT_THROW((void)place(c, core::Geometry{1, 1, 2, 2}), std::runtime_error);
+}
+
+TEST(PlaceTest, FitGeometryCoversCorelet) {
+  Corelet c("t");
+  for (int i = 0; i < 10; ++i) c.add_core();
+  const core::Geometry g = fit_geometry(c);
+  EXPECT_GE(g.total_cores(), 10);
+  EXPECT_LE(g.total_cores(), 16);  // 4x4 is the smallest square fit
+}
+
+TEST(SplitterTest, ReplicatesInputToAllOutputs) {
+  const Corelet c = make_splitter(5);
+  InputSchedule in;
+  in.add(0, 0, 0);  // resolved below: splitter input pin is (core 0, axon 0)
+  in.finalize();
+  const auto spikes = run_corelet(c, in, 3);
+  ASSERT_EQ(spikes.size(), 5u);
+  for (int j = 0; j < 5; ++j) {
+    EXPECT_EQ(spikes[static_cast<std::size_t>(j)], (Spike{0, 0, static_cast<std::uint16_t>(j)}));
+  }
+}
+
+TEST(SplitterTest, RejectsBadFanout) {
+  EXPECT_THROW((void)make_splitter(0), std::out_of_range);
+  EXPECT_THROW((void)make_splitter(257), std::out_of_range);
+}
+
+TEST(RelayTest, PassesChannelsIndependently) {
+  const Corelet c = make_relay(8);
+  InputSchedule in;
+  in.add(0, 0, 3);
+  in.add(2, 0, 6);
+  in.finalize();
+  const auto spikes = run_corelet(c, in, 5);
+  ASSERT_EQ(spikes.size(), 2u);
+  EXPECT_EQ(spikes[0], (Spike{0, 0, 3}));
+  EXPECT_EQ(spikes[1], (Spike{2, 0, 6}));
+}
+
+TEST(DelayLineTest, DelaysBySpecifiedTicks) {
+  for (int delay : {1, 15, 16, 40}) {
+    const Corelet c = make_delay_line(4, delay);
+    InputSchedule in;
+    in.add(0, 0, 2);  // channel 2 enters the first relay (core 0)
+    in.finalize();
+    PlacedCorelet placed = place(c, fit_geometry(c));
+    core::validate_or_throw(placed.network);
+    tn::TrueNorthSimulator sim(placed.network);
+    VectorSink sink;
+    sim.run(static_cast<Tick>(delay) + 5, &in, &sink);
+    // The terminal relay's spike is the last one recorded.
+    ASSERT_FALSE(sink.spikes().empty()) << "delay " << delay;
+    const Spike last = sink.spikes().back();
+    EXPECT_EQ(last.tick, static_cast<Tick>(delay)) << "delay " << delay;
+    EXPECT_EQ(last.neuron, 2);
+  }
+}
+
+TEST(DelayLineTest, ZeroDelayIsIdentityRelay) {
+  const Corelet c = make_delay_line(4, 0);
+  EXPECT_EQ(c.core_count(), 1);
+}
+
+TEST(WtaTest, StrongestChannelWins) {
+  const WtaParams params{.channels = 4};
+  const Corelet c = make_wta(params);
+  // Drive channel 2 hard, channel 0 weakly.
+  InputSchedule in;
+  for (Tick t = 0; t < 40; ++t) {
+    in.add(t, 0, 2);              // every tick
+    if (t % 4 == 0) in.add(t, 0, 0);  // quarter rate
+  }
+  in.finalize();
+  const auto spikes = run_corelet(c, in, 45);
+  // Count output-copy spikes per channel (copies are neurons n..2n-1).
+  int wins[4] = {0, 0, 0, 0};
+  for (const Spike& s : spikes) {
+    if (s.neuron >= 4 && s.neuron < 8) ++wins[s.neuron - 4];
+  }
+  EXPECT_GT(wins[2], 0);
+  EXPECT_GT(wins[2], 3 * std::max({wins[0], wins[1], wins[3]}));
+}
+
+TEST(WtaTest, OutputCopiesHaveFreeTargets) {
+  const Corelet c = make_wta({.channels = 8});
+  for (int i = 0; i < c.output_count(); ++i) {
+    const OutputPin p = c.output(i);
+    EXPECT_FALSE(c.core(p.core).neuron[p.neuron].target.valid());
+  }
+}
+
+TEST(WtaTest, RejectsTooManyChannels) {
+  EXPECT_THROW((void)make_wta({.channels = 129}), std::out_of_range);
+}
+
+TEST(PlacedPinResolution, InputAndOutputMapping) {
+  Corelet c("t");
+  const int k = c.add_core();
+  c.add_input({k, 7});
+  c.add_output({k, 9});
+  const PlacedCorelet p = place(c, core::Geometry{1, 1, 2, 2}, PlaceStrategy::kLinear);
+  const core::InputSpike s = p.input_at(0, 5);
+  EXPECT_EQ(s.tick, 5);
+  EXPECT_EQ(s.core, 0u);
+  EXPECT_EQ(s.axon, 7);
+  const auto [oc, on] = p.output_at(0);
+  EXPECT_EQ(oc, 0u);
+  EXPECT_EQ(on, 9);
+  EXPECT_EQ(p.output_flat_index(0), 9u);
+}
+
+}  // namespace
+}  // namespace nsc::corelet

@@ -1,0 +1,300 @@
+// Tests for the energy/power/timing models: calibration anchors, voltage
+// scaling laws, monotonicity invariants, host models, projections, and the
+// emulated power meter's 3% calibration band.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/energy/host_models.hpp"
+#include "src/energy/power_meter.hpp"
+#include "src/energy/scaling_model.hpp"
+#include "src/energy/truenorth_power.hpp"
+#include "src/energy/truenorth_timing.hpp"
+
+namespace nsc::energy {
+namespace {
+
+/// Synthesizes the counters of a full-chip recurrent network at the given
+/// rate/synapse point, run for `ticks` (1M neurons, 4,096 cores).
+core::KernelStats chip_stats(double rate_hz, int synapses, std::uint64_t ticks = 1000) {
+  core::KernelStats s;
+  const double neurons = 1048576.0;
+  const double spikes_per_tick = neurons * rate_hz / 1000.0;
+  s.ticks = ticks;
+  s.spikes = static_cast<std::uint64_t>(spikes_per_tick * static_cast<double>(ticks));
+  s.axon_events = s.spikes;
+  s.sops = static_cast<std::uint64_t>(static_cast<double>(s.spikes) * synapses);
+  s.neuron_updates = static_cast<std::uint64_t>(neurons * static_cast<double>(ticks));
+  // Uniform targets average 21.33 hops per dimension on the 64×64 mesh.
+  s.hop_sum = static_cast<std::uint64_t>(static_cast<double>(s.spikes) * 42.7);
+  // Per-tick maxima: mean per-core load with a modest Poisson tail factor.
+  const double per_core_axons = spikes_per_tick / 4096.0;
+  s.sum_max_core_axon_events =
+      static_cast<std::uint64_t>(per_core_axons * 2.0 * static_cast<double>(ticks));
+  s.sum_max_core_sops = static_cast<std::uint64_t>(per_core_axons * 2.0 * synapses *
+                                                   static_cast<double>(ticks));
+  s.sum_max_core_spikes = s.sum_max_core_axon_events;
+  return s;
+}
+
+constexpr int kChipCores = 4096;
+
+TEST(TrueNorthPower, HeadlineOperatingPoint) {
+  // Paper §I: 20 Hz / 128 synapses, real time, 0.75 V → ~65 mW, ~46 GSOPS/W.
+  const TrueNorthPowerModel model;
+  const auto s = chip_stats(20, 128);
+  const double watts = model.mean_power_w(s, kChipCores, 0.75, kRealTimeTickHz);
+  EXPECT_GT(watts, 0.040);
+  EXPECT_LT(watts, 0.080);
+  const double gsops_w = 1e-9 * model.sops_per_watt(s, kChipCores, 0.75, kRealTimeTickHz);
+  EXPECT_GT(gsops_w, 38.0);
+  EXPECT_LT(gsops_w, 58.0);
+}
+
+TEST(TrueNorthPower, FasterThanRealTimeAmortizesPassive) {
+  // Paper §I: running ~5× faster raises GSOPS/W from ~46 to ~81.
+  const TrueNorthPowerModel model;
+  const auto s = chip_stats(20, 128);
+  const double rt = model.sops_per_watt(s, kChipCores, 0.75, kRealTimeTickHz);
+  const double fast = model.sops_per_watt(s, kChipCores, 0.75, 5 * kRealTimeTickHz);
+  EXPECT_GT(fast / rt, 1.5);
+  EXPECT_LT(fast / rt, 3.0);
+}
+
+TEST(TrueNorthPower, UpperCornerExceeds300GsopsPerWatt) {
+  // Paper §VI-B: 200 Hz / 256 synapses → >400 GSOPS/W (model: ~340).
+  const TrueNorthPowerModel model;
+  const auto s = chip_stats(200, 256);
+  const double gsops_w = 1e-9 * model.sops_per_watt(s, kChipCores, 0.75, kRealTimeTickHz);
+  EXPECT_GT(gsops_w, 250.0);
+}
+
+TEST(TrueNorthPower, EfficiencyRisesTowardUpperRight) {
+  const TrueNorthPowerModel model;
+  double prev = 0.0;
+  for (const auto& [r, k] : {std::pair{5.0, 32}, {20.0, 128}, {100.0, 256}}) {
+    const double v = model.sops_per_watt(chip_stats(r, k), kChipCores, 0.75, kRealTimeTickHz);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(TrueNorthPower, PerSynapticEventEnergyNearTenPicojoule) {
+  // Paper §I: ~10 pJ per synaptic event all-in (total energy / SOPs).
+  const TrueNorthPowerModel model;
+  const auto s = chip_stats(20, 128);
+  const double e = model.total_energy_j(s, kChipCores, 0.75, kRealTimeTickHz) /
+                   static_cast<double>(s.sops);
+  EXPECT_GT(e, 5e-12);
+  EXPECT_LT(e, 40e-12);
+}
+
+TEST(TrueNorthPower, ActiveScalesAsVSquared) {
+  const TrueNorthPowerModel model;
+  const auto s = chip_stats(50, 128);
+  const double lo = model.active_energy_j(s, 0.70);
+  const double hi = model.active_energy_j(s, 1.05);
+  EXPECT_NEAR(hi / lo, (1.05 * 1.05) / (0.70 * 0.70), 1e-9);
+}
+
+TEST(TrueNorthPower, PassiveScalesSuperlinearly) {
+  const TrueNorthPowerModel model;
+  const double lo = model.passive_power_w(kChipCores, 0.70);
+  const double hi = model.passive_power_w(kChipCores, 1.05);
+  EXPECT_GT(hi / lo, std::pow(1.05 / 0.70, 2.0));
+}
+
+TEST(TrueNorthPower, EfficiencyImprovesAtLowerVoltage) {
+  // Paper Fig. 5(f): SOPS/W is maximized at low voltage.
+  const TrueNorthPowerModel model;
+  const auto s = chip_stats(50, 128);
+  EXPECT_GT(model.sops_per_watt(s, kChipCores, 0.70, kRealTimeTickHz),
+            model.sops_per_watt(s, kChipCores, 1.00, kRealTimeTickHz));
+}
+
+TEST(TrueNorthPower, EnergyMonotoneInActivity) {
+  const TrueNorthPowerModel model;
+  const double lo = model.total_energy_j(chip_stats(10, 64), kChipCores, 0.75, 1000);
+  const double hi = model.total_energy_j(chip_stats(100, 192), kChipCores, 0.75, 1000);
+  EXPECT_GT(hi, lo);
+}
+
+TEST(TrueNorthPower, ScaleInvarianceOfSopsPerWatt) {
+  // Replicating the workload and the cores leaves GSOPS/W unchanged.
+  const TrueNorthPowerModel model;
+  auto s = chip_stats(20, 128);
+  const double full = model.sops_per_watt(s, kChipCores, 0.75, kRealTimeTickHz);
+  core::KernelStats half = s;
+  half.spikes /= 2;
+  half.sops /= 2;
+  half.axon_events /= 2;
+  half.neuron_updates /= 2;
+  half.hop_sum /= 2;
+  const double scaled = model.sops_per_watt(half, kChipCores / 2, 0.75, kRealTimeTickHz);
+  EXPECT_NEAR(scaled / full, 1.0, 1e-6);
+}
+
+TEST(TrueNorthTiming, LightLoadFasterThanRealTime) {
+  const TrueNorthTimingModel model;
+  EXPECT_GT(model.max_tick_hz(chip_stats(5, 32), 0.75), 1000.0);
+  EXPECT_TRUE(model.sustains_real_time(chip_stats(5, 32), 0.75));
+}
+
+TEST(TrueNorthTiming, HeavyCornerNearRealTime) {
+  const TrueNorthTimingModel model;
+  const double hz = model.max_tick_hz(chip_stats(200, 256), 0.75);
+  EXPECT_GT(hz, 500.0);
+  EXPECT_LT(hz, 3000.0);
+}
+
+TEST(TrueNorthTiming, SpeedRisesWithVoltage) {
+  const TrueNorthTimingModel model;
+  const auto s = chip_stats(50, 128);
+  double prev = 0.0;
+  for (double v : {0.67, 0.75, 0.90, 1.05}) {
+    const double hz = model.max_tick_hz(s, v);
+    EXPECT_GT(hz, prev);
+    prev = hz;
+  }
+}
+
+TEST(TrueNorthTiming, WorstCaseBelowRealTime) {
+  // §VI-A stress test: every synapse active, every neuron fires every tick.
+  const TrueNorthTimingModel model;
+  core::KernelStats s;
+  s.ticks = 1;
+  s.sum_max_core_axon_events = 256;
+  s.sum_max_core_sops = 256 * 256;
+  s.sum_max_core_spikes = 256;
+  EXPECT_LT(model.max_tick_hz(s, 0.75), 1000.0);
+}
+
+TEST(HostModels, WorkUnitsCombineSopsAndUpdates) {
+  core::KernelStats s;
+  s.ticks = 10;
+  s.sops = 1000;
+  s.neuron_updates = 500;
+  EXPECT_DOUBLE_EQ(work_units(s), 1300.0);
+  EXPECT_DOUBLE_EQ(work_units_per_tick(s), 130.0);
+}
+
+TEST(HostModels, X86MoreThreadsFasterAndHungrier) {
+  const X86Model x86;
+  const auto s = chip_stats(12.8, 128, 100);
+  EXPECT_LT(x86.seconds_per_tick(s, 12), x86.seconds_per_tick(s, 1));
+  EXPECT_GT(x86.power_w(12), x86.power_w(1));
+  EXPECT_GT(x86.power_w(1), 70.0);  // idle floor
+}
+
+TEST(HostModels, BgqStrongScalingWithDiminishingReturns) {
+  const BgqModel bgq;
+  const auto s = chip_stats(12.8, 128, 100);
+  const double t1 = bgq.seconds_per_tick(s, 1, 64);
+  const double t32 = bgq.seconds_per_tick(s, 32, 64);
+  EXPECT_LT(t32, t1);
+  EXPECT_GT(t32, t1 / 32.0);  // collectives prevent ideal scaling
+}
+
+TEST(HostModels, BgqNeovisionAnchor) {
+  // Paper §VI-E: best BG/Q point is ~12× slower than real time for a
+  // NeoVision-like load (~1.5M work units per tick).
+  const BgqModel bgq;
+  core::KernelStats s;
+  s.ticks = 1;
+  s.sops = 1'100'000;
+  s.neuron_updates = 660'000;
+  const double t32 = bgq.seconds_per_tick(s, 32, 64);
+  EXPECT_GT(t32 / 1e-3, 6.0);   // slower than real time by roughly an
+  EXPECT_LT(t32 / 1e-3, 25.0);  // order of magnitude, centered near 12x
+}
+
+TEST(HostModels, EnergyPerTickFiveOrdersAboveTrueNorth) {
+  // The paper's headline: both hosts ~1e5× more energy per tick.
+  const TrueNorthPowerModel tnp;
+  const X86Model x86;
+  const BgqModel bgq;
+  const auto s = chip_stats(20, 128, 100);
+  const double tn_j = tnp.total_energy_j(s, kChipCores, 0.75, kRealTimeTickHz) /
+                      static_cast<double>(s.ticks);
+  const double x86_j = x86.energy_per_tick_j(s, 12);
+  const double bgq_j = bgq.energy_per_tick_j(s, 32, 64);
+  EXPECT_GT(x86_j / tn_j, 1e4);
+  EXPECT_LT(x86_j / tn_j, 1e7);
+  EXPECT_GT(bgq_j / tn_j, 1e4);
+  EXPECT_LT(bgq_j / tn_j, 1e7);
+}
+
+TEST(ScalingModel, PaperTiersPresentAndOrdered) {
+  const auto tiers = paper_system_tiers();
+  ASSERT_GE(tiers.size(), 5u);
+  for (std::size_t i = 0; i + 1 < tiers.size(); ++i) {
+    EXPECT_LT(tiers[i].chips, tiers[i + 1].chips);
+  }
+  // 4x4 board: 16 chips at the measured 7.2 W (§VII-C).
+  bool found = false;
+  for (const auto& t : tiers) {
+    if (t.chips == 16) {
+      EXPECT_NEAR(t.total_power_w, 7.2, 1e-9);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ScalingModel, RatScaleEnergyRatio) {
+  // Paper §VII-D: backplane replicates the rat-scale BG/L run for ~6,400×
+  // less energy.
+  const auto tiers = paper_system_tiers();
+  const SystemTier* backplane = nullptr;
+  for (const auto& t : tiers) {
+    if (t.chips == 1024) backplane = &t;
+  }
+  ASSERT_NE(backplane, nullptr);
+  const double ratio = energy_to_solution_ratio(bgl_rat_scale(), *backplane);
+  EXPECT_GT(ratio, 3000.0);
+  EXPECT_LT(ratio, 13000.0);
+}
+
+TEST(ScalingModel, HumanScaleEnergyRatio) {
+  // Paper §VII-D: a 4 kW rack replicates the 1%-human-scale BG/P run for
+  // ~128,000× less energy (with our installed-power constants: ~64,000×).
+  const auto tiers = paper_system_tiers();
+  const SystemTier* rack = nullptr;
+  for (const auto& t : tiers) {
+    if (t.chips == 4096) rack = &t;
+  }
+  ASSERT_NE(rack, nullptr);
+  const double ratio = energy_to_solution_ratio(bgp_one_percent_human(), *rack);
+  EXPECT_GT(ratio, 3e4);
+  EXPECT_LT(ratio, 3e5);
+}
+
+TEST(ScalingModel, PowerDensityFourOrdersBelowCpu) {
+  // Paper §I: ~20 mW/cm² vs ~100 W/cm² for a modern processor.
+  const double d = truenorth_power_density_w_per_cm2(0.065);
+  EXPECT_GT(d, 0.005);
+  EXPECT_LT(d, 0.05);
+  EXPECT_GT(100.0 / d, 1e3);
+}
+
+TEST(PowerMeterTest, RmsWithinThreePercentOfAnalytic) {
+  // Paper §V-2: ADC-chain calibration agreed with the bench supply to 3%.
+  const PowerMeter meter;
+  const double active_per_tick = 30e-6;  // 30 µJ/tick
+  const double passive = 0.035;          // 35 mW
+  const double tick_hz = 1000.0;
+  const MeterReading r = meter.measure(active_per_tick, passive, tick_hz, 600);
+  const double analytic = passive + active_per_tick * tick_hz;
+  EXPECT_GT(r.samples, 500u);
+  EXPECT_NEAR(r.rms_power_w, analytic, 0.03 * analytic);
+}
+
+TEST(PowerMeterTest, RequiresLongWindow) {
+  const PowerMeter meter;
+  const MeterReading r = meter.measure(10e-6, 0.04, 1000.0, 600);
+  EXPECT_EQ(r.ticks_averaged, 600u);
+  EXPECT_GT(r.mean_current_a, 0.0);
+}
+
+}  // namespace
+}  // namespace nsc::energy

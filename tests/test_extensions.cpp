@@ -1,0 +1,249 @@
+// Tests for the extension modules: telemetry log (EMON-style), PGM image
+// I/O, spike-train analysis, and the optical-flow application.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/apps/optical_flow.hpp"
+#include "src/core/spike_analysis.hpp"
+#include "src/core/validation.hpp"
+#include "src/energy/telemetry.hpp"
+#include "src/vision/pgm.hpp"
+#include "src/vision/scene.hpp"
+
+namespace nsc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Telemetry.
+
+TEST(Telemetry, RecordsAndLists) {
+  energy::TelemetryLog log;
+  EXPECT_FALSE(log.has_channel("node0"));
+  log.record("node0", 0.0, 100.0);
+  log.record("node0", 1.0, 200.0);
+  log.record("node1", 0.5, 50.0);
+  EXPECT_TRUE(log.has_channel("node0"));
+  EXPECT_EQ(log.sample_count("node0"), 2u);
+  EXPECT_EQ(log.channels().size(), 2u);
+}
+
+TEST(Telemetry, RejectsOutOfOrderSamples) {
+  energy::TelemetryLog log;
+  log.record("p", 2.0, 1.0);
+  EXPECT_THROW(log.record("p", 1.0, 1.0), std::invalid_argument);
+}
+
+TEST(Telemetry, TimeWeightedMean) {
+  energy::TelemetryLog log;
+  log.record("p", 0.0, 100.0);  // holds over [0, 2)
+  log.record("p", 2.0, 300.0);  // holds from 2 on
+  EXPECT_DOUBLE_EQ(log.mean_over("p", 0.0, 4.0), 200.0);
+  EXPECT_DOUBLE_EQ(log.mean_over("p", 0.0, 2.0), 100.0);
+  EXPECT_DOUBLE_EQ(log.mean_over("p", 2.0, 3.0), 300.0);
+  EXPECT_DOUBLE_EQ(log.mean_over("p", 1.0, 3.0), 200.0);
+}
+
+TEST(Telemetry, IntegralIsEnergy) {
+  energy::TelemetryLog log;
+  log.record("w", 0.0, 10.0);
+  log.record("w", 5.0, 20.0);
+  EXPECT_DOUBLE_EQ(log.integral_over("w", 0.0, 10.0), 10.0 * 5 + 20.0 * 5);
+  EXPECT_DOUBLE_EQ(log.integral_over("w", 0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(log.integral_over("missing", 0.0, 1.0), 0.0);
+}
+
+TEST(Telemetry, NodeCardToComputeCard) {
+  // The paper's estimate: compute-card power = node-card power / 32.
+  energy::TelemetryLog log;
+  log.record("node_card", 0.0, 960.0);
+  EXPECT_DOUBLE_EQ(log.mean_per_part("node_card", 0.0, 1.0, 32), 30.0);
+}
+
+// ---------------------------------------------------------------------------
+// PGM.
+
+TEST(Pgm, RoundTrip) {
+  vision::Image img(5, 3);
+  for (int y = 0; y < 3; ++y) {
+    for (int x = 0; x < 5; ++x) img.set(x, y, static_cast<std::uint8_t>(10 * x + y));
+  }
+  std::stringstream buf;
+  vision::write_pgm(img, buf);
+  const vision::Image back = vision::read_pgm(buf);
+  ASSERT_EQ(back.width(), 5);
+  ASSERT_EQ(back.height(), 3);
+  EXPECT_EQ(back.pixels(), img.pixels());
+}
+
+TEST(Pgm, RejectsGarbage) {
+  std::stringstream buf("P6 this is a ppm, not pgm");
+  EXPECT_THROW((void)vision::read_pgm(buf), std::runtime_error);
+}
+
+TEST(Pgm, SceneRendersToValidImage) {
+  vision::SceneConfig cfg;
+  cfg.seed = 4;
+  const vision::SyntheticScene scene(cfg);
+  std::stringstream buf;
+  vision::write_pgm(scene.render(), buf);
+  EXPECT_GT(buf.str().size(), static_cast<std::size_t>(cfg.width * cfg.height));
+}
+
+TEST(Pgm, GrayFromGridNormalizes) {
+  const vision::Image img = vision::gray_from_grid({{0.0, 5.0}, {10.0, 2.5}});
+  EXPECT_EQ(img.at(0, 0), 0);
+  EXPECT_EQ(img.at(1, 1), 63);  // 2.5/10 of 255
+  EXPECT_EQ(img.at(0, 1), 255);
+  const vision::Image flat = vision::gray_from_grid({{3.0, 3.0}});
+  EXPECT_EQ(flat.at(0, 0), 0);  // degenerate range maps to 0
+}
+
+// ---------------------------------------------------------------------------
+// Spike analysis.
+
+TEST(SpikeAnalysis, ClockworkTrainStatistics) {
+  std::vector<core::Spike> spikes;
+  for (core::Tick t = 0; t < 100; t += 5) spikes.push_back({t, 0, 3});
+  const auto s = core::analyze_spikes(spikes, 256, 0, 100);
+  EXPECT_EQ(s.spikes, 20u);
+  EXPECT_NEAR(s.mean_rate_hz, 1000.0 * 20 / (100.0 * 256), 1e-9);
+  EXPECT_NEAR(s.active_fraction, 1.0 / 256, 1e-9);
+  EXPECT_DOUBLE_EQ(s.isi_mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.isi_cv, 0.0);  // perfectly regular
+  EXPECT_EQ(s.peak_tick_count, 1u);
+}
+
+TEST(SpikeAnalysis, SynchronyDetectsPopulationBursts) {
+  // 10 neurons all firing the same ticks = strongly synchronized.
+  std::vector<core::Spike> sync, async_spikes;
+  for (core::Tick t = 0; t < 100; t += 10) {
+    for (std::uint16_t n = 0; n < 10; ++n) sync.push_back({t, 0, n});
+  }
+  for (std::uint16_t n = 0; n < 10; ++n) {
+    for (core::Tick t = n; t < 100; t += 10) async_spikes.push_back({t, 0, n});
+  }
+  const auto s_sync = core::analyze_spikes(sync, 10, 0, 100);
+  const auto s_async = core::analyze_spikes(async_spikes, 10, 0, 100);
+  EXPECT_GT(s_sync.synchrony, 5.0);
+  EXPECT_LT(s_async.synchrony, 0.5);
+  EXPECT_EQ(s_sync.peak_tick_count, 10u);
+  EXPECT_EQ(s_async.peak_tick_count, 1u);
+}
+
+TEST(SpikeAnalysis, WindowFiltersTicks) {
+  std::vector<core::Spike> spikes = {{5, 0, 0}, {15, 0, 0}, {25, 0, 0}};
+  const auto s = core::analyze_spikes(spikes, 1, 10, 10);  // [10, 20)
+  EXPECT_EQ(s.spikes, 1u);
+}
+
+TEST(SpikeAnalysis, TraceAndCounts) {
+  std::vector<core::Spike> spikes = {{0, 0, 0}, {0, 0, 1}, {2, 1, 0}};
+  const auto trace = core::population_trace(spikes, 0, 3);
+  EXPECT_EQ(trace, (std::vector<std::uint32_t>{2, 0, 1}));
+  const auto counts = core::per_neuron_counts(spikes, 2 * 256);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[256], 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Optical flow.
+
+TEST(OpticalFlow, BuildsValidNetwork) {
+  apps::AppConfig cfg;
+  cfg.frames = 4;
+  cfg.ticks_per_frame = 20;
+  cfg.scene_objects = 1;
+  cfg.seed = 8;
+  const auto app = apps::make_optical_flow_app(cfg);
+  EXPECT_TRUE(core::validate(app.net.network()).empty());
+  EXPECT_EQ(app.region_cols * app.region_rows, 16);
+  EXPECT_GT(app.net.inputs.size(), 0u);
+}
+
+/// Controlled stimulus: a bright bar translating 2 px/frame in a known
+/// direction. The decoded dominant direction must match for all four.
+class FlowBarSweep : public ::testing::TestWithParam<apps::FlowDir> {};
+
+TEST_P(FlowBarSweep, TranslatingBarDecodesToItsDirection) {
+  const apps::FlowDir dir = GetParam();
+  apps::AppConfig cfg;
+  cfg.frames = 6;
+  cfg.ticks_per_frame = 33;
+  auto app = apps::make_optical_flow_net(cfg);
+
+  std::vector<vision::Image> frames;
+  for (int f = 0; f < cfg.frames; ++f) {
+    vision::Image img(cfg.img_w, cfg.img_h, 16);
+    const int shift = 2 * f;
+    switch (dir) {
+      case apps::FlowDir::kRight: img.fill_rect(10 + shift, 0, 8, 64, 220); break;
+      case apps::FlowDir::kLeft: img.fill_rect(44 - shift, 0, 8, 64, 220); break;
+      case apps::FlowDir::kDown: img.fill_rect(0, 10 + shift, 64, 8, 220); break;
+      case apps::FlowDir::kUp: img.fill_rect(0, 44 - shift, 64, 8, 220); break;
+    }
+    frames.push_back(std::move(img));
+  }
+  apps::encode_flow_frames(app, frames, 0xBA7);
+  core::WindowedCountSink sink(static_cast<std::uint64_t>(app.net.network().geom.neurons()),
+                               app.ticks_per_frame);
+  (void)apps::run_on_truenorth(app.net, &sink);
+  const auto flow = apps::decode_flow(app, sink);
+  // Frames 1.. must decode to the bar's direction (frame 0 has no motion).
+  int correct = 0, scored = 0;
+  for (std::size_t f = 1; f < flow.dominant_direction.size(); ++f) {
+    ++scored;
+    correct += flow.dominant_direction[f] == static_cast<int>(dir) ? 1 : 0;
+  }
+  EXPECT_GE(correct, scored - 1) << "direction " << apps::flow_dir_name(dir) << ": " << correct
+                                 << "/" << scored;
+}
+
+INSTANTIATE_TEST_SUITE_P(Directions, FlowBarSweep,
+                         ::testing::Values(apps::FlowDir::kRight, apps::FlowDir::kLeft,
+                                           apps::FlowDir::kDown, apps::FlowDir::kUp));
+
+TEST(OpticalFlow, SceneClipBeatsChance) {
+  // Natural-scene clips are noisier (diagonal motion, bounces): require
+  // clearly above the 25% four-way chance level across seeds.
+  int correct = 0, scored = 0;
+  for (std::uint64_t seed : {1u, 2u, 6u, 9u}) {
+    apps::AppConfig cfg;
+    cfg.frames = 6;
+    cfg.ticks_per_frame = 33;
+    cfg.scene_objects = 1;
+    cfg.seed = seed;
+    const auto app = apps::make_optical_flow_app(cfg);
+    core::WindowedCountSink sink(
+        static_cast<std::uint64_t>(app.net.network().geom.neurons()), app.ticks_per_frame);
+    (void)apps::run_on_truenorth(app.net, &sink);
+    const auto flow = apps::decode_flow(app, sink);
+    correct += flow.correct_frames;
+    scored += flow.scored_frames;
+  }
+  ASSERT_GT(scored, 10);
+  EXPECT_GT(static_cast<double>(correct) / scored, 0.35)
+      << correct << "/" << scored << " frames correct";
+}
+
+TEST(OpticalFlow, ExpressionsAgree) {
+  apps::AppConfig cfg;
+  cfg.frames = 3;
+  cfg.ticks_per_frame = 15;
+  cfg.scene_objects = 1;
+  cfg.seed = 2;
+  const auto app = apps::make_optical_flow_app(cfg);
+  core::VectorSink a, b;
+  (void)apps::run_on_truenorth(app.net, &a);
+  (void)apps::run_on_compass(app.net, 3, &b);
+  EXPECT_EQ(core::first_mismatch(a.spikes(), b.spikes()), -1);
+}
+
+TEST(OpticalFlow, DirNames) {
+  EXPECT_STREQ(apps::flow_dir_name(apps::FlowDir::kRight), "right");
+  EXPECT_STREQ(apps::flow_dir_name(apps::FlowDir::kUp), "up");
+}
+
+}  // namespace
+}  // namespace nsc

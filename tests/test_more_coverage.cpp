@@ -1,0 +1,234 @@
+// Additional cross-module coverage: energy-breakdown consistency, host-model
+// monotonicity, traffic conservation between the router math and the chip
+// simulator, WTA parameter sweeps, partition edge cases, and multi-chip
+// placement.
+#include <gtest/gtest.h>
+
+#include "src/compass/partition.hpp"
+#include "src/core/spike_sink.hpp"
+#include "src/corelet/lib.hpp"
+#include "src/corelet/place.hpp"
+#include "src/energy/host_models.hpp"
+#include "src/energy/truenorth_power.hpp"
+#include "src/netgen/recurrent.hpp"
+#include "src/noc/route.hpp"
+#include "src/tn/chip_sim.hpp"
+
+namespace nsc {
+namespace {
+
+using core::Geometry;
+using core::Network;
+
+TEST(EnergyBreakdown, ComponentsSumToTotals) {
+  const energy::TrueNorthPowerModel model;
+  core::KernelStats s;
+  s.ticks = 50;
+  s.sops = 123456;
+  s.axon_events = 2345;
+  s.spikes = 2000;
+  s.neuron_updates = 512000;
+  s.hop_sum = 84000;
+  s.interchip_crossings = 300;
+  const auto b = model.breakdown(s, 1024, 0.8, 1000.0);
+  EXPECT_NEAR(b.active(), model.active_energy_j(s, 0.8), 1e-15);
+  EXPECT_NEAR(b.total(), model.total_energy_j(s, 1024, 0.8, 1000.0), 1e-15);
+  for (double part : {b.sop_j, b.axon_j, b.neuron_j, b.spike_j, b.hop_j, b.crossing_j,
+                      b.passive_j}) {
+    EXPECT_GT(part, 0.0);
+  }
+}
+
+TEST(EnergyBreakdown, PassiveShareShrinksWithActivity) {
+  const energy::TrueNorthPowerModel model;
+  auto share = [&](double scale) {
+    core::KernelStats s;
+    s.ticks = 10;
+    s.sops = static_cast<std::uint64_t>(1e6 * scale);
+    s.axon_events = static_cast<std::uint64_t>(1e4 * scale);
+    s.spikes = s.axon_events;
+    s.neuron_updates = 2'560'000;
+    const auto b = model.breakdown(s, 1024, 0.75, 1000.0);
+    return b.passive_j / b.total();
+  };
+  EXPECT_GT(share(0.1), share(1.0));
+  EXPECT_GT(share(1.0), share(20.0));
+}
+
+TEST(HostModels, MoreHostsNeverSlower) {
+  const energy::BgqModel bgq;
+  core::KernelStats s;
+  s.ticks = 1;
+  s.sops = 2'000'000;
+  s.neuron_updates = 1'000'000;
+  double prev = 1e9;
+  for (int hosts : {1, 2, 4, 8, 16, 32}) {
+    const double t = bgq.seconds_per_tick(s, hosts, 64);
+    EXPECT_LE(t, prev + 1e-12) << hosts;
+    prev = t;
+  }
+}
+
+TEST(HostModels, PowerScalesWithHostsAndThreads) {
+  const energy::BgqModel bgq;
+  EXPECT_NEAR(bgq.power_w(2, 8), 2 * bgq.power_w(1, 8), 1e-12);
+  EXPECT_GT(bgq.power_w(1, 64), bgq.power_w(1, 8));
+  const energy::X86Model x86;
+  EXPECT_GT(x86.power_w(12), x86.power_w(4));
+}
+
+TEST(TrafficConservation, SimulatorMatchesRouteMath) {
+  // Total interchip crossings accumulated by the simulator must equal the
+  // per-spike crossings predicted by route_dor for each routed spike.
+  netgen::RecurrentSpec spec;
+  spec.geom = Geometry{2, 2, 4, 4};
+  spec.rate_hz = 60;
+  spec.synapses_per_axon = 32;
+  spec.seed = 15;
+  const Network net = netgen::make_recurrent(spec);
+  tn::TrueNorthSimulator sim(net);
+  core::VectorSink sink;
+  sim.run(30, nullptr, &sink);
+
+  std::uint64_t expected = 0;
+  for (const core::Spike& s : sink.spikes()) {
+    const auto& target = net.core(s.core).neuron[s.neuron].target;
+    if (!target.valid()) continue;
+    expected += static_cast<std::uint64_t>(
+        noc::route_dor(net.geom, s.core, target.core).chip_crossings);
+  }
+  EXPECT_EQ(sim.stats().interchip_crossings, expected);
+  EXPECT_EQ(sim.traffic().total_crossings(), expected);
+}
+
+TEST(TrafficConservation, HopSumMatchesRouteMath) {
+  netgen::RecurrentSpec spec;
+  spec.geom = Geometry{1, 1, 6, 6};
+  spec.rate_hz = 40;
+  spec.synapses_per_axon = 24;
+  spec.seed = 9;
+  const Network net = netgen::make_recurrent(spec);
+  tn::TrueNorthSimulator sim(net);
+  core::VectorSink sink;
+  sim.run(25, nullptr, &sink);
+  std::uint64_t expected = 0;
+  for (const core::Spike& s : sink.spikes()) {
+    const auto& target = net.core(s.core).neuron[s.neuron].target;
+    if (target.valid()) {
+      expected += static_cast<std::uint64_t>(noc::route_dor(net.geom, s.core, target.core).hops);
+    }
+  }
+  EXPECT_EQ(sim.stats().hop_sum, expected);
+}
+
+class WtaInhibitionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WtaInhibitionSweep, StrongerInhibitionSparsifiesWinners) {
+  // Drive all channels equally; count how many distinct channels ever win.
+  const auto inhibit = static_cast<std::int16_t>(-GetParam());
+  corelet::WtaParams params;
+  params.channels = 8;
+  params.inhibit = inhibit;
+  const corelet::Corelet c = corelet::make_wta(params);
+  core::InputSchedule in;
+  for (core::Tick t = 0; t < 60; ++t) {
+    for (int ch = 0; ch < 8; ++ch) in.add(t, 0, static_cast<std::uint16_t>(ch));
+  }
+  in.finalize();
+  const auto placed = corelet::place(c, corelet::fit_geometry(c));
+  tn::TrueNorthSimulator sim(placed.network);
+  core::CountSink sink(static_cast<std::uint64_t>(placed.network.geom.neurons()));
+  sim.run(65, &in, &sink);
+  int winners = 0;
+  std::uint64_t total = 0;
+  for (int ch = 0; ch < 8; ++ch) {
+    const auto n = sink.count(0, static_cast<std::uint16_t>(8 + ch));  // output copies
+    winners += n > 0 ? 1 : 0;
+    total += n;
+  }
+  EXPECT_GT(total, 0u);
+  if (GetParam() == 0) {
+    EXPECT_EQ(winners, 8);  // no inhibition: everyone fires
+  }
+  // Recorded for the sweep comparison below via test parameterization; the
+  // monotone property is asserted pairwise in WtaInhibitionMonotone.
+}
+
+INSTANTIATE_TEST_SUITE_P(Strengths, WtaInhibitionSweep, ::testing::Values(0, 6, 24));
+
+TEST(WtaInhibition, MonotoneSparsification) {
+  auto winners_at = [](std::int16_t inhibit) {
+    corelet::WtaParams params;
+    params.channels = 8;
+    params.inhibit = inhibit;
+    const corelet::Corelet c = corelet::make_wta(params);
+    core::InputSchedule in;
+    for (core::Tick t = 0; t < 60; ++t) {
+      for (int ch = 0; ch < 8; ++ch) in.add(t, 0, static_cast<std::uint16_t>(ch));
+    }
+    in.finalize();
+    const auto placed = corelet::place(c, corelet::fit_geometry(c));
+    tn::TrueNorthSimulator sim(placed.network);
+    core::CountSink sink(static_cast<std::uint64_t>(placed.network.geom.neurons()));
+    sim.run(65, &in, &sink);
+    std::uint64_t total = 0;
+    for (int ch = 0; ch < 8; ++ch) total += sink.count(0, static_cast<std::uint16_t>(8 + ch));
+    return total;
+  };
+  const auto none = winners_at(0);
+  const auto strong = winners_at(-24);
+  EXPECT_GT(none, strong);  // inhibition suppresses total winner activity
+}
+
+TEST(Partition, ZeroLoadNetworkStillPartitions) {
+  const Network net(Geometry{1, 1, 4, 4});  // idle default network
+  const auto parts = compass::partition_balanced(net, 5);
+  ASSERT_EQ(parts.size(), 5u);
+  core::CoreId covered = 0;
+  for (const auto& r : parts) covered += static_cast<core::CoreId>(r.size());
+  EXPECT_EQ(covered, 16u);
+}
+
+TEST(Partition, SkewedLoadStaysReasonablyBalanced) {
+  netgen::RecurrentSpec spec;
+  spec.geom = Geometry{1, 1, 4, 4};
+  spec.synapses_per_axon = 200;
+  Network net = netgen::make_recurrent(spec);
+  // Empty half the cores: balance must adapt.
+  for (core::CoreId c = 8; c < 16; ++c) {
+    net.core(c).crossbar.clear();
+    for (auto& p : net.core(c).neuron) p.enabled = 0;
+  }
+  const auto parts = compass::partition_balanced(net, 4);
+  EXPECT_LT(compass::load_imbalance(net, parts), 1.6);
+}
+
+TEST(PlaceMultichip, Block2DSpansChipsSeamlessly) {
+  corelet::Corelet c("wide");
+  for (int i = 0; i < 24; ++i) c.add_core();
+  const Geometry g{2, 1, 4, 4};  // two chips side by side
+  const auto placed = corelet::place(c, g, corelet::PlaceStrategy::kBlock2D);
+  // Snake order must fill the global 8-wide mesh row by row, crossing the
+  // chip boundary without gaps.
+  for (int i = 0; i + 1 < 24; ++i) {
+    const auto a = g.global_xy(placed.core_map[static_cast<std::size_t>(i)]);
+    const auto b = g.global_xy(placed.core_map[static_cast<std::size_t>(i + 1)]);
+    EXPECT_EQ(std::abs(a.x - b.x) + std::abs(a.y - b.y), 1) << i;
+  }
+}
+
+TEST(RecurrentNet, JitterDisabledIsDeterministicPeriodic) {
+  netgen::RecurrentSpec spec;
+  spec.geom = Geometry{1, 1, 2, 2};
+  spec.rate_hz = 50;
+  spec.synapses_per_axon = 0;  // pure leak-driven
+  spec.threshold_jitter = false;
+  const Network net = netgen::make_recurrent(spec);
+  tn::TrueNorthSimulator sim(net);
+  sim.run(200, nullptr, nullptr);
+  const double rate = sim.stats().mean_rate_hz(static_cast<std::uint64_t>(net.geom.neurons()));
+  EXPECT_NEAR(rate, 50.0, 3.0);  // exact leak clockwork
+}
+
+}  // namespace
+}  // namespace nsc

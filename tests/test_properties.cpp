@@ -1,0 +1,336 @@
+// Cross-cutting property tests: parameterized sweeps over geometries,
+// delays, thread counts, calibration grid points, and model monotonicity —
+// the invariants DESIGN.md §6 commits to, beyond the per-module unit tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/compass/simulator.hpp"
+#include "src/core/network_io.hpp"
+#include "src/core/reference_sim.hpp"
+#include "src/core/spike_sink.hpp"
+#include "src/energy/truenorth_power.hpp"
+#include "src/energy/truenorth_timing.hpp"
+#include "src/netgen/random_net.hpp"
+#include "src/netgen/recurrent.hpp"
+#include "src/tn/chip_sim.hpp"
+
+namespace nsc {
+namespace {
+
+using core::Geometry;
+using core::InputSchedule;
+using core::Network;
+using core::Spike;
+using core::VectorSink;
+
+std::vector<Spike> run_tn(const Network& net, const InputSchedule* in, core::Tick ticks) {
+  tn::TrueNorthSimulator sim(net);
+  VectorSink sink;
+  sim.run(ticks, in, &sink);
+  return sink.spikes();
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence across geometries (single-core to multi-chip).
+
+struct GeomCase {
+  Geometry geom;
+  const char* name;
+};
+
+class GeometryEquivalence : public ::testing::TestWithParam<GeomCase> {};
+
+TEST_P(GeometryEquivalence, AllBackendsAgree) {
+  netgen::RandomNetSpec spec;
+  spec.geom = GetParam().geom;
+  spec.seed = 2718;
+  const Network net = netgen::make_random(spec);
+  const InputSchedule in = netgen::make_poisson_inputs(spec, net, 25);
+
+  const auto want = run_tn(net, &in, 35);
+  {
+    core::ReferenceSimulator sim(net);
+    VectorSink sink;
+    sim.run(35, &in, &sink);
+    EXPECT_EQ(core::first_mismatch(want, sink.spikes()), -1) << GetParam().name;
+  }
+  for (int threads : {1, 2, 5}) {
+    compass::Simulator sim(net, {.threads = threads});
+    VectorSink sink;
+    sim.run(35, &in, &sink);
+    EXPECT_EQ(core::first_mismatch(want, sink.spikes()), -1)
+        << GetParam().name << " compass(" << threads << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, GeometryEquivalence,
+    ::testing::Values(GeomCase{{1, 1, 1, 1}, "single_core"}, GeomCase{{1, 1, 1, 2}, "two_cores"},
+                      GeomCase{{1, 1, 5, 3}, "rect_chip"}, GeomCase{{2, 1, 2, 2}, "two_chips"},
+                      GeomCase{{2, 3, 2, 2}, "six_chips"}),
+    [](const auto& info) { return info.param.name; });
+
+// ---------------------------------------------------------------------------
+// Axonal delay sweep: a relay through every legal delay on every backend.
+
+class DelaySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DelaySweep, RelayArrivesExactlyOnTime) {
+  const int delay = GetParam();
+  Network net(Geometry{1, 1, 2, 1});
+  for (auto& cs : net.cores) {
+    for (auto& p : cs.neuron) p.enabled = 0;
+  }
+  net.core(0).crossbar.set(0, 0);
+  net.core(0).neuron[0].enabled = 1;
+  net.core(0).neuron[0].weight[0] = 1;
+  net.core(0).neuron[0].threshold = 1;
+  net.core(0).neuron[0].target = {1, 9, static_cast<std::uint8_t>(delay)};
+  net.core(1).crossbar.set(9, 9);
+  net.core(1).neuron[9].enabled = 1;
+  net.core(1).neuron[9].weight[0] = 1;
+  net.core(1).neuron[9].threshold = 1;
+
+  InputSchedule in;
+  in.add(4, 0, 0);
+  in.finalize();
+
+  const std::vector<Spike> want = {{4, 0, 0}, {4 + delay, 1, 9}};
+  EXPECT_EQ(run_tn(net, &in, 25), want);
+  {
+    core::ReferenceSimulator sim(net);
+    VectorSink sink;
+    sim.run(25, &in, &sink);
+    EXPECT_EQ(sink.spikes(), want);
+  }
+  {
+    compass::Simulator sim(net, {.threads = 2});
+    VectorSink sink;
+    sim.run(25, &in, &sink);
+    EXPECT_EQ(sink.spikes(), want);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDelays, DelaySweep, ::testing::Range(1, 16));
+
+// ---------------------------------------------------------------------------
+// Compass thread-count invariance of counters on a busier network.
+
+TEST(CompassProperty, StatsInvariantAcrossThreadCounts) {
+  netgen::RecurrentSpec spec;
+  spec.geom = Geometry{1, 1, 6, 6};
+  spec.rate_hz = 80;
+  spec.synapses_per_axon = 48;
+  spec.seed = 5;
+  const Network net = netgen::make_recurrent(spec);
+  core::KernelStats first;
+  for (int threads : {1, 2, 3, 4, 6, 8}) {
+    compass::Simulator sim(net, {.threads = threads});
+    sim.run(40, nullptr, nullptr);
+    if (threads == 1) {
+      first = sim.stats();
+      EXPECT_GT(first.spikes, 0u);
+      continue;
+    }
+    EXPECT_EQ(sim.stats().spikes, first.spikes) << threads;
+    EXPECT_EQ(sim.stats().sops, first.sops) << threads;
+    EXPECT_EQ(sim.stats().axon_events, first.axon_events) << threads;
+    EXPECT_EQ(sim.stats().neuron_updates, first.neuron_updates) << threads;
+  }
+}
+
+TEST(CompassProperty, AggregationDoesNotChangeFunction) {
+  netgen::RecurrentSpec spec;
+  spec.geom = Geometry{1, 1, 4, 4};
+  spec.rate_hz = 60;
+  spec.synapses_per_axon = 32;
+  spec.seed = 6;
+  const Network net = netgen::make_recurrent(spec);
+  VectorSink a, b;
+  compass::Simulator agg(net, {.threads = 3, .aggregate_messages = true});
+  agg.run(40, nullptr, &a);
+  compass::Simulator per(net, {.threads = 3, .aggregate_messages = false});
+  per.run(40, nullptr, &b);
+  EXPECT_EQ(core::first_mismatch(a.spikes(), b.spikes()), -1);
+}
+
+// ---------------------------------------------------------------------------
+// Model-file round trip preserves dynamics bit-exactly.
+
+TEST(NetworkIoProperty, RoundTripPreservesDynamics) {
+  netgen::RandomNetSpec spec;
+  spec.geom = Geometry{1, 1, 3, 2};
+  spec.seed = 404;
+  const Network net = netgen::make_random(spec);
+  const InputSchedule in = netgen::make_poisson_inputs(spec, net, 20);
+  std::stringstream buf;
+  core::save_network(net, buf);
+  const Network loaded = core::load_network(buf);
+  EXPECT_EQ(core::first_mismatch(run_tn(net, &in, 30), run_tn(loaded, &in, 30)), -1);
+}
+
+// ---------------------------------------------------------------------------
+// Calibration sweep: every grid point of the paper's 88-network space has a
+// consistent integer fixed point.
+
+class CalibrationGrid : public ::testing::TestWithParam<netgen::GridPoint> {};
+
+TEST_P(CalibrationGrid, FixedPointNearTarget) {
+  netgen::RecurrentSpec spec;
+  spec.rate_hz = GetParam().rate_hz;
+  spec.synapses_per_axon = GetParam().synapses;
+  const auto cal = netgen::calibrate(spec);
+  EXPECT_GT(cal.threshold, 0);
+  EXPECT_GE(cal.leak, 1);
+  EXPECT_LE(cal.leak, 255);  // hardware 9-bit signed leak
+  EXPECT_NEAR(cal.expected_rate_hz, spec.rate_hz, spec.rate_hz * 0.1);
+  // Subcritical branching: K/(mean effective threshold) < 1.
+  EXPECT_LT(static_cast<double>(spec.synapses_per_axon),
+            cal.threshold + cal.jitter_mask / 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(All88, CalibrationGrid,
+                         ::testing::ValuesIn(netgen::characterization_grid()));
+
+// ---------------------------------------------------------------------------
+// Energy/timing model monotonicity across the characterization axes.
+
+TEST(EnergyProperty, PowerMonotoneInRateAndSynapses) {
+  const energy::TrueNorthPowerModel model;
+  auto stats_for = [](double rate, int syn) {
+    core::KernelStats s;
+    s.ticks = 100;
+    const double spikes = 1e6 * rate / 1000.0 * 100.0;
+    s.spikes = static_cast<std::uint64_t>(spikes);
+    s.axon_events = s.spikes;
+    s.sops = static_cast<std::uint64_t>(spikes * syn);
+    s.neuron_updates = 100'000'000;
+    s.hop_sum = static_cast<std::uint64_t>(spikes * 42);
+    return s;
+  };
+  double prev = 0.0;
+  for (double rate : {2.0, 20.0, 100.0, 200.0}) {
+    const double p = model.mean_power_w(stats_for(rate, 128), 4096, 0.75, 1000);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+  prev = 0.0;
+  for (int syn : {0, 64, 128, 256}) {
+    const double p = model.mean_power_w(stats_for(50, syn), 4096, 0.75, 1000);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+class VoltageSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(VoltageSweep, PowerAndSpeedScaleWithVoltage) {
+  const double v = GetParam();
+  const energy::TrueNorthPowerModel power;
+  const energy::TrueNorthTimingModel timing;
+  core::KernelStats s;
+  s.ticks = 10;
+  s.sops = 1'000'000;
+  s.axon_events = 10'000;
+  s.spikes = 10'000;
+  s.neuron_updates = 1'000'000;
+  s.sum_max_core_sops = 10'000;
+  s.sum_max_core_axon_events = 100;
+  s.sum_max_core_spikes = 100;
+  // Against the nominal 0.75 V: higher voltage = more power, more speed.
+  const double p_ratio =
+      power.mean_power_w(s, 4096, v, 1000) / power.mean_power_w(s, 4096, 0.75, 1000);
+  const double f_ratio = timing.max_tick_hz(s, v) / timing.max_tick_hz(s, 0.75);
+  if (v > 0.75) {
+    EXPECT_GT(p_ratio, 1.0);
+    EXPECT_GT(f_ratio, 1.0);
+  } else if (v < 0.75) {
+    EXPECT_LT(p_ratio, 1.0);
+    EXPECT_LT(f_ratio, 1.0);
+  } else {
+    EXPECT_NEAR(p_ratio, 1.0, 1e-12);
+    EXPECT_NEAR(f_ratio, 1.0, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Voltages, VoltageSweep,
+                         ::testing::Values(0.67, 0.70, 0.75, 0.85, 0.95, 1.05));
+
+// ---------------------------------------------------------------------------
+// Recurrent networks: spike conservation — every spike either routes to a
+// valid axon or is counted as dropped; SOPs only arise from deliveries.
+
+TEST(ConservationProperty, SpikesRoutedOrDropped) {
+  netgen::RandomNetSpec spec;
+  spec.geom = Geometry{1, 1, 4, 4};
+  spec.seed = 909;
+  spec.invalid_target_fraction = 0.3;  // lots of drops
+  const Network net = netgen::make_random(spec);
+  const InputSchedule in = netgen::make_poisson_inputs(spec, net, 20);
+  tn::TrueNorthSimulator sim(net);
+  sim.run(30, &in, nullptr);
+  const auto& s = sim.stats();
+  EXPECT_GT(s.dropped_spikes, 0u);
+  EXPECT_LE(s.dropped_spikes, s.spikes);
+  // Axon events cannot exceed deliveries plus external inputs.
+  EXPECT_LE(s.axon_events, (s.spikes - s.dropped_spikes) + in.size());
+}
+
+TEST(ConservationProperty, NoInputsNoLeakMeansSilence) {
+  Network net(Geometry{1, 1, 2, 2});
+  // All neurons enabled with zero leak and positive thresholds: nothing can
+  // ever fire without input.
+  for (auto& cs : net.cores) {
+    for (auto& p : cs.neuron) {
+      p.enabled = 1;
+      p.threshold = 5;
+      p.leak = 0;
+    }
+  }
+  EXPECT_TRUE(run_tn(net, nullptr, 50).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Simulator misc: zero ticks, repeated run() calls continue seamlessly.
+
+TEST(SimulatorProperty, SplitRunsEqualOneRun) {
+  netgen::RecurrentSpec spec;
+  spec.geom = Geometry{1, 1, 2, 2};
+  spec.rate_hz = 100;
+  spec.synapses_per_axon = 32;
+  spec.seed = 77;
+  const Network net = netgen::make_recurrent(spec);
+
+  VectorSink whole;
+  {
+    tn::TrueNorthSimulator sim(net);
+    sim.run(60, nullptr, &whole);
+  }
+  VectorSink pieces;
+  {
+    tn::TrueNorthSimulator sim(net);
+    sim.run(0, nullptr, &pieces);
+    sim.run(13, nullptr, &pieces);
+    sim.run(17, nullptr, &pieces);
+    sim.run(30, nullptr, &pieces);
+    EXPECT_EQ(sim.now(), 60);
+  }
+  EXPECT_EQ(core::first_mismatch(whole.spikes(), pieces.spikes()), -1);
+}
+
+TEST(SimulatorProperty, SinkTickEndCalledPerTick) {
+  struct TickCounter final : core::SpikeSink {
+    int ticks = 0;
+    void on_spike(core::Tick, core::CoreId, std::uint16_t) override {}
+    void on_tick_end(core::Tick) override { ++ticks; }
+  };
+  Network net(Geometry{1, 1, 1, 1});
+  TickCounter counter;
+  tn::TrueNorthSimulator sim(net);
+  sim.run(23, nullptr, &counter);
+  EXPECT_EQ(counter.ticks, 23);
+}
+
+}  // namespace
+}  // namespace nsc

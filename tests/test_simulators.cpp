@@ -1,0 +1,279 @@
+// Behavioral tests of the simulator backends against hand-built networks:
+// delay semantics, spike routing, drops, fault handling, stats accounting,
+// and hop counting. The reference simulator defines expected behavior; the
+// TrueNorth and Compass backends are additionally cross-checked in
+// test_equivalence.cpp.
+#include <gtest/gtest.h>
+
+#include "src/compass/simulator.hpp"
+#include "src/core/reference_sim.hpp"
+#include "src/core/spike_sink.hpp"
+#include "src/netgen/recurrent.hpp"
+#include "src/tn/chip_sim.hpp"
+
+namespace nsc {
+namespace {
+
+using core::CoreId;
+using core::Geometry;
+using core::InputSchedule;
+using core::kCoreSize;
+using core::Network;
+using core::NeuronParams;
+using core::Spike;
+using core::Tick;
+using core::VectorSink;
+
+/// 2-core network: axon 0 of core 0 drives neuron 0 (weight 1, threshold 1),
+/// which targets (core 1, axon 3, delay d); neuron 3 of core 1 listens on
+/// axon 3 the same way.
+Network make_relay(std::uint8_t delay) {
+  Network net(Geometry{1, 1, 2, 1});
+  for (auto& cs : net.cores) {
+    for (auto& p : cs.neuron) p.enabled = 0;
+  }
+  auto& c0 = net.core(0);
+  c0.crossbar.set(0, 0);
+  c0.neuron[0].enabled = 1;
+  c0.neuron[0].weight[0] = 1;
+  c0.neuron[0].threshold = 1;
+  c0.neuron[0].target = {1, 3, delay};
+  auto& c1 = net.core(1);
+  c1.crossbar.set(3, 3);
+  c1.neuron[3].enabled = 1;
+  c1.neuron[3].weight[0] = 1;
+  c1.neuron[3].threshold = 1;
+  c1.neuron[3].target = {};  // spike dropped at the end of the relay
+  return net;
+}
+
+InputSchedule one_input(Tick t, CoreId core, std::uint16_t axon) {
+  InputSchedule in;
+  in.add(t, core, axon);
+  in.finalize();
+  return in;
+}
+
+TEST(ReferenceSim, RelayRespectsAxonalDelay) {
+  for (std::uint8_t d : {std::uint8_t{1}, std::uint8_t{7}, std::uint8_t{15}}) {
+    const Network net = make_relay(d);
+    core::ReferenceSimulator sim(net);
+    const InputSchedule in = one_input(0, 0, 0);
+    VectorSink sink;
+    sim.run(20, &in, &sink);
+    ASSERT_EQ(sink.spikes().size(), 2u) << "delay " << int(d);
+    EXPECT_EQ(sink.spikes()[0], (Spike{0, 0, 0}));
+    EXPECT_EQ(sink.spikes()[1], (Spike{static_cast<Tick>(0 + d), 1, 3}));
+  }
+}
+
+TEST(ReferenceSim, DroppedSpikesCounted) {
+  const Network net = make_relay(1);
+  core::ReferenceSimulator sim(net);
+  const InputSchedule in = one_input(0, 0, 0);
+  sim.run(5, &in, nullptr);
+  EXPECT_EQ(sim.stats().spikes, 2u);
+  EXPECT_EQ(sim.stats().dropped_spikes, 1u);  // the relay end has no target
+}
+
+TEST(ReferenceSim, SameTickSameAxonInputsMerge) {
+  const Network net = make_relay(1);
+  core::ReferenceSimulator sim(net);
+  InputSchedule in;
+  in.add(0, 0, 0);
+  in.add(0, 0, 0);
+  in.finalize();
+  VectorSink sink;
+  sim.run(5, &in, &sink);
+  EXPECT_EQ(sink.spikes().size(), 2u);  // merged: one axon event, one spike
+  EXPECT_EQ(sim.stats().axon_events, 2u);
+}
+
+TEST(ReferenceSim, StatsCountSopsAndUpdates) {
+  const Network net = make_relay(1);
+  core::ReferenceSimulator sim(net);
+  const InputSchedule in = one_input(0, 0, 0);
+  sim.run(10, &in, nullptr);
+  EXPECT_EQ(sim.stats().ticks, 10u);
+  EXPECT_EQ(sim.stats().sops, 2u);           // one per relay stage
+  EXPECT_EQ(sim.stats().neuron_updates, 20u);  // 2 enabled neurons × 10 ticks
+}
+
+TEST(ReferenceSim, InitialPotentialRespected) {
+  Network net = make_relay(1);
+  net.core(0).neuron[0].init_v = 1;  // at threshold: fires on tick 0 via leak pass
+  core::ReferenceSimulator sim(net);
+  VectorSink sink;
+  sim.run(3, nullptr, &sink);
+  ASSERT_FALSE(sink.spikes().empty());
+  EXPECT_EQ(sink.spikes()[0], (Spike{0, 0, 0}));
+}
+
+TEST(ReferenceSim, DisabledCoreAbsorbsNothing) {
+  Network net = make_relay(1);
+  net.core(1).disabled = 1;
+  for (auto& p : net.core(1).neuron) p.enabled = 0;
+  net.core(0).neuron[0].target = {};  // keep validation clean
+  core::ReferenceSimulator sim(net);
+  const InputSchedule in = one_input(0, 0, 0);
+  VectorSink sink;
+  sim.run(5, &in, &sink);
+  EXPECT_EQ(sink.spikes().size(), 1u);  // only core 0 fires
+}
+
+TEST(TrueNorthSim, MatchesRelaySemantics) {
+  const Network net = make_relay(4);
+  tn::TrueNorthSimulator sim(net);
+  const InputSchedule in = one_input(2, 0, 0);
+  VectorSink sink;
+  sim.run(20, &in, &sink);
+  ASSERT_EQ(sink.spikes().size(), 2u);
+  EXPECT_EQ(sink.spikes()[0], (Spike{2, 0, 0}));
+  EXPECT_EQ(sink.spikes()[1], (Spike{6, 1, 3}));
+}
+
+TEST(TrueNorthSim, HopAccountingUsesManhattan) {
+  const Network net = make_relay(1);  // cores (0,0) and (1,0): 1 hop apart
+  tn::TrueNorthSimulator sim(net);
+  const InputSchedule in = one_input(0, 0, 0);
+  sim.run(5, &in, nullptr);
+  // Only the core-0 spike routes (core-1 spike is dropped): 1 hop.
+  EXPECT_EQ(sim.stats().hop_sum, 1u);
+  EXPECT_DOUBLE_EQ(sim.mean_hops_per_spike(), 1.0);
+}
+
+TEST(TrueNorthSim, FaultedTargetDropsSpike) {
+  Network net = make_relay(1);
+  net.core(1).disabled = 1;
+  for (auto& p : net.core(1).neuron) p.enabled = 0;
+  tn::TrueNorthSimulator sim(net);
+  const InputSchedule in = one_input(0, 0, 0);
+  sim.run(5, &in, nullptr);
+  EXPECT_EQ(sim.stats().spikes, 1u);
+  EXPECT_EQ(sim.stats().dropped_spikes, 1u);
+}
+
+TEST(TrueNorthSim, PerTickMaximaTracked) {
+  const Network net = make_relay(1);
+  tn::TrueNorthSimulator sim(net);
+  const InputSchedule in = one_input(0, 0, 0);
+  sim.run(3, &in, nullptr);
+  // Tick 0 and tick 1 each have a 1-axon, 1-SOP, 1-spike busiest core.
+  EXPECT_EQ(sim.stats().sum_max_core_sops, 2u);
+  EXPECT_EQ(sim.stats().sum_max_core_axon_events, 2u);
+  EXPECT_EQ(sim.stats().sum_max_core_spikes, 2u);
+}
+
+TEST(CompassSim, MatchesRelaySemanticsAcrossThreads) {
+  for (int threads : {1, 2, 4}) {
+    const Network net = make_relay(3);
+    compass::Simulator sim(net, {.threads = threads});
+    const InputSchedule in = one_input(1, 0, 0);
+    VectorSink sink;
+    sim.run(20, &in, &sink);
+    ASSERT_EQ(sink.spikes().size(), 2u) << threads << " threads";
+    EXPECT_EQ(sink.spikes()[0], (Spike{1, 0, 0}));
+    EXPECT_EQ(sink.spikes()[1], (Spike{4, 1, 3}));
+  }
+}
+
+TEST(CompassSim, MessageAggregationCountsOnePerPairPerTick) {
+  // Relay with the two cores in different partitions: the cross-partition
+  // spike is one aggregated message; per-spike mode counts the same single
+  // delivery as one message too, so drive several spikes through.
+  Network net = make_relay(1);
+  net.core(0).neuron[0].leak = 1;  // free-runs at threshold 1: fires every tick
+  compass::Simulator agg(net, {.threads = 2, .aggregate_messages = true});
+  agg.run(10, nullptr, nullptr);
+  EXPECT_GT(agg.stats().spikes, 0u);
+  const std::uint64_t agg_msgs = agg.messages_sent();
+
+  compass::Simulator per(net, {.threads = 2, .aggregate_messages = false});
+  per.run(10, nullptr, nullptr);
+  EXPECT_EQ(per.stats().spikes, agg.stats().spikes);
+  // One spike per tick crosses the partition boundary: aggregated mode also
+  // sends one message per tick here, so the counts agree in this topology...
+  EXPECT_EQ(per.messages_sent(), agg_msgs);
+}
+
+TEST(CompassSim, PartitionsCoverAllCoresContiguously) {
+  netgen::RecurrentSpec spec;
+  spec.geom = Geometry{1, 1, 8, 8};
+  spec.rate_hz = 20;
+  spec.synapses_per_axon = 32;
+  const Network net = netgen::make_recurrent(spec);
+  compass::Simulator sim(net, {.threads = 4});
+  const auto& parts = sim.partitions();
+  ASSERT_EQ(parts.size(), 4u);
+  CoreId cursor = 0;
+  for (const auto& r : parts) {
+    EXPECT_EQ(r.begin, cursor);
+    cursor = r.end;
+  }
+  EXPECT_EQ(cursor, static_cast<CoreId>(net.geom.total_cores()));
+}
+
+TEST(Partition, BalancesLoadOnUniformNetwork) {
+  netgen::RecurrentSpec spec;
+  spec.geom = Geometry{1, 1, 8, 8};
+  spec.synapses_per_axon = 64;
+  const Network net = netgen::make_recurrent(spec);
+  const auto parts = compass::partition_balanced(net, 4);
+  EXPECT_LT(compass::load_imbalance(net, parts), 1.1);
+}
+
+TEST(Partition, SinglePartitionTakesAll) {
+  netgen::RecurrentSpec spec;
+  spec.geom = Geometry{1, 1, 2, 2};
+  const Network net = netgen::make_recurrent(spec);
+  const auto parts = compass::partition_balanced(net, 1);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].size(), 4);
+}
+
+TEST(RecurrentNet, MeasuredRateTracksTarget) {
+  // Property: the calibrated recurrent networks hold their target rate.
+  for (double rate : {10.0, 50.0, 200.0}) {
+    netgen::RecurrentSpec spec;
+    spec.geom = Geometry{1, 1, 8, 8};  // 64 cores, 16k neurons
+    spec.rate_hz = rate;
+    spec.synapses_per_axon = 64;
+    spec.seed = 42;
+    const Network net = netgen::make_recurrent(spec);
+    tn::TrueNorthSimulator sim(net);
+    sim.run(200, nullptr, nullptr);
+    const double measured =
+        sim.stats().mean_rate_hz(static_cast<std::uint64_t>(net.geom.neurons()));
+    EXPECT_NEAR(measured, rate, rate * 0.25) << "target " << rate << " Hz";
+  }
+}
+
+TEST(RecurrentNet, SopsPerDeliveryEqualsSynapseParameter) {
+  netgen::RecurrentSpec spec;
+  spec.geom = Geometry{1, 1, 4, 4};
+  spec.rate_hz = 50;
+  spec.synapses_per_axon = 37;
+  const Network net = netgen::make_recurrent(spec);
+  tn::TrueNorthSimulator sim(net);
+  sim.run(100, nullptr, nullptr);
+  EXPECT_NEAR(sim.stats().mean_synapses_per_delivery(), 37.0, 1.5);
+}
+
+TEST(RecurrentNet, CalibrationFixedPoint) {
+  for (double rate : {2.0, 20.0, 200.0}) {
+    for (int syn : {0, 128, 256}) {
+      netgen::RecurrentSpec spec;
+      spec.rate_hz = rate;
+      spec.synapses_per_axon = syn;
+      const auto cal = netgen::calibrate(spec);
+      EXPECT_GT(cal.threshold, 0);
+      EXPECT_GE(cal.leak, 1);
+      EXPECT_NEAR(cal.expected_rate_hz, rate, rate * 0.15) << rate << "/" << syn;
+      // Subcritical: branching ratio K/α stays below 1.
+      EXPECT_LT(static_cast<double>(syn), cal.threshold + cal.jitter_mask / 2.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nsc

@@ -1,0 +1,104 @@
+// Tests for the offline training substrate: the perceptron, the 4-level
+// weight quantizer, the classifier-corelet emitter, and the train-offline /
+// deploy-on-chip accuracy contract.
+#include <gtest/gtest.h>
+
+#include "src/core/validation.hpp"
+#include "src/corelet/place.hpp"
+#include "src/train/perceptron.hpp"
+
+namespace nsc::train {
+namespace {
+
+TEST(PatternDataset, ShapesAndLabels) {
+  const Dataset d = make_pattern_dataset(10, 0.05, 3);
+  EXPECT_EQ(d.size(), 40u);
+  EXPECT_EQ(d.features(), 64);
+  EXPECT_EQ(d.classes, 4);
+  for (int y : d.y) {
+    EXPECT_GE(y, 0);
+    EXPECT_LT(y, 4);
+  }
+}
+
+TEST(PatternDataset, DeterministicPerSeed) {
+  const Dataset a = make_pattern_dataset(5, 0.1, 7);
+  const Dataset b = make_pattern_dataset(5, 0.1, 7);
+  EXPECT_EQ(a.x, b.x);
+  EXPECT_EQ(a.y, b.y);
+}
+
+TEST(Perceptron, LearnsSeparablePatterns) {
+  const Dataset train = make_pattern_dataset(40, 0.05, 11);
+  const Dataset test = make_pattern_dataset(20, 0.05, 99);
+  const LinearModel m = train_perceptron(train);
+  EXPECT_GT(m.accuracy(train), 0.95);
+  EXPECT_GT(m.accuracy(test), 0.9);
+}
+
+TEST(Perceptron, ChanceOnRandomLabelsIsLow) {
+  Dataset d = make_pattern_dataset(20, 0.5, 5);  // 50% flip noise: no signal
+  const LinearModel m = train_perceptron(d, {.epochs = 5});
+  const Dataset fresh = make_pattern_dataset(20, 0.5, 6);
+  EXPECT_LT(m.accuracy(fresh), 0.6);
+}
+
+TEST(QuantizeRow, RecoversDistinctLevels) {
+  std::vector<float> w = {1.0f, 1.1f, -2.0f, -2.1f, 0.0f, 0.01f, 1.05f, -1.9f};
+  const QuantizedRow q = quantize_row(w, 10.0f);
+  // Two clear clusters: ~+10 and ~-20.
+  bool has_pos = false, has_neg = false;
+  for (int g = 0; g < core::kAxonTypes; ++g) {
+    if (q.level[g] >= 9 && q.level[g] <= 12) has_pos = true;
+    if (q.level[g] <= -18 && q.level[g] >= -22) has_neg = true;
+  }
+  EXPECT_TRUE(has_pos);
+  EXPECT_TRUE(has_neg);
+  // Near-zero weights stay off the crossbar.
+  EXPECT_EQ(q.assign[4], 0xFF);
+  EXPECT_EQ(q.assign[5], 0xFF);
+  // Significant weights are assigned.
+  EXPECT_NE(q.assign[0], 0xFF);
+  EXPECT_NE(q.assign[2], 0xFF);
+}
+
+TEST(QuantizeRow, AllZeroRowStaysOff) {
+  const QuantizedRow q = quantize_row(std::vector<float>(8, 0.0f), 16.0f);
+  for (auto a : q.assign) EXPECT_EQ(a, 0xFF);
+}
+
+TEST(EmitClassifier, ProducesValidNetwork) {
+  const Dataset d = make_pattern_dataset(20, 0.05, 2);
+  const LinearModel m = train_perceptron(d, {.epochs = 8});
+  const ClassifierCorelet clf = emit_classifier(m);
+  EXPECT_EQ(clf.classes, 4);
+  EXPECT_EQ(clf.features, 64);
+  const auto placed = corelet::place(clf.net, core::Geometry{1, 1, 1, 1});
+  EXPECT_TRUE(core::validate(placed.network).empty());
+  // Each feature owns four typed axons.
+  const auto axons = clf.feature_axons(5);
+  EXPECT_EQ(axons[0], 20);
+  EXPECT_EQ(axons[3], 23);
+}
+
+TEST(EmitClassifier, RejectsTooManyFeatures) {
+  LinearModel m;
+  m.w.assign(2, std::vector<float>(65, 1.0f));
+  EXPECT_THROW((void)emit_classifier(m), std::out_of_range);
+}
+
+TEST(TrainDeploy, SpikingAccuracyTracksFloatModel) {
+  // The paper's ecosystem contract: train offline, deploy on the chip, keep
+  // the quality. Quantization + rate coding may cost a few points.
+  const Dataset train = make_pattern_dataset(40, 0.05, 21);
+  const Dataset test = make_pattern_dataset(15, 0.05, 77);
+  const LinearModel m = train_perceptron(train);
+  const double float_acc = m.accuracy(test);
+  const ClassifierCorelet clf = emit_classifier(m);
+  const double spike_acc = spiking_accuracy(clf, test);
+  EXPECT_GT(float_acc, 0.9);
+  EXPECT_GT(spike_acc, float_acc - 0.15);
+}
+
+}  // namespace
+}  // namespace nsc::train

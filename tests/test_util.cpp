@@ -1,0 +1,234 @@
+// Unit tests for the utility substrate: bit rows, PRNGs, stats, barriers,
+// thread pool, tables/CSV.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "src/util/barrier.hpp"
+#include "src/util/bitrow.hpp"
+#include "src/util/bits.hpp"
+#include "src/util/csv.hpp"
+#include "src/util/prng.hpp"
+#include "src/util/stats.hpp"
+#include "src/util/table.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace nsc::util {
+namespace {
+
+TEST(Bits, Popcount) {
+  EXPECT_EQ(popcount64(0), 0);
+  EXPECT_EQ(popcount64(~0ULL), 64);
+  EXPECT_EQ(popcount64(0xF0F0ULL), 8);
+}
+
+TEST(Bits, LowestSetAndClear) {
+  EXPECT_EQ(lowest_set(0b1000), 3);
+  EXPECT_EQ(clear_lowest(0b1010), 0b1000U);
+  EXPECT_EQ(ceil_div(7, 3), 3);
+  EXPECT_EQ(ceil_div(6, 3), 2);
+}
+
+TEST(BitRow256, SetTestClear) {
+  BitRow256 r;
+  EXPECT_FALSE(r.any());
+  r.set(0);
+  r.set(63);
+  r.set(64);
+  r.set(255);
+  EXPECT_TRUE(r.test(0));
+  EXPECT_TRUE(r.test(63));
+  EXPECT_TRUE(r.test(64));
+  EXPECT_TRUE(r.test(255));
+  EXPECT_FALSE(r.test(1));
+  EXPECT_EQ(r.count(), 4);
+  r.clear(64);
+  EXPECT_FALSE(r.test(64));
+  EXPECT_EQ(r.count(), 3);
+  r.reset();
+  EXPECT_EQ(r.count(), 0);
+}
+
+TEST(BitRow256, ForEachSetAscending) {
+  BitRow256 r;
+  const std::vector<int> want = {3, 64, 65, 200, 255};
+  for (int i : want) r.set(i);
+  std::vector<int> got;
+  r.for_each_set([&](int i) { got.push_back(i); });
+  EXPECT_EQ(got, want);
+}
+
+TEST(BitRow256, OrAssign) {
+  BitRow256 a, b;
+  a.set(1);
+  b.set(2);
+  b.set(200);
+  a |= b;
+  EXPECT_EQ(a.count(), 3);
+  EXPECT_TRUE(a.test(200));
+}
+
+TEST(CounterPrng, DeterministicAndKeyed) {
+  const CounterPrng p(42);
+  EXPECT_EQ(p.draw(1, 2, 3, 4), p.draw(1, 2, 3, 4));
+  EXPECT_NE(p.draw(1, 2, 3, 4), p.draw(1, 2, 3, 5));
+  EXPECT_NE(p.draw(1, 2, 3, 4), p.draw(1, 2, 4, 4));
+  EXPECT_NE(p.draw(1, 2, 3, 4), CounterPrng(43).draw(1, 2, 3, 4));
+}
+
+TEST(CounterPrng, Bernoulli16Rate) {
+  const CounterPrng p(7);
+  const std::uint32_t p16 = 1 << 14;  // 1/4
+  int hits = 0;
+  const int n = 40000;
+  for (int t = 0; t < n; ++t) hits += p.bernoulli16(0, 0, static_cast<std::uint64_t>(t), 0, p16);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(CounterPrng, DrawBitsRange) {
+  const CounterPrng p(9);
+  for (int t = 0; t < 1000; ++t) {
+    EXPECT_LT(p.draw_bits(0, 0, static_cast<std::uint64_t>(t), 0, 8), 256u);
+  }
+}
+
+TEST(GaloisLfsr16, FullPeriod) {
+  GaloisLfsr16 lfsr(0x1u);
+  std::set<std::uint16_t> seen;
+  for (std::uint32_t i = 0; i < GaloisLfsr16::kPeriod; ++i) seen.insert(lfsr.next());
+  EXPECT_EQ(seen.size(), GaloisLfsr16::kPeriod);  // maximal-length taps
+  EXPECT_EQ(seen.count(0), 0u);                   // zero state unreachable
+}
+
+TEST(Xoshiro, BelowBoundAndUniformish) {
+  Xoshiro rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(SampleDistinct, DistinctAndInRange) {
+  Xoshiro rng(11);
+  int out[64];
+  sample_distinct(rng, 256, 64, out);
+  std::set<int> s(out, out + 64);
+  EXPECT_EQ(s.size(), 64u);
+  EXPECT_GE(*s.begin(), 0);
+  EXPECT_LT(*s.rbegin(), 256);
+}
+
+TEST(SampleDistinct, FullPermutation) {
+  Xoshiro rng(3);
+  int out[16];
+  sample_distinct(rng, 16, 16, out);
+  std::set<int> s(out, out + 16);
+  EXPECT_EQ(s.size(), 16u);
+}
+
+TEST(RunningStat, MeanVarianceMinMax) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(HistogramTest, QuantileLinear) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i % 10) + 0.5);
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_NEAR(h.quantile(0.5), 5.0, 1.1);
+}
+
+TEST(SpinBarrierTest, SynchronizesPhases) {
+  constexpr int kThreads = 4;
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> phase_counts[3] = {0, 0, 0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      for (int ph = 0; ph < 3; ++ph) {
+        ++phase_counts[ph];
+        barrier.arrive_and_wait();
+        // After the barrier every participant must have bumped this phase.
+        EXPECT_EQ(phase_counts[ph].load(), kThreads);
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+TEST(ThreadPoolTest, RunsAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(4);
+  for (int rep = 0; rep < 50; ++rep) {
+    pool.run_all([&](int i) { ++hits[static_cast<std::size_t>(i)]; });
+  }
+  for (auto& h : hits) EXPECT_EQ(h.load(), 50);
+}
+
+TEST(ThreadPoolTest, SingleThreadInline) {
+  ThreadPool pool(1);
+  int x = 0;
+  pool.run_all([&](int i) { x = i + 1; });
+  EXPECT_EQ(x, 1);
+}
+
+TEST(TableTest, AlignsAndPrints) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row_numeric("beta", {2.5}, 3);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("2.50"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(FormatSig, Ranges) {
+  EXPECT_EQ(format_sig(0.0), "0");
+  EXPECT_EQ(format_sig(46.2, 3), "46.2");
+  EXPECT_NE(format_sig(6.5e7, 2).find("e"), std::string::npos);
+}
+
+TEST(CsvTest, EscapesAndWrites) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("q\"q"), "\"q\"\"q\"");
+  const std::string path = testing::TempDir() + "/nsc_csv_test.csv";
+  {
+    CsvWriter w(path, {"a", "b"});
+    w.add_row(std::vector<double>{1.0, 2.0});
+    EXPECT_EQ(w.rows(), 1u);
+    EXPECT_THROW(w.add_row(std::vector<double>{1.0}), std::runtime_error);
+  }
+}
+
+TEST(PrintGrid, EmitsAllCells) {
+  std::ostringstream os;
+  print_grid(os, "T", "x", "y", {1, 2}, {10, 20}, {{0.5, 1.5}, {2.5, 3.5}});
+  const std::string out = os.str();
+  for (const char* cell : {"0.50", "1.50", "2.50", "3.50"}) {
+    EXPECT_NE(out.find(cell), std::string::npos) << cell << " missing in:\n" << out;
+  }
+}
+
+}  // namespace
+}  // namespace nsc::util

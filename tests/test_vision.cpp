@@ -1,0 +1,168 @@
+// Tests for the vision substrate: images, synthetic scenes, encoders,
+// detection metrics.
+#include <gtest/gtest.h>
+
+#include "src/vision/encode.hpp"
+#include "src/vision/image.hpp"
+#include "src/vision/metrics.hpp"
+#include "src/vision/scene.hpp"
+
+namespace nsc::vision {
+namespace {
+
+TEST(ImageTest, SetGetClampedAndRect) {
+  Image img(8, 4, 10);
+  EXPECT_EQ(img.at(0, 0), 10);
+  img.set(2, 3, 99);
+  EXPECT_EQ(img.at(2, 3), 99);
+  EXPECT_EQ(img.at_clamped(-1, 0), 0);
+  EXPECT_EQ(img.at_clamped(8, 0), 0);
+  img.fill_rect(6, 2, 5, 5, 200);  // clipped at the border
+  EXPECT_EQ(img.at(7, 3), 200);
+  EXPECT_EQ(img.at(5, 3), 10);
+}
+
+TEST(IouTest, KnownOverlaps) {
+  const LabeledBox a{0, 0, 10, 10};
+  EXPECT_DOUBLE_EQ(iou(a, a), 1.0);
+  const LabeledBox b{10, 10, 10, 10};
+  EXPECT_DOUBLE_EQ(iou(a, b), 0.0);
+  const LabeledBox c{5, 0, 10, 10};
+  EXPECT_NEAR(iou(a, c), 50.0 / 150.0, 1e-12);
+}
+
+TEST(SceneTest, DeterministicPerSeed) {
+  SceneConfig cfg;
+  cfg.seed = 5;
+  SyntheticScene a(cfg), b(cfg);
+  a.step();
+  b.step();
+  const Image fa = a.render(), fb = b.render();
+  EXPECT_EQ(fa.pixels(), fb.pixels());
+  const auto ga = a.ground_truth(), gb = b.ground_truth();
+  ASSERT_EQ(ga.size(), gb.size());
+  for (std::size_t i = 0; i < ga.size(); ++i) {
+    EXPECT_EQ(ga[i].x, gb[i].x);
+    EXPECT_EQ(ga[i].cls, gb[i].cls);
+  }
+}
+
+TEST(SceneTest, ObjectsMoveAndStayInFrame) {
+  SceneConfig cfg;
+  cfg.objects = 4;
+  cfg.seed = 9;
+  SyntheticScene scene(cfg);
+  const auto g0 = scene.ground_truth();
+  for (int f = 0; f < 50; ++f) {
+    scene.step();
+    for (const LabeledBox& b : scene.ground_truth()) {
+      EXPECT_GE(b.x, 0);
+      EXPECT_GE(b.y, 0);
+      EXPECT_LE(b.x + b.w, cfg.width);
+      EXPECT_LE(b.y + b.h, cfg.height);
+    }
+  }
+  const auto g1 = scene.ground_truth();
+  bool moved = false;
+  for (std::size_t i = 0; i < g0.size(); ++i) {
+    if (g0[i].x != g1[i].x || g0[i].y != g1[i].y) moved = true;
+  }
+  EXPECT_TRUE(moved);
+}
+
+TEST(SceneTest, ObjectsBrighterThanBackground) {
+  SceneConfig cfg;
+  cfg.objects = 1;
+  cfg.seed = 3;
+  SyntheticScene scene(cfg);
+  const Image f = scene.render();
+  const LabeledBox b = scene.ground_truth()[0];
+  const ClassArchetype a = archetype(b.cls);
+  EXPECT_GT(static_cast<int>(f.at(b.x + b.w / 2, b.y)), cfg.background + 30);
+  (void)a;
+}
+
+TEST(ArchetypeTest, ClassesSeparableByLuminousMass) {
+  // The What network's classification axis: area × brightness must be
+  // distinct across classes.
+  std::vector<double> mass;
+  for (int c = 0; c < kObjectClasses; ++c) {
+    const ClassArchetype a = archetype(static_cast<ObjectClass>(c));
+    mass.push_back(a.w * a.h * (0.75 * a.brightness + 0.25 * a.accent));
+  }
+  std::sort(mass.begin(), mass.end());
+  for (std::size_t i = 0; i + 1 < mass.size(); ++i) {
+    EXPECT_GT(mass[i + 1], mass[i] * 1.1) << "classes " << i << " and " << i + 1;
+  }
+}
+
+TEST(RateEncoderTest, RateProportionalToValue) {
+  const RateEncoder enc(0.5, 11);
+  for (std::uint8_t v : {std::uint8_t{0}, std::uint8_t{64}, std::uint8_t{255}}) {
+    int fires = 0;
+    const int n = 20000;
+    for (int t = 0; t < n; ++t) fires += enc.fires(42, t, v) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(fires) / n, enc.prob(v), 0.02) << int(v);
+  }
+}
+
+TEST(RateEncoderTest, DeterministicAndPixelKeyed) {
+  const RateEncoder enc(0.5, 11);
+  EXPECT_EQ(enc.fires(1, 5, 200), enc.fires(1, 5, 200));
+  int diffs = 0;
+  for (int t = 0; t < 200; ++t) {
+    if (enc.fires(1, t, 200) != enc.fires(2, t, 200)) ++diffs;
+  }
+  EXPECT_GT(diffs, 10);  // different pixels get decorrelated streams
+}
+
+TEST(DecodeRate, InvertsEncoding) {
+  EXPECT_NEAR(decode_rate(50, 100, 0.5), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(decode_rate(0, 100, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(decode_rate(10, 0, 0.5), 0.0);
+}
+
+TEST(MatchDetections, PerfectDetections) {
+  const std::vector<LabeledBox> gt = {{0, 0, 10, 10, ObjectClass::kCar},
+                                      {30, 30, 8, 8, ObjectClass::kPerson}};
+  const DetectionCounts c = match_detections(gt, gt, 0.5, true);
+  EXPECT_EQ(c.true_positives, 2);
+  EXPECT_EQ(c.false_positives, 0);
+  EXPECT_EQ(c.false_negatives, 0);
+  EXPECT_DOUBLE_EQ(c.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(c.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(c.f1(), 1.0);
+}
+
+TEST(MatchDetections, WrongClassIsFalsePositive) {
+  const std::vector<LabeledBox> gt = {{0, 0, 10, 10, ObjectClass::kCar}};
+  std::vector<LabeledBox> det = gt;
+  det[0].cls = ObjectClass::kBus;
+  const DetectionCounts c = match_detections(gt, det, 0.3, true);
+  EXPECT_EQ(c.true_positives, 0);
+  EXPECT_EQ(c.false_positives, 1);
+  EXPECT_EQ(c.false_negatives, 1);
+  // Without class matching the same detection counts.
+  const DetectionCounts c2 = match_detections(gt, det, 0.3, false);
+  EXPECT_EQ(c2.true_positives, 1);
+}
+
+TEST(MatchDetections, EachGroundTruthClaimedOnce) {
+  const std::vector<LabeledBox> gt = {{0, 0, 10, 10, ObjectClass::kCar}};
+  const std::vector<LabeledBox> det = {{0, 0, 10, 10, ObjectClass::kCar},
+                                       {1, 1, 10, 10, ObjectClass::kCar}};
+  const DetectionCounts c = match_detections(gt, det, 0.3, true);
+  EXPECT_EQ(c.true_positives, 1);
+  EXPECT_EQ(c.false_positives, 1);
+}
+
+TEST(DetectionCountsTest, Accumulates) {
+  DetectionCounts a{1, 2, 3}, b{4, 0, 1};
+  a += b;
+  EXPECT_EQ(a.true_positives, 5);
+  EXPECT_EQ(a.false_positives, 2);
+  EXPECT_EQ(a.false_negatives, 4);
+}
+
+}  // namespace
+}  // namespace nsc::vision

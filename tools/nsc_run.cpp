@@ -1,0 +1,141 @@
+// nsc_run — execute a network model file on either kernel expression.
+//
+//   nsc_run --net net.nsc --ticks 1000 [--backend tn|compass] [--threads N]
+//           [--in events.aer] [--out spikes.aer] [--volts 0.75] [--verify]
+//
+// Prints run statistics, spike-train analysis, and (for the tn backend) the
+// energy/timing model's projection of the silicon. --verify runs BOTH
+// backends and checks spike-for-spike agreement (exit 1 on mismatch).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "src/compass/simulator.hpp"
+#include "src/core/aer.hpp"
+#include "src/core/network_io.hpp"
+#include "src/core/spike_analysis.hpp"
+#include "src/core/spike_sink.hpp"
+#include "src/energy/truenorth_power.hpp"
+#include "src/energy/truenorth_timing.hpp"
+#include "src/energy/units.hpp"
+#include "src/tn/chip_sim.hpp"
+
+namespace {
+
+const char* flag_value(int argc, char** argv, const char* name, const char* fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+bool flag_present(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+void print_stats(const nsc::core::KernelStats& s, std::uint64_t neurons) {
+  std::printf("ticks %llu   spikes %llu   SOPs %llu   axon events %llu   dropped %llu\n",
+              static_cast<unsigned long long>(s.ticks),
+              static_cast<unsigned long long>(s.spikes),
+              static_cast<unsigned long long>(s.sops),
+              static_cast<unsigned long long>(s.axon_events),
+              static_cast<unsigned long long>(s.dropped_spikes));
+  std::printf("mean rate %.2f Hz   synapses/delivery %.1f\n", s.mean_rate_hz(neurons),
+              s.mean_synapses_per_delivery());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string net_path = flag_value(argc, argv, "--net", "");
+  if (net_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: nsc_run --net FILE --ticks N [--backend tn|compass] [--threads N]\n"
+                 "               [--in events.aer] [--out spikes.aer] [--volts V] [--verify]\n");
+    return 2;
+  }
+  const auto ticks = static_cast<nsc::core::Tick>(std::atoll(flag_value(argc, argv, "--ticks", "100")));
+  const std::string backend = flag_value(argc, argv, "--backend", "tn");
+  const int threads = std::atoi(flag_value(argc, argv, "--threads", "1"));
+  const double volts = std::atof(flag_value(argc, argv, "--volts", "0.75"));
+  const std::string in_path = flag_value(argc, argv, "--in", "");
+  const std::string out_path = flag_value(argc, argv, "--out", "");
+
+  try {
+    const nsc::core::Network net = nsc::core::load_network(net_path);
+    const auto neurons = static_cast<std::uint64_t>(net.geom.neurons());
+    std::printf("loaded %s: %d cores, %llu enabled neurons, %llu synapses\n", net_path.c_str(),
+                net.geom.total_cores(), static_cast<unsigned long long>(net.enabled_neurons()),
+                static_cast<unsigned long long>(net.total_synapses()));
+
+    nsc::core::InputSchedule inputs;
+    if (!in_path.empty()) {
+      inputs = nsc::core::load_aer_inputs(in_path);
+      std::printf("inputs: %zu events from %s\n", inputs.size(), in_path.c_str());
+    } else {
+      inputs.finalize();
+    }
+
+    if (flag_present(argc, argv, "--verify")) {
+      nsc::core::VectorSink a, b;
+      nsc::tn::TrueNorthSimulator tn_sim(net);
+      tn_sim.run(ticks, &inputs, &a);
+      nsc::compass::Simulator cp(net, {.threads = std::max(1, threads)});
+      cp.run(ticks, &inputs, &b);
+      const auto mismatch = nsc::core::first_mismatch(a.spikes(), b.spikes());
+      if (mismatch != -1) {
+        std::fprintf(stderr, "VERIFY FAILED: first spike mismatch at index %lld\n",
+                     static_cast<long long>(mismatch));
+        return 1;
+      }
+      std::printf("verify: tn and compass(%d) agree on %zu spikes over %lld ticks\n", threads,
+                  a.spikes().size(), static_cast<long long>(ticks));
+      return 0;
+    }
+
+    nsc::core::VectorSink sink;
+    nsc::core::KernelStats stats;
+    if (backend == "compass") {
+      nsc::compass::Simulator sim(net, {.threads = std::max(1, threads)});
+      sim.run(ticks, &inputs, &sink);
+      stats = sim.stats();
+      print_stats(stats, neurons);
+      std::printf("messages sent: %llu\n",
+                  static_cast<unsigned long long>(sim.messages_sent()));
+    } else {
+      nsc::tn::TrueNorthSimulator sim(net);
+      sim.run(ticks, &inputs, &sink);
+      stats = sim.stats();
+      print_stats(stats, neurons);
+      std::printf("mean hops/spike %.2f   interchip crossings %llu\n", sim.mean_hops_per_spike(),
+                  static_cast<unsigned long long>(stats.interchip_crossings));
+      const nsc::energy::TrueNorthPowerModel power;
+      const nsc::energy::TrueNorthTimingModel timing;
+      std::printf("silicon projection @%.2fV: %.2f mW, %.1f GSOPS/W, max tick rate %.2f kHz\n",
+                  volts,
+                  1e3 * power.mean_power_w(stats, net.geom.total_cores(), volts,
+                                           nsc::energy::kRealTimeTickHz),
+                  1e-9 * power.sops_per_watt(stats, net.geom.total_cores(), volts,
+                                             nsc::energy::kRealTimeTickHz),
+                  1e-3 * timing.max_tick_hz(stats, volts));
+    }
+
+    const auto train = nsc::core::analyze_spikes(sink.spikes(), neurons, 0, ticks);
+    std::printf("spike train: active %.1f%%, ISI mean %.1f ticks (CV %.2f), synchrony %.2f\n",
+                100.0 * train.active_fraction, train.isi_mean, train.isi_cv, train.synchrony);
+
+    if (!out_path.empty()) {
+      nsc::core::save_aer(sink.spikes(), out_path);
+      std::printf("wrote %zu spikes to %s\n", sink.spikes().size(), out_path.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
