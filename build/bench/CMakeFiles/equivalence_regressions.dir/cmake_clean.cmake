@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equivalence_regressions.dir/equivalence_regressions.cpp.o"
+  "CMakeFiles/equivalence_regressions.dir/equivalence_regressions.cpp.o.d"
+  "equivalence_regressions"
+  "equivalence_regressions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equivalence_regressions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_characterization.dir/fig5_characterization.cpp.o"
+  "CMakeFiles/fig5_characterization.dir/fig5_characterization.cpp.o.d"
+  "fig5_characterization"
+  "fig5_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_speedup_energy.dir/fig6_speedup_energy.cpp.o"
+  "CMakeFiles/fig6_speedup_energy.dir/fig6_speedup_energy.cpp.o.d"
+  "fig6_speedup_energy"
+  "fig6_speedup_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_speedup_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

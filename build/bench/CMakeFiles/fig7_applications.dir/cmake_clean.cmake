@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_applications.dir/fig7_applications.cpp.o"
+  "CMakeFiles/fig7_applications.dir/fig7_applications.cpp.o.d"
+  "fig7_applications"
+  "fig7_applications.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_applications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

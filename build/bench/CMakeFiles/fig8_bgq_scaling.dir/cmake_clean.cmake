@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_bgq_scaling.dir/fig8_bgq_scaling.cpp.o"
+  "CMakeFiles/fig8_bgq_scaling.dir/fig8_bgq_scaling.cpp.o.d"
+  "fig8_bgq_scaling"
+  "fig8_bgq_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_bgq_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/future_systems.dir/future_systems.cpp.o"
+  "CMakeFiles/future_systems.dir/future_systems.cpp.o.d"
+  "future_systems"
+  "future_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

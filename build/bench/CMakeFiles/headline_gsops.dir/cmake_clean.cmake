@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/headline_gsops.dir/headline_gsops.cpp.o"
+  "CMakeFiles/headline_gsops.dir/headline_gsops.cpp.o.d"
+  "headline_gsops"
+  "headline_gsops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headline_gsops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for headline_gsops.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multichip_tiling.dir/multichip_tiling.cpp.o"
+  "CMakeFiles/multichip_tiling.dir/multichip_tiling.cpp.o.d"
+  "multichip_tiling"
+  "multichip_tiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multichip_tiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for multichip_tiling.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detection_demo.dir/detection_demo.cpp.o"
+  "CMakeFiles/detection_demo.dir/detection_demo.cpp.o.d"
+  "detection_demo"
+  "detection_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detection_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

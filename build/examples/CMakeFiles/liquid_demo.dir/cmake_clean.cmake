@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liquid_demo.dir/liquid_demo.cpp.o"
+  "CMakeFiles/liquid_demo.dir/liquid_demo.cpp.o.d"
+  "liquid_demo"
+  "liquid_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liquid_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recurrent_dynamics.dir/recurrent_dynamics.cpp.o"
+  "CMakeFiles/recurrent_dynamics.dir/recurrent_dynamics.cpp.o.d"
+  "recurrent_dynamics"
+  "recurrent_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recurrent_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for recurrent_dynamics.
+# This may be replaced when dependencies are built.

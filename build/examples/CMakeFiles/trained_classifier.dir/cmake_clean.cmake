@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trained_classifier.dir/trained_classifier.cpp.o"
+  "CMakeFiles/trained_classifier.dir/trained_classifier.cpp.o.d"
+  "trained_classifier"
+  "trained_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trained_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

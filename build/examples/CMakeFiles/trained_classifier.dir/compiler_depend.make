@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for trained_classifier.
+# This may be replaced when dependencies are built.

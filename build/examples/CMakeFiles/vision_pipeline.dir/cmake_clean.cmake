@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vision_pipeline.dir/vision_pipeline.cpp.o"
+  "CMakeFiles/vision_pipeline.dir/vision_pipeline.cpp.o.d"
+  "vision_pipeline"
+  "vision_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vision_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

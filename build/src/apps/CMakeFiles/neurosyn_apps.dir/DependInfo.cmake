@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/app_common.cpp" "src/apps/CMakeFiles/neurosyn_apps.dir/app_common.cpp.o" "gcc" "src/apps/CMakeFiles/neurosyn_apps.dir/app_common.cpp.o.d"
+  "/root/repo/src/apps/haar.cpp" "src/apps/CMakeFiles/neurosyn_apps.dir/haar.cpp.o" "gcc" "src/apps/CMakeFiles/neurosyn_apps.dir/haar.cpp.o.d"
+  "/root/repo/src/apps/lbp.cpp" "src/apps/CMakeFiles/neurosyn_apps.dir/lbp.cpp.o" "gcc" "src/apps/CMakeFiles/neurosyn_apps.dir/lbp.cpp.o.d"
+  "/root/repo/src/apps/lsm.cpp" "src/apps/CMakeFiles/neurosyn_apps.dir/lsm.cpp.o" "gcc" "src/apps/CMakeFiles/neurosyn_apps.dir/lsm.cpp.o.d"
+  "/root/repo/src/apps/neovision.cpp" "src/apps/CMakeFiles/neurosyn_apps.dir/neovision.cpp.o" "gcc" "src/apps/CMakeFiles/neurosyn_apps.dir/neovision.cpp.o.d"
+  "/root/repo/src/apps/optical_flow.cpp" "src/apps/CMakeFiles/neurosyn_apps.dir/optical_flow.cpp.o" "gcc" "src/apps/CMakeFiles/neurosyn_apps.dir/optical_flow.cpp.o.d"
+  "/root/repo/src/apps/patch.cpp" "src/apps/CMakeFiles/neurosyn_apps.dir/patch.cpp.o" "gcc" "src/apps/CMakeFiles/neurosyn_apps.dir/patch.cpp.o.d"
+  "/root/repo/src/apps/saccade.cpp" "src/apps/CMakeFiles/neurosyn_apps.dir/saccade.cpp.o" "gcc" "src/apps/CMakeFiles/neurosyn_apps.dir/saccade.cpp.o.d"
+  "/root/repo/src/apps/saliency.cpp" "src/apps/CMakeFiles/neurosyn_apps.dir/saliency.cpp.o" "gcc" "src/apps/CMakeFiles/neurosyn_apps.dir/saliency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/neurosyn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/corelet/CMakeFiles/neurosyn_corelet.dir/DependInfo.cmake"
+  "/root/repo/build/src/vision/CMakeFiles/neurosyn_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/tn/CMakeFiles/neurosyn_tn.dir/DependInfo.cmake"
+  "/root/repo/build/src/compass/CMakeFiles/neurosyn_compass.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/neurosyn_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/neurosyn_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/neurosyn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

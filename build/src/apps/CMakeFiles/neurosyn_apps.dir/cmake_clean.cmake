@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neurosyn_apps.dir/app_common.cpp.o"
+  "CMakeFiles/neurosyn_apps.dir/app_common.cpp.o.d"
+  "CMakeFiles/neurosyn_apps.dir/haar.cpp.o"
+  "CMakeFiles/neurosyn_apps.dir/haar.cpp.o.d"
+  "CMakeFiles/neurosyn_apps.dir/lbp.cpp.o"
+  "CMakeFiles/neurosyn_apps.dir/lbp.cpp.o.d"
+  "CMakeFiles/neurosyn_apps.dir/lsm.cpp.o"
+  "CMakeFiles/neurosyn_apps.dir/lsm.cpp.o.d"
+  "CMakeFiles/neurosyn_apps.dir/neovision.cpp.o"
+  "CMakeFiles/neurosyn_apps.dir/neovision.cpp.o.d"
+  "CMakeFiles/neurosyn_apps.dir/optical_flow.cpp.o"
+  "CMakeFiles/neurosyn_apps.dir/optical_flow.cpp.o.d"
+  "CMakeFiles/neurosyn_apps.dir/patch.cpp.o"
+  "CMakeFiles/neurosyn_apps.dir/patch.cpp.o.d"
+  "CMakeFiles/neurosyn_apps.dir/saccade.cpp.o"
+  "CMakeFiles/neurosyn_apps.dir/saccade.cpp.o.d"
+  "CMakeFiles/neurosyn_apps.dir/saliency.cpp.o"
+  "CMakeFiles/neurosyn_apps.dir/saliency.cpp.o.d"
+  "libneurosyn_apps.a"
+  "libneurosyn_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neurosyn_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compass/partition.cpp" "src/compass/CMakeFiles/neurosyn_compass.dir/partition.cpp.o" "gcc" "src/compass/CMakeFiles/neurosyn_compass.dir/partition.cpp.o.d"
+  "/root/repo/src/compass/simulator.cpp" "src/compass/CMakeFiles/neurosyn_compass.dir/simulator.cpp.o" "gcc" "src/compass/CMakeFiles/neurosyn_compass.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/neurosyn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/neurosyn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

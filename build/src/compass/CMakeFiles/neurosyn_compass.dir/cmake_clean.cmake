@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neurosyn_compass.dir/partition.cpp.o"
+  "CMakeFiles/neurosyn_compass.dir/partition.cpp.o.d"
+  "CMakeFiles/neurosyn_compass.dir/simulator.cpp.o"
+  "CMakeFiles/neurosyn_compass.dir/simulator.cpp.o.d"
+  "libneurosyn_compass.a"
+  "libneurosyn_compass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neurosyn_compass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

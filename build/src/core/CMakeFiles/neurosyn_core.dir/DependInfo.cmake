@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aer.cpp" "src/core/CMakeFiles/neurosyn_core.dir/aer.cpp.o" "gcc" "src/core/CMakeFiles/neurosyn_core.dir/aer.cpp.o.d"
+  "/root/repo/src/core/crossbar.cpp" "src/core/CMakeFiles/neurosyn_core.dir/crossbar.cpp.o" "gcc" "src/core/CMakeFiles/neurosyn_core.dir/crossbar.cpp.o.d"
+  "/root/repo/src/core/input_schedule.cpp" "src/core/CMakeFiles/neurosyn_core.dir/input_schedule.cpp.o" "gcc" "src/core/CMakeFiles/neurosyn_core.dir/input_schedule.cpp.o.d"
+  "/root/repo/src/core/network.cpp" "src/core/CMakeFiles/neurosyn_core.dir/network.cpp.o" "gcc" "src/core/CMakeFiles/neurosyn_core.dir/network.cpp.o.d"
+  "/root/repo/src/core/network_io.cpp" "src/core/CMakeFiles/neurosyn_core.dir/network_io.cpp.o" "gcc" "src/core/CMakeFiles/neurosyn_core.dir/network_io.cpp.o.d"
+  "/root/repo/src/core/neuron_model.cpp" "src/core/CMakeFiles/neurosyn_core.dir/neuron_model.cpp.o" "gcc" "src/core/CMakeFiles/neurosyn_core.dir/neuron_model.cpp.o.d"
+  "/root/repo/src/core/reference_sim.cpp" "src/core/CMakeFiles/neurosyn_core.dir/reference_sim.cpp.o" "gcc" "src/core/CMakeFiles/neurosyn_core.dir/reference_sim.cpp.o.d"
+  "/root/repo/src/core/spike_analysis.cpp" "src/core/CMakeFiles/neurosyn_core.dir/spike_analysis.cpp.o" "gcc" "src/core/CMakeFiles/neurosyn_core.dir/spike_analysis.cpp.o.d"
+  "/root/repo/src/core/spike_sink.cpp" "src/core/CMakeFiles/neurosyn_core.dir/spike_sink.cpp.o" "gcc" "src/core/CMakeFiles/neurosyn_core.dir/spike_sink.cpp.o.d"
+  "/root/repo/src/core/validation.cpp" "src/core/CMakeFiles/neurosyn_core.dir/validation.cpp.o" "gcc" "src/core/CMakeFiles/neurosyn_core.dir/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/neurosyn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neurosyn_core.dir/aer.cpp.o"
+  "CMakeFiles/neurosyn_core.dir/aer.cpp.o.d"
+  "CMakeFiles/neurosyn_core.dir/crossbar.cpp.o"
+  "CMakeFiles/neurosyn_core.dir/crossbar.cpp.o.d"
+  "CMakeFiles/neurosyn_core.dir/input_schedule.cpp.o"
+  "CMakeFiles/neurosyn_core.dir/input_schedule.cpp.o.d"
+  "CMakeFiles/neurosyn_core.dir/network.cpp.o"
+  "CMakeFiles/neurosyn_core.dir/network.cpp.o.d"
+  "CMakeFiles/neurosyn_core.dir/network_io.cpp.o"
+  "CMakeFiles/neurosyn_core.dir/network_io.cpp.o.d"
+  "CMakeFiles/neurosyn_core.dir/neuron_model.cpp.o"
+  "CMakeFiles/neurosyn_core.dir/neuron_model.cpp.o.d"
+  "CMakeFiles/neurosyn_core.dir/reference_sim.cpp.o"
+  "CMakeFiles/neurosyn_core.dir/reference_sim.cpp.o.d"
+  "CMakeFiles/neurosyn_core.dir/spike_analysis.cpp.o"
+  "CMakeFiles/neurosyn_core.dir/spike_analysis.cpp.o.d"
+  "CMakeFiles/neurosyn_core.dir/spike_sink.cpp.o"
+  "CMakeFiles/neurosyn_core.dir/spike_sink.cpp.o.d"
+  "CMakeFiles/neurosyn_core.dir/validation.cpp.o"
+  "CMakeFiles/neurosyn_core.dir/validation.cpp.o.d"
+  "libneurosyn_core.a"
+  "libneurosyn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neurosyn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corelet/corelet.cpp" "src/corelet/CMakeFiles/neurosyn_corelet.dir/corelet.cpp.o" "gcc" "src/corelet/CMakeFiles/neurosyn_corelet.dir/corelet.cpp.o.d"
+  "/root/repo/src/corelet/lib.cpp" "src/corelet/CMakeFiles/neurosyn_corelet.dir/lib.cpp.o" "gcc" "src/corelet/CMakeFiles/neurosyn_corelet.dir/lib.cpp.o.d"
+  "/root/repo/src/corelet/lib2.cpp" "src/corelet/CMakeFiles/neurosyn_corelet.dir/lib2.cpp.o" "gcc" "src/corelet/CMakeFiles/neurosyn_corelet.dir/lib2.cpp.o.d"
+  "/root/repo/src/corelet/place.cpp" "src/corelet/CMakeFiles/neurosyn_corelet.dir/place.cpp.o" "gcc" "src/corelet/CMakeFiles/neurosyn_corelet.dir/place.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/neurosyn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/neurosyn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neurosyn_corelet.dir/corelet.cpp.o"
+  "CMakeFiles/neurosyn_corelet.dir/corelet.cpp.o.d"
+  "CMakeFiles/neurosyn_corelet.dir/lib.cpp.o"
+  "CMakeFiles/neurosyn_corelet.dir/lib.cpp.o.d"
+  "CMakeFiles/neurosyn_corelet.dir/lib2.cpp.o"
+  "CMakeFiles/neurosyn_corelet.dir/lib2.cpp.o.d"
+  "CMakeFiles/neurosyn_corelet.dir/place.cpp.o"
+  "CMakeFiles/neurosyn_corelet.dir/place.cpp.o.d"
+  "libneurosyn_corelet.a"
+  "libneurosyn_corelet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neurosyn_corelet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for neurosyn_corelet.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/energy/host_models.cpp" "src/energy/CMakeFiles/neurosyn_energy.dir/host_models.cpp.o" "gcc" "src/energy/CMakeFiles/neurosyn_energy.dir/host_models.cpp.o.d"
+  "/root/repo/src/energy/power_meter.cpp" "src/energy/CMakeFiles/neurosyn_energy.dir/power_meter.cpp.o" "gcc" "src/energy/CMakeFiles/neurosyn_energy.dir/power_meter.cpp.o.d"
+  "/root/repo/src/energy/scaling_model.cpp" "src/energy/CMakeFiles/neurosyn_energy.dir/scaling_model.cpp.o" "gcc" "src/energy/CMakeFiles/neurosyn_energy.dir/scaling_model.cpp.o.d"
+  "/root/repo/src/energy/telemetry.cpp" "src/energy/CMakeFiles/neurosyn_energy.dir/telemetry.cpp.o" "gcc" "src/energy/CMakeFiles/neurosyn_energy.dir/telemetry.cpp.o.d"
+  "/root/repo/src/energy/truenorth_power.cpp" "src/energy/CMakeFiles/neurosyn_energy.dir/truenorth_power.cpp.o" "gcc" "src/energy/CMakeFiles/neurosyn_energy.dir/truenorth_power.cpp.o.d"
+  "/root/repo/src/energy/truenorth_timing.cpp" "src/energy/CMakeFiles/neurosyn_energy.dir/truenorth_timing.cpp.o" "gcc" "src/energy/CMakeFiles/neurosyn_energy.dir/truenorth_timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/neurosyn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/neurosyn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

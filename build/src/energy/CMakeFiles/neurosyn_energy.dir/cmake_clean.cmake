@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neurosyn_energy.dir/host_models.cpp.o"
+  "CMakeFiles/neurosyn_energy.dir/host_models.cpp.o.d"
+  "CMakeFiles/neurosyn_energy.dir/power_meter.cpp.o"
+  "CMakeFiles/neurosyn_energy.dir/power_meter.cpp.o.d"
+  "CMakeFiles/neurosyn_energy.dir/scaling_model.cpp.o"
+  "CMakeFiles/neurosyn_energy.dir/scaling_model.cpp.o.d"
+  "CMakeFiles/neurosyn_energy.dir/telemetry.cpp.o"
+  "CMakeFiles/neurosyn_energy.dir/telemetry.cpp.o.d"
+  "CMakeFiles/neurosyn_energy.dir/truenorth_power.cpp.o"
+  "CMakeFiles/neurosyn_energy.dir/truenorth_power.cpp.o.d"
+  "CMakeFiles/neurosyn_energy.dir/truenorth_timing.cpp.o"
+  "CMakeFiles/neurosyn_energy.dir/truenorth_timing.cpp.o.d"
+  "libneurosyn_energy.a"
+  "libneurosyn_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neurosyn_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

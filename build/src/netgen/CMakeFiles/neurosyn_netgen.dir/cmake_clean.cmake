@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neurosyn_netgen.dir/random_net.cpp.o"
+  "CMakeFiles/neurosyn_netgen.dir/random_net.cpp.o.d"
+  "CMakeFiles/neurosyn_netgen.dir/recurrent.cpp.o"
+  "CMakeFiles/neurosyn_netgen.dir/recurrent.cpp.o.d"
+  "libneurosyn_netgen.a"
+  "libneurosyn_netgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neurosyn_netgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neurosyn_noc.dir/route.cpp.o"
+  "CMakeFiles/neurosyn_noc.dir/route.cpp.o.d"
+  "CMakeFiles/neurosyn_noc.dir/traffic.cpp.o"
+  "CMakeFiles/neurosyn_noc.dir/traffic.cpp.o.d"
+  "libneurosyn_noc.a"
+  "libneurosyn_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neurosyn_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

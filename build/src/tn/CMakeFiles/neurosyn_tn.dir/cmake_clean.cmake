@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neurosyn_tn.dir/chip_sim.cpp.o"
+  "CMakeFiles/neurosyn_tn.dir/chip_sim.cpp.o.d"
+  "libneurosyn_tn.a"
+  "libneurosyn_tn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neurosyn_tn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

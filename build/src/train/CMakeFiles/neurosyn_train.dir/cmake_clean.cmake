@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neurosyn_train.dir/perceptron.cpp.o"
+  "CMakeFiles/neurosyn_train.dir/perceptron.cpp.o.d"
+  "libneurosyn_train.a"
+  "libneurosyn_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neurosyn_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

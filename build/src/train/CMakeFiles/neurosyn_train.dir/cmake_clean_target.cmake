@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libneurosyn_train.a"
+)

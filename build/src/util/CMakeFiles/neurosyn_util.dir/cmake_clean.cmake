@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neurosyn_util.dir/csv.cpp.o"
+  "CMakeFiles/neurosyn_util.dir/csv.cpp.o.d"
+  "CMakeFiles/neurosyn_util.dir/prng.cpp.o"
+  "CMakeFiles/neurosyn_util.dir/prng.cpp.o.d"
+  "CMakeFiles/neurosyn_util.dir/stats.cpp.o"
+  "CMakeFiles/neurosyn_util.dir/stats.cpp.o.d"
+  "CMakeFiles/neurosyn_util.dir/table.cpp.o"
+  "CMakeFiles/neurosyn_util.dir/table.cpp.o.d"
+  "CMakeFiles/neurosyn_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/neurosyn_util.dir/thread_pool.cpp.o.d"
+  "libneurosyn_util.a"
+  "libneurosyn_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neurosyn_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

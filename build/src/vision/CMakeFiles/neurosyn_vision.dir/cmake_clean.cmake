@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neurosyn_vision.dir/image.cpp.o"
+  "CMakeFiles/neurosyn_vision.dir/image.cpp.o.d"
+  "CMakeFiles/neurosyn_vision.dir/metrics.cpp.o"
+  "CMakeFiles/neurosyn_vision.dir/metrics.cpp.o.d"
+  "CMakeFiles/neurosyn_vision.dir/pgm.cpp.o"
+  "CMakeFiles/neurosyn_vision.dir/pgm.cpp.o.d"
+  "CMakeFiles/neurosyn_vision.dir/scene.cpp.o"
+  "CMakeFiles/neurosyn_vision.dir/scene.cpp.o.d"
+  "libneurosyn_vision.a"
+  "libneurosyn_vision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neurosyn_vision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aer.dir/test_aer.cpp.o"
+  "CMakeFiles/test_aer.dir/test_aer.cpp.o.d"
+  "test_aer"
+  "test_aer.pdb"
+  "test_aer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps.dir/test_apps.cpp.o"
+  "CMakeFiles/test_apps.dir/test_apps.cpp.o.d"
+  "test_apps"
+  "test_apps.pdb"
+  "test_apps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_corelet.dir/test_corelet.cpp.o"
+  "CMakeFiles/test_corelet.dir/test_corelet.cpp.o.d"
+  "test_corelet"
+  "test_corelet.pdb"
+  "test_corelet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_corelet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_corelet_lib2.dir/test_corelet_lib2.cpp.o"
+  "CMakeFiles/test_corelet_lib2.dir/test_corelet_lib2.cpp.o.d"
+  "test_corelet_lib2"
+  "test_corelet_lib2.pdb"
+  "test_corelet_lib2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_corelet_lib2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

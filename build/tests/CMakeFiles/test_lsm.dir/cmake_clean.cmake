@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lsm.dir/test_lsm.cpp.o"
+  "CMakeFiles/test_lsm.dir/test_lsm.cpp.o.d"
+  "test_lsm"
+  "test_lsm.pdb"
+  "test_lsm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

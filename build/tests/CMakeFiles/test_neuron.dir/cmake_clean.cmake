@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_neuron.dir/test_neuron.cpp.o"
+  "CMakeFiles/test_neuron.dir/test_neuron.cpp.o.d"
+  "test_neuron"
+  "test_neuron.pdb"
+  "test_neuron[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_neuron.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simulators.dir/test_simulators.cpp.o"
+  "CMakeFiles/test_simulators.dir/test_simulators.cpp.o.d"
+  "test_simulators"
+  "test_simulators.pdb"
+  "test_simulators[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simulators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_train.
+# This may be replaced when dependencies are built.

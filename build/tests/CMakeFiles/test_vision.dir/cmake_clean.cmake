@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vision.dir/test_vision.cpp.o"
+  "CMakeFiles/test_vision.dir/test_vision.cpp.o.d"
+  "test_vision"
+  "test_vision.pdb"
+  "test_vision[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

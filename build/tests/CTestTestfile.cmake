@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_neuron[1]_include.cmake")
+include("/root/repo/build/tests/test_core_model[1]_include.cmake")
+include("/root/repo/build/tests/test_noc[1]_include.cmake")
+include("/root/repo/build/tests/test_simulators[1]_include.cmake")
+include("/root/repo/build/tests/test_equivalence[1]_include.cmake")
+include("/root/repo/build/tests/test_corelet[1]_include.cmake")
+include("/root/repo/build/tests/test_vision[1]_include.cmake")
+include("/root/repo/build/tests/test_energy[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_corelet_lib2[1]_include.cmake")
+include("/root/repo/build/tests/test_train[1]_include.cmake")
+include("/root/repo/build/tests/test_aer[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_failure_injection[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_lsm[1]_include.cmake")
+include("/root/repo/build/tests/test_more_coverage[1]_include.cmake")

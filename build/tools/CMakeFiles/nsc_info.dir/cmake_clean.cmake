@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsc_info.dir/nsc_info.cpp.o"
+  "CMakeFiles/nsc_info.dir/nsc_info.cpp.o.d"
+  "nsc_info"
+  "nsc_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsc_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/nsc_netgen.cpp" "tools/CMakeFiles/nsc_netgen.dir/nsc_netgen.cpp.o" "gcc" "tools/CMakeFiles/nsc_netgen.dir/nsc_netgen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/energy/CMakeFiles/neurosyn_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/netgen/CMakeFiles/neurosyn_netgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/neurosyn_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/compass/CMakeFiles/neurosyn_compass.dir/DependInfo.cmake"
+  "/root/repo/build/src/vision/CMakeFiles/neurosyn_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/neurosyn_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/tn/CMakeFiles/neurosyn_tn.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/neurosyn_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/corelet/CMakeFiles/neurosyn_corelet.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/neurosyn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/neurosyn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsc_netgen.dir/nsc_netgen.cpp.o"
+  "CMakeFiles/nsc_netgen.dir/nsc_netgen.cpp.o.d"
+  "nsc_netgen"
+  "nsc_netgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsc_netgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

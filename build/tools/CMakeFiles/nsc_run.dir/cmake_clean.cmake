@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsc_run.dir/nsc_run.cpp.o"
+  "CMakeFiles/nsc_run.dir/nsc_run.cpp.o.d"
+  "nsc_run"
+  "nsc_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsc_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

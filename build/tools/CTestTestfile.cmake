@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_netgen "/root/repo/build/tools/nsc_netgen" "recurrent" "--rate" "50" "--synapses" "64" "--cores-x" "4" "--cores-y" "4" "--out" "/root/repo/build/tools/cli_test.nsc")
+set_tests_properties(cli_netgen PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_info "/root/repo/build/tools/nsc_info" "--net" "/root/repo/build/tools/cli_test.nsc" "--per-core")
+set_tests_properties(cli_info PROPERTIES  DEPENDS "cli_netgen" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_tn "/root/repo/build/tools/nsc_run" "--net" "/root/repo/build/tools/cli_test.nsc" "--ticks" "50" "--out" "/root/repo/build/tools/cli_test.aer")
+set_tests_properties(cli_run_tn PROPERTIES  DEPENDS "cli_netgen" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_compass "/root/repo/build/tools/nsc_run" "--net" "/root/repo/build/tools/cli_test.nsc" "--ticks" "50" "--backend" "compass" "--threads" "3")
+set_tests_properties(cli_run_compass PROPERTIES  DEPENDS "cli_netgen" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_verify "/root/repo/build/tools/nsc_run" "--net" "/root/repo/build/tools/cli_test.nsc" "--ticks" "50" "--threads" "2" "--verify")
+set_tests_properties(cli_verify PROPERTIES  DEPENDS "cli_netgen" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_replay "/root/repo/build/tools/nsc_run" "--net" "/root/repo/build/tools/cli_test.nsc" "--ticks" "50" "--in" "/root/repo/build/tools/cli_test.aer" "--backend" "compass" "--threads" "2")
+set_tests_properties(cli_replay PROPERTIES  DEPENDS "cli_run_tn" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;28;add_test;/root/repo/tools/CMakeLists.txt;0;")
