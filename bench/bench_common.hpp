@@ -12,6 +12,8 @@
 #include "src/energy/truenorth_power.hpp"
 #include "src/energy/truenorth_timing.hpp"
 #include "src/netgen/recurrent.hpp"
+#include "src/obs/json_report.hpp"
+#include "src/obs/obs.hpp"
 #include "src/tn/chip_sim.hpp"
 
 namespace nsc::bench {
@@ -52,6 +54,8 @@ struct CharacterizationRun {
   core::KernelStats stats;
   int cores = 0;
   double mean_hops = 0.0;
+  double wall_s = 0.0;        ///< Wall-clock seconds of the measured window.
+  obs::Registry metrics;      ///< Per-phase breakdown of the measured window.
 };
 
 inline CharacterizationRun run_characterization(const core::Geometry& geom, double rate_hz,
@@ -66,8 +70,33 @@ inline CharacterizationRun run_characterization(const core::Geometry& geom, doub
   tn::TrueNorthSimulator sim(net);
   sim.run(bench_warmup(), nullptr, nullptr);
   sim.reset_stats();
+  sim.reset_metrics();
+  const std::uint64_t t0 = obs::now_ns();
   sim.run(ticks, nullptr, nullptr);
-  return {sim.stats(), geom.total_cores(), sim.mean_hops_per_spike()};
+  const double wall_s = 1e-9 * static_cast<double>(obs::now_ns() - t0);
+  return {sim.stats(), geom.total_cores(), sim.mean_hops_per_spike(), wall_s, sim.metrics()};
+}
+
+/// Writes BENCH_<name>.json for a characterization run when NSC_BENCH_JSON=1
+/// or NSC_BENCH_JSON_DIR is set (mirrors the NSC_BENCH_CSV opt-in), so any
+/// figure bench can feed the nsc_bench_diff regression gate.
+inline void maybe_write_bench_json(const std::string& name, const CharacterizationRun& run,
+                                   core::Tick ticks) {
+  const char* on = std::getenv("NSC_BENCH_JSON");
+  const char* dir = std::getenv("NSC_BENCH_JSON_DIR");
+  if ((on == nullptr || on[0] == '\0' || on[0] == '0') && (dir == nullptr || dir[0] == '\0')) {
+    return;
+  }
+  obs::BenchReport report;
+  report.name = name;
+  report.threads = 1;  // The TrueNorth expression is single-threaded.
+  report.ticks = static_cast<std::uint64_t>(ticks);
+  report.wall_s = run.wall_s;
+  report.stats = run.stats;
+  report.metrics = run.metrics;
+  const std::string path = obs::default_report_path(name);
+  obs::write_bench_report(path, report);
+  std::printf("wrote metrics report to %s\n", path.c_str());
 }
 
 inline void print_banner(const char* title, const core::Geometry& g, core::Tick ticks) {

@@ -81,5 +81,7 @@ int main() {
   std::printf("  analytic %.2f mW, reconstructed %.2f mW (%.2f%% error; paper calibration 3%%)\n",
               1e3 * analytic, 1e3 * reading.rms_power_w,
               100.0 * std::abs(reading.rms_power_w - analytic) / analytic);
+
+  bench::maybe_write_bench_json("headline_gsops", main_run, ticks);
   return 0;
 }

@@ -1,12 +1,24 @@
 // Micro benchmarks of the kernel's hot paths and the ablations DESIGN.md
 // calls out: event-driven vs dense synapse phase, crossbar row iteration,
 // PRNG variants, routing, partitioning, and message aggregation.
+//
+// In addition to the google-benchmark suite, main() runs one instrumented
+// Compass workload and writes BENCH_micro_kernel.json (per-phase wall-time
+// breakdown, throughput, counters) — the machine-readable report CI's bench
+// smoke job diffs against bench/baselines/ with tools/nsc_bench_diff.
+// Knobs: NSC_BENCH_TICKS (default 200), NSC_BENCH_THREADS (default 4),
+// NSC_BENCH_JSON_DIR (report directory, default cwd).
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
 
 #include "src/compass/simulator.hpp"
 #include "src/core/reference_sim.hpp"
+#include "src/core/spike_sink.hpp"
 #include "src/netgen/recurrent.hpp"
 #include "src/noc/route.hpp"
+#include "src/obs/json_report.hpp"
 #include "src/tn/chip_sim.hpp"
 #include "src/util/bitrow.hpp"
 #include "src/util/prng.hpp"
@@ -130,4 +142,50 @@ void BM_PartitionBalanced(benchmark::State& state) {
 }
 BENCHMARK(BM_PartitionBalanced)->Arg(4)->Arg(32);
 
+long env_or(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' ? std::atol(v) : fallback;
+}
+
+/// Instrumented end-to-end Compass run; returns the metrics report CI gates
+/// on (see file header).
+nsc::obs::BenchReport instrumented_compass_run() {
+  const auto ticks = static_cast<nsc::core::Tick>(env_or("NSC_BENCH_TICKS", 200));
+  const int threads = static_cast<int>(env_or("NSC_BENCH_THREADS", 4));
+  const Network net = small_recurrent(50, 128);
+  nsc::compass::Simulator sim(net, {.threads = threads});
+  nsc::core::VectorSink sink;
+  sim.run(40, nullptr, &sink);  // Warm up to the network's equilibrium rate.
+  sim.reset_stats();
+  sim.reset_metrics();
+
+  const std::uint64_t t0 = nsc::obs::now_ns();
+  sim.run(ticks, nullptr, &sink);
+  const std::uint64_t wall_ns = nsc::obs::now_ns() - t0;
+
+  nsc::obs::BenchReport report;
+  report.name = "micro_kernel";
+  report.threads = threads;
+  report.ticks = static_cast<std::uint64_t>(ticks);
+  report.wall_s = 1e-9 * static_cast<double>(wall_ns);
+  report.load_imbalance = sim.load_imbalance();
+  report.stats = sim.stats();
+  report.metrics = sim.metrics();
+  return report;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  const nsc::obs::BenchReport report = instrumented_compass_run();
+  const std::string path = nsc::obs::default_report_path(report.name);
+  nsc::obs::write_bench_report(path, report);
+  std::printf("wrote %s: %.0f ticks/s, %.3g SOPS/s, %d threads, imbalance %.2f\n", path.c_str(),
+              report.ticks_per_s(), report.sops_per_s(), report.threads, report.load_imbalance);
+  return 0;
+}

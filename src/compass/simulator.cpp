@@ -23,7 +23,14 @@ Simulator::Simulator(const core::Network& net, Config cfg)
       target_ok_(static_cast<std::size_t>(net.geom.total_cores()) * kCoreSize, 0),
       outbox_(static_cast<std::size_t>(cfg.threads) * static_cast<std::size_t>(cfg.threads)),
       spike_buf_(static_cast<std::size_t>(cfg.threads)),
-      local_(static_cast<std::size_t>(cfg.threads)) {
+      local_(static_cast<std::size_t>(cfg.threads)),
+      part_compute_ns_(static_cast<std::size_t>(cfg.threads), 0) {
+  // Resolve metric slots once; hot paths only touch the returned references.
+  ph_compute_ = &obs_.phase("compute");
+  ph_exchange_ = &obs_.phase("exchange");
+  ph_commit_ = &obs_.phase("commit");
+  ctr_messages_ = &obs_.counter("messages");
+  ctr_message_bytes_ = &obs_.counter("message_bytes");
   const auto ncores = static_cast<CoreId>(net.geom.total_cores());
   for (CoreId c = 0; c < ncores; ++c) {
     const core::CoreSpec& spec = net.core(c);
@@ -52,7 +59,26 @@ void Simulator::reset_stats() {
   messages_ = 0;
 }
 
+void Simulator::reset_metrics() noexcept {
+  obs_.reset();
+  std::fill(part_compute_ns_.begin(), part_compute_ns_.end(), 0);
+}
+
+double Simulator::load_imbalance() const noexcept {
+  std::uint64_t max = 0, sum = 0;
+  for (const std::uint64_t ns : part_compute_ns_) {
+    max = std::max(max, ns);
+    sum += ns;
+  }
+  if (sum == 0) return 0.0;
+  const double mean =
+      static_cast<double>(sum) / static_cast<double>(part_compute_ns_.size());
+  return static_cast<double>(max) / mean;
+}
+
 void Simulator::phase_compute(int p, Tick t, const core::InputSchedule* inputs, bool record) {
+  const bool obs_on = obs::kEnabled && cfg_.collect_phase_metrics;
+  const std::uint64_t t0 = obs_on ? obs::now_ns() : 0;
   const CoreRange range = parts_[static_cast<std::size_t>(p)];
   const int P = cfg_.threads;
   LocalStats& ls = local_[static_cast<std::size_t>(p)];
@@ -146,7 +172,9 @@ void Simulator::phase_compute(int p, Tick t, const core::InputSchedule* inputs, 
                               static_cast<std::size_t>(dst)];
     if (box.empty()) continue;
     ls.messages += cfg_.aggregate_messages ? 1 : box.size();
+    ls.message_bytes += box.size() * sizeof(Delivery);
   }
+  if (obs_on) ls.compute_ns += obs::now_ns() - t0;
 }
 
 void Simulator::phase_exchange(int p) {
@@ -163,17 +191,26 @@ void Simulator::phase_exchange(int p) {
 
 void Simulator::run(Tick nticks, const core::InputSchedule* inputs, core::SpikeSink* sink) {
   const bool record = sink != nullptr;
+  const bool obs_on = obs::kEnabled && cfg_.collect_phase_metrics;
   for (Tick i = 0; i < nticks; ++i) {
     const Tick t = now_;
-    // Phase 1+2 (synapse + neuron), all processes in parallel; run_all joins,
-    // which is the first of the kernel's two per-tick synchronization steps.
-    pool_->run_all([&](int p) { phase_compute(p, t, inputs, record); });
-    // Exchange: every process drains the outboxes addressed to it. The join
-    // below is the second synchronization step.
-    pool_->run_all([&](int p) { phase_exchange(p); });
+    {
+      // Phase 1+2 (synapse + neuron), all processes in parallel; run_all
+      // joins, which is the first of the kernel's two per-tick
+      // synchronization steps.
+      obs::ScopedTimer timer(obs_on ? ph_compute_ : nullptr);
+      pool_->run_all([&](int p) { phase_compute(p, t, inputs, record); });
+    }
+    {
+      // Exchange: every process drains the outboxes addressed to it. The
+      // join is the second synchronization step.
+      obs::ScopedTimer timer(obs_on ? ph_exchange_ : nullptr);
+      pool_->run_all([&](int p) { phase_exchange(p); });
+    }
     if (record) {
-      // Partitions are contiguous ascending core ranges, so concatenation is
-      // the canonical (core, neuron) order.
+      // Commit: partitions are contiguous ascending core ranges, so
+      // concatenation is the canonical (core, neuron) order.
+      obs::ScopedTimer timer(obs_on ? ph_commit_ : nullptr);
       for (auto& buf : spike_buf_) {
         for (const core::Spike& s : buf) sink->on_spike(s.tick, s.core, s.neuron);
         buf.clear();
@@ -184,13 +221,17 @@ void Simulator::run(Tick nticks, const core::InputSchedule* inputs, core::SpikeS
     ++now_;
   }
   // Fold per-process counters into the aggregate view.
-  for (auto& ls : local_) {
+  for (std::size_t p = 0; p < local_.size(); ++p) {
+    LocalStats& ls = local_[p];
     stats_.spikes += ls.spikes;
     stats_.sops += ls.sops;
     stats_.axon_events += ls.axon_events;
     stats_.neuron_updates += ls.neuron_updates;
     stats_.dropped_spikes += ls.dropped;
     messages_ += ls.messages;
+    *ctr_messages_ += ls.messages;
+    *ctr_message_bytes_ += ls.message_bytes;
+    part_compute_ns_[p] += ls.compute_ns;
     ls = LocalStats{};
   }
 }

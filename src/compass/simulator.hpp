@@ -29,6 +29,7 @@
 #include "src/compass/partition.hpp"
 #include "src/core/input_schedule.hpp"
 #include "src/core/network.hpp"
+#include "src/obs/obs.hpp"
 #include "src/util/barrier.hpp"
 #include "src/util/bitrow.hpp"
 #include "src/util/prng.hpp"
@@ -39,6 +40,10 @@ namespace nsc::compass {
 struct Config {
   int threads = 1;                 ///< Simulated processes (1..hardware limit).
   bool aggregate_messages = true;  ///< Ablation: false = one message per spike.
+  /// Runtime toggle for the per-phase wall-time metrics (a handful of
+  /// monotonic-clock reads per tick; spike output is identical either way).
+  /// NSC_OBS=0 compiles the instrumentation out regardless of this flag.
+  bool collect_phase_metrics = true;
 };
 
 class Simulator final : public core::Simulator {
@@ -62,6 +67,25 @@ class Simulator final : public core::Simulator {
   /// Inter-process messages sent so far (aggregated mode counts one per
   /// non-empty (src, dst) pair per tick; per-spike mode counts every spike).
   [[nodiscard]] std::uint64_t messages_sent() const noexcept { return messages_; }
+
+  /// Per-phase wall-time metrics and message counters accumulated so far.
+  /// Phases: "compute" (synapse+neuron, first barrier), "exchange" (outbox
+  /// drain, second barrier), "commit" (canonical-order spike emission).
+  /// Counters: "messages", "message_bytes". Empty accumulators when
+  /// collect_phase_metrics is off or NSC_OBS=0.
+  [[nodiscard]] const obs::Registry& metrics() const noexcept { return obs_; }
+
+  /// Wall nanoseconds each partition spent in its compute phase.
+  [[nodiscard]] const std::vector<std::uint64_t>& partition_compute_ns() const noexcept {
+    return part_compute_ns_;
+  }
+
+  /// Load imbalance across partitions: max / mean per-partition compute
+  /// time (1.0 = perfectly balanced; 0.0 when no timings were collected).
+  [[nodiscard]] double load_imbalance() const noexcept;
+
+  /// Zeroes phase timers, obs counters and per-partition compute times.
+  void reset_metrics() noexcept;
 
  private:
   /// A spike delivery bound for a remote partition.
@@ -102,10 +126,21 @@ class Simulator final : public core::Simulator {
   /// Per-partition stats, merged after every run() to avoid false sharing.
   struct alignas(64) LocalStats {
     std::uint64_t spikes = 0, sops = 0, axon_events = 0, neuron_updates = 0, dropped = 0;
-    std::uint64_t messages = 0;
+    std::uint64_t messages = 0, message_bytes = 0;
+    std::uint64_t compute_ns = 0;  ///< Wall time this partition spent in phase_compute.
   };
   std::vector<LocalStats> local_;
   std::uint64_t messages_ = 0;
+
+  /// Phase timers/counters; accumulator references resolved once at
+  /// construction (Registry::reset keeps them valid).
+  obs::Registry obs_;
+  obs::PhaseAccum* ph_compute_ = nullptr;
+  obs::PhaseAccum* ph_exchange_ = nullptr;
+  obs::PhaseAccum* ph_commit_ = nullptr;
+  std::uint64_t* ctr_messages_ = nullptr;
+  std::uint64_t* ctr_message_bytes_ = nullptr;
+  std::vector<std::uint64_t> part_compute_ns_;
 };
 
 }  // namespace nsc::compass

@@ -1,0 +1,93 @@
+// Minimal JSON tree: build, serialize, parse. Covers exactly what the
+// metrics reports need — objects with ordered keys, arrays, finite numbers,
+// strings with standard escapes, booleans, null. No external dependency;
+// the comparator tool (nsc_bench_diff) parses with this same code, so every
+// report the emitter writes is round-trippable by construction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace nsc::obs {
+
+class JsonValue {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() = default;  ///< null
+  JsonValue(bool b) : kind_(Kind::Bool), bool_(b) {}
+  JsonValue(double v) : kind_(Kind::Number), num_(v) {}
+  JsonValue(std::int64_t v)
+      : kind_(Kind::Number), num_(static_cast<double>(v)), int_(v), is_int_(true) {}
+  JsonValue(std::uint64_t v)
+      : kind_(Kind::Number), num_(static_cast<double>(v)),
+        int_(static_cast<std::int64_t>(v)), is_int_(true) {}
+  JsonValue(int v) : JsonValue(static_cast<std::int64_t>(v)) {}
+  JsonValue(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+  JsonValue(const char* s) : kind_(Kind::String), str_(s) {}
+
+  [[nodiscard]] static JsonValue object() {
+    JsonValue v;
+    v.kind_ = Kind::Object;
+    return v;
+  }
+  [[nodiscard]] static JsonValue array() {
+    JsonValue v;
+    v.kind_ = Kind::Array;
+    return v;
+  }
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_object() const noexcept { return kind_ == Kind::Object; }
+  [[nodiscard]] bool is_number() const noexcept { return kind_ == Kind::Number; }
+  [[nodiscard]] bool as_bool() const noexcept { return bool_; }
+  [[nodiscard]] double as_double() const noexcept { return num_; }
+  [[nodiscard]] std::int64_t as_int() const noexcept {
+    return is_int_ ? int_ : static_cast<std::int64_t>(num_);
+  }
+  [[nodiscard]] const std::string& as_string() const noexcept { return str_; }
+  [[nodiscard]] const std::vector<JsonValue>& items() const noexcept { return arr_; }
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>& members() const noexcept {
+    return obj_;
+  }
+
+  /// Object: sets `key` (replacing an existing entry, else appending).
+  JsonValue& set(std::string key, JsonValue value);
+  /// Object: member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const noexcept;
+  /// Nested lookup along a '.'-separated path ("phases.compute.total_ns").
+  [[nodiscard]] const JsonValue* find_path(std::string_view path) const noexcept;
+  /// Array: appends an element.
+  void push_back(JsonValue value);
+
+  /// Serializes with `indent` spaces per level (0 = compact single line).
+  /// Non-finite numbers serialize as 0 so the output is always valid JSON.
+  [[nodiscard]] std::string to_string(int indent = 2) const;
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::int64_t int_ = 0;
+  bool is_int_ = false;
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  std::vector<std::pair<std::string, JsonValue>> obj_;
+};
+
+/// Escapes `s` for embedding in a JSON string literal (without quotes).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Parses a complete JSON document; throws std::runtime_error (with byte
+/// offset) on malformed input or trailing garbage.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
+
+/// Loads and parses a JSON file; throws std::runtime_error on I/O failure.
+[[nodiscard]] JsonValue load_json_file(const std::string& path);
+
+}  // namespace nsc::obs

@@ -1,0 +1,119 @@
+#include "src/obs/json_report.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+
+#ifndef NSC_GIT_SHA
+#define NSC_GIT_SHA "unknown"
+#endif
+
+namespace nsc::obs {
+
+std::string build_git_sha() {
+  const char* env = std::getenv("NSC_GIT_SHA");
+  if (env != nullptr && env[0] != '\0') return env;
+  return NSC_GIT_SHA;
+}
+
+std::string default_report_path(const std::string& name) {
+  const char* dir = std::getenv("NSC_BENCH_JSON_DIR");
+  const std::string file = "BENCH_" + name + ".json";
+  if (dir != nullptr && dir[0] != '\0') return std::string(dir) + "/" + file;
+  return file;
+}
+
+JsonValue report_to_json(const BenchReport& report) {
+  JsonValue root = JsonValue::object();
+  root.set("schema", "nsc-bench-v1");
+  root.set("name", report.name);
+  root.set("git_sha", report.git_sha.empty() ? build_git_sha() : report.git_sha);
+  root.set("threads", report.threads);
+  root.set("ticks", report.ticks);
+  root.set("wall_s", report.wall_s);
+  root.set("ticks_per_s", report.ticks_per_s());
+  root.set("sops_per_s", report.sops_per_s());
+  root.set("load_imbalance", report.load_imbalance);
+
+  JsonValue stats = JsonValue::object();
+  stats.set("spikes", report.stats.spikes);
+  stats.set("sops", report.stats.sops);
+  stats.set("axon_events", report.stats.axon_events);
+  stats.set("neuron_updates", report.stats.neuron_updates);
+  stats.set("dropped_spikes", report.stats.dropped_spikes);
+  stats.set("hop_sum", report.stats.hop_sum);
+  stats.set("interchip_crossings", report.stats.interchip_crossings);
+  root.set("stats", std::move(stats));
+
+  JsonValue phases = JsonValue::object();
+  for (const auto& [name, acc] : report.metrics.phases()) {
+    JsonValue p = JsonValue::object();
+    p.set("calls", acc.calls);
+    p.set("total_ns", acc.total_ns);
+    p.set("min_ns", acc.min_ns);
+    p.set("max_ns", acc.max_ns);
+    p.set("mean_ns", acc.mean_ns());
+    phases.set(name, std::move(p));
+  }
+  root.set("phases", std::move(phases));
+
+  JsonValue counters = JsonValue::object();
+  for (const auto& [name, v] : report.metrics.counters()) {
+    counters.set(name, v);
+  }
+  root.set("counters", std::move(counters));
+  return root;
+}
+
+void write_bench_report(const std::string& path, const BenchReport& report) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  out << report_to_json(report).to_string() << '\n';
+  if (!out) throw std::runtime_error("short write to " + path);
+}
+
+namespace {
+
+double number_at(const JsonValue& doc, std::string_view path, bool* ok) {
+  const JsonValue* v = doc.find_path(path);
+  *ok = v != nullptr && v->is_number();
+  return *ok ? v->as_double() : 0.0;
+}
+
+/// Appends the comparison of one metric present in both documents.
+void compare_metric(const JsonValue& base, const JsonValue& cand, const std::string& path,
+                    double threshold, bool higher_is_better, DiffResult& out) {
+  bool ok_b = false, ok_c = false;
+  const double b = number_at(base, path, &ok_b);
+  const double c = number_at(cand, path, &ok_c);
+  if (!ok_b || !ok_c || b <= 0.0) return;
+  DiffEntry e;
+  e.metric = path;
+  e.baseline = b;
+  e.candidate = c;
+  e.ratio = c / b;
+  e.regression = higher_is_better ? (c * threshold < b) : (c > b * threshold);
+  out.regressed = out.regressed || e.regression;
+  out.entries.push_back(std::move(e));
+}
+
+}  // namespace
+
+DiffResult diff_reports(const JsonValue& baseline, const JsonValue& candidate, double threshold,
+                        bool compare_phases) {
+  if (threshold < 1.0) throw std::runtime_error("diff threshold must be >= 1");
+  DiffResult out;
+  compare_metric(baseline, candidate, "ticks_per_s", threshold, /*higher_is_better=*/true, out);
+  compare_metric(baseline, candidate, "sops_per_s", threshold, /*higher_is_better=*/true, out);
+  if (!compare_phases) return out;
+  const JsonValue* phases = baseline.find("phases");
+  if (phases == nullptr || !phases->is_object()) return out;
+  for (const auto& [name, acc] : phases->members()) {
+    (void)acc;
+    compare_metric(baseline, candidate, "phases." + name + ".mean_ns", threshold,
+                   /*higher_is_better=*/false, out);
+  }
+  return out;
+}
+
+}  // namespace nsc::obs

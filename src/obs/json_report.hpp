@@ -1,0 +1,76 @@
+// JSON metrics reports ("nsc-bench-v1"): the machine-readable counterpart of
+// the benches' ASCII tables (mirrors util/csv's role for plotting). Every
+// bench target and tools/nsc_run can emit a BENCH_<name>.json with
+// throughput, kernel counters and the per-phase wall-time breakdown;
+// tools/nsc_bench_diff compares two such files and gates CI on regressions.
+// Schema documented in docs/OBSERVABILITY.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/network.hpp"
+#include "src/obs/json.hpp"
+#include "src/obs/obs.hpp"
+
+namespace nsc::obs {
+
+/// One benchmark run, ready for serialization.
+struct BenchReport {
+  std::string name;             ///< Workload name (becomes BENCH_<name>.json).
+  std::string git_sha;          ///< Defaults to build_git_sha() when empty.
+  int threads = 1;              ///< Worker/process count of the run.
+  std::uint64_t ticks = 0;      ///< Simulated ticks measured.
+  double wall_s = 0.0;          ///< Wall-clock seconds of the measured run.
+  double load_imbalance = 0.0;  ///< Max/mean per-partition compute time (0 = n/a).
+  core::KernelStats stats;      ///< Kernel counters of the measured run.
+  Registry metrics;             ///< Per-phase timings + named counters.
+
+  [[nodiscard]] double ticks_per_s() const noexcept {
+    return wall_s > 0.0 ? static_cast<double>(ticks) / wall_s : 0.0;
+  }
+  [[nodiscard]] double sops_per_s() const noexcept {
+    return wall_s > 0.0 ? static_cast<double>(stats.sops) / wall_s : 0.0;
+  }
+};
+
+/// Git SHA baked in at configure time (NSC_GIT_SHA), overridable with the
+/// NSC_GIT_SHA environment variable; "unknown" when neither is set.
+[[nodiscard]] std::string build_git_sha();
+
+/// `BENCH_<name>.json`, placed in $NSC_BENCH_JSON_DIR when set (created by
+/// the caller), else the current directory.
+[[nodiscard]] std::string default_report_path(const std::string& name);
+
+/// Serializes the report (schema "nsc-bench-v1", stable key order).
+[[nodiscard]] JsonValue report_to_json(const BenchReport& report);
+
+/// Writes the report to `path`; throws std::runtime_error on I/O failure.
+void write_bench_report(const std::string& path, const BenchReport& report);
+
+/// One compared metric of a report diff.
+struct DiffEntry {
+  std::string metric;
+  double baseline = 0.0;
+  double candidate = 0.0;
+  double ratio = 0.0;  ///< candidate / baseline.
+  bool regression = false;
+};
+
+/// Result of comparing two reports.
+struct DiffResult {
+  std::vector<DiffEntry> entries;
+  bool regressed = false;
+};
+
+/// Compares two parsed "nsc-bench-v1" documents. Throughput metrics
+/// (ticks_per_s, sops_per_s) regress when candidate < baseline / threshold;
+/// with `compare_phases`, per-phase mean wall time per call regresses when
+/// candidate > baseline * threshold. Metrics missing on either side (or with
+/// a zero baseline) are skipped, so reports from different schema revisions
+/// still diff. `threshold` must be >= 1.
+[[nodiscard]] DiffResult diff_reports(const JsonValue& baseline, const JsonValue& candidate,
+                                      double threshold, bool compare_phases = false);
+
+}  // namespace nsc::obs

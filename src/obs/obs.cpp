@@ -1,0 +1,67 @@
+#include "src/obs/obs.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace nsc::obs {
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+PhaseAccum& Registry::phase(std::string_view name) {
+  for (auto& [n, acc] : phases_) {
+    if (n == name) return acc;
+  }
+  phases_.emplace_back(std::string(name), PhaseAccum{});
+  return phases_.back().second;
+}
+
+std::uint64_t& Registry::counter(std::string_view name) {
+  for (auto& [n, v] : counters_) {
+    if (n == name) return v;
+  }
+  counters_.emplace_back(std::string(name), 0);
+  return counters_.back().second;
+}
+
+const PhaseAccum* Registry::find_phase(std::string_view name) const noexcept {
+  for (const auto& [n, acc] : phases_) {
+    if (n == name) return &acc;
+  }
+  return nullptr;
+}
+
+std::uint64_t Registry::counter_value(std::string_view name) const noexcept {
+  for (const auto& [n, v] : counters_) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+void Registry::merge(const Registry& other) {
+  for (const auto& [name, theirs] : other.phases_) {
+    PhaseAccum& mine = phase(name);
+    if (theirs.calls == 0) continue;
+    if (mine.calls == 0) {
+      mine = theirs;
+      continue;
+    }
+    mine.min_ns = std::min(mine.min_ns, theirs.min_ns);
+    mine.max_ns = std::max(mine.max_ns, theirs.max_ns);
+    mine.total_ns += theirs.total_ns;
+    mine.calls += theirs.calls;
+  }
+  for (const auto& [name, v] : other.counters_) {
+    counter(name) += v;
+  }
+}
+
+void Registry::reset() noexcept {
+  for (auto& [n, acc] : phases_) acc = PhaseAccum{};
+  for (auto& [n, v] : counters_) v = 0;
+}
+
+}  // namespace nsc::obs

@@ -21,6 +21,10 @@ TrueNorthSimulator::TrueNorthSimulator(const core::Network& net, SimOptions opts
       enabled_count_(static_cast<std::size_t>(net.geom.total_cores()), 0),
       route_(static_cast<std::size_t>(net.geom.total_cores()) * kCoreSize),
       target_ok_(static_cast<std::size_t>(net.geom.total_cores()) * kCoreSize, 0) {
+  // Resolve metric slots once; the per-tick path only touches references.
+  ph_inject_ = &obs_.phase("inject");
+  ph_compute_ = &obs_.phase("compute");
+  ph_commit_ = &obs_.phase("commit");
   const auto ncores = static_cast<CoreId>(net.geom.total_cores());
   for (CoreId c = 0; c < ncores; ++c) {
     if (net.core(c).disabled) faults_.mark(c);
@@ -57,12 +61,15 @@ TrueNorthSimulator::TrueNorthSimulator(const core::Network& net, SimOptions opts
 void TrueNorthSimulator::step(Tick t, const core::InputSchedule* inputs, core::SpikeSink* sink) {
   const auto ncores = static_cast<CoreId>(net_.geom.total_cores());
   const bool multichip = net_.geom.chips() > 1 && opts_.track_interchip_traffic;
+  const bool obs_on = obs::kEnabled && opts_.collect_phase_metrics;
+  const std::uint64_t t0 = obs_on ? obs::now_ns() : 0;
 
   if (inputs != nullptr) {
     for (const core::InputSpike& s : inputs->at(t)) {
       if (s.core < ncores && !net_.core(s.core).disabled) slot(s.core, t).set(s.axon);
     }
   }
+  const std::uint64_t t1 = obs_on ? obs::now_ns() : 0;
 
   std::uint64_t max_sops = 0, max_axons = 0, max_spikes = 0;
   // Accumulator for one core's synaptic input; lives outside the loop so the
@@ -154,8 +161,15 @@ void TrueNorthSimulator::step(Tick t, const core::InputSchedule* inputs, core::S
   stats_.sum_max_core_axon_events += max_axons;
   stats_.sum_max_core_spikes += max_spikes;
   ++stats_.ticks;
+  const std::uint64_t t2 = obs_on ? obs::now_ns() : 0;
   if (multichip) traffic_.end_tick();
   if (sink != nullptr) sink->on_tick_end(t);
+  if (obs_on) {
+    const std::uint64_t t3 = obs::now_ns();
+    ph_inject_->add(t1 - t0);
+    ph_compute_->add(t2 - t1);
+    ph_commit_->add(t3 - t2);
+  }
 }
 
 void TrueNorthSimulator::run(Tick nticks, const core::InputSchedule* inputs,

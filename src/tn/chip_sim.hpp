@@ -22,6 +22,7 @@
 #include "src/core/network.hpp"
 #include "src/noc/route.hpp"
 #include "src/noc/traffic.hpp"
+#include "src/obs/obs.hpp"
 #include "src/util/bitrow.hpp"
 #include "src/util/prng.hpp"
 
@@ -29,6 +30,10 @@ namespace nsc::tn {
 
 struct SimOptions {
   bool track_interchip_traffic = true;  ///< Record merge–split link loads.
+  /// Runtime toggle for the per-phase wall-time metrics (four monotonic
+  /// clock reads per tick; spike output is identical either way). NSC_OBS=0
+  /// compiles the instrumentation out regardless of this flag.
+  bool collect_phase_metrics = true;
 };
 
 class TrueNorthSimulator final : public core::Simulator {
@@ -53,6 +58,16 @@ class TrueNorthSimulator final : public core::Simulator {
 
   /// Inter-chip merge–split traffic (meaningful when geometry has >1 chip).
   [[nodiscard]] const noc::InterChipTraffic& traffic() const noexcept { return traffic_; }
+
+  /// Per-phase wall-time metrics accumulated so far. Phases: "inject"
+  /// (external input application), "compute" (the event-driven core array
+  /// walk: synapse + neuron + routing), "commit" (traffic epoch close and
+  /// sink tick boundary). Empty accumulators when collect_phase_metrics is
+  /// off or NSC_OBS=0.
+  [[nodiscard]] const obs::Registry& metrics() const noexcept { return obs_; }
+
+  /// Zeroes the phase timers.
+  void reset_metrics() noexcept { obs_.reset(); }
 
   /// Mean mesh hops per routed spike so far.
   [[nodiscard]] double mean_hops_per_spike() const {
@@ -84,6 +99,13 @@ class TrueNorthSimulator final : public core::Simulator {
   core::KernelStats stats_;
   noc::FaultSet faults_;
   noc::InterChipTraffic traffic_;
+
+  /// Phase timers; accumulator references resolved once at construction
+  /// (Registry::reset keeps them valid).
+  obs::Registry obs_;
+  obs::PhaseAccum* ph_inject_ = nullptr;
+  obs::PhaseAccum* ph_compute_ = nullptr;
+  obs::PhaseAccum* ph_commit_ = nullptr;
 
   std::vector<std::int32_t> v_;              ///< Membrane potentials, core-major.
   std::vector<util::BitRow256> delay_;       ///< Axon delay buffers, 16 slots/core.

@@ -1,0 +1,350 @@
+// Observability subsystem: timer/counter registry, JSON tree (build,
+// serialize, parse round-trip), bench reports (schema, stable key set,
+// zero-tick edge case), report diffing (regression gating), and the
+// instrumentation-does-not-perturb-the-kernel invariant (metrics on vs off
+// must be spike-for-spike identical).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <set>
+#include <string>
+
+#include "src/compass/simulator.hpp"
+#include "src/core/spike_sink.hpp"
+#include "src/netgen/recurrent.hpp"
+#include "src/obs/json.hpp"
+#include "src/obs/json_report.hpp"
+#include "src/obs/obs.hpp"
+#include "src/tn/chip_sim.hpp"
+
+namespace nsc {
+namespace {
+
+using core::Geometry;
+using core::Network;
+using core::VectorSink;
+using obs::BenchReport;
+using obs::JsonValue;
+using obs::PhaseAccum;
+using obs::Registry;
+
+// --- PhaseAccum / Registry ---
+
+TEST(PhaseAccum, TracksCallsTotalsAndEnvelope) {
+  PhaseAccum acc;
+  EXPECT_EQ(acc.calls, 0u);
+  EXPECT_DOUBLE_EQ(acc.mean_ns(), 0.0);
+  acc.add(100);
+  acc.add(50);
+  acc.add(200);
+  EXPECT_EQ(acc.calls, 3u);
+  EXPECT_EQ(acc.total_ns, 350u);
+  EXPECT_EQ(acc.min_ns, 50u);
+  EXPECT_EQ(acc.max_ns, 200u);
+  EXPECT_NEAR(acc.mean_ns(), 350.0 / 3.0, 1e-9);
+}
+
+TEST(Registry, PreservesInsertionOrderAndIdentity) {
+  Registry reg;
+  PhaseAccum& compute = reg.phase("compute");
+  PhaseAccum& exchange = reg.phase("exchange");
+  EXPECT_EQ(&reg.phase("compute"), &compute);
+  EXPECT_NE(&compute, &exchange);
+  ASSERT_EQ(reg.phases().size(), 2u);
+  EXPECT_EQ(reg.phases()[0].first, "compute");
+  EXPECT_EQ(reg.phases()[1].first, "exchange");
+  EXPECT_EQ(reg.find_phase("nope"), nullptr);
+
+  reg.counter("messages") += 7;
+  reg.counter("messages") += 3;
+  EXPECT_EQ(reg.counter_value("messages"), 10u);
+  EXPECT_EQ(reg.counter_value("absent"), 0u);
+}
+
+TEST(Registry, ResetZeroesInPlaceKeepingReferencesValid) {
+  Registry reg;
+  PhaseAccum& acc = reg.phase("compute");
+  std::uint64_t& ctr = reg.counter("messages");
+  acc.add(42);
+  ctr = 9;
+  reg.reset();
+  EXPECT_EQ(reg.phases().size(), 1u);
+  EXPECT_EQ(acc.calls, 0u);
+  EXPECT_EQ(acc.total_ns, 0u);
+  EXPECT_EQ(ctr, 0u);
+  // The same reference keeps accumulating after reset.
+  acc.add(5);
+  EXPECT_EQ(reg.find_phase("compute")->total_ns, 5u);
+}
+
+TEST(Registry, MergeFoldsPhasesAndCounters) {
+  Registry a, b;
+  a.phase("compute").add(100);
+  b.phase("compute").add(10);
+  b.phase("commit").add(7);
+  a.counter("messages") = 4;
+  b.counter("messages") = 6;
+  a.merge(b);
+  const PhaseAccum* compute = a.find_phase("compute");
+  ASSERT_NE(compute, nullptr);
+  EXPECT_EQ(compute->calls, 2u);
+  EXPECT_EQ(compute->total_ns, 110u);
+  EXPECT_EQ(compute->min_ns, 10u);
+  EXPECT_EQ(compute->max_ns, 100u);
+  EXPECT_EQ(a.find_phase("commit")->total_ns, 7u);
+  EXPECT_EQ(a.counter_value("messages"), 10u);
+}
+
+TEST(ScopedTimer, AccumulatesWhenEnabledAndIgnoresNullptr) {
+  PhaseAccum acc;
+  { obs::ScopedTimer t(&acc); }
+  { obs::ScopedTimer t(nullptr); }
+  if (obs::kEnabled) {
+    EXPECT_EQ(acc.calls, 1u);
+  } else {
+    EXPECT_EQ(acc.calls, 0u);
+  }
+}
+
+TEST(Clock, MonotonicNs) {
+  const std::uint64_t a = obs::now_ns();
+  const std::uint64_t b = obs::now_ns();
+  EXPECT_GE(b, a);
+}
+
+// --- JSON tree ---
+
+TEST(Json, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(obs::json_escape("a\"b\\c\n\t"), "a\\\"b\\\\c\\n\\t");
+  EXPECT_EQ(obs::json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, SerializeParseRoundTrip) {
+  JsonValue root = JsonValue::object();
+  root.set("name", "micro \"kernel\"");
+  root.set("count", std::int64_t{1} << 52);  // Large integer, exactly representable.
+  root.set("ratio", 0.125);
+  root.set("flag", true);
+  root.set("nothing", JsonValue());
+  JsonValue arr = JsonValue::array();
+  arr.push_back(1);
+  arr.push_back(-2);
+  arr.push_back(2.5);
+  root.set("xs", std::move(arr));
+
+  for (const int indent : {0, 2}) {
+    const JsonValue back = obs::parse_json(root.to_string(indent));
+    EXPECT_EQ(back.find("name")->as_string(), "micro \"kernel\"");
+    EXPECT_EQ(back.find("count")->as_int(), std::int64_t{1} << 52);
+    EXPECT_DOUBLE_EQ(back.find("ratio")->as_double(), 0.125);
+    EXPECT_TRUE(back.find("flag")->as_bool());
+    EXPECT_EQ(back.find("nothing")->kind(), JsonValue::Kind::Null);
+    ASSERT_EQ(back.find("xs")->items().size(), 3u);
+    EXPECT_EQ(back.find("xs")->items()[1].as_int(), -2);
+  }
+}
+
+TEST(Json, ParserRejectsMalformedInput) {
+  EXPECT_THROW(obs::parse_json(""), std::runtime_error);
+  EXPECT_THROW(obs::parse_json("{"), std::runtime_error);
+  EXPECT_THROW(obs::parse_json("{\"a\": }"), std::runtime_error);
+  EXPECT_THROW(obs::parse_json("[1, 2,]"), std::runtime_error);
+  EXPECT_THROW(obs::parse_json("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(obs::parse_json("123 456"), std::runtime_error);
+  EXPECT_THROW(obs::parse_json("nul"), std::runtime_error);
+}
+
+TEST(Json, FindPathWalksNestedObjects) {
+  const JsonValue doc = obs::parse_json(R"({"phases": {"compute": {"total_ns": 42}}})");
+  const JsonValue* v = doc.find_path("phases.compute.total_ns");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->as_int(), 42);
+  EXPECT_EQ(doc.find_path("phases.missing.total_ns"), nullptr);
+}
+
+TEST(Json, NonFiniteNumbersSerializeAsValidJson) {
+  JsonValue root = JsonValue::object();
+  root.set("bad", std::numeric_limits<double>::quiet_NaN());
+  root.set("inf", std::numeric_limits<double>::infinity());
+  EXPECT_NO_THROW(obs::parse_json(root.to_string()));
+}
+
+// --- Bench reports ---
+
+BenchReport sample_report(std::uint64_t ticks, double wall_s) {
+  BenchReport r;
+  r.name = "sample";
+  r.git_sha = "abc123";
+  r.threads = 4;
+  r.ticks = ticks;
+  r.wall_s = wall_s;
+  r.load_imbalance = 1.1;
+  r.stats.sops = 1000 * ticks;
+  r.stats.spikes = 10 * ticks;
+  r.metrics.phase("compute").add(1000);
+  r.metrics.phase("exchange").add(100);
+  r.metrics.counter("messages") = 6 * ticks;
+  return r;
+}
+
+TEST(BenchReportJson, EmitsStableKeySet) {
+  const JsonValue doc = obs::report_to_json(sample_report(100, 0.01));
+  std::set<std::string> keys;
+  for (const auto& [k, v] : doc.members()) keys.insert(k);
+  const std::set<std::string> expected = {"schema",      "name",        "git_sha",
+                                          "threads",     "ticks",       "wall_s",
+                                          "ticks_per_s", "sops_per_s",  "load_imbalance",
+                                          "stats",       "phases",      "counters"};
+  EXPECT_EQ(keys, expected);
+  EXPECT_EQ(doc.find("schema")->as_string(), "nsc-bench-v1");
+  EXPECT_DOUBLE_EQ(doc.find("ticks_per_s")->as_double(), 10000.0);
+  EXPECT_DOUBLE_EQ(doc.find("sops_per_s")->as_double(), 1000 * 100 / 0.01);
+  EXPECT_EQ(doc.find_path("phases.compute.total_ns")->as_int(), 1000);
+  EXPECT_EQ(doc.find_path("counters.messages")->as_int(), 600);
+}
+
+TEST(BenchReportJson, ZeroTickReportIsValidAndFinite) {
+  const BenchReport r = sample_report(0, 0.0);
+  const JsonValue doc = obs::report_to_json(r);
+  EXPECT_DOUBLE_EQ(doc.find("ticks_per_s")->as_double(), 0.0);
+  EXPECT_DOUBLE_EQ(doc.find("sops_per_s")->as_double(), 0.0);
+  EXPECT_NO_THROW(obs::parse_json(doc.to_string()));
+}
+
+TEST(BenchReportJson, WriteThenLoadRoundTrips) {
+  const std::string path = testing::TempDir() + "/obs_report.json";
+  obs::write_bench_report(path, sample_report(50, 0.005));
+  const JsonValue doc = obs::load_json_file(path);
+  EXPECT_EQ(doc.find("name")->as_string(), "sample");
+  EXPECT_EQ(doc.find("ticks")->as_int(), 50);
+}
+
+// --- Report diffing (the CI gate) ---
+
+TEST(BenchDiff, PassesWhenWithinThreshold) {
+  const JsonValue base = obs::report_to_json(sample_report(100, 0.010));
+  const JsonValue cand = obs::report_to_json(sample_report(100, 0.012));  // 1.2x slower.
+  const obs::DiffResult diff = obs::diff_reports(base, cand, 1.5);
+  EXPECT_FALSE(diff.regressed);
+  ASSERT_GE(diff.entries.size(), 2u);
+}
+
+TEST(BenchDiff, FlagsInjectedSlowdown) {
+  const JsonValue base = obs::report_to_json(sample_report(100, 0.010));
+  const JsonValue cand = obs::report_to_json(sample_report(100, 0.030));  // 3x slower.
+  const obs::DiffResult diff = obs::diff_reports(base, cand, 2.0);
+  EXPECT_TRUE(diff.regressed);
+  bool ticks_regressed = false;
+  for (const obs::DiffEntry& e : diff.entries) {
+    if (e.metric == "ticks_per_s") ticks_regressed = e.regression;
+  }
+  EXPECT_TRUE(ticks_regressed);
+}
+
+TEST(BenchDiff, SpeedupIsNotARegression) {
+  const JsonValue base = obs::report_to_json(sample_report(100, 0.030));
+  const JsonValue cand = obs::report_to_json(sample_report(100, 0.010));
+  EXPECT_FALSE(obs::diff_reports(base, cand, 1.1).regressed);
+}
+
+TEST(BenchDiff, PhaseComparisonFlagsPhaseBlowup) {
+  BenchReport slow = sample_report(100, 0.010);
+  slow.metrics.reset();
+  slow.metrics.phase("compute").add(10000);  // 10x the baseline's 1000 ns.
+  const JsonValue base = obs::report_to_json(sample_report(100, 0.010));
+  const JsonValue cand = obs::report_to_json(slow);
+  EXPECT_FALSE(obs::diff_reports(base, cand, 2.0, /*compare_phases=*/false).regressed);
+  EXPECT_TRUE(obs::diff_reports(base, cand, 2.0, /*compare_phases=*/true).regressed);
+}
+
+TEST(BenchDiff, SkipsMissingAndZeroBaselineMetrics) {
+  const JsonValue base = obs::parse_json(R"({"ticks_per_s": 0.0})");
+  const JsonValue cand = obs::parse_json(R"({"ticks_per_s": 100.0, "sops_per_s": 5.0})");
+  const obs::DiffResult diff = obs::diff_reports(base, cand, 1.5);
+  EXPECT_TRUE(diff.entries.empty());
+  EXPECT_FALSE(diff.regressed);
+  EXPECT_THROW(obs::diff_reports(base, cand, 0.5), std::runtime_error);
+}
+
+// --- Instrumentation must not perturb the kernel ---
+
+Network obs_test_net() {
+  netgen::RecurrentSpec spec;
+  spec.geom = Geometry{1, 1, 4, 4};
+  spec.rate_hz = 80;
+  spec.synapses_per_axon = 96;
+  spec.seed = 4242;
+  return netgen::make_recurrent(spec);
+}
+
+TEST(ObsEquivalence, CompassSpikesIdenticalWithMetricsOnAndOff) {
+  const Network net = obs_test_net();
+  for (const int threads : {1, 3}) {
+    VectorSink on_sink, off_sink;
+    compass::Simulator on(net, {.threads = threads, .collect_phase_metrics = true});
+    compass::Simulator off(net, {.threads = threads, .collect_phase_metrics = false});
+    on.run(120, nullptr, &on_sink);
+    off.run(120, nullptr, &off_sink);
+    EXPECT_EQ(on_sink.spikes(), off_sink.spikes()) << "threads=" << threads;
+    EXPECT_EQ(on.stats().sops, off.stats().sops);
+    EXPECT_EQ(on.messages_sent(), off.messages_sent());
+    // Off: no timings collected, load imbalance unknown.
+    EXPECT_EQ(off.metrics().find_phase("compute")->calls, 0u);
+    EXPECT_DOUBLE_EQ(off.load_imbalance(), 0.0);
+  }
+}
+
+TEST(ObsEquivalence, TrueNorthSpikesIdenticalWithMetricsOnAndOff) {
+  const Network net = obs_test_net();
+  VectorSink on_sink, off_sink;
+  tn::TrueNorthSimulator on(net, {.collect_phase_metrics = true});
+  tn::TrueNorthSimulator off(net, {.collect_phase_metrics = false});
+  on.run(120, nullptr, &on_sink);
+  off.run(120, nullptr, &off_sink);
+  EXPECT_EQ(on_sink.spikes(), off_sink.spikes());
+  EXPECT_EQ(on.stats().sops, off.stats().sops);
+  EXPECT_EQ(off.metrics().find_phase("compute")->calls, 0u);
+}
+
+TEST(ObsMetrics, CompassCollectsPhaseTimingsAndCounters) {
+  const Network net = obs_test_net();
+  compass::Simulator sim(net, {.threads = 2});
+  VectorSink sink;
+  sim.run(50, nullptr, &sink);
+  if (!obs::kEnabled) GTEST_SKIP() << "built with NSC_OBS=0";
+  const obs::Registry& m = sim.metrics();
+  EXPECT_EQ(m.find_phase("compute")->calls, 50u);
+  EXPECT_EQ(m.find_phase("exchange")->calls, 50u);
+  EXPECT_EQ(m.find_phase("commit")->calls, 50u);
+  EXPECT_GT(m.find_phase("compute")->total_ns, 0u);
+  EXPECT_EQ(m.counter_value("messages"), sim.messages_sent());
+  EXPECT_GT(m.counter_value("message_bytes"), 0u);
+  ASSERT_EQ(sim.partition_compute_ns().size(), 2u);
+  EXPECT_GE(sim.load_imbalance(), 1.0);
+
+  sim.reset_metrics();
+  EXPECT_EQ(m.find_phase("compute")->calls, 0u);
+  EXPECT_EQ(m.counter_value("messages"), 0u);
+  EXPECT_DOUBLE_EQ(sim.load_imbalance(), 0.0);
+  // Metrics keep accumulating after a reset.
+  sim.run(10, nullptr, &sink);
+  EXPECT_EQ(m.find_phase("compute")->calls, 10u);
+}
+
+TEST(ObsMetrics, TrueNorthCollectsPhaseTimings) {
+  const Network net = obs_test_net();
+  tn::TrueNorthSimulator sim(net);
+  sim.run(30, nullptr, nullptr);
+  if (!obs::kEnabled) GTEST_SKIP() << "built with NSC_OBS=0";
+  const obs::Registry& m = sim.metrics();
+  EXPECT_EQ(m.find_phase("inject")->calls, 30u);
+  EXPECT_EQ(m.find_phase("compute")->calls, 30u);
+  EXPECT_EQ(m.find_phase("commit")->calls, 30u);
+  EXPECT_GT(m.find_phase("compute")->total_ns, 0u);
+  sim.reset_metrics();
+  EXPECT_EQ(m.find_phase("compute")->calls, 0u);
+}
+
+}  // namespace
+}  // namespace nsc

@@ -1,0 +1,81 @@
+// nsc_bench_diff — compare two BENCH_*.json metrics reports and gate on
+// regressions (the hook CI's bench smoke job fails on).
+//
+//   nsc_bench_diff baseline.json candidate.json [--threshold R] [--phases]
+//
+// Throughput metrics (ticks_per_s, sops_per_s) regress when the candidate is
+// more than R× slower than the baseline; with --phases, per-phase mean wall
+// times regress when more than R× larger. Exit codes: 0 = within threshold,
+// 1 = regression detected, 2 = usage or parse error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "src/obs/json.hpp"
+#include "src/obs/json_report.hpp"
+
+namespace {
+
+const char* string_at(const nsc::obs::JsonValue& doc, const char* key, const char* fallback) {
+  const nsc::obs::JsonValue* v = doc.find(key);
+  return v != nullptr && v->kind() == nsc::obs::JsonValue::Kind::String ? v->as_string().c_str()
+                                                                        : fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  double threshold = 1.25;
+  bool phases = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
+      threshold = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--phases") == 0) {
+      phases = true;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    } else {
+      paths.emplace_back(argv[i]);
+    }
+  }
+  if (paths.size() != 2 || threshold < 1.0) {
+    std::fprintf(stderr,
+                 "usage: nsc_bench_diff baseline.json candidate.json [--threshold R>=1] "
+                 "[--phases]\n");
+    return 2;
+  }
+
+  try {
+    const nsc::obs::JsonValue base = nsc::obs::load_json_file(paths[0]);
+    const nsc::obs::JsonValue cand = nsc::obs::load_json_file(paths[1]);
+    std::printf("baseline:  %s (%s, git %s)\n", paths[0].c_str(), string_at(base, "name", "?"),
+                string_at(base, "git_sha", "?"));
+    std::printf("candidate: %s (%s, git %s)\n", paths[1].c_str(), string_at(cand, "name", "?"),
+                string_at(cand, "git_sha", "?"));
+    std::printf("threshold: %.2fx%s\n\n", threshold, phases ? " (including phases)" : "");
+
+    const nsc::obs::DiffResult diff = nsc::obs::diff_reports(base, cand, threshold, phases);
+    if (diff.entries.empty()) {
+      std::fprintf(stderr, "no comparable metrics found (wrong schema?)\n");
+      return 2;
+    }
+    for (const nsc::obs::DiffEntry& e : diff.entries) {
+      std::printf("%-28s %14.4g -> %14.4g   ratio %6.3f   %s\n", e.metric.c_str(), e.baseline,
+                  e.candidate, e.ratio, e.regression ? "REGRESSION" : "ok");
+    }
+    if (diff.regressed) {
+      std::printf("\nFAIL: regression beyond %.2fx threshold\n", threshold);
+      return 1;
+    }
+    std::printf("\nOK: all metrics within %.2fx threshold\n", threshold);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,11 +1,14 @@
 // nsc_run — execute a network model file on either kernel expression.
 //
 //   nsc_run --net net.nsc --ticks 1000 [--backend tn|compass] [--threads N]
-//           [--in events.aer] [--out spikes.aer] [--volts 0.75] [--verify]
+//           [--in events.aer] [--out spikes.aer] [--json report.json]
+//           [--volts 0.75] [--verify]
 //
-// Prints run statistics, spike-train analysis, and (for the tn backend) the
-// energy/timing model's projection of the silicon. --verify runs BOTH
-// backends and checks spike-for-spike agreement (exit 1 on mismatch).
+// Prints run statistics, the per-phase wall-time breakdown, spike-train
+// analysis, and (for the tn backend) the energy/timing model's projection of
+// the silicon. --json additionally writes an "nsc-bench-v1" metrics report
+// (docs/OBSERVABILITY.md). --verify runs BOTH backends and checks
+// spike-for-spike agreement (exit 1 on mismatch).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,6 +23,8 @@
 #include "src/energy/truenorth_power.hpp"
 #include "src/energy/truenorth_timing.hpp"
 #include "src/energy/units.hpp"
+#include "src/obs/json_report.hpp"
+#include "src/obs/obs.hpp"
 #include "src/tn/chip_sim.hpp"
 
 namespace {
@@ -49,6 +54,16 @@ void print_stats(const nsc::core::KernelStats& s, std::uint64_t neurons) {
               s.mean_synapses_per_delivery());
 }
 
+void print_phases(const nsc::obs::Registry& metrics, std::uint64_t ticks) {
+  for (const auto& [name, acc] : metrics.phases()) {
+    if (acc.calls == 0) continue;
+    std::printf("phase %-8s %10.3f ms total   %8.1f us/tick\n", name.c_str(),
+                1e-6 * static_cast<double>(acc.total_ns),
+                ticks != 0 ? 1e-3 * static_cast<double>(acc.total_ns) / static_cast<double>(ticks)
+                           : 0.0);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -65,6 +80,7 @@ int main(int argc, char** argv) {
   const double volts = std::atof(flag_value(argc, argv, "--volts", "0.75"));
   const std::string in_path = flag_value(argc, argv, "--in", "");
   const std::string out_path = flag_value(argc, argv, "--out", "");
+  const std::string json_path = flag_value(argc, argv, "--json", "");
 
   try {
     const nsc::core::Network net = nsc::core::load_network(net_path);
@@ -100,18 +116,36 @@ int main(int argc, char** argv) {
 
     nsc::core::VectorSink sink;
     nsc::core::KernelStats stats;
+    nsc::obs::BenchReport report;
+    report.name = "nsc_run";
+    report.ticks = static_cast<std::uint64_t>(ticks);
     if (backend == "compass") {
       nsc::compass::Simulator sim(net, {.threads = std::max(1, threads)});
+      const std::uint64_t t0 = nsc::obs::now_ns();
       sim.run(ticks, &inputs, &sink);
+      report.wall_s = 1e-9 * static_cast<double>(nsc::obs::now_ns() - t0);
       stats = sim.stats();
+      report.stats = stats;
+      report.threads = sim.config().threads;
+      report.metrics = sim.metrics();
+      report.load_imbalance = sim.load_imbalance();
       print_stats(stats, neurons);
       std::printf("messages sent: %llu\n",
                   static_cast<unsigned long long>(sim.messages_sent()));
+      print_phases(sim.metrics(), stats.ticks);
+      if (sim.load_imbalance() > 0.0) {
+        std::printf("load imbalance (max/mean compute): %.2f\n", sim.load_imbalance());
+      }
     } else {
       nsc::tn::TrueNorthSimulator sim(net);
+      const std::uint64_t t0 = nsc::obs::now_ns();
       sim.run(ticks, &inputs, &sink);
+      report.wall_s = 1e-9 * static_cast<double>(nsc::obs::now_ns() - t0);
       stats = sim.stats();
+      report.stats = stats;
+      report.metrics = sim.metrics();
       print_stats(stats, neurons);
+      print_phases(sim.metrics(), stats.ticks);
       std::printf("mean hops/spike %.2f   interchip crossings %llu\n", sim.mean_hops_per_spike(),
                   static_cast<unsigned long long>(stats.interchip_crossings));
       const nsc::energy::TrueNorthPowerModel power;
@@ -132,6 +166,11 @@ int main(int argc, char** argv) {
     if (!out_path.empty()) {
       nsc::core::save_aer(sink.spikes(), out_path);
       std::printf("wrote %zu spikes to %s\n", sink.spikes().size(), out_path.c_str());
+    }
+
+    if (!json_path.empty()) {
+      nsc::obs::write_bench_report(json_path, report);
+      std::printf("wrote metrics report to %s\n", json_path.c_str());
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
