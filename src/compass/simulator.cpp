@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
+
+#include "src/core/snapshot.hpp"
 
 namespace nsc::compass {
 
@@ -16,11 +19,14 @@ Simulator::Simulator(const core::Network& net, Config cfg)
       prng_(net.seed),
       parts_(partition_balanced(net, cfg.threads)),
       pool_(std::make_unique<util::ThreadPool>(cfg.threads)),
+      faults_(net.geom.total_cores()),
+      link_faults_(net.geom.chips()),
       v_(static_cast<std::size_t>(net.geom.total_cores()) * kCoreSize, 0),
       delay_(static_cast<std::size_t>(net.geom.total_cores()) * kDelaySlots),
       enabled_(static_cast<std::size_t>(net.geom.total_cores())),
       enabled_count_(static_cast<std::size_t>(net.geom.total_cores()), 0),
       target_ok_(static_cast<std::size_t>(net.geom.total_cores()) * kCoreSize, 0),
+      target_faulted_(static_cast<std::size_t>(net.geom.total_cores()) * kCoreSize, 0),
       outbox_(static_cast<std::size_t>(cfg.threads) * static_cast<std::size_t>(cfg.threads)),
       spike_buf_(static_cast<std::size_t>(cfg.threads)),
       local_(static_cast<std::size_t>(cfg.threads)),
@@ -31,6 +37,9 @@ Simulator::Simulator(const core::Network& net, Config cfg)
   ph_commit_ = &obs_.phase("commit");
   ctr_messages_ = &obs_.counter("messages");
   ctr_message_bytes_ = &obs_.counter("message_bytes");
+  ctr_cores_failed_ = &obs_.counter("fault.cores_failed");
+  ctr_links_failed_ = &obs_.counter("fault.links_failed");
+  ctr_fault_dropped_ = &obs_.counter("fault.spikes_dropped");
   const auto ncores = static_cast<CoreId>(net.geom.total_cores());
   for (CoreId c = 0; c < ncores; ++c) {
     const core::CoreSpec& spec = net.core(c);
@@ -38,7 +47,10 @@ Simulator::Simulator(const core::Network& net, Config cfg)
       v_[static_cast<std::size_t>(c) * kCoreSize + static_cast<std::size_t>(j)] =
           spec.neuron[j].init_v;
     }
-    if (spec.disabled) continue;
+    if (spec.disabled) {
+      faults_.mark(c);
+      continue;
+    }
     for (int j = 0; j < kCoreSize; ++j) {
       const NeuronParams& p = spec.neuron[j];
       if (!p.enabled) continue;
@@ -85,7 +97,14 @@ void Simulator::phase_compute(int p, Tick t, const core::InputSchedule* inputs, 
 
   if (inputs != nullptr) {
     for (const core::InputSpike& s : inputs->at(t)) {
-      if (range.contains(s.core) && !net_.core(s.core).disabled) slot_of(s.core, t).set(s.axon);
+      if (!range.contains(s.core)) continue;
+      if (!faults_.is_faulted(s.core)) {
+        slot_of(s.core, t).set(s.axon);
+      } else if (!net_.core(s.core).disabled) {
+        // Aimed at a core a fault campaign killed mid-run: absorbed, but
+        // counted — degradation must be observable, never silent.
+        ++ls.fault_dropped;
+      }
     }
   }
 
@@ -93,7 +112,7 @@ void Simulator::phase_compute(int p, Tick t, const core::InputSchedule* inputs, 
   for (CoreId c = range.begin; c < range.end; ++c) {
     util::BitRow256& axons = slot_of(c, t);
     const core::CoreSpec& spec = net_.core(c);
-    if (spec.disabled) {
+    if (faults_.is_faulted(c)) {
       axons.reset();
       continue;
     }
@@ -142,6 +161,7 @@ void Simulator::phase_compute(int p, Tick t, const core::InputSchedule* inputs, 
       if (record) spike_buf_[static_cast<std::size_t>(p)].push_back({t, c, static_cast<std::uint16_t>(j)});
       if (target_ok_[nid] == 0) {
         ++ls.dropped;
+        if (target_faulted_[nid] != 0) ++ls.fault_dropped;
         return;
       }
       const Tick arrive = t + pj.target.delay;
@@ -228,12 +248,171 @@ void Simulator::run(Tick nticks, const core::InputSchedule* inputs, core::SpikeS
     stats_.axon_events += ls.axon_events;
     stats_.neuron_updates += ls.neuron_updates;
     stats_.dropped_spikes += ls.dropped;
+    *ctr_fault_dropped_ += ls.fault_dropped;
     messages_ += ls.messages;
     *ctr_messages_ += ls.messages;
     *ctr_message_bytes_ += ls.message_bytes;
     part_compute_ns_[p] += ls.compute_ns;
     ls = LocalStats{};
   }
+}
+
+void Simulator::refresh_targets_after_fault() {
+  const auto ncores = static_cast<CoreId>(net_.geom.total_cores());
+  for (CoreId c = 0; c < ncores; ++c) {
+    if (faults_.is_faulted(c)) continue;
+    const core::CoreSpec& spec = net_.core(c);
+    enabled_[c].for_each_set([&](int j) {
+      const std::size_t nid = static_cast<std::size_t>(c) * kCoreSize + static_cast<std::size_t>(j);
+      if (target_ok_[nid] == 0) return;  // fault state only shrinks
+      const core::AxonTarget& tgt = spec.neuron[j].target;
+      if (faults_.is_faulted(tgt.core) ||
+          !noc::route_with_faults(net_.geom, faults_, link_faults_, c, tgt.core).reachable) {
+        // Same mid-run rule (and the same noc reachability computation) as
+        // the TrueNorth expression, so both backends drop identical spikes.
+        target_ok_[nid] = 0;
+        target_faulted_[nid] = 1;
+      }
+    });
+  }
+}
+
+bool Simulator::fail_core(core::CoreId c) {
+  const auto ncores = static_cast<CoreId>(net_.geom.total_cores());
+  if (c >= ncores || faults_.is_faulted(c)) return false;
+  faults_.mark(c);
+  runtime_faults_ = true;
+  enabled_[c] = util::BitRow256{};
+  enabled_count_[c] = 0;
+  std::uint64_t pending = 0;
+  for (int s = 0; s < kDelaySlots; ++s) {
+    util::BitRow256& row = delay_[static_cast<std::size_t>(c) * kDelaySlots + s];
+    pending += static_cast<std::uint64_t>(row.count());
+    row.reset();
+  }
+  *ctr_fault_dropped_ += pending;
+  ++*ctr_cores_failed_;
+  refresh_targets_after_fault();
+  return true;
+}
+
+bool Simulator::fail_link(int chip, int dir) {
+  if (net_.geom.chips() <= 1) return false;
+  if (chip < 0 || chip >= net_.geom.chips() || dir < 0 || dir >= 4) return false;
+  if (link_faults_.blocked(chip, dir)) return false;
+  link_faults_.mark(chip, dir);
+  runtime_faults_ = true;
+  ++*ctr_links_failed_;
+  refresh_targets_after_fault();
+  return true;
+}
+
+void Simulator::save_checkpoint(std::ostream& os) const {
+  core::Snapshot snap;
+  snap.backend = core::SnapshotBackend::kCompass;
+  snap.geom = net_.geom;
+  snap.net_seed = net_.seed;
+  snap.tick = now_;
+  snap.stats = stats_;
+  const auto ncores = static_cast<std::size_t>(net_.geom.total_cores());
+  snap.dead_cores.resize(ncores, 0);
+  for (std::size_t c = 0; c < ncores; ++c) {
+    snap.dead_cores[c] = faults_.is_faulted(static_cast<CoreId>(c)) ? 1 : 0;
+  }
+  const int chips = net_.geom.chips();
+  snap.dead_links.resize(static_cast<std::size_t>(chips) * 4, 0);
+  for (int ch = 0; ch < chips; ++ch) {
+    for (int d = 0; d < 4; ++d) {
+      snap.dead_links[static_cast<std::size_t>(ch) * 4 + static_cast<std::size_t>(d)] =
+          link_faults_.blocked(ch, d) ? 1 : 0;
+    }
+  }
+  snap.v = v_;
+  snap.delay_words.reserve(delay_.size() * util::BitRow256::kWords);
+  for (const util::BitRow256& row : delay_) {
+    for (int w = 0; w < util::BitRow256::kWords; ++w) snap.delay_words.push_back(row.word(w));
+  }
+  snap.set_extra("messages", messages_);
+  snap.set_extra("fault.cores_failed", *ctr_cores_failed_);
+  snap.set_extra("fault.links_failed", *ctr_links_failed_);
+  snap.set_extra("fault.spikes_dropped", *ctr_fault_dropped_);
+  core::save_snapshot(snap, os);
+}
+
+void Simulator::load_checkpoint(std::istream& is) {
+  const core::Snapshot snap = core::load_snapshot(is);
+  if (snap.geom != net_.geom) {
+    throw std::runtime_error("checkpoint geometry does not match this simulator's network");
+  }
+  if (snap.net_seed != net_.seed) {
+    throw std::runtime_error("checkpoint was taken against a different network (seed mismatch)");
+  }
+  now_ = snap.tick;
+  stats_ = snap.stats;
+  messages_ = snap.extra("messages");
+  v_ = snap.v;
+  for (std::size_t i = 0; i < delay_.size(); ++i) {
+    for (int w = 0; w < util::BitRow256::kWords; ++w) {
+      delay_[i].set_word(w, snap.delay_words[i * util::BitRow256::kWords +
+                                             static_cast<std::size_t>(w)]);
+    }
+  }
+  for (auto& box : outbox_) box.clear();
+  for (auto& buf : spike_buf_) buf.clear();
+  for (auto& ls : local_) ls = LocalStats{};
+
+  // Rebuild fault state and everything derived from it; runtime faults (the
+  // snapshot's dead set beyond the network's static one) re-activate the
+  // mid-run drop rule exactly as the saving simulator's fail_* calls did.
+  const auto ncores = static_cast<CoreId>(net_.geom.total_cores());
+  faults_ = noc::FaultSet(static_cast<int>(ncores));
+  link_faults_ = noc::LinkFaultSet(net_.geom.chips());
+  runtime_faults_ = false;
+  for (CoreId c = 0; c < ncores; ++c) {
+    const bool static_dead = net_.core(c).disabled != 0;
+    const bool dead = snap.dead_cores[c] != 0 || static_dead;
+    if (dead) faults_.mark(c);
+    if (dead && !static_dead) runtime_faults_ = true;
+  }
+  for (int ch = 0; ch < net_.geom.chips(); ++ch) {
+    for (int d = 0; d < 4; ++d) {
+      if (snap.dead_links[static_cast<std::size_t>(ch) * 4 + static_cast<std::size_t>(d)] != 0) {
+        link_faults_.mark(ch, d);
+        runtime_faults_ = true;
+      }
+    }
+  }
+  std::fill(target_ok_.begin(), target_ok_.end(), 0);
+  std::fill(target_faulted_.begin(), target_faulted_.end(), 0);
+  for (CoreId c = 0; c < ncores; ++c) {
+    enabled_[c] = util::BitRow256{};
+    enabled_count_[c] = 0;
+    if (faults_.is_faulted(c)) continue;
+    const core::CoreSpec& spec = net_.core(c);
+    for (int j = 0; j < kCoreSize; ++j) {
+      const NeuronParams& p = spec.neuron[j];
+      if (!p.enabled) continue;
+      enabled_[c].set(j);
+      ++enabled_count_[c];
+      if (!p.target.valid() || p.target.core >= ncores) continue;
+      const std::size_t nid = static_cast<std::size_t>(c) * kCoreSize + static_cast<std::size_t>(j);
+      if (net_.core(p.target.core).disabled != 0) continue;  // dropped since construction
+      if (faults_.is_faulted(p.target.core)) {
+        target_faulted_[nid] = 1;  // killed mid-run
+        continue;
+      }
+      if (runtime_faults_ &&
+          !noc::route_with_faults(net_.geom, faults_, link_faults_, c, p.target.core).reachable) {
+        target_faulted_[nid] = 1;  // fault-disconnected: mid-run drop rule
+        continue;
+      }
+      target_ok_[nid] = 1;
+    }
+  }
+
+  *ctr_cores_failed_ = snap.extra("fault.cores_failed");
+  *ctr_links_failed_ = snap.extra("fault.links_failed");
+  *ctr_fault_dropped_ = snap.extra("fault.spikes_dropped");
 }
 
 }  // namespace nsc::compass

@@ -29,6 +29,7 @@
 #include "src/compass/partition.hpp"
 #include "src/core/input_schedule.hpp"
 #include "src/core/network.hpp"
+#include "src/noc/route.hpp"
 #include "src/obs/obs.hpp"
 #include "src/util/barrier.hpp"
 #include "src/util/bitrow.hpp"
@@ -56,6 +57,23 @@ class Simulator final : public core::Simulator {
   [[nodiscard]] core::Tick now() const override { return now_; }
   [[nodiscard]] const core::KernelStats& stats() const override { return stats_; }
   void reset_stats() override;
+
+  /// Checkpoint/restore: full dynamic state (tick, potentials, delay
+  /// buffers, runtime fault state, kernel/message counters). A restored run
+  /// continues bit-exactly, at any thread count; snapshots interchange with
+  /// the TrueNorth expression.
+  void save_checkpoint(std::ostream& os) const override;
+  void load_checkpoint(std::istream& is) override;
+
+  /// Mid-run faults (docs/RESILIENCE.md): the function-level expression of
+  /// what TrueNorth does physically — the partition entries of the dead core
+  /// are silenced, its in-flight deliveries are dropped and counted
+  /// (fault.spikes_dropped), and spikes whose target the fault kills or
+  /// disconnects (per the same noc reachability the chip uses) drop
+  /// identically to the TrueNorth expression, preserving 1:1 equivalence
+  /// under any campaign. Must only be called between run() calls.
+  bool fail_core(core::CoreId c) override;
+  bool fail_link(int chip, int dir) override;
 
   [[nodiscard]] std::int32_t potential(core::CoreId c, int neuron) const {
     return v_[static_cast<std::size_t>(c) * core::kCoreSize + static_cast<std::size_t>(neuron)];
@@ -105,6 +123,11 @@ class Simulator final : public core::Simulator {
   void phase_compute(int p, core::Tick t, const core::InputSchedule* inputs, bool record);
   void phase_exchange(int p);
 
+  /// Re-evaluates every live target against the current fault state, using
+  /// the same noc reachability as the TrueNorth expression (mid-run rule:
+  /// dead or fault-disconnected targets drop their spikes).
+  void refresh_targets_after_fault();
+
   const core::Network& net_;
   Config cfg_;
   util::CounterPrng prng_;
@@ -113,11 +136,18 @@ class Simulator final : public core::Simulator {
   std::vector<CoreRange> parts_;
   std::unique_ptr<util::ThreadPool> pool_;
 
+  noc::FaultSet faults_;          ///< Static (network) + mid-run failed cores.
+  noc::LinkFaultSet link_faults_; ///< Mid-run failed inter-chip links.
+  bool runtime_faults_ = false;   ///< Any fault beyond the network's static ones.
+
   std::vector<std::int32_t> v_;
   std::vector<util::BitRow256> delay_;
   std::vector<util::BitRow256> enabled_;
   std::vector<std::uint16_t> enabled_count_;
   std::vector<std::uint8_t> target_ok_;
+  /// Neurons whose target_ok_ was revoked by a mid-run fault (their dropped
+  /// spikes count into fault.spikes_dropped, never silently).
+  std::vector<std::uint8_t> target_faulted_;
 
   /// outbox_[src * P + dst]: deliveries produced by src for dst this tick.
   std::vector<std::vector<Delivery>> outbox_;
@@ -126,6 +156,7 @@ class Simulator final : public core::Simulator {
   /// Per-partition stats, merged after every run() to avoid false sharing.
   struct alignas(64) LocalStats {
     std::uint64_t spikes = 0, sops = 0, axon_events = 0, neuron_updates = 0, dropped = 0;
+    std::uint64_t fault_dropped = 0;  ///< Drops caused by mid-run faults.
     std::uint64_t messages = 0, message_bytes = 0;
     std::uint64_t compute_ns = 0;  ///< Wall time this partition spent in phase_compute.
   };
@@ -140,6 +171,9 @@ class Simulator final : public core::Simulator {
   obs::PhaseAccum* ph_commit_ = nullptr;
   std::uint64_t* ctr_messages_ = nullptr;
   std::uint64_t* ctr_message_bytes_ = nullptr;
+  std::uint64_t* ctr_cores_failed_ = nullptr;
+  std::uint64_t* ctr_links_failed_ = nullptr;
+  std::uint64_t* ctr_fault_dropped_ = nullptr;
   std::vector<std::uint64_t> part_compute_ns_;
 };
 

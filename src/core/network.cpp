@@ -1,6 +1,20 @@
 #include "src/core/network.hpp"
 
+#include <stdexcept>
+
 namespace nsc::core {
+
+void Simulator::save_checkpoint(std::ostream&) const {
+  throw std::runtime_error("this backend does not support checkpointing");
+}
+
+void Simulator::load_checkpoint(std::istream&) {
+  throw std::runtime_error("this backend does not support checkpointing");
+}
+
+bool Simulator::fail_core(CoreId) { return false; }
+
+bool Simulator::fail_link(int, int) { return false; }
 
 double CoreSpec::mean_row_synapses() const {
   int rows_used = 0;

@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <vector>
 
@@ -110,6 +111,34 @@ class Simulator {
   [[nodiscard]] virtual Tick now() const = 0;
   [[nodiscard]] virtual const KernelStats& stats() const = 0;
   virtual void reset_stats() = 0;
+
+  // --- Resilience (docs/RESILIENCE.md). Defaults: checkpointing throws
+  // "unsupported", fault injection reports false; the two kernel expressions
+  // override all four. ---
+
+  /// Serializes the simulator's full dynamic state so that a fresh simulator
+  /// over the same network can load_checkpoint() and continue bit-exactly
+  /// (spike-for-spike identical to an uninterrupted run).
+  virtual void save_checkpoint(std::ostream& os) const;
+
+  /// Restores state saved by save_checkpoint (either backend's). Throws
+  /// std::runtime_error on malformed input or a geometry/seed mismatch with
+  /// this simulator's network.
+  virtual void load_checkpoint(std::istream& is);
+
+  /// Fails core `c` from the next processed tick on: it produces nothing,
+  /// absorbs nothing, its in-flight deliveries are dropped (and counted via
+  /// the fault.* observability counters), and spikes aimed at it are dropped
+  /// and counted from then on. Returns false when `c` is invalid, already
+  /// dead, or the backend does not support mid-run faults. Must only be
+  /// called between run() calls (tick boundaries).
+  virtual bool fail_core(CoreId c);
+
+  /// Fails the directed inter-chip merge–split link `dir` (0=E, 1=W, 2=N,
+  /// 3=S) of chip `chip`. Spikes whose route can no longer reach its target
+  /// are dropped and counted. Returns false when out of range, already dead,
+  /// or unsupported. Must only be called between run() calls.
+  virtual bool fail_link(int chip, int dir);
 };
 
 }  // namespace nsc::core

@@ -4,7 +4,10 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
+
+#include "src/core/snapshot.hpp"
 
 namespace nsc::core {
 namespace {
@@ -64,6 +67,26 @@ void read_neuron(std::istream& is, NeuronParams& p) {
   read_pod(is, p.enabled);
 }
 
+void write_core(std::ostream& os, const CoreSpec& c) {
+  write_pod(os, c.disabled);
+  for (int i = 0; i < kCoreSize; ++i) {
+    for (int w = 0; w < util::BitRow256::kWords; ++w) write_pod(os, c.crossbar.row(i).word(w));
+  }
+  os.write(reinterpret_cast<const char*>(c.axon_type.data()),
+           static_cast<std::streamsize>(c.axon_type.size()));
+  for (int j = 0; j < kCoreSize; ++j) write_neuron(os, c.neuron[j]);
+}
+
+/// Serialized size of one core, measured once (the format is fixed-width).
+std::uint64_t serialized_core_bytes() {
+  static const std::uint64_t n = [] {
+    std::ostringstream ss;
+    write_core(ss, CoreSpec{});
+    return static_cast<std::uint64_t>(ss.tellp());
+  }();
+  return n;
+}
+
 }  // namespace
 
 void save_network(const Network& net, std::ostream& os) {
@@ -74,15 +97,7 @@ void save_network(const Network& net, std::ostream& os) {
   write_pod(os, net.geom.cores_x);
   write_pod(os, net.geom.cores_y);
   write_pod(os, net.seed);
-  for (const CoreSpec& c : net.cores) {
-    write_pod(os, c.disabled);
-    for (int i = 0; i < kCoreSize; ++i) {
-      for (int w = 0; w < util::BitRow256::kWords; ++w) write_pod(os, c.crossbar.row(i).word(w));
-    }
-    os.write(reinterpret_cast<const char*>(c.axon_type.data()),
-             static_cast<std::streamsize>(c.axon_type.size()));
-    for (int j = 0; j < kCoreSize; ++j) write_neuron(os, c.neuron[j]);
-  }
+  for (const CoreSpec& c : net.cores) write_core(os, c);
   if (!os) throw std::runtime_error("network write failed");
 }
 
@@ -109,6 +124,14 @@ Network load_network(std::istream& is) {
   }
   std::uint64_t seed = 0;
   read_pod(is, seed);
+  // Hostile-file guard: a forged header could claim millions of cores and
+  // make us allocate gigabytes before the first truncated read. Check the
+  // bytes actually present against what the geometry demands first.
+  const std::uint64_t need =
+      static_cast<std::uint64_t>(g.total_cores()) * serialized_core_bytes();
+  if (stream_remaining(is) < need) {
+    throw std::runtime_error("network file truncated (header claims more cores than present)");
+  }
   Network net(g, seed);
   for (CoreSpec& c : net.cores) {
     read_pod(is, c.disabled);

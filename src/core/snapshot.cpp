@@ -1,0 +1,234 @@
+#include "src/core/snapshot.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace nsc::core {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4E53434Bu;  // "NSCK"
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kMaxExtras = 64;
+constexpr std::uint32_t kMaxExtraName = 64;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+void read_pod(std::istream& is, T& v) {
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!is) throw std::runtime_error("checkpoint file truncated");
+}
+
+template <typename T>
+void write_vec(std::ostream& os, const std::vector<T>& v) {
+  if (!v.empty()) {
+    os.write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(T)));
+  }
+}
+
+template <typename T>
+void read_vec(std::istream& is, std::vector<T>& v, std::size_t n) {
+  v.resize(n);
+  if (n != 0) {
+    is.read(reinterpret_cast<char*>(v.data()), static_cast<std::streamsize>(n * sizeof(T)));
+    if (!is) throw std::runtime_error("checkpoint file truncated");
+  }
+}
+
+}  // namespace
+
+std::uint64_t Snapshot::extra(std::string_view name) const noexcept {
+  for (const auto& [k, v] : extras) {
+    if (k == name) return v;
+  }
+  return 0;
+}
+
+void Snapshot::set_extra(std::string_view name, std::uint64_t value) {
+  for (auto& [k, v] : extras) {
+    if (k == name) {
+      v = value;
+      return;
+    }
+  }
+  extras.emplace_back(std::string(name), value);
+}
+
+std::uint64_t stream_remaining(std::istream& is) {
+  const std::istream::pos_type here = is.tellg();
+  if (here == std::istream::pos_type(-1)) return std::numeric_limits<std::uint64_t>::max();
+  is.seekg(0, std::ios::end);
+  const std::istream::pos_type end = is.tellg();
+  is.seekg(here);
+  if (end == std::istream::pos_type(-1) || end < here) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return static_cast<std::uint64_t>(end - here);
+}
+
+void save_snapshot(const Snapshot& snap, std::ostream& os) {
+  const auto ncores = static_cast<std::size_t>(snap.geom.total_cores());
+  const auto nlinks = static_cast<std::size_t>(snap.geom.chips()) * 4;
+  if (snap.v.size() != ncores * kCoreSize ||
+      snap.delay_words.size() != ncores * (kMaxDelay + 1) * 4 ||
+      (!snap.dead_cores.empty() && snap.dead_cores.size() != ncores) ||
+      (!snap.dead_links.empty() && snap.dead_links.size() != nlinks) ||
+      (!snap.traffic_link_totals.empty() && snap.traffic_link_totals.size() != nlinks)) {
+    throw std::runtime_error("snapshot state sizes do not match its geometry");
+  }
+  write_pod(os, kMagic);
+  write_pod(os, kVersion);
+  write_pod(os, static_cast<std::uint8_t>(snap.backend));
+  write_pod(os, snap.geom.chips_x);
+  write_pod(os, snap.geom.chips_y);
+  write_pod(os, snap.geom.cores_x);
+  write_pod(os, snap.geom.cores_y);
+  write_pod(os, snap.net_seed);
+  write_pod(os, snap.tick);
+  const KernelStats& s = snap.stats;
+  for (const std::uint64_t f : {s.ticks, s.spikes, s.sops, s.axon_events, s.neuron_updates,
+                                s.hop_sum, s.interchip_crossings, s.dropped_spikes,
+                                s.sum_max_core_sops, s.sum_max_core_axon_events,
+                                s.sum_max_core_spikes}) {
+    write_pod(os, f);
+  }
+  // Fault bitmaps are written dense (all-zero when the source was empty).
+  if (snap.dead_cores.empty()) {
+    const std::vector<std::uint8_t> zero(ncores, 0);
+    write_vec(os, zero);
+  } else {
+    write_vec(os, snap.dead_cores);
+  }
+  if (snap.dead_links.empty()) {
+    const std::vector<std::uint8_t> zero(nlinks, 0);
+    write_vec(os, zero);
+  } else {
+    write_vec(os, snap.dead_links);
+  }
+  write_vec(os, snap.v);
+  write_vec(os, snap.delay_words);
+  write_pod(os, static_cast<std::uint32_t>(snap.extras.size()));
+  for (const auto& [name, value] : snap.extras) {
+    if (name.size() > kMaxExtraName) throw std::runtime_error("snapshot extra name too long");
+    write_pod(os, static_cast<std::uint16_t>(name.size()));
+    os.write(name.data(), static_cast<std::streamsize>(name.size()));
+    write_pod(os, value);
+  }
+  write_pod(os, static_cast<std::uint32_t>(snap.traffic_link_totals.size()));
+  if (!snap.traffic_link_totals.empty()) {
+    write_vec(os, snap.traffic_link_totals);
+    write_pod(os, snap.traffic_total);
+    write_pod(os, snap.traffic_max_per_tick);
+  }
+  if (!os) throw std::runtime_error("checkpoint write failed");
+}
+
+void save_snapshot(const Snapshot& snap, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open " + path + " for writing");
+  save_snapshot(snap, f);
+}
+
+Snapshot load_snapshot(std::istream& is) {
+  std::uint32_t magic = 0, version = 0;
+  read_pod(is, magic);
+  read_pod(is, version);
+  if (magic != kMagic) throw std::runtime_error("not a neurosyn checkpoint file");
+  if (version != kVersion) throw std::runtime_error("unsupported checkpoint file version");
+  Snapshot snap;
+  std::uint8_t backend = 0;
+  read_pod(is, backend);
+  snap.backend = static_cast<SnapshotBackend>(backend);
+  read_pod(is, snap.geom.chips_x);
+  read_pod(is, snap.geom.chips_y);
+  read_pod(is, snap.geom.cores_x);
+  read_pod(is, snap.geom.cores_y);
+  const Geometry& g = snap.geom;
+  if (g.chips_x <= 0 || g.chips_y <= 0 || g.cores_x <= 0 || g.cores_y <= 0 ||
+      g.total_cores() > (1 << 24)) {
+    throw std::runtime_error("implausible geometry in checkpoint file");
+  }
+  read_pod(is, snap.net_seed);
+  read_pod(is, snap.tick);
+  if (snap.tick < 0) throw std::runtime_error("negative tick in checkpoint file");
+  KernelStats& s = snap.stats;
+  for (std::uint64_t* f : {&s.ticks, &s.spikes, &s.sops, &s.axon_events, &s.neuron_updates,
+                           &s.hop_sum, &s.interchip_crossings, &s.dropped_spikes,
+                           &s.sum_max_core_sops, &s.sum_max_core_axon_events,
+                           &s.sum_max_core_spikes}) {
+    read_pod(is, *f);
+  }
+
+  // The bulk arrays have sizes fully determined by the (validated) geometry.
+  // Before allocating, make sure the stream actually holds that many bytes,
+  // so a corrupted header claiming 2^24 cores against a 100-byte file throws
+  // instead of attempting a multi-gigabyte allocation.
+  const auto ncores = static_cast<std::size_t>(g.total_cores());
+  const auto nlinks = static_cast<std::size_t>(g.chips()) * 4;
+  const std::uint64_t bulk_bytes =
+      static_cast<std::uint64_t>(ncores) * (1 + kCoreSize * sizeof(std::int32_t) +
+                                            (kMaxDelay + 1) * 4 * sizeof(std::uint64_t)) +
+      nlinks;
+  if (stream_remaining(is) < bulk_bytes) {
+    throw std::runtime_error("checkpoint file truncated (header claims more state than present)");
+  }
+  read_vec(is, snap.dead_cores, ncores);
+  read_vec(is, snap.dead_links, nlinks);
+  read_vec(is, snap.v, ncores * kCoreSize);
+  read_vec(is, snap.delay_words, ncores * (kMaxDelay + 1) * 4);
+
+  std::uint32_t n_extras = 0;
+  read_pod(is, n_extras);
+  if (n_extras > kMaxExtras) throw std::runtime_error("implausible extras count in checkpoint");
+  for (std::uint32_t i = 0; i < n_extras; ++i) {
+    std::uint16_t len = 0;
+    read_pod(is, len);
+    if (len > kMaxExtraName) throw std::runtime_error("implausible extra name in checkpoint");
+    std::string name(len, '\0');
+    is.read(name.data(), len);
+    if (!is) throw std::runtime_error("checkpoint file truncated");
+    std::uint64_t value = 0;
+    read_pod(is, value);
+    snap.extras.emplace_back(std::move(name), value);
+  }
+
+  std::uint32_t n_traffic = 0;
+  read_pod(is, n_traffic);
+  if (n_traffic != 0) {
+    if (n_traffic != nlinks) {
+      throw std::runtime_error("checkpoint traffic section does not match its geometry");
+    }
+    read_vec(is, snap.traffic_link_totals, nlinks);
+    read_pod(is, snap.traffic_total);
+    read_pod(is, snap.traffic_max_per_tick);
+  }
+  return snap;
+}
+
+Snapshot load_snapshot(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  return load_snapshot(f);
+}
+
+void save_checkpoint(const Simulator& sim, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open " + path + " for writing");
+  sim.save_checkpoint(f);
+}
+
+void load_checkpoint(Simulator& sim, const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  sim.load_checkpoint(f);
+}
+
+}  // namespace nsc::core

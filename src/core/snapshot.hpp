@@ -1,0 +1,91 @@
+// Checkpoint snapshots: versioned binary images of a simulator's full
+// dynamic state (tick counter, membrane potentials, 16-slot axonal delay
+// buffers, runtime fault state, kernel counters), so long campaigns can be
+// interrupted and resumed bit-exactly — the resumed run must be
+// spike-for-spike identical to an uninterrupted one, on either kernel
+// expression (docs/RESILIENCE.md).
+//
+// The format is backend-agnostic: the state both expressions share *is* the
+// kernel state, so a checkpoint taken on TrueNorth restores into Compass and
+// vice versa (the backend tag is informational). Like the network model
+// format (network_io), the file opens with a magic + version header, and the
+// loader validates every count against the header geometry and the stream
+// size *before* allocating, so a corrupted or hostile header cannot trigger
+// multi-gigabyte allocations.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/network.hpp"
+
+namespace nsc::core {
+
+/// Backend that produced a snapshot (informational; any backend may load any
+/// snapshot because the serialized state is the shared kernel state).
+enum class SnapshotBackend : std::uint8_t {
+  kUnknown = 0,
+  kTrueNorth = 1,
+  kCompass = 2,
+};
+
+/// A simulator's full dynamic state, decoupled from any backend's internals.
+/// Backends fill one on save and consume one on restore.
+struct Snapshot {
+  SnapshotBackend backend = SnapshotBackend::kUnknown;
+  Geometry geom;
+  std::uint64_t net_seed = 0;  ///< Seed of the network the state belongs to.
+  Tick tick = 0;               ///< Simulator clock (`now()`) at capture.
+  KernelStats stats;
+
+  /// Per-core liveness: 1 = dead (statically disabled or failed mid-run by a
+  /// fault campaign). Size total_cores, or empty when no core is dead.
+  std::vector<std::uint8_t> dead_cores;
+  /// Per directed inter-chip link liveness, indexed chip * 4 + dir
+  /// (dir: 0=E, 1=W, 2=N, 3=S). Size chips * 4, or empty when none failed.
+  std::vector<std::uint8_t> dead_links;
+
+  /// Membrane potentials, core-major: total_cores * kCoreSize entries.
+  std::vector<std::int32_t> v;
+  /// Delay-buffer bit words: total_cores * 16 slots * 4 words per slot.
+  std::vector<std::uint64_t> delay_words;
+
+  /// Backend-specific named counters (e.g. Compass "messages", the fault.*
+  /// observability counters). Unknown names are preserved on a round trip
+  /// and ignored by backends that do not use them.
+  std::vector<std::pair<std::string, std::uint64_t>> extras;
+
+  /// Inter-chip traffic totals (TrueNorth): per directed link, chip * 4 + dir.
+  /// Empty when the producing backend does not track traffic.
+  std::vector<std::uint64_t> traffic_link_totals;
+  std::uint64_t traffic_total = 0;
+  std::uint64_t traffic_max_per_tick = 0;
+
+  [[nodiscard]] std::uint64_t extra(std::string_view name) const noexcept;
+  void set_extra(std::string_view name, std::uint64_t value);
+};
+
+/// Serializes `snap` (magic + version header, then the sections above).
+/// Throws std::runtime_error on I/O failure.
+void save_snapshot(const Snapshot& snap, std::ostream& os);
+void save_snapshot(const Snapshot& snap, const std::string& path);
+
+/// Deserializes a snapshot; throws std::runtime_error on truncated,
+/// corrupted, or implausible input. All counts are validated against the
+/// header geometry and the remaining stream size before any allocation.
+[[nodiscard]] Snapshot load_snapshot(std::istream& is);
+[[nodiscard]] Snapshot load_snapshot(const std::string& path);
+
+/// Bytes left between the stream's current position and its end, or
+/// UINT64_MAX when the stream is not seekable. Used to reject headers whose
+/// claimed payload exceeds the actual file before allocating for it.
+[[nodiscard]] std::uint64_t stream_remaining(std::istream& is);
+
+/// Convenience wrappers over Simulator::save_checkpoint/load_checkpoint.
+void save_checkpoint(const Simulator& sim, const std::string& path);
+void load_checkpoint(Simulator& sim, const std::string& path);
+
+}  // namespace nsc::core

@@ -1,0 +1,65 @@
+#include "src/fault/campaign.hpp"
+
+#include <algorithm>
+
+#include "src/util/prng.hpp"
+
+namespace nsc::fault {
+
+void Campaign::finalize() {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) { return a.tick < b.tick; });
+}
+
+Campaign Campaign::random(const core::Geometry& g, int n_core_faults, int n_link_faults,
+                          core::Tick max_tick, std::uint64_t seed) {
+  Campaign c;
+  util::Xoshiro rng(seed);
+  const auto ncores = static_cast<std::uint64_t>(g.total_cores());
+  const int max_core_faults = static_cast<int>(ncores) - 1;
+  n_core_faults = std::min(n_core_faults, max_core_faults);
+  std::vector<std::uint8_t> used_core(ncores, 0);
+  for (int i = 0; i < n_core_faults; ++i) {
+    std::uint64_t pick = rng.next_below(ncores);
+    while (used_core[pick] != 0) pick = (pick + 1) % ncores;
+    used_core[pick] = 1;
+    const auto tick = static_cast<core::Tick>(1 + rng.next_below(static_cast<std::uint64_t>(
+                                                     max_tick > 0 ? max_tick : 1)));
+    c.fail_core_at(tick, static_cast<core::CoreId>(pick));
+  }
+  if (g.chips() > 1) {
+    const auto nlinks = static_cast<std::uint64_t>(g.chips()) * 4;
+    std::vector<std::uint8_t> used_link(nlinks, 0);
+    n_link_faults = std::min<int>(n_link_faults, static_cast<int>(nlinks));
+    for (int i = 0; i < n_link_faults; ++i) {
+      std::uint64_t pick = rng.next_below(nlinks);
+      while (used_link[pick] != 0) pick = (pick + 1) % nlinks;
+      used_link[pick] = 1;
+      const auto tick = static_cast<core::Tick>(1 + rng.next_below(static_cast<std::uint64_t>(
+                                                       max_tick > 0 ? max_tick : 1)));
+      c.fail_link_at(tick, static_cast<int>(pick / 4), static_cast<int>(pick % 4));
+    }
+  }
+  c.finalize();
+  return c;
+}
+
+int run_with_campaign(core::Simulator& sim, core::Tick nticks, const core::InputSchedule* inputs,
+                      core::SpikeSink* sink, const Campaign& campaign) {
+  const core::Tick end = sim.now() + nticks;
+  int applied = 0;
+  for (const FaultEvent& e : campaign.events()) {
+    if (e.tick < sim.now()) continue;  // before our window: already applied
+    if (e.tick >= end) break;          // beyond the horizon: stays pending
+    if (e.tick > sim.now()) sim.run(e.tick - sim.now(), inputs, sink);
+    const bool ok = e.kind == FaultKind::kCore
+                        ? sim.fail_core(static_cast<core::CoreId>(e.target))
+                        : sim.fail_link(static_cast<int>(e.target / 4),
+                                        static_cast<int>(e.target % 4));
+    if (ok) ++applied;
+  }
+  if (sim.now() < end) sim.run(end - sim.now(), inputs, sink);
+  return applied;
+}
+
+}  // namespace nsc::fault

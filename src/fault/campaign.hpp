@@ -1,0 +1,73 @@
+// Mid-run fault campaigns: a deterministic, seeded schedule of core and
+// inter-chip link failures applied at tick boundaries while the kernel
+// runs (docs/RESILIENCE.md).
+//
+// A campaign is pure data — (tick, kind, target) triples — and the runner
+// drives any core::Simulator through it by splitting run() into segments
+// around each event. Because events land only at tick boundaries and both
+// kernel expressions implement the same mid-run drop rule, a fixed
+// (network, inputs, campaign) triple produces identical spike trains on
+// TrueNorth and Compass at any thread count, and a checkpoint taken
+// mid-campaign resumes without replaying already-applied events.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/network.hpp"
+#include "src/core/types.hpp"
+
+namespace nsc::fault {
+
+enum class FaultKind : std::uint8_t {
+  kCore = 0,  ///< Kill one core; target = CoreId.
+  kLink = 1,  ///< Kill one directed inter-chip link; target = chip * 4 + dir.
+};
+
+struct FaultEvent {
+  core::Tick tick = 0;  ///< Applied at the boundary before this tick runs.
+  FaultKind kind = FaultKind::kCore;
+  std::uint32_t target = 0;
+};
+
+/// An ordered schedule of fault events. Build with the fluent helpers (or
+/// random()), then finalize() before running.
+class Campaign {
+ public:
+  Campaign& fail_core_at(core::Tick tick, core::CoreId c) {
+    events_.push_back({tick, FaultKind::kCore, static_cast<std::uint32_t>(c)});
+    return *this;
+  }
+  Campaign& fail_link_at(core::Tick tick, int chip, int dir) {
+    events_.push_back(
+        {tick, FaultKind::kLink, static_cast<std::uint32_t>(chip) * 4 + static_cast<std::uint32_t>(dir)});
+    return *this;
+  }
+
+  /// Stable-sorts the schedule by tick (insertion order breaks ties).
+  void finalize();
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept { return events_; }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+
+  /// Seeded random campaign: `n_core_faults` distinct cores (capped at
+  /// total_cores - 1 so the mesh never dies entirely) and `n_link_faults`
+  /// distinct directed links (skipped on single-chip meshes), at uniform
+  /// ticks in [1, max_tick]. Already finalized.
+  static Campaign random(const core::Geometry& g, int n_core_faults, int n_link_faults,
+                         core::Tick max_tick, std::uint64_t seed);
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+/// Runs `sim` forward `nticks` ticks, applying every campaign event whose
+/// tick falls inside [sim.now(), sim.now() + nticks) at its tick boundary.
+/// Events before sim.now() are skipped (already applied — this is what makes
+/// a checkpoint resumed mid-campaign line up with the uninterrupted run);
+/// events at or beyond the horizon stay pending for a later call. Returns
+/// the number of events that actually took effect (fail_* returned true).
+int run_with_campaign(core::Simulator& sim, core::Tick nticks, const core::InputSchedule* inputs,
+                      core::SpikeSink* sink, const Campaign& campaign);
+
+}  // namespace nsc::fault

@@ -1,0 +1,33 @@
+#include "src/fault/inject.hpp"
+
+#include "src/util/prng.hpp"
+
+namespace nsc::fault {
+
+int inject_faults(core::Network& net, double fraction, std::uint64_t seed) {
+  util::Xoshiro rng(seed);
+  const auto ncores = static_cast<core::CoreId>(net.geom.total_cores());
+  int faulted = 0;
+  for (core::CoreId c = 0; c < ncores; ++c) {
+    if (rng.next_double() >= fraction) continue;
+    net.core(c).disabled = 1;
+    for (auto& p : net.core(c).neuron) p.enabled = 0;
+    ++faulted;
+  }
+  if (faulted == static_cast<int>(ncores)) {
+    net.core(0).disabled = 0;  // keep at least one core alive
+    --faulted;
+  }
+  for (auto& cs : net.cores) {
+    if (cs.disabled) continue;
+    for (auto& p : cs.neuron) {
+      if (!p.target.valid()) continue;
+      core::CoreId t = p.target.core;
+      while (net.core(t).disabled) t = (t + 1) % ncores;
+      p.target.core = t;
+    }
+  }
+  return faulted;
+}
+
+}  // namespace nsc::fault

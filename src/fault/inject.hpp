@@ -1,0 +1,19 @@
+// Construction-time (deployment) fault injection: the "dead on arrival"
+// scenario from paper §III-C, where a fraction of fabricated cores never
+// worked and the network is built around them. Distinct from mid-run
+// campaigns (campaign.hpp), which kill healthy cores while the kernel runs.
+#pragma once
+
+#include <cstdint>
+
+#include "src/core/network.hpp"
+
+namespace nsc::fault {
+
+/// Disables `fraction` of cores (deterministically by seed) and silences
+/// their neurons; neurons targeting a faulted core are retargeted to the
+/// next healthy core so the network remains valid. At least one core is
+/// always left alive. Returns the number of cores disabled.
+int inject_faults(core::Network& net, double fraction, std::uint64_t seed);
+
+}  // namespace nsc::fault

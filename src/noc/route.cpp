@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <queue>
 
+#include "src/noc/traffic.hpp"
+
 namespace nsc::noc {
 
 using core::CoreId;
@@ -59,6 +61,90 @@ bool dor_path_blocked(const Geometry& g, const FaultSet& faults, CoreId src, Cor
     }
   }
   return false;
+}
+
+bool dor_links_blocked(const Geometry& g, const LinkFaultSet& links, CoreId src, CoreId dst) {
+  if (links.empty() || src == dst || g.chips() <= 1) return false;
+  const auto cs = g.chip_xy(src);
+  const auto cd = g.chip_xy(dst);
+  // X leg in the source chip row (matches InterChipTraffic::record_route).
+  if (cd.x > cs.x) {
+    for (int cx = cs.x; cx < cd.x; ++cx) {
+      if (links.blocked(cs.y * g.chips_x + cx, static_cast<int>(LinkDir::kEast))) return true;
+    }
+  } else {
+    for (int cx = cs.x; cx > cd.x; --cx) {
+      if (links.blocked(cs.y * g.chips_x + cx, static_cast<int>(LinkDir::kWest))) return true;
+    }
+  }
+  // Y leg at the destination chip column.
+  if (cd.y > cs.y) {
+    for (int cy = cs.y; cy < cd.y; ++cy) {
+      if (links.blocked(cy * g.chips_x + cd.x, static_cast<int>(LinkDir::kSouth))) return true;
+    }
+  } else {
+    for (int cy = cs.y; cy > cd.y; --cy) {
+      if (links.blocked(cy * g.chips_x + cd.x, static_cast<int>(LinkDir::kNorth))) return true;
+    }
+  }
+  return false;
+}
+
+RouteInfo route_with_faults(const Geometry& g, const FaultSet& faults, const LinkFaultSet& links,
+                            CoreId src, CoreId dst) {
+  if (!dor_path_blocked(g, faults, src, dst) && !dor_links_blocked(g, links, src, dst)) {
+    return route_dor(g, src, dst);
+  }
+
+  // BFS shortest detour over healthy cores and live links, tracking the
+  // exact chip-boundary crossings of the discovered shortest path (among
+  // equal-hop paths, the first found in fixed E/W/S/N neighbor order).
+  const int w = g.chips_x * g.cores_x;
+  const int h = g.chips_y * g.cores_y;
+  const auto ps = g.global_xy(src);
+  const auto pd = g.global_xy(dst);
+  std::vector<std::int32_t> dist(static_cast<std::size_t>(w) * static_cast<std::size_t>(h), -1);
+  std::vector<std::int32_t> cross(dist.size(), 0);
+  auto idx = [w](int x, int y) {
+    return static_cast<std::size_t>(y) * static_cast<std::size_t>(w) + static_cast<std::size_t>(x);
+  };
+  std::queue<std::pair<int, int>> q;
+  dist[idx(ps.x, ps.y)] = 0;
+  q.push({ps.x, ps.y});
+  while (!q.empty()) {
+    const auto [x, y] = q.front();
+    q.pop();
+    if (x == pd.x && y == pd.y) break;
+    const int d = dist[idx(x, y)];
+    constexpr int dx[4] = {1, -1, 0, 0};
+    constexpr int dy[4] = {0, 0, 1, -1};
+    // Link direction of each move when it crosses a chip boundary.
+    constexpr LinkDir dir[4] = {LinkDir::kEast, LinkDir::kWest, LinkDir::kSouth, LinkDir::kNorth};
+    for (int k = 0; k < 4; ++k) {
+      const int nx = x + dx[k], ny = y + dy[k];
+      if (nx < 0 || nx >= w || ny < 0 || ny >= h) continue;
+      if (dist[idx(nx, ny)] != -1) continue;
+      const bool boundary = (x / g.cores_x != nx / g.cores_x) || (y / g.cores_y != ny / g.cores_y);
+      if (boundary) {
+        const int chip = (y / g.cores_y) * g.chips_x + (x / g.cores_x);
+        if (links.blocked(chip, static_cast<int>(dir[k]))) continue;
+      }
+      const CoreId cid = g.core_at_global(nx, ny);
+      if (faults.is_faulted(cid) && !(nx == pd.x && ny == pd.y)) continue;
+      dist[idx(nx, ny)] = d + 1;
+      cross[idx(nx, ny)] = cross[idx(x, y)] + (boundary ? 1 : 0);
+      q.push({nx, ny});
+    }
+  }
+  RouteInfo r;
+  const std::int32_t d = dist[idx(pd.x, pd.y)];
+  if (d < 0) {
+    r.reachable = false;
+    return r;
+  }
+  r.hops = d;
+  r.chip_crossings = cross[idx(pd.x, pd.y)];
+  return r;
 }
 
 RouteInfo route_with_faults(const Geometry& g, const FaultSet& faults, CoreId src, CoreId dst) {

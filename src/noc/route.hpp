@@ -48,6 +48,33 @@ class FaultSet {
   int count_ = 0;
 };
 
+/// Set of failed directed inter-chip merge–split links. A link is identified
+/// by (chip, dir) with dir 0=E (toward +x neighbor), 1=W, 2=N (toward -y),
+/// 3=S — the same indexing as noc::InterChipTraffic. Routing treats a failed
+/// link as an impassable chip-boundary segment: packets must detour through
+/// another chip row/column, or the destination becomes unreachable.
+class LinkFaultSet {
+ public:
+  LinkFaultSet() = default;
+  explicit LinkFaultSet(int chips) : dead_(static_cast<std::size_t>(chips) * 4, 0) {}
+
+  void mark(int chip, int dir) {
+    if (dead_.empty() || blocked(chip, dir)) return;
+    dead_[static_cast<std::size_t>(chip) * 4 + static_cast<std::size_t>(dir)] = 1;
+    ++count_;
+  }
+  [[nodiscard]] bool blocked(int chip, int dir) const {
+    return !dead_.empty() &&
+           dead_[static_cast<std::size_t>(chip) * 4 + static_cast<std::size_t>(dir)] != 0;
+  }
+  [[nodiscard]] int count() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+
+ private:
+  std::vector<std::uint8_t> dead_;
+  int count_ = 0;
+};
+
 /// Manhattan distance between two cores in global mesh coordinates.
 [[nodiscard]] int manhattan(const core::Geometry& g, core::CoreId a, core::CoreId b);
 
@@ -62,9 +89,21 @@ class FaultSet {
 [[nodiscard]] RouteInfo route_with_faults(const core::Geometry& g, const FaultSet& faults,
                                           core::CoreId src, core::CoreId dst);
 
+/// Route avoiding both faulted cores and failed inter-chip links. Falls back
+/// to route_dor when the DOR path is clean; otherwise BFS over healthy cores
+/// and live links. Exact chip crossings are counted along the detour.
+[[nodiscard]] RouteInfo route_with_faults(const core::Geometry& g, const FaultSet& faults,
+                                          const LinkFaultSet& links, core::CoreId src,
+                                          core::CoreId dst);
+
 /// True if the straight DOR path from src to dst passes through a faulted
 /// intermediate core (endpoints excluded).
 [[nodiscard]] bool dor_path_blocked(const core::Geometry& g, const FaultSet& faults,
                                     core::CoreId src, core::CoreId dst);
+
+/// True if the straight DOR path from src to dst crosses a failed inter-chip
+/// link (X leg at the source row, then Y leg at the target column).
+[[nodiscard]] bool dor_links_blocked(const core::Geometry& g, const LinkFaultSet& links,
+                                     core::CoreId src, core::CoreId dst);
 
 }  // namespace nsc::noc

@@ -1,6 +1,7 @@
 #include "src/noc/traffic.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace nsc::noc {
 
@@ -43,6 +44,17 @@ void InterChipTraffic::end_tick() {
   std::uint32_t m = 0;
   for (std::uint32_t c : tick_counts_) m = std::max(m, c);
   max_per_tick_ = std::max<std::uint64_t>(max_per_tick_, m);
+  std::fill(tick_counts_.begin(), tick_counts_.end(), 0);
+}
+
+void InterChipTraffic::restore(const std::vector<std::uint64_t>& link_totals, std::uint64_t total,
+                               std::uint64_t max_per_tick) {
+  if (link_totals.size() != link_totals_.size()) {
+    throw std::length_error("traffic restore: link count does not match geometry");
+  }
+  link_totals_ = link_totals;
+  total_ = total;
+  max_per_tick_ = max_per_tick;
   std::fill(tick_counts_.begin(), tick_counts_.end(), 0);
 }
 

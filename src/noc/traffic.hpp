@@ -45,6 +45,12 @@ class InterChipTraffic {
 
   void reset();
 
+  /// Restores accumulated totals from a checkpoint (per-tick counts restart
+  /// at zero, matching a tick boundary). `link_totals` must have one entry
+  /// per directed link (chips * 4).
+  void restore(const std::vector<std::uint64_t>& link_totals, std::uint64_t total,
+               std::uint64_t max_per_tick);
+
  private:
   void bump(int chip, LinkDir dir);
 

@@ -1,6 +1,9 @@
 #include "src/tn/chip_sim.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+
+#include "src/core/snapshot.hpp"
 
 namespace nsc::tn {
 
@@ -14,17 +17,23 @@ TrueNorthSimulator::TrueNorthSimulator(const core::Network& net, SimOptions opts
       opts_(opts),
       prng_(net.seed),
       faults_(net.geom.total_cores()),
+      link_faults_(net.geom.chips()),
       traffic_(net.geom),
       v_(static_cast<std::size_t>(net.geom.total_cores()) * kCoreSize, 0),
       delay_(static_cast<std::size_t>(net.geom.total_cores()) * kDelaySlots),
       enabled_(static_cast<std::size_t>(net.geom.total_cores())),
       enabled_count_(static_cast<std::size_t>(net.geom.total_cores()), 0),
       route_(static_cast<std::size_t>(net.geom.total_cores()) * kCoreSize),
-      target_ok_(static_cast<std::size_t>(net.geom.total_cores()) * kCoreSize, 0) {
+      target_ok_(static_cast<std::size_t>(net.geom.total_cores()) * kCoreSize, 0),
+      target_faulted_(static_cast<std::size_t>(net.geom.total_cores()) * kCoreSize, 0) {
   // Resolve metric slots once; the per-tick path only touches references.
   ph_inject_ = &obs_.phase("inject");
   ph_compute_ = &obs_.phase("compute");
   ph_commit_ = &obs_.phase("commit");
+  ctr_cores_failed_ = &obs_.counter("fault.cores_failed");
+  ctr_links_failed_ = &obs_.counter("fault.links_failed");
+  ctr_fault_dropped_ = &obs_.counter("fault.spikes_dropped");
+  ctr_rerouted_hops_ = &obs_.counter("fault.rerouted_hops");
   const auto ncores = static_cast<CoreId>(net.geom.total_cores());
   for (CoreId c = 0; c < ncores; ++c) {
     if (net.core(c).disabled) faults_.mark(c);
@@ -44,7 +53,7 @@ TrueNorthSimulator::TrueNorthSimulator(const core::Network& net, SimOptions opts
       const std::size_t nid = static_cast<std::size_t>(c) * kCoreSize + static_cast<std::size_t>(j);
       if (p.target.valid() && p.target.core < ncores && !net.core(p.target.core).disabled) {
         target_ok_[nid] = 1;
-        route_[nid] = noc::route_with_faults(net.geom, faults_, c, p.target.core);
+        route_[nid] = noc::route_with_faults(net.geom, faults_, link_faults_, c, p.target.core);
         if (!route_[nid].reachable) {
           // Fault-disconnected target: function-level delivery proceeds (a
           // deployable configuration must avoid this; the counter flags it)
@@ -66,7 +75,14 @@ void TrueNorthSimulator::step(Tick t, const core::InputSchedule* inputs, core::S
 
   if (inputs != nullptr) {
     for (const core::InputSpike& s : inputs->at(t)) {
-      if (s.core < ncores && !net_.core(s.core).disabled) slot(s.core, t).set(s.axon);
+      if (s.core >= ncores) continue;
+      if (!faults_.is_faulted(s.core)) {
+        slot(s.core, t).set(s.axon);
+      } else if (!net_.core(s.core).disabled) {
+        // Aimed at a core a fault campaign killed mid-run: absorbed, but
+        // counted — degradation must be observable, never silent.
+        ++*ctr_fault_dropped_;
+      }
     }
   }
   const std::uint64_t t1 = obs_on ? obs::now_ns() : 0;
@@ -79,9 +95,9 @@ void TrueNorthSimulator::step(Tick t, const core::InputSchedule* inputs, core::S
   for (CoreId c = 0; c < ncores; ++c) {
     util::BitRow256& axons = slot(c, t);
     const core::CoreSpec& spec = net_.core(c);
-    if (spec.disabled) {
-      // Faulted cores absorb nothing; stale bits must not survive into the
-      // slot's next reuse 16 ticks later.
+    if (faults_.is_faulted(c)) {
+      // Faulted cores (static or failed mid-run) absorb nothing; stale bits
+      // must not survive into the slot's next reuse 16 ticks later.
       axons.reset();
       continue;
     }
@@ -145,6 +161,7 @@ void TrueNorthSimulator::step(Tick t, const core::InputSchedule* inputs, core::S
         if (multichip && route_[nid].chip_crossings > 0) traffic_.record_route(c, p.target.core);
       } else {
         ++stats_.dropped_spikes;
+        if (target_faulted_[nid] != 0) ++*ctr_fault_dropped_;
       }
     });
 
@@ -177,6 +194,208 @@ void TrueNorthSimulator::run(Tick nticks, const core::InputSchedule* inputs,
   for (Tick i = 0; i < nticks; ++i) {
     step(now_, inputs, sink);
     ++now_;
+  }
+}
+
+void TrueNorthSimulator::refresh_targets_after_fault(bool count_reroutes) {
+  const auto ncores = static_cast<CoreId>(net_.geom.total_cores());
+  for (CoreId c = 0; c < ncores; ++c) {
+    if (faults_.is_faulted(c)) continue;
+    const core::CoreSpec& spec = net_.core(c);
+    enabled_[c].for_each_set([&](int j) {
+      const std::size_t nid = static_cast<std::size_t>(c) * kCoreSize + static_cast<std::size_t>(j);
+      // Fault state only shrinks, so neurons already dropping stay dropping;
+      // only currently-deliverable targets need re-evaluation.
+      if (target_ok_[nid] == 0) return;
+      const core::AxonTarget& tgt = spec.neuron[j].target;
+      if (faults_.is_faulted(tgt.core)) {
+        target_ok_[nid] = 0;
+        target_faulted_[nid] = 1;
+        return;
+      }
+      const noc::RouteInfo r = noc::route_with_faults(net_.geom, faults_, link_faults_, c, tgt.core);
+      if (!r.reachable) {
+        // The mid-run rule: once faults occur, a target no detour can reach
+        // drops its spikes (counted) instead of the constructor's
+        // deliver-anyway deployment-error accounting.
+        target_ok_[nid] = 0;
+        target_faulted_[nid] = 1;
+        return;
+      }
+      if (count_reroutes && r.hops > route_[nid].hops) {
+        *ctr_rerouted_hops_ += static_cast<std::uint64_t>(r.hops - route_[nid].hops);
+      }
+      route_[nid] = r;
+    });
+  }
+}
+
+bool TrueNorthSimulator::fail_core(core::CoreId c) {
+  const auto ncores = static_cast<CoreId>(net_.geom.total_cores());
+  if (c >= ncores || faults_.is_faulted(c)) return false;
+  faults_.mark(c);
+  runtime_faults_ = true;
+  enabled_[c] = util::BitRow256{};
+  enabled_count_[c] = 0;
+  // In-flight deliveries to the dead core die with it — counted, not silent.
+  std::uint64_t pending = 0;
+  for (int s = 0; s < kDelaySlots; ++s) {
+    util::BitRow256& row = delay_[static_cast<std::size_t>(c) * kDelaySlots + s];
+    pending += static_cast<std::uint64_t>(row.count());
+    row.reset();
+  }
+  *ctr_fault_dropped_ += pending;
+  ++*ctr_cores_failed_;
+  refresh_targets_after_fault(/*count_reroutes=*/true);
+  return true;
+}
+
+bool TrueNorthSimulator::fail_link(int chip, int dir) {
+  if (net_.geom.chips() <= 1) return false;
+  if (chip < 0 || chip >= net_.geom.chips() || dir < 0 || dir >= 4) return false;
+  if (link_faults_.blocked(chip, dir)) return false;
+  link_faults_.mark(chip, dir);
+  runtime_faults_ = true;
+  ++*ctr_links_failed_;
+  refresh_targets_after_fault(/*count_reroutes=*/true);
+  return true;
+}
+
+void TrueNorthSimulator::save_checkpoint(std::ostream& os) const {
+  core::Snapshot snap;
+  snap.backend = core::SnapshotBackend::kTrueNorth;
+  snap.geom = net_.geom;
+  snap.net_seed = net_.seed;
+  snap.tick = now_;
+  snap.stats = stats_;
+  const auto ncores = static_cast<std::size_t>(net_.geom.total_cores());
+  snap.dead_cores.resize(ncores, 0);
+  for (std::size_t c = 0; c < ncores; ++c) {
+    snap.dead_cores[c] = faults_.is_faulted(static_cast<CoreId>(c)) ? 1 : 0;
+  }
+  const int chips = net_.geom.chips();
+  snap.dead_links.resize(static_cast<std::size_t>(chips) * 4, 0);
+  for (int ch = 0; ch < chips; ++ch) {
+    for (int d = 0; d < 4; ++d) {
+      snap.dead_links[static_cast<std::size_t>(ch) * 4 + static_cast<std::size_t>(d)] =
+          link_faults_.blocked(ch, d) ? 1 : 0;
+    }
+  }
+  snap.v = v_;
+  snap.delay_words.reserve(delay_.size() * util::BitRow256::kWords);
+  for (const util::BitRow256& row : delay_) {
+    for (int w = 0; w < util::BitRow256::kWords; ++w) snap.delay_words.push_back(row.word(w));
+  }
+  snap.set_extra("fault.cores_failed", *ctr_cores_failed_);
+  snap.set_extra("fault.links_failed", *ctr_links_failed_);
+  snap.set_extra("fault.spikes_dropped", *ctr_fault_dropped_);
+  snap.set_extra("fault.rerouted_hops", *ctr_rerouted_hops_);
+  snap.traffic_link_totals.resize(static_cast<std::size_t>(chips) * 4, 0);
+  for (int ch = 0; ch < chips; ++ch) {
+    for (int d = 0; d < 4; ++d) {
+      snap.traffic_link_totals[static_cast<std::size_t>(ch) * 4 + static_cast<std::size_t>(d)] =
+          traffic_.link_total(ch, static_cast<noc::LinkDir>(d));
+    }
+  }
+  snap.traffic_total = traffic_.total_crossings();
+  snap.traffic_max_per_tick = traffic_.max_link_packets_per_tick();
+  core::save_snapshot(snap, os);
+}
+
+void TrueNorthSimulator::load_checkpoint(std::istream& is) {
+  const core::Snapshot snap = core::load_snapshot(is);
+  if (snap.geom != net_.geom) {
+    throw std::runtime_error("checkpoint geometry does not match this simulator's network");
+  }
+  if (snap.net_seed != net_.seed) {
+    throw std::runtime_error("checkpoint was taken against a different network (seed mismatch)");
+  }
+  now_ = snap.tick;
+  stats_ = snap.stats;
+  v_ = snap.v;
+  for (std::size_t i = 0; i < delay_.size(); ++i) {
+    for (int w = 0; w < util::BitRow256::kWords; ++w) {
+      delay_[i].set_word(w, snap.delay_words[i * util::BitRow256::kWords +
+                                             static_cast<std::size_t>(w)]);
+    }
+  }
+
+  // Rebuild the fault state and everything derived from it. The snapshot's
+  // dead set must contain the network's static faults; anything beyond them
+  // is a runtime (campaign) fault, which re-activates the mid-run drop rule
+  // exactly as the original simulator's fail_core/fail_link calls did.
+  const auto ncores = static_cast<CoreId>(net_.geom.total_cores());
+  faults_ = noc::FaultSet(static_cast<int>(ncores));
+  link_faults_ = noc::LinkFaultSet(net_.geom.chips());
+  runtime_faults_ = false;
+  for (CoreId c = 0; c < ncores; ++c) {
+    const bool static_dead = net_.core(c).disabled != 0;
+    const bool dead = snap.dead_cores[c] != 0 || static_dead;
+    if (dead) faults_.mark(c);
+    if (dead && !static_dead) runtime_faults_ = true;
+  }
+  for (int ch = 0; ch < net_.geom.chips(); ++ch) {
+    for (int d = 0; d < 4; ++d) {
+      if (snap.dead_links[static_cast<std::size_t>(ch) * 4 + static_cast<std::size_t>(d)] != 0) {
+        link_faults_.mark(ch, d);
+        runtime_faults_ = true;
+      }
+    }
+  }
+  for (CoreId c = 0; c < ncores; ++c) {
+    enabled_[c] = util::BitRow256{};
+    enabled_count_[c] = 0;
+    if (faults_.is_faulted(c)) continue;
+    const core::CoreSpec& spec = net_.core(c);
+    for (int j = 0; j < kCoreSize; ++j) {
+      if (!spec.neuron[j].enabled) continue;
+      enabled_[c].set(j);
+      ++enabled_count_[c];
+    }
+  }
+  // Re-derive target deliverability from the restored fault state; this is a
+  // pure function of the final fault sets, so it reproduces the state the
+  // saving simulator reached incrementally.
+  std::fill(target_ok_.begin(), target_ok_.end(), 0);
+  std::fill(target_faulted_.begin(), target_faulted_.end(), 0);
+  unreachable_targets_ = 0;
+  for (CoreId c = 0; c < ncores; ++c) {
+    if (faults_.is_faulted(c)) continue;
+    const core::CoreSpec& spec = net_.core(c);
+    for (int j = 0; j < kCoreSize; ++j) {
+      const NeuronParams& p = spec.neuron[j];
+      if (!p.enabled || !p.target.valid() || p.target.core >= ncores) continue;
+      const std::size_t nid = static_cast<std::size_t>(c) * kCoreSize + static_cast<std::size_t>(j);
+      const bool static_ok = net_.core(p.target.core).disabled == 0;
+      if (!static_ok) continue;  // dropped since construction; not fault-counted
+      if (faults_.is_faulted(p.target.core)) {
+        target_faulted_[nid] = 1;  // killed mid-run
+        continue;
+      }
+      const noc::RouteInfo r =
+          noc::route_with_faults(net_.geom, faults_, link_faults_, c, p.target.core);
+      if (r.reachable) {
+        target_ok_[nid] = 1;
+        route_[nid] = r;
+      } else if (runtime_faults_) {
+        target_faulted_[nid] = 1;  // fault-disconnected: mid-run drop rule
+      } else {
+        // No runtime faults: constructor semantics (deployment error,
+        // deliver anyway with Manhattan hop accounting).
+        ++unreachable_targets_;
+        target_ok_[nid] = 1;
+        route_[nid] = noc::route_dor(net_.geom, c, p.target.core);
+      }
+    }
+  }
+
+  *ctr_cores_failed_ = snap.extra("fault.cores_failed");
+  *ctr_links_failed_ = snap.extra("fault.links_failed");
+  *ctr_fault_dropped_ = snap.extra("fault.spikes_dropped");
+  *ctr_rerouted_hops_ = snap.extra("fault.rerouted_hops");
+  traffic_.reset();
+  if (!snap.traffic_link_totals.empty()) {
+    traffic_.restore(snap.traffic_link_totals, snap.traffic_total, snap.traffic_max_per_tick);
   }
 }
 

@@ -51,6 +51,20 @@ class TrueNorthSimulator final : public core::Simulator {
     traffic_.reset();
   }
 
+  /// Checkpoint/restore: full dynamic state (tick, potentials, delay
+  /// buffers, runtime fault state, kernel and traffic counters). A restored
+  /// run continues bit-exactly; snapshots interchange with Compass.
+  void save_checkpoint(std::ostream& os) const override;
+  void load_checkpoint(std::istream& is) override;
+
+  /// Mid-run faults (docs/RESILIENCE.md): the core/link dies at the next
+  /// tick boundary, in-flight deliveries to it are dropped and counted
+  /// (obs counter fault.spikes_dropped), surviving routes re-detour around
+  /// it (extra hops in fault.rerouted_hops), and targets no detour can reach
+  /// drop their spikes from then on.
+  bool fail_core(core::CoreId c) override;
+  bool fail_link(int chip, int dir) override;
+
   /// Membrane potential access for white-box tests.
   [[nodiscard]] std::int32_t potential(core::CoreId c, int neuron) const {
     return v_[static_cast<std::size_t>(c) * core::kCoreSize + static_cast<std::size_t>(neuron)];
@@ -92,12 +106,19 @@ class TrueNorthSimulator final : public core::Simulator {
 
   void step(core::Tick t, const core::InputSchedule* inputs, core::SpikeSink* sink);
 
+  /// Re-evaluates every live target against the current fault state (the
+  /// mid-run rule: dead or fault-disconnected targets drop their spikes).
+  /// With `count_reroutes`, detour growth is added to fault.rerouted_hops.
+  void refresh_targets_after_fault(bool count_reroutes);
+
   const core::Network& net_;
   SimOptions opts_;
   util::CounterPrng prng_;
   core::Tick now_ = 0;
   core::KernelStats stats_;
   noc::FaultSet faults_;
+  noc::LinkFaultSet link_faults_;
+  bool runtime_faults_ = false;  ///< Any fault beyond the network's static ones.
   noc::InterChipTraffic traffic_;
 
   /// Phase timers; accumulator references resolved once at construction
@@ -106,6 +127,10 @@ class TrueNorthSimulator final : public core::Simulator {
   obs::PhaseAccum* ph_inject_ = nullptr;
   obs::PhaseAccum* ph_compute_ = nullptr;
   obs::PhaseAccum* ph_commit_ = nullptr;
+  std::uint64_t* ctr_cores_failed_ = nullptr;
+  std::uint64_t* ctr_links_failed_ = nullptr;
+  std::uint64_t* ctr_fault_dropped_ = nullptr;
+  std::uint64_t* ctr_rerouted_hops_ = nullptr;
 
   std::vector<std::int32_t> v_;              ///< Membrane potentials, core-major.
   std::vector<util::BitRow256> delay_;       ///< Axon delay buffers, 16 slots/core.
@@ -115,6 +140,9 @@ class TrueNorthSimulator final : public core::Simulator {
   std::vector<noc::RouteInfo> route_;
   /// Neurons with valid, healthy targets (others drop their spikes).
   std::vector<std::uint8_t> target_ok_;
+  /// Neurons whose target_ok_ was revoked by a mid-run fault (their dropped
+  /// spikes count into fault.spikes_dropped, never silently).
+  std::vector<std::uint8_t> target_faulted_;
   std::uint64_t unreachable_targets_ = 0;
 };
 

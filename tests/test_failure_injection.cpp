@@ -7,6 +7,7 @@
 #include "src/compass/simulator.hpp"
 #include "src/core/reference_sim.hpp"
 #include "src/core/spike_sink.hpp"
+#include "src/fault/inject.hpp"
 #include "src/netgen/random_net.hpp"
 #include "src/netgen/recurrent.hpp"
 #include "src/noc/route.hpp"
@@ -19,35 +20,7 @@ using core::Geometry;
 using core::InputSchedule;
 using core::Network;
 using core::VectorSink;
-
-/// Disables `fraction` of cores (deterministically by seed) and silences
-/// them; neurons targeting a faulted core are retargeted to the next
-/// healthy core so the network remains valid.
-int inject_faults(Network& net, double fraction, std::uint64_t seed) {
-  util::Xoshiro rng(seed);
-  const auto ncores = static_cast<core::CoreId>(net.geom.total_cores());
-  int faulted = 0;
-  for (core::CoreId c = 0; c < ncores; ++c) {
-    if (rng.next_double() >= fraction) continue;
-    net.core(c).disabled = 1;
-    for (auto& p : net.core(c).neuron) p.enabled = 0;
-    ++faulted;
-  }
-  if (faulted == static_cast<int>(ncores)) {
-    net.core(0).disabled = 0;  // keep at least one core alive
-    --faulted;
-  }
-  for (auto& cs : net.cores) {
-    if (cs.disabled) continue;
-    for (auto& p : cs.neuron) {
-      if (!p.target.valid()) continue;
-      core::CoreId t = p.target.core;
-      while (net.core(t).disabled) t = (t + 1) % ncores;
-      p.target.core = t;
-    }
-  }
-  return faulted;
-}
+using fault::inject_faults;  // promoted to src/fault/inject.hpp
 
 class FaultSweep : public ::testing::TestWithParam<double> {};
 

@@ -1,0 +1,248 @@
+// nsc_faultsweep — graceful-degradation curves under mid-run fault
+// campaigns (docs/RESILIENCE.md).
+//
+//   nsc_faultsweep --net net.nsc --ticks 200 [--backend tn|compass]
+//                  [--threads N] [--fractions 0,0.1,0.25] [--events-seed S]
+//                  [--in events.aer] [--json curve.json] [--check-monotone]
+//
+// For each fault fraction f, runs the network under a deterministic seeded
+// campaign that kills round(f * cores) cores at random ticks in the first
+// half of the run, and reports spike fidelity — the fraction of the
+// fault-free reference spike train the degraded run still produces — plus
+// the reroute/drop accounting. --json writes an "nsc-bench-v1" report whose
+// "degradation" array is the curve; --check-monotone exits non-zero unless
+// the fault-free point has fidelity 1.0 and fidelity is non-increasing in f
+// (0.1 tolerance for spike trains that reorganize rather than thin out).
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/compass/simulator.hpp"
+#include "src/core/aer.hpp"
+#include "src/core/network_io.hpp"
+#include "src/core/spike_sink.hpp"
+#include "src/fault/campaign.hpp"
+#include "src/obs/json_report.hpp"
+#include "src/obs/obs.hpp"
+#include "src/tn/chip_sim.hpp"
+
+namespace {
+
+const char* flag_value(int argc, char** argv, const char* name, const char* fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+bool flag_present(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+long long parse_ll(const char* name, const char* s) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') {
+    throw std::runtime_error(std::string("invalid integer for ") + name + ": '" + s + "'");
+  }
+  return v;
+}
+
+/// Comma-separated fault fractions, each in [0, 1).
+std::vector<double> parse_fractions(const std::string& spec) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = std::min(spec.find(',', pos), spec.size());
+    const std::string tok = spec.substr(pos, comma - pos);
+    errno = 0;
+    char* end = nullptr;
+    const double f = std::strtod(tok.c_str(), &end);
+    if (errno != 0 || end == tok.c_str() || *end != '\0' || f < 0.0 || f >= 1.0) {
+      throw std::runtime_error("invalid fault fraction '" + tok + "' (need 0 <= f < 1)");
+    }
+    out.push_back(f);
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::unique_ptr<nsc::core::Simulator> make_sim(const nsc::core::Network& net,
+                                               const std::string& backend, int threads) {
+  if (backend == "compass") {
+    return std::make_unique<nsc::compass::Simulator>(
+        net, nsc::compass::Config{.threads = std::max(1, threads)});
+  }
+  return std::make_unique<nsc::tn::TrueNorthSimulator>(net);
+}
+
+std::uint64_t counter_value(const nsc::obs::Registry& reg, std::string_view name) {
+  for (const auto& [n, v] : reg.counters()) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+const nsc::obs::Registry& sim_metrics(const nsc::core::Simulator& sim, const std::string& backend) {
+  if (backend == "compass") return static_cast<const nsc::compass::Simulator&>(sim).metrics();
+  return static_cast<const nsc::tn::TrueNorthSimulator&>(sim).metrics();
+}
+
+/// |A ∩ B| for two canonically ordered spike trains (two-pointer sweep).
+std::size_t spike_intersection(const std::vector<nsc::core::Spike>& a,
+                               const std::vector<nsc::core::Spike>& b) {
+  std::size_t i = 0, j = 0, matched = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++matched, ++i, ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return matched;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string net_path = flag_value(argc, argv, "--net", "");
+  if (net_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: nsc_faultsweep --net FILE --ticks N [--backend tn|compass] [--threads N]\n"
+                 "                      [--fractions 0,0.1,0.25] [--events-seed S] [--in F]\n"
+                 "                      [--json FILE] [--check-monotone]\n");
+    return 2;
+  }
+  try {
+    const auto ticks =
+        static_cast<nsc::core::Tick>(parse_ll("--ticks", flag_value(argc, argv, "--ticks", "100")));
+    if (ticks <= 0) throw std::runtime_error("--ticks must be > 0");
+    const std::string backend = flag_value(argc, argv, "--backend", "tn");
+    if (backend != "tn" && backend != "compass") {
+      throw std::runtime_error("unknown backend '" + backend + "' (expected tn or compass)");
+    }
+    const int threads = static_cast<int>(parse_ll("--threads", flag_value(argc, argv, "--threads", "1")));
+    const auto events_seed = static_cast<std::uint64_t>(
+        parse_ll("--events-seed", flag_value(argc, argv, "--events-seed", "1")));
+    const std::vector<double> fractions =
+        parse_fractions(flag_value(argc, argv, "--fractions", "0,0.05,0.15,0.3"));
+    const std::string in_path = flag_value(argc, argv, "--in", "");
+    const std::string json_path = flag_value(argc, argv, "--json", "");
+    const bool check_monotone = flag_present(argc, argv, "--check-monotone");
+
+    const nsc::core::Network net = nsc::core::load_network(net_path);
+    const int ncores = net.geom.total_cores();
+    nsc::core::InputSchedule inputs;
+    if (!in_path.empty()) {
+      inputs = nsc::core::load_aer_inputs(in_path);
+    } else {
+      inputs.finalize();
+    }
+
+    // Fault-free reference: the spike train every degraded run is scored
+    // against.
+    nsc::core::VectorSink ref;
+    nsc::obs::BenchReport report;
+    report.name = "nsc_faultsweep";
+    report.ticks = static_cast<std::uint64_t>(ticks);
+    report.threads = backend == "compass" ? std::max(1, threads) : 1;
+    {
+      auto sim = make_sim(net, backend, threads);
+      const std::uint64_t t0 = nsc::obs::now_ns();
+      sim->run(ticks, &inputs, &ref);
+      report.wall_s = 1e-9 * static_cast<double>(nsc::obs::now_ns() - t0);
+      report.stats = sim->stats();
+      report.metrics = sim_metrics(*sim, backend);
+    }
+    std::printf("reference (%s): %zu spikes over %lld ticks on %d cores\n", backend.c_str(),
+                ref.spikes().size(), static_cast<long long>(ticks), ncores);
+
+    nsc::obs::JsonValue curve = nsc::obs::JsonValue::array();
+    std::vector<double> fidelities;
+    std::printf("%10s %8s %10s %10s %10s %10s\n", "fraction", "failed", "spikes", "fidelity",
+                "dropped", "rerouted");
+    for (std::size_t fi = 0; fi < fractions.size(); ++fi) {
+      const double f = fractions[fi];
+      const int n_faults = std::min(ncores - 1, static_cast<int>(std::lround(f * ncores)));
+      // Events land in the first half so degradation has time to show.
+      const auto campaign = nsc::fault::Campaign::random(
+          net.geom, n_faults, 0, std::max<nsc::core::Tick>(1, ticks / 2),
+          events_seed + 7919 * fi);
+      auto sim = make_sim(net, backend, threads);
+      nsc::core::VectorSink sink;
+      nsc::fault::run_with_campaign(*sim, ticks, &inputs, &sink, campaign);
+
+      const nsc::obs::Registry& m = sim_metrics(*sim, backend);
+      const std::uint64_t cores_failed = counter_value(m, "fault.cores_failed");
+      const std::uint64_t dropped = counter_value(m, "fault.spikes_dropped");
+      const std::uint64_t rerouted = counter_value(m, "fault.rerouted_hops");
+      const double fidelity =
+          ref.spikes().empty()
+              ? 1.0
+              : static_cast<double>(spike_intersection(ref.spikes(), sink.spikes())) /
+                    static_cast<double>(ref.spikes().size());
+      fidelities.push_back(fidelity);
+      std::printf("%10.3f %8llu %10zu %10.4f %10llu %10llu\n", f,
+                  static_cast<unsigned long long>(cores_failed), sink.spikes().size(), fidelity,
+                  static_cast<unsigned long long>(dropped),
+                  static_cast<unsigned long long>(rerouted));
+
+      nsc::obs::JsonValue point = nsc::obs::JsonValue::object();
+      point.set("fraction", f);
+      point.set("cores_failed", cores_failed);
+      point.set("spikes", static_cast<std::uint64_t>(sink.spikes().size()));
+      point.set("ref_spikes", static_cast<std::uint64_t>(ref.spikes().size()));
+      point.set("fidelity", fidelity);
+      point.set("fault_spikes_dropped", dropped);
+      point.set("rerouted_hops", rerouted);
+      curve.push_back(std::move(point));
+    }
+
+    if (!json_path.empty()) {
+      nsc::obs::JsonValue doc = nsc::obs::report_to_json(report);
+      doc.set("degradation", std::move(curve));
+      std::ofstream out(json_path);
+      if (!out) throw std::runtime_error("cannot open " + json_path + " for writing");
+      out << doc.to_string(2) << "\n";
+      if (!out) throw std::runtime_error("write failed: " + json_path);
+      std::printf("wrote degradation curve to %s\n", json_path.c_str());
+    }
+
+    if (check_monotone) {
+      // The curve must start perfect and must not climb back up as faults
+      // accumulate (small tolerance: dead cores can unmask spikes elsewhere).
+      constexpr double kTol = 0.1;
+      for (std::size_t i = 0; i < fractions.size(); ++i) {
+        if (fractions[i] == 0.0 && fidelities[i] != 1.0) {
+          std::fprintf(stderr, "CHECK FAILED: fault-free fidelity %.4f != 1.0\n", fidelities[i]);
+          return 1;
+        }
+        if (i > 0 && fractions[i] >= fractions[i - 1] &&
+            fidelities[i] > fidelities[i - 1] + kTol) {
+          std::fprintf(stderr, "CHECK FAILED: fidelity climbed %.4f -> %.4f at fraction %.3f\n",
+                       fidelities[i - 1], fidelities[i], fractions[i]);
+          return 1;
+        }
+      }
+      std::printf("monotone check passed (%zu points)\n", fractions.size());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

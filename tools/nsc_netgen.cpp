@@ -6,9 +6,11 @@
 //
 // Writes the binary model format of src/core/network_io.hpp, loadable by
 // nsc_run and by the library's load_network().
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 
 #include "src/core/network_io.hpp"
@@ -37,13 +39,28 @@ class Flags {
     }
     return fallback;
   }
+  /// Strict parses: a malformed value is a hard error, not a silent zero.
   [[nodiscard]] double get_d(const std::string& name, double fallback) const {
     const std::string v = get(name, "");
-    return v.empty() ? fallback : std::atof(v.c_str());
+    if (v.empty()) return fallback;
+    errno = 0;
+    char* end = nullptr;
+    const double d = std::strtod(v.c_str(), &end);
+    if (errno != 0 || end == v.c_str() || *end != '\0') {
+      throw std::runtime_error("invalid number for " + name + ": '" + v + "'");
+    }
+    return d;
   }
   [[nodiscard]] int get_i(const std::string& name, int fallback) const {
     const std::string v = get(name, "");
-    return v.empty() ? fallback : std::atoi(v.c_str());
+    if (v.empty()) return fallback;
+    errno = 0;
+    char* end = nullptr;
+    const long d = std::strtol(v.c_str(), &end, 10);
+    if (errno != 0 || end == v.c_str() || *end != '\0') {
+      throw std::runtime_error("invalid integer for " + name + ": '" + v + "'");
+    }
+    return static_cast<int>(d);
   }
 
  private:
@@ -66,14 +83,16 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  nsc::core::Geometry geom;
-  geom.chips_x = flags.get_i("--chips-x", 1);
-  geom.chips_y = flags.get_i("--chips-y", 1);
-  geom.cores_x = flags.get_i("--cores-x", 8);
-  geom.cores_y = flags.get_i("--cores-y", 8);
-  const auto seed = static_cast<std::uint64_t>(flags.get_i("--seed", 1));
-
   try {
+    nsc::core::Geometry geom;
+    geom.chips_x = flags.get_i("--chips-x", 1);
+    geom.chips_y = flags.get_i("--chips-y", 1);
+    geom.cores_x = flags.get_i("--cores-x", 8);
+    geom.cores_y = flags.get_i("--cores-y", 8);
+    if (geom.chips_x <= 0 || geom.chips_y <= 0 || geom.cores_x <= 0 || geom.cores_y <= 0) {
+      throw std::runtime_error("geometry dimensions must all be positive");
+    }
+    const auto seed = static_cast<std::uint64_t>(flags.get_i("--seed", 1));
     nsc::core::Network net;
     if (mode == "recurrent") {
       nsc::netgen::RecurrentSpec spec;

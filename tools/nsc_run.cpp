@@ -3,21 +3,28 @@
 //   nsc_run --net net.nsc --ticks 1000 [--backend tn|compass] [--threads N]
 //           [--in events.aer] [--out spikes.aer] [--json report.json]
 //           [--volts 0.75] [--verify]
+//           [--restore ckpt.nsck] [--save-checkpoint ckpt.nsck [--checkpoint-at T]]
 //
 // Prints run statistics, the per-phase wall-time breakdown, spike-train
 // analysis, and (for the tn backend) the energy/timing model's projection of
 // the silicon. --json additionally writes an "nsc-bench-v1" metrics report
 // (docs/OBSERVABILITY.md). --verify runs BOTH backends and checks
-// spike-for-spike agreement (exit 1 on mismatch).
+// spike-for-spike agreement (exit 1 on mismatch). --restore resumes a saved
+// checkpoint (docs/RESILIENCE.md) and then runs --ticks further ticks;
+// --save-checkpoint writes one after --checkpoint-at ticks of this run
+// (default: at the end), then finishes the run.
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <stdexcept>
 #include <string>
 
 #include "src/compass/simulator.hpp"
 #include "src/core/aer.hpp"
 #include "src/core/network_io.hpp"
+#include "src/core/snapshot.hpp"
 #include "src/core/spike_analysis.hpp"
 #include "src/core/spike_sink.hpp"
 #include "src/energy/truenorth_power.hpp"
@@ -34,6 +41,28 @@ const char* flag_value(int argc, char** argv, const char* name, const char* fall
     if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
   }
   return fallback;
+}
+
+/// Strict integer parse: the whole token must be a number (no atoi-style
+/// silent zero for garbage like "--ticks banana").
+long long parse_ll(const char* name, const char* s) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') {
+    throw std::runtime_error(std::string("invalid integer for ") + name + ": '" + s + "'");
+  }
+  return v;
+}
+
+double parse_d(const char* name, const char* s) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (errno != 0 || end == s || *end != '\0') {
+    throw std::runtime_error(std::string("invalid number for ") + name + ": '" + s + "'");
+  }
+  return v;
 }
 
 bool flag_present(int argc, char** argv, const char* name) {
@@ -71,18 +100,27 @@ int main(int argc, char** argv) {
   if (net_path.empty()) {
     std::fprintf(stderr,
                  "usage: nsc_run --net FILE --ticks N [--backend tn|compass] [--threads N]\n"
-                 "               [--in events.aer] [--out spikes.aer] [--volts V] [--verify]\n");
+                 "               [--in events.aer] [--out spikes.aer] [--volts V] [--verify]\n"
+                 "               [--restore F] [--save-checkpoint F [--checkpoint-at T]]\n");
     return 2;
   }
-  const auto ticks = static_cast<nsc::core::Tick>(std::atoll(flag_value(argc, argv, "--ticks", "100")));
-  const std::string backend = flag_value(argc, argv, "--backend", "tn");
-  const int threads = std::atoi(flag_value(argc, argv, "--threads", "1"));
-  const double volts = std::atof(flag_value(argc, argv, "--volts", "0.75"));
-  const std::string in_path = flag_value(argc, argv, "--in", "");
-  const std::string out_path = flag_value(argc, argv, "--out", "");
-  const std::string json_path = flag_value(argc, argv, "--json", "");
-
   try {
+    const auto ticks =
+        static_cast<nsc::core::Tick>(parse_ll("--ticks", flag_value(argc, argv, "--ticks", "100")));
+    const std::string backend = flag_value(argc, argv, "--backend", "tn");
+    if (backend != "tn" && backend != "compass") {
+      throw std::runtime_error("unknown backend '" + backend + "' (expected tn or compass)");
+    }
+    const int threads = static_cast<int>(parse_ll("--threads", flag_value(argc, argv, "--threads", "1")));
+    const double volts = parse_d("--volts", flag_value(argc, argv, "--volts", "0.75"));
+    const std::string in_path = flag_value(argc, argv, "--in", "");
+    const std::string out_path = flag_value(argc, argv, "--out", "");
+    const std::string json_path = flag_value(argc, argv, "--json", "");
+    const std::string restore_path = flag_value(argc, argv, "--restore", "");
+    const std::string ckpt_path = flag_value(argc, argv, "--save-checkpoint", "");
+    const auto ckpt_at = static_cast<nsc::core::Tick>(
+        parse_ll("--checkpoint-at", flag_value(argc, argv, "--checkpoint-at", "-1")));
+    if (ticks < 0) throw std::runtime_error("--ticks must be >= 0");
     const nsc::core::Network net = nsc::core::load_network(net_path);
     const auto neurons = static_cast<std::uint64_t>(net.geom.neurons());
     std::printf("loaded %s: %d cores, %llu enabled neurons, %llu synapses\n", net_path.c_str(),
@@ -119,11 +157,34 @@ int main(int argc, char** argv) {
     nsc::obs::BenchReport report;
     report.name = "nsc_run";
     report.ticks = static_cast<std::uint64_t>(ticks);
+
+    // Restore (if asked), run --ticks further ticks — splitting the run
+    // around --checkpoint-at when a save was requested — and time the whole
+    // thing.
+    const auto drive = [&](nsc::core::Simulator& sim) {
+      if (!restore_path.empty()) {
+        nsc::core::load_checkpoint(sim, restore_path);
+        std::printf("restored %s at tick %lld\n", restore_path.c_str(),
+                    static_cast<long long>(sim.now()));
+      }
+      const std::uint64_t t0 = nsc::obs::now_ns();
+      if (!ckpt_path.empty()) {
+        nsc::core::Tick pre = ckpt_at < 0 ? ticks : ckpt_at;
+        if (pre > ticks) pre = ticks;
+        if (pre > 0) sim.run(pre, &inputs, &sink);
+        nsc::core::save_checkpoint(sim, ckpt_path);
+        std::printf("wrote checkpoint to %s at tick %lld\n", ckpt_path.c_str(),
+                    static_cast<long long>(sim.now()));
+        if (ticks - pre > 0) sim.run(ticks - pre, &inputs, &sink);
+      } else {
+        sim.run(ticks, &inputs, &sink);
+      }
+      report.wall_s = 1e-9 * static_cast<double>(nsc::obs::now_ns() - t0);
+    };
+
     if (backend == "compass") {
       nsc::compass::Simulator sim(net, {.threads = std::max(1, threads)});
-      const std::uint64_t t0 = nsc::obs::now_ns();
-      sim.run(ticks, &inputs, &sink);
-      report.wall_s = 1e-9 * static_cast<double>(nsc::obs::now_ns() - t0);
+      drive(sim);
       stats = sim.stats();
       report.stats = stats;
       report.threads = sim.config().threads;
@@ -138,9 +199,7 @@ int main(int argc, char** argv) {
       }
     } else {
       nsc::tn::TrueNorthSimulator sim(net);
-      const std::uint64_t t0 = nsc::obs::now_ns();
-      sim.run(ticks, &inputs, &sink);
-      report.wall_s = 1e-9 * static_cast<double>(nsc::obs::now_ns() - t0);
+      drive(sim);
       stats = sim.stats();
       report.stats = stats;
       report.metrics = sim.metrics();
