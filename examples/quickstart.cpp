@@ -9,9 +9,9 @@
 // power from the energy model.
 #include <cstdio>
 
+#include "src/analysis/lint.hpp"
 #include "src/compass/simulator.hpp"
 #include "src/core/spike_sink.hpp"
-#include "src/core/validation.hpp"
 #include "src/energy/truenorth_power.hpp"
 #include "src/energy/truenorth_timing.hpp"
 #include "src/netgen/recurrent.hpp"
@@ -29,7 +29,10 @@ int main() {
   spec.synapses_per_axon = 128;
   spec.seed = 7;
   const core::Network net = netgen::make_recurrent(spec);
-  core::validate_or_throw(net);
+  // Static pre-deployment verification (docs/ANALYSIS.md): the two kernel
+  // expressions below are only guaranteed to agree spike-for-spike when the
+  // model is inside the hardware envelope.
+  analysis::require_deployable(net);
   std::printf("network: %d cores, %d neurons, %llu synapses\n", net.geom.total_cores(),
               net.geom.neurons(), static_cast<unsigned long long>(net.total_synapses()));
 

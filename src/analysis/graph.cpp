@@ -1,0 +1,153 @@
+#include "src/analysis/graph.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace nsc::analysis {
+
+using core::CoreId;
+
+CoreGraph build_core_graph(const core::Network& net) {
+  CoreGraph g;
+  g.ncores = net.geom.total_cores();
+  const auto ncores = static_cast<std::size_t>(g.ncores);
+  g.out_start.assign(ncores + 1, 0);
+  g.in_degree.assign(ncores, 0);
+  if (net.cores.size() != ncores) return g;  // NSC001 territory; no graph.
+
+  // Collect distinct targets per core (targets within a core cluster, so a
+  // sort+unique of a small scratch vector per core beats a global edge sort).
+  std::vector<std::uint32_t> scratch;
+  std::vector<std::vector<std::uint32_t>> adj(ncores);
+  for (std::size_t c = 0; c < ncores; ++c) {
+    scratch.clear();
+    for (const auto& p : net.cores[c].neuron) {
+      if (!p.enabled || !p.target.valid()) continue;
+      if (p.target.core >= ncores) continue;  // out-of-range: NSC005, not an edge
+      scratch.push_back(p.target.core);
+    }
+    std::sort(scratch.begin(), scratch.end());
+    scratch.erase(std::unique(scratch.begin(), scratch.end()), scratch.end());
+    adj[c] = scratch;
+  }
+  for (std::size_t c = 0; c < ncores; ++c) {
+    g.out_start[c + 1] = g.out_start[c] + static_cast<std::uint32_t>(adj[c].size());
+  }
+  g.out_edges.reserve(g.out_start[ncores]);
+  for (std::size_t c = 0; c < ncores; ++c) {
+    for (std::uint32_t d : adj[c]) {
+      g.out_edges.push_back(d);
+      ++g.in_degree[d];
+    }
+  }
+  return g;
+}
+
+namespace {
+
+/// Shortest directed cycle through `start` restricted to cores whose
+/// component id equals `comp`: BFS over the component from start's
+/// successors back to start.
+int shortest_cycle_through(const CoreGraph& g, const std::vector<int>& comp_of, int comp,
+                           std::uint32_t start) {
+  std::vector<int> dist(static_cast<std::size_t>(g.ncores), -1);
+  std::deque<std::uint32_t> queue;
+  dist[start] = 0;
+  queue.push_back(start);
+  while (!queue.empty()) {
+    const std::uint32_t u = queue.front();
+    queue.pop_front();
+    for (std::uint32_t e = g.out_start[u]; e < g.out_start[u + 1]; ++e) {
+      const std::uint32_t v = g.out_edges[e];
+      if (comp_of[v] != comp) continue;
+      if (v == start) return dist[u] + 1;
+      if (dist[v] == -1) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return 0;  // start has no cycle inside the component (size-1 SCC).
+}
+
+}  // namespace
+
+std::vector<RecurrentComponent> recurrent_components(const CoreGraph& g) {
+  // Iterative Tarjan: explicit DFS stack so chain-shaped million-core
+  // graphs cannot overflow the call stack.
+  const auto n = static_cast<std::size_t>(g.ncores);
+  std::vector<int> index(n, -1), lowlink(n, 0), comp_of(n, -1);
+  std::vector<std::uint8_t> on_stack(n, 0);
+  std::vector<std::uint32_t> stack;
+  struct Frame {
+    std::uint32_t v;
+    std::uint32_t edge;  ///< Next out-edge offset to visit.
+  };
+  std::vector<Frame> dfs;
+  std::vector<std::vector<CoreId>> comps;
+  int next_index = 0;
+
+  for (std::uint32_t root = 0; root < n; ++root) {
+    if (index[root] != -1) continue;
+    dfs.push_back({root, g.out_start[root]});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = 1;
+    while (!dfs.empty()) {
+      Frame& f = dfs.back();
+      if (f.edge < g.out_start[f.v + 1]) {
+        const std::uint32_t w = g.out_edges[f.edge++];
+        if (index[w] == -1) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = 1;
+          dfs.push_back({w, g.out_start[w]});
+        } else if (on_stack[w]) {
+          lowlink[f.v] = std::min(lowlink[f.v], index[w]);
+        }
+      } else {
+        const std::uint32_t v = f.v;
+        dfs.pop_back();
+        if (!dfs.empty()) lowlink[dfs.back().v] = std::min(lowlink[dfs.back().v], lowlink[v]);
+        if (lowlink[v] == index[v]) {
+          std::vector<CoreId> comp;
+          std::uint32_t w;
+          do {
+            w = stack.back();
+            stack.pop_back();
+            on_stack[w] = 0;
+            comp_of[w] = static_cast<int>(comps.size());
+            comp.push_back(w);
+          } while (w != v);
+          std::sort(comp.begin(), comp.end());
+          comps.push_back(std::move(comp));
+        }
+      }
+    }
+  }
+
+  std::vector<RecurrentComponent> out;
+  for (std::size_t ci = 0; ci < comps.size(); ++ci) {
+    const auto& comp = comps[ci];
+    bool recurrent = comp.size() > 1;
+    if (!recurrent) {
+      // Size-1 SCC counts only with a self-edge.
+      const std::uint32_t v = comp[0];
+      for (std::uint32_t e = g.out_start[v]; e < g.out_start[v + 1] && !recurrent; ++e) {
+        recurrent = g.out_edges[e] == v;
+      }
+    }
+    if (!recurrent) continue;
+    RecurrentComponent rc;
+    rc.cores = comp;
+    rc.shortest_cycle =
+        shortest_cycle_through(g, comp_of, static_cast<int>(ci), comp[0]);
+    out.push_back(std::move(rc));
+  }
+  std::sort(out.begin(), out.end(), [](const RecurrentComponent& a, const RecurrentComponent& b) {
+    return a.cores[0] < b.cores[0];
+  });
+  return out;
+}
+
+}  // namespace nsc::analysis

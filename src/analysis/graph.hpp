@@ -1,0 +1,41 @@
+// Core-level connectivity graph for static analysis (docs/ANALYSIS.md).
+//
+// Nodes are cores; there is an edge c→d when any enabled neuron on c
+// targets an axon on d. The graph answers the structural lint questions:
+// which cores can never receive a spike (unreachable), which axon rows are
+// never targeted (orphans), and where the recurrent loops are (strongly
+// connected components, whose shortest internal cycle bounds how fast
+// activity can echo).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/network.hpp"
+
+namespace nsc::analysis {
+
+/// Directed core graph in CSR form, plus per-core degree summaries.
+struct CoreGraph {
+  int ncores = 0;
+  /// CSR adjacency: out_edges[out_start[c] .. out_start[c+1]) are the
+  /// distinct target cores of core c, ascending.
+  std::vector<std::uint32_t> out_start;
+  std::vector<std::uint32_t> out_edges;
+  std::vector<std::uint32_t> in_degree;  ///< Distinct source cores per core.
+};
+
+[[nodiscard]] CoreGraph build_core_graph(const core::Network& net);
+
+/// One strongly connected component with more than one core, or a single
+/// core with a self-edge — i.e. a genuine recurrent loop at core level.
+struct RecurrentComponent {
+  std::vector<core::CoreId> cores;  ///< Members, ascending.
+  int shortest_cycle = 0;           ///< Length of the shortest internal cycle.
+};
+
+/// Tarjan SCC (iterative — safe for million-core graphs) filtered to the
+/// recurrent components, ordered by their smallest member core.
+[[nodiscard]] std::vector<RecurrentComponent> recurrent_components(const CoreGraph& g);
+
+}  // namespace nsc::analysis

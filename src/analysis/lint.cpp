@@ -1,0 +1,490 @@
+#include "src/analysis/lint.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/analysis/graph.hpp"
+
+namespace nsc::analysis {
+
+using core::CoreId;
+using core::kCoreSize;
+
+std::string_view severity_name(Severity s) noexcept {
+  switch (s) {
+    case Severity::kError: return "error";
+    case Severity::kWarn: return "warn";
+    case Severity::kInfo: return "info";
+  }
+  return "info";
+}
+
+const std::vector<RuleInfo>& rule_catalog() {
+  static const std::vector<RuleInfo> kCatalog = {
+      {"NSC001", Severity::kError, "core vector size or geometry inconsistent"},
+      {"NSC002", Severity::kError, "axon type index out of range"},
+      {"NSC003", Severity::kError, "non-positive firing threshold"},
+      {"NSC004", Severity::kError, "negative negative-threshold magnitude"},
+      {"NSC005", Severity::kError, "target core out of grid"},
+      {"NSC006", Severity::kError, "target core is disabled"},
+      {"NSC007", Severity::kError, "axonal delay outside [1, 15]"},
+      {"NSC008", Severity::kError, "synaptic weight outside signed 9-bit range"},
+      {"NSC009", Severity::kError, "leak outside signed 9-bit range"},
+      {"NSC010", Severity::kError, "threshold magnitude exceeds 18-bit range"},
+      {"NSC011", Severity::kError, "reset or initial potential outside 20-bit range"},
+      {"NSC012", Severity::kError, "target axon index out of crossbar range"},
+      {"NSC013", Severity::kWarn, "enabled neuron on disabled core"},
+      {"NSC014", Severity::kWarn, "initial potential reaches threshold (fires at t=0)"},
+      {"NSC020", Severity::kInfo, "dead-end neuron: no outgoing route, spikes dropped"},
+      {"NSC021", Severity::kWarn, "dangling axon target: delivered spikes reach no synapse"},
+      {"NSC022", Severity::kInfo, "duplicate axon target: deliveries collide on one axon"},
+      {"NSC023", Severity::kInfo, "recurrent loop (strongly connected cores)"},
+      {"NSC024", Severity::kInfo, "unreachable core: no routed spikes can arrive"},
+      {"NSC025", Severity::kInfo, "orphan axons: synapses only external input can drive"},
+      {"NSC030", Severity::kWarn, "merge-split link overflow risk vs per-tick capacity"},
+      {"NSC031", Severity::kInfo, "saturated core: every enabled neuron may fire each tick"},
+      {"NSC040", Severity::kInfo, "stochastic modes present: PRNG seed affects spikes"},
+  };
+  return kCatalog;
+}
+
+namespace {
+
+Severity rule_severity(std::string_view id) {
+  for (const RuleInfo& r : rule_catalog()) {
+    if (r.id == id) return r.severity;
+  }
+  return Severity::kInfo;
+}
+
+/// Per-rule finding cap: per-core detail is kept for the first offenders and
+/// the tail is folded into one summary finding so reports stay bounded on
+/// million-core networks.
+constexpr std::size_t kMaxFindingsPerRule = 32;
+
+class Recorder {
+ public:
+  explicit Recorder(const LintOptions& options)
+      : suppress_(options.suppress.begin(), options.suppress.end()) {}
+
+  [[nodiscard]] bool suppressed(std::string_view rule) const {
+    return suppress_.count(std::string(rule)) != 0;
+  }
+
+  void emit(std::string_view rule, CoreId core, int neuron, std::string message,
+            std::uint64_t count = 1) {
+    if (suppressed(rule)) return;
+    Finding f;
+    f.rule = std::string(rule);
+    f.severity = rule_severity(rule);
+    f.message = std::move(message);
+    f.core = core;
+    f.neuron = neuron;
+    f.count = count;
+    findings_.push_back(std::move(f));
+  }
+
+  /// Sorted findings with the per-rule cap applied.
+  [[nodiscard]] std::vector<Finding> take() {
+    std::stable_sort(findings_.begin(), findings_.end(), [](const Finding& a, const Finding& b) {
+      if (a.severity != b.severity) return a.severity > b.severity;
+      if (a.rule != b.rule) return a.rule < b.rule;
+      return a.core < b.core;
+    });
+    std::vector<Finding> capped;
+    capped.reserve(findings_.size());
+    std::map<std::string, std::size_t> kept_per_rule;
+    // rule -> {cores, sites}
+    std::map<std::string, std::pair<std::size_t, std::uint64_t>> overflow;
+    for (auto& f : findings_) {
+      if (kept_per_rule[f.rule]++ < kMaxFindingsPerRule) {
+        capped.push_back(std::move(f));
+      } else {
+        auto& [cores, sites] = overflow[f.rule];
+        ++cores;
+        sites += f.count;
+      }
+    }
+    for (auto& [rule, tail] : overflow) {
+      Finding f;
+      f.rule = rule;
+      f.severity = rule_severity(rule);
+      std::ostringstream os;
+      os << "rule matched on " << tail.first << " more core(s), " << tail.second
+         << " further site(s) not listed individually";
+      f.message = os.str();
+      f.core = core::kInvalidCore;
+      f.neuron = -1;
+      f.count = tail.second;
+      // Insert after the last kept finding of the same rule to preserve the
+      // severity-major ordering.
+      auto it = std::find_if(capped.rbegin(), capped.rend(),
+                             [&](const Finding& g) { return g.rule == rule; });
+      capped.insert(it.base(), std::move(f));
+    }
+    return capped;
+  }
+
+ private:
+  std::set<std::string> suppress_;
+  std::vector<Finding> findings_;
+};
+
+std::string at(CoreId core, int neuron) {
+  std::ostringstream os;
+  os << "core " << core;
+  if (neuron >= 0) os << " neuron " << neuron;
+  return os.str();
+}
+
+void lint_envelope(const core::Network& net, Recorder& rec) {
+  const auto ncores = static_cast<std::size_t>(net.geom.total_cores());
+  for (CoreId c = 0; c < ncores; ++c) {
+    const core::CoreSpec& spec = net.core(c);
+
+    // NSC002: axon types (aggregated per core).
+    int bad_axon_types = 0, first_bad_axon = -1;
+    for (int i = 0; i < kCoreSize; ++i) {
+      if (spec.axon_type[static_cast<std::size_t>(i)] >= core::kAxonTypes) {
+        ++bad_axon_types;
+        if (first_bad_axon < 0) first_bad_axon = i;
+      }
+    }
+    if (bad_axon_types > 0) {
+      std::ostringstream os;
+      os << at(c, -1) << ": " << bad_axon_types << " axon type index(es) >= "
+         << core::kAxonTypes << " (first: axon " << first_bad_axon << ")";
+      rec.emit("NSC002", c, first_bad_axon, os.str(),
+               static_cast<std::uint64_t>(bad_axon_types));
+    }
+
+    int on_disabled = 0, first_on_disabled = -1;
+    int instant_fire = 0, first_instant = -1;
+    for (int j = 0; j < kCoreSize; ++j) {
+      const core::NeuronParams& p = spec.neuron[j];
+      if (!p.enabled) continue;
+      if (spec.disabled) {
+        ++on_disabled;
+        if (first_on_disabled < 0) first_on_disabled = j;
+      }
+      if (p.threshold <= 0) {
+        rec.emit("NSC003", c, j,
+                 at(c, j) + ": threshold " + std::to_string(p.threshold) + " must be > 0");
+      }
+      if (p.neg_threshold < 0) {
+        rec.emit("NSC004", c, j,
+                 at(c, j) + ": negative threshold " + std::to_string(p.neg_threshold) +
+                     " must be >= 0");
+      }
+      if (p.threshold > core::kThresholdMax || p.neg_threshold > core::kThresholdMax) {
+        rec.emit("NSC010", c, j,
+                 at(c, j) + ": threshold magnitude exceeds 18-bit maximum " +
+                     std::to_string(core::kThresholdMax));
+      }
+      for (int g = 0; g < core::kAxonTypes; ++g) {
+        if (p.weight[g] < core::kWeightMin || p.weight[g] > core::kWeightMax) {
+          rec.emit("NSC008", c, j,
+                   at(c, j) + ": weight[" + std::to_string(g) + "] = " +
+                       std::to_string(p.weight[g]) + " outside signed 9-bit [" +
+                       std::to_string(core::kWeightMin) + ", " +
+                       std::to_string(core::kWeightMax) + "]");
+          break;  // One finding per neuron keeps the report readable.
+        }
+      }
+      if (p.leak < core::kWeightMin || p.leak > core::kWeightMax) {
+        rec.emit("NSC009", c, j,
+                 at(c, j) + ": leak " + std::to_string(p.leak) + " outside signed 9-bit range");
+      }
+      if (p.reset_v > core::kPotentialMax || p.reset_v < core::kPotentialMin ||
+          p.init_v > core::kPotentialMax || p.init_v < core::kPotentialMin) {
+        rec.emit("NSC011", c, j,
+                 at(c, j) + ": reset/init potential outside the 20-bit membrane range");
+      }
+      if (p.threshold > 0 && p.init_v >= p.threshold) {
+        ++instant_fire;
+        if (first_instant < 0) first_instant = j;
+      }
+      if (p.target.valid()) {
+        if (p.target.core >= ncores) {
+          rec.emit("NSC005", c, j,
+                   at(c, j) + ": target core " + std::to_string(p.target.core) +
+                       " outside the " + std::to_string(ncores) + "-core grid");
+        } else if (net.core(p.target.core).disabled) {
+          rec.emit("NSC006", c, j,
+                   at(c, j) + ": targets disabled core " + std::to_string(p.target.core));
+        }
+        if (p.target.delay < core::kMinDelay || p.target.delay > core::kMaxDelay) {
+          rec.emit("NSC007", c, j,
+                   at(c, j) + ": axonal delay " + std::to_string(int(p.target.delay)) +
+                       " outside [" + std::to_string(core::kMinDelay) + ", " +
+                       std::to_string(core::kMaxDelay) + "]");
+        }
+        if (p.target.axon >= kCoreSize) {
+          rec.emit("NSC012", c, j,
+                   at(c, j) + ": target axon " + std::to_string(p.target.axon) + " >= " +
+                       std::to_string(kCoreSize));
+        }
+      }
+    }
+    if (on_disabled > 0) {
+      std::ostringstream os;
+      os << at(c, -1) << ": " << on_disabled
+         << " enabled neuron(s) on a disabled core (first: neuron " << first_on_disabled << ")";
+      rec.emit("NSC013", c, first_on_disabled, os.str(),
+               static_cast<std::uint64_t>(on_disabled));
+    }
+    if (instant_fire > 0) {
+      std::ostringstream os;
+      os << at(c, -1) << ": " << instant_fire
+         << " neuron(s) start with init_v >= threshold and fire at t=0 without input "
+            "(first: neuron "
+         << first_instant << ")";
+      rec.emit("NSC014", c, first_instant, os.str(),
+               static_cast<std::uint64_t>(instant_fire));
+    }
+  }
+}
+
+void lint_graph(const core::Network& net, Recorder& rec) {
+  const auto ncores = static_cast<std::size_t>(net.geom.total_cores());
+  const CoreGraph graph = build_core_graph(net);
+
+  // Per-target-axon delivery counts for NSC021/NSC022/NSC025.
+  std::vector<std::vector<std::uint16_t>> inbound(ncores);
+  for (auto& v : inbound) v.assign(kCoreSize, 0);
+
+  for (CoreId c = 0; c < ncores; ++c) {
+    const core::CoreSpec& spec = net.core(c);
+    int dead_end = 0, first_dead = -1;
+    for (int j = 0; j < kCoreSize; ++j) {
+      const core::NeuronParams& p = spec.neuron[j];
+      if (!p.enabled) continue;
+      if (!p.target.valid()) {
+        ++dead_end;
+        if (first_dead < 0) first_dead = j;
+        continue;
+      }
+      if (p.target.core >= ncores || p.target.axon >= kCoreSize) continue;  // NSC005/NSC012
+      auto& slot = inbound[p.target.core][p.target.axon];
+      if (slot < 0xFFFF) ++slot;
+    }
+    if (dead_end > 0) {
+      std::ostringstream os;
+      os << at(c, -1) << ": " << dead_end
+         << " enabled neuron(s) have no outgoing route; their spikes are dropped as sinks "
+            "(first: neuron "
+         << first_dead << ")";
+      rec.emit("NSC020", c, first_dead, os.str(), static_cast<std::uint64_t>(dead_end));
+    }
+  }
+
+  for (CoreId c = 0; c < ncores; ++c) {
+    const core::CoreSpec& spec = net.core(c);
+    // NSC021: routed deliveries onto empty crossbar rows do zero SOPs.
+    int dangling = 0, first_dangling = -1;
+    int duplicates = 0, first_dup = -1;
+    int orphans = 0, first_orphan = -1;
+    for (int a = 0; a < kCoreSize; ++a) {
+      const int routed = inbound[c][a];
+      const int synapses = spec.crossbar.row_count(a);
+      if (routed > 0 && synapses == 0 && !spec.disabled) {
+        ++dangling;
+        if (first_dangling < 0) first_dangling = a;
+      }
+      if (routed > 1) {
+        ++duplicates;
+        if (first_dup < 0) first_dup = a;
+      }
+      if (routed == 0 && synapses > 0) {
+        ++orphans;
+        if (first_orphan < 0) first_orphan = a;
+      }
+    }
+    if (dangling > 0) {
+      std::ostringstream os;
+      os << at(c, -1) << ": " << dangling
+         << " targeted axon(s) have an empty crossbar row — every delivered spike is wasted "
+            "traffic (first: axon "
+         << first_dangling << ")";
+      rec.emit("NSC021", c, first_dangling, os.str(), static_cast<std::uint64_t>(dangling));
+    }
+    if (duplicates > 0) {
+      std::ostringstream os;
+      os << at(c, -1) << ": " << duplicates
+         << " axon(s) are targeted by multiple neurons; same-tick deliveries collide on one "
+            "binary axon line in hardware (first: axon "
+         << first_dup << ")";
+      rec.emit("NSC022", c, first_dup, os.str(), static_cast<std::uint64_t>(duplicates));
+    }
+    if (orphans > 0) {
+      std::ostringstream os;
+      os << at(c, -1) << ": " << orphans
+         << " axon row(s) carry synapses but no neuron routes to them; only external input "
+            "can drive them (first: axon "
+         << first_orphan << ")";
+      rec.emit("NSC025", c, first_orphan, os.str(), static_cast<std::uint64_t>(orphans));
+    }
+    // NSC024: enabled neurons that no routed spike can ever reach.
+    bool has_enabled = false;
+    for (const auto& p : spec.neuron) {
+      if (p.enabled) {
+        has_enabled = true;
+        break;
+      }
+    }
+    if (has_enabled && !spec.disabled && graph.in_degree[c] == 0) {
+      rec.emit("NSC024", c, -1,
+               at(c, -1) +
+                   ": no neuron routes spikes to this core; it can only fire from external "
+                   "input, leak, or its initial potential");
+    }
+  }
+
+  // NSC023: recurrent components with their shortest cycle length.
+  if (!rec.suppressed("NSC023")) {
+    for (const RecurrentComponent& comp : recurrent_components(graph)) {
+      std::ostringstream os;
+      os << "recurrent loop over " << comp.cores.size() << " core(s) starting at core "
+         << comp.cores[0] << " (shortest core-level cycle: " << comp.shortest_cycle
+         << " hop(s)); activity can self-sustain";
+      rec.emit("NSC023", comp.cores[0], -1, os.str(),
+               static_cast<std::uint64_t>(comp.cores.size()));
+    }
+  }
+}
+
+void lint_load(const LoadSummary& load, Recorder& rec) {
+  for (std::size_t li = 0; li < load.links.size(); ++li) {
+    const LinkLoad& link = load.links[li];
+    if (link.bounded_packets > static_cast<double>(kLinkPacketsPerTickCapacity)) {
+      static constexpr const char* kDirs[] = {"E", "W", "N", "S"};
+      std::ostringstream os;
+      os << "merge-split link chip " << li / 4 << " dir " << kDirs[li % 4]
+         << ": worst-case " << static_cast<std::uint64_t>(link.bounded_packets)
+         << " packets/tick (all-fire " << link.worst_case_packets << ") exceeds capacity "
+         << kLinkPacketsPerTickCapacity << " — overflow risk, tick may stretch";
+      rec.emit("NSC030", static_cast<CoreId>(core::kInvalidCore), -1, os.str());
+    }
+  }
+  for (std::size_t c = 0; c < load.cores.size(); ++c) {
+    const CoreLoad& cl = load.cores[c];
+    if (cl.enabled_neurons > 0 &&
+        cl.rate_bound >= 0.99 * static_cast<double>(cl.enabled_neurons)) {
+      std::ostringstream os;
+      os << at(static_cast<CoreId>(c), -1)
+         << ": firing-rate upper bound is saturated (every one of " << cl.enabled_neurons
+         << " enabled neuron(s) can fire each tick)";
+      rec.emit("NSC031", static_cast<CoreId>(c), -1, os.str(), cl.enabled_neurons);
+    }
+  }
+}
+
+void lint_determinism(const core::Network& net, Recorder& rec) {
+  const auto ncores = static_cast<std::size_t>(net.geom.total_cores());
+  for (CoreId c = 0; c < ncores; ++c) {
+    const core::CoreSpec& spec = net.core(c);
+    int stochastic = 0, first = -1;
+    for (int j = 0; j < kCoreSize; ++j) {
+      const core::NeuronParams& p = spec.neuron[j];
+      if (!p.enabled) continue;
+      if (p.stochastic_weight != 0 || p.stochastic_leak != 0 || p.threshold_mask != 0) {
+        ++stochastic;
+        if (first < 0) first = j;
+      }
+    }
+    if (stochastic > 0) {
+      std::ostringstream os;
+      os << at(c, -1) << ": " << stochastic
+         << " neuron(s) use stochastic synapse/leak/threshold modes; spike equivalence "
+            "requires identical PRNG seeds (first: neuron "
+         << first << ")";
+      rec.emit("NSC040", c, first, os.str(), static_cast<std::uint64_t>(stochastic));
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t LintReport::count(Severity s) const noexcept {
+  std::uint64_t n = 0;
+  for (const Finding& f : findings) n += f.severity == s ? 1 : 0;
+  return n;
+}
+
+bool LintReport::has_rule(std::string_view rule_id) const noexcept {
+  for (const Finding& f : findings) {
+    if (f.rule == rule_id) return true;
+  }
+  return false;
+}
+
+Severity LintReport::max_severity() const noexcept {
+  Severity worst = Severity::kInfo;
+  for (const Finding& f : findings) worst = std::max(worst, f.severity);
+  return worst;
+}
+
+LintReport lint(const core::Network& net, const LintOptions& options) {
+  LintReport report;
+  report.suppressed = options.suppress;
+  std::sort(report.suppressed.begin(), report.suppressed.end());
+  report.suppressed.erase(std::unique(report.suppressed.begin(), report.suppressed.end()),
+                          report.suppressed.end());
+  Recorder rec(options);
+
+  // NSC001: structural integrity gates everything else — a mis-sized core
+  // vector makes per-core iteration meaningless.
+  const int total = net.geom.total_cores();
+  if (net.geom.chips_x <= 0 || net.geom.chips_y <= 0 || net.geom.cores_x <= 0 ||
+      net.geom.cores_y <= 0 || net.cores.size() != static_cast<std::size_t>(total)) {
+    std::ostringstream os;
+    os << "core vector holds " << net.cores.size() << " entries but the geometry declares "
+       << total << " cores";
+    rec.emit("NSC001", core::kInvalidCore, -1, os.str());
+    report.findings = rec.take();
+    return report;
+  }
+
+  lint_envelope(net, rec);
+  if (options.graph) lint_graph(net, rec);
+  if (options.load) {
+    report.load = compute_load(net);
+    lint_load(report.load, rec);
+  }
+  lint_determinism(net, rec);
+
+  report.findings = rec.take();
+  return report;
+}
+
+bool clean_at(const core::Network& net, Severity floor) {
+  const LintReport report = lint(net);
+  for (const Finding& f : report.findings) {
+    if (f.severity >= floor) return false;
+  }
+  return true;
+}
+
+void require_deployable(const core::Network& net) {
+  // Envelope-only pass: deployment gates on errors, and all error rules live
+  // in the envelope/structure checks, so the graph/load passes are skipped.
+  LintOptions options;
+  options.graph = false;
+  options.load = false;
+  const LintReport report = lint(net, options);
+  if (report.count(Severity::kError) == 0) return;
+  std::ostringstream os;
+  os << "network fails lint with " << report.count(Severity::kError) << " error(s):";
+  std::size_t shown = 0;
+  for (const Finding& f : report.findings) {
+    if (f.severity != Severity::kError) continue;
+    os << "\n  [" << f.rule << "] " << f.message;
+    if (++shown == 5) break;
+  }
+  throw std::runtime_error(os.str());
+}
+
+}  // namespace nsc::analysis

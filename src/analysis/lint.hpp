@@ -1,0 +1,100 @@
+// Static network analysis ("nsc_lint"): verifies a NetworkDescription
+// against TrueNorth's hardware envelope and flags structural and load
+// hazards *without simulating it* (docs/ANALYSIS.md).
+//
+// The two kernel expressions are only spike-for-spike equivalent when the
+// network respects the hardware envelope (256×256 binary crossbars, four
+// axon types with signed 9-bit weights, axonal delays 1–15 ticks, bounded
+// merge–split inter-chip traffic). Violations otherwise surface as
+// mysterious divergence at simulation time; this subsystem catches them at
+// deploy time, the role validation plays in the Corelet Programming
+// Environment's compile flow.
+//
+// Every finding carries a stable rule ID (NSC001…) and a severity:
+//   error — the network is outside the hardware envelope; simulators may
+//           diverge, trap, or silently mis-execute. Deployment must refuse.
+//   warn  — legal but almost certainly a configuration mistake (spikes that
+//           can do no work, overflow-risk links, instant-fire neurons).
+//   info  — properties a deployer should know (stochastic modes that demand
+//           seeding, recurrent loops, spike sinks, saturated-rate cores).
+//
+// This header replaces src/core/validation.{hpp,cpp}; `require_deployable`
+// is the migration path for the old `validate_or_throw` call sites.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/analysis/load.hpp"
+#include "src/core/network.hpp"
+
+namespace nsc::analysis {
+
+enum class Severity : std::uint8_t { kInfo = 0, kWarn = 1, kError = 2 };
+
+[[nodiscard]] std::string_view severity_name(Severity s) noexcept;
+
+/// One lint finding. `core`/`neuron` locate the first offender; findings
+/// that aggregate (dead-end neurons, duplicate targets, orphan axons) also
+/// report how many sites the rule matched via `count`.
+struct Finding {
+  std::string rule;       ///< Stable ID, e.g. "NSC007".
+  Severity severity = Severity::kInfo;
+  std::string message;    ///< Human-readable, self-contained.
+  core::CoreId core = core::kInvalidCore;  ///< kInvalidCore for network-level.
+  int neuron = -1;        ///< -1 when the finding is core- or network-level.
+  std::uint64_t count = 1;  ///< Matched sites folded into this finding.
+};
+
+/// One rule of the catalog (docs/ANALYSIS.md lists all of them).
+struct RuleInfo {
+  std::string_view id;
+  Severity severity;
+  std::string_view summary;
+};
+
+/// The full rule catalog, ordered by ID. Stable across releases: IDs are
+/// never reused, only retired.
+[[nodiscard]] const std::vector<RuleInfo>& rule_catalog();
+
+struct LintOptions {
+  /// Rule IDs to suppress (exact match, e.g. {"NSC040"}). Suppressed rules
+  /// are skipped entirely and listed in the report for auditability.
+  std::vector<std::string> suppress;
+  /// Run the graph rules (NSC02x). Dominated by SCC analysis; can be turned
+  /// off for very large networks when only the envelope matters.
+  bool graph = true;
+  /// Run the load-bound rules (NSC03x) and compute LoadSummary.
+  bool load = true;
+};
+
+/// The result of linting one network.
+struct LintReport {
+  std::vector<Finding> findings;          ///< Sorted: errors, warns, infos.
+  std::vector<std::string> suppressed;    ///< Rules skipped per options.
+  LoadSummary load;                       ///< Populated when options.load.
+
+  [[nodiscard]] std::uint64_t count(Severity s) const noexcept;
+  [[nodiscard]] bool has_rule(std::string_view rule_id) const noexcept;
+  /// Highest severity present, or kInfo when there are no findings.
+  [[nodiscard]] Severity max_severity() const noexcept;
+  [[nodiscard]] bool clean() const noexcept { return findings.empty(); }
+};
+
+/// Lints `net` against the full rule catalog. Never throws on network
+/// content — every defect becomes a finding.
+[[nodiscard]] LintReport lint(const core::Network& net, const LintOptions& options = {});
+
+/// Throws std::runtime_error listing the first error-severity findings when
+/// `net` is outside the hardware envelope (any NSC0xx error rule fires).
+/// Warnings and infos do not throw. Replaces core::validate_or_throw.
+void require_deployable(const core::Network& net);
+
+/// True when no finding of severity >= `floor` fires on `net`: the
+/// one-liner tests and CI use to assert a network is lint-clean at the
+/// `--fail-on=warn` gate (the shipping bar for generators and examples).
+[[nodiscard]] bool clean_at(const core::Network& net, Severity floor = Severity::kWarn);
+
+}  // namespace nsc::analysis

@@ -1,0 +1,114 @@
+#include "src/analysis/load.hpp"
+
+#include <algorithm>
+
+#include "src/util/bitrow.hpp"
+
+namespace nsc::analysis {
+
+using core::CoreId;
+using core::kCoreSize;
+
+double neuron_rate_bound(const core::CoreSpec& spec, int j) {
+  const core::NeuronParams& p = spec.neuron[j];
+  if (!p.enabled) return 0.0;
+  // Maximum positive drive one tick can deliver: every axon with a synapse
+  // onto j fires, every stochastic draw lands. Stochastic synapses add at
+  // most sign(S) = ±1 per event by construction (neuron_model.hpp).
+  std::int64_t drive = 0;
+  for (int i = 0; i < kCoreSize; ++i) {
+    if (!spec.crossbar.test(i, j)) continue;
+    const int g = spec.axon_type[static_cast<std::size_t>(i)];
+    if (g < 0 || g >= core::kAxonTypes) continue;  // NSC002 territory
+    const std::int32_t w = p.weight[g];
+    if ((p.stochastic_weight & (1u << g)) != 0) {
+      drive += w > 0 ? 1 : 0;
+    } else {
+      drive += w > 0 ? w : 0;
+    }
+  }
+  // Leak: with leak reversal a positive λ drives |V| upward on both sides,
+  // and a negative λ still raises V while V < 0, so the conservative bound
+  // is |λ| (or 1 when stochastic).
+  const std::int32_t mag = p.leak < 0 ? -p.leak : p.leak;
+  if (p.stochastic_leak != 0) {
+    drive += mag > 0 ? 1 : 0;
+  } else {
+    drive += p.leak_reversal != 0 ? mag : (p.leak > 0 ? p.leak : 0);
+  }
+  if (drive <= 0) return 0.0;
+  // Minimum effective threshold: the jitter mask only ever raises α.
+  const std::int64_t alpha = p.threshold > 0 ? p.threshold : 1;
+  return drive >= alpha ? 1.0 : static_cast<double>(drive) / static_cast<double>(alpha);
+}
+
+namespace {
+
+/// Mirrors noc::InterChipTraffic::record_route: X leg along the source chip
+/// row, then Y leg at the destination chip column. Calls `visit(link)` for
+/// every directed link index (chip * 4 + dir) the route serializes through.
+template <typename Visit>
+void for_each_link_crossing(const core::Geometry& geom, CoreId src, CoreId dst, Visit&& visit) {
+  const auto cs = geom.chip_xy(src);
+  const auto cd = geom.chip_xy(dst);
+  if (cd.x > cs.x) {
+    for (int cx = cs.x; cx < cd.x; ++cx) visit((cs.y * geom.chips_x + cx) * 4 + 0);  // E
+  } else {
+    for (int cx = cs.x; cx > cd.x; --cx) visit((cs.y * geom.chips_x + cx) * 4 + 1);  // W
+  }
+  if (cd.y > cs.y) {
+    for (int cy = cs.y; cy < cd.y; ++cy) visit((cy * geom.chips_x + cd.x) * 4 + 3);  // S
+  } else {
+    for (int cy = cs.y; cy > cd.y; --cy) visit((cy * geom.chips_x + cd.x) * 4 + 2);  // N
+  }
+}
+
+}  // namespace
+
+LoadSummary compute_load(const core::Network& net) {
+  LoadSummary sum;
+  const auto ncores = static_cast<std::size_t>(net.geom.total_cores());
+  if (net.cores.size() != ncores) return sum;  // NSC001: no profile to build.
+  sum.cores.resize(ncores);
+  if (net.geom.chips() > 1) sum.links.resize(static_cast<std::size_t>(net.geom.chips()) * 4);
+
+  // Which axons of each core receive routed spikes (external input is
+  // unknowable statically and deliberately excluded).
+  std::vector<util::BitRow256> targeted(ncores);
+
+  for (std::size_t c = 0; c < ncores; ++c) {
+    const core::CoreSpec& spec = net.cores[c];
+    CoreLoad& load = sum.cores[c];
+    load.synapses = static_cast<std::uint32_t>(spec.crossbar.count());
+    for (int i = 0; i < kCoreSize; ++i) {
+      const int fan_out = spec.crossbar.row_count(i);
+      ++sum.fan_out_hist[static_cast<std::size_t>(std::min(fan_out / 16, kFanHistBuckets - 1))];
+    }
+    for (int j = 0; j < kCoreSize; ++j) {
+      const int fan_in = spec.crossbar.column_count(j);
+      ++sum.fan_in_hist[static_cast<std::size_t>(std::min(fan_in / 16, kFanHistBuckets - 1))];
+      const core::NeuronParams& p = spec.neuron[j];
+      if (!p.enabled) continue;
+      ++load.enabled_neurons;
+      const double rate = neuron_rate_bound(spec, j);
+      load.rate_bound += rate;
+      if (!p.target.valid() || p.target.core >= ncores) continue;
+      ++load.fan_out;
+      if (p.target.axon < kCoreSize) targeted[p.target.core].set(p.target.axon);
+      if (!sum.links.empty() && net.geom.chip_of(static_cast<CoreId>(c)) !=
+                                    net.geom.chip_of(p.target.core)) {
+        for_each_link_crossing(net.geom, static_cast<CoreId>(c), p.target.core, [&](int link) {
+          ++sum.links[static_cast<std::size_t>(link)].worst_case_packets;
+          sum.links[static_cast<std::size_t>(link)].bounded_packets += rate;
+        });
+      }
+    }
+    sum.total_rate_bound += load.rate_bound;
+  }
+  for (std::size_t c = 0; c < ncores; ++c) {
+    sum.cores[c].axons_targeted = static_cast<std::uint32_t>(targeted[c].count());
+  }
+  return sum;
+}
+
+}  // namespace nsc::analysis

@@ -1,0 +1,68 @@
+// Conservative, no-simulation load bounds for a network (docs/ANALYSIS.md).
+//
+// Everything here is an upper bound derivable from the static description:
+// a neuron can fire at most once per tick, and it cannot fire faster than
+// its maximum per-tick synaptic drive divided by its minimum effective
+// threshold. Folding those per-neuron rates along the deterministic DOR
+// routes gives a worst-case spikes/tick figure per merge–split link that
+// can be compared against the link's serialization capacity before any
+// tick is simulated (the paper's multi-chip sustainability question,
+// Fig. 3(c), answered statically).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/core/network.hpp"
+
+namespace nsc::analysis {
+
+/// Histogram bucket count for fan-in/fan-out summaries: bucket k covers
+/// [k*16, k*16+15] synapses, with the last bucket catching 240..256.
+inline constexpr int kFanHistBuckets = 16;
+
+/// Static load profile of one core.
+struct CoreLoad {
+  std::uint32_t synapses = 0;      ///< Active crossbar bits (total fan-in work).
+  std::uint32_t enabled_neurons = 0;
+  std::uint32_t fan_out = 0;       ///< Enabled neurons with a valid target.
+  std::uint32_t axons_targeted = 0;  ///< Axons some neuron routes spikes to.
+  /// Σ_j min(1, drive_j / threshold_j): upper bound on this core's firings
+  /// per tick, assuming every synapse is driven every tick.
+  double rate_bound = 0.0;
+};
+
+/// Worst-case load of one directed inter-chip merge–split link.
+struct LinkLoad {
+  std::uint64_t worst_case_packets = 0;  ///< Every routed neuron fires each tick.
+  double bounded_packets = 0.0;          ///< Rate-bound-weighted packets/tick.
+};
+
+/// Network-wide static load summary.
+struct LoadSummary {
+  std::vector<CoreLoad> cores;
+  /// Per directed inter-chip link, indexed chip * 4 + dir (0=E,1=W,2=N,3=S);
+  /// empty for single-chip networks.
+  std::vector<LinkLoad> links;
+  std::array<std::uint64_t, kFanHistBuckets> fan_in_hist{};   ///< Neuron in-degree.
+  std::array<std::uint64_t, kFanHistBuckets> fan_out_hist{};  ///< Axon row fan-out.
+  double total_rate_bound = 0.0;  ///< Σ cores[i].rate_bound (spikes/tick).
+};
+
+/// Serialization capacity of one directed merge–split link in packets per
+/// tick: the most spikes the boundary structures can merge, serialize and
+/// split within a 1 ms tick without stretching the tick. Model constant
+/// (docs/ANALYSIS.md §NSC030); exceeding it does not change function, only
+/// real-time feasibility, so the linter flags it as a warn.
+inline constexpr std::uint64_t kLinkPacketsPerTickCapacity = 8192;
+
+/// Upper bound on neuron j of `spec` firing per tick: max positive per-tick
+/// drive over minimum effective threshold, clamped to [0, 1]. Stochastic
+/// synapses/leaks contribute at most ±1 per event by construction.
+[[nodiscard]] double neuron_rate_bound(const core::CoreSpec& spec, int j);
+
+/// Computes the full static load profile of `net`.
+[[nodiscard]] LoadSummary compute_load(const core::Network& net);
+
+}  // namespace nsc::analysis

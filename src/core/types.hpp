@@ -27,6 +27,13 @@ inline constexpr int kAxonTypes = 4;
 inline constexpr std::int32_t kPotentialMax = (1 << 19) - 1;
 inline constexpr std::int32_t kPotentialMin = -(1 << 19);
 
+/// Per-type synaptic weights and the leak are signed 9-bit in hardware.
+inline constexpr int kWeightMin = -256;
+inline constexpr int kWeightMax = 255;
+
+/// Thresholds (positive and negative) are 18-bit unsigned magnitudes.
+inline constexpr std::int32_t kThresholdMax = (1 << 18) - 1;
+
 /// Dense index of a core within the whole (possibly multi-chip) system.
 using CoreId = std::uint32_t;
 

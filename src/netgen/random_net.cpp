@@ -1,6 +1,8 @@
 #include "src/netgen/random_net.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 #include "src/util/prng.hpp"
 
@@ -8,7 +10,24 @@ namespace nsc::netgen {
 
 using core::kCoreSize;
 
+namespace {
+
+void require_probability(const char* name, double p) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument(std::string("RandomNetSpec.") + name +
+                                " must be a probability in [0, 1], got " + std::to_string(p));
+  }
+}
+
+}  // namespace
+
 core::Network make_random(const RandomNetSpec& spec) {
+  // Out-of-range probabilities used to saturate silently (density 1.5 built
+  // a full crossbar with no indication); they are hard errors now, and
+  // nsc_netgen clamps with an explicit warn before calling in.
+  require_probability("synapse_density", spec.synapse_density);
+  require_probability("disabled_neuron_fraction", spec.disabled_neuron_fraction);
+  require_probability("invalid_target_fraction", spec.invalid_target_fraction);
   core::Network net(spec.geom, spec.seed);
   util::Xoshiro rng(spec.seed * 0xA24BAED4963EE407ULL + 11);
   const auto ncores = static_cast<core::CoreId>(spec.geom.total_cores());

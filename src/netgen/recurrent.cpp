@@ -1,8 +1,9 @@
 #include "src/netgen/recurrent.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "src/util/prng.hpp"
 
@@ -11,19 +12,32 @@ namespace nsc::netgen {
 using core::kCoreSize;
 
 RateCalibration calibrate(const RecurrentSpec& spec) {
-  assert(spec.rate_hz > 0.0 && spec.synapses_per_axon >= 0 &&
-         spec.synapses_per_axon <= kCoreSize);
+  // Hard spec validation (was a debug-only assert: release builds would run
+  // off the end of the sampling pool on synapses_per_axon > 256).
+  if (!(spec.rate_hz > 0.0)) {
+    throw std::invalid_argument("RecurrentSpec.rate_hz must be > 0, got " +
+                                std::to_string(spec.rate_hz));
+  }
+  if (spec.synapses_per_axon < 0 || spec.synapses_per_axon > kCoreSize) {
+    throw std::invalid_argument("RecurrentSpec.synapses_per_axon must be in [0, " +
+                                std::to_string(kCoreSize) + "], got " +
+                                std::to_string(spec.synapses_per_axon));
+  }
   const int k = spec.synapses_per_axon;
   // Branching ratio K/α ≤ 0.8  ⇒  Δ ≥ K/4.
   const int delta_min = std::max(1, (k + 3) / 4);
+  // α = K + Δ must stay inside the hardware's 18-bit threshold register, so
+  // Δ is capped; sub-Hz targets calibrate to the closest reachable rate and
+  // nsc_netgen reports the deviation (nothing is silently clamped).
+  const std::int32_t delta_max = core::kThresholdMax - k;
   // Small integer search over (λ, Δ): the fixed point 1000·λ/Δ must land on
-  // the target rate despite Δ's lower bound and λ's 9-bit range.
+  // the target rate despite Δ's bounded range and λ's 9-bit range.
   std::int16_t leak = 1;
   std::int32_t delta = delta_min;
   double best_err = 1e30;
   for (int l = 1; l <= 255; ++l) {
-    const auto d = static_cast<std::int32_t>(
-        std::max<long>(delta_min, std::lround(1000.0 * l / spec.rate_hz)));
+    const auto d = static_cast<std::int32_t>(std::clamp<long>(
+        std::lround(1000.0 * l / spec.rate_hz), delta_min, delta_max));
     const double err = std::abs(1000.0 * l / d - spec.rate_hz);
     if (err < best_err) {
       best_err = err;
@@ -58,7 +72,8 @@ core::Network make_recurrent(const RecurrentSpec& spec) {
     for (int i = 0; i < kCoreSize; ++i) {
       cs.axon_type[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i % core::kAxonTypes);
       for (int t = 0; t < spec.synapses_per_axon; ++t) {
-        const int j = t + static_cast<int>(rng.next_below(static_cast<std::uint64_t>(kCoreSize - t)));
+        const int j =
+            t + static_cast<int>(rng.next_below(static_cast<std::uint64_t>(kCoreSize - t)));
         std::swap(pool[t], pool[j]);
         cs.crossbar.set(i, pool[t]);
       }

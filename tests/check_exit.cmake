@@ -1,0 +1,13 @@
+# Runs a command and fails unless it exits with exactly the expected code.
+# ctest's WILL_FAIL only distinguishes zero from non-zero; the nsc_lint CLI
+# contract separates warn-gate failures (1) from error findings (2).
+#
+#   cmake -DEXPECT=2 "-DCMD=/path/to/nsc_lint --net bad.nsc" -P check_exit.cmake
+if(NOT DEFINED EXPECT OR NOT DEFINED CMD)
+  message(FATAL_ERROR "usage: cmake -DEXPECT=N -DCMD=\"prog args...\" -P check_exit.cmake")
+endif()
+separate_arguments(cmd_list UNIX_COMMAND "${CMD}")
+execute_process(COMMAND ${cmd_list} RESULT_VARIABLE rc)
+if(NOT rc EQUAL "${EXPECT}")
+  message(FATAL_ERROR "expected exit code ${EXPECT}, got '${rc}' from: ${CMD}")
+endif()

@@ -1,0 +1,469 @@
+// Tests for the static analysis subsystem (src/analysis): one crafted
+// violating network per rule ID in the catalog, a lint-clean golden network,
+// graph/load primitives, JSON schema round-trip, and the deployment gates
+// (require_deployable / clean_at) the rest of the codebase migrated onto.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/analysis/graph.hpp"
+#include "src/analysis/lint.hpp"
+#include "src/analysis/load.hpp"
+#include "src/analysis/report.hpp"
+#include "src/core/network.hpp"
+#include "src/netgen/random_net.hpp"
+#include "src/netgen/recurrent.hpp"
+#include "src/obs/json.hpp"
+
+namespace nsc::analysis {
+namespace {
+
+using core::CoreId;
+using core::Geometry;
+using core::kCoreSize;
+using core::Network;
+
+/// A network with every neuron disabled: the only description that fires no
+/// rule at all, and the canvas the per-rule tests paint single defects onto.
+Network blank(const Geometry& g) {
+  Network net(g);
+  for (auto& cs : net.cores) {
+    for (auto& p : cs.neuron) p.enabled = 0;
+  }
+  return net;
+}
+
+/// Enables neuron (c, j) with an innocuous parameter set (no target yet).
+core::NeuronParams& enable(Network& net, CoreId c, int j) {
+  core::NeuronParams& p = net.core(c).neuron[j];
+  p.enabled = 1;
+  p.threshold = 100;
+  return p;
+}
+
+/// A 4-core ring where every routed spike lands on a synapse-bearing axon
+/// exactly once: the only finding left is the (informational) recurrent
+/// loop, so it is deployable at the --fail-on=warn bar.
+Network golden_ring() {
+  Network net = blank(Geometry{1, 1, 2, 2});
+  for (CoreId c = 0; c < 4; ++c) {
+    for (int j = 0; j < kCoreSize; ++j) {
+      net.core(c).crossbar.set(j, j);
+      core::NeuronParams& p = enable(net, c, j);
+      p.weight[0] = 1;  // Nonzero drive so the load bounds have something to say.
+      p.target = {(c + 1) % 4, static_cast<std::uint16_t>(j), 1};
+    }
+  }
+  return net;
+}
+
+TEST(LintCatalog, RulesAreOrderedAndSeveritiesStable) {
+  const auto& catalog = rule_catalog();
+  ASSERT_FALSE(catalog.empty());
+  for (std::size_t i = 1; i < catalog.size(); ++i) {
+    EXPECT_LT(catalog[i - 1].id, catalog[i].id) << "catalog must stay sorted by rule ID";
+  }
+  for (const RuleInfo& r : catalog) {
+    EXPECT_EQ(r.id.size(), 6u);
+    EXPECT_TRUE(r.id.substr(0, 3) == "NSC");
+    EXPECT_FALSE(r.summary.empty());
+  }
+}
+
+TEST(LintClean, AllDisabledNetworkHasZeroFindings) {
+  const LintReport report = lint(blank(Geometry{1, 1, 2, 2}));
+  EXPECT_TRUE(report.clean()) << "first finding: "
+                              << (report.findings.empty() ? "" : report.findings[0].message);
+  EXPECT_EQ(report.max_severity(), Severity::kInfo);
+}
+
+TEST(LintClean, GoldenRingOnlyReportsItsRecurrence) {
+  const LintReport report = lint(golden_ring());
+  EXPECT_EQ(report.count(Severity::kError), 0u);
+  EXPECT_EQ(report.count(Severity::kWarn), 0u);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, "NSC023");
+  EXPECT_EQ(report.findings[0].count, 4u);  // All four cores in the loop.
+  EXPECT_TRUE(clean_at(golden_ring()));
+  EXPECT_NO_THROW(require_deployable(golden_ring()));
+}
+
+// --- One crafted violating network per rule ID ------------------------------
+
+TEST(LintRule, NSC001CoreVectorMismatch) {
+  Network net = blank(Geometry{1, 1, 2, 1});
+  net.cores.pop_back();
+  const LintReport report = lint(net);
+  ASSERT_EQ(report.findings.size(), 1u) << "NSC001 must gate all other rules";
+  EXPECT_EQ(report.findings[0].rule, "NSC001");
+  EXPECT_EQ(report.max_severity(), Severity::kError);
+}
+
+TEST(LintRule, NSC002AxonTypeOutOfRange) {
+  Network net = blank(Geometry{1, 1, 2, 1});
+  net.core(0).axon_type[7] = core::kAxonTypes;
+  const LintReport report = lint(net);
+  EXPECT_TRUE(report.has_rule("NSC002"));
+  EXPECT_EQ(report.max_severity(), Severity::kError);
+}
+
+TEST(LintRule, NSC003NonPositiveThreshold) {
+  Network net = blank(Geometry{1, 1, 2, 1});
+  enable(net, 0, 3).threshold = 0;
+  EXPECT_TRUE(lint(net).has_rule("NSC003"));
+}
+
+TEST(LintRule, NSC004NegativeNegThreshold) {
+  Network net = blank(Geometry{1, 1, 2, 1});
+  enable(net, 0, 0).neg_threshold = -5;
+  EXPECT_TRUE(lint(net).has_rule("NSC004"));
+}
+
+TEST(LintRule, NSC005TargetCoreOutOfGrid) {
+  Network net = blank(Geometry{1, 1, 2, 1});
+  enable(net, 0, 0).target = {99, 0, 1};
+  const LintReport report = lint(net);
+  EXPECT_TRUE(report.has_rule("NSC005"));
+  EXPECT_THROW(require_deployable(net), std::runtime_error);
+}
+
+TEST(LintRule, NSC006TargetsDisabledCore) {
+  Network net = blank(Geometry{1, 1, 2, 1});
+  net.core(1).disabled = 1;
+  enable(net, 0, 0).target = {1, 0, 1};
+  EXPECT_TRUE(lint(net).has_rule("NSC006"));
+}
+
+TEST(LintRule, NSC007DelayOutsideRange) {
+  Network net = blank(Geometry{1, 1, 2, 1});
+  enable(net, 0, 0).target = {1, 0, 0};  // below kMinDelay
+  EXPECT_TRUE(lint(net).has_rule("NSC007"));
+  net.core(0).neuron[0].target.delay = core::kMaxDelay + 1;
+  EXPECT_TRUE(lint(net).has_rule("NSC007"));
+}
+
+TEST(LintRule, NSC008WeightOutsideNineBits) {
+  Network net = blank(Geometry{1, 1, 2, 1});
+  enable(net, 0, 0).weight[2] = static_cast<std::int16_t>(core::kWeightMax + 1);
+  EXPECT_TRUE(lint(net).has_rule("NSC008"));
+}
+
+TEST(LintRule, NSC009LeakOutsideNineBits) {
+  Network net = blank(Geometry{1, 1, 2, 1});
+  enable(net, 0, 0).leak = static_cast<std::int16_t>(core::kWeightMin - 1);
+  EXPECT_TRUE(lint(net).has_rule("NSC009"));
+}
+
+TEST(LintRule, NSC010ThresholdOverEighteenBits) {
+  Network net = blank(Geometry{1, 1, 2, 1});
+  enable(net, 0, 0).threshold = core::kThresholdMax + 1;
+  EXPECT_TRUE(lint(net).has_rule("NSC010"));
+}
+
+TEST(LintRule, NSC011PotentialOutsideTwentyBits) {
+  Network net = blank(Geometry{1, 1, 2, 1});
+  enable(net, 0, 0).init_v = core::kPotentialMax + 1;
+  EXPECT_TRUE(lint(net).has_rule("NSC011"));
+}
+
+TEST(LintRule, NSC012TargetAxonOutOfRange) {
+  Network net = blank(Geometry{1, 1, 2, 1});
+  enable(net, 0, 0).target = {1, kCoreSize, 1};
+  EXPECT_TRUE(lint(net).has_rule("NSC012"));
+}
+
+TEST(LintRule, NSC013EnabledNeuronOnDisabledCore) {
+  Network net = blank(Geometry{1, 1, 2, 1});
+  net.core(1).disabled = 1;
+  enable(net, 1, 4).target = {0, 0, 1};
+  const LintReport report = lint(net);
+  EXPECT_TRUE(report.has_rule("NSC013"));
+  EXPECT_EQ(report.count(Severity::kError), 0u) << "NSC013 is a warn, not an error";
+}
+
+TEST(LintRule, NSC014InitialPotentialFiresAtTickZero) {
+  Network net = blank(Geometry{1, 1, 2, 1});
+  core::NeuronParams& p = enable(net, 0, 0);
+  p.threshold = 10;
+  p.init_v = 10;
+  p.target = {1, 0, 1};
+  net.core(1).crossbar.set(0, 0);
+  const LintReport report = lint(net);
+  EXPECT_TRUE(report.has_rule("NSC014"));
+  EXPECT_FALSE(clean_at(net)) << "warn findings must fail the --fail-on=warn bar";
+  EXPECT_NO_THROW(require_deployable(net)) << "warn findings must not block deployment";
+}
+
+TEST(LintRule, NSC020DeadEndNeuron) {
+  Network net = blank(Geometry{1, 1, 2, 1});
+  enable(net, 0, 9);  // No target: spikes are dropped.
+  const LintReport report = lint(net);
+  EXPECT_TRUE(report.has_rule("NSC020"));
+  EXPECT_TRUE(clean_at(net)) << "dead ends are informational";
+}
+
+TEST(LintRule, NSC021DanglingAxonTarget) {
+  Network net = blank(Geometry{1, 1, 2, 1});
+  enable(net, 0, 0).target = {1, 3, 1};  // Core 1's row 3 has no synapses.
+  const LintReport report = lint(net);
+  EXPECT_TRUE(report.has_rule("NSC021"));
+  EXPECT_EQ(report.max_severity(), Severity::kWarn);
+}
+
+TEST(LintRule, NSC022DuplicateAxonTargets) {
+  Network net = blank(Geometry{1, 1, 2, 1});
+  net.core(1).crossbar.set(5, 0);
+  enable(net, 0, 0).target = {1, 5, 1};
+  enable(net, 0, 1).target = {1, 5, 1};
+  EXPECT_TRUE(lint(net).has_rule("NSC022"));
+}
+
+TEST(LintRule, NSC023SelfLoopIsOneHopCycle) {
+  Network net = blank(Geometry{1, 1, 2, 1});
+  net.core(0).crossbar.set(0, 0);
+  enable(net, 0, 0).target = {0, 0, 1};
+  const LintReport report = lint(net);
+  ASSERT_TRUE(report.has_rule("NSC023"));
+  for (const Finding& f : report.findings) {
+    if (f.rule != "NSC023") continue;
+    EXPECT_EQ(f.core, 0u);
+    EXPECT_NE(f.message.find("1 hop"), std::string::npos) << f.message;
+  }
+}
+
+TEST(LintRule, NSC024UnreachableCore) {
+  Network net = blank(Geometry{1, 1, 2, 1});
+  net.core(1).crossbar.set(0, 0);
+  enable(net, 0, 0).target = {1, 0, 1};
+  const LintReport report = lint(net);
+  ASSERT_TRUE(report.has_rule("NSC024"));
+  for (const Finding& f : report.findings) {
+    if (f.rule == "NSC024") EXPECT_EQ(f.core, 0u) << "only the source core is unreachable";
+  }
+}
+
+TEST(LintRule, NSC025OrphanAxons) {
+  Network net = blank(Geometry{1, 1, 2, 1});
+  net.core(1).crossbar.set(2, 7);  // Synapses no routed spike can ever reach.
+  EXPECT_TRUE(lint(net).has_rule("NSC025"));
+}
+
+TEST(LintRule, NSC030LinkOverflowRisk) {
+  // Two chips of 6×6 cores; all 9,216 chip-0 neurons fire every tick and
+  // cross the single eastbound merge–split link: 9,216 > 8,192 capacity.
+  const Geometry geom{2, 1, 6, 6};
+  Network net = blank(geom);
+  const CoreId per_chip = static_cast<CoreId>(geom.cores_per_chip());
+  for (CoreId c = 0; c < per_chip; ++c) {
+    for (int j = 0; j < kCoreSize; ++j) {
+      net.core(c).crossbar.set(j, j);
+      core::NeuronParams& p = enable(net, c, j);
+      p.threshold = 1;
+      p.weight[0] = 1;  // Drive 1 over threshold 1: rate bound saturates at 1.
+      p.target = {per_chip + c, static_cast<std::uint16_t>(j), 1};
+    }
+  }
+  const LintReport report = lint(net);
+  EXPECT_TRUE(report.has_rule("NSC030"));
+  EXPECT_GT(report.load.links.size(), 0u);
+  EXPECT_GT(report.load.links[0].bounded_packets,
+            static_cast<double>(kLinkPacketsPerTickCapacity));
+}
+
+TEST(LintRule, NSC031SaturatedCore) {
+  Network net = blank(Geometry{1, 1, 2, 1});
+  for (int j = 0; j < kCoreSize; ++j) {
+    net.core(0).crossbar.set(j, j);
+    core::NeuronParams& p = enable(net, 0, j);
+    p.threshold = 1;
+    p.weight[0] = 1;
+    p.target = {1, static_cast<std::uint16_t>(j), 1};
+    net.core(1).crossbar.set(j, j);
+  }
+  EXPECT_TRUE(lint(net).has_rule("NSC031"));
+}
+
+TEST(LintRule, NSC040StochasticModes) {
+  Network net = blank(Geometry{1, 1, 2, 1});
+  enable(net, 0, 0).stochastic_weight = 1;
+  enable(net, 0, 1).threshold_mask = 0x3;
+  const LintReport report = lint(net);
+  ASSERT_TRUE(report.has_rule("NSC040"));
+  for (const Finding& f : report.findings) {
+    if (f.rule == "NSC040") EXPECT_EQ(f.count, 2u);
+  }
+}
+
+// --- Options, suppression, and gating ---------------------------------------
+
+TEST(LintOptionsTest, SuppressionSkipsRuleAndIsRecorded) {
+  Network net = blank(Geometry{1, 1, 2, 1});
+  enable(net, 0, 0).stochastic_weight = 1;
+  LintOptions options;
+  options.suppress = {"NSC040", "NSC040"};
+  const LintReport report = lint(net, options);
+  EXPECT_FALSE(report.has_rule("NSC040"));
+  ASSERT_EQ(report.suppressed.size(), 1u) << "suppression list must be deduplicated";
+  EXPECT_EQ(report.suppressed[0], "NSC040");
+}
+
+TEST(LintOptionsTest, GraphAndLoadPassesCanBeDisabled) {
+  Network net = golden_ring();
+  LintOptions options;
+  options.graph = false;
+  options.load = false;
+  const LintReport report = lint(net, options);
+  EXPECT_FALSE(report.has_rule("NSC023"));
+  EXPECT_TRUE(report.load.cores.empty());
+}
+
+TEST(LintReportTest, PerRuleCapFoldsTailIntoSummary) {
+  // 128 cores each with one dead-end neuron: NSC020 must cap at 32 detailed
+  // findings plus one overflow summary carrying the remaining 96 sites.
+  Network net = blank(Geometry{1, 1, 16, 8});
+  for (CoreId c = 0; c < 128; ++c) enable(net, c, 0);
+  const LintReport report = lint(net);
+  std::size_t nsc020 = 0;
+  std::uint64_t sites = 0;
+  for (const Finding& f : report.findings) {
+    if (f.rule != "NSC020") continue;
+    ++nsc020;
+    sites += f.count;
+  }
+  EXPECT_EQ(nsc020, 33u);
+  EXPECT_EQ(sites, 128u);
+}
+
+// --- Graph and load primitives ----------------------------------------------
+
+TEST(CoreGraphTest, CsrEdgesAndDegrees) {
+  Network net = blank(Geometry{1, 1, 2, 2});
+  enable(net, 0, 0).target = {1, 0, 1};
+  enable(net, 0, 1).target = {1, 1, 1};  // Duplicate edge 0->1 collapses.
+  enable(net, 0, 2).target = {2, 0, 1};
+  enable(net, 1, 0).target = {2, 1, 1};
+  const CoreGraph g = build_core_graph(net);
+  ASSERT_EQ(g.ncores, 4);
+  EXPECT_EQ(g.out_start[1] - g.out_start[0], 2u);  // 0 -> {1, 2}
+  EXPECT_EQ(g.in_degree[2], 2u);                   // From cores 0 and 1.
+  EXPECT_EQ(g.in_degree[0], 0u);
+  EXPECT_TRUE(recurrent_components(g).empty());
+}
+
+TEST(CoreGraphTest, TwoCoreCycleHasShortestCycleTwo) {
+  Network net = blank(Geometry{1, 1, 2, 2});
+  enable(net, 0, 0).target = {1, 0, 1};
+  enable(net, 1, 0).target = {0, 0, 1};
+  const auto comps = recurrent_components(build_core_graph(net));
+  ASSERT_EQ(comps.size(), 1u);
+  EXPECT_EQ(comps[0].cores.size(), 2u);
+  EXPECT_EQ(comps[0].shortest_cycle, 2);
+}
+
+TEST(LoadBoundTest, RateBoundIsDriveOverThreshold) {
+  Network net = blank(Geometry{1, 1, 1, 1});
+  net.core(0).crossbar.set(0, 0);
+  core::NeuronParams& p = enable(net, 0, 0);
+  p.threshold = 2;
+  p.weight[0] = 1;
+  EXPECT_DOUBLE_EQ(neuron_rate_bound(net.core(0), 0), 0.5);
+  p.weight[0] = 5;  // Drive exceeds threshold: clamps to one spike per tick.
+  EXPECT_DOUBLE_EQ(neuron_rate_bound(net.core(0), 0), 1.0);
+  p.weight[0] = -5;  // Inhibition can never cause a firing.
+  EXPECT_DOUBLE_EQ(neuron_rate_bound(net.core(0), 0), 0.0);
+  p.weight[0] = 5;
+  p.stochastic_weight = 1;  // Stochastic synapses deliver at most ±1.
+  EXPECT_DOUBLE_EQ(neuron_rate_bound(net.core(0), 0), 0.5);
+}
+
+TEST(LoadBoundTest, HistogramsAndTotalsAreConsistent) {
+  const Network net = golden_ring();
+  const LoadSummary load = compute_load(net);
+  std::uint64_t fan_in_total = 0;
+  for (const auto b : load.fan_in_hist) fan_in_total += b;
+  EXPECT_EQ(fan_in_total, static_cast<std::uint64_t>(net.geom.neurons()));
+  for (const CoreLoad& cl : load.cores) {
+    EXPECT_EQ(cl.enabled_neurons, static_cast<std::uint32_t>(kCoreSize));
+    EXPECT_EQ(cl.fan_out, static_cast<std::uint32_t>(kCoreSize));
+    EXPECT_EQ(cl.axons_targeted, static_cast<std::uint32_t>(kCoreSize));
+  }
+  EXPECT_TRUE(load.links.empty()) << "single-chip networks have no merge-split links";
+}
+
+// --- JSON schema round-trip -------------------------------------------------
+
+TEST(LintJsonTest, ReportRoundTripsThroughOwnParser) {
+  const Network net = golden_ring();
+  const LintReport report = lint(net);
+  const obs::JsonValue doc = report_to_json(report, "golden_ring", net.geom);
+  const obs::JsonValue parsed = obs::parse_json(doc.to_string(2));
+
+  ASSERT_TRUE(parsed.is_object());
+  EXPECT_EQ(parsed.find("schema")->as_string(), "nsc-lint-v1");
+  EXPECT_EQ(parsed.find("net")->as_string(), "golden_ring");
+  EXPECT_EQ(parsed.find_path("geometry.total_cores")->as_int(), 4);
+  EXPECT_EQ(parsed.find_path("counts.error")->as_int(), 0);
+  EXPECT_EQ(parsed.find_path("counts.info")->as_int(),
+            static_cast<std::int64_t>(report.count(Severity::kInfo)));
+  const obs::JsonValue* findings = parsed.find("findings");
+  ASSERT_NE(findings, nullptr);
+  ASSERT_EQ(findings->items().size(), report.findings.size());
+  EXPECT_EQ(findings->items()[0].find("rule")->as_string(), "NSC023");
+  EXPECT_EQ(findings->items()[0].find("severity")->as_string(), "info");
+  EXPECT_GT(parsed.find_path("load.total_rate_bound")->as_double(), 0.0);
+}
+
+TEST(LintJsonTest, ErrorNetworkCountsSurviveSerialization) {
+  Network net = blank(Geometry{1, 1, 2, 1});
+  enable(net, 0, 0).target = {1, 0, 0};  // NSC007
+  enable(net, 0, 1).threshold = 0;       // NSC003
+  const LintReport report = lint(net);
+  const obs::JsonValue parsed =
+      obs::parse_json(report_to_json(report, "bad", net.geom).to_string(0));
+  EXPECT_EQ(parsed.find_path("counts.error")->as_int(),
+            static_cast<std::int64_t>(report.count(Severity::kError)));
+  EXPECT_GE(parsed.find_path("counts.error")->as_int(), 2);
+}
+
+// --- The shipped generators must stay lint-clean at --fail-on=warn ----------
+
+TEST(GeneratorLint, RecurrentCharacterizationNetworkIsWarnClean) {
+  netgen::RecurrentSpec spec;
+  spec.geom = Geometry{1, 1, 4, 4};
+  spec.rate_hz = 20.0;
+  spec.synapses_per_axon = 128;
+  EXPECT_TRUE(clean_at(netgen::make_recurrent(spec)));
+}
+
+TEST(GeneratorLint, RandomRegressionNetworkIsWarnClean) {
+  netgen::RandomNetSpec spec;
+  spec.geom = Geometry{2, 1, 4, 4};
+  spec.synapse_density = 0.3;
+  spec.seed = 9;
+  EXPECT_TRUE(clean_at(netgen::make_random(spec)));
+}
+
+TEST(GeneratorLint, OutOfRangeSpecsAreHardErrors) {
+  netgen::RecurrentSpec rec;
+  rec.synapses_per_axon = kCoreSize + 1;
+  EXPECT_THROW((void)netgen::calibrate(rec), std::invalid_argument);
+  rec.synapses_per_axon = 128;
+  rec.rate_hz = 0.0;
+  EXPECT_THROW((void)netgen::calibrate(rec), std::invalid_argument);
+  netgen::RandomNetSpec rnd;
+  rnd.synapse_density = 1.5;
+  EXPECT_THROW((void)netgen::make_random(rnd), std::invalid_argument);
+}
+
+TEST(GeneratorLint, SubHertzTargetsStayInsideThresholdEnvelope) {
+  netgen::RecurrentSpec spec;
+  spec.geom = Geometry{1, 1, 2, 2};
+  spec.rate_hz = 0.01;  // Would want Δ > 2^18 − 1; must clamp, not overflow.
+  spec.synapses_per_axon = 64;
+  const netgen::RateCalibration cal = netgen::calibrate(spec);
+  EXPECT_LE(cal.threshold, core::kThresholdMax);
+  EXPECT_EQ(lint(netgen::make_recurrent(spec)).count(Severity::kError), 0u);
+}
+
+}  // namespace
+}  // namespace nsc::analysis

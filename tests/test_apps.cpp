@@ -10,7 +10,7 @@
 #include "src/apps/saccade.hpp"
 #include "src/apps/saliency.hpp"
 #include "src/core/spike_sink.hpp"
-#include "src/core/validation.hpp"
+#include "src/analysis/lint.hpp"
 
 namespace nsc::apps {
 namespace {
@@ -27,7 +27,7 @@ AppConfig small_cfg() {
 }
 
 void expect_valid_and_equivalent(const AppNetwork& net) {
-  EXPECT_TRUE(core::validate(net.network()).empty()) << net.name;
+  EXPECT_TRUE(analysis::clean_at(net.network())) << net.name;
   core::VectorSink tn_sink, compass_sink;
   const AppRunResult tn = run_on_truenorth(net, &tn_sink);
   const AppRunResult cp = run_on_compass(net, 3, &compass_sink);
@@ -125,7 +125,7 @@ TEST(NeovisionApp, BuildsRunsAndBinds) {
   cfg.ticks_per_frame = 25;
   const NeovisionApp app = make_neovision_app(cfg);
   EXPECT_EQ(app.region_cols * app.region_rows, 16);
-  EXPECT_TRUE(core::validate(app.net.network()).empty());
+  EXPECT_TRUE(analysis::clean_at(app.net.network()));
 
   core::WindowedCountSink sink(static_cast<std::uint64_t>(app.net.network().geom.neurons()),
                                app.ticks_per_frame);

@@ -9,7 +9,7 @@
 #include "src/core/network.hpp"
 #include "src/core/network_io.hpp"
 #include "src/core/types.hpp"
-#include "src/core/validation.hpp"
+#include "src/analysis/lint.hpp"
 #include "src/netgen/random_net.hpp"
 
 namespace nsc::core {
@@ -131,35 +131,39 @@ TEST(NetworkIoTest, RejectsGarbage) {
   EXPECT_THROW((void)load_network(buf), std::runtime_error);
 }
 
+// Envelope validation now lives in src/analysis (nsc_lint); these cover the
+// require_deployable migration path for the old validate_or_throw callers.
+// Per-rule coverage is in tests/test_analysis.cpp.
 TEST(ValidationTest, CleanNetworkPasses) {
   netgen::RandomNetSpec spec;
   spec.geom = Geometry{1, 1, 2, 2};
   const Network net = netgen::make_random(spec);
-  EXPECT_TRUE(validate(net).empty());
-  EXPECT_NO_THROW(validate_or_throw(net));
+  EXPECT_EQ(analysis::lint(net).count(analysis::Severity::kError), 0u);
+  EXPECT_NO_THROW(analysis::require_deployable(net));
 }
 
 TEST(ValidationTest, CatchesBadTargetCore) {
   Network net(Geometry{1, 1, 2, 1});
   net.core(0).neuron[0].target = {999, 0, 1};
-  const auto issues = validate(net);
-  ASSERT_FALSE(issues.empty());
-  EXPECT_EQ(issues[0].core, 0u);
-  EXPECT_THROW(validate_or_throw(net), std::runtime_error);
+  const auto report = analysis::lint(net);
+  EXPECT_TRUE(report.has_rule("NSC005"));
+  ASSERT_FALSE(report.findings.empty());
+  EXPECT_EQ(report.findings[0].core, 0u);
+  EXPECT_THROW(analysis::require_deployable(net), std::runtime_error);
 }
 
 TEST(ValidationTest, CatchesBadDelay) {
   Network net(Geometry{1, 1, 2, 1});
   net.core(0).neuron[3].target = {1, 0, 0};  // delay 0 < kMinDelay
-  EXPECT_FALSE(validate(net).empty());
+  EXPECT_TRUE(analysis::lint(net).has_rule("NSC007"));
   net.core(0).neuron[3].target = {1, 0, 16};  // > kMaxDelay
-  EXPECT_FALSE(validate(net).empty());
+  EXPECT_TRUE(analysis::lint(net).has_rule("NSC007"));
 }
 
 TEST(ValidationTest, CatchesNonPositiveThreshold) {
   Network net(Geometry{1, 1, 1, 1});
   net.core(0).neuron[0].threshold = 0;
-  EXPECT_FALSE(validate(net).empty());
+  EXPECT_TRUE(analysis::lint(net).has_rule("NSC003"));
 }
 
 TEST(ValidationTest, CatchesTargetOnDisabledCore) {
@@ -167,7 +171,7 @@ TEST(ValidationTest, CatchesTargetOnDisabledCore) {
   net.core(1).disabled = 1;
   for (auto& p : net.core(1).neuron) p.enabled = 0;
   net.core(0).neuron[0].target = {1, 0, 1};
-  EXPECT_FALSE(validate(net).empty());
+  EXPECT_TRUE(analysis::lint(net).has_rule("NSC006"));
 }
 
 TEST(KernelStatsTest, RateAndSynapsesPerDelivery) {

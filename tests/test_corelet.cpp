@@ -4,7 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "src/core/spike_sink.hpp"
-#include "src/core/validation.hpp"
+#include "src/analysis/lint.hpp"
 #include "src/corelet/corelet.hpp"
 #include "src/corelet/lib.hpp"
 #include "src/corelet/place.hpp"
@@ -22,7 +22,7 @@ using core::VectorSink;
 std::vector<Spike> run_corelet(const Corelet& c, const InputSchedule& in, Tick ticks,
                                PlaceStrategy strategy = PlaceStrategy::kBlock2D) {
   PlacedCorelet placed = place(c, fit_geometry(c), strategy);
-  core::validate_or_throw(placed.network);
+  analysis::require_deployable(placed.network);
   tn::TrueNorthSimulator sim(placed.network);
   VectorSink sink;
   sim.run(ticks, &in, &sink);
@@ -135,7 +135,7 @@ TEST(DelayLineTest, DelaysBySpecifiedTicks) {
     in.add(0, 0, 2);  // channel 2 enters the first relay (core 0)
     in.finalize();
     PlacedCorelet placed = place(c, fit_geometry(c));
-    core::validate_or_throw(placed.network);
+    analysis::require_deployable(placed.network);
     tn::TrueNorthSimulator sim(placed.network);
     VectorSink sink;
     sim.run(static_cast<Tick>(delay) + 5, &in, &sink);

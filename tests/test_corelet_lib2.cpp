@@ -4,7 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "src/core/spike_sink.hpp"
-#include "src/core/validation.hpp"
+#include "src/analysis/lint.hpp"
 #include "src/corelet/lib2.hpp"
 #include "src/corelet/place.hpp"
 #include "src/tn/chip_sim.hpp"
@@ -21,7 +21,7 @@ std::vector<Spike> run_corelet(const Corelet& c, const InputSchedule& in, Tick t
                                std::uint64_t seed = 1) {
   PlacedCorelet placed = place(c, fit_geometry(c));
   placed.network.seed = seed;
-  core::validate_or_throw(placed.network);
+  analysis::require_deployable(placed.network);
   tn::TrueNorthSimulator sim(placed.network);
   VectorSink sink;
   sim.run(ticks, &in, &sink);

@@ -6,7 +6,7 @@
 
 #include "src/apps/optical_flow.hpp"
 #include "src/core/spike_analysis.hpp"
-#include "src/core/validation.hpp"
+#include "src/analysis/lint.hpp"
 #include "src/energy/telemetry.hpp"
 #include "src/vision/pgm.hpp"
 #include "src/vision/scene.hpp"
@@ -157,7 +157,7 @@ TEST(OpticalFlow, BuildsValidNetwork) {
   cfg.scene_objects = 1;
   cfg.seed = 8;
   const auto app = apps::make_optical_flow_app(cfg);
-  EXPECT_TRUE(core::validate(app.net.network()).empty());
+  EXPECT_TRUE(analysis::clean_at(app.net.network()));
   EXPECT_EQ(app.region_cols * app.region_rows, 16);
   EXPECT_GT(app.net.inputs.size(), 0u);
 }

@@ -4,14 +4,14 @@
 #include <gtest/gtest.h>
 
 #include "src/apps/lsm.hpp"
-#include "src/core/validation.hpp"
+#include "src/analysis/lint.hpp"
 
 namespace nsc::apps {
 namespace {
 
 TEST(Lsm, ReservoirIsValidAndRecurrent) {
   const Lsm lsm = make_lsm({});
-  EXPECT_TRUE(core::validate(lsm.reservoir).empty());
+  EXPECT_TRUE(analysis::clean_at(lsm.reservoir));
   // Every neuron projects back into the reservoir core.
   for (const auto& p : lsm.reservoir.core(0).neuron) {
     EXPECT_TRUE(p.target.valid());

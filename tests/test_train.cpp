@@ -3,7 +3,7 @@
 // deploy-on-chip accuracy contract.
 #include <gtest/gtest.h>
 
-#include "src/core/validation.hpp"
+#include "src/analysis/lint.hpp"
 #include "src/corelet/place.hpp"
 #include "src/train/perceptron.hpp"
 
@@ -74,7 +74,7 @@ TEST(EmitClassifier, ProducesValidNetwork) {
   EXPECT_EQ(clf.classes, 4);
   EXPECT_EQ(clf.features, 64);
   const auto placed = corelet::place(clf.net, core::Geometry{1, 1, 1, 1});
-  EXPECT_TRUE(core::validate(placed.network).empty());
+  EXPECT_TRUE(analysis::clean_at(placed.network));
   // Each feature owns four typed axons.
   const auto axons = clf.feature_axons(5);
   EXPECT_EQ(axons[0], 20);

@@ -4,6 +4,7 @@
 //   nsc_faultsweep --net net.nsc --ticks 200 [--backend tn|compass]
 //                  [--threads N] [--fractions 0,0.1,0.25] [--events-seed S]
 //                  [--in events.aer] [--json curve.json] [--check-monotone]
+//                  [--lint]
 //
 // For each fault fraction f, runs the network under a deterministic seeded
 // campaign that kills round(f * cores) cores at random ticks in the first
@@ -25,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/report.hpp"
 #include "src/compass/simulator.hpp"
 #include "src/core/aer.hpp"
 #include "src/core/network_io.hpp"
@@ -124,7 +126,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: nsc_faultsweep --net FILE --ticks N [--backend tn|compass] [--threads N]\n"
                  "                      [--fractions 0,0.1,0.25] [--events-seed S] [--in F]\n"
-                 "                      [--json FILE] [--check-monotone]\n");
+                 "                      [--json FILE] [--check-monotone] [--lint]\n");
     return 2;
   }
   try {
@@ -135,7 +137,8 @@ int main(int argc, char** argv) {
     if (backend != "tn" && backend != "compass") {
       throw std::runtime_error("unknown backend '" + backend + "' (expected tn or compass)");
     }
-    const int threads = static_cast<int>(parse_ll("--threads", flag_value(argc, argv, "--threads", "1")));
+    const int threads =
+        static_cast<int>(parse_ll("--threads", flag_value(argc, argv, "--threads", "1")));
     const auto events_seed = static_cast<std::uint64_t>(
         parse_ll("--events-seed", flag_value(argc, argv, "--events-seed", "1")));
     const std::vector<double> fractions =
@@ -145,6 +148,9 @@ int main(int argc, char** argv) {
     const bool check_monotone = flag_present(argc, argv, "--check-monotone");
 
     const nsc::core::Network net = nsc::core::load_network(net_path);
+    if (flag_present(argc, argv, "--lint") && !nsc::analysis::lint_preflight(net, net_path)) {
+      return 1;
+    }
     const int ncores = net.geom.total_cores();
     nsc::core::InputSchedule inputs;
     if (!in_path.empty()) {

@@ -8,8 +8,8 @@
 #include <iostream>
 #include <string>
 
+#include "src/analysis/lint.hpp"
 #include "src/core/network_io.hpp"
-#include "src/core/validation.hpp"
 #include "src/util/table.hpp"
 
 namespace {
@@ -86,12 +86,16 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
 
-    const auto issues = nsc::core::validate(net);
-    if (issues.empty()) {
-      std::printf("validation: OK\n");
+    const auto lint = nsc::analysis::lint(net);
+    if (lint.clean()) {
+      std::printf("lint: OK\n");
     } else {
-      std::printf("validation: %zu issue(s); first: core %u neuron %d: %s\n", issues.size(),
-                  issues[0].core, issues[0].neuron, issues[0].message.c_str());
+      std::printf("lint: %llu error(s), %llu warning(s), %llu info(s); first: [%s] %s\n",
+                  static_cast<unsigned long long>(lint.count(nsc::analysis::Severity::kError)),
+                  static_cast<unsigned long long>(lint.count(nsc::analysis::Severity::kWarn)),
+                  static_cast<unsigned long long>(lint.count(nsc::analysis::Severity::kInfo)),
+                  lint.findings[0].rule.c_str(), lint.findings[0].message.c_str());
+      std::printf("      run nsc_lint --net %s for the full report\n", net_path.c_str());
     }
 
     if (flag_present(argc, argv, "--per-core")) {

@@ -1,0 +1,111 @@
+// nsc_lint — static verification of a network model file, no simulation
+// (docs/ANALYSIS.md).
+//
+//   nsc_lint --net net.nsc [--json report.json] [--fail-on error|warn|never]
+//            [--suppress NSC022,NSC040] [--max-findings N] [--no-graph]
+//            [--no-load] [--quiet]
+//
+// Checks the hardware envelope (weights, delays, thresholds, axon types,
+// crossbar/grid shape), graph structure (dead neurons, unreachable cores,
+// orphan axons, recurrent loops), conservative load bounds (merge-split
+// link overflow risk, firing-rate upper bounds) and determinism hazards
+// (stochastic modes that must be seeded). Findings carry stable rule IDs
+// (NSC001...) and severities; --json writes the "nsc-lint-v1" report.
+//
+// Exit codes: 0 = deployable under the chosen gate, 1 = warnings present
+// and --fail-on=warn, 2 = error-level findings (or usage error).
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/analysis/lint.hpp"
+#include "src/analysis/report.hpp"
+#include "src/core/network_io.hpp"
+
+namespace {
+
+const char* flag_value(int argc, char** argv, const char* name, const char* fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+bool flag_present(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> parse_rule_list(const std::string& spec) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = std::min(spec.find(',', pos), spec.size());
+    const std::string tok = spec.substr(pos, comma - pos);
+    if (!tok.empty()) out.push_back(tok);
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string net_path = flag_value(argc, argv, "--net", "");
+  if (net_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: nsc_lint --net FILE [--json FILE] [--fail-on error|warn|never]\n"
+                 "                [--suppress NSC0xx,NSC0yy] [--max-findings N]\n"
+                 "                [--no-graph] [--no-load] [--quiet]\n");
+    return 2;
+  }
+  try {
+    const std::string fail_on = flag_value(argc, argv, "--fail-on", "error");
+    if (fail_on != "error" && fail_on != "warn" && fail_on != "never") {
+      throw std::runtime_error("invalid --fail-on '" + fail_on + "' (error|warn|never)");
+    }
+    const std::string json_path = flag_value(argc, argv, "--json", "");
+    const long max_findings =
+        std::strtol(flag_value(argc, argv, "--max-findings", "50"), nullptr, 10);
+
+    nsc::analysis::LintOptions options;
+    options.suppress = parse_rule_list(flag_value(argc, argv, "--suppress", ""));
+    options.graph = !flag_present(argc, argv, "--no-graph");
+    options.load = !flag_present(argc, argv, "--no-load");
+
+    const nsc::core::Network net = nsc::core::load_network(net_path);
+    const nsc::analysis::LintReport report = nsc::analysis::lint(net, options);
+
+    if (!flag_present(argc, argv, "--quiet")) {
+      std::ostringstream os;
+      nsc::analysis::print_report(
+          os, report, max_findings > 0 ? static_cast<std::size_t>(max_findings) : 0);
+      std::fputs(os.str().c_str(), stdout);
+    }
+    if (!json_path.empty()) {
+      nsc::analysis::write_lint_report(json_path, report, net_path, net.geom);
+      std::printf("wrote lint report to %s\n", json_path.c_str());
+    }
+
+    const std::uint64_t errors = report.count(nsc::analysis::Severity::kError);
+    const std::uint64_t warns = report.count(nsc::analysis::Severity::kWarn);
+    if (fail_on != "never" && errors > 0) {
+      std::printf("FAIL: %llu error-level finding(s)\n", static_cast<unsigned long long>(errors));
+      return 2;
+    }
+    if (fail_on == "warn" && warns > 0) {
+      std::printf("FAIL: %llu warn-level finding(s) with --fail-on=warn\n",
+                  static_cast<unsigned long long>(warns));
+      return 1;
+    }
+    std::printf("OK: %s is deployable (fail-on=%s)\n", net_path.c_str(), fail_on.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// nsc_lint_fixture — writes tiny crafted network files for the nsc_lint CLI
+// exit-code tests (tools/CMakeLists.txt). nsc_netgen cannot produce these:
+// it refuses to write networks that fail lint, which is exactly what the
+// error fixture must be.
+//
+//   nsc_lint_fixture --dir DIR
+//
+// Writes into DIR:
+//   lint_clean.nsc — a 4-core ring whose only finding is the informational
+//                    recurrent loop (deployable even at --fail-on=warn)
+//   lint_warn.nsc  — the ring plus one neuron starting at its threshold
+//                    (NSC014, warn; deployable only at --fail-on=error)
+//   lint_error.nsc — the ring plus one zero-delay route (NSC007, error;
+//                    never deployable)
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "src/core/network.hpp"
+#include "src/core/network_io.hpp"
+
+namespace {
+
+nsc::core::Network make_ring() {
+  using namespace nsc;
+  core::Network net(core::Geometry{1, 1, 2, 2});
+  for (core::CoreId c = 0; c < 4; ++c) {
+    for (int j = 0; j < core::kCoreSize; ++j) {
+      net.core(c).crossbar.set(j, j);
+      core::NeuronParams& p = net.core(c).neuron[j];
+      p.threshold = 100;
+      p.target = {(c + 1) % 4, static_cast<std::uint16_t>(j), 1};
+    }
+  }
+  return net;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* dir = nullptr;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--dir") == 0) dir = argv[i + 1];
+  }
+  if (dir == nullptr) {
+    std::fprintf(stderr, "usage: nsc_lint_fixture --dir DIR\n");
+    return 2;
+  }
+  try {
+    const std::string base = std::string(dir) + "/";
+    nsc::core::save_network(make_ring(), base + "lint_clean.nsc");
+
+    nsc::core::Network warn = make_ring();
+    warn.core(0).neuron[0].init_v = warn.core(0).neuron[0].threshold;  // NSC014
+    nsc::core::save_network(warn, base + "lint_warn.nsc");
+
+    nsc::core::Network error = make_ring();
+    error.core(0).neuron[0].target.delay = 0;  // NSC007
+    nsc::core::save_network(error, base + "lint_error.nsc");
+
+    std::printf("wrote lint fixtures to %s\n", dir);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,20 +1,22 @@
 // nsc_netgen — generate network model files from the command line.
 //
-//   nsc_netgen recurrent --rate 20 --synapses 128 --cores-x 32 --cores-y 32 \
+//   nsc_netgen recurrent --rate 20 --synapses 128 --cores-x 32 --cores-y 32
 //              --seed 1 --out net.nsc
 //   nsc_netgen random --cores-x 4 --cores-y 4 --density 0.25 --out net.nsc
 //
 // Writes the binary model format of src/core/network_io.hpp, loadable by
 // nsc_run and by the library's load_network().
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 #include <string>
 
+#include "src/analysis/lint.hpp"
+#include "src/analysis/report.hpp"
 #include "src/core/network_io.hpp"
-#include "src/core/validation.hpp"
 #include "src/netgen/random_net.hpp"
 #include "src/netgen/recurrent.hpp"
 
@@ -100,8 +102,23 @@ int main(int argc, char** argv) {
       spec.seed = seed;
       spec.rate_hz = flags.get_d("--rate", 20.0);
       spec.synapses_per_axon = flags.get_i("--synapses", 128);
+      // Out-of-envelope requests are clamped with an explicit warn; the
+      // generator itself rejects them outright (no silent saturation).
+      const int k_max = nsc::core::kCoreSize;
+      if (spec.synapses_per_axon < 0 || spec.synapses_per_axon > k_max) {
+        const int clamped = spec.synapses_per_axon < 0 ? 0 : k_max;
+        std::fprintf(stderr, "warn: --synapses %d outside [0, %d]; clamping to %d\n",
+                     spec.synapses_per_axon, k_max, clamped);
+        spec.synapses_per_axon = clamped;
+      }
       const auto cal = nsc::netgen::calibrate(spec);
       net = nsc::netgen::make_recurrent(spec);
+      if (std::abs(cal.expected_rate_hz - spec.rate_hz) > 0.1 * spec.rate_hz) {
+        std::fprintf(stderr,
+                     "warn: target rate %.2f Hz is not reachable inside the hardware "
+                     "envelope; calibrated to %.2f Hz\n",
+                     spec.rate_hz, cal.expected_rate_hz);
+      }
       std::printf("recurrent network: %d cores, target %.1f Hz (calibrated %.1f Hz), "
                   "K=%d, threshold %d, leak %d\n",
                   geom.total_cores(), spec.rate_hz, cal.expected_rate_hz,
@@ -112,6 +129,12 @@ int main(int argc, char** argv) {
       spec.seed = seed;
       spec.synapse_density = flags.get_d("--density", 0.25);
       spec.input_drive_hz = flags.get_d("--input-hz", 100.0);
+      if (spec.synapse_density < 0.0 || spec.synapse_density > 1.0) {
+        const double clamped = spec.synapse_density < 0.0 ? 0.0 : 1.0;
+        std::fprintf(stderr, "warn: --density %.3f outside [0, 1]; clamping to %.1f\n",
+                     spec.synapse_density, clamped);
+        spec.synapse_density = clamped;
+      }
       net = nsc::netgen::make_random(spec);
       std::printf("random network: %d cores, density %.2f\n", geom.total_cores(),
                   spec.synapse_density);
@@ -119,7 +142,19 @@ int main(int argc, char** argv) {
       usage();
       return 2;
     }
-    nsc::core::validate_or_throw(net);
+    // Generators must emit lint-clean networks: refuse to write anything
+    // outside the hardware envelope, and surface every warning explicitly
+    // (nothing is silently clamped).
+    const auto report = nsc::analysis::lint(net);
+    for (const auto& f : report.findings) {
+      if (f.severity != nsc::analysis::Severity::kInfo) {
+        std::fprintf(stderr, "%s [%s] %s\n", std::string(severity_name(f.severity)).c_str(),
+                     f.rule.c_str(), f.message.c_str());
+      }
+    }
+    if (report.count(nsc::analysis::Severity::kError) > 0) {
+      throw std::runtime_error("generated network fails lint; refusing to write " + out);
+    }
     nsc::core::save_network(net, out);
     std::printf("wrote %s (%llu synapses, %llu enabled neurons)\n", out.c_str(),
                 static_cast<unsigned long long>(net.total_synapses()),

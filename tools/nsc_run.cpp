@@ -2,7 +2,7 @@
 //
 //   nsc_run --net net.nsc --ticks 1000 [--backend tn|compass] [--threads N]
 //           [--in events.aer] [--out spikes.aer] [--json report.json]
-//           [--volts 0.75] [--verify]
+//           [--volts 0.75] [--verify] [--lint]
 //           [--restore ckpt.nsck] [--save-checkpoint ckpt.nsck [--checkpoint-at T]]
 //
 // Prints run statistics, the per-phase wall-time breakdown, spike-train
@@ -12,7 +12,9 @@
 // spike-for-spike agreement (exit 1 on mismatch). --restore resumes a saved
 // checkpoint (docs/RESILIENCE.md) and then runs --ticks further ticks;
 // --save-checkpoint writes one after --checkpoint-at ticks of this run
-// (default: at the end), then finishes the run.
+// (default: at the end), then finishes the run. --lint statically verifies
+// the network first (docs/ANALYSIS.md) and refuses to run error-level
+// networks (exit 1); warnings are printed but do not block.
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -21,6 +23,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "src/analysis/report.hpp"
 #include "src/compass/simulator.hpp"
 #include "src/core/aer.hpp"
 #include "src/core/network_io.hpp"
@@ -101,7 +104,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: nsc_run --net FILE --ticks N [--backend tn|compass] [--threads N]\n"
                  "               [--in events.aer] [--out spikes.aer] [--volts V] [--verify]\n"
-                 "               [--restore F] [--save-checkpoint F [--checkpoint-at T]]\n");
+                 "               [--lint] [--restore F]\n"
+                 "               [--save-checkpoint F [--checkpoint-at T]]\n");
     return 2;
   }
   try {
@@ -111,7 +115,8 @@ int main(int argc, char** argv) {
     if (backend != "tn" && backend != "compass") {
       throw std::runtime_error("unknown backend '" + backend + "' (expected tn or compass)");
     }
-    const int threads = static_cast<int>(parse_ll("--threads", flag_value(argc, argv, "--threads", "1")));
+    const int threads =
+        static_cast<int>(parse_ll("--threads", flag_value(argc, argv, "--threads", "1")));
     const double volts = parse_d("--volts", flag_value(argc, argv, "--volts", "0.75"));
     const std::string in_path = flag_value(argc, argv, "--in", "");
     const std::string out_path = flag_value(argc, argv, "--out", "");
@@ -122,6 +127,9 @@ int main(int argc, char** argv) {
         parse_ll("--checkpoint-at", flag_value(argc, argv, "--checkpoint-at", "-1")));
     if (ticks < 0) throw std::runtime_error("--ticks must be >= 0");
     const nsc::core::Network net = nsc::core::load_network(net_path);
+    if (flag_present(argc, argv, "--lint") && !nsc::analysis::lint_preflight(net, net_path)) {
+      return 1;
+    }
     const auto neurons = static_cast<std::uint64_t>(net.geom.neurons());
     std::printf("loaded %s: %d cores, %llu enabled neurons, %llu synapses\n", net_path.c_str(),
                 net.geom.total_cores(), static_cast<unsigned long long>(net.enabled_neurons()),
