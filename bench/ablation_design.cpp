@@ -120,7 +120,8 @@ int main() {
     }
     const core::Geometry pg{1, 1, 8, 8};
     double hops[2] = {0, 0};
-    for (const auto strategy : {corelet::PlaceStrategy::kLinear, corelet::PlaceStrategy::kBlock2D}) {
+    for (const auto strategy :
+         {corelet::PlaceStrategy::kLinear, corelet::PlaceStrategy::kBlock2D}) {
       const auto placed = corelet::place(pipe, pg, strategy);
       double total = 0;
       int n = 0;

@@ -14,7 +14,8 @@ int main() {
 
   std::printf("=== SVII-D: future systems and energy-to-solution projections ===\n\n");
 
-  nsc::util::Table tiers({"tier", "chips", "neurons", "synapses", "power (W)", "GSOPS @20Hz/128 (est)"});
+  nsc::util::Table tiers(
+      {"tier", "chips", "neurons", "synapses", "power (W)", "GSOPS @20Hz/128 (est)"});
   for (const SystemTier& t : paper_system_tiers()) {
     // Estimated sustained GSOPS at the headline operating point.
     const double gsops = t.neurons * 20.0 * 128.0 * 1e-9;

@@ -16,7 +16,9 @@ struct HaarKernel {
   std::array<std::int8_t, 64> sign;  // row-major, w*h entries used
 };
 
-std::int8_t& cell(HaarKernel& k, int x, int y) { return k.sign[static_cast<std::size_t>(y * k.w + x)]; }
+std::int8_t& cell(HaarKernel& k, int x, int y) {
+  return k.sign[static_cast<std::size_t>(y * k.w + x)];
+}
 
 /// The ten kernels: edges, lines, diagonals and center-surround at two
 /// scales — the classic Viola–Jones feature set.

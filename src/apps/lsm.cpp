@@ -30,7 +30,9 @@ Lsm make_lsm(const LsmConfig& cfg) {
   }
   // 20% of reservoir neurons are inhibitory (they project to type-2 axons).
   std::vector<bool> inhibitory(core::kCoreSize);
-  for (int j = 0; j < core::kCoreSize; ++j) inhibitory[static_cast<std::size_t>(j)] = rng.next_double() < 0.2;
+  for (int j = 0; j < core::kCoreSize; ++j) {
+    inhibitory[static_cast<std::size_t>(j)] = rng.next_double() < 0.2;
+  }
 
   for (int j = 0; j < core::kCoreSize; ++j) {
     core::NeuronParams& p = cs.neuron[j];
@@ -47,7 +49,8 @@ Lsm make_lsm(const LsmConfig& cfg) {
     p.init_v = static_cast<std::int32_t>(rng.next_below(8));
     // Each neuron listens to ~3 input channels and ~8 recurrent axons.
     for (int k = 0; k < 3; ++k) {
-      cs.crossbar.set(static_cast<int>(rng.next_below(static_cast<std::uint64_t>(cfg.input_channels))), j);
+      cs.crossbar.set(
+          static_cast<int>(rng.next_below(static_cast<std::uint64_t>(cfg.input_channels))), j);
     }
     for (int k = 0; k < 8; ++k) {
       cs.crossbar.set(kInputAxons + static_cast<int>(rng.next_below(kExcAxons + 64)), j);

@@ -49,11 +49,14 @@ NeovisionApp make_neovision_app(const AppConfig& cfg) {
         expected_drive(static_cast<vision::ObjectClass>(c), kBgMean, kMaxProb);
   }
   std::sort(order.begin(), order.end(),
-            [&](int a, int b) { return drive[static_cast<std::size_t>(a)] < drive[static_cast<std::size_t>(b)]; });
+            [&](int a, int b) {
+              return drive[static_cast<std::size_t>(a)] < drive[static_cast<std::size_t>(b)];
+            });
   const double bg_drive = kSamples * kBgMean / 255.0 * kMaxProb;
   std::array<int, 6> cuts{};  // cuts[b]: lower bound of band b; cuts[5] unused sentinel
   for (int b = 0; b < 5; ++b) {
-    const double lo = b == 0 ? bg_drive : drive[static_cast<std::size_t>(order[static_cast<std::size_t>(b - 1)])];
+    const double lo =
+        b == 0 ? bg_drive : drive[static_cast<std::size_t>(order[static_cast<std::size_t>(b - 1)])];
     const double hi = drive[static_cast<std::size_t>(order[static_cast<std::size_t>(b)])];
     cuts[static_cast<std::size_t>(b)] = std::max(1, static_cast<int>(std::lround((lo + hi) / 2.0)));
   }
@@ -64,8 +67,12 @@ NeovisionApp make_neovision_app(const AppConfig& cfg) {
   app.class_index.resize(static_cast<std::size_t>(regions));
   app.ladder_index.resize(static_cast<std::size_t>(regions));
   app.bg_drive = bg_drive;
-  for (int b = 0; b < 5; ++b) app.band_cut[static_cast<std::size_t>(b)] = cuts[static_cast<std::size_t>(b)];
-  for (int c = 0; c < 5; ++c) app.class_drive[static_cast<std::size_t>(c)] = drive[static_cast<std::size_t>(c)];
+  for (int b = 0; b < 5; ++b) {
+    app.band_cut[static_cast<std::size_t>(b)] = cuts[static_cast<std::size_t>(b)];
+  }
+  for (int c = 0; c < 5; ++c) {
+    app.class_drive[static_cast<std::size_t>(c)] = drive[static_cast<std::size_t>(c)];
+  }
   std::vector<int> where_core(static_cast<std::size_t>(regions));
   std::vector<int> what_core(static_cast<std::size_t>(regions));
 
@@ -356,7 +363,8 @@ NeovisionResult decode_detections(const NeovisionApp& app, const core::WindowedC
         const int row_samples = kRegionPx / kSampleStride;
         for (int s = 0; s < kSamples; ++s) {
           const double m = static_cast<double>(counts[wc_base + static_cast<std::size_t>(s)]) +
-                           static_cast<double>(counts[wc_base + kSamples + static_cast<std::size_t>(s)]);
+                           static_cast<double>(
+                               counts[wc_base + kSamples + static_cast<std::size_t>(s)]);
           if (m == 0.0) continue;
           cx += m * (rx + (s % row_samples) * kSampleStride + 1);
           cy += m * (ry + (s / row_samples) * kSampleStride + 1);

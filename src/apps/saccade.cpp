@@ -93,7 +93,8 @@ SaccadeApp make_saccade_app(const AppConfig& cfg) {
 
   // Wire saliency energy outputs into the WTA inputs.
   for (int j = 0; j < n; ++j) {
-    const corelet::OutputPin e = corelet::Corelet::offset_pin(sal.energy_pins[static_cast<std::size_t>(j)], sal_off);
+    const corelet::OutputPin e =
+        corelet::Corelet::offset_pin(sal.energy_pins[static_cast<std::size_t>(j)], sal_off);
     net.connect(e, {wta, static_cast<std::uint16_t>(j)}, 1);
   }
 

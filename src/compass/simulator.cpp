@@ -158,7 +158,9 @@ void Simulator::phase_compute(int p, Tick t, const core::InputSchedule* inputs, 
       if (!fired) return;
 
       ++ls.spikes;
-      if (record) spike_buf_[static_cast<std::size_t>(p)].push_back({t, c, static_cast<std::uint16_t>(j)});
+      if (record) {
+        spike_buf_[static_cast<std::size_t>(p)].push_back({t, c, static_cast<std::uint16_t>(j)});
+      }
       if (target_ok_[nid] == 0) {
         ++ls.dropped;
         if (target_faulted_[nid] != 0) ++ls.fault_dropped;

@@ -28,7 +28,9 @@ class Crossbar {
   [[nodiscard]] bool test(int i, int j) const { return rows_[static_cast<std::size_t>(i)].test(j); }
 
   /// All synapses of axon `i` as a bit row (event-driven fan-out unit).
-  [[nodiscard]] const util::BitRow256& row(int i) const { return rows_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] const util::BitRow256& row(int i) const {
+    return rows_[static_cast<std::size_t>(i)];
+  }
   [[nodiscard]] util::BitRow256& row(int i) { return rows_[static_cast<std::size_t>(i)]; }
 
   /// Number of active synapses on axon `i` (its fan-out).

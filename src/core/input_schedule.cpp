@@ -30,6 +30,8 @@ std::span<const InputSpike> InputSchedule::at(Tick tick) const {
   return {events_.data() + b, f - b};
 }
 
-Tick InputSchedule::last_tick() const noexcept { return events_.empty() ? -1 : events_.back().tick; }
+Tick InputSchedule::last_tick() const noexcept {
+  return events_.empty() ? -1 : events_.back().tick;
+}
 
 }  // namespace nsc::core

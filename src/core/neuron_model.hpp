@@ -84,7 +84,8 @@ inline constexpr std::uint32_t kSaltThreshold = 0x101;
   const std::int32_t s = p.weight[g];
   if ((p.stochastic_weight & (1u << g)) == 0) return s;
   const std::uint32_t draw =
-      static_cast<std::uint32_t>(prng.draw(core, neuron, static_cast<std::uint64_t>(tick), axon) & 0xFF);
+      static_cast<std::uint32_t>(prng.draw(core, neuron, static_cast<std::uint64_t>(tick), axon) &
+                                 0xFF);
   const std::int32_t mag = s < 0 ? -s : s;
   if (static_cast<std::int32_t>(draw) >= mag) return 0;
   return s < 0 ? -1 : 1;

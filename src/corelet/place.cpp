@@ -27,7 +27,9 @@ PlacedCorelet place(const Corelet& c, const core::Geometry& geom, PlaceStrategy 
   out.core_map.resize(static_cast<std::size_t>(n));
 
   if (strategy == PlaceStrategy::kLinear) {
-    for (int i = 0; i < n; ++i) out.core_map[static_cast<std::size_t>(i)] = static_cast<core::CoreId>(i);
+    for (int i = 0; i < n; ++i) {
+      out.core_map[static_cast<std::size_t>(i)] = static_cast<core::CoreId>(i);
+    }
   } else {
     // Snake order over a w×h block: consecutive logical cores stay mesh
     // neighbors, which keeps pipeline-style corelets' routes short.

@@ -40,7 +40,8 @@ class Campaign {
   }
   Campaign& fail_link_at(core::Tick tick, int chip, int dir) {
     events_.push_back(
-        {tick, FaultKind::kLink, static_cast<std::uint32_t>(chip) * 4 + static_cast<std::uint32_t>(dir)});
+        {tick, FaultKind::kLink,
+         static_cast<std::uint32_t>(chip) * 4 + static_cast<std::uint32_t>(dir)});
     return *this;
   }
 

@@ -158,7 +158,9 @@ RouteInfo route_with_faults(const Geometry& g, const FaultSet& faults, CoreId sr
   const int h = g.chips_y * g.cores_y;
   const auto pd = g.global_xy(dst);
   std::vector<std::int32_t> dist(static_cast<std::size_t>(w) * static_cast<std::size_t>(h), -1);
-  auto idx = [w](int x, int y) { return static_cast<std::size_t>(y) * static_cast<std::size_t>(w) + static_cast<std::size_t>(x); };
+  auto idx = [w](int x, int y) {
+    return static_cast<std::size_t>(y) * static_cast<std::size_t>(w) + static_cast<std::size_t>(x);
+  };
   std::queue<std::pair<int, int>> q;
   const auto ps = g.global_xy(src);
   dist[idx(ps.x, ps.y)] = 0;

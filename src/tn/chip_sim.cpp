@@ -213,7 +213,8 @@ void TrueNorthSimulator::refresh_targets_after_fault(bool count_reroutes) {
         target_faulted_[nid] = 1;
         return;
       }
-      const noc::RouteInfo r = noc::route_with_faults(net_.geom, faults_, link_faults_, c, tgt.core);
+      const noc::RouteInfo r =
+          noc::route_with_faults(net_.geom, faults_, link_faults_, c, tgt.core);
       if (!r.reachable) {
         // The mid-run rule: once faults occur, a target no detour can reach
         // drops its spikes (counted) instead of the constructor's

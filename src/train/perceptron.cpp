@@ -38,7 +38,8 @@ LinearModel train_perceptron(const Dataset& d, const TrainConfig& cfg) {
   assert(d.classes > 0 && d.size() > 0);
   const int f = d.features();
   LinearModel m;
-  m.w.assign(static_cast<std::size_t>(d.classes), std::vector<float>(static_cast<std::size_t>(f), 0.0f));
+  m.w.assign(static_cast<std::size_t>(d.classes),
+             std::vector<float>(static_cast<std::size_t>(f), 0.0f));
   // Averaged perceptron: accumulate weight snapshots for stability.
   auto acc = m.w;
   std::vector<std::size_t> order(d.size());
@@ -76,6 +77,7 @@ QuantizedRow quantize_row(const std::vector<float>& w, float scale, int levels) 
 
   // Initialize centers at spread quantiles of the nonzero values.
   std::vector<float> nz;
+  nz.reserve(v.size());
   for (float x : v) {
     if (std::fabs(x) >= 0.5f) nz.push_back(x);
   }
@@ -84,7 +86,8 @@ QuantizedRow quantize_row(const std::vector<float>& w, float scale, int levels) 
   std::vector<float> centers(static_cast<std::size_t>(levels));
   for (int k = 0; k < levels; ++k) {
     centers[static_cast<std::size_t>(k)] =
-        nz[nz.size() * (2 * static_cast<std::size_t>(k) + 1) / (2 * static_cast<std::size_t>(levels))];
+        nz[nz.size() * (2 * static_cast<std::size_t>(k) + 1) /
+           (2 * static_cast<std::size_t>(levels))];
   }
   // Lloyd iterations.
   for (int it = 0; it < 12; ++it) {
@@ -104,7 +107,8 @@ QuantizedRow quantize_row(const std::vector<float>& w, float scale, int levels) 
     for (int k = 0; k < levels; ++k) {
       if (count[static_cast<std::size_t>(k)] > 0) {
         centers[static_cast<std::size_t>(k)] =
-            static_cast<float>(sum[static_cast<std::size_t>(k)] / count[static_cast<std::size_t>(k)]);
+            static_cast<float>(sum[static_cast<std::size_t>(k)] /
+                               count[static_cast<std::size_t>(k)]);
       }
     }
   }

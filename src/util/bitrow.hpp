@@ -37,7 +37,9 @@ class BitRow256 {
     return (words_[0] | words_[1] | words_[2] | words_[3]) != 0;
   }
 
-  [[nodiscard]] std::uint64_t word(int i) const noexcept { return words_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] std::uint64_t word(int i) const noexcept {
+    return words_[static_cast<std::size_t>(i)];
+  }
   void set_word(int i, std::uint64_t v) noexcept { words_[static_cast<std::size_t>(i)] = v; }
 
   /// Visits the index of every set bit in ascending order.
@@ -53,7 +55,9 @@ class BitRow256 {
   }
 
   BitRow256& operator|=(const BitRow256& o) noexcept {
-    for (int i = 0; i < kWords; ++i) words_[static_cast<std::size_t>(i)] |= o.words_[static_cast<std::size_t>(i)];
+    for (int i = 0; i < kWords; ++i) {
+      words_[static_cast<std::size_t>(i)] |= o.words_[static_cast<std::size_t>(i)];
+    }
     return *this;
   }
 

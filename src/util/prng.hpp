@@ -36,7 +36,8 @@ class CounterPrng {
 
   /// 64-bit draw keyed by (core, neuron, tick, salt).
   [[nodiscard]] constexpr std::uint64_t draw(std::uint32_t core, std::uint32_t neuron,
-                                             std::uint64_t tick, std::uint32_t salt) const noexcept {
+                                             std::uint64_t tick,
+                                             std::uint32_t salt) const noexcept {
     std::uint64_t k = seed_;
     k = mix64(k ^ (std::uint64_t{core} << 32 | neuron));
     k = mix64(k ^ tick);

@@ -36,7 +36,9 @@ class Histogram {
   Histogram(double lo, double hi, int bins);
 
   void add(double x) noexcept;
-  [[nodiscard]] std::uint64_t bin_count(int i) const noexcept { return counts_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] std::uint64_t bin_count(int i) const noexcept {
+    return counts_[static_cast<std::size_t>(i)];
+  }
   [[nodiscard]] int bins() const noexcept { return static_cast<int>(counts_.size()); }
   [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
   [[nodiscard]] double bin_lo(int i) const noexcept;

@@ -68,8 +68,8 @@ void print_grid(std::ostream& os, const std::string& title, const std::string& x
                 int precision) {
   os << title << '\n';
   std::vector<std::string> header;
-  header.push_back(y_name + " \\ " + x_name);
   header.reserve(xs.size() + 1);
+  header.push_back(y_name + " \\ " + x_name);
   for (double x : xs) header.push_back(format_sig(x, 4));
   Table t(std::move(header));
   // Descending y so the highest firing-rate / voltage row prints on top,

@@ -63,7 +63,8 @@ Image gray_from_grid(const std::vector<std::vector<double>>& rows) {
   if (h == 0 || w == 0 || hi <= lo) return img;
   for (int y = 0; y < h; ++y) {
     for (int x = 0; x < w; ++x) {
-      img.set(x, y, static_cast<std::uint8_t>(255.0 * (rows[static_cast<std::size_t>(y)][static_cast<std::size_t>(x)] - lo) / (hi - lo)));
+      const double v = rows[static_cast<std::size_t>(y)][static_cast<std::size_t>(x)];
+      img.set(x, y, static_cast<std::uint8_t>(255.0 * (v - lo) / (hi - lo)));
     }
   }
   return img;
