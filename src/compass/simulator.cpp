@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <stdexcept>
+#include <thread>
 
 #include "src/core/snapshot.hpp"
 
@@ -28,6 +30,7 @@ Simulator::Simulator(const core::Network& net, Config cfg)
       target_ok_(static_cast<std::size_t>(net.geom.total_cores()) * kCoreSize, 0),
       target_faulted_(static_cast<std::size_t>(net.geom.total_cores()) * kCoreSize, 0),
       outbox_(static_cast<std::size_t>(cfg.threads) * static_cast<std::size_t>(cfg.threads)),
+      outbox_words_(static_cast<std::size_t>(cfg.threads) * static_cast<std::size_t>(cfg.threads)),
       spike_buf_(static_cast<std::size_t>(cfg.threads)),
       local_(static_cast<std::size_t>(cfg.threads)),
       part_compute_ns_(static_cast<std::size_t>(cfg.threads), 0) {
@@ -40,7 +43,14 @@ Simulator::Simulator(const core::Network& net, Config cfg)
   ctr_cores_failed_ = &obs_.counter("fault.cores_failed");
   ctr_links_failed_ = &obs_.counter("fault.links_failed");
   ctr_fault_dropped_ = &obs_.counter("fault.spikes_dropped");
+  ctr_cores_visited_ = &obs_.counter("cores_visited");
+  ctr_cores_skipped_ = &obs_.counter("cores_skipped");
+  ctr_events_delivered_ = &obs_.counter("events_delivered");
   const auto ncores = static_cast<CoreId>(net.geom.total_cores());
+  owner_.assign(static_cast<std::size_t>(ncores), 0);
+  for (std::size_t p = 0; p < parts_.size(); ++p) {
+    for (CoreId c = parts_[p].begin; c < parts_[p].end; ++c) owner_[c] = static_cast<int>(p);
+  }
   for (CoreId c = 0; c < ncores; ++c) {
     const core::CoreSpec& spec = net.core(c);
     for (int j = 0; j < kCoreSize; ++j) {
@@ -62,9 +72,51 @@ Simulator::Simulator(const core::Network& net, Config cfg)
       }
     }
   }
+  init_activity();
 }
 
 Simulator::~Simulator() = default;
+
+void Simulator::init_activity() {
+  const auto ncores = static_cast<CoreId>(net_.geom.total_cores());
+  active_.clear();
+  active_.reserve(parts_.size());
+  for (const CoreRange& r : parts_) active_.emplace_back(r.begin, r.end, kDelaySlots);
+  always_active_.assign(static_cast<std::size_t>(ncores), 0);
+  hot_ok_.assign(static_cast<std::size_t>(ncores), 0);
+  hot_.assign(static_cast<std::size_t>(ncores) * core::kHotStride, 0);
+  wtab_.assign(static_cast<std::size_t>(ncores) * core::kWeightTabPerCore, 0);
+  part_enabled_.assign(parts_.size(), 0);
+  part_live_cores_.assign(parts_.size(), 0);
+  for (CoreId c = 0; c < ncores; ++c) {
+    util::BitRow256* rows = &delay_[static_cast<std::size_t>(c) * kDelaySlots];
+    if (faults_.is_faulted(c)) {
+      // A dense loop would clear stale slot bits of a dead core on its next
+      // visit; the worklist never visits it, so clear them here once.
+      for (int s = 0; s < kDelaySlots; ++s) rows[s].reset();
+      continue;
+    }
+    const auto p = static_cast<std::size_t>(owner_[c]);
+    ++part_live_cores_[p];
+    part_enabled_[p] += enabled_count_[c];
+    const core::CoreSpec& spec = net_.core(c);
+    if (core::core_hot_eligible(spec, enabled_count_[c]) &&
+        core::hot_potentials_safe(&v_[static_cast<std::size_t>(c) * kCoreSize])) {
+      hot_ok_[c] = 1;
+      core::fill_hot_core(spec, &hot_[static_cast<std::size_t>(c) * core::kHotStride],
+                          &wtab_[static_cast<std::size_t>(c) * core::kWeightTabPerCore]);
+    }
+    const bool always = core::core_always_active(spec, enabled_[c]);
+    always_active_[c] = always ? 1 : 0;
+    if (always ||
+        core::core_restless_at(spec, enabled_[c], &v_[static_cast<std::size_t>(c) * kCoreSize])) {
+      active_[p].set_restless(c, true);
+    }
+    for (int s = 0; s < kDelaySlots; ++s) {
+      if (rows[s].any()) active_[p].mark_event(c, s);
+    }
+  }
+}
 
 void Simulator::reset_stats() {
   stats_.reset();
@@ -95,11 +147,14 @@ void Simulator::phase_compute(int p, Tick t, const core::InputSchedule* inputs, 
   const int P = cfg_.threads;
   LocalStats& ls = local_[static_cast<std::size_t>(p)];
 
+  core::ActiveSet& active = active_[static_cast<std::size_t>(p)];
+  const int si = static_cast<int>(t % kDelaySlots);
   if (inputs != nullptr) {
     for (const core::InputSpike& s : inputs->at(t)) {
       if (!range.contains(s.core)) continue;
       if (!faults_.is_faulted(s.core)) {
         slot_of(s.core, t).set(s.axon);
+        active.mark_event(s.core, si);
       } else if (!net_.core(s.core).disabled) {
         // Aimed at a core a fault campaign killed mid-run: absorbed, but
         // counted — degradation must be observable, never silent.
@@ -108,55 +163,77 @@ void Simulator::phase_compute(int p, Tick t, const core::InputSchedule* inputs, 
     }
   }
 
+  std::uint64_t visited = 0;
   std::int32_t acc[kCoreSize];
-  for (CoreId c = range.begin; c < range.end; ++c) {
+  // Event-driven core walk: only cores with pending axon events in this
+  // tick's delay slot or live idle dynamics are visited; everything else is
+  // provably a no-op (core::idle_quiescent) and contributes zero to every
+  // stat except neuron_updates, compensated in bulk below.
+  active.for_each_active(si, [&](CoreId c) {
+    ++visited;
     util::BitRow256& axons = slot_of(c, t);
     const core::CoreSpec& spec = net_.core(c);
-    if (faults_.is_faulted(c)) {
-      axons.reset();
-      continue;
-    }
     const std::uint64_t core_axons = static_cast<std::uint64_t>(axons.count());
     if (enabled_count_[c] == 0) {
       axons.reset();
       ls.axon_events += core_axons;
-      continue;
+      return;
     }
 
+    const bool hot = hot_ok_[c] != 0;
+
+    // Synapse phase: word-level walk — crossbar row ∩ enabled mask one word
+    // at a time, SOPs batched per word (popcount), bits extracted with ctz.
     if (core_axons != 0) {
       std::fill(acc, acc + kCoreSize, 0);
-      axons.for_each_set([&](int i) {
-        const int g = spec.axon_type[static_cast<std::size_t>(i)];
-        util::BitRow256 masked = spec.crossbar.row(i);
-        for (int w = 0; w < util::BitRow256::kWords; ++w) {
-          masked.set_word(w, masked.word(w) & enabled_[c].word(w));
-        }
-        masked.for_each_set([&](int j) {
-          const NeuronParams& pj = spec.neuron[j];
-          if (pj.stochastic_weight == 0) {
-            acc[j] += pj.weight[g];
-          } else {
-            acc[j] += core::synapse_delta(pj, g, prng_, c, static_cast<std::uint32_t>(j), t,
-                                          static_cast<std::uint32_t>(i));
-          }
-          ++ls.sops;
+      const util::BitRow256& en = enabled_[c];
+      if (hot) {
+        // Fast path: every synapse deterministic — a dense weight-table row
+        // per axon type replaces the scattered per-synapse NeuronParams load.
+        const std::int16_t* wt = &wtab_[static_cast<std::size_t>(c) * core::kWeightTabPerCore];
+        axons.for_each_set([&](int i) {
+          const std::int16_t* wrow =
+              wt +
+              static_cast<std::size_t>(spec.axon_type[static_cast<std::size_t>(i)]) * kCoreSize;
+          spec.crossbar.row(i).for_each_masked_word(en, [&](int base, std::uint64_t bits) {
+            const int pc = util::popcount64(bits);
+            ls.sops += static_cast<std::uint64_t>(pc);
+            if (pc >= core::kDenseWordCut) {
+              core::hot_accumulate_word(acc + base, wrow + base, bits);
+              return;
+            }
+            do {
+              const int j = base + util::lowest_set(bits);
+              acc[j] += wrow[j];
+              bits = util::clear_lowest(bits);
+            } while (bits != 0);
+          });
         });
-      });
+      } else {
+        axons.for_each_set([&](int i) {
+          const int g = spec.axon_type[static_cast<std::size_t>(i)];
+          spec.crossbar.row(i).for_each_masked_word(en, [&](int base, std::uint64_t bits) {
+            ls.sops += static_cast<std::uint64_t>(util::popcount64(bits));
+            do {
+              const int j = base + util::lowest_set(bits);
+              const NeuronParams& pj = spec.neuron[j];
+              if (pj.stochastic_weight == 0) {
+                acc[j] += pj.weight[g];
+              } else {
+                acc[j] += core::synapse_delta(pj, g, prng_, c, static_cast<std::uint32_t>(j), t,
+                                              static_cast<std::uint32_t>(i));
+              }
+              bits = util::clear_lowest(bits);
+            } while (bits != 0);
+          });
+        });
+      }
     }
 
-    enabled_[c].for_each_set([&](int j) {
-      const NeuronParams& pj = spec.neuron[j];
-      const std::size_t nid = static_cast<std::size_t>(c) * kCoreSize + static_cast<std::size_t>(j);
-      std::int32_t vj = v_[nid];
-      if (core_axons != 0) {
-        vj = core::clamp_potential(static_cast<std::int64_t>(vj) + acc[j]);
-      }
-      ++ls.neuron_updates;
-      const bool fired =
-          core::leak_threshold_update(vj, pj, prng_, c, static_cast<std::uint32_t>(j), t);
-      v_[nid] = vj;
-      if (!fired) return;
-
+    const bool check_restless = always_active_[c] == 0;
+    bool restless = false;
+    // Spike emission/delivery tail shared by the fast and generic loops.
+    const auto emit = [&](int j, const NeuronParams& pj, std::size_t nid) {
       ++ls.spikes;
       if (record) {
         spike_buf_[static_cast<std::size_t>(p)].push_back({t, c, static_cast<std::uint16_t>(j)});
@@ -170,78 +247,212 @@ void Simulator::phase_compute(int p, Tick t, const core::InputSchedule* inputs, 
       if (range.contains(pj.target.core)) {
         // Local delivery: straight into the owner's own delay buffer.
         slot_of(pj.target.core, arrive).set(pj.target.axon);
+        active.mark_event(pj.target.core, static_cast<int>(arrive % kDelaySlots));
+        ++ls.events_delivered;
       } else {
         // Remote delivery: enqueue for the owning process. In aggregated
         // mode the whole outbox is one logical message; otherwise every
-        // delivery is its own message (counted in phase_exchange).
-        int dst = 0;
-        while (!parts_[static_cast<std::size_t>(dst)].contains(pj.target.core)) ++dst;
+        // delivery is its own message.
+        const int dst = owner_[pj.target.core];
         outbox_[static_cast<std::size_t>(p) * static_cast<std::size_t>(P) +
                 static_cast<std::size_t>(dst)]
             .push_back({pj.target.core, pj.target.axon,
                         static_cast<std::uint16_t>(arrive % kDelaySlots)});
       }
-    });
+    };
+    if (hot) {
+      // Fast path: a vectorizable int32 sweep folds acc+leak into the whole
+      // core and flags the neurons where a fire or floor event is possible;
+      // only those run the exact slow functions (src/core/neuron_hot.hpp).
+      std::int32_t* vrow = &v_[static_cast<std::size_t>(c) * kCoreSize];
+      std::uint8_t bad[kCoreSize];
+      core::hot_neuron_sweep(vrow, core_axons != 0 ? acc : nullptr,
+                             &hot_[static_cast<std::size_t>(c) * core::kHotStride], bad);
+      for (int base = 0; base < kCoreSize; base += 8) {
+        std::uint64_t word;
+        std::memcpy(&word, bad + base, sizeof word);
+        if (word == 0) continue;
+        for (int k = 0; k < 8; ++k) {
+          if (bad[base + k] == 0) continue;
+          const int j = base + k;
+          std::int32_t vj = vrow[j];
+          const NeuronParams& pj = spec.neuron[static_cast<std::size_t>(j)];
+          const bool fired =
+              core::threshold_fire_reset(vj, pj, prng_, c, static_cast<std::uint32_t>(j), t);
+          vrow[j] = vj;
+          if (check_restless && !core::idle_quiescent(pj, vj)) restless = true;
+          if (fired) {
+            emit(j, pj, static_cast<std::size_t>(c) * kCoreSize + static_cast<std::size_t>(j));
+          }
+        }
+      }
+    } else {
+      enabled_[c].for_each_set([&](int j) {
+        const NeuronParams& pj = spec.neuron[j];
+        const std::size_t nid =
+            static_cast<std::size_t>(c) * kCoreSize + static_cast<std::size_t>(j);
+        std::int32_t vj = v_[nid];
+        if (core_axons != 0) {
+          vj = core::clamp_potential(static_cast<std::int64_t>(vj) + acc[j]);
+        }
+        const bool fired =
+            core::leak_threshold_update(vj, pj, prng_, c, static_cast<std::uint32_t>(j), t);
+        v_[nid] = vj;
+        if (check_restless && !core::idle_quiescent(pj, vj)) restless = true;
+        if (fired) emit(j, pj, nid);
+      });
+    }
+    if (check_restless) active.set_restless(c, restless);
 
     axons.reset();
     ls.axon_events += core_axons;
-  }
+  });
+  // Skipped cores still run their (no-op) neuron pass on the chip: count
+  // every enabled neuron of every live core so the SOPS/W accounting — and
+  // cross-backend stats equality — is independent of the worklist.
+  ls.neuron_updates += part_enabled_[static_cast<std::size_t>(p)];
+  ls.cores_visited += visited;
+  ls.cores_skipped += part_live_cores_[static_cast<std::size_t>(p)] - visited;
 
-  // Message accounting for this tick's sends.
+  // Message accounting and (aggregated mode) word-level batching of this
+  // tick's sends. Sorting by (core, slot) groups deliveries for the same
+  // delay row, so consecutive records coalesce into 64-axon OR-masks.
   for (int dst = 0; dst < P; ++dst) {
     if (dst == p) continue;
-    const auto& box = outbox_[static_cast<std::size_t>(p) * static_cast<std::size_t>(P) +
-                              static_cast<std::size_t>(dst)];
+    auto& box = outbox_[static_cast<std::size_t>(p) * static_cast<std::size_t>(P) +
+                        static_cast<std::size_t>(dst)];
     if (box.empty()) continue;
-    ls.messages += cfg_.aggregate_messages ? 1 : box.size();
-    ls.message_bytes += box.size() * sizeof(Delivery);
+    ls.events_delivered += box.size();
+    if (cfg_.aggregate_messages) {
+      std::sort(box.begin(), box.end(), [](const Delivery& a, const Delivery& b) {
+        if (a.core != b.core) return a.core < b.core;
+        if (a.slot != b.slot) return a.slot < b.slot;
+        return a.axon < b.axon;
+      });
+      auto& words = outbox_words_[static_cast<std::size_t>(p) * static_cast<std::size_t>(P) +
+                                  static_cast<std::size_t>(dst)];
+      for (const Delivery& d : box) {
+        const auto w = static_cast<std::uint16_t>(d.axon >> 6);
+        const std::uint64_t bit = std::uint64_t{1} << (d.axon & 63U);
+        if (!words.empty() && words.back().core == d.core && words.back().slot == d.slot &&
+            words.back().word == w) {
+          words.back().bits |= bit;
+        } else {
+          words.push_back({d.core, d.slot, w, bit});
+        }
+      }
+      box.clear();
+      ls.messages += 1;
+      ls.message_bytes += words.size() * sizeof(WordDelivery);
+    } else {
+      ls.messages += box.size();
+      ls.message_bytes += box.size() * sizeof(Delivery);
+    }
   }
   if (obs_on) ls.compute_ns += obs::now_ns() - t0;
 }
 
 void Simulator::phase_exchange(int p) {
   const int P = cfg_.threads;
+  core::ActiveSet& active = active_[static_cast<std::size_t>(p)];
   for (int src = 0; src < P; ++src) {
+    // Aggregated mode: batched word records — one OR lands up to 64 axons.
+    auto& words = outbox_words_[static_cast<std::size_t>(src) * static_cast<std::size_t>(P) +
+                                static_cast<std::size_t>(p)];
+    for (const WordDelivery& d : words) {
+      delay_[static_cast<std::size_t>(d.core) * kDelaySlots + d.slot].or_word(d.word, d.bits);
+      active.mark_event(d.core, d.slot);
+    }
+    words.clear();
+    // Per-spike mode (ablation): raw per-delivery records.
     auto& box = outbox_[static_cast<std::size_t>(src) * static_cast<std::size_t>(P) +
                         static_cast<std::size_t>(p)];
     for (const Delivery& d : box) {
       delay_[static_cast<std::size_t>(d.core) * kDelaySlots + d.slot].set(d.axon);
+      active.mark_event(d.core, d.slot);
     }
     box.clear();
   }
 }
 
 void Simulator::run(Tick nticks, const core::InputSchedule* inputs, core::SpikeSink* sink) {
+  if (nticks <= 0) return;
   const bool record = sink != nullptr;
   const bool obs_on = obs::kEnabled && cfg_.collect_phase_metrics;
-  for (Tick i = 0; i < nticks; ++i) {
-    const Tick t = now_;
-    {
-      // Phase 1+2 (synapse + neuron), all processes in parallel; run_all
-      // joins, which is the first of the kernel's two per-tick
-      // synchronization steps.
-      obs::ScopedTimer timer(obs_on ? ph_compute_ : nullptr);
-      pool_->run_all([&](int p) { phase_compute(p, t, inputs, record); });
+  const Tick start = now_;
+  const int P = cfg_.threads;
+
+  // Commit: partitions are contiguous ascending core ranges, so
+  // concatenation is the canonical (core, neuron) order.
+  const auto commit_tick = [&](Tick t) {
+    for (auto& buf : spike_buf_) {
+      for (const core::Spike& s : buf) sink->on_spike(s.tick, s.core, s.neuron);
+      buf.clear();
     }
-    {
-      // Exchange: every process drains the outboxes addressed to it. The
-      // join is the second synchronization step.
-      obs::ScopedTimer timer(obs_on ? ph_exchange_ : nullptr);
-      pool_->run_all([&](int p) { phase_exchange(p); });
-    }
-    if (record) {
-      // Commit: partitions are contiguous ascending core ranges, so
-      // concatenation is the canonical (core, neuron) order.
-      obs::ScopedTimer timer(obs_on ? ph_commit_ : nullptr);
-      for (auto& buf : spike_buf_) {
-        for (const core::Spike& s : buf) sink->on_spike(s.tick, s.core, s.neuron);
-        buf.clear();
+    sink->on_tick_end(t);
+  };
+
+  const unsigned hc = std::thread::hardware_concurrency();
+  if (P > 1 && hc == 1) {
+    // The host has a single hardware thread: real parallelism is impossible
+    // and every barrier would cost a scheduling quantum. Simulate the
+    // processes round-robin on the calling thread instead — bit-exact, by
+    // the same argument that makes the two-barrier tick race-free: within a
+    // phase, processes touch disjoint state (plus their own outboxes), so
+    // any execution order between barriers yields identical results.
+    for (Tick i = 0; i < nticks; ++i) {
+      const Tick t = start + i;
+      {
+        obs::ScopedTimer timer(obs_on ? ph_compute_ : nullptr);
+        for (int p = 0; p < P; ++p) phase_compute(p, t, inputs, record);
       }
-      sink->on_tick_end(t);
+      {
+        obs::ScopedTimer timer(obs_on ? ph_exchange_ : nullptr);
+        for (int p = 0; p < P; ++p) phase_exchange(p);
+      }
+      if (record) {
+        obs::ScopedTimer timer(obs_on ? ph_commit_ : nullptr);
+        commit_tick(t);
+      }
     }
-    ++stats_.ticks;
-    ++now_;
+  } else {
+    // One pool dispatch for the whole run: the simulated processes stay hot
+    // and advance in lockstep through the kernel's two per-tick
+    // synchronization steps (the paper's persistent MPI processes — never a
+    // per-phase fork/join, whose sleep/wake latency would dominate at
+    // millisecond tick granularity). Process 0 runs inline on the calling
+    // thread and commits recorded spikes concurrently with the other
+    // processes' exchange phase: the commit only reads per-process spike
+    // buffers (stable since the first barrier) and the external sink, which
+    // no exchange phase touches.
+    util::SpinBarrier barrier(P);
+    pool_->run_all([&](int p) {
+      const bool lead = p == 0;
+      for (Tick i = 0; i < nticks; ++i) {
+        const Tick t = start + i;
+        const std::uint64_t t0 = (obs_on && lead) ? obs::now_ns() : 0;
+        phase_compute(p, t, inputs, record);
+        barrier.arrive_and_wait();  // Sync step 1: all sends of tick t queued.
+        const std::uint64_t t1 = (obs_on && lead) ? obs::now_ns() : 0;
+        phase_exchange(p);
+        std::uint64_t t2 = 0, t3 = 0;
+        if (lead) {
+          t2 = obs_on ? obs::now_ns() : 0;
+          if (record) commit_tick(t);
+          t3 = obs_on ? obs::now_ns() : 0;
+        }
+        barrier.arrive_and_wait();  // Sync step 2: all deliveries landed.
+        if (obs_on && lead) {
+          const std::uint64_t t4 = obs::now_ns();
+          ph_compute_->add(t1 - t0);
+          ph_exchange_->add((t2 - t1) + (t4 - t3));
+          if (record) ph_commit_->add(t3 - t2);
+        }
+      }
+    });
   }
+  stats_.ticks += nticks;
+  now_ += nticks;
   // Fold per-process counters into the aggregate view.
   for (std::size_t p = 0; p < local_.size(); ++p) {
     LocalStats& ls = local_[p];
@@ -254,6 +465,9 @@ void Simulator::run(Tick nticks, const core::InputSchedule* inputs, core::SpikeS
     messages_ += ls.messages;
     *ctr_messages_ += ls.messages;
     *ctr_message_bytes_ += ls.message_bytes;
+    *ctr_cores_visited_ += ls.cores_visited;
+    *ctr_cores_skipped_ += ls.cores_skipped;
+    *ctr_events_delivered_ += ls.events_delivered;
     part_compute_ns_[p] += ls.compute_ns;
     ls = LocalStats{};
   }
@@ -284,6 +498,11 @@ bool Simulator::fail_core(core::CoreId c) {
   if (c >= ncores || faults_.is_faulted(c)) return false;
   faults_.mark(c);
   runtime_faults_ = true;
+  const auto o = static_cast<std::size_t>(owner_[c]);
+  part_enabled_[o] -= enabled_count_[c];
+  --part_live_cores_[o];
+  always_active_[c] = 0;
+  active_[o].clear_core(c);
   enabled_[c] = util::BitRow256{};
   enabled_count_[c] = 0;
   std::uint64_t pending = 0;
@@ -360,6 +579,7 @@ void Simulator::load_checkpoint(std::istream& is) {
     }
   }
   for (auto& box : outbox_) box.clear();
+  for (auto& words : outbox_words_) words.clear();
   for (auto& buf : spike_buf_) buf.clear();
   for (auto& ls : local_) ls = LocalStats{};
 
@@ -411,6 +631,11 @@ void Simulator::load_checkpoint(std::istream& is) {
       target_ok_[nid] = 1;
     }
   }
+
+  // Worklists are derived state: re-derive restless bits from the restored
+  // potentials and event bits from the restored delay rings (never persisted
+  // — the snapshot format is unchanged).
+  init_activity();
 
   *ctr_cores_failed_ = snap.extra("fault.cores_failed");
   *ctr_links_failed_ = snap.extra("fault.links_failed");

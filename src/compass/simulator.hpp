@@ -27,7 +27,9 @@
 #include <vector>
 
 #include "src/compass/partition.hpp"
+#include "src/core/active_set.hpp"
 #include "src/core/input_schedule.hpp"
+#include "src/core/neuron_hot.hpp"
 #include "src/core/network.hpp"
 #include "src/noc/route.hpp"
 #include "src/obs/obs.hpp"
@@ -89,8 +91,11 @@ class Simulator final : public core::Simulator {
   /// Per-phase wall-time metrics and message counters accumulated so far.
   /// Phases: "compute" (synapse+neuron, first barrier), "exchange" (outbox
   /// drain, second barrier), "commit" (canonical-order spike emission).
-  /// Counters: "messages", "message_bytes". Empty accumulators when
-  /// collect_phase_metrics is off or NSC_OBS=0.
+  /// Counters: "messages", "message_bytes", plus the event-driven trio
+  /// "cores_visited" / "cores_skipped" (worklist visit/skip split over live
+  /// cores) and "events_delivered" (spike deliveries into delay slots).
+  /// Phase timers are empty when collect_phase_metrics is off or NSC_OBS=0;
+  /// counters are always live.
   [[nodiscard]] const obs::Registry& metrics() const noexcept { return obs_; }
 
   /// Wall nanoseconds each partition spent in its compute phase.
@@ -113,6 +118,18 @@ class Simulator final : public core::Simulator {
     std::uint16_t slot;  ///< Absolute (tick + delay) % kDelaySlots at send time.
   };
 
+  /// Batched remote delivery (aggregated mode): up to 64 axon events for one
+  /// (core, slot) delay row travel as a single OR-mask, cutting outbox
+  /// traffic and turning the exchange phase's per-spike bit sets into word
+  /// ORs. Per-spike mode (the ablation) keeps raw Delivery records so its
+  /// message count still means "one message per spike".
+  struct WordDelivery {
+    core::CoreId core;
+    std::uint16_t slot;
+    std::uint16_t word;  ///< Word index within the BitRow256 (axon / 64).
+    std::uint64_t bits;  ///< OR-mask of axon bits within that word.
+  };
+
   static constexpr int kDelaySlots = core::kMaxDelay + 1;
 
   [[nodiscard]] util::BitRow256& slot_of(core::CoreId c, core::Tick t) {
@@ -122,6 +139,13 @@ class Simulator final : public core::Simulator {
 
   void phase_compute(int p, core::Tick t, const core::InputSchedule* inputs, bool record);
   void phase_exchange(int p);
+
+  /// (Re)derives the per-partition event-driven worklist state (restless +
+  /// event bitmaps, always_active flags, live-core/enabled totals) from the
+  /// current network/fault/potential/delay-ring state. Called at
+  /// construction and after load_checkpoint — worklists are derived state,
+  /// deliberately not part of the snapshot format.
+  void init_activity();
 
   /// Re-evaluates every live target against the current fault state, using
   /// the same noc reachability as the TrueNorth expression (mid-run rule:
@@ -151,6 +175,10 @@ class Simulator final : public core::Simulator {
 
   /// outbox_[src * P + dst]: deliveries produced by src for dst this tick.
   std::vector<std::vector<Delivery>> outbox_;
+  /// outbox_words_[src * P + dst]: the same deliveries coalesced into
+  /// per-(core, slot, word) OR-masks at the end of src's compute phase
+  /// (aggregated mode only; drained by dst's exchange phase).
+  std::vector<std::vector<WordDelivery>> outbox_words_;
   /// Per-partition recorded output spikes (core,neuron ascending), per tick.
   std::vector<std::vector<core::Spike>> spike_buf_;
   /// Per-partition stats, merged after every run() to avoid false sharing.
@@ -159,6 +187,8 @@ class Simulator final : public core::Simulator {
     std::uint64_t fault_dropped = 0;  ///< Drops caused by mid-run faults.
     std::uint64_t messages = 0, message_bytes = 0;
     std::uint64_t compute_ns = 0;  ///< Wall time this partition spent in phase_compute.
+    std::uint64_t cores_visited = 0, cores_skipped = 0;  ///< Worklist visit/skip split.
+    std::uint64_t events_delivered = 0;  ///< Spike deliveries into delay slots.
   };
   std::vector<LocalStats> local_;
   std::uint64_t messages_ = 0;
@@ -174,7 +204,25 @@ class Simulator final : public core::Simulator {
   std::uint64_t* ctr_cores_failed_ = nullptr;
   std::uint64_t* ctr_links_failed_ = nullptr;
   std::uint64_t* ctr_fault_dropped_ = nullptr;
+  std::uint64_t* ctr_cores_visited_ = nullptr;
+  std::uint64_t* ctr_cores_skipped_ = nullptr;
+  std::uint64_t* ctr_events_delivered_ = nullptr;
   std::vector<std::uint64_t> part_compute_ns_;
+
+  /// Event-driven worklist state (derived; rebuilt by init_activity). One
+  /// ActiveSet per partition: partition boundaries are not 64-bit-aligned,
+  /// so sharing bitmap words across threads would race.
+  std::vector<core::ActiveSet> active_;
+  std::vector<std::uint8_t> always_active_;    ///< Cores with parameter-level idle dynamics.
+  std::vector<int> owner_;                     ///< Core -> owning partition index.
+  std::vector<std::uint64_t> part_enabled_;    ///< Σ enabled_count_ per partition (live).
+  std::vector<std::uint64_t> part_live_cores_; ///< Non-faulted cores per partition.
+
+  /// Fast-path constants for homogeneous deterministic cores (derived;
+  /// rebuilt by init_activity — see src/core/neuron_hot.hpp).
+  std::vector<std::uint8_t> hot_ok_;  ///< Core qualifies for the fast loops.
+  std::vector<std::int32_t> hot_;     ///< SoA leak|alpha|floor rows (kHotStride/core).
+  std::vector<std::int16_t> wtab_;    ///< Dense per-(core, type) weight rows.
 };
 
 }  // namespace nsc::compass

@@ -1,0 +1,120 @@
+// Per-tick active-core worklists: the data structure that makes the tick
+// loop event-driven (paper §III — work scales with spikes delivered, not
+// with neurons instantiated).
+//
+// A core needs visiting at tick t only when (a) its delay-ring slot for t
+// holds pending axon events, or (b) it is "restless": some enabled neuron
+// can change state or fire with zero synaptic input. Both conditions are
+// tracked as bitmaps over a contiguous core range — one event bitmap per
+// delay slot (set on every delivery, idempotent) plus one restless bitmap —
+// and the per-tick scan walks `work[slot] | restless` with ctz, which
+// preserves ascending core order and therefore the canonical spike order.
+//
+// Why skipping is exact: see core::idle_quiescent (neuron_model.hpp) and
+// docs/PERFORMANCE.md. Deliveries always land 1..15 ticks ahead on a
+// 16-slot ring, so consuming the current slot's bits during the scan can
+// never race with bits being produced for it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/network.hpp"
+#include "src/core/neuron_model.hpp"
+#include "src/core/types.hpp"
+#include "src/util/bitrow.hpp"
+#include "src/util/bits.hpp"
+
+namespace nsc::core {
+
+/// Event/restless bitmaps for the contiguous core range [begin, end).
+/// Compass instantiates one per partition (partition boundaries are not
+/// 64-aligned, so sharing words across threads would race); the TrueNorth
+/// expression uses a single instance over the whole chip array.
+class ActiveSet {
+ public:
+  ActiveSet() = default;
+
+  ActiveSet(CoreId begin, CoreId end, int slots)
+      : begin_(begin),
+        words_((static_cast<std::size_t>(end - begin) + 63) / 64),
+        slots_(slots),
+        work_(static_cast<std::size_t>(slots) * words_, 0),
+        restless_(words_, 0) {}
+
+  /// Records a pending axon event for core `c` in delay slot `slot`.
+  /// Idempotent, so every delivery may mark without deduplication.
+  void mark_event(CoreId c, int slot) noexcept {
+    work_[static_cast<std::size_t>(slot) * words_ + word_of(c)] |= bit_of(c);
+  }
+
+  /// Sets or clears the restless bit (idle dynamics can change core state).
+  void set_restless(CoreId c, bool on) noexcept {
+    if (on) {
+      restless_[word_of(c)] |= bit_of(c);
+    } else {
+      restless_[word_of(c)] &= ~bit_of(c);
+    }
+  }
+
+  /// Forgets core `c` entirely (fail_core): no slot or restless bit survives.
+  void clear_core(CoreId c) noexcept {
+    for (int s = 0; s < slots_; ++s) {
+      work_[static_cast<std::size_t>(s) * words_ + word_of(c)] &= ~bit_of(c);
+    }
+    restless_[word_of(c)] &= ~bit_of(c);
+  }
+
+  /// Visits every core with a pending event in `slot` or a set restless bit,
+  /// in ascending core order, consuming the slot's event bits. `fn` may
+  /// update the current core's restless bit and may mark events for *other*
+  /// slots (delays are >= 1, so the scanned slot is never a delivery target).
+  template <typename Fn>
+  void for_each_active(int slot, Fn&& fn) {
+    std::uint64_t* w = work_.data() + static_cast<std::size_t>(slot) * words_;
+    for (std::size_t i = 0; i < words_; ++i) {
+      std::uint64_t m = w[i] | restless_[i];
+      w[i] = 0;
+      while (m != 0) {
+        fn(begin_ + static_cast<CoreId>(i * 64) + static_cast<CoreId>(util::lowest_set(m)));
+        m = util::clear_lowest(m);
+      }
+    }
+  }
+
+ private:
+  [[nodiscard]] std::size_t word_of(CoreId c) const noexcept {
+    return static_cast<std::size_t>(c - begin_) >> 6;
+  }
+  [[nodiscard]] std::uint64_t bit_of(CoreId c) const noexcept {
+    return std::uint64_t{1} << ((c - begin_) & 63U);
+  }
+
+  CoreId begin_ = 0;
+  std::size_t words_ = 0;
+  int slots_ = 0;
+  std::vector<std::uint64_t> work_;     ///< slots_ × words_, slot-major.
+  std::vector<std::uint64_t> restless_; ///< Cores with live idle dynamics.
+};
+
+/// True when some enabled neuron of `spec` has parameter-level idle dynamics
+/// (core::has_idle_dynamics): the core goes on the worklist permanently and
+/// its per-visit restless recomputation is skipped.
+[[nodiscard]] inline bool core_always_active(const CoreSpec& spec,
+                                             const util::BitRow256& enabled) {
+  bool any = false;
+  enabled.for_each_set([&](int j) { any = any || has_idle_dynamics(spec.neuron[j]); });
+  return any;
+}
+
+/// True when some enabled neuron is not quiescent at its current potential
+/// (`v` is the core-local potential array, kCoreSize entries). Used to seed
+/// restless bits at construction and after load_checkpoint.
+[[nodiscard]] inline bool core_restless_at(const CoreSpec& spec, const util::BitRow256& enabled,
+                                           const std::int32_t* v) {
+  bool any = false;
+  enabled.for_each_set([&](int j) { any = any || !idle_quiescent(spec.neuron[j], v[j]); });
+  return any;
+}
+
+}  // namespace nsc::core

@@ -1,0 +1,193 @@
+// Precomputed hot-path constants for homogeneous deterministic cores — the
+// second half of the event-driven optimization (docs/PERFORMANCE.md).
+//
+// The worklists (core::ActiveSet) decide *which* cores a tick touches; this
+// header makes the touched cores cheap. The generic neuron loop reads a
+// ~48-byte NeuronParams per neuron and branches on every stochastic mode
+// flag; for the common core whose neurons are all enabled and fully
+// deterministic (no stochastic leak/weights, no leak reversal, unsigned
+// threshold jitter) the per-tick update only ever needs three 32-bit
+// constants per neuron — the leak, the base threshold, and the negative
+// floor trigger — plus a dense per-axon-type weight row for synaptic
+// integration. The constants are stored structure-of-arrays (one 1 KiB row
+// per constant per core) so hot_neuron_sweep below is a branch-free int32
+// loop over three sequential streams that the compiler can vectorize.
+//
+// Exactness: the fast sweep only decides *non-events*. A neuron leaves the
+// fast path the moment v >= alpha (possible fire: the exact
+// core::threshold_fire_reset runs, drawing jitter under the same condition
+// the generic path does) or v <= floor_le (the negative floor would act:
+// again the exact slow function runs). Everything in between is provably a
+// pure "add leak, no fire, no floor" tick, which the fast path computes with
+// the same clamped arithmetic as core::leak_threshold_update.
+//
+// Why the sweep may use int32 arithmetic while the generic path clamps in
+// int64: eligibility bounds every input. |v| <= 2^20 (kHotPotentialBound,
+// checked when the tables are built; every later write is a clamped value,
+// a bounded reset, or a bounded floor), |acc| <= 256 * 256 < 2^17 (weights
+// bounded to the hardware range), |leak| <= 2^20. Worst-case intermediate
+// magnitude is < 2^21, far from int32 overflow, so the int32 adds equal the
+// generic path's int64 adds exactly.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+
+#include "src/core/network.hpp"
+#include "src/core/neuron_model.hpp"
+#include "src/core/types.hpp"
+
+namespace nsc::core {
+
+/// SoA stride: three int32 rows per core (leak | alpha | floor_le), each
+/// kCoreSize long. `hot[0..255]` = leak, `[256..511]` = base threshold α,
+/// `[512..767]` = the slow-path trigger (v <= floor_le means the negative
+/// floor would act).
+inline constexpr std::size_t kHotStride = 3 * static_cast<std::size_t>(kCoreSize);
+
+/// Number of int16 weight-table entries per core: one dense row per axon
+/// type, so `wtab[g * kCoreSize + j]` replaces the per-synapse NeuronParams
+/// load of `neuron[j].weight[g]`.
+inline constexpr std::size_t kWeightTabPerCore =
+    static_cast<std::size_t>(kAxonTypes) * static_cast<std::size_t>(kCoreSize);
+
+/// Bounds that make the int32 fast-path arithmetic provably overflow-free.
+/// kHotPotentialBound has a tick of slack beyond the hardware clamp range:
+/// symmetric-reset can legally write -reset_v = 2^19 (one past
+/// kPotentialMax), and snapshots are accepted up to the same slack.
+inline constexpr std::int32_t kHotPotentialBound = 1 << 20;
+inline constexpr std::int32_t kHotLeakBound = 1 << 20;
+
+/// True when `spec` qualifies for the fast path: every neuron enabled (the
+/// fast sweep is a plain 0..255 pass) and every neuron fully deterministic —
+/// no stochastic weights or leak, no leak reversal, and a threshold mask
+/// with bit 31 clear (signed jitter could fire below α, which the fast
+/// path's `v < alpha` test would miss). The magnitude bounds keep the int32
+/// sweep overflow-free (header comment) and the int16 weight table exact.
+[[nodiscard]] inline bool core_hot_eligible(const CoreSpec& spec, int enabled_count) {
+  if (enabled_count != kCoreSize) return false;
+  for (int j = 0; j < kCoreSize; ++j) {
+    const NeuronParams& p = spec.neuron[static_cast<std::size_t>(j)];
+    if (p.stochastic_weight != 0 || p.stochastic_leak != 0 || p.leak_reversal != 0 ||
+        static_cast<std::int32_t>(p.threshold_mask) < 0) {
+      return false;
+    }
+    if (p.leak < -kHotLeakBound || p.leak > kHotLeakBound) return false;
+    if (p.reset_v < kPotentialMin || p.reset_v > kPotentialMax) return false;
+    for (int g = 0; g < kAxonTypes; ++g) {
+      if (p.weight[g] < kWeightMin || p.weight[g] > kWeightMax) return false;
+    }
+  }
+  return true;
+}
+
+/// True when every potential of the core is within the fast path's slack
+/// bound. Freshly built simulators always qualify (v = 0); a hand-edited
+/// snapshot with wild potentials demotes the core to the generic loop.
+[[nodiscard]] inline bool hot_potentials_safe(const std::int32_t* vrow) {
+  for (int j = 0; j < kCoreSize; ++j) {
+    if (vrow[j] < -kHotPotentialBound || vrow[j] > kHotPotentialBound) return false;
+  }
+  return true;
+}
+
+/// Fills one eligible core's SoA constant block and weight table.
+/// floor_le encodes both negative modes in one comparison: saturation acts
+/// strictly below the floor (-β - 1), symmetric reset at or below it (-β);
+/// taking the slow path on a no-op boundary value is harmless, missing a
+/// state change would not be.
+inline void fill_hot_core(const CoreSpec& spec, std::int32_t* hot, std::int16_t* wtab) {
+  std::int32_t* leak = hot;
+  std::int32_t* alpha = hot + kCoreSize;
+  std::int32_t* floor_le = hot + 2 * kCoreSize;
+  for (int j = 0; j < kCoreSize; ++j) {
+    const NeuronParams& p = spec.neuron[static_cast<std::size_t>(j)];
+    leak[j] = p.leak;
+    alpha[j] = p.threshold;
+    const std::int64_t floor = -static_cast<std::int64_t>(p.neg_threshold);
+    floor_le[j] = static_cast<std::int32_t>(std::max<std::int64_t>(
+        INT32_MIN, p.negative_mode == NegativeMode::kSaturate ? floor - 1 : floor));
+    for (int g = 0; g < kAxonTypes; ++g) {
+      wtab[static_cast<std::size_t>(g) * kCoreSize + static_cast<std::size_t>(j)] =
+          static_cast<std::int16_t>(p.weight[g]);
+    }
+  }
+}
+
+namespace detail {
+/// Byte → eight int16 lanes of 0 / -1 (bit i of the byte selects lane i).
+/// 4 KiB, L1-resident on the hot path; used to expand a crossbar word into a
+/// 64-lane select mask for the dense-word accumulate below.
+struct BitSpreadLut {
+  std::int16_t m[256][8];
+};
+inline constexpr BitSpreadLut kBitSpread = [] {
+  BitSpreadLut l{};
+  for (int b = 0; b < 256; ++b) {
+    for (int i = 0; i < 8; ++i) {
+      l.m[b][i] = ((b >> i) & 1) != 0 ? std::int16_t{-1} : std::int16_t{0};
+    }
+  }
+  return l;
+}();
+}  // namespace detail
+
+/// Words at least this dense take hot_accumulate_word; sparser words keep
+/// the O(popcount) ctz walk (its loop-carried bit-clear chain wins only when
+/// few bits are set).
+inline constexpr int kDenseWordCut = 16;
+
+/// Dense-word synaptic accumulate: adds `wrow[k]` into `acc[k]` for every
+/// set bit k of `bits`, as a branch-free 64-lane masked add (weight & mask,
+/// mask ∈ {0, -1}). No per-bit extraction and no loop-carried dependency,
+/// and the int16 mask-and-widen form is one the auto-vectorizer handles.
+/// `acc`/`wrow` point at the word's base lane (multiple of 64).
+inline void hot_accumulate_word(std::int32_t* acc, const std::int16_t* wrow,
+                                std::uint64_t bits) {
+  alignas(16) std::int16_t m[64];
+  for (int by = 0; by < 8; ++by) {
+    std::memcpy(m + 8 * by, detail::kBitSpread.m[(bits >> (8 * by)) & 0xFFU], 16);
+  }
+  for (int k = 0; k < 64; ++k) {
+    acc[k] += static_cast<std::int32_t>(static_cast<std::int16_t>(wrow[k] & m[k]));
+  }
+}
+
+/// The fast-path integrate+leak sweep over one core: folds `acc` (when
+/// non-null) and the leak into every potential with the hardware clamp after
+/// each add, writes the result back to `vrow`, and records in `bad[j]`
+/// whether neuron j needs the exact slow path this tick (possible fire or
+/// floor event). Branch-free int32 loop over sequential rows — the form the
+/// auto-vectorizer handles; exactness and overflow-freedom argued in the
+/// header comment.
+inline void hot_neuron_sweep(std::int32_t* vrow, const std::int32_t* acc, const std::int32_t* hot,
+                             std::uint8_t* bad) {
+  const std::int32_t* leak = hot;
+  const std::int32_t* alpha = hot + kCoreSize;
+  const std::int32_t* floor_le = hot + 2 * kCoreSize;
+  if (acc != nullptr) {
+    for (int j = 0; j < kCoreSize; ++j) {
+      std::int32_t x = vrow[j] + acc[j];
+      x = x > kPotentialMax ? kPotentialMax : x;
+      x = x < kPotentialMin ? kPotentialMin : x;
+      x += leak[j];
+      x = x > kPotentialMax ? kPotentialMax : x;
+      x = x < kPotentialMin ? kPotentialMin : x;
+      vrow[j] = x;
+      bad[j] = static_cast<std::uint8_t>(static_cast<int>(x >= alpha[j]) |
+                                         static_cast<int>(x <= floor_le[j]));
+    }
+  } else {
+    for (int j = 0; j < kCoreSize; ++j) {
+      std::int32_t x = vrow[j] + leak[j];
+      x = x > kPotentialMax ? kPotentialMax : x;
+      x = x < kPotentialMin ? kPotentialMin : x;
+      vrow[j] = x;
+      bad[j] = static_cast<std::uint8_t>(static_cast<int>(x >= alpha[j]) |
+                                         static_cast<int>(x <= floor_le[j]));
+    }
+  }
+}
+
+}  // namespace nsc::core

@@ -102,6 +102,7 @@ inline constexpr std::uint32_t kSaltThreshold = 0x101;
     if (v < 0) l = static_cast<std::int32_t>(-l);
   }
   if (p.stochastic_leak == 0) return l;
+  if (l == 0) return 0;  // |λ| = 0 never passes the comparison; elide the draw
   const std::uint32_t draw = static_cast<std::uint32_t>(
       prng.draw(core, neuron, static_cast<std::uint64_t>(tick), kSaltLeak) & 0xFF);
   const std::int32_t mag = l < 0 ? -l : l;
@@ -115,7 +116,12 @@ inline constexpr std::uint32_t kSaltThreshold = 0x101;
                                                const util::CounterPrng& prng, std::uint32_t core,
                                                std::uint32_t neuron, Tick tick) noexcept {
   std::int32_t alpha = p.threshold;
-  if (p.threshold_mask != 0) {
+  if (p.threshold_mask != 0 &&
+      (v >= alpha || static_cast<std::int32_t>(p.threshold_mask) < 0)) {
+    // Draw elision: when v < α and the mask has bit 31 clear, the jitter
+    // (draw & Mα, interpreted signed) is non-negative, so it can only raise
+    // the effective threshold and the no-fire outcome is already decided.
+    // Draws are stateless (counter-based), so skipping one perturbs nothing.
     const std::uint32_t draw = static_cast<std::uint32_t>(
         prng.draw(core, neuron, static_cast<std::uint64_t>(tick), kSaltThreshold));
     alpha += static_cast<std::int32_t>(draw & p.threshold_mask);
@@ -138,9 +144,51 @@ inline constexpr std::uint32_t kSaltThreshold = 0x101;
 }
 
 /// Convenience: full leak+threshold update (phases 2–3). Synaptic input must
-/// already be folded into `v` by the caller's event loop.
-[[nodiscard]] bool leak_threshold_update(std::int32_t& v, const NeuronParams& p,
-                                         const util::CounterPrng& prng, std::uint32_t core,
-                                         std::uint32_t neuron, Tick tick) noexcept;
+/// already be folded into `v` by the caller's event loop. Inline: this runs
+/// once per enabled neuron per visited tick — the kernel's innermost call.
+[[nodiscard]] inline bool leak_threshold_update(std::int32_t& v, const NeuronParams& p,
+                                                const util::CounterPrng& prng, std::uint32_t core,
+                                                std::uint32_t neuron, Tick tick) noexcept {
+  v = clamp_potential(static_cast<std::int64_t>(v) + leak_delta(p, prng, core, neuron, tick, v));
+  return threshold_fire_reset(v, p, prng, core, neuron, tick);
+}
+
+/// Parameter-only activity test: true when the neuron can change state (or
+/// fire) on a tick with zero synaptic input *regardless of its potential* —
+/// a nonzero non-reversal leak moves V from any value, and a threshold mask
+/// with bit 31 set makes the jitter signed, so firing below α is possible.
+/// Cores containing such a neuron are permanently on the event-driven
+/// worklist (`always_active`); everything else is evaluated per state.
+[[nodiscard]] constexpr bool has_idle_dynamics(const NeuronParams& p) noexcept {
+  return (p.leak != 0 && p.leak_reversal == 0) ||
+         static_cast<std::int32_t>(p.threshold_mask) < 0;
+}
+
+/// True when a tick with zero synaptic input leaves (V, spike output) of
+/// this neuron exactly unchanged — the predicate the event-driven worklists
+/// rest on. Why skipping is exact (docs/PERFORMANCE.md):
+///   - leak: must contribute 0 — either λ = 0, or leak reversal at V = 0
+///     (both return before any stochastic draw);
+///   - threshold: V < α and jitter non-negative (mask bit 31 clear) means no
+///     fire, and the draw is elided by threshold_fire_reset on that exact
+///     condition, so no randomness is consumed (and draws are stateless, so
+///     consumption does not matter anyway);
+///   - negative floor: saturation is a no-op for V ≥ -β; symmetric reset is
+///     a no-op unless V ≤ -β with V ≠ -R (the fixed point -R is quiescent).
+/// The predicate depends only on (params, V), so a quiescent neuron stays
+/// quiescent until synaptic input arrives — idleness is a fixed point, and
+/// a core may sleep for any number of ticks, not just one.
+[[nodiscard]] constexpr bool idle_quiescent(const NeuronParams& p, std::int32_t v) noexcept {
+  if (p.leak != 0 && (p.leak_reversal == 0 || v != 0)) return false;
+  if (static_cast<std::int32_t>(p.threshold_mask) < 0) return false;
+  if (v >= p.threshold) return false;
+  const std::int32_t floor = -p.neg_threshold;
+  if (p.negative_mode == NegativeMode::kSaturate) {
+    if (v < floor) return false;
+  } else {
+    if (v <= floor && v != -p.reset_v) return false;
+  }
+  return true;
+}
 
 }  // namespace nsc::core

@@ -4,6 +4,12 @@
 
 namespace nsc::core {
 
+std::uint64_t trace_hash(const std::vector<Spike>& spikes) {
+  TraceHashSink sink;
+  for (const Spike& s : spikes) sink.on_spike(s.tick, s.core, s.neuron);
+  return sink.hash();
+}
+
 std::int64_t first_mismatch(const std::vector<Spike>& a, const std::vector<Spike>& b) {
   const std::size_t n = std::min(a.size(), b.size());
   for (std::size_t i = 0; i < n; ++i) {

@@ -96,6 +96,41 @@ class TeeSink final : public SpikeSink {
   std::vector<SpikeSink*> sinks_;
 };
 
+/// Streaming FNV-1a 64 digest of the canonical spike stream: each spike
+/// feeds its (tick, core, neuron) as 8+4+2 little-endian bytes, in emission
+/// order. Because every simulator emits spikes in canonical per-tick
+/// (core, neuron) order, equal hashes mean spike-for-spike identical runs —
+/// the golden-trace fixtures under tests/data/ pin this digest so any
+/// behavioral drift in the kernel fails ctest (docs/PERFORMANCE.md).
+class TraceHashSink final : public SpikeSink {
+ public:
+  static constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+  static constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+
+  void on_spike(Tick tick, CoreId core, std::uint16_t neuron) override {
+    mix(static_cast<std::uint64_t>(tick), 8);
+    mix(static_cast<std::uint32_t>(core), 4);
+    mix(neuron, 2);
+    ++count_;
+  }
+
+  [[nodiscard]] std::uint64_t hash() const noexcept { return h_; }
+  [[nodiscard]] std::uint64_t spike_count() const noexcept { return count_; }
+
+ private:
+  void mix(std::uint64_t x, int nbytes) noexcept {
+    for (int b = 0; b < nbytes; ++b) {
+      h_ = (h_ ^ ((x >> (8 * b)) & 0xFFU)) * kFnvPrime;
+    }
+  }
+
+  std::uint64_t h_ = kFnvOffset;
+  std::uint64_t count_ = 0;
+};
+
+/// The same digest over an already-recorded stream.
+[[nodiscard]] std::uint64_t trace_hash(const std::vector<Spike>& spikes);
+
 /// Compares two recorded spike streams; returns the index of the first
 /// mismatch or -1 when identical. Used by the 1:1 regression harness.
 [[nodiscard]] std::int64_t first_mismatch(const std::vector<Spike>& a, const std::vector<Spike>& b);

@@ -1,6 +1,7 @@
 #include "src/tn/chip_sim.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
 #include "src/core/snapshot.hpp"
@@ -34,6 +35,9 @@ TrueNorthSimulator::TrueNorthSimulator(const core::Network& net, SimOptions opts
   ctr_links_failed_ = &obs_.counter("fault.links_failed");
   ctr_fault_dropped_ = &obs_.counter("fault.spikes_dropped");
   ctr_rerouted_hops_ = &obs_.counter("fault.rerouted_hops");
+  ctr_cores_visited_ = &obs_.counter("cores_visited");
+  ctr_cores_skipped_ = &obs_.counter("cores_skipped");
+  ctr_events_delivered_ = &obs_.counter("events_delivered");
   const auto ncores = static_cast<CoreId>(net.geom.total_cores());
   for (CoreId c = 0; c < ncores; ++c) {
     if (net.core(c).disabled) faults_.mark(c);
@@ -65,6 +69,45 @@ TrueNorthSimulator::TrueNorthSimulator(const core::Network& net, SimOptions opts
       }
     }
   }
+  init_activity();
+}
+
+void TrueNorthSimulator::init_activity() {
+  const auto ncores = static_cast<CoreId>(net_.geom.total_cores());
+  active_ = core::ActiveSet(0, ncores, kDelaySlots);
+  always_active_.assign(static_cast<std::size_t>(ncores), 0);
+  hot_ok_.assign(static_cast<std::size_t>(ncores), 0);
+  hot_.assign(static_cast<std::size_t>(ncores) * core::kHotStride, 0);
+  wtab_.assign(static_cast<std::size_t>(ncores) * core::kWeightTabPerCore, 0);
+  live_enabled_ = 0;
+  live_cores_ = 0;
+  for (CoreId c = 0; c < ncores; ++c) {
+    util::BitRow256* rows = &delay_[static_cast<std::size_t>(c) * kDelaySlots];
+    if (faults_.is_faulted(c)) {
+      // A dense loop would clear stale slot bits of a dead core on its next
+      // visit; the worklist never visits it, so clear them here once.
+      for (int s = 0; s < kDelaySlots; ++s) rows[s].reset();
+      continue;
+    }
+    ++live_cores_;
+    live_enabled_ += enabled_count_[c];
+    const core::CoreSpec& spec = net_.core(c);
+    if (core::core_hot_eligible(spec, enabled_count_[c]) &&
+        core::hot_potentials_safe(&v_[static_cast<std::size_t>(c) * kCoreSize])) {
+      hot_ok_[c] = 1;
+      core::fill_hot_core(spec, &hot_[static_cast<std::size_t>(c) * core::kHotStride],
+                          &wtab_[static_cast<std::size_t>(c) * core::kWeightTabPerCore]);
+    }
+    const bool always = core::core_always_active(spec, enabled_[c]);
+    always_active_[c] = always ? 1 : 0;
+    if (always ||
+        core::core_restless_at(spec, enabled_[c], &v_[static_cast<std::size_t>(c) * kCoreSize])) {
+      active_.set_restless(c, true);
+    }
+    for (int s = 0; s < kDelaySlots; ++s) {
+      if (rows[s].any()) active_.mark_event(c, s);
+    }
+  }
 }
 
 void TrueNorthSimulator::step(Tick t, const core::InputSchedule* inputs, core::SpikeSink* sink) {
@@ -73,11 +116,13 @@ void TrueNorthSimulator::step(Tick t, const core::InputSchedule* inputs, core::S
   const bool obs_on = obs::kEnabled && opts_.collect_phase_metrics;
   const std::uint64_t t0 = obs_on ? obs::now_ns() : 0;
 
+  const int si = static_cast<int>(t % kDelaySlots);
   if (inputs != nullptr) {
     for (const core::InputSpike& s : inputs->at(t)) {
       if (s.core >= ncores) continue;
       if (!faults_.is_faulted(s.core)) {
         slot(s.core, t).set(s.axon);
+        active_.mark_event(s.core, si);
       } else if (!net_.core(s.core).disabled) {
         // Aimed at a core a fault campaign killed mid-run: absorbed, but
         // counted — degradation must be observable, never silent.
@@ -88,19 +133,19 @@ void TrueNorthSimulator::step(Tick t, const core::InputSchedule* inputs, core::S
   const std::uint64_t t1 = obs_on ? obs::now_ns() : 0;
 
   std::uint64_t max_sops = 0, max_axons = 0, max_spikes = 0;
+  std::uint64_t visited = 0, delivered = 0;
   // Accumulator for one core's synaptic input; lives outside the loop so the
   // hot path never reallocates.
   std::int32_t acc[kCoreSize];
 
-  for (CoreId c = 0; c < ncores; ++c) {
+  // Event-driven core walk: only cores with pending axon events in this
+  // tick's delay slot or live idle dynamics are visited; everything else is
+  // provably a no-op (core::idle_quiescent) and contributes zero to every
+  // stat except neuron_updates, which is compensated in bulk below.
+  active_.for_each_active(si, [&](CoreId c) {
+    ++visited;
     util::BitRow256& axons = slot(c, t);
     const core::CoreSpec& spec = net_.core(c);
-    if (faults_.is_faulted(c)) {
-      // Faulted cores (static or failed mid-run) absorb nothing; stale bits
-      // must not survive into the slot's next reuse 16 ticks later.
-      axons.reset();
-      continue;
-    }
     const std::uint64_t core_axons = static_cast<std::uint64_t>(axons.count());
     if (enabled_count_[c] == 0) {
       // Crossbar rows are still read on delivery even when no neuron
@@ -108,54 +153,76 @@ void TrueNorthSimulator::step(Tick t, const core::InputSchedule* inputs, core::S
       axons.reset();
       stats_.axon_events += core_axons;
       max_axons = std::max(max_axons, core_axons);
-      continue;
+      return;
     }
     std::uint64_t core_sops = 0, core_spikes = 0;
+    const bool hot = hot_ok_[c] != 0;
 
-    // --- Synapse phase: event-driven walk of active axons only. ---
+    // --- Synapse phase: word-level walk of active axons only. Each crossbar
+    // row is intersected with the enabled mask a word at a time; SOPs are
+    // batched per word (popcount) and set bits extracted with ctz, so cost
+    // tracks the number of live synapses, never 256. ---
     if (core_axons != 0) {
       std::fill(acc, acc + kCoreSize, 0);
-      axons.for_each_set([&](int i) {
-        const int g = spec.axon_type[static_cast<std::size_t>(i)];
-        // Mask to enabled neurons: SOPs are counted only where a neuron
-        // consumes the weighted-accumulate.
-        util::BitRow256 masked = spec.crossbar.row(i);
-        for (int w = 0; w < util::BitRow256::kWords; ++w) {
-          masked.set_word(w, masked.word(w) & enabled_[c].word(w));
-        }
-        masked.for_each_set([&](int j) {
-          const NeuronParams& p = spec.neuron[j];
-          if (p.stochastic_weight == 0) {
-            acc[j] += p.weight[g];
-          } else {
-            acc[j] += core::synapse_delta(p, g, prng_, c, static_cast<std::uint32_t>(j), t,
-                                          static_cast<std::uint32_t>(i));
-          }
-          ++core_sops;
+      const util::BitRow256& en = enabled_[c];
+      if (hot) {
+        // Fast path: every synapse deterministic — a dense weight-table row
+        // per axon type replaces the scattered per-synapse NeuronParams load.
+        const std::int16_t* wt = &wtab_[static_cast<std::size_t>(c) * core::kWeightTabPerCore];
+        axons.for_each_set([&](int i) {
+          const std::int16_t* wrow =
+              wt +
+              static_cast<std::size_t>(spec.axon_type[static_cast<std::size_t>(i)]) * kCoreSize;
+          spec.crossbar.row(i).for_each_masked_word(en, [&](int base, std::uint64_t bits) {
+            const int pc = util::popcount64(bits);
+            core_sops += static_cast<std::uint64_t>(pc);
+            if (pc >= core::kDenseWordCut) {
+              core::hot_accumulate_word(acc + base, wrow + base, bits);
+              return;
+            }
+            do {
+              const int j = base + util::lowest_set(bits);
+              acc[j] += wrow[j];
+              bits = util::clear_lowest(bits);
+            } while (bits != 0);
+          });
         });
-      });
+      } else {
+        axons.for_each_set([&](int i) {
+          const int g = spec.axon_type[static_cast<std::size_t>(i)];
+          spec.crossbar.row(i).for_each_masked_word(en, [&](int base, std::uint64_t bits) {
+            core_sops += static_cast<std::uint64_t>(util::popcount64(bits));
+            do {
+              const int j = base + util::lowest_set(bits);
+              const NeuronParams& p = spec.neuron[j];
+              if (p.stochastic_weight == 0) {
+                acc[j] += p.weight[g];
+              } else {
+                acc[j] += core::synapse_delta(p, g, prng_, c, static_cast<std::uint32_t>(j), t,
+                                              static_cast<std::uint32_t>(i));
+              }
+              bits = util::clear_lowest(bits);
+            } while (bits != 0);
+          });
+        });
+      }
     }
 
-    // --- Neuron phase: leak, threshold, fire, reset — every enabled neuron,
-    // every tick (the chip multiplexes one physical neuron circuit over all
-    // 256 logical neurons each tick). ---
-    enabled_[c].for_each_set([&](int j) {
-      const NeuronParams& p = spec.neuron[j];
-      const std::size_t nid = static_cast<std::size_t>(c) * kCoreSize + static_cast<std::size_t>(j);
-      std::int32_t vj = v_[nid];
-      if (core_axons != 0) {
-        vj = core::clamp_potential(static_cast<std::int64_t>(vj) + acc[j]);
-      }
-      ++stats_.neuron_updates;
-      const bool fired =
-          core::leak_threshold_update(vj, p, prng_, c, static_cast<std::uint32_t>(j), t);
-      v_[nid] = vj;
-      if (!fired) return;
-
+    // --- Neuron phase: leak, threshold, fire, reset — every enabled neuron
+    // of a *visited* core (the chip multiplexes one physical neuron circuit
+    // over all 256 logical neurons each tick; skipped cores are exactly the
+    // ones where that pass would change nothing). ---
+    const bool check_restless = always_active_[c] == 0;
+    bool restless = false;
+    // Spike emission/delivery tail shared by the fast and generic loops.
+    const auto emit = [&](int j, const NeuronParams& p, std::size_t nid) {
       ++core_spikes;
       if (sink != nullptr) sink->on_spike(t, c, static_cast<std::uint16_t>(j));
       if (target_ok_[nid] != 0) {
-        slot(p.target.core, t + p.target.delay).set(p.target.axon);
+        const Tick arrive = t + p.target.delay;
+        slot(p.target.core, arrive).set(p.target.axon);
+        active_.mark_event(p.target.core, static_cast<int>(arrive % kDelaySlots));
+        ++delivered;
         stats_.hop_sum += static_cast<std::uint64_t>(route_[nid].hops);
         stats_.interchip_crossings += static_cast<std::uint64_t>(route_[nid].chip_crossings);
         if (multichip && route_[nid].chip_crossings > 0) traffic_.record_route(c, p.target.core);
@@ -163,7 +230,50 @@ void TrueNorthSimulator::step(Tick t, const core::InputSchedule* inputs, core::S
         ++stats_.dropped_spikes;
         if (target_faulted_[nid] != 0) ++*ctr_fault_dropped_;
       }
-    });
+    };
+    if (hot) {
+      // Fast path: a vectorizable int32 sweep folds acc+leak into the whole
+      // core and flags the neurons where a fire or floor event is possible;
+      // only those run the exact slow functions (src/core/neuron_hot.hpp).
+      std::int32_t* vrow = &v_[static_cast<std::size_t>(c) * kCoreSize];
+      std::uint8_t bad[kCoreSize];
+      core::hot_neuron_sweep(vrow, core_axons != 0 ? acc : nullptr,
+                             &hot_[static_cast<std::size_t>(c) * core::kHotStride], bad);
+      for (int base = 0; base < kCoreSize; base += 8) {
+        std::uint64_t word;
+        std::memcpy(&word, bad + base, sizeof word);
+        if (word == 0) continue;
+        for (int k = 0; k < 8; ++k) {
+          if (bad[base + k] == 0) continue;
+          const int j = base + k;
+          std::int32_t vj = vrow[j];
+          const NeuronParams& p = spec.neuron[static_cast<std::size_t>(j)];
+          const bool fired =
+              core::threshold_fire_reset(vj, p, prng_, c, static_cast<std::uint32_t>(j), t);
+          vrow[j] = vj;
+          if (check_restless && !core::idle_quiescent(p, vj)) restless = true;
+          if (fired) {
+            emit(j, p, static_cast<std::size_t>(c) * kCoreSize + static_cast<std::size_t>(j));
+          }
+        }
+      }
+    } else {
+      enabled_[c].for_each_set([&](int j) {
+        const NeuronParams& p = spec.neuron[j];
+        const std::size_t nid =
+            static_cast<std::size_t>(c) * kCoreSize + static_cast<std::size_t>(j);
+        std::int32_t vj = v_[nid];
+        if (core_axons != 0) {
+          vj = core::clamp_potential(static_cast<std::int64_t>(vj) + acc[j]);
+        }
+        const bool fired =
+            core::leak_threshold_update(vj, p, prng_, c, static_cast<std::uint32_t>(j), t);
+        v_[nid] = vj;
+        if (check_restless && !core::idle_quiescent(p, vj)) restless = true;
+        if (fired) emit(j, p, nid);
+      });
+    }
+    if (check_restless) active_.set_restless(c, restless);
 
     axons.reset();
     stats_.sops += core_sops;
@@ -172,7 +282,15 @@ void TrueNorthSimulator::step(Tick t, const core::InputSchedule* inputs, core::S
     max_sops = std::max(max_sops, core_sops);
     max_axons = std::max(max_axons, core_axons);
     max_spikes = std::max(max_spikes, core_spikes);
-  }
+  });
+
+  // Skipped cores still run their (no-op) neuron pass on the chip: count
+  // every enabled neuron of every live core so the SOPS/W accounting — and
+  // cross-backend stats equality — is independent of the worklist.
+  stats_.neuron_updates += live_enabled_;
+  *ctr_cores_visited_ += visited;
+  *ctr_cores_skipped_ += live_cores_ - visited;
+  *ctr_events_delivered_ += delivered;
 
   stats_.sum_max_core_sops += max_sops;
   stats_.sum_max_core_axon_events += max_axons;
@@ -236,6 +354,10 @@ bool TrueNorthSimulator::fail_core(core::CoreId c) {
   if (c >= ncores || faults_.is_faulted(c)) return false;
   faults_.mark(c);
   runtime_faults_ = true;
+  live_enabled_ -= enabled_count_[c];
+  --live_cores_;
+  always_active_[c] = 0;
+  active_.clear_core(c);
   enabled_[c] = util::BitRow256{};
   enabled_count_[c] = 0;
   // In-flight deliveries to the dead core die with it — counted, not silent.
@@ -389,6 +511,11 @@ void TrueNorthSimulator::load_checkpoint(std::istream& is) {
       }
     }
   }
+
+  // Worklists are derived state: re-derive restless bits from the restored
+  // potentials and event bits from the restored delay rings (never persisted
+  // — the snapshot format is unchanged).
+  init_activity();
 
   *ctr_cores_failed_ = snap.extra("fault.cores_failed");
   *ctr_links_failed_ = snap.extra("fault.links_failed");

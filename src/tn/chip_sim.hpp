@@ -18,7 +18,9 @@
 #include <memory>
 #include <vector>
 
+#include "src/core/active_set.hpp"
 #include "src/core/input_schedule.hpp"
+#include "src/core/neuron_hot.hpp"
 #include "src/core/network.hpp"
 #include "src/noc/route.hpp"
 #include "src/noc/traffic.hpp"
@@ -76,8 +78,11 @@ class TrueNorthSimulator final : public core::Simulator {
   /// Per-phase wall-time metrics accumulated so far. Phases: "inject"
   /// (external input application), "compute" (the event-driven core array
   /// walk: synapse + neuron + routing), "commit" (traffic epoch close and
-  /// sink tick boundary). Empty accumulators when collect_phase_metrics is
-  /// off or NSC_OBS=0.
+  /// sink tick boundary). Counters: "cores_visited" / "cores_skipped" (the
+  /// worklist's per-tick visit/skip split over live cores) and
+  /// "events_delivered" (spike deliveries into axon delay slots), plus the
+  /// fault.* family. Phase timers are empty when collect_phase_metrics is
+  /// off or NSC_OBS=0; counters are always live.
   [[nodiscard]] const obs::Registry& metrics() const noexcept { return obs_; }
 
   /// Zeroes the phase timers.
@@ -106,6 +111,13 @@ class TrueNorthSimulator final : public core::Simulator {
 
   void step(core::Tick t, const core::InputSchedule* inputs, core::SpikeSink* sink);
 
+  /// (Re)derives everything the event-driven worklist needs from the current
+  /// network/fault/potential/delay-ring state: restless + event bitmaps, the
+  /// per-core always_active flags, and the live-core/enabled-neuron totals.
+  /// Called at construction and after load_checkpoint (worklists are derived
+  /// state — deliberately not part of the snapshot format).
+  void init_activity();
+
   /// Re-evaluates every live target against the current fault state (the
   /// mid-run rule: dead or fault-disconnected targets drop their spikes).
   /// With `count_reroutes`, detour growth is added to fault.rerouted_hops.
@@ -131,6 +143,9 @@ class TrueNorthSimulator final : public core::Simulator {
   std::uint64_t* ctr_links_failed_ = nullptr;
   std::uint64_t* ctr_fault_dropped_ = nullptr;
   std::uint64_t* ctr_rerouted_hops_ = nullptr;
+  std::uint64_t* ctr_cores_visited_ = nullptr;
+  std::uint64_t* ctr_cores_skipped_ = nullptr;
+  std::uint64_t* ctr_events_delivered_ = nullptr;
 
   std::vector<std::int32_t> v_;              ///< Membrane potentials, core-major.
   std::vector<util::BitRow256> delay_;       ///< Axon delay buffers, 16 slots/core.
@@ -144,6 +159,18 @@ class TrueNorthSimulator final : public core::Simulator {
   /// spikes count into fault.spikes_dropped, never silently).
   std::vector<std::uint8_t> target_faulted_;
   std::uint64_t unreachable_targets_ = 0;
+
+  /// Event-driven worklist state (derived; rebuilt by init_activity).
+  core::ActiveSet active_;
+  std::vector<std::uint8_t> always_active_;  ///< Cores with parameter-level idle dynamics.
+  std::uint64_t live_enabled_ = 0;           ///< Σ enabled_count_ over live cores.
+  std::uint64_t live_cores_ = 0;             ///< Non-faulted cores.
+
+  /// Fast-path constants for homogeneous deterministic cores (derived;
+  /// rebuilt by init_activity — see src/core/neuron_hot.hpp).
+  std::vector<std::uint8_t> hot_ok_;     ///< Core qualifies for the fast loops.
+  std::vector<std::int32_t> hot_;        ///< SoA leak|alpha|floor rows (kHotStride/core).
+  std::vector<std::int16_t> wtab_;       ///< Dense per-(core, type) weight rows.
 };
 
 }  // namespace nsc::tn

@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <thread>
 
 namespace nsc::util {
 
@@ -27,8 +28,12 @@ class SpinBarrier {
       remaining_.store(participants_, std::memory_order_relaxed);
       sense_.store(my_sense, std::memory_order_release);
     } else {
+      // Spin first (ticks are short, so the straggler usually arrives within
+      // microseconds), then yield: when participants outnumber hardware
+      // threads, the straggler needs this CPU to make progress at all.
+      int spins = 0;
       while (sense_.load(std::memory_order_acquire) != my_sense) {
-        // Spin; ticks are ~milliseconds, so the wait is short relative to work.
+        if (++spins > kSpinLimit) std::this_thread::yield();
       }
     }
   }
@@ -36,6 +41,8 @@ class SpinBarrier {
   [[nodiscard]] int participants() const noexcept { return participants_; }
 
  private:
+  static constexpr int kSpinLimit = 1024;
+
   const int participants_;
   std::atomic<int> remaining_;
   std::atomic<bool> sense_;

@@ -54,6 +54,44 @@ class BitRow256 {
     }
   }
 
+  /// Word-level iteration: visits every nonzero word of (this & mask) as
+  /// fn(base_index, word), base_index ascending in steps of 64. The caller
+  /// extracts bits with ctz, so integration cost tracks popcount and the
+  /// per-word popcount can be batched (one instruction per 64 synapses).
+  template <typename Fn>
+  void for_each_masked_word(const BitRow256& mask, Fn&& fn) const {
+    for (int wi = 0; wi < kWords; ++wi) {
+      const std::uint64_t w =
+          words_[static_cast<std::size_t>(wi)] & mask.words_[static_cast<std::size_t>(wi)];
+      if (w != 0) fn(wi * 64, w);
+    }
+  }
+
+  /// Visits the index of every set bit of (this & mask) in ascending order,
+  /// without materializing the intersection row.
+  template <typename Fn>
+  void for_each_set_masked(const BitRow256& mask, Fn&& fn) const {
+    for_each_masked_word(mask, [&](int base, std::uint64_t w) {
+      do {
+        fn(base + lowest_set(w));
+        w = clear_lowest(w);
+      } while (w != 0);
+    });
+  }
+
+  /// Popcount of (this & mask), batched per word.
+  [[nodiscard]] int and_count(const BitRow256& mask) const noexcept {
+    int n = 0;
+    for (int wi = 0; wi < kWords; ++wi) {
+      n += popcount64(words_[static_cast<std::size_t>(wi)] &
+                      mask.words_[static_cast<std::size_t>(wi)]);
+    }
+    return n;
+  }
+
+  /// ORs `bits` into word `i` (batched delivery: one OR lands up to 64 axons).
+  void or_word(int i, std::uint64_t bits) noexcept { words_[static_cast<std::size_t>(i)] |= bits; }
+
   BitRow256& operator|=(const BitRow256& o) noexcept {
     for (int i = 0; i < kWords; ++i) {
       words_[static_cast<std::size_t>(i)] |= o.words_[static_cast<std::size_t>(i)];

@@ -2,10 +2,13 @@
 // serialization round-trips and validation.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <sstream>
 
 #include "src/core/crossbar.hpp"
 #include "src/core/input_schedule.hpp"
+#include "src/core/neuron_hot.hpp"
+#include "src/core/spike_sink.hpp"
 #include "src/core/network.hpp"
 #include "src/core/network_io.hpp"
 #include "src/core/types.hpp"
@@ -190,6 +193,82 @@ TEST(SpikeOrdering, ComparesLexicographically) {
   EXPECT_LT(a, b);
   EXPECT_LT(b, c);
   EXPECT_EQ(a, (Spike{1, 2, 3}));
+}
+
+TEST(TraceHash, EmptyStreamIsFnvOffsetBasis) {
+  EXPECT_EQ(trace_hash({}), TraceHashSink::kFnvOffset);
+}
+
+TEST(TraceHash, StreamingSinkMatchesBatchAndDetectsReordering) {
+  const std::vector<Spike> spikes = {{0, 1, 2}, {0, 1, 3}, {5, 0, 255}};
+  TraceHashSink sink;
+  for (const Spike& s : spikes) sink.on_spike(s.tick, s.core, s.neuron);
+  EXPECT_EQ(sink.hash(), trace_hash(spikes));
+  EXPECT_EQ(sink.spike_count(), spikes.size());
+  // Order, tick, core and neuron all feed the digest.
+  EXPECT_NE(trace_hash({{0, 1, 3}, {0, 1, 2}, {5, 0, 255}}), trace_hash(spikes));
+  EXPECT_NE(trace_hash({{1, 1, 2}, {0, 1, 3}, {5, 0, 255}}), trace_hash(spikes));
+  EXPECT_NE(trace_hash({{0, 2, 2}, {0, 1, 3}, {5, 0, 255}}), trace_hash(spikes));
+  EXPECT_NE(trace_hash({{0, 1, 2}, {0, 1, 3}}), trace_hash(spikes));
+}
+
+// ---------------------------------------------------------------------------
+// Property tests for the hot-path helpers (src/core/neuron_hot.hpp): the
+// dense-word masked accumulate and the vectorizable integrate+leak sweep
+// must equal their naive per-bit / int64-clamped oracles bit for bit.
+// ---------------------------------------------------------------------------
+
+TEST(NeuronHotProperty, DenseAccumulateMatchesCtzWalk) {
+  util::Xoshiro rng(321);
+  std::array<std::int16_t, 64> w{};
+  for (auto& x : w) {
+    x = static_cast<std::int16_t>(static_cast<int>(rng.next_below(513)) + kWeightMin);
+  }
+  std::vector<std::uint64_t> words = {0, ~0ULL, 1ULL, 1ULL << 63, 0x8000000000000001ULL};
+  for (int n = 0; n < 32; ++n) words.push_back(rng.next() & rng.next());
+  for (int n = 0; n < 32; ++n) words.push_back(rng.next() | rng.next());
+  for (const std::uint64_t bits : words) {
+    std::array<std::int32_t, 64> fast{}, naive{};
+    for (auto& x : fast) x = static_cast<std::int32_t>(rng.next_below(1000)) - 500;
+    naive = fast;
+    hot_accumulate_word(fast.data(), w.data(), bits);
+    for (int k = 0; k < 64; ++k) {
+      if ((bits >> k) & 1U) naive[static_cast<std::size_t>(k)] += w[static_cast<std::size_t>(k)];
+    }
+    EXPECT_EQ(fast, naive) << "bits=" << bits;
+  }
+}
+
+TEST(NeuronHotProperty, SweepMatchesInt64ClampedOracle) {
+  util::Xoshiro rng(654);
+  std::vector<std::int32_t> hot(kHotStride);
+  std::int32_t* leak = hot.data();
+  std::int32_t* alpha = hot.data() + kCoreSize;
+  std::int32_t* floor_le = hot.data() + 2 * kCoreSize;
+  std::array<std::int32_t, kCoreSize> v{}, acc{};
+  for (int j = 0; j < kCoreSize; ++j) {
+    // Stress the clamp edges: potentials near both rails, leaks that push
+    // past them, thresholds straddling the resulting values.
+    v[static_cast<std::size_t>(j)] =
+        static_cast<std::int32_t>(rng.next_below(2 * 1048576)) - 1048576;  // |v| <= 2^20
+    acc[static_cast<std::size_t>(j)] = static_cast<std::int32_t>(rng.next_below(131072)) - 65536;
+    leak[j] = static_cast<std::int32_t>(rng.next_below(2048)) - 1024;
+    alpha[j] = static_cast<std::int32_t>(rng.next_below(262144));
+    floor_le[j] = -static_cast<std::int32_t>(rng.next_below(262144)) - 1;
+  }
+  for (const bool with_acc : {true, false}) {
+    auto fast_v = v;
+    std::array<std::uint8_t, kCoreSize> bad{};
+    hot_neuron_sweep(fast_v.data(), with_acc ? acc.data() : nullptr, hot.data(), bad.data());
+    for (int j = 0; j < kCoreSize; ++j) {
+      std::int64_t x = v[static_cast<std::size_t>(j)];
+      if (with_acc) x = clamp_potential(x + acc[static_cast<std::size_t>(j)]);
+      const std::int32_t want = clamp_potential(x + leak[j]);
+      EXPECT_EQ(fast_v[static_cast<std::size_t>(j)], want) << "neuron " << j;
+      const bool want_bad = want >= alpha[j] || want <= floor_le[j];
+      EXPECT_EQ(bad[static_cast<std::size_t>(j)] != 0, want_bad) << "neuron " << j;
+    }
+  }
 }
 
 }  // namespace

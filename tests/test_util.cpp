@@ -230,5 +230,108 @@ TEST(PrintGrid, EmitsAllCells) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Property tests: the word-level BitRow256 iteration helpers the event-driven
+// synaptic phase rests on, checked against naive per-bit oracles over random
+// rows and the structural edge cases (empty, all-ones, word boundaries).
+// ---------------------------------------------------------------------------
+
+/// (row, mask) pairs: deterministic edge cases plus seeded random fills.
+std::vector<std::pair<BitRow256, BitRow256>> word_iter_cases() {
+  std::vector<std::pair<BitRow256, BitRow256>> cases;
+  BitRow256 zero, ones, bounds;
+  for (int i = 0; i < BitRow256::kBits; ++i) ones.set(i);
+  for (int i : {0, 63, 64, 127, 128, 191, 192, 255}) bounds.set(i);
+  BitRow256 even;
+  for (int i = 0; i < BitRow256::kBits; i += 2) even.set(i);
+  for (const BitRow256& row : {zero, ones, bounds, even}) {
+    for (const BitRow256& mask : {zero, ones, bounds, even}) cases.emplace_back(row, mask);
+  }
+  Xoshiro rng(20260806);
+  for (int n = 0; n < 64; ++n) {
+    BitRow256 row, mask;
+    // Sweep fill density so sparse (ctz-walk) and dense words both occur.
+    const std::uint64_t row_p = 1 + rng.next_below(255);
+    const std::uint64_t mask_p = 1 + rng.next_below(255);
+    for (int i = 0; i < BitRow256::kBits; ++i) {
+      if (rng.next_below(256) < row_p) row.set(i);
+      if (rng.next_below(256) < mask_p) mask.set(i);
+    }
+    cases.emplace_back(row, mask);
+  }
+  return cases;
+}
+
+TEST(BitRow256Property, ForEachMaskedWordMatchesPerBitOracle) {
+  for (const auto& [row, mask] : word_iter_cases()) {
+    BitRow256 rebuilt;
+    int last_base = -64;
+    row.for_each_masked_word(mask, [&](int base, std::uint64_t w) {
+      EXPECT_NE(w, 0u) << "zero word visited at base " << base;
+      EXPECT_EQ(base % 64, 0);
+      EXPECT_GT(base, last_base) << "bases must ascend";
+      last_base = base;
+      rebuilt.set_word(base / 64, w);
+    });
+    for (int i = 0; i < BitRow256::kBits; ++i) {
+      EXPECT_EQ(rebuilt.test(i), row.test(i) && mask.test(i)) << "bit " << i;
+    }
+  }
+}
+
+TEST(BitRow256Property, ForEachSetMaskedMatchesPerBitOracle) {
+  for (const auto& [row, mask] : word_iter_cases()) {
+    std::vector<int> want;
+    for (int i = 0; i < BitRow256::kBits; ++i) {
+      if (row.test(i) && mask.test(i)) want.push_back(i);
+    }
+    std::vector<int> got;
+    row.for_each_set_masked(mask, [&](int i) { got.push_back(i); });
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(BitRow256Property, AndCountMatchesPerBitOracle) {
+  for (const auto& [row, mask] : word_iter_cases()) {
+    int want = 0;
+    for (int i = 0; i < BitRow256::kBits; ++i) want += (row.test(i) && mask.test(i)) ? 1 : 0;
+    EXPECT_EQ(row.and_count(mask), want);
+  }
+}
+
+TEST(BitRow256Property, OrWordMatchesPerBitSets) {
+  Xoshiro rng(77);
+  for (int n = 0; n < 32; ++n) {
+    const int wi = static_cast<int>(rng.next_below(BitRow256::kWords));
+    const std::uint64_t bits = rng.next() & rng.next();  // biased toward sparse
+    BitRow256 a, b;
+    a.or_word(wi, bits);
+    for (int k = 0; k < 64; ++k) {
+      if ((bits >> k) & 1U) b.set(wi * 64 + k);
+    }
+    EXPECT_EQ(a, b);
+  }
+  // Edge cases: OR of zero is a no-op; OR of all-ones fills the word exactly.
+  BitRow256 r;
+  r.or_word(2, 0);
+  EXPECT_FALSE(r.any());
+  r.or_word(3, ~0ULL);
+  EXPECT_EQ(r.count(), 64);
+  EXPECT_TRUE(r.test(192));
+  EXPECT_TRUE(r.test(255));
+  EXPECT_FALSE(r.test(191));
+}
+
+TEST(BitsProperty, Popcount64MatchesPerBitOracle) {
+  Xoshiro rng(11);
+  for (const std::uint64_t w :
+       {std::uint64_t{0}, ~std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{1} << 63,
+        rng.next(), rng.next(), rng.next() & rng.next(), rng.next() | rng.next()}) {
+    int want = 0;
+    for (int k = 0; k < 64; ++k) want += static_cast<int>((w >> k) & 1U);
+    EXPECT_EQ(popcount64(w), want) << "w=" << w;
+  }
+}
+
 }  // namespace
 }  // namespace nsc::util

@@ -2,11 +2,16 @@
 // regressions (the hook CI's bench smoke job fails on).
 //
 //   nsc_bench_diff baseline.json candidate.json [--threshold R] [--phases]
+//                  [--min-speedup S]
 //
 // Throughput metrics (ticks_per_s, sops_per_s) regress when the candidate is
 // more than R× slower than the baseline; with --phases, per-phase mean wall
-// times regress when more than R× larger. Exit codes: 0 = within threshold,
-// 1 = regression detected, 2 = usage or parse error.
+// times regress when more than R× larger. --min-speedup S inverts the gate:
+// every throughput metric must be at least S× the baseline — the CI check
+// that pins an optimization's promised win (e.g. the event-driven hot path's
+// ≥2× at the sparse operating point) so it cannot silently erode. Exit
+// codes: 0 = within threshold, 1 = regression (or missed speedup) detected,
+// 2 = usage or parse error.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,10 +35,13 @@ const char* string_at(const nsc::obs::JsonValue& doc, const char* key, const cha
 int main(int argc, char** argv) {
   std::vector<std::string> paths;
   double threshold = 1.25;
+  double min_speedup = 0.0;  // 0 = gate disabled
   bool phases = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
       threshold = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--min-speedup") == 0 && i + 1 < argc) {
+      min_speedup = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--phases") == 0) {
       phases = true;
     } else if (argv[i][0] == '-') {
@@ -43,10 +51,10 @@ int main(int argc, char** argv) {
       paths.emplace_back(argv[i]);
     }
   }
-  if (paths.size() != 2 || threshold < 1.0) {
+  if (paths.size() != 2 || threshold < 1.0 || min_speedup < 0.0) {
     std::fprintf(stderr,
                  "usage: nsc_bench_diff baseline.json candidate.json [--threshold R>=1] "
-                 "[--phases]\n");
+                 "[--phases] [--min-speedup S>=0]\n");
     return 2;
   }
 
@@ -68,8 +76,28 @@ int main(int argc, char** argv) {
       std::printf("%-28s %14.4g -> %14.4g   ratio %6.3f   %s\n", e.metric.c_str(), e.baseline,
                   e.candidate, e.ratio, e.regression ? "REGRESSION" : "ok");
     }
-    if (diff.regressed) {
-      std::printf("\nFAIL: regression beyond %.2fx threshold\n", threshold);
+    bool missed_speedup = false;
+    if (min_speedup > 0.0) {
+      std::printf("\n");
+      for (const nsc::obs::DiffEntry& e : diff.entries) {
+        // Speedup gating only makes sense for higher-is-better throughput
+        // metrics; phase wall times (lower is better) are excluded.
+        const std::string& m = e.metric;
+        const bool throughput = m.size() > 6 && m.compare(m.size() - 6, 6, "_per_s") == 0;
+        if (!throughput) continue;
+        const bool ok = e.ratio >= min_speedup;
+        missed_speedup = missed_speedup || !ok;
+        std::printf("speedup %-28s ratio %6.3f (need >= %.2f)   %s\n", m.c_str(), e.ratio,
+                    min_speedup, ok ? "ok" : "BELOW TARGET");
+      }
+    }
+    if (diff.regressed || missed_speedup) {
+      if (diff.regressed) {
+        std::printf("\nFAIL: regression beyond %.2fx threshold\n", threshold);
+      }
+      if (missed_speedup) {
+        std::printf("\nFAIL: throughput below %.2fx required speedup\n", min_speedup);
+      }
       return 1;
     }
     std::printf("\nOK: all metrics within %.2fx threshold\n", threshold);

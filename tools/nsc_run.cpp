@@ -4,6 +4,7 @@
 //           [--in events.aer] [--out spikes.aer] [--json report.json]
 //           [--volts 0.75] [--verify] [--lint]
 //           [--restore ckpt.nsck] [--save-checkpoint ckpt.nsck [--checkpoint-at T]]
+//           [--trace-hash] [--expect-trace-hash HEX]
 //
 // Prints run statistics, the per-phase wall-time breakdown, spike-train
 // analysis, and (for the tn backend) the energy/timing model's projection of
@@ -14,8 +15,12 @@
 // --save-checkpoint writes one after --checkpoint-at ticks of this run
 // (default: at the end), then finishes the run. --lint statically verifies
 // the network first (docs/ANALYSIS.md) and refuses to run error-level
-// networks (exit 1); warnings are printed but do not block.
+// networks (exit 1); warnings are printed but do not block. --trace-hash
+// prints the FNV-1a 64 digest of the canonical spike stream;
+// --expect-trace-hash HEX additionally compares it against a golden value
+// and exits 1 on drift (the golden-trace gate, docs/PERFORMANCE.md).
 #include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -56,6 +61,17 @@ long long parse_ll(const char* name, const char* s) {
     throw std::runtime_error(std::string("invalid integer for ") + name + ": '" + s + "'");
   }
   return v;
+}
+
+/// Strict 64-bit hex parse (optional 0x prefix) for --expect-trace-hash.
+std::uint64_t parse_hex64(const char* name, const char* s) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 16);
+  if (errno != 0 || end == s || *end != '\0') {
+    throw std::runtime_error(std::string("invalid hex value for ") + name + ": '" + s + "'");
+  }
+  return static_cast<std::uint64_t>(v);
 }
 
 double parse_d(const char* name, const char* s) {
@@ -122,6 +138,9 @@ int main(int argc, char** argv) {
     const std::string out_path = flag_value(argc, argv, "--out", "");
     const std::string json_path = flag_value(argc, argv, "--json", "");
     const std::string restore_path = flag_value(argc, argv, "--restore", "");
+    const std::string expect_hash_hex = flag_value(argc, argv, "--expect-trace-hash", "");
+    const bool want_trace_hash =
+        flag_present(argc, argv, "--trace-hash") || !expect_hash_hex.empty();
     const std::string ckpt_path = flag_value(argc, argv, "--save-checkpoint", "");
     const auto ckpt_at = static_cast<nsc::core::Tick>(
         parse_ll("--checkpoint-at", flag_value(argc, argv, "--checkpoint-at", "-1")));
@@ -238,6 +257,22 @@ int main(int argc, char** argv) {
     if (!json_path.empty()) {
       nsc::obs::write_bench_report(json_path, report);
       std::printf("wrote metrics report to %s\n", json_path.c_str());
+    }
+
+    if (want_trace_hash) {
+      const std::uint64_t h = nsc::core::trace_hash(sink.spikes());
+      std::printf("trace hash: %016llx over %zu spikes\n", static_cast<unsigned long long>(h),
+                  sink.spikes().size());
+      if (!expect_hash_hex.empty()) {
+        const std::uint64_t want = parse_hex64("--expect-trace-hash", expect_hash_hex.c_str());
+        if (h != want) {
+          std::fprintf(stderr, "TRACE HASH MISMATCH: got %016llx, want %016llx\n",
+                       static_cast<unsigned long long>(h),
+                       static_cast<unsigned long long>(want));
+          return 1;
+        }
+        std::printf("trace hash matches golden value\n");
+      }
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
