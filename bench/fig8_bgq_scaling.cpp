@@ -2,13 +2,94 @@
 // NeoVision application on Blue Gene/Q — run time per tick versus power as
 // hosts (1..32) and threads per host (8..64) vary — plus the x86 1-host
 // 4/6/8/12-thread series the figure overlays.
+//
+// A second, *measured* section re-runs the figure's scaling axis for real on
+// this machine: the quarter-chip recurrent workload sharded across forked
+// rank processes (src/dist, docs/DISTRIBUTED.md) at 1/2/4 ranks, reporting
+// observed ticks/s, per-rank compute/exchange time, and load imbalance. With
+// NSC_BENCH_JSON=1 each point writes BENCH_fig8_ranks<R>.json so
+// nsc_bench_diff --min-speedup can gate the 4-rank speedup in CI.
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <string>
 
+#include "bench/bench_common.hpp"
 #include "src/apps/neovision.hpp"
+#include "src/dist/coordinator.hpp"
 #include "src/energy/host_models.hpp"
 #include "src/energy/units.hpp"
 #include "src/util/table.hpp"
+
+namespace {
+
+/// Measured multi-process scaling: the same recurrent workload, sharded
+/// across forked rank processes exchanging AER batches over sockets.
+void measured_scaling() {
+  using namespace nsc;
+  const core::Geometry geom = bench::scaled_chip();
+  const core::Tick ticks = bench::bench_ticks();
+  netgen::RecurrentSpec spec;
+  spec.geom = geom;
+  spec.rate_hz = 50;
+  spec.synapses_per_axon = 64;
+  spec.seed = 99;
+  const core::Network net = netgen::make_recurrent(spec);
+
+  std::printf("\n=== Fig. 8 (measured): multi-process sharded Compass on this host ===\n");
+  std::printf("workload: %d-core recurrent net, %lld measured ticks after %lld warmup\n\n",
+              geom.total_cores(), static_cast<long long>(ticks),
+              static_cast<long long>(bench::bench_warmup()));
+
+  const char* on = std::getenv("NSC_BENCH_JSON");
+  const char* dir = std::getenv("NSC_BENCH_JSON_DIR");
+  const bool write_json =
+      !((on == nullptr || on[0] == '\0' || on[0] == '0') && (dir == nullptr || dir[0] == '\0'));
+
+  util::Table t({"ranks", "ticks/s", "wall (s)", "imbalance", "exchange (ms)", "dist msgs",
+                 "dist bytes"});
+  for (const int ranks : {1, 2, 4}) {
+    dist::Coordinator coord(net, {.ranks = ranks, .threads_per_rank = 1});
+    coord.run(bench::bench_warmup(), nullptr, nullptr);
+    coord.reset_stats();
+    const std::uint64_t t0 = obs::now_ns();
+    coord.run(ticks, nullptr, nullptr);
+    const double wall_s = 1e-9 * static_cast<double>(obs::now_ns() - t0);
+    const obs::Registry& m = coord.metrics();
+    t.add_row({std::to_string(ranks),
+               util::format_sig(static_cast<double>(ticks) / wall_s, 4),
+               util::format_sig(wall_s, 4), util::format_sig(coord.load_imbalance(), 3),
+               util::format_sig(1e-6 * static_cast<double>(m.counter_value("dist.exchange_ns")), 4),
+               std::to_string(m.counter_value("dist.messages")),
+               std::to_string(m.counter_value("dist.bytes"))});
+
+    if (write_json) {
+      obs::BenchReport report;
+      report.name = "fig8_ranks" + std::to_string(ranks);
+      report.threads = ranks;
+      report.ticks = static_cast<std::uint64_t>(ticks);
+      report.wall_s = wall_s;
+      report.stats = coord.stats();
+      report.load_imbalance = coord.load_imbalance();
+      report.metrics = m;
+      for (int r = 0; r < ranks; ++r) {
+        const std::string prefix = "rank" + std::to_string(r);
+        report.metrics.counter(prefix + ".compute_ns") =
+            coord.rank_compute_ns()[static_cast<std::size_t>(r)];
+        report.metrics.counter(prefix + ".exchange_ns") =
+            coord.rank_exchange_ns()[static_cast<std::size_t>(r)];
+      }
+      const std::string path = obs::default_report_path(report.name);
+      obs::write_bench_report(path, report);
+      std::printf("wrote metrics report to %s\n", path.c_str());
+    }
+  }
+  t.print(std::cout);
+  std::printf("exchange time is wall time ranks spent in the tick-window protocol;\n"
+              "imbalance is max/mean per-rank compute (1.0 = perfectly balanced).\n");
+}
+
+}  // namespace
 
 int main() {
   using namespace nsc;
@@ -68,5 +149,7 @@ int main() {
               single / best);
   std::printf("single host is most power-efficient but slowest; 32 hosts fastest but\n"
               "most power — the trade-off of paper Fig. 8.\n");
+
+  measured_scaling();
   return 0;
 }

@@ -15,13 +15,14 @@ double core_load_estimate(const core::CoreSpec& spec) {
   return static_cast<double>(enabled) + static_cast<double>(spec.crossbar.count()) / 16.0;
 }
 
-std::vector<CoreRange> partition_balanced(const core::Network& net, int parts) {
+std::vector<CoreRange> partition_range(const core::Network& net, CoreRange span, int parts) {
   assert(parts >= 1);
-  const auto ncores = static_cast<core::CoreId>(net.geom.total_cores());
-  std::vector<double> prefix(static_cast<std::size_t>(ncores) + 1, 0.0);
-  for (core::CoreId c = 0; c < ncores; ++c) {
-    prefix[static_cast<std::size_t>(c) + 1] =
-        prefix[static_cast<std::size_t>(c)] + core_load_estimate(net.core(c));
+  assert(span.begin <= span.end);
+  const core::CoreId n = span.end - span.begin;
+  std::vector<double> prefix(static_cast<std::size_t>(n) + 1, 0.0);
+  for (core::CoreId i = 0; i < n; ++i) {
+    prefix[static_cast<std::size_t>(i) + 1] =
+        prefix[static_cast<std::size_t>(i)] + core_load_estimate(net.core(span.begin + i));
   }
   const double total = prefix.back();
 
@@ -33,13 +34,17 @@ std::vector<CoreRange> partition_balanced(const core::Network& net, int parts) {
     // First core index whose prefix load reaches the target; ranges stay
     // contiguous and monotone.
     core::CoreId hi = cursor;
-    while (hi < ncores && prefix[static_cast<std::size_t>(hi) + 1] < target) ++hi;
-    if (hi < ncores) ++hi;
-    if (p == parts - 1) hi = ncores;  // last range absorbs any remainder
-    ranges.push_back({cursor, hi});
+    while (hi < n && prefix[static_cast<std::size_t>(hi) + 1] < target) ++hi;
+    if (hi < n) ++hi;
+    if (p == parts - 1) hi = n;  // last range absorbs any remainder
+    ranges.push_back({span.begin + cursor, span.begin + hi});
     cursor = hi;
   }
   return ranges;
+}
+
+std::vector<CoreRange> partition_balanced(const core::Network& net, int parts) {
+  return partition_range(net, {0, static_cast<core::CoreId>(net.geom.total_cores())}, parts);
 }
 
 double load_imbalance(const core::Network& net, const std::vector<CoreRange>& parts) {

@@ -29,6 +29,13 @@ struct CoreRange {
 /// trailing ones for tiny networks).
 [[nodiscard]] std::vector<CoreRange> partition_balanced(const core::Network& net, int parts);
 
+/// Same balanced split restricted to `span` (half-open). Used by the sharded
+/// backend to sub-partition one rank's core range across its threads; the
+/// two-level split keeps every range contiguous, so concatenating outputs in
+/// (rank, partition) order is still the canonical (core, neuron) order.
+[[nodiscard]] std::vector<CoreRange> partition_range(const core::Network& net, CoreRange span,
+                                                     int parts);
+
 /// Estimated per-tick work of one core (arbitrary units, used for balancing).
 [[nodiscard]] double core_load_estimate(const core::CoreSpec& spec);
 

@@ -15,11 +15,24 @@ using core::kCoreSize;
 using core::NeuronParams;
 using core::Tick;
 
+namespace {
+
+CoreRange shard_of(const core::Network& net, const Config& cfg) {
+  if (cfg.ranks < 1 || cfg.rank < 0 || cfg.rank >= cfg.ranks) {
+    throw std::invalid_argument("compass: rank must satisfy 0 <= rank < ranks");
+  }
+  if (cfg.ranks == 1) return {0, static_cast<CoreId>(net.geom.total_cores())};
+  return partition_balanced(net, cfg.ranks)[static_cast<std::size_t>(cfg.rank)];
+}
+
+}  // namespace
+
 Simulator::Simulator(const core::Network& net, Config cfg)
     : net_(net),
       cfg_(cfg),
       prng_(net.seed),
-      parts_(partition_balanced(net, cfg.threads)),
+      shard_(shard_of(net, cfg)),
+      parts_(partition_range(net, shard_, cfg.threads)),
       pool_(std::make_unique<util::ThreadPool>(cfg.threads)),
       faults_(net.geom.total_cores()),
       link_faults_(net.geom.chips()),
@@ -30,6 +43,8 @@ Simulator::Simulator(const core::Network& net, Config cfg)
       target_ok_(static_cast<std::size_t>(net.geom.total_cores()) * kCoreSize, 0),
       target_faulted_(static_cast<std::size_t>(net.geom.total_cores()) * kCoreSize, 0),
       outbox_(static_cast<std::size_t>(cfg.threads) * static_cast<std::size_t>(cfg.threads)),
+      remote_out_(static_cast<std::size_t>(cfg.threads) * static_cast<std::size_t>(cfg.ranks)),
+      remote_words_(static_cast<std::size_t>(cfg.ranks)),
       outbox_words_(static_cast<std::size_t>(cfg.threads) * static_cast<std::size_t>(cfg.threads)),
       spike_buf_(static_cast<std::size_t>(cfg.threads)),
       local_(static_cast<std::size_t>(cfg.threads)),
@@ -47,9 +62,18 @@ Simulator::Simulator(const core::Network& net, Config cfg)
   ctr_cores_skipped_ = &obs_.counter("cores_skipped");
   ctr_events_delivered_ = &obs_.counter("events_delivered");
   const auto ncores = static_cast<CoreId>(net.geom.total_cores());
-  owner_.assign(static_cast<std::size_t>(ncores), 0);
+  owner_.assign(static_cast<std::size_t>(ncores), -1);
   for (std::size_t p = 0; p < parts_.size(); ++p) {
     for (CoreId c = parts_[p].begin; c < parts_[p].end; ++c) owner_[c] = static_cast<int>(p);
+  }
+  if (cfg_.ranks > 1) {
+    const std::vector<CoreRange> shards = partition_balanced(net, cfg_.ranks);
+    rank_owner_.assign(static_cast<std::size_t>(ncores), 0);
+    for (std::size_t r = 0; r < shards.size(); ++r) {
+      for (CoreId c = shards[r].begin; c < shards[r].end; ++c) {
+        rank_owner_[c] = static_cast<int>(r);
+      }
+    }
   }
   for (CoreId c = 0; c < ncores; ++c) {
     const core::CoreSpec& spec = net.core(c);
@@ -96,6 +120,9 @@ void Simulator::init_activity() {
       for (int s = 0; s < kDelaySlots; ++s) rows[s].reset();
       continue;
     }
+    // Shard mode: cores owned by other ranks carry no local worklist, hot
+    // table or partition accounting — they are computed elsewhere.
+    if (owner_[c] < 0) continue;
     const auto p = static_cast<std::size_t>(owner_[c]);
     ++part_live_cores_[p];
     part_enabled_[p] += enabled_count_[c];
@@ -252,12 +279,21 @@ void Simulator::phase_compute(int p, Tick t, const core::InputSchedule* inputs, 
       } else {
         // Remote delivery: enqueue for the owning process. In aggregated
         // mode the whole outbox is one logical message; otherwise every
-        // delivery is its own message.
+        // delivery is its own message. Shard mode: cores outside this rank
+        // (owner -1) queue for their owning rank instead; dist_tick batches
+        // them for the transport.
         const int dst = owner_[pj.target.core];
-        outbox_[static_cast<std::size_t>(p) * static_cast<std::size_t>(P) +
-                static_cast<std::size_t>(dst)]
-            .push_back({pj.target.core, pj.target.axon,
-                        static_cast<std::uint16_t>(arrive % kDelaySlots)});
+        if (dst >= 0) {
+          outbox_[static_cast<std::size_t>(p) * static_cast<std::size_t>(P) +
+                  static_cast<std::size_t>(dst)]
+              .push_back({pj.target.core, pj.target.axon,
+                          static_cast<std::uint16_t>(arrive % kDelaySlots)});
+        } else {
+          remote_out_[static_cast<std::size_t>(p) * static_cast<std::size_t>(cfg_.ranks) +
+                      static_cast<std::size_t>(rank_owner_[pj.target.core])]
+              .push_back({pj.target.core, pj.target.axon,
+                          static_cast<std::uint16_t>(arrive % kDelaySlots)});
+        }
       }
     };
     if (hot) {
@@ -376,6 +412,11 @@ void Simulator::phase_exchange(int p) {
 }
 
 void Simulator::run(Tick nticks, const core::InputSchedule* inputs, core::SpikeSink* sink) {
+  if (cfg_.ranks > 1) {
+    // A shard cannot self-advance: its remote spikes need a transport. The
+    // dist::Coordinator drives shards via dist_tick/dist_deliver instead.
+    throw std::logic_error("compass: run() is invalid on a shard (ranks > 1); use dist_tick");
+  }
   if (nticks <= 0) return;
   const bool record = sink != nullptr;
   const bool obs_on = obs::kEnabled && cfg_.collect_phase_metrics;
@@ -453,6 +494,10 @@ void Simulator::run(Tick nticks, const core::InputSchedule* inputs, core::SpikeS
   }
   stats_.ticks += nticks;
   now_ += nticks;
+  fold_local_stats();
+}
+
+void Simulator::fold_local_stats() {
   // Fold per-process counters into the aggregate view.
   for (std::size_t p = 0; p < local_.size(); ++p) {
     LocalStats& ls = local_[p];
@@ -471,6 +516,110 @@ void Simulator::run(Tick nticks, const core::InputSchedule* inputs, core::SpikeS
     part_compute_ns_[p] += ls.compute_ns;
     ls = LocalStats{};
   }
+}
+
+void Simulator::dist_tick(Tick t, const core::InputSchedule* inputs, bool record) {
+  const bool obs_on = obs::kEnabled && cfg_.collect_phase_metrics;
+  const int P = cfg_.threads;
+  if (P == 1 || std::thread::hardware_concurrency() == 1) {
+    // Serial round-robin: same bit-exactness argument as run()'s
+    // single-hardware-thread path — within a phase, partitions touch
+    // disjoint state, so any order between the phase boundaries is
+    // equivalent.
+    {
+      obs::ScopedTimer timer(obs_on ? ph_compute_ : nullptr);
+      for (int p = 0; p < P; ++p) phase_compute(p, t, inputs, record);
+    }
+    obs::ScopedTimer timer(obs_on ? ph_exchange_ : nullptr);
+    for (int p = 0; p < P; ++p) phase_exchange(p);
+  } else {
+    obs::ScopedTimer timer(obs_on ? ph_compute_ : nullptr);
+    util::SpinBarrier barrier(P);
+    pool_->run_all([&](int p) {
+      phase_compute(p, t, inputs, record);
+      barrier.arrive_and_wait();  // All local sends of tick t queued.
+      phase_exchange(p);
+    });
+  }
+  build_remote_batches();
+}
+
+void Simulator::build_remote_batches() {
+  if (cfg_.ranks <= 1) return;
+  const int P = cfg_.threads;
+  const int R = cfg_.ranks;
+  LocalStats& ls = local_[0];
+  for (int r = 0; r < R; ++r) {
+    if (r == cfg_.rank) continue;
+    auto& words = remote_words_[static_cast<std::size_t>(r)];
+    std::size_t deliveries = 0;
+    for (int p = 0; p < P; ++p) {
+      auto& box = remote_out_[static_cast<std::size_t>(p) * static_cast<std::size_t>(R) +
+                              static_cast<std::size_t>(r)];
+      deliveries += box.size();
+    }
+    if (deliveries == 0) continue;
+    // Remote deliveries count at the sender (as run() does for outboxes) so
+    // the sum over ranks matches the single-process events_delivered.
+    ls.events_delivered += deliveries;
+    std::vector<Delivery> merged;
+    merged.reserve(deliveries);
+    for (int p = 0; p < P; ++p) {
+      auto& box = remote_out_[static_cast<std::size_t>(p) * static_cast<std::size_t>(R) +
+                              static_cast<std::size_t>(r)];
+      merged.insert(merged.end(), box.begin(), box.end());
+      box.clear();
+    }
+    // Canonical batch order: the sorted-by-(core, slot, axon) coalescing
+    // makes the packet bytes a pure function of the delivery multiset, so
+    // identical runs produce identical wire traffic.
+    std::sort(merged.begin(), merged.end(), [](const Delivery& a, const Delivery& b) {
+      if (a.core != b.core) return a.core < b.core;
+      if (a.slot != b.slot) return a.slot < b.slot;
+      return a.axon < b.axon;
+    });
+    for (const Delivery& d : merged) {
+      const auto w = static_cast<std::uint16_t>(d.axon >> 6);
+      const std::uint64_t bit = std::uint64_t{1} << (d.axon & 63U);
+      if (!words.empty() && words.back().core == d.core && words.back().slot == d.slot &&
+          words.back().word == w) {
+        words.back().bits |= bit;
+      } else {
+        words.push_back({d.core, d.slot, w, bit});
+      }
+    }
+    ls.messages += 1;
+    ls.message_bytes += words.size() * sizeof(WordDelivery);
+  }
+}
+
+void Simulator::dist_clear_outgoing() {
+  for (auto& words : remote_words_) words.clear();
+}
+
+void Simulator::dist_deliver(const WordDelivery* words, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const WordDelivery& d = words[i];
+    if (d.core >= owner_.size() || owner_[d.core] < 0 || d.slot >= kDelaySlots ||
+        d.word >= util::BitRow256::kWords) {
+      continue;  // Not ours (or malformed): a fault elsewhere must not corrupt local state.
+    }
+    delay_[static_cast<std::size_t>(d.core) * kDelaySlots + d.slot].or_word(d.word, d.bits);
+    active_[static_cast<std::size_t>(owner_[d.core])].mark_event(d.core, d.slot);
+  }
+}
+
+void Simulator::dist_drain_spikes(std::vector<core::Spike>& out) {
+  for (auto& buf : spike_buf_) {
+    out.insert(out.end(), buf.begin(), buf.end());
+    buf.clear();
+  }
+}
+
+void Simulator::dist_end_run(Tick nticks) {
+  stats_.ticks += nticks;
+  now_ += nticks;
+  fold_local_stats();
 }
 
 void Simulator::refresh_targets_after_fault() {
@@ -498,11 +647,13 @@ bool Simulator::fail_core(core::CoreId c) {
   if (c >= ncores || faults_.is_faulted(c)) return false;
   faults_.mark(c);
   runtime_faults_ = true;
-  const auto o = static_cast<std::size_t>(owner_[c]);
-  part_enabled_[o] -= enabled_count_[c];
-  --part_live_cores_[o];
+  if (owner_[c] >= 0) {  // Shard mode: remote cores have no local worklist.
+    const auto o = static_cast<std::size_t>(owner_[c]);
+    part_enabled_[o] -= enabled_count_[c];
+    --part_live_cores_[o];
+    active_[o].clear_core(c);
+  }
   always_active_[c] = 0;
-  active_[o].clear_core(c);
   enabled_[c] = util::BitRow256{};
   enabled_count_[c] = 0;
   std::uint64_t pending = 0;
@@ -580,6 +731,8 @@ void Simulator::load_checkpoint(std::istream& is) {
   }
   for (auto& box : outbox_) box.clear();
   for (auto& words : outbox_words_) words.clear();
+  for (auto& box : remote_out_) box.clear();
+  for (auto& words : remote_words_) words.clear();
   for (auto& buf : spike_buf_) buf.clear();
   for (auto& ls : local_) ls = LocalStats{};
 

@@ -47,6 +47,14 @@ struct Config {
   /// monotonic-clock reads per tick; spike output is identical either way).
   /// NSC_OBS=0 compiles the instrumentation out regardless of this flag.
   bool collect_phase_metrics = true;
+  /// Shard mode (src/dist/): this simulator owns rank `rank` of a
+  /// `ranks`-way balanced split and only computes its own core range.
+  /// Spikes bound for other ranks accumulate in per-destination-rank word
+  /// batches (dist_outgoing) instead of being delivered; a driver moves
+  /// them between processes and applies them with dist_deliver. The
+  /// default (ranks = 1) is the plain single-process simulator.
+  int rank = 0;
+  int ranks = 1;
 };
 
 class Simulator final : public core::Simulator {
@@ -110,7 +118,6 @@ class Simulator final : public core::Simulator {
   /// Zeroes phase timers, obs counters and per-partition compute times.
   void reset_metrics() noexcept;
 
- private:
   /// A spike delivery bound for a remote partition.
   struct Delivery {
     core::CoreId core;
@@ -122,7 +129,8 @@ class Simulator final : public core::Simulator {
   /// (core, slot) delay row travel as a single OR-mask, cutting outbox
   /// traffic and turning the exchange phase's per-spike bit sets into word
   /// ORs. Per-spike mode (the ablation) keeps raw Delivery records so its
-  /// message count still means "one message per spike".
+  /// message count still means "one message per spike". Shard mode reuses
+  /// this record verbatim as the inter-rank wire format (src/dist/).
   struct WordDelivery {
     core::CoreId core;
     std::uint16_t slot;
@@ -130,6 +138,40 @@ class Simulator final : public core::Simulator {
     std::uint64_t bits;  ///< OR-mask of axon bits within that word.
   };
 
+  // ---- Shard-mode stepping API (driven by dist::, no-ops at ranks == 1) ----
+
+  /// This rank's contiguous core range ([0, total_cores) at ranks == 1).
+  [[nodiscard]] CoreRange shard() const noexcept { return shard_; }
+
+  /// Runs one full local tick: input injection + compute + intra-rank
+  /// exchange for every local partition, then coalesces spikes bound for
+  /// other ranks into per-destination word batches sorted by (core, slot,
+  /// axon) — byte-deterministic, so identical runs produce identical
+  /// packets. Inter-rank deliveries for tick t land no earlier than t+1
+  /// (axonal delay >= 1), so the caller exchanges batches after this
+  /// returns and applies them with dist_deliver before the next dist_tick.
+  void dist_tick(core::Tick t, const core::InputSchedule* inputs, bool record);
+
+  /// Outgoing word batch for destination rank `dst` produced by the last
+  /// dist_tick (empty for dst == rank). Valid until dist_clear_outgoing.
+  [[nodiscard]] const std::vector<WordDelivery>& dist_outgoing(int dst) const {
+    return remote_words_[static_cast<std::size_t>(dst)];
+  }
+  void dist_clear_outgoing();
+
+  /// Applies a peer rank's word batch into the local delay buffers (OR
+  /// semantics — commutative, so arrival order between peers is irrelevant).
+  void dist_deliver(const WordDelivery* words, std::size_t n);
+
+  /// Moves the spikes recorded by dist_tick into `out` in canonical
+  /// (core, neuron) order (partitions are contiguous ascending ranges).
+  void dist_drain_spikes(std::vector<core::Spike>& out);
+
+  /// Folds per-partition counters into stats() and advances now() by
+  /// `nticks`; call once per completed run segment (mirrors run()'s tail).
+  void dist_end_run(core::Tick nticks);
+
+ private:
   static constexpr int kDelaySlots = core::kMaxDelay + 1;
 
   [[nodiscard]] util::BitRow256& slot_of(core::CoreId c, core::Tick t) {
@@ -139,6 +181,14 @@ class Simulator final : public core::Simulator {
 
   void phase_compute(int p, core::Tick t, const core::InputSchedule* inputs, bool record);
   void phase_exchange(int p);
+
+  /// Merges per-partition remote boxes into per-destination-rank word
+  /// batches (shard mode; runs on the calling thread after the local
+  /// phases). Counters land in local_[0].
+  void build_remote_batches();
+
+  /// Folds per-partition LocalStats into stats_/obs counters (run() tail).
+  void fold_local_stats();
 
   /// (Re)derives the per-partition event-driven worklist state (restless +
   /// event bitmaps, always_active flags, live-core/enabled totals) from the
@@ -157,6 +207,7 @@ class Simulator final : public core::Simulator {
   util::CounterPrng prng_;
   core::Tick now_ = 0;
   core::KernelStats stats_;
+  CoreRange shard_;  ///< This rank's core range; [0, total_cores) at ranks == 1.
   std::vector<CoreRange> parts_;
   std::unique_ptr<util::ThreadPool> pool_;
 
@@ -175,6 +226,11 @@ class Simulator final : public core::Simulator {
 
   /// outbox_[src * P + dst]: deliveries produced by src for dst this tick.
   std::vector<std::vector<Delivery>> outbox_;
+  /// remote_out_[src_partition * ranks + dst_rank]: shard-mode deliveries
+  /// bound for another rank (empty vector of vectors at ranks == 1).
+  std::vector<std::vector<Delivery>> remote_out_;
+  /// Per-destination-rank word batches built by dist_tick from remote_out_.
+  std::vector<std::vector<WordDelivery>> remote_words_;
   /// outbox_words_[src * P + dst]: the same deliveries coalesced into
   /// per-(core, slot, word) OR-masks at the end of src's compute phase
   /// (aggregated mode only; drained by dst's exchange phase).
@@ -214,7 +270,8 @@ class Simulator final : public core::Simulator {
   /// so sharing bitmap words across threads would race.
   std::vector<core::ActiveSet> active_;
   std::vector<std::uint8_t> always_active_;    ///< Cores with parameter-level idle dynamics.
-  std::vector<int> owner_;                     ///< Core -> owning partition index.
+  std::vector<int> owner_;                     ///< Core -> local partition (-1 = remote rank).
+  std::vector<int> rank_owner_;                ///< Core -> rank index (shard mode only).
   std::vector<std::uint64_t> part_enabled_;    ///< Σ enabled_count_ per partition (live).
   std::vector<std::uint64_t> part_live_cores_; ///< Non-faulted cores per partition.
 

@@ -1,0 +1,357 @@
+#include "src/dist/coordinator.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "src/core/input_schedule.hpp"
+#include "src/core/snapshot.hpp"
+#include "src/dist/protocol.hpp"
+#include "src/util/bitrow.hpp"
+
+namespace nsc::dist {
+
+using core::CoreId;
+using core::Tick;
+
+namespace {
+constexpr int kDelaySlots = core::kMaxDelay + 1;
+}
+
+Coordinator::Coordinator(const core::Network& net, Config cfg)
+    : net_(net), cfg_(cfg), dead_links_(net.geom.chips()) {
+  if (cfg.ranks < 1) throw std::invalid_argument("dist: ranks must be >= 1");
+  if (cfg.threads_per_rank < 1) {
+    throw std::invalid_argument("dist: threads_per_rank must be >= 1");
+  }
+  shards_ = compass::partition_balanced(net, cfg.ranks);
+
+  ctr_messages_ = &obs_.counter("messages");
+  ctr_message_bytes_ = &obs_.counter("message_bytes");
+  ctr_cores_failed_ = &obs_.counter("fault.cores_failed");
+  ctr_links_failed_ = &obs_.counter("fault.links_failed");
+  ctr_fault_dropped_ = &obs_.counter("fault.spikes_dropped");
+  ctr_cores_visited_ = &obs_.counter("cores_visited");
+  ctr_cores_skipped_ = &obs_.counter("cores_skipped");
+  ctr_events_delivered_ = &obs_.counter("events_delivered");
+  ctr_dist_messages_ = &obs_.counter("dist.messages");
+  ctr_dist_bytes_ = &obs_.counter("dist.bytes");
+  ctr_dist_exchange_ns_ = &obs_.counter("dist.exchange_ns");
+
+  const auto ncores = static_cast<std::size_t>(net.geom.total_cores());
+  dead_.assign(ncores, 0);
+  for (std::size_t c = 0; c < ncores; ++c) {
+    if (net.core(static_cast<CoreId>(c)).disabled != 0) dead_[c] = 1;
+  }
+  rank_compute_ns_.assign(static_cast<std::size_t>(cfg.ranks), 0);
+  rank_exchange_ns_.assign(static_cast<std::size_t>(cfg.ranks), 0);
+
+  Spawned s = spawn_ranks(cfg.ranks);
+  if (s.is_child()) {
+    // Rank process: run the command loop, then leave without unwinding into
+    // the caller's world (no atexit handlers, no test-framework teardown).
+    exit_rank_process(rank_main(net, cfg, std::move(s)));
+  }
+  to_rank_ = std::move(s.to_rank);
+  pids_ = std::move(s.pids);
+  alive_.assign(static_cast<std::size_t>(cfg.ranks), 1);
+}
+
+Coordinator::~Coordinator() {
+  const std::uint32_t kind = static_cast<std::uint32_t>(MsgKind::kShutdown);
+  for (int r = 0; r < cfg_.ranks; ++r) {
+    if (alive_[static_cast<std::size_t>(r)] != 0) {
+      to_rank_[static_cast<std::size_t>(r)].send_frame(kind, nullptr, 0);
+      to_rank_[static_cast<std::size_t>(r)].close();
+    }
+  }
+  for (int r = 0; r < cfg_.ranks; ++r) {
+    if (pids_[static_cast<std::size_t>(r)] > 0) {
+      reap_rank(pids_[static_cast<std::size_t>(r)]);
+      pids_[static_cast<std::size_t>(r)] = -1;
+    }
+  }
+}
+
+int Coordinator::live_ranks() const noexcept {
+  int n = 0;
+  for (const std::uint8_t a : alive_) n += a != 0 ? 1 : 0;
+  return n;
+}
+
+double Coordinator::load_imbalance() const noexcept {
+  std::uint64_t max = 0, sum = 0;
+  for (const std::uint64_t ns : rank_compute_ns_) {
+    max = std::max(max, ns);
+    sum += ns;
+  }
+  if (sum == 0) return 0.0;
+  const double mean = static_cast<double>(sum) / static_cast<double>(rank_compute_ns_.size());
+  return static_cast<double>(max) / mean;
+}
+
+void Coordinator::on_rank_death(int r) {
+  const auto ri = static_cast<std::size_t>(r);
+  if (alive_[ri] == 0) return;
+  alive_[ri] = 0;
+  to_rank_[ri].close();
+  reap_rank(pids_[ri]);
+  pids_[ri] = -1;
+  // The lost shard degrades exactly like a fault campaign killing its cores:
+  // accounted, never silent (survivor ranks apply the same rule when they
+  // observe the death on their own channels).
+  for (CoreId c = shards_[ri].begin; c < shards_[ri].end; ++c) {
+    if (dead_[c] == 0) {
+      dead_[c] = 1;
+      ++*ctr_cores_failed_;
+    }
+  }
+}
+
+void Coordinator::broadcast(MsgKind kind, const void* payload, std::size_t size) {
+  for (int r = 0; r < cfg_.ranks; ++r) {
+    if (alive_[static_cast<std::size_t>(r)] == 0) continue;
+    if (!to_rank_[static_cast<std::size_t>(r)].send_frame(static_cast<std::uint32_t>(kind),
+                                                          payload, size)) {
+      on_rank_death(r);
+    }
+  }
+}
+
+void Coordinator::fold_report(int rank, const std::vector<std::uint8_t>& payload) {
+  std::size_t off = 0;
+  const auto rep = get_pod<RankReport>(payload, off);
+  stats_.spikes += rep.spikes;
+  stats_.sops += rep.sops;
+  stats_.axon_events += rep.axon_events;
+  stats_.neuron_updates += rep.neuron_updates;
+  stats_.dropped_spikes += rep.dropped_spikes;
+  *ctr_fault_dropped_ += rep.fault_dropped;
+  *ctr_messages_ += rep.messages;
+  *ctr_message_bytes_ += rep.message_bytes;
+  *ctr_cores_visited_ += rep.cores_visited;
+  *ctr_cores_skipped_ += rep.cores_skipped;
+  *ctr_events_delivered_ += rep.events_delivered;
+  *ctr_dist_messages_ += rep.dist_messages;
+  *ctr_dist_bytes_ += rep.dist_bytes;
+  *ctr_dist_exchange_ns_ += rep.exchange_ns;
+  messages_total_ += rep.messages;
+  rank_compute_ns_[static_cast<std::size_t>(rank)] += rep.compute_ns;
+  rank_exchange_ns_[static_cast<std::size_t>(rank)] += rep.exchange_ns;
+}
+
+void Coordinator::collect_reports() {
+  for (int r = 0; r < cfg_.ranks; ++r) {
+    if (alive_[static_cast<std::size_t>(r)] == 0) continue;
+    Frame f;
+    if (!to_rank_[static_cast<std::size_t>(r)].recv_frame(f)) {
+      on_rank_death(r);
+      continue;
+    }
+    if (f.kind != static_cast<std::uint32_t>(MsgKind::kReport)) {
+      throw std::runtime_error("dist: expected a rank report frame");
+    }
+    fold_report(r, f.payload);
+  }
+}
+
+void Coordinator::run(Tick nticks, const core::InputSchedule* inputs, core::SpikeSink* sink) {
+  if (nticks <= 0) return;
+  const bool record = sink != nullptr;
+
+  std::vector<std::uint8_t> payload;
+  put_pod(payload, static_cast<std::int64_t>(nticks));
+  put_pod(payload, static_cast<std::uint8_t>(record ? 1 : 0));
+  payload.insert(payload.end(), 3, 0);  // padding
+  std::uint32_t nevents = 0;
+  const std::size_t nevents_off = payload.size();
+  put_pod(payload, nevents);
+  if (inputs != nullptr) {
+    for (Tick i = 0; i < nticks; ++i) {
+      for (const core::InputSpike& s : inputs->at(now_ + i)) {
+        put_pod(payload, s);
+        ++nevents;
+      }
+    }
+    std::memcpy(payload.data() + nevents_off, &nevents, sizeof nevents);
+  }
+  broadcast(MsgKind::kRun, payload.data(), payload.size());
+
+  if (record) {
+    // Canonical merge: shards are ascending contiguous core ranges and each
+    // rank's per-tick batch is already (core, neuron)-ascending, so reading
+    // the batches in rank order per tick reproduces the canonical stream.
+    for (Tick i = 0; i < nticks; ++i) {
+      const Tick t = now_ + i;
+      for (int r = 0; r < cfg_.ranks; ++r) {
+        if (alive_[static_cast<std::size_t>(r)] == 0) continue;
+        Frame f;
+        if (!to_rank_[static_cast<std::size_t>(r)].recv_frame(f)) {
+          on_rank_death(r);
+          continue;
+        }
+        if (f.kind != static_cast<std::uint32_t>(MsgKind::kTickSpikes)) {
+          throw std::runtime_error("dist: expected a tick-spikes frame");
+        }
+        std::size_t off = 0;
+        const auto tick = get_pod<std::int64_t>(f.payload, off);
+        if (tick != t) throw std::runtime_error("dist: tick-spikes frame out of order");
+        const auto count = get_pod<std::uint32_t>(f.payload, off);
+        off += sizeof(std::uint32_t);  // padding
+        const std::vector<core::Spike> spikes =
+            get_pod_array<core::Spike>(f.payload, off, count);
+        for (const core::Spike& s : spikes) sink->on_spike(s.tick, s.core, s.neuron);
+      }
+      sink->on_tick_end(t);
+    }
+  }
+
+  collect_reports();
+  stats_.ticks += static_cast<std::uint64_t>(nticks);
+  now_ += nticks;
+}
+
+bool Coordinator::fail_core(CoreId c) {
+  if (c >= static_cast<CoreId>(net_.geom.total_cores()) || dead_[c] != 0) return false;
+  const std::uint32_t payload = c;
+  broadcast(MsgKind::kFailCore, &payload, sizeof payload);
+  collect_reports();
+  dead_[c] = 1;
+  ++*ctr_cores_failed_;
+  return true;
+}
+
+bool Coordinator::fail_link(int chip, int dir) {
+  if (net_.geom.chips() <= 1) return false;
+  if (chip < 0 || chip >= net_.geom.chips() || dir < 0 || dir >= 4) return false;
+  if (dead_links_.blocked(chip, dir)) return false;
+  std::vector<std::uint8_t> payload;
+  put_pod(payload, static_cast<std::int32_t>(chip));
+  put_pod(payload, static_cast<std::int32_t>(dir));
+  broadcast(MsgKind::kFailLink, payload.data(), payload.size());
+  collect_reports();
+  dead_links_.mark(chip, dir);
+  ++*ctr_links_failed_;
+  return true;
+}
+
+void Coordinator::save_checkpoint(std::ostream& os) const {
+  // Channel I/O mutates transport state (and a rank death discovered here
+  // must be absorbed); checkpointing is still logically const — the
+  // simulated state does not advance.
+  auto* self = const_cast<Coordinator*>(this);
+  self->broadcast(MsgKind::kSave, nullptr, 0);
+
+  core::Snapshot base;
+  bool have_base = false;
+  for (int r = 0; r < cfg_.ranks; ++r) {
+    if (alive_[static_cast<std::size_t>(r)] == 0) continue;
+    Frame f;
+    if (!self->to_rank_[static_cast<std::size_t>(r)].recv_frame(f)) {
+      self->on_rank_death(r);
+      continue;
+    }
+    if (f.kind != static_cast<std::uint32_t>(MsgKind::kBlob)) {
+      throw std::runtime_error("dist: expected a checkpoint blob frame");
+    }
+    std::istringstream is(
+        std::string(reinterpret_cast<const char*>(f.payload.data()), f.payload.size()),
+        std::ios::binary);
+    core::Snapshot snap = core::load_snapshot(is);
+    if (!have_base) {
+      base = std::move(snap);
+      have_base = true;
+      continue;
+    }
+    // Splice the shard-owned slices: rank r is authoritative for exactly its
+    // core range's potentials and delay rings.
+    const compass::CoreRange range = shards_[static_cast<std::size_t>(r)];
+    const std::size_t v0 = static_cast<std::size_t>(range.begin) * core::kCoreSize;
+    const std::size_t v1 = static_cast<std::size_t>(range.end) * core::kCoreSize;
+    std::copy(snap.v.begin() + static_cast<std::ptrdiff_t>(v0),
+              snap.v.begin() + static_cast<std::ptrdiff_t>(v1),
+              base.v.begin() + static_cast<std::ptrdiff_t>(v0));
+    const std::size_t w0 =
+        static_cast<std::size_t>(range.begin) * kDelaySlots * util::BitRow256::kWords;
+    const std::size_t w1 =
+        static_cast<std::size_t>(range.end) * kDelaySlots * util::BitRow256::kWords;
+    std::copy(snap.delay_words.begin() + static_cast<std::ptrdiff_t>(w0),
+              snap.delay_words.begin() + static_cast<std::ptrdiff_t>(w1),
+              base.delay_words.begin() + static_cast<std::ptrdiff_t>(w0));
+  }
+  if (!have_base) {
+    throw std::runtime_error("dist: cannot checkpoint with every rank dead");
+  }
+
+  // The coordinator's bookkeeping is authoritative for everything global.
+  base.backend = core::SnapshotBackend::kCompass;
+  base.tick = now_;
+  base.stats = stats_;
+  base.dead_cores.assign(dead_.begin(), dead_.end());
+  const int chips = net_.geom.chips();
+  base.dead_links.assign(static_cast<std::size_t>(chips) * 4, 0);
+  for (int ch = 0; ch < chips; ++ch) {
+    for (int d = 0; d < 4; ++d) {
+      base.dead_links[static_cast<std::size_t>(ch) * 4 + static_cast<std::size_t>(d)] =
+          dead_links_.blocked(ch, d) ? 1 : 0;
+    }
+  }
+  base.extras.clear();
+  base.set_extra("messages", messages_total_);
+  base.set_extra("fault.cores_failed", *ctr_cores_failed_);
+  base.set_extra("fault.links_failed", *ctr_links_failed_);
+  base.set_extra("fault.spikes_dropped", *ctr_fault_dropped_);
+  core::save_snapshot(base, os);
+}
+
+void Coordinator::load_checkpoint(std::istream& is) {
+  const core::Snapshot snap = core::load_snapshot(is);
+  if (snap.geom != net_.geom) {
+    throw std::runtime_error("checkpoint geometry does not match this simulator's network");
+  }
+  if (snap.net_seed != net_.seed) {
+    throw std::runtime_error("checkpoint was taken against a different network (seed mismatch)");
+  }
+  std::ostringstream os(std::ios::binary);
+  core::save_snapshot(snap, os);
+  const std::string blob = os.str();
+  broadcast(MsgKind::kLoad, blob.data(), blob.size());
+  collect_reports();  // Acks carry zero deltas (ranks rebase after loading).
+
+  now_ = snap.tick;
+  stats_ = snap.stats;
+  messages_total_ = snap.extra("messages");
+  *ctr_cores_failed_ = snap.extra("fault.cores_failed");
+  *ctr_links_failed_ = snap.extra("fault.links_failed");
+  *ctr_fault_dropped_ = snap.extra("fault.spikes_dropped");
+
+  const auto ncores = static_cast<std::size_t>(net_.geom.total_cores());
+  dead_.assign(ncores, 0);
+  for (std::size_t c = 0; c < ncores; ++c) {
+    const bool static_dead = net_.core(static_cast<CoreId>(c)).disabled != 0;
+    if (static_dead || (!snap.dead_cores.empty() && snap.dead_cores[c] != 0)) dead_[c] = 1;
+  }
+  dead_links_ = noc::LinkFaultSet(net_.geom.chips());
+  for (int ch = 0; ch < net_.geom.chips(); ++ch) {
+    for (int d = 0; d < 4; ++d) {
+      const std::size_t idx = static_cast<std::size_t>(ch) * 4 + static_cast<std::size_t>(d);
+      if (idx < snap.dead_links.size() && snap.dead_links[idx] != 0) dead_links_.mark(ch, d);
+    }
+  }
+  // Ranks that died stay dead across a restore, even one that predates the
+  // death: their cores fail again (the ranks re-apply the same rule).
+  for (int r = 0; r < cfg_.ranks; ++r) {
+    if (alive_[static_cast<std::size_t>(r)] != 0) continue;
+    for (CoreId c = shards_[static_cast<std::size_t>(r)].begin;
+         c < shards_[static_cast<std::size_t>(r)].end; ++c) {
+      if (dead_[c] == 0) {
+        dead_[c] = 1;
+        ++*ctr_cores_failed_;
+      }
+    }
+  }
+}
+
+}  // namespace nsc::dist

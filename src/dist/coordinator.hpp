@@ -1,0 +1,120 @@
+// Coordinator of the multi-process sharded Compass backend
+// (docs/DISTRIBUTED.md).
+//
+// Constructing a Coordinator forks Config::ranks rank processes, each owning
+// a contiguous balanced shard of the network's cores (compass::partition)
+// and running the existing event-driven Compass kernel on it. Each tick the
+// ranks exchange destination-rank-batched AER word packets peer-to-peer
+// (tick-window protocol, no barrier) while the coordinator merges recorded
+// spikes in rank order — shards are ascending core ranges, so the merged
+// stream is the canonical (core, neuron) order and the run is
+// spike-for-spike identical to single-process Compass and TrueNorth.
+//
+// The coordinator implements the full core::Simulator contract: checkpoints
+// are stitched from per-rank blobs into one ordinary NSCK snapshot (loadable
+// by any backend at any rank/thread count), fault injection broadcasts to
+// every rank, and a rank process dying mid-run degrades into the existing
+// fail_core/spikes_dropped accounting instead of hanging.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "src/compass/partition.hpp"
+#include "src/core/network.hpp"
+#include "src/dist/protocol.hpp"
+#include "src/dist/rank.hpp"
+#include "src/dist/transport.hpp"
+#include "src/noc/route.hpp"
+#include "src/obs/obs.hpp"
+
+namespace nsc::dist {
+
+class Coordinator final : public core::Simulator {
+ public:
+  /// Forks the rank processes. The network must outlive the coordinator.
+  /// Throws std::invalid_argument for ranks < 1 or threads_per_rank < 1.
+  Coordinator(const core::Network& net, Config cfg);
+  ~Coordinator() override;
+
+  void run(core::Tick nticks, const core::InputSchedule* inputs, core::SpikeSink* sink) override;
+  [[nodiscard]] core::Tick now() const override { return now_; }
+  [[nodiscard]] const core::KernelStats& stats() const override { return stats_; }
+  void reset_stats() override { stats_.reset(); }
+
+  /// Checkpoint stitching: every live rank serializes its shard state; the
+  /// coordinator splices the shard-owned slices into one snapshot carrying
+  /// its authoritative tick/stats/fault bookkeeping. The result is a plain
+  /// NSCK snapshot — restorable single-process or at any rank count.
+  void save_checkpoint(std::ostream& os) const override;
+  void load_checkpoint(std::istream& is) override;
+
+  /// Broadcast fault injection: every rank applies the same fail at the same
+  /// command boundary, so the drop rule stays identical on all shards.
+  bool fail_core(core::CoreId c) override;
+  bool fail_link(int chip, int dir) override;
+
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+  [[nodiscard]] const std::vector<compass::CoreRange>& shards() const noexcept { return shards_; }
+  [[nodiscard]] bool rank_alive(int r) const noexcept {
+    return alive_[static_cast<std::size_t>(r)] != 0;
+  }
+  [[nodiscard]] int live_ranks() const noexcept;
+
+  /// Aggregated counters: the compass trio (messages, message_bytes,
+  /// cores_visited/skipped, events_delivered), the fault.* set, and the
+  /// dist layer's own dist.messages / dist.bytes / dist.exchange_ns.
+  [[nodiscard]] const obs::Registry& metrics() const noexcept { return obs_; }
+
+  /// Wall nanoseconds each rank spent computing / exchanging so far.
+  [[nodiscard]] const std::vector<std::uint64_t>& rank_compute_ns() const noexcept {
+    return rank_compute_ns_;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& rank_exchange_ns() const noexcept {
+    return rank_exchange_ns_;
+  }
+
+  /// Load imbalance across ranks: max / mean per-rank compute time.
+  [[nodiscard]] double load_imbalance() const noexcept;
+
+ private:
+  void fold_report(int rank, const std::vector<std::uint8_t>& payload);
+  /// Collects one kReport from every live rank (ranks that die while we wait
+  /// are absorbed via on_rank_death).
+  void collect_reports();
+  void on_rank_death(int r);
+  void broadcast(MsgKind kind, const void* payload, std::size_t size);
+
+  const core::Network& net_;
+  Config cfg_;
+  core::Tick now_ = 0;
+  core::KernelStats stats_;
+  std::vector<compass::CoreRange> shards_;
+  std::vector<Channel> to_rank_;
+  std::vector<int> pids_;
+  std::vector<std::uint8_t> alive_;
+
+  /// Coordinator-side fault mirror: validates fail_* calls (same contract as
+  /// the in-process backends) and owns the cores_failed/links_failed counts,
+  /// which every rank would otherwise report R times over.
+  std::vector<std::uint8_t> dead_;
+  noc::LinkFaultSet dead_links_;
+  std::uint64_t messages_total_ = 0;
+
+  obs::Registry obs_;
+  std::uint64_t* ctr_messages_ = nullptr;
+  std::uint64_t* ctr_message_bytes_ = nullptr;
+  std::uint64_t* ctr_cores_failed_ = nullptr;
+  std::uint64_t* ctr_links_failed_ = nullptr;
+  std::uint64_t* ctr_fault_dropped_ = nullptr;
+  std::uint64_t* ctr_cores_visited_ = nullptr;
+  std::uint64_t* ctr_cores_skipped_ = nullptr;
+  std::uint64_t* ctr_events_delivered_ = nullptr;
+  std::uint64_t* ctr_dist_messages_ = nullptr;
+  std::uint64_t* ctr_dist_bytes_ = nullptr;
+  std::uint64_t* ctr_dist_exchange_ns_ = nullptr;
+  std::vector<std::uint64_t> rank_compute_ns_;
+  std::vector<std::uint64_t> rank_exchange_ns_;
+};
+
+}  // namespace nsc::dist

@@ -1,0 +1,101 @@
+// Wire protocol of the multi-process sharded backend (docs/DISTRIBUTED.md).
+//
+// Every message on every channel is one frame: an 8-byte header (kind, size)
+// followed by `size` payload bytes. Rank processes are forks of the same
+// binary, so payloads carry the in-memory representation of the shared PODs
+// (core::Spike, core::InputSpike, compass::Simulator::WordDelivery) directly;
+// the static_asserts below pin the sizes the frames rely on.
+//
+// Channels and directions:
+//   coordinator -> rank : kRun, kFailCore, kFailLink, kSave, kLoad, kShutdown
+//   rank -> coordinator : kTickSpikes (one per tick while recording),
+//                         kReport (end of every command), kBlob (kSave reply)
+//   rank <-> rank       : kSpikeBatch (exactly one per tick per live peer)
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "src/compass/simulator.hpp"
+#include "src/core/types.hpp"
+
+namespace nsc::dist {
+
+enum class MsgKind : std::uint32_t {
+  kRun = 1,        ///< nticks + record flag + the input-spike window.
+  kSpikeBatch = 2, ///< tick + destination-rank-batched WordDelivery records.
+  kTickSpikes = 3, ///< tick + this rank's recorded spikes for that tick.
+  kReport = 4,     ///< RankReport: counter deltas since the previous report.
+  kFailCore = 5,   ///< core id to fail at this command boundary.
+  kFailLink = 6,   ///< chip + direction of the inter-chip link to fail.
+  kSave = 7,       ///< request a full checkpoint blob.
+  kBlob = 8,       ///< checkpoint bytes (kSave reply).
+  kLoad = 9,       ///< checkpoint bytes to restore.
+  kShutdown = 10,  ///< clean exit request.
+};
+
+/// Per-command counter deltas a rank reports to the coordinator. Deltas (not
+/// totals) keep the coordinator's aggregate view authoritative: it folds
+/// every report as it arrives, and a checkpoint restore — which overwrites
+/// rank-local totals with the global snapshot's — cannot double-count.
+struct RankReport {
+  std::uint64_t spikes = 0;
+  std::uint64_t sops = 0;
+  std::uint64_t axon_events = 0;
+  std::uint64_t neuron_updates = 0;
+  std::uint64_t dropped_spikes = 0;
+  std::uint64_t fault_dropped = 0;  ///< fault.spikes_dropped (incl. in-flight wire drops).
+  std::uint64_t messages = 0;       ///< Intra-rank aggregated messages.
+  std::uint64_t message_bytes = 0;
+  std::uint64_t cores_visited = 0;
+  std::uint64_t cores_skipped = 0;
+  std::uint64_t events_delivered = 0;
+  std::uint64_t compute_ns = 0;   ///< Σ per-partition compute wall time.
+  std::uint64_t exchange_ns = 0;  ///< Wall time in inter-rank frame exchange.
+  std::uint64_t dist_messages = 0;  ///< Inter-rank frames sent.
+  std::uint64_t dist_bytes = 0;     ///< Inter-rank payload bytes sent.
+};
+static_assert(sizeof(RankReport) == 15 * sizeof(std::uint64_t));
+
+static_assert(sizeof(core::Spike) == 16);
+static_assert(sizeof(core::InputSpike) == 16);
+static_assert(sizeof(compass::Simulator::WordDelivery) == 16);
+
+/// Appends the raw bytes of a POD to a payload buffer.
+template <class T>
+void put_pod(std::vector<std::uint8_t>& buf, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  buf.insert(buf.end(), p, p + sizeof(T));
+}
+
+/// Reads a POD back, advancing `off`; throws on truncated payloads so a
+/// malformed frame can never read out of bounds.
+template <class T>
+T get_pod(const std::vector<std::uint8_t>& buf, std::size_t& off) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (buf.size() - off < sizeof(T)) throw std::runtime_error("dist: truncated frame payload");
+  T v;
+  std::memcpy(&v, buf.data() + off, sizeof(T));
+  off += sizeof(T);
+  return v;
+}
+
+/// Reads `n` PODs as a vector (bounds-checked as one block).
+template <class T>
+std::vector<T> get_pod_array(const std::vector<std::uint8_t>& buf, std::size_t& off,
+                             std::size_t n) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (n > (buf.size() - off) / sizeof(T)) {
+    throw std::runtime_error("dist: truncated frame payload");
+  }
+  std::vector<T> v(n);
+  std::memcpy(v.data(), buf.data() + off, n * sizeof(T));
+  off += n * sizeof(T);
+  return v;
+}
+
+}  // namespace nsc::dist

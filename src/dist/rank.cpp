@@ -1,0 +1,263 @@
+#include "src/dist/rank.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "src/compass/partition.hpp"
+#include "src/compass/simulator.hpp"
+#include "src/core/input_schedule.hpp"
+#include "src/dist/protocol.hpp"
+#include "src/obs/obs.hpp"
+#include "src/util/bitrow.hpp"
+
+namespace nsc::dist {
+
+namespace {
+
+using WordDelivery = compass::Simulator::WordDelivery;
+
+/// Cumulative totals a rank reports deltas of. Captured after every report
+/// (and after a checkpoint load, so restored absolute values are excluded).
+struct Totals {
+  std::uint64_t spikes = 0, sops = 0, axon_events = 0, neuron_updates = 0, dropped = 0;
+  std::uint64_t fault_dropped = 0, messages = 0, message_bytes = 0;
+  std::uint64_t cores_visited = 0, cores_skipped = 0, events_delivered = 0;
+  std::uint64_t compute_ns = 0, exchange_ns = 0, dist_messages = 0, dist_bytes = 0;
+};
+
+struct RankState {
+  compass::Simulator* sim = nullptr;
+  std::vector<compass::CoreRange> shards;
+  std::vector<std::uint8_t> peer_alive;
+  // Rank-loop-owned accumulators (cumulative; reported as deltas).
+  std::uint64_t exchange_ns = 0;
+  std::uint64_t dist_messages = 0;
+  std::uint64_t dist_bytes = 0;
+  std::uint64_t wire_dropped = 0;  ///< In-flight axon events lost to peer death.
+  Totals base;
+};
+
+Totals capture(const RankState& st) {
+  const core::KernelStats& ks = st.sim->stats();
+  const obs::Registry& m = st.sim->metrics();
+  Totals t;
+  t.spikes = ks.spikes;
+  t.sops = ks.sops;
+  t.axon_events = ks.axon_events;
+  t.neuron_updates = ks.neuron_updates;
+  t.dropped = ks.dropped_spikes;
+  t.fault_dropped = m.counter_value("fault.spikes_dropped") + st.wire_dropped;
+  t.messages = m.counter_value("messages");
+  t.message_bytes = m.counter_value("message_bytes");
+  t.cores_visited = m.counter_value("cores_visited");
+  t.cores_skipped = m.counter_value("cores_skipped");
+  t.events_delivered = m.counter_value("events_delivered");
+  for (const std::uint64_t ns : st.sim->partition_compute_ns()) t.compute_ns += ns;
+  t.exchange_ns = st.exchange_ns;
+  t.dist_messages = st.dist_messages;
+  t.dist_bytes = st.dist_bytes;
+  return t;
+}
+
+bool send_report(RankState& st, Channel& parent) {
+  const Totals cur = capture(st);
+  const Totals& b = st.base;
+  RankReport r;
+  r.spikes = cur.spikes - b.spikes;
+  r.sops = cur.sops - b.sops;
+  r.axon_events = cur.axon_events - b.axon_events;
+  r.neuron_updates = cur.neuron_updates - b.neuron_updates;
+  r.dropped_spikes = cur.dropped - b.dropped;
+  r.fault_dropped = cur.fault_dropped - b.fault_dropped;
+  r.messages = cur.messages - b.messages;
+  r.message_bytes = cur.message_bytes - b.message_bytes;
+  r.cores_visited = cur.cores_visited - b.cores_visited;
+  r.cores_skipped = cur.cores_skipped - b.cores_skipped;
+  r.events_delivered = cur.events_delivered - b.events_delivered;
+  r.compute_ns = cur.compute_ns - b.compute_ns;
+  r.exchange_ns = cur.exchange_ns - b.exchange_ns;
+  r.dist_messages = cur.dist_messages - b.dist_messages;
+  r.dist_bytes = cur.dist_bytes - b.dist_bytes;
+  st.base = cur;
+  return parent.send_frame(static_cast<std::uint32_t>(MsgKind::kReport), &r, sizeof r);
+}
+
+/// A peer died: its cores fail exactly like a fault-campaign kill, so every
+/// spike aimed at them from here on drops into fault.spikes_dropped instead
+/// of wedging the exchange.
+void on_peer_death(RankState& st, int peer) {
+  if (st.peer_alive[static_cast<std::size_t>(peer)] == 0) return;
+  st.peer_alive[static_cast<std::size_t>(peer)] = 0;
+  const compass::CoreRange r = st.shards[static_cast<std::size_t>(peer)];
+  for (core::CoreId c = r.begin; c < r.end; ++c) st.sim->fail_core(c);
+}
+
+/// One run segment: nticks of dist_tick + peer exchange (+ per-tick spike
+/// frames to the coordinator when recording). Returns false when the parent
+/// channel died (the rank should exit).
+bool run_segment(RankState& st, const Config& cfg, int rank, Channel& parent, PeerPump& pump,
+                 core::Tick nticks, bool record, const core::InputSchedule& inputs) {
+  compass::Simulator& sim = *st.sim;
+  const int R = cfg.ranks;
+  const core::Tick start = sim.now();
+  std::vector<Frame> out(static_cast<std::size_t>(R));
+  std::vector<Frame> in;
+  std::vector<int> newly_dead;
+  std::vector<core::Spike> spikes;
+  std::vector<std::uint8_t> tick_payload;
+  for (core::Tick i = 0; i < nticks; ++i) {
+    const core::Tick t = start + i;
+    if (rank == cfg.suicide_rank && t == cfg.suicide_tick) exit_rank_process(3);
+    sim.dist_tick(t, &inputs, record);
+
+    // Exchange: exactly one kSpikeBatch per live peer, both directions,
+    // poll-driven. Peers consume tick-t batches before computing t+1 (axonal
+    // delay >= 1 guarantees nothing in them is due earlier), so no barrier
+    // is needed and neighbours may skew by a tick.
+    const std::uint64_t x0 = obs::now_ns();
+    std::vector<std::uint64_t> batch_bits(static_cast<std::size_t>(R), 0);
+    for (int r = 0; r < R; ++r) {
+      if (r == rank || st.peer_alive[static_cast<std::size_t>(r)] == 0) continue;
+      const std::vector<WordDelivery>& words = sim.dist_outgoing(r);
+      Frame& f = out[static_cast<std::size_t>(r)];
+      f.kind = static_cast<std::uint32_t>(MsgKind::kSpikeBatch);
+      f.payload.clear();
+      put_pod(f.payload, static_cast<std::int64_t>(t));
+      for (const WordDelivery& w : words) put_pod(f.payload, w);
+      for (const WordDelivery& w : words) {
+        batch_bits[static_cast<std::size_t>(r)] +=
+            static_cast<std::uint64_t>(util::popcount64(w.bits));
+      }
+      st.dist_messages += 1;
+      st.dist_bytes += f.payload.size();
+    }
+    pump.round(out, in, newly_dead);
+    for (int r = 0; r < R; ++r) {
+      Frame& f = in[static_cast<std::size_t>(r)];
+      if (f.kind != static_cast<std::uint32_t>(MsgKind::kSpikeBatch)) continue;
+      std::size_t off = 0;
+      const auto peer_tick = get_pod<std::int64_t>(f.payload, off);
+      if (peer_tick != t) throw std::runtime_error("dist: peer tick skew exceeded the window");
+      const std::size_t nwords = (f.payload.size() - off) / sizeof(WordDelivery);
+      const std::vector<WordDelivery> words = get_pod_array<WordDelivery>(f.payload, off, nwords);
+      sim.dist_deliver(words.data(), words.size());
+    }
+    for (const int r : newly_dead) {
+      // The batch we could not hand over is lost in flight: account it like
+      // the pending deliveries a fail_core drops, then fail the peer's cores.
+      st.wire_dropped += batch_bits[static_cast<std::size_t>(r)];
+      on_peer_death(st, r);
+    }
+    sim.dist_clear_outgoing();
+    st.exchange_ns += obs::now_ns() - x0;
+
+    if (record) {
+      spikes.clear();
+      sim.dist_drain_spikes(spikes);
+      tick_payload.clear();
+      put_pod(tick_payload, static_cast<std::int64_t>(t));
+      put_pod(tick_payload, static_cast<std::uint32_t>(spikes.size()));
+      put_pod(tick_payload, std::uint32_t{0});
+      for (const core::Spike& s : spikes) put_pod(tick_payload, s);
+      if (!parent.send_frame(static_cast<std::uint32_t>(MsgKind::kTickSpikes),
+                             tick_payload.data(), tick_payload.size())) {
+        return false;
+      }
+    }
+  }
+  sim.dist_end_run(nticks);
+  return send_report(st, parent);
+}
+
+}  // namespace
+
+int rank_main(const core::Network& net, const Config& cfg, Spawned&& spawned) {
+  const int rank = spawned.rank;
+  compass::Config scfg;
+  scfg.threads = cfg.threads_per_rank;
+  scfg.collect_phase_metrics = cfg.collect_phase_metrics;
+  scfg.rank = rank;
+  scfg.ranks = cfg.ranks;
+  compass::Simulator sim(net, scfg);
+
+  RankState st;
+  st.sim = &sim;
+  st.shards = compass::partition_balanced(net, cfg.ranks);
+  st.peer_alive.assign(static_cast<std::size_t>(cfg.ranks), 1);
+  st.base = capture(st);
+
+  Channel& parent = spawned.to_parent;
+  PeerPump pump(&spawned.peers, rank);
+
+  Frame cmd;
+  while (parent.recv_frame(cmd)) {
+    switch (static_cast<MsgKind>(cmd.kind)) {
+      case MsgKind::kRun: {
+        std::size_t off = 0;
+        const auto nticks = get_pod<std::int64_t>(cmd.payload, off);
+        const auto record = get_pod<std::uint8_t>(cmd.payload, off);
+        off += 3;  // padding
+        const auto nevents = get_pod<std::uint32_t>(cmd.payload, off);
+        const std::vector<core::InputSpike> events =
+            get_pod_array<core::InputSpike>(cmd.payload, off, nevents);
+        core::InputSchedule inputs;
+        for (const core::InputSpike& e : events) inputs.add(e);
+        inputs.finalize();
+        if (!run_segment(st, cfg, rank, parent, pump, nticks, record != 0, inputs)) {
+          return 0;
+        }
+        break;
+      }
+      case MsgKind::kFailCore: {
+        std::size_t off = 0;
+        sim.fail_core(get_pod<std::uint32_t>(cmd.payload, off));
+        if (!send_report(st, parent)) return 0;
+        break;
+      }
+      case MsgKind::kFailLink: {
+        std::size_t off = 0;
+        const auto chip = get_pod<std::int32_t>(cmd.payload, off);
+        const auto dir = get_pod<std::int32_t>(cmd.payload, off);
+        sim.fail_link(chip, dir);
+        if (!send_report(st, parent)) return 0;
+        break;
+      }
+      case MsgKind::kSave: {
+        std::ostringstream os(std::ios::binary);
+        sim.save_checkpoint(os);
+        const std::string blob = os.str();
+        if (!parent.send_frame(static_cast<std::uint32_t>(MsgKind::kBlob), blob.data(),
+                               blob.size())) {
+          return 0;
+        }
+        break;
+      }
+      case MsgKind::kLoad: {
+        std::istringstream is(
+            std::string(reinterpret_cast<const char*>(cmd.payload.data()), cmd.payload.size()),
+            std::ios::binary);
+        sim.load_checkpoint(is);
+        // Peers that died stay dead across a restore: re-fail their cores in
+        // case the snapshot predates the death (no-ops otherwise), then
+        // rebase so the restored absolute values never report as deltas.
+        for (int r = 0; r < cfg.ranks; ++r) {
+          if (r != rank && st.peer_alive[static_cast<std::size_t>(r)] == 0) {
+            const compass::CoreRange cr = st.shards[static_cast<std::size_t>(r)];
+            for (core::CoreId c = cr.begin; c < cr.end; ++c) sim.fail_core(c);
+          }
+        }
+        st.base = capture(st);
+        if (!send_report(st, parent)) return 0;
+        break;
+      }
+      case MsgKind::kShutdown:
+        return 0;
+      default:
+        return 1;  // Protocol violation: bail out rather than guess.
+    }
+  }
+  return 0;  // Coordinator vanished: exit quietly.
+}
+
+}  // namespace nsc::dist

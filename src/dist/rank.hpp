@@ -1,0 +1,31 @@
+// Rank-process side of the sharded backend: one forked process per rank,
+// each running a compass::Simulator in shard mode and exchanging
+// destination-rank-batched spike words with its peers every tick
+// (docs/DISTRIBUTED.md).
+#pragma once
+
+#include "src/core/network.hpp"
+#include "src/core/types.hpp"
+#include "src/dist/transport.hpp"
+
+namespace nsc::dist {
+
+/// Shared coordinator/rank configuration (the fork inherits it by value).
+struct Config {
+  int ranks = 2;              ///< Rank processes to fork (>= 1).
+  int threads_per_rank = 1;   ///< Compass partitions (threads) inside each rank.
+  bool collect_phase_metrics = true;
+  /// Fault-injection test hook: rank `suicide_rank` exits with status 3
+  /// immediately before computing tick `suicide_tick` (-1 = never). Models
+  /// a node loss mid-run; peers and the coordinator observe the death as
+  /// EOF and degrade via the fail_core accounting instead of hanging.
+  int suicide_rank = -1;
+  core::Tick suicide_tick = -1;
+};
+
+/// Runs the rank command loop until the coordinator shuts it down or its
+/// channel dies. Called in the forked child by dist::Coordinator; returns
+/// the child's exit status (the caller passes it to std::_Exit).
+int rank_main(const core::Network& net, const Config& cfg, Spawned&& spawned);
+
+}  // namespace nsc::dist

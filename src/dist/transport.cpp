@@ -1,0 +1,318 @@
+#include "src/dist/transport.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+namespace nsc::dist {
+
+namespace {
+
+struct FrameHeader {
+  std::uint32_t kind = 0;
+  std::uint32_t size = 0;
+};
+static_assert(sizeof(FrameHeader) == 8);
+
+/// Upper bound on a single frame payload: the largest legitimate frame is a
+/// checkpoint blob (tens of MB for the biggest test nets); anything past
+/// this is a corrupted header, rejected before allocation.
+constexpr std::uint32_t kMaxFramePayload = 1U << 30;
+
+bool send_all(int fd, const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (n > 0) {
+    const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;  // EPIPE/ECONNRESET: peer is gone.
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool recv_all(int fd, void* data, std::size_t n) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  while (n > 0) {
+    const ssize_t r = ::recv(fd, p, n, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r == 0) return false;  // EOF: peer closed (died or shut down).
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+Channel& Channel::operator=(Channel&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Channel::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Channel::set_nonblocking() {
+  if (fd_ < 0) return;
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+}
+
+bool Channel::send_frame(std::uint32_t kind, const void* payload, std::size_t size) {
+  if (fd_ < 0) return false;
+  const FrameHeader h{kind, static_cast<std::uint32_t>(size)};
+  if (!send_all(fd_, &h, sizeof h) || (size > 0 && !send_all(fd_, payload, size))) {
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Channel::recv_frame(Frame& out) {
+  if (fd_ < 0) return false;
+  FrameHeader h;
+  if (!recv_all(fd_, &h, sizeof h)) {
+    close();
+    return false;
+  }
+  if (h.size > kMaxFramePayload) {
+    close();
+    throw std::runtime_error("dist: frame header claims an implausible payload size");
+  }
+  out.kind = h.kind;
+  out.payload.resize(h.size);
+  if (h.size > 0 && !recv_all(fd_, out.payload.data(), h.size)) {
+    close();
+    return false;
+  }
+  return true;
+}
+
+Spawned spawn_ranks(int nranks) {
+  if (nranks < 1) throw std::invalid_argument("dist: nranks must be >= 1");
+  const auto n = static_cast<std::size_t>(nranks);
+
+  // Create the whole mesh up front so every child inherits every fd and can
+  // close exactly the ones it does not own — a stray copy of a channel end
+  // in a sibling would defeat EOF-based death detection.
+  std::vector<std::array<int, 2>> parent_pair(n);  // [0] = coordinator end, [1] = rank end.
+  for (auto& pr : parent_pair) {
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, pr.data()) != 0) {
+      throw std::runtime_error("dist: socketpair failed");
+    }
+  }
+  // peer_pair[i][j] for j > i: [0] is rank i's end, [1] is rank j's end.
+  std::vector<std::vector<std::array<int, 2>>> peer_pair(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    peer_pair[i].assign(n, {-1, -1});
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (::socketpair(AF_UNIX, SOCK_STREAM, 0, peer_pair[i][j].data()) != 0) {
+        throw std::runtime_error("dist: socketpair failed");
+      }
+    }
+  }
+
+  std::vector<int> pids;
+  pids.reserve(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    const pid_t pid = ::fork();
+    if (pid < 0) throw std::runtime_error("dist: fork failed");
+    if (pid == 0) {
+      Spawned s;
+      s.rank = static_cast<int>(r);
+      s.peers.resize(n);
+      for (std::size_t x = 0; x < n; ++x) {
+        ::close(parent_pair[x][0]);
+        if (x == r) {
+          s.to_parent = Channel(parent_pair[x][1]);
+        } else {
+          ::close(parent_pair[x][1]);
+        }
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+          if (i == r) {
+            s.peers[j] = Channel(peer_pair[i][j][0]);
+            ::close(peer_pair[i][j][1]);
+          } else if (j == r) {
+            s.peers[i] = Channel(peer_pair[i][j][1]);
+            ::close(peer_pair[i][j][0]);
+          } else {
+            ::close(peer_pair[i][j][0]);
+            ::close(peer_pair[i][j][1]);
+          }
+        }
+      }
+      return s;
+    }
+    pids.push_back(static_cast<int>(pid));
+  }
+
+  Spawned s;
+  s.pids = std::move(pids);
+  s.to_rank.reserve(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    s.to_rank.emplace_back(parent_pair[r][0]);
+    ::close(parent_pair[r][1]);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      ::close(peer_pair[i][j][0]);
+      ::close(peer_pair[i][j][1]);
+    }
+  }
+  return s;
+}
+
+#ifdef NSC_COVERAGE
+// gcov's flush hook: forked rank processes leave via _Exit (no atexit), so
+// their counters must be dumped explicitly or the coverage gate never sees
+// rank-side execution. The reference must be strong — weak undefined
+// symbols do not extract the definition from the static libgcov archive.
+extern "C" void __gcov_dump();  // NOLINT(bugprone-reserved-identifier)
+#endif
+
+void exit_rank_process(int status) noexcept {
+#ifdef NSC_COVERAGE
+  __gcov_dump();
+#endif
+  std::_Exit(status);
+}
+
+int reap_rank(int pid) {
+  if (pid <= 0) return -1;
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0) {
+    if (errno != EINTR) return -1;
+  }
+  return status;
+}
+
+void kill_rank_process(int pid) {
+  if (pid > 0) ::kill(pid, SIGKILL);
+}
+
+PeerPump::PeerPump(std::vector<Channel>* peers, int self) : peers_(peers), self_(self) {
+  rbuf_.resize(peers->size());
+  for (std::size_t i = 0; i < peers->size(); ++i) {
+    if (static_cast<int>(i) != self_) (*peers_)[i].set_nonblocking();
+  }
+}
+
+bool PeerPump::try_extract(std::size_t i, Frame& f) {
+  auto& buf = rbuf_[i];
+  if (buf.size() < sizeof(FrameHeader)) return false;
+  FrameHeader h;
+  std::memcpy(&h, buf.data(), sizeof h);
+  if (h.size > kMaxFramePayload) {
+    throw std::runtime_error("dist: peer frame header claims an implausible payload size");
+  }
+  const std::size_t total = sizeof h + h.size;
+  if (buf.size() < total) return false;
+  f.kind = h.kind;
+  f.payload.assign(buf.begin() + sizeof h, buf.begin() + static_cast<std::ptrdiff_t>(total));
+  buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(total));
+  return true;
+}
+
+void PeerPump::round(const std::vector<Frame>& out, std::vector<Frame>& in,
+                     std::vector<int>& newly_dead) {
+  const std::size_t n = peers_->size();
+  in.assign(n, Frame{});
+  newly_dead.clear();
+
+  // Pre-encoded outgoing bytes (header + payload) and progress cursors.
+  std::vector<std::vector<std::uint8_t>> sbuf(n);
+  std::vector<std::size_t> sent(n, 0);
+  std::vector<std::uint8_t> got(n, 0);
+  std::vector<std::uint8_t> want(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (static_cast<int>(i) == self_ || !(*peers_)[i].alive()) continue;
+    want[i] = 1;
+    const FrameHeader h{out[i].kind, static_cast<std::uint32_t>(out[i].payload.size())};
+    sbuf[i].resize(sizeof h + out[i].payload.size());
+    std::memcpy(sbuf[i].data(), &h, sizeof h);
+    if (!out[i].payload.empty()) {
+      std::memcpy(sbuf[i].data() + sizeof h, out[i].payload.data(), out[i].payload.size());
+    }
+    // A fast peer's frame may already be buffered from a previous round.
+    if (try_extract(i, in[i])) got[i] = 1;
+  }
+
+  const auto mark_dead = [&](std::size_t i) {
+    (*peers_)[i].close();
+    want[i] = 0;
+    sent[i] = sbuf[i].size();
+    newly_dead.push_back(static_cast<int>(i));
+  };
+
+  for (;;) {
+    std::vector<pollfd> pfds;
+    std::vector<std::size_t> idx;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (want[i] == 0) continue;
+      short ev = 0;
+      if (got[i] == 0) ev |= POLLIN;
+      if (sent[i] < sbuf[i].size()) ev |= POLLOUT;
+      if (ev == 0) continue;
+      pfds.push_back({(*peers_)[i].fd(), ev, 0});
+      idx.push_back(i);
+    }
+    if (pfds.empty()) break;
+    const int rc = ::poll(pfds.data(), pfds.size(), -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("dist: poll failed during peer exchange");
+    }
+    for (std::size_t k = 0; k < pfds.size(); ++k) {
+      const std::size_t i = idx[k];
+      const short re = pfds[k].revents;
+      if (re == 0) continue;
+      if ((re & (POLLIN | POLLHUP | POLLERR)) != 0 && got[i] == 0) {
+        std::uint8_t chunk[65536];
+        const ssize_t r = ::recv((*peers_)[i].fd(), chunk, sizeof chunk, 0);
+        if (r > 0) {
+          rbuf_[i].insert(rbuf_[i].end(), chunk, chunk + r);
+          if (try_extract(i, in[i])) got[i] = 1;
+        } else if (r == 0 || (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)) {
+          mark_dead(i);
+          continue;
+        }
+      }
+      if ((re & POLLOUT) != 0 && want[i] != 0 && sent[i] < sbuf[i].size()) {
+        const ssize_t w = ::send((*peers_)[i].fd(), sbuf[i].data() + sent[i],
+                                 sbuf[i].size() - sent[i], MSG_NOSIGNAL);
+        if (w > 0) {
+          sent[i] += static_cast<std::size_t>(w);
+        } else if (w < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+          mark_dead(i);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace nsc::dist

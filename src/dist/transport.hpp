@@ -1,0 +1,115 @@
+// Local multi-process transport for the sharded backend.
+//
+// This is the ONLY translation unit allowed to create processes and sockets
+// (lint_invariants INV005): everything above it talks in framed messages
+// over an abstract Channel, so an MPI or TCP transport can replace the
+// socketpair/fork implementation without touching the protocol, the rank
+// loop or the coordinator.
+//
+// Topology: spawn_ranks(N) builds a full mesh — one Unix-domain stream
+// socketpair per (coordinator, rank) pair and one per unordered rank pair —
+// then forks the N rank processes. Peer-channel exchange is poll()-driven
+// and non-blocking on both directions simultaneously, so two ranks sending
+// large batches to each other cannot deadlock on kernel socket buffers, and
+// a peer's death surfaces deterministically as EOF on its channel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace nsc::dist {
+
+/// One framed message: kind tag + raw payload bytes (src/dist/protocol.hpp).
+struct Frame {
+  std::uint32_t kind = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// A bidirectional framed byte channel over one socket. Blocking send/recv
+/// (used on the coordinator<->rank channels); peer channels are switched to
+/// non-blocking and driven by PeerPump instead. A closed/EOF/EPIPE channel
+/// turns dead and stays dead — death is state, not an exception.
+class Channel {
+ public:
+  Channel() = default;
+  explicit Channel(int fd) : fd_(fd) {}
+  ~Channel() { close(); }
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+  Channel(Channel&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Channel& operator=(Channel&& other) noexcept;
+
+  /// Sends one frame; false when the peer is gone (EPIPE/reset), after which
+  /// the channel is dead. Signals are never raised (MSG_NOSIGNAL).
+  bool send_frame(std::uint32_t kind, const void* payload, std::size_t size);
+
+  /// Receives one frame (blocking); false on EOF or a dead channel.
+  bool recv_frame(Frame& out);
+
+  void set_nonblocking();
+  void close();
+  [[nodiscard]] bool alive() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Result of spawn_ranks, valid in exactly one of two shapes:
+///   coordinator (rank == -1): `to_rank[r]` + `pids[r]` per rank;
+///   rank process (rank >= 0): `to_parent` + `peers[r]` (self entry dead).
+struct Spawned {
+  int rank = -1;
+  std::vector<Channel> to_rank;  ///< Coordinator side.
+  std::vector<int> pids;         ///< Coordinator side.
+  Channel to_parent;             ///< Rank side.
+  std::vector<Channel> peers;    ///< Rank side, indexed by peer rank.
+
+  [[nodiscard]] bool is_child() const noexcept { return rank >= 0; }
+};
+
+/// Creates the full channel mesh and forks `nranks` rank processes. Returns
+/// once per process: the coordinator gets the parent shape, each child the
+/// rank shape. Throws std::runtime_error when the OS runs out of resources.
+[[nodiscard]] Spawned spawn_ranks(int nranks);
+
+/// Terminates the calling rank process without unwinding — no atexit
+/// handlers and no static destructors, because a forked child must not
+/// re-run teardown the parent also owns (test-framework state, buffered
+/// stdio). Under a --coverage build the gcov counters are flushed first so
+/// rank-process execution still counts toward the CI coverage gate.
+[[noreturn]] void exit_rank_process(int status) noexcept;
+
+/// Waits for a rank process to exit (after its channel died or a shutdown
+/// was sent). Returns the raw wait status, or -1 if pid is invalid.
+int reap_rank(int pid);
+
+/// Force-kills a rank process (coordinator teardown of a wedged child).
+void kill_rank_process(int pid);
+
+/// Poll-driven duplex frame exchange across the peer mesh. Each round sends
+/// exactly one frame to every live peer and receives exactly one from each;
+/// receive buffers persist across rounds because a fast peer's next-tick
+/// frame can arrive early (the tick-window protocol tolerates one tick of
+/// skew). Peers that reach EOF mid-round are reported dead, not fatal.
+class PeerPump {
+ public:
+  PeerPump(std::vector<Channel>* peers, int self);
+
+  /// `out[r]`: frame to send to live peer r (ignored for self/dead peers).
+  /// On return, `in[r]` holds the received frame for every peer that was
+  /// alive at entry and stayed alive; `newly_dead` lists peers whose channel
+  /// hit EOF this round.
+  void round(const std::vector<Frame>& out, std::vector<Frame>& in,
+             std::vector<int>& newly_dead);
+
+ private:
+  bool try_extract(std::size_t i, Frame& f);
+
+  std::vector<Channel>* peers_;
+  int self_;
+  std::vector<std::vector<std::uint8_t>> rbuf_;  ///< Per-peer receive accumulation.
+};
+
+}  // namespace nsc::dist

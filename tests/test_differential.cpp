@@ -7,6 +7,10 @@
 // simulator, including across a mid-run checkpoint/restore — the scaled-down
 // form of the paper's 413k-regression 1:1 methodology (§VI-A), re-run here
 // against the event-driven worklist + hot-path fast loops.
+//
+// The backend runners, spike comparison, fuzz axes, and checkpoint-splice
+// helper live in tests/test_support.hpp, shared with the equivalence,
+// resilience, and distributed-conformance suites.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -14,12 +18,7 @@
 #include <sstream>
 #include <vector>
 
-#include "src/compass/simulator.hpp"
-#include "src/core/reference_sim.hpp"
-#include "src/core/spike_sink.hpp"
-#include "src/netgen/random_net.hpp"
-#include "src/netgen/recurrent.hpp"
-#include "src/tn/chip_sim.hpp"
+#include "tests/test_support.hpp"
 
 namespace nsc {
 namespace {
@@ -29,65 +28,21 @@ using core::InputSchedule;
 using core::Network;
 using core::Spike;
 using core::VectorSink;
+using testsup::expect_spikes_equal;
+using testsup::fuzz_spec;
+using testsup::run_split;
 
 std::vector<Spike> run_reference(const Network& net, const InputSchedule* in, core::Tick ticks) {
-  core::ReferenceSimulator sim(net);
-  VectorSink sink;
-  sim.run(ticks, in, &sink);
-  return sink.spikes();
+  return testsup::run_reference(net, in, ticks).spikes;
 }
 
 std::vector<Spike> run_truenorth(const Network& net, const InputSchedule* in, core::Tick ticks) {
-  tn::TrueNorthSimulator sim(net);
-  VectorSink sink;
-  sim.run(ticks, in, &sink);
-  return sink.spikes();
+  return testsup::run_truenorth(net, in, ticks).spikes;
 }
 
 std::vector<Spike> run_compass(const Network& net, const InputSchedule* in, core::Tick ticks,
                                int threads) {
-  compass::Simulator sim(net, {.threads = threads});
-  VectorSink sink;
-  sim.run(ticks, in, &sink);
-  return sink.spikes();
-}
-
-/// Runs `sim_a` to the midpoint, snapshots it, restores the snapshot into
-/// `sim_b`, finishes the run there, and returns the spliced spike stream.
-/// Exercises both save/load and the post-restore re-derivation of the
-/// event-driven worklists (they are derived state, absent from snapshots).
-template <typename SimA, typename SimB>
-std::vector<Spike> run_split(SimA& sim_a, SimB& sim_b, const InputSchedule* in,
-                             core::Tick ticks) {
-  const core::Tick half = ticks / 2;
-  VectorSink sink;
-  sim_a.run(half, in, &sink);
-  std::stringstream snap;
-  sim_a.save_checkpoint(snap);
-  sim_b.load_checkpoint(snap);
-  sim_b.run(ticks - half, in, &sink);
-  return sink.spikes();
-}
-
-void expect_spikes_equal(const std::vector<Spike>& want, const std::vector<Spike>& got,
-                         const char* label) {
-  const auto mismatch = core::first_mismatch(want, got);
-  EXPECT_EQ(mismatch, -1) << label << ": sizes " << want.size() << " vs " << got.size()
-                          << ", first mismatch at index " << mismatch;
-}
-
-netgen::RandomNetSpec fuzz_spec(std::uint64_t seed) {
-  netgen::RandomNetSpec spec;
-  // Cycle the structural axes with the seed: geometry (incl. one multichip
-  // tiling), crossbar density, drive rate, stochastic modes on/off.
-  static const Geometry kGeoms[] = {
-      Geometry{1, 1, 2, 2}, Geometry{1, 1, 3, 3}, Geometry{2, 1, 2, 2}, Geometry{1, 1, 4, 2}};
-  spec.geom = kGeoms[seed % 4];
-  spec.seed = seed * 2654435761ULL + 7;
-  spec.synapse_density = 0.08 + 0.04 * static_cast<double>(seed % 8);
-  spec.input_drive_hz = 60.0 + 25.0 * static_cast<double>(seed % 5);
-  spec.stochastic_modes = (seed % 2) == 0;
-  return spec;
+  return testsup::run_compass(net, in, ticks, threads).spikes;
 }
 
 /// ~30 adversarial random networks (with ~20 characterization-grid networks
@@ -182,7 +137,7 @@ INSTANTIATE_TEST_SUITE_P(GridPoints, DifferentialFuzzGrid,
 // ---------------------------------------------------------------------------
 
 template <typename MakeSim>
-void check_warm_vs_cold(const Network& net, const InputSchedule* in, MakeSim make_sim) {
+void check_warm_vs_cold(const InputSchedule* in, MakeSim make_sim) {
   const core::Tick half = 25, rest = 25;
   auto warm = make_sim();
   VectorSink warmup;
@@ -207,7 +162,7 @@ TEST(DifferentialRestore, WarmVsColdCompass) {
   const netgen::RandomNetSpec spec = fuzz_spec(12);
   const Network net = netgen::make_random(spec);
   const InputSchedule in = netgen::make_poisson_inputs(spec, net, 50);
-  check_warm_vs_cold(net, &in, [&] {
+  check_warm_vs_cold(&in, [&] {
     return std::make_unique<compass::Simulator>(net, compass::Config{.threads = 3});
   });
 }
@@ -216,7 +171,7 @@ TEST(DifferentialRestore, WarmVsColdTrueNorth) {
   const netgen::RandomNetSpec spec = fuzz_spec(13);
   const Network net = netgen::make_random(spec);
   const InputSchedule in = netgen::make_poisson_inputs(spec, net, 50);
-  check_warm_vs_cold(net, &in, [&] { return std::make_unique<tn::TrueNorthSimulator>(net); });
+  check_warm_vs_cold(&in, [&] { return std::make_unique<tn::TrueNorthSimulator>(net); });
 }
 
 TEST(DifferentialRestore, WarmVsColdRecurrentSelfDriven) {
@@ -229,10 +184,10 @@ TEST(DifferentialRestore, WarmVsColdRecurrentSelfDriven) {
   spec.synapses_per_axon = 64;
   spec.seed = 99;
   const Network net = netgen::make_recurrent(spec);
-  check_warm_vs_cold(net, nullptr, [&] {
+  check_warm_vs_cold(nullptr, [&] {
     return std::make_unique<compass::Simulator>(net, compass::Config{.threads = 2});
   });
-  check_warm_vs_cold(net, nullptr, [&] { return std::make_unique<tn::TrueNorthSimulator>(net); });
+  check_warm_vs_cold(nullptr, [&] { return std::make_unique<tn::TrueNorthSimulator>(net); });
 }
 
 }  // namespace

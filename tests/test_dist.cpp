@@ -1,0 +1,352 @@
+// Conformance suite for the multi-process sharded Compass backend
+// (src/dist, docs/DISTRIBUTED.md). The distributed expression joins the
+// paper's §VI-A one-to-one contract: every run here must be spike-for-spike
+// identical to the dense reference, the TrueNorth architectural simulator,
+// and single-process Compass — across rank counts, thread counts, golden
+// fixtures, checkpoint interchange, fault campaigns, and rank death.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/aer.hpp"
+#include "src/core/network_io.hpp"
+#include "src/dist/coordinator.hpp"
+#include "src/fault/campaign.hpp"
+#include "tests/test_support.hpp"
+
+// Rank processes are forked from the test binary; under TSan the default
+// die_after_fork=1 would abort them before they ever reach rank_main.
+extern "C" const char* __tsan_default_options() { return "die_after_fork=0"; }
+
+namespace nsc {
+namespace {
+
+using core::InputSchedule;
+using core::Network;
+using core::Spike;
+using core::Tick;
+using core::VectorSink;
+using testsup::expect_spikes_equal;
+
+std::vector<Spike> run_dist(const Network& net, const InputSchedule* in, Tick ticks, int ranks,
+                            int threads) {
+  dist::Coordinator coord(net, {.ranks = ranks, .threads_per_rank = threads});
+  VectorSink sink;
+  coord.run(ticks, in, &sink);
+  return sink.spikes();
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz matrix over the Fig. 5 axes: every seeded network (geometry incl.
+// multichip, density, drive, stochastic modes) must agree with all three
+// single-process expressions at {1, 2, 4} ranks x {1, 3} threads per rank.
+// ---------------------------------------------------------------------------
+
+class DistConformance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DistConformance, MatchesAllSingleProcessExpressions) {
+  const std::uint64_t seed = GetParam();
+  const netgen::RandomNetSpec spec = testsup::fuzz_spec(seed);
+  const Network net = netgen::make_random(spec);
+  const Tick ticks = 40 + static_cast<Tick>(seed % 11);
+  const InputSchedule in = netgen::make_poisson_inputs(spec, net, ticks);
+
+  const std::vector<Spike> ref = testsup::run_reference(net, &in, ticks).spikes;
+  expect_spikes_equal(ref, testsup::run_truenorth(net, &in, ticks).spikes, "reference vs tn");
+  expect_spikes_equal(ref, testsup::run_compass(net, &in, ticks, 3).spikes,
+                      "reference vs compass");
+  for (const int ranks : {1, 2, 4}) {
+    for (const int threads : {1, 3}) {
+      SCOPED_TRACE("ranks=" + std::to_string(ranks) + " threads=" + std::to_string(threads));
+      expect_spikes_equal(ref, run_dist(net, &in, ticks, ranks, threads), "reference vs dist");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DistConformance, ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(DistConformance, SelfDrivenRecurrentNetwork) {
+  // No external input: after the first tick all traffic is inter-core, so
+  // every spike a rank sees from a remote shard went over the wire.
+  netgen::RecurrentSpec spec;
+  spec.geom = core::Geometry{1, 1, 4, 2};
+  spec.rate_hz = 80;
+  spec.synapses_per_axon = 96;
+  spec.seed = 515;
+  const Network net = netgen::make_recurrent(spec);
+  const std::vector<Spike> ref = testsup::run_reference(net, nullptr, 60).spikes;
+  EXPECT_GT(ref.size(), 500u);
+  for (const int ranks : {2, 4}) {
+    expect_spikes_equal(ref, run_dist(net, nullptr, 60, ranks, 1), "recurrent dist");
+  }
+}
+
+TEST(DistConformance, AggregatedStatsMatchSingleProcess) {
+  const netgen::RandomNetSpec spec = testsup::fuzz_spec(5);
+  const Network net = netgen::make_random(spec);
+  const InputSchedule in = netgen::make_poisson_inputs(spec, net, 40);
+  const testsup::RunResult want = testsup::run_compass(net, &in, 40, 1);
+
+  dist::Coordinator coord(net, {.ranks = 3, .threads_per_rank = 1});
+  VectorSink sink;
+  coord.run(40, &in, &sink);
+  expect_spikes_equal(want.spikes, sink.spikes(), "dist ranks=3");
+  EXPECT_EQ(coord.stats().spikes, want.stats.spikes);
+  EXPECT_EQ(coord.stats().sops, want.stats.sops);
+  EXPECT_EQ(coord.stats().axon_events, want.stats.axon_events);
+  EXPECT_EQ(coord.stats().neuron_updates, want.stats.neuron_updates);
+  EXPECT_EQ(coord.stats().ticks, want.stats.ticks);
+  EXPECT_EQ(coord.now(), 40);
+  EXPECT_EQ(coord.live_ranks(), 3);
+  // The dist layer actually exchanged something and accounted for it.
+  EXPECT_GT(testsup::counter_value(coord.metrics(), "dist.messages"), 0u);
+  EXPECT_GT(testsup::counter_value(coord.metrics(), "dist.bytes"), 0u);
+  // Timer-derived: per-rank compute time is all zeros with -DNEUROSYN_OBS=OFF.
+  if (obs::kEnabled) EXPECT_GE(coord.load_imbalance(), 1.0);
+  EXPECT_EQ(coord.rank_compute_ns().size(), 3u);
+}
+
+TEST(DistConformance, InvalidConfigRejected) {
+  const Network net = netgen::make_random(testsup::fuzz_spec(1));
+  EXPECT_THROW(dist::Coordinator(net, {.ranks = 0}), std::invalid_argument);
+  EXPECT_THROW(dist::Coordinator(net, {.ranks = 2, .threads_per_rank = 0}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Golden fixtures: the committed trace hashes (docs/PERFORMANCE.md) must
+// reproduce bit-for-bit at 2 and 4 ranks. tools/CMakeLists.txt enforces the
+// same gate through the nsc_run CLI.
+// ---------------------------------------------------------------------------
+
+struct GoldenCase {
+  const char* net;
+  const char* aer;  // nullptr = self-driven
+  std::uint64_t hash;
+};
+
+class DistGolden : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(DistGolden, TraceHashReproducesAtTwoAndFourRanks) {
+  const GoldenCase& gc = GetParam();
+  const std::string dir = std::string(NSC_TEST_DATA_DIR) + "/";
+  const Network net = core::load_network(dir + gc.net);
+  InputSchedule in;
+  if (gc.aer != nullptr) {
+    in = core::load_aer_inputs(dir + gc.aer);
+  } else {
+    in.finalize();
+  }
+  for (const int ranks : {2, 4}) {
+    const std::vector<Spike> spikes = run_dist(net, &in, 60, ranks, 1);
+    EXPECT_EQ(core::trace_hash(spikes), gc.hash) << gc.net << " ranks=" << ranks;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fixtures, DistGolden,
+    ::testing::Values(GoldenCase{"golden_recurrent_r50_k64.nsc", nullptr, 0x2c75ce5b492581e2ULL},
+                      GoldenCase{"golden_recurrent_r20_k128.nsc", nullptr, 0x4d8fd92f56bf5533ULL},
+                      GoldenCase{"golden_random_multichip.nsc", "golden_inputs.aer",
+                                 0x9293fd59cfb54800ULL}),
+    [](const ::testing::TestParamInfo<GoldenCase>& info) {
+      std::string name(info.param.net);
+      name = name.substr(0, name.find('.'));
+      for (char& c : name) {
+        if (c != '_' && (std::isalnum(static_cast<unsigned char>(c)) == 0)) c = '_';
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Checkpoint interchange: a snapshot stitched from rank blobs is a plain
+// NSCK snapshot — restorable single-process, by TrueNorth, or at a different
+// rank count — and single-process snapshots restore onto ranks.
+// ---------------------------------------------------------------------------
+
+TEST(DistCheckpoint, DistToSingleProcessAndBack) {
+  const Network net = testsup::hard_network();
+  const InputSchedule in = testsup::hard_inputs(net, 40);
+  const std::vector<Spike> full = testsup::run_compass(net, &in, 40, 1).spikes;
+
+  {  // dist first half -> compass second half
+    dist::Coordinator a(net, {.ranks = 2, .threads_per_rank = 1});
+    compass::Simulator b(net, {.threads = 2});
+    expect_spikes_equal(full, testsup::run_split(a, b, &in, 40), "dist -> compass");
+  }
+  {  // dist first half -> truenorth second half
+    dist::Coordinator a(net, {.ranks = 4, .threads_per_rank = 1});
+    tn::TrueNorthSimulator b(net);
+    expect_spikes_equal(full, testsup::run_split(a, b, &in, 40), "dist -> tn");
+  }
+  {  // compass first half -> dist second half
+    dist::Coordinator b(net, {.ranks = 2, .threads_per_rank = 1});
+    compass::Simulator a(net, {.threads = 3});
+    expect_spikes_equal(full, testsup::run_split(a, b, &in, 40), "compass -> dist");
+  }
+  {  // re-shard: 2 ranks -> 4 ranks mid-run
+    dist::Coordinator a(net, {.ranks = 2, .threads_per_rank = 1});
+    dist::Coordinator b(net, {.ranks = 4, .threads_per_rank = 1});
+    expect_spikes_equal(full, testsup::run_split(a, b, &in, 40), "dist 2 -> dist 4");
+  }
+}
+
+TEST(DistCheckpoint, RestoredCountersMatchUninterruptedRun) {
+  const Network net = testsup::hard_network();
+  const InputSchedule in = testsup::hard_inputs(net, 40);
+  const testsup::RunResult want = testsup::run_compass(net, &in, 40, 1);
+
+  std::stringstream snap;
+  {
+    dist::Coordinator a(net, {.ranks = 2, .threads_per_rank = 1});
+    VectorSink pre;
+    a.run(17, &in, &pre);
+    a.save_checkpoint(snap);
+  }
+  dist::Coordinator b(net, {.ranks = 2, .threads_per_rank = 1});
+  b.load_checkpoint(snap);
+  EXPECT_EQ(b.now(), 17);
+  VectorSink post;
+  b.run(23, &in, &post);
+  expect_spikes_equal(testsup::tail_from(want.spikes, 17), post.spikes(), "restored tail");
+  // The restored coordinator's cumulative counters equal the uninterrupted
+  // run's — the delta-report rebasing must not double-count restored state.
+  EXPECT_EQ(b.stats().spikes, want.stats.spikes);
+  EXPECT_EQ(b.stats().sops, want.stats.sops);
+  EXPECT_EQ(b.stats().ticks, want.stats.ticks);
+}
+
+// ---------------------------------------------------------------------------
+// Fault campaigns and rank death. A campaign broadcast to every rank drops
+// the same spikes as single-process; a rank process dying mid-campaign
+// degrades into fail_core/spikes_dropped accounting instead of hanging (the
+// whole suite runs under a ctest timeout as the hang guard).
+// ---------------------------------------------------------------------------
+
+TEST(DistFault, CampaignMatchesSingleProcess) {
+  const Network net = testsup::hard_network();
+  const InputSchedule in = testsup::hard_inputs(net, 50);
+  const auto campaign = fault::Campaign::random(net.geom, 4, 1, 25, 99);
+  ASSERT_FALSE(campaign.empty());
+
+  compass::Simulator sp(net, {.threads = 1});
+  VectorSink sp_sink;
+  fault::run_with_campaign(sp, 50, &in, &sp_sink, campaign);
+
+  dist::Coordinator coord(net, {.ranks = 2, .threads_per_rank = 1});
+  VectorSink d_sink;
+  fault::run_with_campaign(coord, 50, &in, &d_sink, campaign);
+
+  expect_spikes_equal(sp_sink.spikes(), d_sink.spikes(), "campaign dist vs single");
+  EXPECT_EQ(testsup::counter_value(coord.metrics(), "fault.cores_failed"),
+            testsup::counter_value(sp.metrics(), "fault.cores_failed"));
+  EXPECT_EQ(testsup::counter_value(coord.metrics(), "fault.spikes_dropped"),
+            testsup::counter_value(sp.metrics(), "fault.spikes_dropped"));
+}
+
+TEST(DistFault, FailCoreAndLinkBroadcast) {
+  const Network net = testsup::hard_network();  // 2 chips
+  const InputSchedule in = testsup::hard_inputs(net, 40);
+  compass::Simulator sp(net, {.threads = 1});
+  dist::Coordinator coord(net, {.ranks = 2, .threads_per_rank = 1});
+  EXPECT_TRUE(sp.fail_core(5));
+  EXPECT_TRUE(coord.fail_core(5));
+  EXPECT_FALSE(coord.fail_core(5));  // already dead: same contract
+  EXPECT_TRUE(sp.fail_link(0, 0));
+  EXPECT_TRUE(coord.fail_link(0, 0));
+  EXPECT_FALSE(coord.fail_link(0, 0));
+  VectorSink a, b;
+  sp.run(40, &in, &a);
+  coord.run(40, &in, &b);
+  expect_spikes_equal(a.spikes(), b.spikes(), "faulted dist vs single");
+  EXPECT_EQ(testsup::counter_value(coord.metrics(), "fault.cores_failed"), 1u);
+  EXPECT_EQ(testsup::counter_value(coord.metrics(), "fault.links_failed"), 1u);
+}
+
+TEST(DistFault, RankDeathMidCampaignDegradesInsteadOfHanging) {
+  const Network net = testsup::hard_network();
+  const InputSchedule in = testsup::hard_inputs(net, 50);
+  fault::Campaign campaign;
+  campaign.fail_core_at(10, 2);
+  campaign.finalize();
+
+  constexpr Tick kDeath = 25;
+  dist::Config cfg;
+  cfg.ranks = 2;
+  cfg.threads_per_rank = 1;
+  cfg.suicide_rank = 1;  // test hook: rank 1 calls _Exit(3) at tick 25
+  cfg.suicide_tick = kDeath;
+  dist::Coordinator coord(net, cfg);
+  VectorSink sink;
+  fault::run_with_campaign(coord, 50, &in, &sink, campaign);
+
+  // The run completed (did not hang), the dead rank's shard is accounted as
+  // failed cores, and the survivor kept producing its own spikes.
+  EXPECT_EQ(coord.now(), 50);
+  EXPECT_EQ(coord.live_ranks(), 1);
+  EXPECT_FALSE(coord.rank_alive(1));
+  const compass::CoreRange dead_shard = coord.shards()[1];
+  const auto dead_cores = static_cast<std::uint64_t>(dead_shard.end - dead_shard.begin);
+  // +1 for the campaign's own fail_core on the surviving shard.
+  EXPECT_EQ(testsup::counter_value(coord.metrics(), "fault.cores_failed"), dead_cores + 1);
+
+  // Before the death tick the degraded run is identical to a healthy one;
+  // after it, no spike from the dead shard ever appears.
+  const std::vector<Spike> healthy = [&] {
+    compass::Simulator sp(net, {.threads = 1});
+    VectorSink s;
+    fault::run_with_campaign(sp, 50, &in, &s, campaign);
+    return s.spikes();
+  }();
+  std::vector<Spike> healthy_head, got_head;
+  for (const Spike& s : healthy) {
+    if (s.tick < kDeath) healthy_head.push_back(s);
+  }
+  for (const Spike& s : sink.spikes()) {
+    if (s.tick < kDeath) got_head.push_back(s);
+    if (s.tick >= kDeath) {
+      EXPECT_TRUE(s.core < dead_shard.begin || s.core >= dead_shard.end)
+          << "spike from dead shard at tick " << s.tick;
+    }
+  }
+  expect_spikes_equal(healthy_head, got_head, "pre-death prefix");
+
+  // A checkpoint of the degraded system is still a valid snapshot:
+  // restoring it single-process keeps the dead cores dead.
+  std::stringstream snap;
+  coord.save_checkpoint(snap);
+  compass::Simulator resumed(net, {.threads = 1});
+  resumed.load_checkpoint(snap);
+  EXPECT_EQ(resumed.now(), 50);
+  VectorSink tail;
+  resumed.run(10, &in, &tail);
+  for (const Spike& s : tail.spikes()) {
+    EXPECT_TRUE(s.core < dead_shard.begin || s.core >= dead_shard.end);
+  }
+}
+
+TEST(DistFault, FirstRankDeathDoesNotStallRecordStream) {
+  // Rank 0 is the first the coordinator reads each tick's spike frames from;
+  // killing it exercises the EOF path in the record loop, not just the peer
+  // exchange.
+  const Network net = netgen::make_random(testsup::fuzz_spec(2));
+  const InputSchedule in = netgen::make_poisson_inputs(testsup::fuzz_spec(2), net, 30);
+  dist::Config cfg;
+  cfg.ranks = 2;
+  cfg.suicide_rank = 0;
+  cfg.suicide_tick = 10;
+  dist::Coordinator coord(net, cfg);
+  VectorSink sink;
+  coord.run(30, &in, &sink);  // must not hang
+  EXPECT_EQ(coord.now(), 30);
+  EXPECT_EQ(coord.live_ranks(), 1);
+  EXPECT_FALSE(coord.rank_alive(0));
+  EXPECT_TRUE(coord.rank_alive(1));
+}
+
+}  // namespace
+}  // namespace nsc

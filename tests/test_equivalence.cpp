@@ -3,16 +3,15 @@
 // TrueNorth architectural simulator, the Compass threaded simulator (at
 // several thread counts), and the dense reference simulator, requiring
 // spike-for-spike identical output streams and identical kernel counters.
+//
+// The backend runners and the spike+counter comparison live in
+// tests/test_support.hpp, shared with the differential, resilience, and
+// distributed-conformance suites.
 #include <gtest/gtest.h>
 
 #include <memory>
 
-#include "src/compass/simulator.hpp"
-#include "src/core/reference_sim.hpp"
-#include "src/core/spike_sink.hpp"
-#include "src/netgen/random_net.hpp"
-#include "src/netgen/recurrent.hpp"
-#include "src/tn/chip_sim.hpp"
+#include "tests/test_support.hpp"
 
 namespace nsc {
 namespace {
@@ -22,42 +21,11 @@ using core::InputSchedule;
 using core::Network;
 using core::Spike;
 using core::VectorSink;
-
-struct RunResult {
-  std::vector<Spike> spikes;
-  core::KernelStats stats;
-};
-
-RunResult run_reference(const Network& net, const InputSchedule* in, core::Tick ticks) {
-  core::ReferenceSimulator sim(net);
-  VectorSink sink;
-  sim.run(ticks, in, &sink);
-  return {sink.spikes(), sim.stats()};
-}
-
-RunResult run_truenorth(const Network& net, const InputSchedule* in, core::Tick ticks) {
-  tn::TrueNorthSimulator sim(net);
-  VectorSink sink;
-  sim.run(ticks, in, &sink);
-  return {sink.spikes(), sim.stats()};
-}
-
-RunResult run_compass(const Network& net, const InputSchedule* in, core::Tick ticks, int threads) {
-  compass::Simulator sim(net, {.threads = threads});
-  VectorSink sink;
-  sim.run(ticks, in, &sink);
-  return {sink.spikes(), sim.stats()};
-}
-
-void expect_identical(const RunResult& a, const RunResult& b, const char* label) {
-  const auto mismatch = core::first_mismatch(a.spikes, b.spikes);
-  EXPECT_EQ(mismatch, -1) << label << ": first spike mismatch at index " << mismatch;
-  EXPECT_EQ(a.stats.spikes, b.stats.spikes) << label;
-  EXPECT_EQ(a.stats.sops, b.stats.sops) << label;
-  EXPECT_EQ(a.stats.axon_events, b.stats.axon_events) << label;
-  EXPECT_EQ(a.stats.neuron_updates, b.stats.neuron_updates) << label;
-  EXPECT_EQ(a.stats.dropped_spikes, b.stats.dropped_spikes) << label;
-}
+using testsup::expect_identical;
+using testsup::run_compass;
+using testsup::run_reference;
+using testsup::run_truenorth;
+using testsup::RunResult;
 
 /// Parameterized over the regression seed: each seed generates a different
 /// random network (all features enabled) and input drive.

@@ -3,19 +3,19 @@
 // them, hostile checkpoint/network files are rejected before any large
 // allocation, and mid-run fault campaigns are deterministic with every
 // dropped spike accounted for.
+//
+// The hard multi-chip fixture, tail splitting, and counter lookup live in
+// tests/test_support.hpp, shared with the differential, equivalence, and
+// distributed-conformance suites.
 #include <gtest/gtest.h>
 
 #include <sstream>
 
-#include "src/compass/simulator.hpp"
 #include "src/core/network_io.hpp"
 #include "src/core/snapshot.hpp"
-#include "src/core/spike_sink.hpp"
 #include "src/fault/campaign.hpp"
 #include "src/fault/inject.hpp"
-#include "src/netgen/random_net.hpp"
-#include "src/netgen/recurrent.hpp"
-#include "src/tn/chip_sim.hpp"
+#include "tests/test_support.hpp"
 
 namespace nsc {
 namespace {
@@ -26,40 +26,10 @@ using core::Network;
 using core::Spike;
 using core::Tick;
 using core::VectorSink;
-
-/// Multi-chip random network with stochastic neurons and the full delay
-/// range — the hardest state to checkpoint (active delay buffers, PRNG
-/// draws keyed by tick, inter-chip traffic).
-Network hard_network() {
-  netgen::RandomNetSpec spec;
-  spec.geom = Geometry{2, 1, 4, 4};
-  spec.seed = 77;
-  spec.synapse_density = 0.3;
-  return netgen::make_random(spec);
-}
-
-InputSchedule hard_inputs(const Network& net, Tick ticks) {
-  netgen::RandomNetSpec spec;
-  spec.geom = net.geom;
-  spec.seed = 77;
-  return netgen::make_poisson_inputs(spec, net, ticks);
-}
-
-/// Spikes with tick >= t.
-std::vector<Spike> tail_from(const std::vector<Spike>& all, Tick t) {
-  std::vector<Spike> out;
-  for (const auto& s : all) {
-    if (s.tick >= t) out.push_back(s);
-  }
-  return out;
-}
-
-std::uint64_t counter_value(const obs::Registry& reg, std::string_view name) {
-  for (const auto& [n, v] : reg.counters()) {
-    if (n == name) return v;
-  }
-  return 0;
-}
+using testsup::counter_value;
+using testsup::hard_inputs;
+using testsup::hard_network;
+using testsup::tail_from;
 
 template <typename MakeSim>
 void roundtrip_case(const Network& net, const InputSchedule& in, MakeSim make) {

@@ -1,0 +1,137 @@
+// Shared helpers for the conformance suites (test_equivalence,
+// test_differential, test_resilience, test_dist): canonical backend runners,
+// spike-stream comparison, the fuzzed network axes of the paper's Fig. 5
+// sweep, and the "hard" multi-chip stochastic network the checkpoint tests
+// stress. Keeping them here means every suite fuzzes the same population and
+// compares with the same error reporting.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+#include "src/compass/simulator.hpp"
+#include "src/core/reference_sim.hpp"
+#include "src/core/spike_sink.hpp"
+#include "src/netgen/random_net.hpp"
+#include "src/netgen/recurrent.hpp"
+#include "src/obs/obs.hpp"
+#include "src/tn/chip_sim.hpp"
+
+namespace nsc::testsup {
+
+struct RunResult {
+  std::vector<core::Spike> spikes;
+  core::KernelStats stats;
+};
+
+inline RunResult run_reference(const core::Network& net, const core::InputSchedule* in,
+                               core::Tick ticks) {
+  core::ReferenceSimulator sim(net);
+  core::VectorSink sink;
+  sim.run(ticks, in, &sink);
+  return {sink.spikes(), sim.stats()};
+}
+
+inline RunResult run_truenorth(const core::Network& net, const core::InputSchedule* in,
+                               core::Tick ticks) {
+  tn::TrueNorthSimulator sim(net);
+  core::VectorSink sink;
+  sim.run(ticks, in, &sink);
+  return {sink.spikes(), sim.stats()};
+}
+
+inline RunResult run_compass(const core::Network& net, const core::InputSchedule* in,
+                             core::Tick ticks, int threads) {
+  compass::Simulator sim(net, {.threads = threads});
+  core::VectorSink sink;
+  sim.run(ticks, in, &sink);
+  return {sink.spikes(), sim.stats()};
+}
+
+/// Spike-for-spike comparison with an index-of-first-divergence diagnostic.
+inline void expect_spikes_equal(const std::vector<core::Spike>& want,
+                                const std::vector<core::Spike>& got, const char* label) {
+  const auto mismatch = core::first_mismatch(want, got);
+  EXPECT_EQ(mismatch, -1) << label << ": sizes " << want.size() << " vs " << got.size()
+                          << ", first mismatch at index " << mismatch;
+}
+
+/// Spike stream plus the cumulative kernel counters (§VI-A's 1:1 contract).
+inline void expect_identical(const RunResult& a, const RunResult& b, const char* label) {
+  expect_spikes_equal(a.spikes, b.spikes, label);
+  EXPECT_EQ(a.stats.spikes, b.stats.spikes) << label;
+  EXPECT_EQ(a.stats.sops, b.stats.sops) << label;
+  EXPECT_EQ(a.stats.axon_events, b.stats.axon_events) << label;
+  EXPECT_EQ(a.stats.neuron_updates, b.stats.neuron_updates) << label;
+  EXPECT_EQ(a.stats.dropped_spikes, b.stats.dropped_spikes) << label;
+}
+
+/// Runs `sim_a` to the midpoint, snapshots it, restores the snapshot into
+/// `sim_b`, finishes the run there, and returns the spliced spike stream.
+/// Exercises both save/load and the post-restore re-derivation of the
+/// event-driven worklists (they are derived state, absent from snapshots).
+template <typename SimA, typename SimB>
+std::vector<core::Spike> run_split(SimA& sim_a, SimB& sim_b, const core::InputSchedule* in,
+                                   core::Tick ticks) {
+  const core::Tick half = ticks / 2;
+  core::VectorSink sink;
+  sim_a.run(half, in, &sink);
+  std::stringstream snap;
+  sim_a.save_checkpoint(snap);
+  sim_b.load_checkpoint(snap);
+  sim_b.run(ticks - half, in, &sink);
+  return sink.spikes();
+}
+
+/// Seeded point on the Fig. 5 fuzz axes: geometry (incl. one multichip
+/// tiling), crossbar density, drive rate, stochastic modes on/off.
+inline netgen::RandomNetSpec fuzz_spec(std::uint64_t seed) {
+  netgen::RandomNetSpec spec;
+  static const core::Geometry kGeoms[] = {core::Geometry{1, 1, 2, 2}, core::Geometry{1, 1, 3, 3},
+                                          core::Geometry{2, 1, 2, 2}, core::Geometry{1, 1, 4, 2}};
+  spec.geom = kGeoms[seed % 4];
+  spec.seed = seed * 2654435761ULL + 7;
+  spec.synapse_density = 0.08 + 0.04 * static_cast<double>(seed % 8);
+  spec.input_drive_hz = 60.0 + 25.0 * static_cast<double>(seed % 5);
+  spec.stochastic_modes = (seed % 2) == 0;
+  return spec;
+}
+
+/// Multi-chip random network with stochastic neurons and the full delay
+/// range — the hardest state to checkpoint (active delay buffers, PRNG
+/// draws keyed by tick, inter-chip traffic).
+inline core::Network hard_network() {
+  netgen::RandomNetSpec spec;
+  spec.geom = core::Geometry{2, 1, 4, 4};
+  spec.seed = 77;
+  spec.synapse_density = 0.3;
+  return netgen::make_random(spec);
+}
+
+inline core::InputSchedule hard_inputs(const core::Network& net, core::Tick ticks) {
+  netgen::RandomNetSpec spec;
+  spec.geom = net.geom;
+  spec.seed = 77;
+  return netgen::make_poisson_inputs(spec, net, ticks);
+}
+
+/// Spikes with tick >= t.
+inline std::vector<core::Spike> tail_from(const std::vector<core::Spike>& all, core::Tick t) {
+  std::vector<core::Spike> out;
+  for (const auto& s : all) {
+    if (s.tick >= t) out.push_back(s);
+  }
+  return out;
+}
+
+inline std::uint64_t counter_value(const obs::Registry& reg, std::string_view name) {
+  for (const auto& [n, v] : reg.counters()) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+}  // namespace nsc::testsup

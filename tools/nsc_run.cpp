@@ -1,7 +1,7 @@
 // nsc_run — execute a network model file on either kernel expression.
 //
 //   nsc_run --net net.nsc --ticks 1000 [--backend tn|compass] [--threads N]
-//           [--in events.aer] [--out spikes.aer] [--json report.json]
+//           [--ranks N] [--in events.aer] [--out spikes.aer] [--json report.json]
 //           [--volts 0.75] [--verify] [--lint]
 //           [--restore ckpt.nsck] [--save-checkpoint ckpt.nsck [--checkpoint-at T]]
 //           [--trace-hash] [--expect-trace-hash HEX]
@@ -19,6 +19,12 @@
 // prints the FNV-1a 64 digest of the canonical spike stream;
 // --expect-trace-hash HEX additionally compares it against a golden value
 // and exits 1 on drift (the golden-trace gate, docs/PERFORMANCE.md).
+// --ranks N > 1 runs the compass backend sharded across N forked rank
+// processes (docs/DISTRIBUTED.md) — same spikes, same trace hash.
+//
+// Exit codes: 0 success, 1 runtime failure (bad file, verify/hash mismatch,
+// lint error), 2 usage error (missing --net, malformed --ranks, --ranks
+// without the compass backend).
 #include <cerrno>
 #include <cstdint>
 #include <cstdio>
@@ -35,6 +41,7 @@
 #include "src/core/snapshot.hpp"
 #include "src/core/spike_analysis.hpp"
 #include "src/core/spike_sink.hpp"
+#include "src/dist/coordinator.hpp"
 #include "src/energy/truenorth_power.hpp"
 #include "src/energy/truenorth_timing.hpp"
 #include "src/energy/units.hpp"
@@ -119,9 +126,27 @@ int main(int argc, char** argv) {
   if (net_path.empty()) {
     std::fprintf(stderr,
                  "usage: nsc_run --net FILE --ticks N [--backend tn|compass] [--threads N]\n"
-                 "               [--in events.aer] [--out spikes.aer] [--volts V] [--verify]\n"
-                 "               [--lint] [--restore F]\n"
+                 "               [--ranks N] [--in events.aer] [--out spikes.aer] [--volts V]\n"
+                 "               [--verify] [--lint] [--restore F]\n"
                  "               [--save-checkpoint F [--checkpoint-at T]]\n");
+    return 2;
+  }
+  // --ranks is a usage-level contract: 0, negatives, and non-numeric tokens
+  // are rejected with exit 2 before anything is loaded or forked, as is
+  // asking for a sharded run of a backend that cannot shard.
+  int ranks = 1;
+  try {
+    ranks = static_cast<int>(parse_ll("--ranks", flag_value(argc, argv, "--ranks", "1")));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "usage error: %s\n", e.what());
+    return 2;
+  }
+  if (ranks < 1) {
+    std::fprintf(stderr, "usage error: --ranks must be >= 1, got %d\n", ranks);
+    return 2;
+  }
+  if (ranks > 1 && std::string(flag_value(argc, argv, "--backend", "tn")) != "compass") {
+    std::fprintf(stderr, "usage error: --ranks requires --backend compass\n");
     return 2;
   }
   try {
@@ -209,7 +234,22 @@ int main(int argc, char** argv) {
       report.wall_s = 1e-9 * static_cast<double>(nsc::obs::now_ns() - t0);
     };
 
-    if (backend == "compass") {
+    if (backend == "compass" && ranks > 1) {
+      nsc::dist::Coordinator sim(net, {.ranks = ranks, .threads_per_rank = std::max(1, threads)});
+      drive(sim);
+      stats = sim.stats();
+      report.stats = stats;
+      report.threads = ranks * std::max(1, threads);
+      report.metrics = sim.metrics();
+      report.load_imbalance = sim.load_imbalance();
+      print_stats(stats, neurons);
+      std::printf("ranks %d   dist messages %llu   dist bytes %llu\n", ranks,
+                  static_cast<unsigned long long>(sim.metrics().counter_value("dist.messages")),
+                  static_cast<unsigned long long>(sim.metrics().counter_value("dist.bytes")));
+      if (sim.load_imbalance() > 0.0) {
+        std::printf("load imbalance (max/mean rank compute): %.2f\n", sim.load_imbalance());
+      }
+    } else if (backend == "compass") {
       nsc::compass::Simulator sim(net, {.threads = std::max(1, threads)});
       drive(sim);
       stats = sim.stats();
