@@ -1,0 +1,143 @@
+// Replica-batched aggregate throughput at the paper's sparse operating point
+// (docs/REPLICA.md). Runs the same N-instance workload twice — N sequential
+// solo compass runs, then one replica::BatchSimulator — verifies every
+// replica's spike trace hash matches its solo witness (exit 1 on any
+// mismatch), and emits two nsc-bench-v1 reports with *aggregate* ticks
+// (N x T), so ticks_per_s is aggregate replica-ticks/s and
+// tools/nsc_bench_diff --min-speedup gates the batched-vs-sequential ratio:
+//   BENCH_replica_batch_sequential.json  (the solo baseline)
+//   BENCH_replica_batch.json             (the batched run)
+// Knobs: NSC_BENCH_TICKS (default 400), NSC_BENCH_REPLICAS (default 16),
+// NSC_BENCH_THREADS (default 1 — the single-CPU comparison the CI gate
+// freezes; see docs/REPLICA.md for the baseline refresh policy),
+// NSC_BENCH_RATE / NSC_BENCH_SYN (default 20 Hz / 128 synapses),
+// NSC_BENCH_JSON_DIR (report directory, default cwd).
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/compass/simulator.hpp"
+#include "src/core/spike_sink.hpp"
+#include "src/netgen/recurrent.hpp"
+#include "src/obs/json_report.hpp"
+#include "src/obs/obs.hpp"
+#include "src/replica/batch.hpp"
+
+namespace {
+
+long env_or(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' ? std::atol(v) : fallback;
+}
+
+nsc::core::Network sparse_point_net(double rate, int syn) {
+  nsc::netgen::RecurrentSpec spec;
+  spec.geom = nsc::core::Geometry{1, 1, 8, 8};
+  spec.rate_hz = rate;
+  spec.synapses_per_axon = syn;
+  spec.seed = 12345;
+  return nsc::netgen::make_recurrent(spec);
+}
+
+}  // namespace
+
+int main() {
+  const auto ticks = static_cast<nsc::core::Tick>(env_or("NSC_BENCH_TICKS", 400));
+  const int replicas = static_cast<int>(env_or("NSC_BENCH_REPLICAS", 16));
+  const int threads = static_cast<int>(env_or("NSC_BENCH_THREADS", 1));
+  const double rate = static_cast<double>(env_or("NSC_BENCH_RATE", 20));
+  const int syn = static_cast<int>(env_or("NSC_BENCH_SYN", 128));
+  const nsc::core::Network net = sparse_point_net(rate, syn);
+  const auto aggregate_ticks =
+      static_cast<std::uint64_t>(replicas) * static_cast<std::uint64_t>(ticks);
+
+  // Sequential baseline: N solo compass runs back-to-back, each warmed to the
+  // network's equilibrium rate before the measured window.
+  std::vector<std::unique_ptr<nsc::compass::Simulator>> solo;
+  std::vector<nsc::core::TraceHashSink> solo_sinks(static_cast<std::size_t>(replicas));
+  solo.reserve(static_cast<std::size_t>(replicas));
+  for (int r = 0; r < replicas; ++r) {
+    solo.push_back(std::make_unique<nsc::compass::Simulator>(net, nsc::compass::Config{}));
+    solo[static_cast<std::size_t>(r)]->run(40, nullptr, nullptr);
+    solo[static_cast<std::size_t>(r)]->reset_stats();
+  }
+  const std::uint64_t s0 = nsc::obs::now_ns();
+  for (int r = 0; r < replicas; ++r) {
+    solo[static_cast<std::size_t>(r)]->run(ticks, nullptr,
+                                           &solo_sinks[static_cast<std::size_t>(r)]);
+  }
+  const double seq_wall_s = 1e-9 * static_cast<double>(nsc::obs::now_ns() - s0);
+
+  // Batched run: one BatchSimulator advancing all N replicas per tick.
+  nsc::replica::Config cfg;
+  cfg.replicas = replicas;
+  cfg.threads = threads;
+  nsc::replica::BatchSimulator batch(net, cfg);
+  std::vector<nsc::core::TraceHashSink> batch_sinks(static_cast<std::size_t>(replicas));
+  std::vector<nsc::core::SpikeSink*> sinks(static_cast<std::size_t>(replicas));
+  for (int r = 0; r < replicas; ++r) {
+    sinks[static_cast<std::size_t>(r)] = &batch_sinks[static_cast<std::size_t>(r)];
+  }
+  batch.run(40, nullptr, nullptr);
+  batch.reset_stats();
+  batch.reset_metrics();
+  const std::uint64_t b0 = nsc::obs::now_ns();
+  batch.run(ticks, nullptr, sinks.data());
+  const double bat_wall_s = 1e-9 * static_cast<double>(nsc::obs::now_ns() - b0);
+
+  // Exactness gate: each batched replica must reproduce its solo witness
+  // spike-for-spike. A throughput number from a wrong simulation is worse
+  // than no number, so hash mismatch fails the bench outright.
+  int mismatches = 0;
+  for (int r = 0; r < replicas; ++r) {
+    const auto i = static_cast<std::size_t>(r);
+    if (batch_sinks[i].hash() != solo_sinks[i].hash() ||
+        batch.stats(r).spikes != solo[i]->stats().spikes ||
+        batch.stats(r).sops != solo[i]->stats().sops) {
+      std::fprintf(stderr, "replica %d diverged from solo run: hash %016llx vs %016llx\n", r,
+                   static_cast<unsigned long long>(batch_sinks[i].hash()),
+                   static_cast<unsigned long long>(solo_sinks[i].hash()));
+      ++mismatches;
+    }
+  }
+  if (mismatches != 0) {
+    std::fprintf(stderr, "FAIL: %d of %d replicas diverged\n", mismatches, replicas);
+    return 1;
+  }
+
+  nsc::obs::BenchReport seq_report;
+  seq_report.name = "replica_batch_sequential";
+  seq_report.threads = 1;
+  seq_report.ticks = aggregate_ticks;
+  seq_report.wall_s = seq_wall_s;
+  for (int r = 0; r < replicas; ++r) {
+    const nsc::core::KernelStats& s = solo[static_cast<std::size_t>(r)]->stats();
+    seq_report.stats.ticks += s.ticks;
+    seq_report.stats.spikes += s.spikes;
+    seq_report.stats.sops += s.sops;
+    seq_report.stats.axon_events += s.axon_events;
+    seq_report.stats.neuron_updates += s.neuron_updates;
+    seq_report.stats.dropped_spikes += s.dropped_spikes;
+  }
+
+  nsc::obs::BenchReport bat_report;
+  bat_report.name = "replica_batch";
+  bat_report.threads = threads;
+  bat_report.ticks = aggregate_ticks;
+  bat_report.wall_s = bat_wall_s;
+  bat_report.stats = batch.aggregate_stats();
+  bat_report.metrics = batch.metrics();
+
+  const std::string seq_path = nsc::obs::default_report_path(seq_report.name);
+  const std::string bat_path = nsc::obs::default_report_path(bat_report.name);
+  nsc::obs::write_bench_report(seq_path, seq_report);
+  nsc::obs::write_bench_report(bat_path, bat_report);
+  std::printf("replicas=%d ticks=%lld: sequential %.0f replica-ticks/s, batched %.0f "
+              "replica-ticks/s (%.2fx), all %d trace hashes match solo\n",
+              replicas, static_cast<long long>(ticks), seq_report.ticks_per_s(),
+              bat_report.ticks_per_s(), seq_wall_s / bat_wall_s, replicas);
+  std::printf("wrote %s and %s\n", seq_path.c_str(), bat_path.c_str());
+  return 0;
+}

@@ -82,6 +82,24 @@ class ActiveSet {
     }
   }
 
+  /// Number of 64-core bitmap words covering [begin, end).
+  [[nodiscard]] std::size_t word_count() const noexcept { return words_; }
+
+  /// Word-granular variant of for_each_active for callers that merge several
+  /// ActiveSets into one scan (the replica backend OR-combines the word from
+  /// every replica before walking set bits once). Returns `work[slot] |
+  /// restless` for bitmap word `i`, consuming the slot's event bits — the
+  /// exact value the word-i iteration of for_each_active would walk. Bit b
+  /// of the result is core `begin + i * 64 + b`. The same delivery-delay
+  /// argument applies: fn-equivalent processing of the returned bits may
+  /// mark events for other slots but never for the consumed one.
+  [[nodiscard]] std::uint64_t take_word(int slot, std::size_t i) noexcept {
+    std::uint64_t* w = work_.data() + static_cast<std::size_t>(slot) * words_ + i;
+    const std::uint64_t m = *w | restless_[i];
+    *w = 0;
+    return m;
+  }
+
  private:
   [[nodiscard]] std::size_t word_of(CoreId c) const noexcept {
     return static_cast<std::size_t>(c - begin_) >> 6;

@@ -13,6 +13,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "src/util/process_exit.hpp"
+
 namespace nsc::dist {
 
 namespace {
@@ -187,20 +189,7 @@ Spawned spawn_ranks(int nranks) {
   return s;
 }
 
-#ifdef NSC_COVERAGE
-// gcov's flush hook: forked rank processes leave via _Exit (no atexit), so
-// their counters must be dumped explicitly or the coverage gate never sees
-// rank-side execution. The reference must be strong — weak undefined
-// symbols do not extract the definition from the static libgcov archive.
-extern "C" void __gcov_dump();  // NOLINT(bugprone-reserved-identifier)
-#endif
-
-void exit_rank_process(int status) noexcept {
-#ifdef NSC_COVERAGE
-  __gcov_dump();
-#endif
-  std::_Exit(status);
-}
+void exit_rank_process(int status) noexcept { util::exit_process_nounwind(status); }
 
 int reap_rank(int pid) {
   if (pid <= 0) return -1;

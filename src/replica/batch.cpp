@@ -1,0 +1,444 @@
+#include "src/replica/batch.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "src/core/input_schedule.hpp"
+#include "src/core/neuron_model.hpp"
+#include "src/core/snapshot.hpp"
+#include "src/replica/kernels.hpp"
+#include "src/util/bits.hpp"
+
+namespace nsc::replica {
+
+using core::CoreId;
+using core::kCoreSize;
+using core::NeuronParams;
+using core::Tick;
+
+/// Per-worker counters, cache-line padded: workers own disjoint replica
+/// ranges but fold into the same registry, so accumulation stays local until
+/// the run ends.
+struct alignas(64) BatchSimulator::LocalStats {
+  std::uint64_t cores_visited = 0;
+  std::uint64_t events_delivered = 0;
+  std::uint64_t compute_ns = 0;
+};
+
+namespace {
+
+/// Contiguous replica range [begin, end) owned by worker `p` of `P`.
+struct ReplicaRange {
+  int begin;
+  int end;
+};
+
+ReplicaRange replica_range(int replicas, int P, int p) {
+  const int lo = static_cast<int>((static_cast<long long>(replicas) * p) / P);
+  const int hi = static_cast<int>((static_cast<long long>(replicas) * (p + 1)) / P);
+  return {lo, hi};
+}
+
+}  // namespace
+
+BatchSimulator::BatchSimulator(const core::Network& net, Config cfg)
+    : net_(net), cfg_(cfg), prng_(net.seed) {
+  if (cfg_.replicas < 1) throw std::invalid_argument("replica: replicas must be >= 1");
+  if (cfg_.threads < 1) throw std::invalid_argument("replica: threads must be >= 1");
+  ncores_ = static_cast<std::size_t>(net.geom.total_cores());
+  const auto R = static_cast<std::size_t>(cfg_.replicas);
+  pool_ = std::make_unique<util::ThreadPool>(cfg_.threads);
+
+  ph_compute_ = &obs_.phase("compute");
+  ctr_replicas_ = &obs_.counter("replica.count");
+  ctr_tick_replicas_ = &obs_.counter("replica.tick_replicas");
+  ctr_cores_visited_ = &obs_.counter("cores_visited");
+  ctr_cores_skipped_ = &obs_.counter("cores_skipped");
+  ctr_events_delivered_ = &obs_.counter("events_delivered");
+  *ctr_replicas_ = static_cast<std::uint64_t>(cfg_.replicas);
+
+  // Shared read-only tables, built once for the one network.
+  enabled_.assign(ncores_, util::BitRow256{});
+  enabled_count_.assign(ncores_, 0);
+  live_.assign(ncores_, 0);
+  always_active_.assign(ncores_, 0);
+  hot_ok_.assign(ncores_, 0);
+  hot_.assign(ncores_ * core::kHotStride, 0);
+  wtab_.assign(ncores_ * core::kWeightTabPerCore, 0);
+  target_ok_.assign(ncores_ * kCoreSize, 0);
+  const auto ncores = static_cast<CoreId>(ncores_);
+  for (CoreId c = 0; c < ncores; ++c) {
+    const core::CoreSpec& spec = net.core(c);
+    if (spec.disabled) continue;
+    live_[c] = 1;
+    ++live_cores_;
+    for (int j = 0; j < kCoreSize; ++j) {
+      const NeuronParams& p = spec.neuron[static_cast<std::size_t>(j)];
+      if (!p.enabled) continue;
+      enabled_[c].set(j);
+      ++enabled_count_[c];
+      ++total_enabled_;
+      const std::size_t nid = static_cast<std::size_t>(c) * kCoreSize + static_cast<std::size_t>(j);
+      if (p.target.valid() && p.target.core < ncores && !net.core(p.target.core).disabled) {
+        target_ok_[nid] = 1;
+      }
+    }
+    if (core::core_hot_eligible(spec, enabled_count_[c])) {
+      hot_ok_[c] = 1;
+      core::fill_hot_core(spec, &hot_[static_cast<std::size_t>(c) * core::kHotStride],
+                          &wtab_[static_cast<std::size_t>(c) * core::kWeightTabPerCore]);
+    }
+    always_active_[c] = core::core_always_active(spec, enabled_[c]) ? 1 : 0;
+  }
+
+  // Per-replica state: every replica starts from the network's initial
+  // potentials, exactly like a freshly constructed solo simulator.
+  v_.resize(R * ncores_ * kCoreSize);
+  delay_.assign(R * ncores_ * kDelaySlots, util::BitRow256{});
+  hot_v_ok_.assign(R * ncores_, 0);
+  tick_.assign(R, 0);
+  stats_.assign(R, core::KernelStats{});
+  active_.resize(R);
+  for (CoreId c = 0; c < ncores; ++c) {
+    const core::CoreSpec& spec = net.core(c);
+    std::int32_t* row0 = &v_[vbase(0, c)];
+    for (int j = 0; j < kCoreSize; ++j) row0[j] = spec.neuron[static_cast<std::size_t>(j)].init_v;
+  }
+  for (std::size_t r = 1; r < R; ++r) {
+    std::memcpy(&v_[vbase(static_cast<int>(r), 0)], &v_[vbase(0, 0)],
+                ncores_ * kCoreSize * sizeof(std::int32_t));
+  }
+  for (int r = 0; r < cfg_.replicas; ++r) init_replica_activity(r);
+}
+
+BatchSimulator::~BatchSimulator() = default;
+
+void BatchSimulator::init_replica_activity(int r) {
+  const auto ncores = static_cast<CoreId>(ncores_);
+  active_[static_cast<std::size_t>(r)] = core::ActiveSet(0, ncores, kDelaySlots);
+  core::ActiveSet& active = active_[static_cast<std::size_t>(r)];
+  for (CoreId c = 0; c < ncores; ++c) {
+    util::BitRow256* rows =
+        &delay_[(static_cast<std::size_t>(r) * ncores_ + static_cast<std::size_t>(c)) *
+                kDelaySlots];
+    if (live_[c] == 0) {
+      // The worklist never visits a disabled core; drop any restored slot
+      // bits once instead of carrying them forever.
+      for (int s = 0; s < kDelaySlots; ++s) rows[s].reset();
+      continue;
+    }
+    const core::CoreSpec& spec = net_.core(c);
+    const std::int32_t* vrow = &v_[vbase(r, c)];
+    hot_v_ok_[static_cast<std::size_t>(r) * ncores_ + static_cast<std::size_t>(c)] =
+        core::hot_potentials_safe(vrow) ? 1 : 0;
+    if (always_active_[c] != 0 || core::core_restless_at(spec, enabled_[c], vrow)) {
+      active.set_restless(c, true);
+    }
+    for (int s = 0; s < kDelaySlots; ++s) {
+      if (rows[s].any()) active.mark_event(c, s);
+    }
+  }
+}
+
+Tick BatchSimulator::now(int r) const {
+  return tick_.at(static_cast<std::size_t>(r));
+}
+
+const core::KernelStats& BatchSimulator::stats(int r) const {
+  return stats_.at(static_cast<std::size_t>(r));
+}
+
+core::KernelStats BatchSimulator::aggregate_stats() const {
+  core::KernelStats agg;
+  for (const core::KernelStats& s : stats_) {
+    agg.ticks += s.ticks;
+    agg.spikes += s.spikes;
+    agg.sops += s.sops;
+    agg.axon_events += s.axon_events;
+    agg.neuron_updates += s.neuron_updates;
+    agg.dropped_spikes += s.dropped_spikes;
+  }
+  return agg;
+}
+
+void BatchSimulator::reset_stats() {
+  for (core::KernelStats& s : stats_) s.reset();
+}
+
+void BatchSimulator::reset_metrics() noexcept {
+  obs_.reset();
+  *ctr_replicas_ = static_cast<std::uint64_t>(cfg_.replicas);
+}
+
+void BatchSimulator::process_core(int r, CoreId c, Tick t, core::SpikeSink* sink, LocalStats& ls) {
+  ++ls.cores_visited;
+  util::BitRow256& axons = slot_of(r, c, t);
+  const core::CoreSpec& spec = net_.core(c);
+  core::KernelStats& st = stats_[static_cast<std::size_t>(r)];
+  const auto core_axons = static_cast<std::uint64_t>(axons.count());
+  if (enabled_count_[c] == 0) {
+    axons.reset();
+    st.axon_events += core_axons;
+    return;
+  }
+
+  const bool hot =
+      hot_ok_[c] != 0 &&
+      hot_v_ok_[static_cast<std::size_t>(r) * ncores_ + static_cast<std::size_t>(c)] != 0;
+  core::ActiveSet& active = active_[static_cast<std::size_t>(r)];
+
+  // Synapse phase: identical word-level walk to compass::phase_compute; only
+  // the accumulator's owner (this replica's slice) differs.
+  std::int32_t acc[kCoreSize];
+  if (core_axons != 0) {
+    std::fill(acc, acc + kCoreSize, 0);
+    const util::BitRow256& en = enabled_[c];
+    if (hot) {
+      const std::int16_t* wt = &wtab_[static_cast<std::size_t>(c) * core::kWeightTabPerCore];
+      axons.for_each_set([&](int i) {
+        const std::int16_t* wrow =
+            wt + static_cast<std::size_t>(spec.axon_type[static_cast<std::size_t>(i)]) * kCoreSize;
+        spec.crossbar.row(i).for_each_masked_word(en, [&](int base, std::uint64_t bits) {
+          const int pc = util::popcount64(bits);
+          st.sops += static_cast<std::uint64_t>(pc);
+          if (pc >= core::kDenseWordCut) {
+            kern_.accumulate_word(acc + base, wrow + base, bits);
+            return;
+          }
+          do {
+            const int j = base + util::lowest_set(bits);
+            acc[j] += wrow[j];
+            bits = util::clear_lowest(bits);
+          } while (bits != 0);
+        });
+      });
+    } else {
+      axons.for_each_set([&](int i) {
+        const int g = spec.axon_type[static_cast<std::size_t>(i)];
+        spec.crossbar.row(i).for_each_masked_word(en, [&](int base, std::uint64_t bits) {
+          st.sops += static_cast<std::uint64_t>(util::popcount64(bits));
+          do {
+            const int j = base + util::lowest_set(bits);
+            const NeuronParams& pj = spec.neuron[static_cast<std::size_t>(j)];
+            if (pj.stochastic_weight == 0) {
+              acc[j] += pj.weight[g];
+            } else {
+              acc[j] += core::synapse_delta(pj, g, prng_, c, static_cast<std::uint32_t>(j), t,
+                                            static_cast<std::uint32_t>(i));
+            }
+            bits = util::clear_lowest(bits);
+          } while (bits != 0);
+        });
+      });
+    }
+  }
+
+  const bool check_restless = always_active_[c] == 0;
+  bool restless = false;
+  // Spike emission/delivery tail. Deliveries are always replica-local: a
+  // worker owns every core of its replicas, so there is no outbox and no
+  // exchange phase, and recorded spikes go straight to the replica's sink
+  // (the walk already visits cores in canonical ascending order).
+  const auto emit = [&](int j, const NeuronParams& pj, std::size_t nid) {
+    ++st.spikes;
+    if (sink != nullptr) sink->on_spike(t, c, static_cast<std::uint16_t>(j));
+    if (target_ok_[nid] == 0) {
+      ++st.dropped_spikes;
+      return;
+    }
+    const Tick arrive = t + pj.target.delay;
+    slot_of(r, pj.target.core, arrive).set(pj.target.axon);
+    active.mark_event(pj.target.core, static_cast<int>(arrive % kDelaySlots));
+    ++ls.events_delivered;
+  };
+  if (hot) {
+    std::int32_t* vrow = &v_[vbase(r, c)];
+    std::uint64_t bad[4];
+    kern_.sweep_badmask(vrow, core_axons != 0 ? acc : nullptr,
+                        &hot_[static_cast<std::size_t>(c) * core::kHotStride], bad);
+    for (int w = 0; w < 4; ++w) {
+      std::uint64_t word = bad[w];
+      while (word != 0) {
+        const int j = w * 64 + util::lowest_set(word);
+        word = util::clear_lowest(word);
+        std::int32_t vj = vrow[j];
+        const NeuronParams& pj = spec.neuron[static_cast<std::size_t>(j)];
+        const bool fired =
+            core::threshold_fire_reset(vj, pj, prng_, c, static_cast<std::uint32_t>(j), t);
+        vrow[j] = vj;
+        if (check_restless && !core::idle_quiescent(pj, vj)) restless = true;
+        if (fired) {
+          emit(j, pj, static_cast<std::size_t>(c) * kCoreSize + static_cast<std::size_t>(j));
+        }
+      }
+    }
+  } else {
+    enabled_[c].for_each_set([&](int j) {
+      const NeuronParams& pj = spec.neuron[static_cast<std::size_t>(j)];
+      const std::size_t nid = static_cast<std::size_t>(c) * kCoreSize + static_cast<std::size_t>(j);
+      std::int32_t vj = v_[vbase(r, c) + static_cast<std::size_t>(j)];
+      if (core_axons != 0) {
+        vj = core::clamp_potential(static_cast<std::int64_t>(vj) + acc[j]);
+      }
+      const bool fired =
+          core::leak_threshold_update(vj, pj, prng_, c, static_cast<std::uint32_t>(j), t);
+      v_[vbase(r, c) + static_cast<std::size_t>(j)] = vj;
+      if (check_restless && !core::idle_quiescent(pj, vj)) restless = true;
+      if (fired) emit(j, pj, nid);
+    });
+  }
+  if (check_restless) active.set_restless(c, restless);
+
+  axons.reset();
+  st.axon_events += core_axons;
+}
+
+void BatchSimulator::run(Tick nticks, const core::InputSchedule* const* inputs,
+                         core::SpikeSink* const* sinks) {
+  if (nticks <= 0) return;
+  const bool obs_on = obs::kEnabled && cfg_.collect_phase_metrics;
+  const int P = cfg_.threads;
+  std::vector<LocalStats> local(static_cast<std::size_t>(P));
+
+  pool_->run_all([&](int p) {
+    const ReplicaRange own = replica_range(cfg_.replicas, P, p);
+    if (own.begin >= own.end) return;
+    LocalStats& ls = local[static_cast<std::size_t>(p)];
+    const std::uint64_t w0 = obs_on ? obs::now_ns() : 0;
+    const std::size_t words = active_[static_cast<std::size_t>(own.begin)].word_count();
+    std::vector<std::uint64_t> masks(static_cast<std::size_t>(own.end - own.begin));
+    for (Tick i = 0; i < nticks; ++i) {
+      // Input injection at each replica's local tick; inputs aimed at a
+      // statically disabled core are absorbed, exactly as in a solo run.
+      for (int r = own.begin; r < own.end; ++r) {
+        const Tick t = tick_[static_cast<std::size_t>(r)] + i;
+        const core::InputSchedule* in = inputs != nullptr ? inputs[r] : nullptr;
+        if (in == nullptr) continue;
+        core::ActiveSet& active = active_[static_cast<std::size_t>(r)];
+        for (const core::InputSpike& s : in->at(t)) {
+          if (live_[s.core] == 0) continue;
+          slot_of(r, s.core, t).set(s.axon);
+          active.mark_event(s.core, static_cast<int>(t % kDelaySlots));
+        }
+      }
+      // Merged worklist walk: one ascending scan over the OR of every owned
+      // replica's active word, so a core's shared tables (crossbar rows,
+      // weight table, hot constants) are loaded once and every replica that
+      // needs the core updates against them back-to-back while they are
+      // cache-hot. Per replica the scan still visits cores in ascending
+      // order — the canonical spike order is preserved.
+      for (std::size_t w = 0; w < words; ++w) {
+        std::uint64_t any = 0;
+        for (int r = own.begin; r < own.end; ++r) {
+          const int si = static_cast<int>((tick_[static_cast<std::size_t>(r)] + i) % kDelaySlots);
+          const std::uint64_t m = active_[static_cast<std::size_t>(r)].take_word(si, w);
+          masks[static_cast<std::size_t>(r - own.begin)] = m;
+          any |= m;
+        }
+        while (any != 0) {
+          const int b = util::lowest_set(any);
+          any = util::clear_lowest(any);
+          const auto c = static_cast<CoreId>(w * 64 + static_cast<std::size_t>(b));
+          const std::uint64_t bit = std::uint64_t{1} << static_cast<unsigned>(b);
+          for (int r = own.begin; r < own.end; ++r) {
+            if ((masks[static_cast<std::size_t>(r - own.begin)] & bit) == 0) continue;
+            const Tick t = tick_[static_cast<std::size_t>(r)] + i;
+            process_core(r, c, t, sinks != nullptr ? sinks[r] : nullptr, ls);
+          }
+        }
+      }
+      for (int r = own.begin; r < own.end; ++r) {
+        // Skipped cores still run their (no-op) neuron pass on the chip:
+        // count every enabled neuron so cross-backend stats equality is
+        // independent of the worklist (same rule as compass).
+        stats_[static_cast<std::size_t>(r)].neuron_updates += total_enabled_;
+        if (sinks != nullptr && sinks[r] != nullptr) {
+          sinks[r]->on_tick_end(tick_[static_cast<std::size_t>(r)] + i);
+        }
+      }
+    }
+    if (obs_on) ls.compute_ns += obs::now_ns() - w0;
+  });
+
+  for (int r = 0; r < cfg_.replicas; ++r) {
+    stats_[static_cast<std::size_t>(r)].ticks += nticks;
+    tick_[static_cast<std::size_t>(r)] += nticks;
+  }
+  std::uint64_t visited = 0;
+  for (const LocalStats& ls : local) {
+    visited += ls.cores_visited;
+    *ctr_events_delivered_ += ls.events_delivered;
+    if (ls.compute_ns != 0) ph_compute_->add(ls.compute_ns);
+  }
+  *ctr_cores_visited_ += visited;
+  *ctr_cores_skipped_ += static_cast<std::uint64_t>(nticks) *
+                             static_cast<std::uint64_t>(cfg_.replicas) * live_cores_ -
+                         visited;
+  *ctr_tick_replicas_ +=
+      static_cast<std::uint64_t>(nticks) * static_cast<std::uint64_t>(cfg_.replicas);
+}
+
+void BatchSimulator::save_checkpoint(int r, std::ostream& os) const {
+  if (r < 0 || r >= cfg_.replicas) throw std::out_of_range("replica: bad replica index");
+  core::Snapshot snap;
+  snap.backend = core::SnapshotBackend::kCompass;
+  snap.geom = net_.geom;
+  snap.net_seed = net_.seed;
+  snap.tick = tick_[static_cast<std::size_t>(r)];
+  snap.stats = stats_[static_cast<std::size_t>(r)];
+  snap.dead_cores.resize(ncores_, 0);
+  for (std::size_t c = 0; c < ncores_; ++c) snap.dead_cores[c] = live_[c] != 0 ? 0 : 1;
+  snap.dead_links.assign(static_cast<std::size_t>(net_.geom.chips()) * 4, 0);
+  snap.v.assign(v_.begin() + static_cast<std::ptrdiff_t>(vbase(r, 0)),
+                v_.begin() + static_cast<std::ptrdiff_t>(vbase(r, 0) + ncores_ * kCoreSize));
+  snap.delay_words.reserve(ncores_ * kDelaySlots * util::BitRow256::kWords);
+  const util::BitRow256* rows = &delay_[static_cast<std::size_t>(r) * ncores_ * kDelaySlots];
+  for (std::size_t i = 0; i < ncores_ * kDelaySlots; ++i) {
+    for (int w = 0; w < util::BitRow256::kWords; ++w) snap.delay_words.push_back(rows[i].word(w));
+  }
+  core::save_snapshot(snap, os);
+}
+
+void BatchSimulator::load_checkpoint(int r, std::istream& is) {
+  if (r < 0 || r >= cfg_.replicas) throw std::out_of_range("replica: bad replica index");
+  const core::Snapshot snap = core::load_snapshot(is);
+  if (snap.geom != net_.geom) {
+    throw std::runtime_error("checkpoint geometry does not match this simulator's network");
+  }
+  if (snap.net_seed != net_.seed) {
+    throw std::runtime_error("checkpoint was taken against a different network (seed mismatch)");
+  }
+  // The batch backend models no runtime faults: a snapshot whose fault state
+  // goes beyond the network's static disabled set cannot be represented.
+  for (std::size_t c = 0; c < ncores_; ++c) {
+    if (snap.dead_cores[c] != 0 && net_.core(static_cast<CoreId>(c)).disabled == 0) {
+      throw std::runtime_error("replica: checkpoint carries runtime core faults");
+    }
+  }
+  for (const std::uint8_t dead : snap.dead_links) {
+    if (dead != 0) throw std::runtime_error("replica: checkpoint carries runtime link faults");
+  }
+  if (snap.v.size() != ncores_ * kCoreSize ||
+      snap.delay_words.size() != ncores_ * kDelaySlots * util::BitRow256::kWords) {
+    throw std::runtime_error("replica: checkpoint state size does not match the network");
+  }
+  tick_[static_cast<std::size_t>(r)] = snap.tick;
+  stats_[static_cast<std::size_t>(r)] = snap.stats;
+  std::copy(snap.v.begin(), snap.v.end(), v_.begin() + static_cast<std::ptrdiff_t>(vbase(r, 0)));
+  util::BitRow256* rows = &delay_[static_cast<std::size_t>(r) * ncores_ * kDelaySlots];
+  for (std::size_t i = 0; i < ncores_ * kDelaySlots; ++i) {
+    for (int w = 0; w < util::BitRow256::kWords; ++w) {
+      rows[i].set_word(w,
+                       snap.delay_words[i * util::BitRow256::kWords + static_cast<std::size_t>(w)]);
+    }
+  }
+  // Worklists and the per-replica hot/generic split are derived state:
+  // re-derive them from the restored slice (hostile potentials outside the
+  // proven bound demote this replica's cores to the exact generic path —
+  // the same rule compass applies at init_activity).
+  init_replica_activity(r);
+}
+
+}  // namespace nsc::replica

@@ -1,0 +1,174 @@
+// Replica-batched multi-instance backend (docs/REPLICA.md).
+//
+// Serving the ROADMAP's million-user story means running many *identical-
+// topology* network instances that differ only in neuron state and input
+// stream. A solo compass::Simulator per instance re-streams the shared
+// read-only tables — crossbar rows, the dense weight tables, the hot SoA
+// constant rows — once per instance per tick. BatchSimulator instead holds N
+// replicas of one network in a replica-major state layout and advances all
+// of them through each tick with a single merged worklist walk: for every
+// active core, the shared tables are loaded once and the per-replica state
+// updates run back-to-back while those tables are cache-hot (the same SoA
+// batching trick Compass applies across neurons, applied across instances).
+//
+// Exactness bar (PR 4/5 standard): every replica is spike-for-spike
+// identical to a solo single-process compass run of the same network, from
+// the same restored state, fed the same input schedule. The argument:
+//  - State is fully partitioned by replica (potentials, delay rings,
+//    worklists, stats, local tick counters); replicas interact only through
+//    the shared *read-only* network tables and the shared counter-based PRNG,
+//    whose draws are keyed by (core, neuron, tick) and therefore identical
+//    for every replica and for the solo run.
+//  - Within one replica a tick performs the same phases in the same order as
+//    compass::Simulator::phase_compute: inject inputs, walk active cores in
+//    ascending core order, integrate synapses word-by-word, sweep neurons,
+//    emit spikes in (core, neuron) ascending order, deliver locally into the
+//    replica's own delay ring. Interleaving other replicas' cores between
+//    those steps touches disjoint state, so it cannot perturb the result —
+//    the same disjointness argument that makes compass's two-barrier tick
+//    race-free, applied across replicas instead of across partitions.
+//  - Replicas advance on their own local tick counters, so a replica
+//    restored from a checkpoint taken at tick T continues exactly the solo
+//    trajectory from T even when batched with replicas at other ticks.
+//
+// Threads partition *replicas* (never cores): each worker owns every core of
+// its replica range, so all spike deliveries stay worker-local and the run
+// needs no exchange phase, no outboxes and no per-tick barriers.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "src/core/active_set.hpp"
+#include "src/core/network.hpp"
+#include "src/core/neuron_hot.hpp"
+#include "src/obs/obs.hpp"
+#include "src/replica/kernels.hpp"
+#include "src/util/bitrow.hpp"
+#include "src/util/prng.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace nsc::util {
+class ThreadPool;
+}
+
+namespace nsc::replica {
+
+struct Config {
+  int replicas = 1;  ///< Batched instances N (>= 1) of the one network.
+  int threads = 1;   ///< Workers; replicas are split contiguously across them.
+  /// Runtime toggle for the per-phase wall-time metrics; spike output is
+  /// identical either way (NSC_OBS=0 compiles the probes out entirely).
+  bool collect_phase_metrics = true;
+};
+
+/// N instances of one network advancing in lockstep through a merged
+/// worklist walk. Not a core::Simulator: the interface is per-replica
+/// (per-replica inputs, sinks, stats, ticks and checkpoints), which the
+/// single-instance base signature cannot express.
+class BatchSimulator {
+ public:
+  /// The network must outlive the simulator.
+  BatchSimulator(const core::Network& net, Config cfg);
+  ~BatchSimulator();
+
+  BatchSimulator(const BatchSimulator&) = delete;
+  BatchSimulator& operator=(const BatchSimulator&) = delete;
+
+  /// Advances every replica by `nticks` from its own local tick.
+  /// `inputs`/`sinks` are indexed by replica and may be null (or hold null
+  /// entries) — inputs are read at each replica's *local* tick. Sinks are
+  /// invoked from the worker thread that owns the replica; a sink shared
+  /// between replicas owned by different workers would race.
+  void run(core::Tick nticks, const core::InputSchedule* const* inputs,
+           core::SpikeSink* const* sinks);
+
+  [[nodiscard]] int replicas() const noexcept { return cfg_.replicas; }
+
+  /// Local tick of replica `r` (replicas restored from checkpoints advance
+  /// from the checkpoint's tick, so replicas may disagree).
+  [[nodiscard]] core::Tick now(int r) const;
+
+  /// Per-replica kernel stats, bit-identical to the solo run's.
+  [[nodiscard]] const core::KernelStats& stats(int r) const;
+
+  /// Sum of all replicas' stats (the aggregate-throughput view).
+  [[nodiscard]] core::KernelStats aggregate_stats() const;
+
+  void reset_stats();
+
+  /// Writes replica `r` as a plain NSCK snapshot, interchangeable with the
+  /// TN / compass / dist backends: restoring it into a solo simulator (or
+  /// another replica slot) resumes the identical trajectory. Counters are
+  /// the replica's own, so a restored solo run reports the same totals the
+  /// solo trajectory would have accumulated.
+  void save_checkpoint(int r, std::ostream& os) const;
+
+  /// Restores replica `r` from any NSCK snapshot of the same network.
+  /// Snapshots carrying runtime fault state (cores or links failed mid-run
+  /// by a fault campaign) are rejected: the batch backend models no faults.
+  /// Hostile potentials (outside the hot sweep's proven bound) demote the
+  /// affected cores of *this replica only* to the exact generic path.
+  void load_checkpoint(int r, std::istream& is);
+
+  [[nodiscard]] obs::Registry& metrics() noexcept { return obs_; }
+  void reset_metrics() noexcept;
+
+ private:
+  struct LocalStats;
+
+  void process_core(int r, core::CoreId c, core::Tick t, core::SpikeSink* sink, LocalStats& ls);
+  void init_replica_activity(int r);
+
+  [[nodiscard]] std::size_t vbase(int r, core::CoreId c) const noexcept {
+    return (static_cast<std::size_t>(r) * ncores_ + static_cast<std::size_t>(c)) *
+           core::kCoreSize;
+  }
+  [[nodiscard]] util::BitRow256& slot_of(int r, core::CoreId c, core::Tick t) noexcept {
+    return delay_[(static_cast<std::size_t>(r) * ncores_ + static_cast<std::size_t>(c)) *
+                      kDelaySlots +
+                  static_cast<std::size_t>(t % kDelaySlots)];
+  }
+
+  static constexpr int kDelaySlots = core::kMaxDelay + 1;
+
+  const core::Network& net_;
+  Config cfg_;
+  util::CounterPrng prng_;
+  Kernels kern_ = select_kernels();
+  std::size_t ncores_ = 0;
+  std::unique_ptr<util::ThreadPool> pool_;
+
+  // Shared read-only per-network tables (built once, used by every replica).
+  std::vector<util::BitRow256> enabled_;     ///< Enabled-neuron mask per core.
+  std::vector<int> enabled_count_;           ///< Enabled neurons per core.
+  std::vector<std::uint8_t> live_;           ///< 1 = core not statically disabled.
+  std::vector<std::uint8_t> always_active_;  ///< Parameter-level idle dynamics.
+  std::vector<std::uint8_t> hot_ok_;         ///< Parameter-eligible fast path.
+  std::vector<std::int32_t> hot_;            ///< SoA leak|alpha|floor rows.
+  std::vector<std::int16_t> wtab_;           ///< Dense weight rows per axon type.
+  std::vector<std::uint8_t> target_ok_;      ///< Per neuron: target deliverable.
+  std::uint64_t total_enabled_ = 0;          ///< Enabled neurons on live cores.
+  std::uint64_t live_cores_ = 0;
+
+  // Per-replica state, replica-major so one replica's slice is contiguous
+  // (checkpoints copy a slice; the merged walk strides by replica).
+  std::vector<std::int32_t> v_;           ///< [(r * ncores + c) * 256 + j].
+  std::vector<util::BitRow256> delay_;    ///< [(r * ncores + c) * 16 + slot].
+  std::vector<std::uint8_t> hot_v_ok_;    ///< [r * ncores + c]: potentials in bound.
+  std::vector<core::ActiveSet> active_;   ///< One worklist per replica.
+  std::vector<core::Tick> tick_;          ///< Local tick per replica.
+  std::vector<core::KernelStats> stats_;  ///< Per-replica counters.
+
+  // Observability (docs/OBSERVABILITY.md): counters fold at run end.
+  obs::Registry obs_;
+  obs::PhaseAccum* ph_compute_ = nullptr;
+  std::uint64_t* ctr_replicas_ = nullptr;
+  std::uint64_t* ctr_tick_replicas_ = nullptr;
+  std::uint64_t* ctr_cores_visited_ = nullptr;
+  std::uint64_t* ctr_cores_skipped_ = nullptr;
+  std::uint64_t* ctr_events_delivered_ = nullptr;
+};
+
+}  // namespace nsc::replica

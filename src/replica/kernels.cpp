@@ -1,0 +1,130 @@
+#include "src/replica/kernels.hpp"
+
+#include <cstring>
+
+#include "src/core/neuron_hot.hpp"
+#include "src/core/types.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#define NSC_REPLICA_X86 1
+#else
+#define NSC_REPLICA_X86 0
+#endif
+
+namespace nsc::replica {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Portable fallback: reuse the solo kernel's byte-array sweep, then pack the
+// bad bytes (each 0 or 1) into the bit-mask interface.
+// ---------------------------------------------------------------------------
+
+void sweep_badmask_portable(std::int32_t* vrow, const std::int32_t* acc, const std::int32_t* hot,
+                            std::uint64_t bad[4]) {
+  std::uint8_t bytes[core::kCoreSize];
+  core::hot_neuron_sweep(vrow, acc, hot, bytes);
+  for (int w = 0; w < 4; ++w) {
+    std::uint64_t m = 0;
+    for (int k = 0; k < 64; ++k) {
+      m |= static_cast<std::uint64_t>(bytes[w * 64 + k]) << static_cast<unsigned>(k);
+    }
+    bad[w] = m;
+  }
+}
+
+#if NSC_REPLICA_X86
+
+// ---------------------------------------------------------------------------
+// AVX2 variants. Same int32 arithmetic as the portable kernels lane for
+// lane: add, clamp via 32-bit signed min/max, compare — no reassociation, no
+// widening differences, so the results are bit-identical.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx2"))) inline __m256i clamp_epi32(__m256i x, __m256i lo, __m256i hi) {
+  return _mm256_max_epi32(_mm256_min_epi32(x, hi), lo);
+}
+
+__attribute__((target("avx2"))) void sweep_badmask_avx2(std::int32_t* vrow,
+                                                        const std::int32_t* acc,
+                                                        const std::int32_t* hot,
+                                                        std::uint64_t bad[4]) {
+  const std::int32_t* leak = hot;
+  const std::int32_t* alpha = hot + core::kCoreSize;
+  const std::int32_t* floor_le = hot + 2 * core::kCoreSize;
+  const __m256i lo = _mm256_set1_epi32(core::kPotentialMin);
+  const __m256i hi = _mm256_set1_epi32(core::kPotentialMax);
+  for (int w = 0; w < 4; ++w) {
+    std::uint64_t m = 0;
+    for (int k = 0; k < 64; k += 8) {
+      const int j = w * 64 + k;
+      __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(vrow + j));
+      if (acc != nullptr) {
+        x = _mm256_add_epi32(x, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + j)));
+        x = clamp_epi32(x, lo, hi);
+      }
+      x = _mm256_add_epi32(x, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(leak + j)));
+      x = clamp_epi32(x, lo, hi);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(vrow + j), x);
+      // bad = (x >= alpha) | (x <= floor_le) == !((x < alpha) & (x > floor_le)).
+      const __m256i below_alpha = _mm256_cmpgt_epi32(
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(alpha + j)), x);
+      const __m256i above_floor = _mm256_cmpgt_epi32(
+          x, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(floor_le + j)));
+      const auto good = static_cast<std::uint32_t>(_mm256_movemask_ps(
+          _mm256_castsi256_ps(_mm256_and_si256(below_alpha, above_floor))));
+      m |= static_cast<std::uint64_t>(~good & 0xFFU) << static_cast<unsigned>(k);
+    }
+    bad[w] = m;
+  }
+}
+
+__attribute__((target("avx2"))) void accumulate_word_avx2(std::int32_t* acc,
+                                                          const std::int16_t* wrow,
+                                                          std::uint64_t bits) {
+  for (int k = 0; k < 64; k += 16) {
+    // Two bytes of `bits` expand to 16 int16 select masks via the same 4 KiB
+    // LUT the scalar kernel uses (one 16-byte row per byte value).
+    const auto b0 = static_cast<unsigned>((bits >> static_cast<unsigned>(k)) & 0xFFU);
+    const auto b1 = static_cast<unsigned>((bits >> static_cast<unsigned>(k + 8)) & 0xFFU);
+    const __m128i m0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(core::detail::kBitSpread.m[b0]));
+    const __m128i m1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(core::detail::kBitSpread.m[b1]));
+    const __m256i mask16 = _mm256_set_m128i(m1, m0);
+    const __m256i w16 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(wrow + k));
+    const __m256i sel = _mm256_and_si256(w16, mask16);
+    const __m256i lo32 = _mm256_cvtepi16_epi32(_mm256_castsi256_si128(sel));
+    const __m256i hi32 = _mm256_cvtepi16_epi32(_mm256_extracti128_si256(sel, 1));
+    __m256i* accv = reinterpret_cast<__m256i*>(acc + k);
+    _mm256_storeu_si256(accv, _mm256_add_epi32(_mm256_loadu_si256(accv), lo32));
+    __m256i* accv2 = reinterpret_cast<__m256i*>(acc + k + 8);
+    _mm256_storeu_si256(accv2, _mm256_add_epi32(_mm256_loadu_si256(accv2), hi32));
+  }
+}
+
+#endif  // NSC_REPLICA_X86
+
+Kernels resolve() {
+  Kernels k{};
+  k.sweep_badmask = &sweep_badmask_portable;
+  k.accumulate_word = &core::hot_accumulate_word;
+#if NSC_REPLICA_X86
+  if (__builtin_cpu_supports("avx2")) {
+    k.sweep_badmask = &sweep_badmask_avx2;
+    k.accumulate_word = &accumulate_word_avx2;
+  }
+#endif
+  return k;
+}
+
+}  // namespace
+
+const Kernels& select_kernels() {
+  static const Kernels kSelected = resolve();
+  return kSelected;
+}
+
+}  // namespace nsc::replica

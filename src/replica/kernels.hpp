@@ -1,0 +1,41 @@
+// Runtime-dispatched kernels for the replica-batched backend.
+//
+// The batch layout makes wide SIMD pay: one merged walk touches the same
+// core's shared tables for every replica back-to-back, so the per-replica
+// inner loops (the integrate+leak sweep and the dense-word synaptic
+// accumulate) dominate the run and their vector width translates directly
+// into aggregate throughput. The portable baseline build targets generic
+// x86-64 (SSE2), so these loops are provided in two semantically identical
+// expressions — a portable fallback reusing src/core/neuron_hot.hpp and an
+// AVX2 one — selected once per process via __builtin_cpu_supports. Integer
+// arithmetic is identical lane-for-lane in every variant, so spike output
+// (and therefore every golden trace hash) does not depend on the host ISA;
+// tests/test_replica.cpp pins this against solo-run witnesses.
+#pragma once
+
+#include <cstdint>
+
+namespace nsc::replica {
+
+/// Vectorizable kernel entry points, resolved once at startup.
+struct Kernels {
+  /// The fast-path integrate+leak sweep over one (replica, core) slice,
+  /// fused with bad-lane extraction: folds `acc` (when non-null) and the
+  /// leak row into all 256 potentials with the hardware clamp after each add
+  /// (exactly core::hot_neuron_sweep), and sets bit k of bad[k / 64] when
+  /// neuron k needs the exact slow path this tick (possible fire or floor
+  /// event). The bit-mask form replaces the byte array + rescan of the solo
+  /// kernel: the vector compare produces the mask for free.
+  void (*sweep_badmask)(std::int32_t* vrow, const std::int32_t* acc, const std::int32_t* hot,
+                        std::uint64_t bad[4]);
+
+  /// Dense-word synaptic accumulate: adds `wrow[k]` into `acc[k]` for every
+  /// set bit k of `bits` (exactly core::hot_accumulate_word). `acc`/`wrow`
+  /// point at the word's base lane (a multiple of 64).
+  void (*accumulate_word)(std::int32_t* acc, const std::int16_t* wrow, std::uint64_t bits);
+};
+
+/// The best variant this CPU supports. Stable for the process lifetime.
+[[nodiscard]] const Kernels& select_kernels();
+
+}  // namespace nsc::replica

@@ -1,0 +1,15 @@
+// Coverage-aware no-unwind process exit, shared by every subsystem that
+// terminates a forked child (src/dist rank processes, tests that probe
+// child-exit contracts).
+#pragma once
+
+namespace nsc::util {
+
+/// Terminates the calling process without unwinding — no atexit handlers
+/// and no static destructors, because a forked child must not re-run
+/// teardown the parent also owns (test-framework state, buffered stdio).
+/// Under a --coverage build the gcov counters are flushed first so the
+/// child's execution still counts toward the CI coverage gate.
+[[noreturn]] void exit_process_nounwind(int status) noexcept;
+
+}  // namespace nsc::util

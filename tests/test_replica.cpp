@@ -1,0 +1,308 @@
+// Replica-batched backend conformance (docs/REPLICA.md): every replica of a
+// BatchSimulator must be spike-for-spike identical to a solo single-process
+// compass run of the same network fed the same inputs, across replica and
+// thread counts; per-replica checkpoints splice into and out of solo runs
+// (including the TrueNorth expression) and reject fault-carrying snapshots;
+// hostile potentials demote to the exact generic path instead of corrupting
+// the hot sweep.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "src/core/snapshot.hpp"
+#include "src/replica/batch.hpp"
+#include "test_support.hpp"
+
+namespace nsc {
+namespace {
+
+using core::InputSchedule;
+using core::Network;
+using core::Tick;
+using core::VectorSink;
+using replica::BatchSimulator;
+using testsup::expect_identical;
+using testsup::expect_spikes_equal;
+using testsup::fuzz_spec;
+using testsup::RunResult;
+using testsup::tail_from;
+
+/// Distinct Poisson input stream per replica: same fuzz axes, shifted seed.
+std::vector<InputSchedule> replica_inputs(const netgen::RandomNetSpec& spec, const Network& net,
+                                          int replicas, Tick ticks) {
+  std::vector<InputSchedule> ins;
+  ins.reserve(static_cast<std::size_t>(replicas));
+  for (int r = 0; r < replicas; ++r) {
+    netgen::RandomNetSpec s = spec;
+    s.seed = spec.seed + 1000 * static_cast<std::uint64_t>(r) + 1;
+    ins.push_back(netgen::make_poisson_inputs(s, net, ticks));
+  }
+  return ins;
+}
+
+std::vector<const InputSchedule*> input_ptrs(const std::vector<InputSchedule>& ins) {
+  std::vector<const InputSchedule*> ptrs;
+  ptrs.reserve(ins.size());
+  for (const InputSchedule& in : ins) ptrs.push_back(&in);
+  return ptrs;
+}
+
+/// Runs all replicas of `sim` for `ticks` and returns per-replica results.
+std::vector<RunResult> run_batch(BatchSimulator& sim, const std::vector<const InputSchedule*>& ins,
+                                 Tick ticks) {
+  const auto n = static_cast<std::size_t>(sim.replicas());
+  std::vector<VectorSink> sinks(n);
+  std::vector<core::SpikeSink*> sink_ptrs(n);
+  for (std::size_t r = 0; r < n; ++r) sink_ptrs[r] = &sinks[r];
+  sim.run(ticks, ins.empty() ? nullptr : ins.data(), sink_ptrs.data());
+  std::vector<RunResult> out(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    out[r] = {sinks[r].spikes(), sim.stats(static_cast<int>(r))};
+  }
+  return out;
+}
+
+/// The exactness bar: {1, 4, 16} replicas x {1, 3} threads, each replica fed
+/// a distinct input stream, every one compared spike-for-spike (and
+/// counter-for-counter) against its own solo compass run.
+TEST(ReplicaBatch, FuzzMatrixMatchesSoloWitnesses) {
+  constexpr Tick kTicks = 60;
+  for (const std::uint64_t seed : {3ULL, 10ULL}) {
+    const netgen::RandomNetSpec spec = fuzz_spec(seed);
+    const Network net = netgen::make_random(spec);
+    for (const int replicas : {1, 4, 16}) {
+      const std::vector<InputSchedule> ins = replica_inputs(spec, net, replicas, kTicks);
+      const std::vector<const InputSchedule*> ptrs = input_ptrs(ins);
+      std::vector<RunResult> solo;
+      solo.reserve(static_cast<std::size_t>(replicas));
+      for (int r = 0; r < replicas; ++r) {
+        solo.push_back(testsup::run_compass(net, ptrs[static_cast<std::size_t>(r)], kTicks, 1));
+      }
+      for (const int threads : {1, 3}) {
+        BatchSimulator batch(net, {.replicas = replicas, .threads = threads});
+        const std::vector<RunResult> got = run_batch(batch, ptrs, kTicks);
+        for (int r = 0; r < replicas; ++r) {
+          const std::string label = "seed " + std::to_string(seed) + " R" +
+                                    std::to_string(replicas) + " T" + std::to_string(threads) +
+                                    " replica " + std::to_string(r);
+          expect_identical(solo[static_cast<std::size_t>(r)], got[static_cast<std::size_t>(r)],
+                           label.c_str());
+        }
+      }
+    }
+  }
+}
+
+/// Mid-run per-replica checkpoints splice out of the batch: each replica's
+/// snapshot resumes in a solo compass simulator and reproduces the tail of
+/// that replica's uninterrupted solo trajectory, counters included.
+TEST(ReplicaBatch, CheckpointSplicesIntoSoloCompass) {
+  constexpr Tick kHalf = 30;
+  constexpr Tick kTicks = 60;
+  const netgen::RandomNetSpec spec = fuzz_spec(5);
+  const Network net = netgen::make_random(spec);
+  constexpr int kReplicas = 3;
+  const std::vector<InputSchedule> ins = replica_inputs(spec, net, kReplicas, kTicks);
+  const std::vector<const InputSchedule*> ptrs = input_ptrs(ins);
+
+  BatchSimulator batch(net, {.replicas = kReplicas, .threads = 2});
+  run_batch(batch, ptrs, kHalf);
+  for (int r = 0; r < kReplicas; ++r) {
+    const auto i = static_cast<std::size_t>(r);
+    const RunResult full = testsup::run_compass(net, ptrs[i], kTicks, 1);
+    std::stringstream snap;
+    batch.save_checkpoint(r, snap);
+    compass::Simulator resumed(net, {.threads = 2});
+    resumed.load_checkpoint(snap);
+    EXPECT_EQ(resumed.now(), kHalf);
+    VectorSink sink;
+    resumed.run(kTicks - kHalf, ptrs[i], &sink);
+    const std::string label = "replica " + std::to_string(r) + " -> solo";
+    expect_spikes_equal(tail_from(full.spikes, kHalf), sink.spikes(), label.c_str());
+    EXPECT_EQ(resumed.stats().spikes, full.stats.spikes) << label;
+    EXPECT_EQ(resumed.stats().sops, full.stats.sops) << label;
+  }
+}
+
+/// ...and into the batch: a solo checkpoint restored into one replica slot
+/// resumes that trajectory exactly while the other (un-restored) replicas
+/// advance from tick 0 — replicas run on their own local clocks.
+TEST(ReplicaBatch, SoloCheckpointSplicesIntoReplicaSlot) {
+  constexpr Tick kHalf = 30;
+  constexpr Tick kTicks = 60;
+  const netgen::RandomNetSpec spec = fuzz_spec(8);
+  const Network net = netgen::make_random(spec);
+  constexpr int kReplicas = 3;
+  const std::vector<InputSchedule> ins = replica_inputs(spec, net, kReplicas, kTicks);
+  const std::vector<const InputSchedule*> ptrs = input_ptrs(ins);
+
+  compass::Simulator solo(net, {.threads = 1});
+  const RunResult full_r1 = [&] {
+    compass::Simulator s(net, {.threads = 1});
+    VectorSink sink;
+    s.run(kTicks, ptrs[1], &sink);
+    return RunResult{sink.spikes(), s.stats()};
+  }();
+  solo.run(kHalf, ptrs[1], nullptr);
+  std::stringstream snap;
+  solo.save_checkpoint(snap);
+
+  BatchSimulator batch(net, {.replicas = kReplicas, .threads = 1});
+  batch.load_checkpoint(1, snap);
+  EXPECT_EQ(batch.now(1), kHalf);
+  EXPECT_EQ(batch.now(0), 0);
+  const std::vector<RunResult> got = run_batch(batch, ptrs, kHalf);
+  // Replica 1 ran kHalf..kTicks of its trajectory; 0 and 2 ran 0..kHalf.
+  expect_spikes_equal(tail_from(full_r1.spikes, kHalf), got[1].spikes, "restored replica 1");
+  EXPECT_EQ(got[1].stats.spikes, full_r1.stats.spikes);
+  for (const int r : {0, 2}) {
+    const auto i = static_cast<std::size_t>(r);
+    const RunResult solo_head = testsup::run_compass(net, ptrs[i], kHalf, 1);
+    const std::string label = "fresh replica " + std::to_string(r);
+    expect_identical(solo_head, got[i], label.c_str());
+  }
+}
+
+/// Replica snapshots are plain NSCK files: they restore into the TrueNorth
+/// expression (and vice versa) and resume the identical trajectory.
+TEST(ReplicaBatch, CheckpointsInterchangeWithTrueNorth) {
+  constexpr Tick kHalf = 20;
+  constexpr Tick kTicks = 40;
+  const Network net = testsup::hard_network();
+  const InputSchedule in = testsup::hard_inputs(net, kTicks);
+  const std::vector<const InputSchedule*> ptrs = {&in, &in};
+  const RunResult full = testsup::run_truenorth(net, &in, kTicks);
+
+  // batch -> tn: both replicas see the same inputs, so both snapshots must
+  // resume the solo trajectory on the TrueNorth expression.
+  BatchSimulator batch(net, {.replicas = 2, .threads = 1});
+  run_batch(batch, ptrs, kHalf);
+  std::stringstream snap;
+  batch.save_checkpoint(0, snap);
+  tn::TrueNorthSimulator tn_resumed(net);
+  tn_resumed.load_checkpoint(snap);
+  VectorSink tn_sink;
+  tn_resumed.run(kTicks - kHalf, &in, &tn_sink);
+  expect_spikes_equal(tail_from(full.spikes, kHalf), tn_sink.spikes(), "replica -> tn");
+
+  // tn -> batch: restore the TrueNorth midpoint into replica slot 1.
+  tn::TrueNorthSimulator tn_half(net);
+  tn_half.run(kHalf, &in, nullptr);
+  std::stringstream tn_snap;
+  tn_half.save_checkpoint(tn_snap);
+  BatchSimulator batch2(net, {.replicas = 2, .threads = 1});
+  batch2.load_checkpoint(1, tn_snap);
+  const std::vector<RunResult> got = run_batch(batch2, ptrs, kTicks - kHalf);
+  expect_spikes_equal(tail_from(full.spikes, kHalf), got[1].spikes, "tn -> replica");
+}
+
+/// The batch backend models no runtime faults: snapshots carrying cores (or
+/// links) failed mid-run by a fault campaign are rejected, not silently
+/// resurrected.
+TEST(ReplicaBatch, RejectsFaultCarryingSnapshots) {
+  const netgen::RandomNetSpec spec = fuzz_spec(2);
+  const Network net = netgen::make_random(spec);
+  compass::Simulator solo(net, {.threads = 1});
+  solo.run(10, nullptr, nullptr);
+  ASSERT_TRUE(solo.fail_core(1));
+  solo.run(5, nullptr, nullptr);
+  std::stringstream snap;
+  solo.save_checkpoint(snap);
+  BatchSimulator batch(net, {.replicas = 2, .threads = 1});
+  EXPECT_THROW(batch.load_checkpoint(0, snap), std::runtime_error);
+}
+
+/// Hostile potentials (outside the hot sweep's proven |v| <= 2^20 bound) in
+/// an otherwise valid snapshot demote the affected cores of that replica to
+/// the exact generic path: the run must still match a solo compass run
+/// restored from the very same snapshot.
+TEST(ReplicaBatch, HostileSnapshotPotentialsDemoteExactly) {
+  constexpr Tick kTicks = 40;
+  netgen::RecurrentSpec spec;
+  spec.geom = core::Geometry{1, 1, 2, 2};
+  spec.rate_hz = 50;
+  spec.synapses_per_axon = 64;
+  spec.seed = 31;
+  const Network net = netgen::make_recurrent(spec);
+
+  compass::Simulator warm(net, {.threads = 1});
+  warm.run(10, nullptr, nullptr);
+  std::stringstream snap_stream;
+  warm.save_checkpoint(snap_stream);
+  core::Snapshot snap = core::load_snapshot(snap_stream);
+  snap.v[0] = core::kHotPotentialBound + 1;   // just past the proven bound
+  snap.v[7] = -(core::kHotPotentialBound + 1);
+
+  std::stringstream hostile;
+  core::save_snapshot(snap, hostile);
+  compass::Simulator solo(net, {.threads = 1});
+  solo.load_checkpoint(hostile);
+  VectorSink solo_sink;
+  solo.run(kTicks, nullptr, &solo_sink);
+
+  hostile.clear();
+  hostile.seekg(0);
+  BatchSimulator batch(net, {.replicas = 2, .threads = 1});
+  batch.load_checkpoint(0, hostile);
+  const std::vector<RunResult> got = run_batch(batch, {}, kTicks);
+  expect_spikes_equal(solo_sink.spikes(), got[0].spikes, "hostile restore");
+  EXPECT_EQ(got[0].stats.spikes, solo.stats().spikes);
+  EXPECT_EQ(got[0].stats.sops, solo.stats().sops);
+}
+
+/// Aggregate view: per-replica counters sum into aggregate_stats(), and the
+/// replica.* observability counters report the batch shape.
+TEST(ReplicaBatch, AggregateStatsAndCounters) {
+  constexpr Tick kTicks = 25;
+  netgen::RecurrentSpec spec;
+  spec.geom = core::Geometry{1, 1, 2, 2};
+  spec.rate_hz = 50;
+  spec.synapses_per_axon = 64;
+  spec.seed = 12;
+  const Network net = netgen::make_recurrent(spec);
+  constexpr int kReplicas = 3;
+  BatchSimulator batch(net, {.replicas = kReplicas, .threads = 1});
+  const std::vector<RunResult> got = run_batch(batch, {}, kTicks);
+
+  core::KernelStats sum;
+  for (const RunResult& r : got) {
+    sum.ticks += r.stats.ticks;
+    sum.spikes += r.stats.spikes;
+    sum.sops += r.stats.sops;
+    sum.neuron_updates += r.stats.neuron_updates;
+  }
+  const core::KernelStats agg = batch.aggregate_stats();
+  EXPECT_EQ(agg.ticks, sum.ticks);
+  EXPECT_EQ(agg.ticks, static_cast<std::uint64_t>(kReplicas) * kTicks);
+  EXPECT_EQ(agg.spikes, sum.spikes);
+  EXPECT_EQ(agg.sops, sum.sops);
+  EXPECT_EQ(agg.neuron_updates, sum.neuron_updates);
+
+  EXPECT_EQ(testsup::counter_value(batch.metrics(), "replica.count"), kReplicas);
+  EXPECT_EQ(testsup::counter_value(batch.metrics(), "replica.tick_replicas"),
+            static_cast<std::uint64_t>(kReplicas) * kTicks);
+  // Every (tick, replica, live core) is either visited or skipped.
+  EXPECT_EQ(testsup::counter_value(batch.metrics(), "cores_visited") +
+                testsup::counter_value(batch.metrics(), "cores_skipped"),
+            static_cast<std::uint64_t>(kReplicas) * kTicks * 4);
+}
+
+/// Replica indices are validated on the checkpoint interface.
+TEST(ReplicaBatch, BadReplicaIndexThrows) {
+  netgen::RecurrentSpec spec;
+  spec.geom = core::Geometry{1, 1, 2, 2};
+  spec.rate_hz = 50;
+  spec.synapses_per_axon = 64;
+  spec.seed = 4;
+  const Network net = netgen::make_recurrent(spec);
+  BatchSimulator batch(net, {.replicas = 2, .threads = 1});
+  std::stringstream snap;
+  EXPECT_THROW(batch.save_checkpoint(2, snap), std::out_of_range);
+  EXPECT_THROW(batch.save_checkpoint(-1, snap), std::out_of_range);
+  EXPECT_THROW(batch.load_checkpoint(2, snap), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace nsc

@@ -1,8 +1,8 @@
 // nsc_run — execute a network model file on either kernel expression.
 //
 //   nsc_run --net net.nsc --ticks 1000 [--backend tn|compass] [--threads N]
-//           [--ranks N] [--in events.aer] [--out spikes.aer] [--json report.json]
-//           [--volts 0.75] [--verify] [--lint]
+//           [--ranks N] [--replicas N] [--in events.aer] [--out spikes.aer]
+//           [--json report.json] [--volts 0.75] [--verify] [--lint]
 //           [--restore ckpt.nsck] [--save-checkpoint ckpt.nsck [--checkpoint-at T]]
 //           [--trace-hash] [--expect-trace-hash HEX]
 //
@@ -21,10 +21,19 @@
 // and exits 1 on drift (the golden-trace gate, docs/PERFORMANCE.md).
 // --ranks N > 1 runs the compass backend sharded across N forked rank
 // processes (docs/DISTRIBUTED.md) — same spikes, same trace hash.
+// --replicas N > 1 runs N batched instances of the network on the
+// replica-batched compass backend (docs/REPLICA.md): --in events are
+// assigned round-robin (event k to replica k mod N), --trace-hash prints
+// each replica's hash plus the combined FNV mix of all of them (the value
+// --expect-trace-hash checks), and stats/--json report aggregate counters
+// over all replicas. Per-replica checkpointing and AER output are not
+// plumbed through this CLI, so --replicas rejects --verify, --restore,
+// --save-checkpoint, --out and --ranks > 1 as usage errors.
 //
 // Exit codes: 0 success, 1 runtime failure (bad file, verify/hash mismatch,
-// lint error), 2 usage error (missing --net, malformed --ranks, --ranks
-// without the compass backend).
+// lint error), 2 usage error (missing --net, malformed --ranks/--replicas,
+// --ranks or --replicas without the compass backend, --replicas combined
+// with an unsupported mode).
 #include <cerrno>
 #include <cstdint>
 #include <cstdio>
@@ -33,6 +42,7 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "src/analysis/report.hpp"
 #include "src/compass/simulator.hpp"
@@ -47,6 +57,7 @@
 #include "src/energy/units.hpp"
 #include "src/obs/json_report.hpp"
 #include "src/obs/obs.hpp"
+#include "src/replica/batch.hpp"
 #include "src/tn/chip_sim.hpp"
 
 namespace {
@@ -126,8 +137,8 @@ int main(int argc, char** argv) {
   if (net_path.empty()) {
     std::fprintf(stderr,
                  "usage: nsc_run --net FILE --ticks N [--backend tn|compass] [--threads N]\n"
-                 "               [--ranks N] [--in events.aer] [--out spikes.aer] [--volts V]\n"
-                 "               [--verify] [--lint] [--restore F]\n"
+                 "               [--ranks N] [--replicas N] [--in events.aer] [--out spikes.aer]\n"
+                 "               [--volts V] [--verify] [--lint] [--restore F]\n"
                  "               [--save-checkpoint F [--checkpoint-at T]]\n");
     return 2;
   }
@@ -148,6 +159,37 @@ int main(int argc, char** argv) {
   if (ranks > 1 && std::string(flag_value(argc, argv, "--backend", "tn")) != "compass") {
     std::fprintf(stderr, "usage error: --ranks requires --backend compass\n");
     return 2;
+  }
+  // --replicas shares the usage-level contract: malformed values and modes
+  // the batched backend does not support are rejected before loading.
+  int replicas = 1;
+  try {
+    replicas =
+        static_cast<int>(parse_ll("--replicas", flag_value(argc, argv, "--replicas", "1")));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "usage error: %s\n", e.what());
+    return 2;
+  }
+  if (replicas < 1) {
+    std::fprintf(stderr, "usage error: --replicas must be >= 1, got %d\n", replicas);
+    return 2;
+  }
+  if (replicas > 1) {
+    if (std::string(flag_value(argc, argv, "--backend", "tn")) != "compass") {
+      std::fprintf(stderr, "usage error: --replicas requires --backend compass\n");
+      return 2;
+    }
+    if (ranks > 1) {
+      std::fprintf(stderr, "usage error: --replicas cannot be combined with --ranks > 1\n");
+      return 2;
+    }
+    if (flag_present(argc, argv, "--verify") || flag_present(argc, argv, "--restore") ||
+        flag_present(argc, argv, "--save-checkpoint") || flag_present(argc, argv, "--out")) {
+      std::fprintf(stderr,
+                   "usage error: --replicas does not support --verify, --restore, "
+                   "--save-checkpoint or --out\n");
+      return 2;
+    }
   }
   try {
     const auto ticks =
@@ -185,6 +227,81 @@ int main(int argc, char** argv) {
       std::printf("inputs: %zu events from %s\n", inputs.size(), in_path.c_str());
     } else {
       inputs.finalize();
+    }
+
+    if (replicas > 1) {
+      // Batched multi-instance run (docs/REPLICA.md): input events fan out
+      // round-robin — event k of the finalized (sorted) schedule drives
+      // replica k mod N — so one AER file exercises divergent replicas.
+      std::vector<nsc::core::InputSchedule> rep_inputs(static_cast<std::size_t>(replicas));
+      {
+        std::size_t k = 0;
+        for (const nsc::core::InputSpike& ev : inputs.events()) {
+          rep_inputs[k % static_cast<std::size_t>(replicas)].add(ev);
+          ++k;
+        }
+      }
+      std::vector<const nsc::core::InputSchedule*> in_ptrs(static_cast<std::size_t>(replicas));
+      std::vector<nsc::core::TraceHashSink> hash_sinks(static_cast<std::size_t>(replicas));
+      std::vector<nsc::core::SpikeSink*> sink_ptrs(static_cast<std::size_t>(replicas));
+      for (int r = 0; r < replicas; ++r) {
+        const auto i = static_cast<std::size_t>(r);
+        rep_inputs[i].finalize();
+        in_ptrs[i] = &rep_inputs[i];
+        sink_ptrs[i] = &hash_sinks[i];
+      }
+      nsc::replica::BatchSimulator sim(
+          net, {.replicas = replicas, .threads = std::max(1, threads)});
+      nsc::obs::BenchReport report;
+      report.name = "nsc_run";
+      const std::uint64_t t0 = nsc::obs::now_ns();
+      sim.run(ticks, in_ptrs.data(), sink_ptrs.data());
+      report.wall_s = 1e-9 * static_cast<double>(nsc::obs::now_ns() - t0);
+      const nsc::core::KernelStats stats = sim.aggregate_stats();
+      report.stats = stats;
+      report.threads = std::max(1, threads);
+      report.ticks = static_cast<std::uint64_t>(replicas) * static_cast<std::uint64_t>(ticks);
+      report.metrics = sim.metrics();
+      std::printf("replicas %d (aggregate stats below)\n", replicas);
+      // aggregate_stats().ticks already sums replica-ticks (R*T), so the rate
+      // denominator takes the plain per-instance neuron count.
+      print_stats(stats, neurons);
+      print_phases(sim.metrics(), stats.ticks);
+      if (!json_path.empty()) {
+        nsc::obs::write_bench_report(json_path, report);
+        std::printf("wrote metrics report to %s\n", json_path.c_str());
+      }
+      if (want_trace_hash) {
+        // The combined digest FNV-mixes the per-replica digests in replica
+        // order, so it pins every replica's stream and their assignment.
+        std::uint64_t combined = nsc::core::TraceHashSink::kFnvOffset;
+        std::uint64_t nspikes = 0;
+        for (int r = 0; r < replicas; ++r) {
+          const auto i = static_cast<std::size_t>(r);
+          std::printf("replica %d trace hash: %016llx over %llu spikes\n", r,
+                      static_cast<unsigned long long>(hash_sinks[i].hash()),
+                      static_cast<unsigned long long>(hash_sinks[i].spike_count()));
+          for (int b = 0; b < 8; ++b) {
+            combined = (combined ^ ((hash_sinks[i].hash() >> (8 * b)) & 0xFFU)) *
+                       nsc::core::TraceHashSink::kFnvPrime;
+          }
+          nspikes += hash_sinks[i].spike_count();
+        }
+        std::printf("trace hash: %016llx over %llu spikes (combined, %d replicas)\n",
+                    static_cast<unsigned long long>(combined),
+                    static_cast<unsigned long long>(nspikes), replicas);
+        if (!expect_hash_hex.empty()) {
+          const std::uint64_t want = parse_hex64("--expect-trace-hash", expect_hash_hex.c_str());
+          if (combined != want) {
+            std::fprintf(stderr, "TRACE HASH MISMATCH: got %016llx, want %016llx\n",
+                         static_cast<unsigned long long>(combined),
+                         static_cast<unsigned long long>(want));
+            return 1;
+          }
+          std::printf("trace hash matches golden value\n");
+        }
+      }
+      return 0;
     }
 
     if (flag_present(argc, argv, "--verify")) {
