@@ -16,6 +16,8 @@ bool Simulator::fail_core(CoreId) { return false; }
 
 bool Simulator::fail_link(int, int) { return false; }
 
+bool Simulator::fail_rank(int, bool) { return false; }
+
 double CoreSpec::mean_row_synapses() const {
   int rows_used = 0;
   int syn = 0;

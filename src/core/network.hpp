@@ -139,6 +139,13 @@ class Simulator {
   /// are dropped and counted. Returns false when out of range, already dead,
   /// or unsupported. Must only be called between run() calls.
   virtual bool fail_link(int chip, int dir);
+
+  /// Kills (`hang == false`) or wedges (`hang == true`) the process hosting
+  /// shard `rank` of a distributed backend. Single-process backends have no
+  /// ranks to lose and return false — which makes a rank-kill fault campaign
+  /// a no-op on them, so the same campaign doubles as its own fault-free
+  /// reference run. Must only be called between run() calls.
+  virtual bool fail_rank(int rank, bool hang);
 };
 
 }  // namespace nsc::core

@@ -39,6 +39,7 @@ Coordinator::Coordinator(const core::Network& net, Config cfg)
   ctr_dist_messages_ = &obs_.counter("dist.messages");
   ctr_dist_bytes_ = &obs_.counter("dist.bytes");
   ctr_dist_exchange_ns_ = &obs_.counter("dist.exchange_ns");
+  ctr_heartbeats_missed_ = &obs_.counter("dist.heartbeats_missed");
 
   const auto ncores = static_cast<std::size_t>(net.geom.total_cores());
   dead_.assign(ncores, 0);
@@ -57,6 +58,7 @@ Coordinator::Coordinator(const core::Network& net, Config cfg)
   to_rank_ = std::move(s.to_rank);
   pids_ = std::move(s.pids);
   alive_.assign(static_cast<std::size_t>(cfg.ranks), 1);
+  stopped_.assign(static_cast<std::size_t>(cfg.ranks), 0);
 }
 
 Coordinator::~Coordinator() {
@@ -68,10 +70,14 @@ Coordinator::~Coordinator() {
     }
   }
   for (int r = 0; r < cfg_.ranks; ++r) {
-    if (pids_[static_cast<std::size_t>(r)] > 0) {
-      reap_rank(pids_[static_cast<std::size_t>(r)]);
-      pids_[static_cast<std::size_t>(r)] = -1;
-    }
+    const auto ri = static_cast<std::size_t>(r);
+    if (pids_[ri] <= 0) continue;
+    // A stopped (SIGSTOP) or wedged rank will never act on kShutdown: kill
+    // it outright, and bound the reap so teardown can never hang even if a
+    // rank ignores the shutdown for any other reason.
+    if (stopped_[ri] != 0) kill_rank_process(pids_[ri]);
+    reap_rank_deadline(pids_[ri], /*deadline_ms=*/5000);
+    pids_[ri] = -1;
   }
 }
 
@@ -99,6 +105,7 @@ void Coordinator::on_rank_death(int r) {
   to_rank_[ri].close();
   reap_rank(pids_[ri]);
   pids_[ri] = -1;
+  stopped_[ri] = 0;
   // The lost shard degrades exactly like a fault campaign killing its cores:
   // accounted, never silent (survivor ranks apply the same rule when they
   // observe the death on their own channels).
@@ -117,6 +124,30 @@ void Coordinator::broadcast(MsgKind kind, const void* payload, std::size_t size)
                                                           payload, size)) {
       on_rank_death(r);
     }
+  }
+}
+
+bool Coordinator::recv_from_rank(int r, Frame& f) {
+  const auto ri = static_cast<std::size_t>(r);
+  for (;;) {
+    const RecvStatus st = to_rank_[ri].recv_frame_deadline(f, cfg_.rank_deadline_ms);
+    if (st == RecvStatus::kOk) {
+      if (f.kind == static_cast<std::uint32_t>(MsgKind::kHeartbeat)) continue;
+      return true;
+    }
+    if (st == RecvStatus::kClosed) {
+      on_rank_death(r);
+      return false;
+    }
+    // kTimeout: silent past the deadline with heartbeats enabled — the rank
+    // is hung, not slow. Kill it (SIGKILL also resumes-to-kill a SIGSTOPped
+    // process), absorb the death, and surface a catchable, recoverable
+    // error instead of wedging the whole run.
+    ++*ctr_heartbeats_missed_;
+    kill_rank_process(pids_[ri]);
+    on_rank_death(r);
+    throw RankTimeout("dist: rank " + std::to_string(r) + " silent for more than " +
+                      std::to_string(cfg_.rank_deadline_ms) + " ms (declared hung and killed)");
   }
 }
 
@@ -146,10 +177,7 @@ void Coordinator::collect_reports() {
   for (int r = 0; r < cfg_.ranks; ++r) {
     if (alive_[static_cast<std::size_t>(r)] == 0) continue;
     Frame f;
-    if (!to_rank_[static_cast<std::size_t>(r)].recv_frame(f)) {
-      on_rank_death(r);
-      continue;
-    }
+    if (!recv_from_rank(r, f)) continue;
     if (f.kind != static_cast<std::uint32_t>(MsgKind::kReport)) {
       throw std::runtime_error("dist: expected a rank report frame");
     }
@@ -188,10 +216,7 @@ void Coordinator::run(Tick nticks, const core::InputSchedule* inputs, core::Spik
       for (int r = 0; r < cfg_.ranks; ++r) {
         if (alive_[static_cast<std::size_t>(r)] == 0) continue;
         Frame f;
-        if (!to_rank_[static_cast<std::size_t>(r)].recv_frame(f)) {
-          on_rank_death(r);
-          continue;
-        }
+        if (!recv_from_rank(r, f)) continue;
         if (f.kind != static_cast<std::uint32_t>(MsgKind::kTickSpikes)) {
           throw std::runtime_error("dist: expected a tick-spikes frame");
         }
@@ -223,6 +248,19 @@ bool Coordinator::fail_core(CoreId c) {
   return true;
 }
 
+bool Coordinator::fail_rank(int rank, bool hang) {
+  if (rank < 0 || rank >= cfg_.ranks) return false;
+  const auto ri = static_cast<std::size_t>(rank);
+  if (alive_[ri] == 0 || pids_[ri] <= 0) return false;
+  if (hang) {
+    stop_rank_process(pids_[ri]);
+    stopped_[ri] = 1;
+  } else {
+    kill_rank_process(pids_[ri]);
+  }
+  return true;
+}
+
 bool Coordinator::fail_link(int chip, int dir) {
   if (net_.geom.chips() <= 1) return false;
   if (chip < 0 || chip >= net_.geom.chips() || dir < 0 || dir >= 4) return false;
@@ -249,10 +287,7 @@ void Coordinator::save_checkpoint(std::ostream& os) const {
   for (int r = 0; r < cfg_.ranks; ++r) {
     if (alive_[static_cast<std::size_t>(r)] == 0) continue;
     Frame f;
-    if (!self->to_rank_[static_cast<std::size_t>(r)].recv_frame(f)) {
-      self->on_rank_death(r);
-      continue;
-    }
+    if (!self->recv_from_rank(r, f)) continue;
     if (f.kind != static_cast<std::uint32_t>(MsgKind::kBlob)) {
       throw std::runtime_error("dist: expected a checkpoint blob frame");
     }

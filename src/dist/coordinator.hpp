@@ -54,6 +54,13 @@ class Coordinator final : public core::Simulator {
   bool fail_core(core::CoreId c) override;
   bool fail_link(int chip, int dir) override;
 
+  /// Process-level fault injection (rank-kill / rank-hang campaign events):
+  /// SIGKILLs (`hang == false`) or SIGSTOPs (`hang == true`) the rank's
+  /// process. The failure is NOT absorbed here — it surfaces through the
+  /// normal detection paths (EOF for a kill, deadline expiry for a hang),
+  /// exactly like a real node loss would.
+  bool fail_rank(int rank, bool hang) override;
+
   [[nodiscard]] const Config& config() const noexcept { return cfg_; }
   [[nodiscard]] const std::vector<compass::CoreRange>& shards() const noexcept { return shards_; }
   [[nodiscard]] bool rank_alive(int r) const noexcept {
@@ -84,6 +91,12 @@ class Coordinator final : public core::Simulator {
   void collect_reports();
   void on_rank_death(int r);
   void broadcast(MsgKind kind, const void* payload, std::size_t size);
+  /// Deadline-aware receive from rank r: drains kHeartbeat frames (each one
+  /// refreshes the silence window), returns false after absorbing an EOF
+  /// death, and on deadline expiry kills the hung rank, absorbs its death,
+  /// and throws RankTimeout. With rank_deadline_ms == 0 this is exactly the
+  /// old blocking recv_frame.
+  bool recv_from_rank(int r, Frame& f);
 
   const core::Network& net_;
   Config cfg_;
@@ -93,6 +106,9 @@ class Coordinator final : public core::Simulator {
   std::vector<Channel> to_rank_;
   std::vector<int> pids_;
   std::vector<std::uint8_t> alive_;
+  /// Ranks SIGSTOPped by fail_rank(hang): the destructor must SIGKILL them
+  /// before reaping — waitpid on a stopped process never returns.
+  std::vector<std::uint8_t> stopped_;
 
   /// Coordinator-side fault mirror: validates fail_* calls (same contract as
   /// the in-process backends) and owns the cores_failed/links_failed counts,
@@ -113,6 +129,7 @@ class Coordinator final : public core::Simulator {
   std::uint64_t* ctr_dist_messages_ = nullptr;
   std::uint64_t* ctr_dist_bytes_ = nullptr;
   std::uint64_t* ctr_dist_exchange_ns_ = nullptr;
+  std::uint64_t* ctr_heartbeats_missed_ = nullptr;
   std::vector<std::uint64_t> rank_compute_ns_;
   std::vector<std::uint64_t> rank_exchange_ns_;
 };

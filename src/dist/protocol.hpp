@@ -9,7 +9,8 @@
 // Channels and directions:
 //   coordinator -> rank : kRun, kFailCore, kFailLink, kSave, kLoad, kShutdown
 //   rank -> coordinator : kTickSpikes (one per tick while recording),
-//                         kReport (end of every command), kBlob (kSave reply)
+//                         kReport (end of every command), kBlob (kSave reply),
+//                         kHeartbeat (liveness, only when a deadline is set)
 //   rank <-> rank       : kSpikeBatch (exactly one per tick per live peer)
 #pragma once
 
@@ -35,6 +36,8 @@ enum class MsgKind : std::uint32_t {
   kBlob = 8,       ///< checkpoint bytes (kSave reply).
   kLoad = 9,       ///< checkpoint bytes to restore.
   kShutdown = 10,  ///< clean exit request.
+  kHeartbeat = 11, ///< empty liveness frame: refreshes the rank's last-seen
+                   ///< clock so a slow rank is never mistaken for a hung one.
 };
 
 /// Per-command counter deltas a rank reports to the coordinator. Deltas (not

@@ -1,5 +1,6 @@
 #include "src/dist/rank.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <sstream>
 #include <vector>
@@ -93,6 +94,22 @@ void on_peer_death(RankState& st, int peer) {
   for (core::CoreId c = r.begin; c < r.end; ++c) st.sim->fail_core(c);
 }
 
+/// True when the fault-injection hooks of `cfg` apply to this incarnation
+/// of the rank fleet (the Supervisor bumps `incarnation` on respawn, so a
+/// one-shot failure cannot refire after the rollback replays its tick).
+bool hooks_armed(const Config& cfg) {
+  return cfg.hook_incarnation < 0 || cfg.hook_incarnation == cfg.incarnation;
+}
+
+/// Fires the per-tick failure hooks configured for (phase, tick) — suicide,
+/// second suicide, and hang. Never returns if a hook fires.
+void fire_tick_hooks(const Config& cfg, int rank, int phase, core::Tick t) {
+  if (!hooks_armed(cfg) || phase != cfg.suicide_phase) return;
+  if (rank == cfg.suicide_rank && t == cfg.suicide_tick) exit_rank_process(3);
+  if (rank == cfg.suicide2_rank && t == cfg.suicide2_tick) exit_rank_process(3);
+  if (rank == cfg.hang_rank && t == cfg.hang_tick) wedge_rank_process();
+}
+
 /// One run segment: nticks of dist_tick + peer exchange (+ per-tick spike
 /// frames to the coordinator when recording). Returns false when the parent
 /// channel died (the rank should exit).
@@ -106,10 +123,23 @@ bool run_segment(RankState& st, const Config& cfg, int rank, Channel& parent, Pe
   std::vector<int> newly_dead;
   std::vector<core::Spike> spikes;
   std::vector<std::uint8_t> tick_payload;
+  // Peer exchange gets half the coordinator's deadline: a rank stalled on a
+  // hung peer must unwedge itself (degrading the peer) before its own
+  // silence makes the coordinator kill *it* as collateral.
+  const int pump_deadline_ms =
+      cfg.rank_deadline_ms > 0 ? std::max(1, cfg.rank_deadline_ms / 2) : 0;
+  // While recording, the per-tick kTickSpikes frames are the liveness
+  // signal; otherwise send explicit heartbeats, throttled to one per
+  // deadline/4 so a long unsupervised segment cannot flood the socket.
+  const bool heartbeats = !record && cfg.rank_deadline_ms > 0;
+  const std::uint64_t hb_interval_ns =
+      static_cast<std::uint64_t>(cfg.rank_deadline_ms) * 1000000ULL / 4;
+  std::uint64_t last_hb = obs::now_ns();
   for (core::Tick i = 0; i < nticks; ++i) {
     const core::Tick t = start + i;
-    if (rank == cfg.suicide_rank && t == cfg.suicide_tick) exit_rank_process(3);
+    fire_tick_hooks(cfg, rank, 0, t);
     sim.dist_tick(t, &inputs, record);
+    fire_tick_hooks(cfg, rank, 1, t);
 
     // Exchange: exactly one kSpikeBatch per live peer, both directions,
     // poll-driven. Peers consume tick-t batches before computing t+1 (axonal
@@ -132,7 +162,7 @@ bool run_segment(RankState& st, const Config& cfg, int rank, Channel& parent, Pe
       st.dist_messages += 1;
       st.dist_bytes += f.payload.size();
     }
-    pump.round(out, in, newly_dead);
+    pump.round(out, in, newly_dead, pump_deadline_ms);
     for (int r = 0; r < R; ++r) {
       Frame& f = in[static_cast<std::size_t>(r)];
       if (f.kind != static_cast<std::uint32_t>(MsgKind::kSpikeBatch)) continue;
@@ -151,7 +181,14 @@ bool run_segment(RankState& st, const Config& cfg, int rank, Channel& parent, Pe
     }
     sim.dist_clear_outgoing();
     st.exchange_ns += obs::now_ns() - x0;
+    fire_tick_hooks(cfg, rank, 2, t);
 
+    if (heartbeats && obs::now_ns() - last_hb >= hb_interval_ns) {
+      if (!parent.send_frame(static_cast<std::uint32_t>(MsgKind::kHeartbeat), nullptr, 0)) {
+        return false;
+      }
+      last_hb = obs::now_ns();
+    }
     if (record) {
       spikes.clear();
       sim.dist_drain_spikes(spikes);
@@ -190,6 +227,7 @@ int rank_main(const core::Network& net, const Config& cfg, Spawned&& spawned) {
   Channel& parent = spawned.to_parent;
   PeerPump pump(&spawned.peers, rank);
 
+  int saves_seen = 0;
   Frame cmd;
   while (parent.recv_frame(cmd)) {
     switch (static_cast<MsgKind>(cmd.kind)) {
@@ -224,6 +262,11 @@ int rank_main(const core::Network& net, const Config& cfg, Spawned&& spawned) {
         break;
       }
       case MsgKind::kSave: {
+        ++saves_seen;
+        if (hooks_armed(cfg) && rank == cfg.die_on_save_rank &&
+            saves_seen == cfg.die_on_save_seq) {
+          exit_rank_process(3);  // Death mid-checkpoint-collection.
+        }
         std::ostringstream os(std::ios::binary);
         sim.save_checkpoint(os);
         const std::string blob = os.str();

@@ -21,6 +21,31 @@ struct Config {
   /// EOF and degrade via the fail_core accounting instead of hanging.
   int suicide_rank = -1;
   core::Tick suicide_tick = -1;
+  /// Tick phase at which the suicide/suicide2/hang hooks fire: 0 =
+  /// pre-compute, 1 = post-compute (before the peer exchange), 2 =
+  /// post-exchange (before the recorded spikes reach the coordinator).
+  int suicide_phase = 0;
+  /// Second independent failure for double-failure-in-one-recovery-window
+  /// tests (same exit-3 semantics as the first).
+  int suicide2_rank = -1;
+  core::Tick suicide2_tick = -1;
+  /// Hang hook: the rank wedges forever (fds stay open, so peers see
+  /// silence rather than EOF) — only a deadline can detect it.
+  int hang_rank = -1;
+  core::Tick hang_tick = -1;
+  /// Checkpoint-time death: rank `die_on_save_rank` exits on receiving its
+  /// `die_on_save_seq`-th kSave command (kills recovery-image collection).
+  int die_on_save_rank = -1;
+  int die_on_save_seq = 1;
+  /// All hooks above fire only when `hook_incarnation` matches `incarnation`
+  /// (-1 = every incarnation). The Supervisor bumps `incarnation` on each
+  /// respawn, so a tick-T suicide does not refire after rolling back past T.
+  int hook_incarnation = 0;
+  int incarnation = 0;
+  /// Failure-detection deadline: declare a silent rank hung (and kill it)
+  /// after this many ms without bytes or heartbeats. 0 = disabled — waits
+  /// block forever exactly as before the deadline layer existed.
+  int rank_deadline_ms = 0;
 };
 
 /// Runs the rank command loop until the coordinator shuts it down or its

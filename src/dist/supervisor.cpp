@@ -1,0 +1,196 @@
+#include "src/dist/supervisor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace nsc::dist {
+
+using core::Tick;
+
+namespace {
+
+/// Per-segment output buffer: spikes and tick-end marks are replayed to the
+/// user sink only after the segment is known good, and only for ticks at or
+/// past the committed watermark — a rollback replays the pre-fault prefix
+/// without double-emitting it.
+class BufferSink final : public core::SpikeSink {
+ public:
+  void on_spike(Tick tick, core::CoreId c, std::uint16_t neuron) override {
+    ev_.push_back({tick, c, neuron, 0});
+  }
+  void on_tick_end(Tick tick) override { ev_.push_back({tick, 0, 0, 1}); }
+
+  void flush(core::SpikeSink& out, Tick committed) {
+    for (const Ev& e : ev_) {
+      if (e.tick < committed) continue;
+      if (e.end != 0) {
+        out.on_tick_end(e.tick);
+      } else {
+        out.on_spike(e.tick, e.core, e.neuron);
+      }
+    }
+    ev_.clear();
+  }
+
+ private:
+  struct Ev {
+    Tick tick;
+    core::CoreId core;
+    std::uint16_t neuron;
+    std::uint8_t end;
+  };
+  std::vector<Ev> ev_;
+};
+
+}  // namespace
+
+Supervisor::Supervisor(const core::Network& net, Config cfg, SupervisorConfig scfg)
+    : net_(net), cfg_(cfg), scfg_(scfg) {
+  if (scfg.recovery_interval < 1) {
+    throw std::invalid_argument("dist: recovery_interval must be >= 1");
+  }
+  if (scfg.max_respawns < 0) throw std::invalid_argument("dist: max_respawns must be >= 0");
+  if (scfg.backoff_base_ms < 0) {
+    throw std::invalid_argument("dist: backoff_base_ms must be >= 0");
+  }
+  ctr_respawned_ = &own_.counter("dist.ranks_respawned");
+  ctr_recovery_ns_ = &own_.counter("dist.recovery_ns");
+  ctr_rollback_ticks_ = &own_.counter("dist.rollback_ticks");
+  cfg_.incarnation = incarnation_;
+  coord_ = std::make_unique<Coordinator>(net_, cfg_);
+  committed_ = coord_->now();
+  journal_end_ = coord_->now();
+}
+
+const obs::Registry& Supervisor::metrics() const {
+  merged_ = coord_->metrics();
+  merged_.merge(own_);
+  return merged_;
+}
+
+void Supervisor::load_checkpoint(std::istream& is) {
+  coord_->load_checkpoint(is);
+  image_.clear();
+  image_tick_ = -1;
+  journal_.clear();
+  journal_end_ = coord_->now();
+  committed_ = coord_->now();
+}
+
+bool Supervisor::fail_core(core::CoreId c) {
+  const bool ok = coord_->fail_core(c);
+  if (ok) {
+    image_.clear();
+    image_tick_ = -1;
+  }
+  return ok;
+}
+
+bool Supervisor::fail_link(int chip, int dir) {
+  const bool ok = coord_->fail_link(chip, dir);
+  if (ok) {
+    image_.clear();
+    image_tick_ = -1;
+  }
+  return ok;
+}
+
+bool Supervisor::fail_rank(int rank, bool hang) { return coord_->fail_rank(rank, hang); }
+
+void Supervisor::refresh_image() {
+  if (coord_->live_ranks() != cfg_.ranks) return;  // Never image a degraded fleet.
+  if (image_tick_ >= 0 && coord_->now() < image_tick_ + scfg_.recovery_interval) return;
+  std::ostringstream os(std::ios::binary);
+  coord_->save_checkpoint(os);
+  if (coord_->live_ranks() != cfg_.ranks) return;  // Death mid-collection: keep the old image.
+  image_ = os.str();
+  image_tick_ = coord_->now();
+  // The journal only ever needs to reach back to the image tick.
+  journal_.erase(std::remove_if(journal_.begin(), journal_.end(),
+                                [this](const core::InputSpike& s) { return s.tick < image_tick_; }),
+                 journal_.end());
+}
+
+void Supervisor::journal_inputs(const core::InputSchedule* inputs, Tick to) {
+  if (inputs != nullptr) {
+    for (Tick t = journal_end_; t < to; ++t) {
+      for (const core::InputSpike& s : inputs->at(t)) journal_.push_back(s);
+    }
+  }
+  journal_end_ = std::max(journal_end_, to);
+}
+
+bool Supervisor::recover(Tick planned_end) {
+  if (respawns_done_ >= scfg_.max_respawns || image_tick_ < 0) {
+    exhausted_ = true;
+    return false;
+  }
+  const std::uint64_t t0 = obs::now_ns();
+  // The dying incarnation's hang detections must survive it (every other
+  // counter is either restored from the image or legitimately re-earned by
+  // the replay).
+  own_.counter("dist.heartbeats_missed") +=
+      coord_->metrics().counter_value("dist.heartbeats_missed");
+  if (scfg_.backoff_base_ms > 0) {
+    const int shift = std::min(respawns_done_, 10);
+    const int delay = std::min(scfg_.backoff_base_ms << shift, 2000);
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+  }
+  ++respawns_done_;
+  ++incarnation_;
+  cfg_.incarnation = incarnation_;
+  coord_.reset();  // Tears down (and reaps) whatever is left of the fleet.
+  coord_ = std::make_unique<Coordinator>(net_, cfg_);
+  std::istringstream is(image_, std::ios::binary);
+  coord_->load_checkpoint(is);
+  *ctr_respawned_ += static_cast<std::uint64_t>(cfg_.ranks);
+  *ctr_rollback_ticks_ += static_cast<std::uint64_t>(planned_end - image_tick_);
+  *ctr_recovery_ns_ += obs::now_ns() - t0;
+  return true;
+}
+
+void Supervisor::run(Tick nticks, const core::InputSchedule* inputs, core::SpikeSink* sink) {
+  if (nticks <= 0) return;
+  const Tick target = coord_->now() + nticks;
+  while (coord_->now() < target) {
+    if (scfg_.policy != Policy::kRecover || exhausted_) {
+      // Plain degrade path: no imaging, no buffering; a hang still surfaces
+      // as RankTimeout (when a deadline is configured) rather than a wedge.
+      coord_->run(target - coord_->now(), inputs, sink);
+      committed_ = coord_->now();
+      break;
+    }
+    Tick seg_end = target;
+    try {
+      refresh_image();
+      if (image_tick_ >= 0) {
+        const Tick block_end = image_tick_ + scfg_.recovery_interval;
+        seg_end = std::min(target, std::max(block_end, coord_->now() + 1));
+      }
+      journal_inputs(inputs, seg_end);
+      core::InputSchedule replay;
+      for (const core::InputSpike& s : journal_) replay.add(s);
+      replay.finalize();
+      BufferSink buf;
+      coord_->run(seg_end - coord_->now(), &replay, sink != nullptr ? &buf : nullptr);
+      if (coord_->live_ranks() == cfg_.ranks) {
+        if (sink != nullptr) buf.flush(*sink, committed_);
+        committed_ = coord_->now();
+      } else if (!recover(seg_end)) {
+        // Budget spent (or no image): keep the degraded world we have.
+        if (sink != nullptr) buf.flush(*sink, committed_);
+        committed_ = coord_->now();
+      }
+    } catch (const RankTimeout&) {
+      // A hang always aborts the segment mid-flight (the merge cannot be
+      // resumed), so without a successful recovery it must propagate.
+      if (!recover(seg_end)) throw;
+    }
+  }
+}
+
+}  // namespace nsc::dist

@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
@@ -57,6 +58,43 @@ bool recv_all(int fd, void* data, std::size_t n) {
     n -= static_cast<std::size_t>(r);
   }
   return true;
+}
+
+/// Milliseconds elapsed since `since` on the monotonic clock (deadlines must
+/// survive wall-clock adjustments; std::chrono is allowed here — INV002 only
+/// bans time sources inside the deterministic kernel).
+long long ms_since(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+/// Deadline-bounded recv_all: the silence window resets on every byte, so
+/// only `deadline_ms` of *no progress* times out, not a slow transfer.
+RecvStatus recv_all_deadline(int fd, void* data, std::size_t n, int deadline_ms) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  auto last_progress = std::chrono::steady_clock::now();
+  while (n > 0) {
+    const long long remaining = deadline_ms - ms_since(last_progress);
+    if (remaining <= 0) return RecvStatus::kTimeout;
+    pollfd pfd{fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, static_cast<int>(remaining));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return RecvStatus::kClosed;
+    }
+    if (rc == 0) return RecvStatus::kTimeout;
+    const ssize_t r = ::recv(fd, p, n, 0);
+    if (r < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return RecvStatus::kClosed;
+    }
+    if (r == 0) return RecvStatus::kClosed;  // EOF: peer closed.
+    p += r;
+    n -= static_cast<std::size_t>(r);
+    last_progress = std::chrono::steady_clock::now();
+  }
+  return RecvStatus::kOk;
 }
 
 }  // namespace
@@ -111,6 +149,35 @@ bool Channel::recv_frame(Frame& out) {
     return false;
   }
   return true;
+}
+
+RecvStatus Channel::recv_frame_deadline(Frame& out, int deadline_ms) {
+  if (deadline_ms <= 0) {
+    return recv_frame(out) ? RecvStatus::kOk : RecvStatus::kClosed;
+  }
+  if (fd_ < 0) return RecvStatus::kClosed;
+  FrameHeader h;
+  RecvStatus st = recv_all_deadline(fd_, &h, sizeof h, deadline_ms);
+  if (st != RecvStatus::kOk) {
+    // kTimeout leaves the fd open on purpose: the caller owns the decision
+    // (kill + on_rank_death closes it); kClosed means the peer is gone.
+    if (st == RecvStatus::kClosed) close();
+    return st;
+  }
+  if (h.size > kMaxFramePayload) {
+    close();
+    throw std::runtime_error("dist: frame header claims an implausible payload size");
+  }
+  out.kind = h.kind;
+  out.payload.resize(h.size);
+  if (h.size > 0) {
+    st = recv_all_deadline(fd_, out.payload.data(), h.size, deadline_ms);
+    if (st != RecvStatus::kOk) {
+      if (st == RecvStatus::kClosed) close();
+      return st;
+    }
+  }
+  return RecvStatus::kOk;
 }
 
 Spawned spawn_ranks(int nranks) {
@@ -200,8 +267,34 @@ int reap_rank(int pid) {
   return status;
 }
 
+int reap_rank_deadline(int pid, int deadline_ms) {
+  if (pid <= 0) return -1;
+  int status = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (;;) {
+    const pid_t r = ::waitpid(pid, &status, WNOHANG);
+    if (r == pid) return status;
+    if (r < 0 && errno != EINTR) return -1;
+    if (ms_since(start) >= deadline_ms) break;
+    ::poll(nullptr, 0, 1);  // 1 ms nap between exit probes.
+  }
+  // The child is stopped or wedged: a plain waitpid would block forever, so
+  // escalate to SIGKILL (which also resumes-to-kill a SIGSTOPped process)
+  // and then reap unconditionally.
+  ::kill(pid, SIGKILL);
+  return reap_rank(pid);
+}
+
 void kill_rank_process(int pid) {
   if (pid > 0) ::kill(pid, SIGKILL);
+}
+
+void stop_rank_process(int pid) {
+  if (pid > 0) ::kill(pid, SIGSTOP);
+}
+
+void wedge_rank_process() {
+  for (;;) ::pause();
 }
 
 PeerPump::PeerPump(std::vector<Channel>* peers, int self) : peers_(peers), self_(self) {
@@ -228,7 +321,7 @@ bool PeerPump::try_extract(std::size_t i, Frame& f) {
 }
 
 void PeerPump::round(const std::vector<Frame>& out, std::vector<Frame>& in,
-                     std::vector<int>& newly_dead) {
+                     std::vector<int>& newly_dead, int deadline_ms) {
   const std::size_t n = peers_->size();
   in.assign(n, Frame{});
   newly_dead.clear();
@@ -258,6 +351,7 @@ void PeerPump::round(const std::vector<Frame>& out, std::vector<Frame>& in,
     newly_dead.push_back(static_cast<int>(i));
   };
 
+  auto last_progress = std::chrono::steady_clock::now();
   for (;;) {
     std::vector<pollfd> pfds;
     std::vector<std::size_t> idx;
@@ -271,11 +365,28 @@ void PeerPump::round(const std::vector<Frame>& out, std::vector<Frame>& in,
       idx.push_back(i);
     }
     if (pfds.empty()) break;
-    const int rc = ::poll(pfds.data(), pfds.size(), -1);
+    int timeout = -1;
+    if (deadline_ms > 0) {
+      const long long remaining = deadline_ms - ms_since(last_progress);
+      if (remaining <= 0) {
+        // No byte moved in `deadline_ms`: every still-pending peer is
+        // declared dead (degrade semantics, same as EOF) so this rank can
+        // never wedge behind a hung one. A live coordinator will kill the
+        // actual culprit; the collateral closes just desynchronize us from
+        // a world that is being torn down or rolled back anyway.
+        for (std::size_t i = 0; i < n; ++i) {
+          if (want[i] != 0 && (got[i] == 0 || sent[i] < sbuf[i].size())) mark_dead(i);
+        }
+        continue;  // Pending set is now empty -> loop exits via break.
+      }
+      timeout = static_cast<int>(remaining);
+    }
+    const int rc = ::poll(pfds.data(), pfds.size(), timeout);
     if (rc < 0) {
       if (errno == EINTR) continue;
       throw std::runtime_error("dist: poll failed during peer exchange");
     }
+    if (rc == 0) continue;  // Timeout: next iteration re-checks the clock.
     for (std::size_t k = 0; k < pfds.size(); ++k) {
       const std::size_t i = idx[k];
       const short re = pfds[k].revents;
@@ -286,6 +397,7 @@ void PeerPump::round(const std::vector<Frame>& out, std::vector<Frame>& in,
         if (r > 0) {
           rbuf_[i].insert(rbuf_[i].end(), chunk, chunk + r);
           if (try_extract(i, in[i])) got[i] = 1;
+          last_progress = std::chrono::steady_clock::now();
         } else if (r == 0 || (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)) {
           mark_dead(i);
           continue;
@@ -296,6 +408,7 @@ void PeerPump::round(const std::vector<Frame>& out, std::vector<Frame>& in,
                                  sbuf[i].size() - sent[i], MSG_NOSIGNAL);
         if (w > 0) {
           sent[i] += static_cast<std::size_t>(w);
+          last_progress = std::chrono::steady_clock::now();
         } else if (w < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
           mark_dead(i);
         }

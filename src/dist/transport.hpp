@@ -15,6 +15,8 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace nsc::dist {
@@ -23,6 +25,25 @@ namespace nsc::dist {
 struct Frame {
   std::uint32_t kind = 0;
   std::vector<std::uint8_t> payload;
+};
+
+/// Thrown when a rank stays silent past its configured I/O deadline
+/// (Config::rank_deadline_ms): the rank was declared hung (not merely slow —
+/// heartbeats would have refreshed its last-seen clock), its process has
+/// already been killed and its death absorbed, so the exception is safe to
+/// catch and recover from (dist::Supervisor) or to surface as a clean
+/// non-zero exit (nsc_run).
+class RankTimeout : public std::runtime_error {
+ public:
+  explicit RankTimeout(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Outcome of a deadline-bounded frame receive.
+enum class RecvStatus {
+  kOk,       ///< A full frame arrived.
+  kClosed,   ///< EOF or error: the peer is gone; the channel is now dead.
+  kTimeout,  ///< No bytes for `deadline_ms`: the caller must treat the
+             ///< channel as wedged (it may hold a partial frame — kill it).
 };
 
 /// A bidirectional framed byte channel over one socket. Blocking send/recv
@@ -46,6 +67,13 @@ class Channel {
 
   /// Receives one frame (blocking); false on EOF or a dead channel.
   bool recv_frame(Frame& out);
+
+  /// Deadline-bounded receive: waits at most `deadline_ms` of silence for
+  /// progress (the clock resets on every byte, so a slow-but-streaming peer
+  /// never times out while a wedged one does). deadline_ms <= 0 degrades to
+  /// the blocking recv_frame. On kTimeout the channel may hold a partial
+  /// frame — the caller must not reuse it for framed I/O (kill + close it).
+  RecvStatus recv_frame_deadline(Frame& out, int deadline_ms);
 
   void set_nonblocking();
   void close();
@@ -85,8 +113,22 @@ struct Spawned {
 /// was sent). Returns the raw wait status, or -1 if pid is invalid.
 int reap_rank(int pid);
 
+/// Deadline-bounded reap: polls for the exit up to `deadline_ms`, then
+/// SIGKILLs and reaps unconditionally. Guards coordinator teardown against a
+/// child that is stopped or wedged and will never exit on its own.
+int reap_rank_deadline(int pid, int deadline_ms);
+
 /// Force-kills a rank process (coordinator teardown of a wedged child).
 void kill_rank_process(int pid);
+
+/// Stops (SIGSTOP) a rank process without killing it: the fault-campaign
+/// model of a wedged-but-alive node — fds stay open, so peers see silence,
+/// not EOF, and only a deadline can tell it apart from a slow rank.
+void stop_rank_process(int pid);
+
+/// Test hook for Config::hang_rank: parks the calling rank process forever
+/// without closing its fds (the in-process twin of stop_rank_process).
+[[noreturn]] void wedge_rank_process();
 
 /// Poll-driven duplex frame exchange across the peer mesh. Each round sends
 /// exactly one frame to every live peer and receives exactly one from each;
@@ -100,9 +142,12 @@ class PeerPump {
   /// `out[r]`: frame to send to live peer r (ignored for self/dead peers).
   /// On return, `in[r]` holds the received frame for every peer that was
   /// alive at entry and stayed alive; `newly_dead` lists peers whose channel
-  /// hit EOF this round.
+  /// hit EOF this round. With `deadline_ms > 0`, a round that makes no byte
+  /// progress for that long declares every still-pending peer dead (same
+  /// degrade semantics as EOF) instead of blocking forever — the clock
+  /// resets on any progress, so a slow-but-streaming peer never trips it.
   void round(const std::vector<Frame>& out, std::vector<Frame>& in,
-             std::vector<int>& newly_dead);
+             std::vector<int>& newly_dead, int deadline_ms = 0);
 
  private:
   bool try_extract(std::size_t i, Frame& f);

@@ -52,10 +52,21 @@ int run_with_campaign(core::Simulator& sim, core::Tick nticks, const core::Input
     if (e.tick < sim.now()) continue;  // before our window: already applied
     if (e.tick >= end) break;          // beyond the horizon: stays pending
     if (e.tick > sim.now()) sim.run(e.tick - sim.now(), inputs, sink);
-    const bool ok = e.kind == FaultKind::kCore
-                        ? sim.fail_core(static_cast<core::CoreId>(e.target))
-                        : sim.fail_link(static_cast<int>(e.target / 4),
-                                        static_cast<int>(e.target % 4));
+    bool ok = false;
+    switch (e.kind) {
+      case FaultKind::kCore:
+        ok = sim.fail_core(static_cast<core::CoreId>(e.target));
+        break;
+      case FaultKind::kLink:
+        ok = sim.fail_link(static_cast<int>(e.target / 4), static_cast<int>(e.target % 4));
+        break;
+      case FaultKind::kRankKill:
+        ok = sim.fail_rank(static_cast<int>(e.target), /*hang=*/false);
+        break;
+      case FaultKind::kRankHang:
+        ok = sim.fail_rank(static_cast<int>(e.target), /*hang=*/true);
+        break;
+    }
     if (ok) ++applied;
   }
   if (sim.now() < end) sim.run(end - sim.now(), inputs, sink);

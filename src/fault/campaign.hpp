@@ -20,8 +20,10 @@
 namespace nsc::fault {
 
 enum class FaultKind : std::uint8_t {
-  kCore = 0,  ///< Kill one core; target = CoreId.
-  kLink = 1,  ///< Kill one directed inter-chip link; target = chip * 4 + dir.
+  kCore = 0,      ///< Kill one core; target = CoreId.
+  kLink = 1,      ///< Kill one directed inter-chip link; target = chip * 4 + dir.
+  kRankKill = 2,  ///< SIGKILL one rank process; target = rank.
+  kRankHang = 3,  ///< SIGSTOP one rank process (silent, fds open); target = rank.
 };
 
 struct FaultEvent {
@@ -42,6 +44,17 @@ class Campaign {
     events_.push_back(
         {tick, FaultKind::kLink,
          static_cast<std::uint32_t>(chip) * 4 + static_cast<std::uint32_t>(dir)});
+    return *this;
+  }
+  /// Process-level events: dispatch to Simulator::fail_rank, which only the
+  /// distributed backends implement — on a single-process simulator they are
+  /// no-ops, so the very same campaign is its own fault-free reference.
+  Campaign& kill_rank_at(core::Tick tick, int rank) {
+    events_.push_back({tick, FaultKind::kRankKill, static_cast<std::uint32_t>(rank)});
+    return *this;
+  }
+  Campaign& hang_rank_at(core::Tick tick, int rank) {
+    events_.push_back({tick, FaultKind::kRankHang, static_cast<std::uint32_t>(rank)});
     return *this;
   }
 

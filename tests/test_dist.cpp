@@ -15,6 +15,7 @@
 #include "src/core/aer.hpp"
 #include "src/core/network_io.hpp"
 #include "src/dist/coordinator.hpp"
+#include "src/dist/supervisor.hpp"
 #include "src/fault/campaign.hpp"
 #include "tests/test_support.hpp"
 
@@ -327,6 +328,267 @@ TEST(DistFault, RankDeathMidCampaignDegradesInsteadOfHanging) {
   for (const Spike& s : tail.spikes()) {
     EXPECT_TRUE(s.core < dead_shard.begin || s.core >= dead_shard.end);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Self-healing supervisor (docs/DISTRIBUTED.md, "Failure model and
+// recovery"). Under Policy::kRecover a rank death or hang must be invisible
+// in the output: respawn the fleet, restore the shadow checkpoint, replay
+// the journaled inputs, and produce a trace spike-for-spike identical to a
+// fault-free run. Backoff is zeroed throughout to keep the suite fast.
+// ---------------------------------------------------------------------------
+
+constexpr dist::SupervisorConfig kFastRecover{dist::Policy::kRecover, /*recovery_interval=*/4,
+                                              /*max_respawns=*/3, /*backoff_base_ms=*/0};
+
+TEST(DistRecover, KillAtEveryPhaseRecoversExactly) {
+  // The suicide hook fires pre-compute (0), post-compute (1), or
+  // post-exchange (2); each phase loses different in-flight state, and all
+  // three must recover to the identical trace. Poisson inputs make the
+  // journal replay carry real external spikes.
+  const netgen::RandomNetSpec spec = testsup::fuzz_spec(3);
+  const Network net = netgen::make_random(spec);
+  const InputSchedule in = netgen::make_poisson_inputs(spec, net, 30);
+  const std::vector<Spike> ref = testsup::run_compass(net, &in, 30, 1).spikes;
+
+  for (const int phase : {0, 1, 2}) {
+    SCOPED_TRACE("phase=" + std::to_string(phase));
+    dist::Config cfg;
+    cfg.ranks = 2;
+    cfg.suicide_rank = 1;
+    cfg.suicide_tick = 13;
+    cfg.suicide_phase = phase;
+    dist::Supervisor sup(net, cfg, kFastRecover);
+    VectorSink sink;
+    sup.run(30, &in, &sink);
+    expect_spikes_equal(ref, sink.spikes(), "recovered vs fault-free");
+    EXPECT_EQ(sup.respawns_done(), 1);
+    EXPECT_FALSE(sup.exhausted());
+    EXPECT_EQ(sup.now(), 30);
+    EXPECT_EQ(sup.coordinator().live_ranks(), 2);
+  }
+}
+
+TEST(DistRecover, GoldenTraceHashAfterMidRunKill) {
+  // The committed golden hash must reproduce through a mid-run kill at 2 and
+  // 4 ranks — same gate tools/CMakeLists.txt enforces via the nsc_run CLI.
+  const std::string dir = std::string(NSC_TEST_DATA_DIR) + "/";
+  const Network net = core::load_network(dir + "golden_recurrent_r50_k64.nsc");
+  for (const int ranks : {2, 4}) {
+    SCOPED_TRACE("ranks=" + std::to_string(ranks));
+    dist::Config cfg;
+    cfg.ranks = ranks;
+    cfg.suicide_rank = ranks - 1;
+    cfg.suicide_tick = 30;
+    dist::SupervisorConfig scfg = kFastRecover;
+    scfg.recovery_interval = 16;
+    dist::Supervisor sup(net, cfg, scfg);
+    VectorSink sink;
+    sup.run(60, nullptr, &sink);
+    EXPECT_EQ(core::trace_hash(sink.spikes()), 0x2c75ce5b492581e2ULL);
+    EXPECT_EQ(sup.respawns_done(), 1);
+  }
+}
+
+TEST(DistRecover, CampaignRankKillDispatchesThroughFailRank) {
+  // kill_rank_at flows Campaign -> run_with_campaign -> Simulator::fail_rank
+  // -> Coordinator SIGKILL; the supervisor then heals it. On a
+  // single-process simulator the same campaign is a no-op, so the reference
+  // run uses the identical campaign.
+  const Network net = testsup::hard_network();
+  const InputSchedule in = testsup::hard_inputs(net, 30);
+  fault::Campaign campaign;
+  campaign.kill_rank_at(15, 1);
+  campaign.finalize();
+
+  compass::Simulator sp(net, {.threads = 1});
+  VectorSink ref;
+  EXPECT_EQ(fault::run_with_campaign(sp, 30, &in, &ref, campaign), 0);  // no-op single-process
+
+  dist::Supervisor sup(net, {.ranks = 2, .threads_per_rank = 1}, kFastRecover);
+  VectorSink sink;
+  EXPECT_EQ(fault::run_with_campaign(sup, 30, &in, &sink, campaign), 1);
+  expect_spikes_equal(ref.spikes(), sink.spikes(), "campaign kill recovered");
+  EXPECT_EQ(sup.respawns_done(), 1);
+  EXPECT_EQ(testsup::counter_value(sup.metrics(), "dist.ranks_respawned"), 2u);
+  EXPECT_GT(testsup::counter_value(sup.metrics(), "dist.rollback_ticks"), 0u);
+}
+
+TEST(DistRecover, DoubleFailureInOneWindowCostsOneRespawn) {
+  // Both ranks die inside the same recovery window; resurrection is
+  // fleet-granular, so one respawn heals both and the trace stays exact.
+  const Network net = testsup::hard_network();
+  const InputSchedule in = testsup::hard_inputs(net, 30);
+  const std::vector<Spike> ref = testsup::run_compass(net, &in, 30, 1).spikes;
+
+  dist::Config cfg;
+  cfg.ranks = 2;
+  cfg.suicide_rank = 0;
+  cfg.suicide_tick = 12;
+  cfg.suicide2_rank = 1;
+  cfg.suicide2_tick = 12;
+  dist::Supervisor sup(net, cfg, kFastRecover);
+  VectorSink sink;
+  sup.run(30, &in, &sink);
+  expect_spikes_equal(ref, sink.spikes(), "double failure recovered");
+  EXPECT_EQ(sup.respawns_done(), 1);
+}
+
+TEST(DistRecover, RespawnBudgetExhaustionFallsBackToDegrade) {
+  // hook_incarnation = -1 re-arms the suicide after every respawn, so the
+  // same rank keeps dying at the same tick until the budget runs out; the
+  // run must still complete (degraded), never wedge or throw.
+  const Network net = testsup::hard_network();
+  const InputSchedule in = testsup::hard_inputs(net, 30);
+
+  dist::Config cfg;
+  cfg.ranks = 2;
+  cfg.suicide_rank = 1;
+  cfg.suicide_tick = 10;
+  cfg.hook_incarnation = -1;
+  dist::SupervisorConfig scfg = kFastRecover;
+  scfg.max_respawns = 2;
+  dist::Supervisor sup(net, cfg, scfg);
+  VectorSink sink;
+  sup.run(30, &in, &sink);
+  EXPECT_EQ(sup.now(), 30);
+  EXPECT_TRUE(sup.exhausted());
+  EXPECT_EQ(sup.respawns_done(), 2);
+  EXPECT_EQ(sup.coordinator().live_ranks(), 1);
+  EXPECT_EQ(testsup::counter_value(sup.metrics(), "dist.ranks_respawned"), 4u);
+  // The degraded tail still accounts the dead shard as failed cores.
+  EXPECT_GT(testsup::counter_value(sup.metrics(), "fault.cores_failed"), 0u);
+}
+
+TEST(DistRecover, DeathDuringImageCollectionKeepsPreviousImage) {
+  // The rank dies while serving its 2nd kSave (the first image refresh after
+  // tick 0), so the in-flight image is discarded and recovery restores the
+  // older one — rolling back further, but still exactly.
+  const Network net = testsup::hard_network();
+  const InputSchedule in = testsup::hard_inputs(net, 30);
+  const std::vector<Spike> ref = testsup::run_compass(net, &in, 30, 1).spikes;
+
+  dist::Config cfg;
+  cfg.ranks = 2;
+  cfg.die_on_save_rank = 0;
+  cfg.die_on_save_seq = 2;
+  dist::Supervisor sup(net, cfg, kFastRecover);
+  VectorSink sink;
+  sup.run(30, &in, &sink);
+  expect_spikes_equal(ref, sink.spikes(), "die-on-save recovered");
+  EXPECT_EQ(sup.respawns_done(), 1);
+}
+
+TEST(DistRecover, DegradePolicyMatchesUnsupervisedCoordinator) {
+  // Policy::kDegrade must be byte-identical to running the Coordinator
+  // directly: no imaging, no buffering, no respawn.
+  const Network net = testsup::hard_network();
+  const InputSchedule in = testsup::hard_inputs(net, 30);
+  dist::Config cfg;
+  cfg.ranks = 2;
+  cfg.suicide_rank = 1;
+  cfg.suicide_tick = 12;
+
+  dist::Coordinator coord(net, cfg);
+  VectorSink want;
+  coord.run(30, &in, &want);
+
+  dist::SupervisorConfig scfg = kFastRecover;
+  scfg.policy = dist::Policy::kDegrade;
+  dist::Supervisor sup(net, cfg, scfg);
+  VectorSink got;
+  sup.run(30, &in, &got);
+  expect_spikes_equal(want.spikes(), got.spikes(), "degrade policy vs coordinator");
+  EXPECT_EQ(sup.respawns_done(), 0);
+  EXPECT_EQ(sup.coordinator().live_ranks(), 1);
+}
+
+TEST(DistRecover, InvalidSupervisorConfigRejected) {
+  const Network net = testsup::hard_network();
+  EXPECT_THROW(dist::Supervisor(net, {.ranks = 2}, {dist::Policy::kRecover, 0, 3, 5}),
+               std::invalid_argument);
+  EXPECT_THROW(dist::Supervisor(net, {.ranks = 2}, {dist::Policy::kRecover, 32, -1, 5}),
+               std::invalid_argument);
+  EXPECT_THROW(dist::Supervisor(net, {.ranks = 2}, {dist::Policy::kRecover, 32, 3, -1}),
+               std::invalid_argument);
+}
+
+TEST(DistRecover, StatsOnlyRunHealsOnMissedHeartbeats) {
+  // With no sink the ranks stream no per-tick spikes — heartbeats are the
+  // only liveness signal. A wedged rank stops sending them, the deadline
+  // fires, and the supervisor respawns; the run completes with full stats.
+  const Network net = testsup::hard_network();
+  const InputSchedule in = testsup::hard_inputs(net, 30);
+  dist::Config cfg;
+  cfg.ranks = 2;
+  cfg.hang_rank = 1;
+  cfg.hang_tick = 10;
+  cfg.rank_deadline_ms = 1000;
+  dist::Supervisor sup(net, cfg, kFastRecover);
+  sup.run(30, &in, nullptr);
+  EXPECT_EQ(sup.now(), 30);
+  EXPECT_EQ(sup.respawns_done(), 1);
+  EXPECT_EQ(sup.stats().ticks, 30u);
+  EXPECT_GE(testsup::counter_value(sup.metrics(), "dist.heartbeats_missed"), 1u);
+  EXPECT_EQ(sup.coordinator().live_ranks(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Deadline layer: --rank-deadline-ms turns silent hangs into detection
+// (RankTimeout unsupervised, recovery supervised) and never fires on a
+// healthy fleet. Deadlines here are generous because sanitizer builds run
+// the whole suite under heavy slowdown.
+// ---------------------------------------------------------------------------
+
+TEST(DistDeadline, HangWithoutSupervisionThrowsRankTimeout) {
+  const Network net = testsup::hard_network();
+  const InputSchedule in = testsup::hard_inputs(net, 30);
+  dist::Config cfg;
+  cfg.ranks = 2;
+  cfg.hang_rank = 1;
+  cfg.hang_tick = 10;
+  cfg.rank_deadline_ms = 500;
+  dist::Coordinator coord(net, cfg);
+  VectorSink sink;
+  EXPECT_THROW(coord.run(30, &in, &sink), dist::RankTimeout);
+  EXPECT_FALSE(coord.rank_alive(1));  // declared hung and killed
+  EXPECT_GE(testsup::counter_value(coord.metrics(), "dist.heartbeats_missed"), 1u);
+}
+
+TEST(DistDeadline, HealthyRunUnaffectedByDeadline) {
+  const netgen::RandomNetSpec spec = testsup::fuzz_spec(4);
+  const Network net = netgen::make_random(spec);
+  const InputSchedule in = netgen::make_poisson_inputs(spec, net, 30);
+  const std::vector<Spike> ref = testsup::run_compass(net, &in, 30, 1).spikes;
+  dist::Config cfg;
+  cfg.ranks = 2;
+  cfg.rank_deadline_ms = 10000;
+  dist::Coordinator coord(net, cfg);
+  VectorSink sink;
+  coord.run(30, &in, &sink);
+  expect_spikes_equal(ref, sink.spikes(), "deadline-armed healthy run");
+  EXPECT_EQ(coord.live_ranks(), 2);
+  EXPECT_EQ(testsup::counter_value(coord.metrics(), "dist.heartbeats_missed"), 0u);
+}
+
+TEST(DistDeadline, SupervisedHangRecoversExactlyWithThreads) {
+  // threads_per_rank = 2 puts the compass worker pool, the peer pump, and
+  // the wedge hook in play together — the interleaving TSan cares about.
+  const Network net = testsup::hard_network();
+  const InputSchedule in = testsup::hard_inputs(net, 30);
+  const std::vector<Spike> ref = testsup::run_compass(net, &in, 30, 1).spikes;
+  dist::Config cfg;
+  cfg.ranks = 2;
+  cfg.threads_per_rank = 2;
+  cfg.hang_rank = 0;
+  cfg.hang_tick = 14;
+  cfg.rank_deadline_ms = 1000;
+  dist::Supervisor sup(net, cfg, kFastRecover);
+  VectorSink sink;
+  sup.run(30, &in, &sink);
+  expect_spikes_equal(ref, sink.spikes(), "hang recovered");
+  EXPECT_EQ(sup.respawns_done(), 1);
+  EXPECT_GE(testsup::counter_value(sup.metrics(), "dist.heartbeats_missed"), 1u);
 }
 
 TEST(DistFault, FirstRankDeathDoesNotStallRecordStream) {

@@ -5,6 +5,9 @@
 //                  [--threads N] [--fractions 0,0.1,0.25] [--events-seed S]
 //                  [--in events.aer] [--json curve.json] [--check-monotone]
 //                  [--lint]
+//   nsc_faultsweep --net net.nsc --ticks 200 --rank-kills [--ranks N]
+//                  [--recovery-interval K] [--threads N] [--in events.aer]
+//                  [--json report.json] [--check-monotone]
 //
 // For each fault fraction f, runs the network under a deterministic seeded
 // campaign that kills round(f * cores) cores at random ticks in the first
@@ -14,6 +17,15 @@
 // "degradation" array is the curve; --check-monotone exits non-zero unless
 // the fault-free point has fidelity 1.0 and fidelity is non-increasing in f
 // (0.1 tolerance for spike trains that reorganize rather than thin out).
+//
+// --rank-kills switches to the chaos mode (docs/DISTRIBUTED.md): it sweeps
+// the (kill tick × victim rank) grid — kill ticks at T/4, T/2, 3T/4 — each
+// cell running the self-healing dist::Supervisor over --ranks forked rank
+// processes with that rank SIGKILLed at that tick boundary, and reports
+// post-recovery fidelity (must be 1.0: recovery is exact), respawn count,
+// recovery latency, and rollback depth. --json writes the grid into a
+// "rank_kills" array; --check-monotone exits non-zero unless every cell
+// recovered exactly (fidelity 1.0, at least one respawn).
 #include <algorithm>
 #include <cerrno>
 #include <cmath>
@@ -31,6 +43,7 @@
 #include "src/core/aer.hpp"
 #include "src/core/network_io.hpp"
 #include "src/core/spike_sink.hpp"
+#include "src/dist/supervisor.hpp"
 #include "src/fault/campaign.hpp"
 #include "src/obs/json_report.hpp"
 #include "src/obs/obs.hpp"
@@ -126,7 +139,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: nsc_faultsweep --net FILE --ticks N [--backend tn|compass] [--threads N]\n"
                  "                      [--fractions 0,0.1,0.25] [--events-seed S] [--in F]\n"
-                 "                      [--json FILE] [--check-monotone] [--lint]\n");
+                 "                      [--json FILE] [--check-monotone] [--lint]\n"
+                 "       nsc_faultsweep --net FILE --ticks N --rank-kills [--ranks N]\n"
+                 "                      [--recovery-interval K] [--threads N] [--in F]\n"
+                 "                      [--json FILE] [--check-monotone]\n");
     return 2;
   }
   try {
@@ -157,6 +173,112 @@ int main(int argc, char** argv) {
       inputs = nsc::core::load_aer_inputs(in_path);
     } else {
       inputs.finalize();
+    }
+
+    if (flag_present(argc, argv, "--rank-kills")) {
+      const int nranks =
+          static_cast<int>(parse_ll("--ranks", flag_value(argc, argv, "--ranks", "2")));
+      if (nranks < 2) throw std::runtime_error("--rank-kills needs --ranks >= 2");
+      const auto interval = static_cast<nsc::core::Tick>(parse_ll(
+          "--recovery-interval", flag_value(argc, argv, "--recovery-interval", "8")));
+      if (interval < 1) throw std::runtime_error("--recovery-interval must be >= 1");
+      if (ticks < 4) throw std::runtime_error("--rank-kills needs --ticks >= 4");
+
+      // Fault-free reference on the single-process kernel: recovery is exact,
+      // so every cell of the grid must reproduce this train spike for spike.
+      nsc::core::VectorSink ref;
+      nsc::obs::BenchReport report;
+      report.name = "nsc_faultsweep";
+      report.ticks = static_cast<std::uint64_t>(ticks);
+      report.threads = std::max(1, threads);
+      {
+        nsc::compass::Simulator sim(net,
+                                    nsc::compass::Config{.threads = std::max(1, threads)});
+        const std::uint64_t t0 = nsc::obs::now_ns();
+        sim.run(ticks, &inputs, &ref);
+        report.wall_s = 1e-9 * static_cast<double>(nsc::obs::now_ns() - t0);
+        report.stats = sim.stats();
+        report.metrics = sim.metrics();
+      }
+      std::printf("reference (compass): %zu spikes over %lld ticks on %d cores\n",
+                  ref.spikes().size(), static_cast<long long>(ticks), ncores);
+
+      const nsc::core::Tick kill_ticks[] = {ticks / 4, ticks / 2, 3 * ticks / 4};
+      nsc::obs::JsonValue grid = nsc::obs::JsonValue::array();
+      bool all_exact = true;
+      bool all_respawned = true;
+      std::printf("%6s %10s %10s %10s %10s %12s %10s\n", "rank", "kill_tick", "spikes",
+                  "fidelity", "respawns", "recovery_ms", "rollback");
+      for (int r = 0; r < nranks; ++r) {
+        nsc::core::Tick prev = -1;
+        for (const nsc::core::Tick kt : kill_ticks) {
+          if (kt == prev) continue;  // Tiny --ticks collapses grid columns.
+          prev = kt;
+          nsc::dist::Supervisor sim(
+              net,
+              nsc::dist::Config{.ranks = nranks, .threads_per_rank = std::max(1, threads)},
+              nsc::dist::SupervisorConfig{.recovery_interval = interval});
+          nsc::fault::Campaign campaign;
+          campaign.kill_rank_at(std::max<nsc::core::Tick>(1, kt), r);
+          campaign.finalize();
+          nsc::core::VectorSink sink;
+          nsc::fault::run_with_campaign(sim, ticks, &inputs, &sink, campaign);
+
+          const nsc::obs::Registry& m = sim.metrics();
+          const std::uint64_t respawned = m.counter_value("dist.ranks_respawned");
+          const std::uint64_t recovery_ns = m.counter_value("dist.recovery_ns");
+          const std::uint64_t rollback = m.counter_value("dist.rollback_ticks");
+          const bool exact = sink.spikes() == ref.spikes();
+          const double fidelity =
+              ref.spikes().empty()
+                  ? (exact ? 1.0 : 0.0)
+                  : static_cast<double>(spike_intersection(ref.spikes(), sink.spikes())) /
+                        static_cast<double>(ref.spikes().size());
+          all_exact = all_exact && exact;
+          all_respawned = all_respawned && sim.respawns_done() >= 1;
+          std::printf("%6d %10lld %10zu %10.4f %10d %12.2f %10llu\n", r,
+                      static_cast<long long>(kt), sink.spikes().size(), fidelity,
+                      sim.respawns_done(), 1e-6 * static_cast<double>(recovery_ns),
+                      static_cast<unsigned long long>(rollback));
+
+          nsc::obs::JsonValue cell = nsc::obs::JsonValue::object();
+          cell.set("rank", static_cast<std::int64_t>(r));
+          cell.set("kill_tick", static_cast<std::int64_t>(kt));
+          cell.set("spikes", static_cast<std::uint64_t>(sink.spikes().size()));
+          cell.set("ref_spikes", static_cast<std::uint64_t>(ref.spikes().size()));
+          cell.set("fidelity", fidelity);
+          cell.set("exact", exact);
+          cell.set("ranks_respawned", respawned);
+          cell.set("recovery_ns", recovery_ns);
+          cell.set("rollback_ticks", rollback);
+          grid.push_back(std::move(cell));
+        }
+      }
+
+      if (!json_path.empty()) {
+        nsc::obs::JsonValue doc = nsc::obs::report_to_json(report);
+        doc.set("rank_kills", std::move(grid));
+        std::ofstream out(json_path);
+        if (!out) throw std::runtime_error("cannot open " + json_path + " for writing");
+        out << doc.to_string(2) << "\n";
+        if (!out) throw std::runtime_error("write failed: " + json_path);
+        std::printf("wrote rank-kill grid to %s\n", json_path.c_str());
+      }
+
+      if (check_monotone) {
+        // Recovery is all-or-nothing: every cell must be exact and must have
+        // actually exercised a respawn (a kill that never fired is a test bug).
+        if (!all_exact) {
+          std::fprintf(stderr, "CHECK FAILED: a recovered trace diverged from the reference\n");
+          return 1;
+        }
+        if (!all_respawned) {
+          std::fprintf(stderr, "CHECK FAILED: a grid cell completed without any respawn\n");
+          return 1;
+        }
+        std::printf("rank-kill check passed (all cells exact, all respawned)\n");
+      }
+      return 0;
     }
 
     // Fault-free reference: the spike train every degraded run is scored

@@ -5,6 +5,9 @@
 //           [--json report.json] [--volts 0.75] [--verify] [--lint]
 //           [--restore ckpt.nsck] [--save-checkpoint ckpt.nsck [--checkpoint-at T]]
 //           [--trace-hash] [--expect-trace-hash HEX]
+//           [--rank-deadline-ms MS] [--supervise [--recovery-interval K]
+//           [--respawn-budget N]] [--kill-rank R --kill-tick T]
+//           [--hang-rank R --hang-tick T]
 //
 // Prints run statistics, the per-phase wall-time breakdown, spike-train
 // analysis, and (for the tn backend) the energy/timing model's projection of
@@ -21,6 +24,16 @@
 // and exits 1 on drift (the golden-trace gate, docs/PERFORMANCE.md).
 // --ranks N > 1 runs the compass backend sharded across N forked rank
 // processes (docs/DISTRIBUTED.md) — same spikes, same trace hash.
+// --rank-deadline-ms MS arms the failure detector: a rank silent for MS ms
+// is declared hung, killed, and the run fails cleanly with exit 1 (never a
+// wedge). --supervise wraps the sharded run in the self-healing
+// dist::Supervisor (docs/DISTRIBUTED.md "Failure model and recovery"):
+// shadow checkpoints every --recovery-interval ticks, and rank loss is
+// repaired by respawn + rollback + input replay (at most --respawn-budget
+// times) so the trace stays identical to a fault-free run. --kill-rank/
+// --kill-tick and --hang-rank/--hang-tick inject a rank SIGKILL or SIGSTOP
+// at a tick boundary through the fault-campaign runner (chaos testing;
+// --hang-rank requires --rank-deadline-ms, or nothing would ever detect it).
 // --replicas N > 1 runs N batched instances of the network on the
 // replica-batched compass backend (docs/REPLICA.md): --in events are
 // assigned round-robin (event k to replica k mod N), --trace-hash prints
@@ -31,9 +44,12 @@
 // --save-checkpoint, --out and --ranks > 1 as usage errors.
 //
 // Exit codes: 0 success, 1 runtime failure (bad file, verify/hash mismatch,
-// lint error), 2 usage error (missing --net, malformed --ranks/--replicas,
-// --ranks or --replicas without the compass backend, --replicas combined
-// with an unsupported mode).
+// lint error, rank timeout), 2 usage error (missing --net, malformed
+// --ranks/--replicas, --ranks or --replicas without the compass backend,
+// --replicas combined with an unsupported mode, --verify with --ranks > 1,
+// --supervise without a multi-rank compass run or with --verify/--replicas,
+// --recovery-interval/--respawn-budget without --supervise, rank-fault
+// flags out of range or missing their tick/deadline partner).
 #include <cerrno>
 #include <cstdint>
 #include <cstdio>
@@ -52,7 +68,9 @@
 #include "src/core/spike_analysis.hpp"
 #include "src/core/spike_sink.hpp"
 #include "src/dist/coordinator.hpp"
+#include "src/dist/supervisor.hpp"
 #include "src/energy/truenorth_power.hpp"
+#include "src/fault/campaign.hpp"
 #include "src/energy/truenorth_timing.hpp"
 #include "src/energy/units.hpp"
 #include "src/obs/json_report.hpp"
@@ -190,6 +208,104 @@ int main(int argc, char** argv) {
                    "--save-checkpoint or --out\n");
       return 2;
     }
+    if (flag_present(argc, argv, "--supervise")) {
+      std::fprintf(stderr, "usage error: --supervise cannot be combined with --replicas > 1\n");
+      return 2;
+    }
+  }
+  // Audit fix: --verify runs both single-process backends; a --ranks > 1
+  // request alongside it used to be silently ignored — reject it instead.
+  if (flag_present(argc, argv, "--verify") && ranks > 1) {
+    std::fprintf(stderr, "usage error: --verify cannot be combined with --ranks > 1\n");
+    return 2;
+  }
+  // Resilience-flag contract (exit 2 before anything loads or forks): the
+  // supervised/deadline/rank-fault flags only make sense on a multi-rank
+  // compass run, and each injection flag needs its partner.
+  const bool supervise = flag_present(argc, argv, "--supervise");
+  int rank_deadline_ms = 0;
+  int respawn_budget = 3;
+  int kill_rank = -1;
+  int hang_rank = -1;
+  long long recovery_interval = 32;
+  long long kill_tick = -1;
+  long long hang_tick = -1;
+  try {
+    rank_deadline_ms = static_cast<int>(
+        parse_ll("--rank-deadline-ms", flag_value(argc, argv, "--rank-deadline-ms", "0")));
+    recovery_interval =
+        parse_ll("--recovery-interval", flag_value(argc, argv, "--recovery-interval", "32"));
+    respawn_budget = static_cast<int>(
+        parse_ll("--respawn-budget", flag_value(argc, argv, "--respawn-budget", "3")));
+    kill_rank =
+        static_cast<int>(parse_ll("--kill-rank", flag_value(argc, argv, "--kill-rank", "-1")));
+    kill_tick = parse_ll("--kill-tick", flag_value(argc, argv, "--kill-tick", "-1"));
+    hang_rank =
+        static_cast<int>(parse_ll("--hang-rank", flag_value(argc, argv, "--hang-rank", "-1")));
+    hang_tick = parse_ll("--hang-tick", flag_value(argc, argv, "--hang-tick", "-1"));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "usage error: %s\n", e.what());
+    return 2;
+  }
+  if (supervise &&
+      (ranks < 2 || std::string(flag_value(argc, argv, "--backend", "tn")) != "compass")) {
+    std::fprintf(stderr,
+                 "usage error: --supervise requires --backend compass and --ranks >= 2\n");
+    return 2;
+  }
+  if (supervise && flag_present(argc, argv, "--verify")) {
+    std::fprintf(stderr, "usage error: --supervise cannot be combined with --verify\n");
+    return 2;
+  }
+  if (!supervise && (flag_present(argc, argv, "--recovery-interval") ||
+                     flag_present(argc, argv, "--respawn-budget"))) {
+    std::fprintf(stderr,
+                 "usage error: --recovery-interval/--respawn-budget require --supervise\n");
+    return 2;
+  }
+  if (recovery_interval < 1) {
+    std::fprintf(stderr, "usage error: --recovery-interval must be >= 1, got %lld\n",
+                 recovery_interval);
+    return 2;
+  }
+  if (respawn_budget < 0) {
+    std::fprintf(stderr, "usage error: --respawn-budget must be >= 0, got %d\n", respawn_budget);
+    return 2;
+  }
+  if (flag_present(argc, argv, "--rank-deadline-ms")) {
+    if (rank_deadline_ms < 1) {
+      std::fprintf(stderr, "usage error: --rank-deadline-ms must be >= 1, got %d\n",
+                   rank_deadline_ms);
+      return 2;
+    }
+    if (ranks < 2) {
+      std::fprintf(stderr, "usage error: --rank-deadline-ms requires --ranks >= 2\n");
+      return 2;
+    }
+  }
+  if ((kill_rank >= 0) != (kill_tick >= 0)) {
+    std::fprintf(stderr, "usage error: --kill-rank and --kill-tick must be given together\n");
+    return 2;
+  }
+  if ((hang_rank >= 0) != (hang_tick >= 0)) {
+    std::fprintf(stderr, "usage error: --hang-rank and --hang-tick must be given together\n");
+    return 2;
+  }
+  if (kill_rank >= 0 || hang_rank >= 0) {
+    if (ranks < 2) {
+      std::fprintf(stderr, "usage error: --kill-rank/--hang-rank require --ranks >= 2\n");
+      return 2;
+    }
+    if (kill_rank >= ranks || hang_rank >= ranks) {
+      std::fprintf(stderr, "usage error: --kill-rank/--hang-rank must be < --ranks\n");
+      return 2;
+    }
+  }
+  if (hang_rank >= 0 && rank_deadline_ms < 1) {
+    std::fprintf(stderr,
+                 "usage error: --hang-rank requires --rank-deadline-ms (a hang with no "
+                 "deadline would never be detected)\n");
+    return 2;
   }
   try {
     const auto ticks =
@@ -327,9 +443,24 @@ int main(int argc, char** argv) {
     report.name = "nsc_run";
     report.ticks = static_cast<std::uint64_t>(ticks);
 
+    // Rank-fault chaos schedule (empty unless --kill-rank/--hang-rank):
+    // applied through the campaign runner so the kills land at exact tick
+    // boundaries, deterministically.
+    nsc::fault::Campaign campaign;
+    if (kill_rank >= 0) campaign.kill_rank_at(kill_tick, kill_rank);
+    if (hang_rank >= 0) campaign.hang_rank_at(hang_tick, hang_rank);
+    campaign.finalize();
+
     // Restore (if asked), run --ticks further ticks — splitting the run
     // around --checkpoint-at when a save was requested — and time the whole
     // thing.
+    const auto run_span = [&](nsc::core::Simulator& sim, nsc::core::Tick n) {
+      if (campaign.empty()) {
+        sim.run(n, &inputs, &sink);
+      } else {
+        nsc::fault::run_with_campaign(sim, n, &inputs, &sink, campaign);
+      }
+    };
     const auto drive = [&](nsc::core::Simulator& sim) {
       if (!restore_path.empty()) {
         nsc::core::load_checkpoint(sim, restore_path);
@@ -340,31 +471,58 @@ int main(int argc, char** argv) {
       if (!ckpt_path.empty()) {
         nsc::core::Tick pre = ckpt_at < 0 ? ticks : ckpt_at;
         if (pre > ticks) pre = ticks;
-        if (pre > 0) sim.run(pre, &inputs, &sink);
+        if (pre > 0) run_span(sim, pre);
         nsc::core::save_checkpoint(sim, ckpt_path);
         std::printf("wrote checkpoint to %s at tick %lld\n", ckpt_path.c_str(),
                     static_cast<long long>(sim.now()));
-        if (ticks - pre > 0) sim.run(ticks - pre, &inputs, &sink);
+        if (ticks - pre > 0) run_span(sim, ticks - pre);
       } else {
-        sim.run(ticks, &inputs, &sink);
+        run_span(sim, ticks);
       }
       report.wall_s = 1e-9 * static_cast<double>(nsc::obs::now_ns() - t0);
     };
 
     if (backend == "compass" && ranks > 1) {
-      nsc::dist::Coordinator sim(net, {.ranks = ranks, .threads_per_rank = std::max(1, threads)});
-      drive(sim);
-      stats = sim.stats();
+      nsc::dist::Config dcfg;
+      dcfg.ranks = ranks;
+      dcfg.threads_per_rank = std::max(1, threads);
+      dcfg.rank_deadline_ms = rank_deadline_ms;
+      std::unique_ptr<nsc::dist::Supervisor> sup;
+      std::unique_ptr<nsc::dist::Coordinator> coord;
+      nsc::core::Simulator* simp = nullptr;
+      if (supervise) {
+        nsc::dist::SupervisorConfig scfg;
+        scfg.policy = nsc::dist::Policy::kRecover;
+        scfg.recovery_interval = static_cast<nsc::core::Tick>(recovery_interval);
+        scfg.max_respawns = respawn_budget;
+        sup = std::make_unique<nsc::dist::Supervisor>(net, dcfg, scfg);
+        simp = sup.get();
+      } else {
+        coord = std::make_unique<nsc::dist::Coordinator>(net, dcfg);
+        simp = coord.get();
+      }
+      drive(*simp);
+      const nsc::obs::Registry& m = sup ? sup->metrics() : coord->metrics();
+      const nsc::dist::Coordinator& c = sup ? sup->coordinator() : *coord;
+      stats = simp->stats();
       report.stats = stats;
       report.threads = ranks * std::max(1, threads);
-      report.metrics = sim.metrics();
-      report.load_imbalance = sim.load_imbalance();
+      report.metrics = m;
+      report.load_imbalance = c.load_imbalance();
       print_stats(stats, neurons);
       std::printf("ranks %d   dist messages %llu   dist bytes %llu\n", ranks,
-                  static_cast<unsigned long long>(sim.metrics().counter_value("dist.messages")),
-                  static_cast<unsigned long long>(sim.metrics().counter_value("dist.bytes")));
-      if (sim.load_imbalance() > 0.0) {
-        std::printf("load imbalance (max/mean rank compute): %.2f\n", sim.load_imbalance());
+                  static_cast<unsigned long long>(m.counter_value("dist.messages")),
+                  static_cast<unsigned long long>(m.counter_value("dist.bytes")));
+      if (sup) {
+        std::printf("supervisor: respawns %d%s   rollback ticks %llu   recovery %.1f ms   "
+                    "heartbeats missed %llu\n",
+                    sup->respawns_done(), sup->exhausted() ? " (budget exhausted)" : "",
+                    static_cast<unsigned long long>(m.counter_value("dist.rollback_ticks")),
+                    1e-6 * static_cast<double>(m.counter_value("dist.recovery_ns")),
+                    static_cast<unsigned long long>(m.counter_value("dist.heartbeats_missed")));
+      }
+      if (c.load_imbalance() > 0.0) {
+        std::printf("load imbalance (max/mean rank compute): %.2f\n", c.load_imbalance());
       }
     } else if (backend == "compass") {
       nsc::compass::Simulator sim(net, {.threads = std::max(1, threads)});
@@ -431,6 +589,11 @@ int main(int argc, char** argv) {
         std::printf("trace hash matches golden value\n");
       }
     }
+  } catch (const nsc::dist::RankTimeout& e) {
+    // Clean failure, never a wedge: the hung rank was already killed and
+    // its death absorbed before this was thrown.
+    std::fprintf(stderr, "rank timeout: %s\n", e.what());
+    return 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
