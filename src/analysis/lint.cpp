@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "src/analysis/graph.hpp"
+#include "src/analysis/plan.hpp"
 
 namespace nsc::analysis {
 
@@ -47,6 +48,22 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"NSC030", Severity::kWarn, "merge-split link overflow risk vs per-tick capacity"},
       {"NSC031", Severity::kInfo, "saturated core: every enabled neuron may fire each tick"},
       {"NSC040", Severity::kInfo, "stochastic modes present: PRNG seed affects spikes"},
+      {"NSC041", Severity::kWarn, "deployment: empty rank shard(s) at the requested rank count"},
+      {"NSC042", Severity::kWarn, "deployment: static shard load imbalance exceeds threshold"},
+      {"NSC043", Severity::kWarn, "deployment: partition-cut exchange bytes/tick exceed capacity"},
+      {"NSC044", Severity::kWarn,
+       "deployment: worst-case tick exceeds rank-deadline/4 (false RankTimeout risk)"},
+      {"NSC045", Severity::kWarn, "deployment: worst-case supervisor recovery exceeds budget"},
+      {"NSC046", Severity::kWarn, "deployment: replica-batch memory footprint exceeds budget"},
+      {"NSC047", Severity::kInfo, "deployment: a different rank count is recommended"},
+      {"NSC048", Severity::kError, "checkpoint: malformed or hostile NSCK file"},
+      {"NSC049", Severity::kError, "checkpoint: geometry or seed mismatch vs the network"},
+      {"NSC050", Severity::kError, "checkpoint: fault bitmap holds non-boolean bytes"},
+      {"NSC051", Severity::kError, "checkpoint: membrane potential outside the 20-bit envelope"},
+      {"NSC052", Severity::kWarn, "checkpoint: tick counter behind stats.ticks"},
+      {"NSC053", Severity::kInfo, "checkpoint: runtime fault state present (dead cores/links)"},
+      {"NSC054", Severity::kWarn, "checkpoint: in-flight deliveries buffered on dead cores"},
+      {"NSC055", Severity::kError, "deployment: replicas > 1 cannot combine with ranks > 1"},
   };
   return kCatalog;
 }
@@ -455,6 +472,15 @@ LintReport lint(const core::Network& net, const LintOptions& options) {
     lint_load(report.load, rec);
   }
   lint_determinism(net, rec);
+  if (options.deploy != nullptr) {
+    // Deployment-planner pass (docs/ANALYSIS.md): the plan itself is cheap
+    // to recompute, so lint only folds its findings; callers wanting the
+    // full plan (JSON emission, bounds) call plan_deployment directly.
+    const DeploymentPlan plan = plan_deployment(net, *options.deploy);
+    for (const Finding& f : plan_findings(net, plan)) {
+      rec.emit(f.rule, f.core, f.neuron, f.message, f.count);
+    }
+  }
 
   report.findings = rec.take();
   return report;

@@ -59,6 +59,8 @@ struct RuleInfo {
 /// never reused, only retired.
 [[nodiscard]] const std::vector<RuleInfo>& rule_catalog();
 
+struct DeploymentSpec;  // src/analysis/plan.hpp
+
 struct LintOptions {
   /// Rule IDs to suppress (exact match, e.g. {"NSC040"}). Suppressed rules
   /// are skipped entirely and listed in the report for auditability.
@@ -68,6 +70,10 @@ struct LintOptions {
   bool graph = true;
   /// Run the load-bound rules (NSC03x) and compute LoadSummary.
   bool load = true;
+  /// When non-null, run the deployment-planner rules (NSC041–NSC047, NSC055)
+  /// against this configuration (src/analysis/plan.hpp). The spec must
+  /// outlive the lint() call.
+  const DeploymentSpec* deploy = nullptr;
 };
 
 /// The result of linting one network.

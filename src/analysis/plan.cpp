@@ -1,0 +1,617 @@
+#include "src/analysis/plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+
+#include "src/core/snapshot.hpp"
+#include "src/util/bitrow.hpp"
+
+namespace nsc::analysis {
+
+using core::CoreId;
+using core::kCoreSize;
+
+namespace {
+
+Severity catalog_severity(std::string_view id) {
+  for (const RuleInfo& r : rule_catalog()) {
+    if (r.id == id) return r.severity;
+  }
+  return Severity::kInfo;
+}
+
+/// Recorder-order sort (lint.cpp): severity descending, rule, core.
+void sort_findings(std::vector<Finding>& fs) {
+  std::stable_sort(fs.begin(), fs.end(), [](const Finding& a, const Finding& b) {
+    if (a.severity != b.severity) return a.severity > b.severity;
+    if (a.rule != b.rule) return a.rule < b.rule;
+    return a.core < b.core;
+  });
+}
+
+/// One potential partition-cut delivery, at core granularity: an enabled
+/// neuron of live core `src` routes to (dst, delay-slot, word). Deduped —
+/// same-word deliveries coalesce into one WordDelivery OR-mask.
+struct Edge {
+  CoreId src = 0;
+  CoreId dst = 0;
+  std::uint8_t delay = 0;
+  std::uint8_t word = 0;
+
+  friend bool operator<(const Edge& a, const Edge& b) {
+    return std::tie(a.src, a.dst, a.delay, a.word) < std::tie(b.src, b.dst, b.delay, b.word);
+  }
+  friend bool operator==(const Edge& a, const Edge& b) {
+    return std::tie(a.src, a.dst, a.delay, a.word) == std::tie(b.src, b.dst, b.delay, b.word);
+  }
+};
+
+/// Rank-independent static profile: computed once, reused for every rank
+/// count the recommendation scan evaluates.
+struct NetProfile {
+  std::size_t ncores = 0;
+  std::vector<std::uint32_t> enabled;        ///< Enabled neurons per live core.
+  std::vector<std::uint32_t> axons;          ///< Targeted axons per live core.
+  std::vector<std::uint64_t> synapses;       ///< Reachable synapses per live core.
+  std::vector<Edge> edges;                   ///< Deduped potential deliveries.
+};
+
+NetProfile profile_network(const core::Network& net) {
+  NetProfile prof;
+  prof.ncores = static_cast<std::size_t>(net.geom.total_cores());
+  if (net.cores.size() != prof.ncores) {
+    prof.ncores = 0;  // NSC001 territory: no meaningful profile.
+    return prof;
+  }
+  prof.enabled.assign(prof.ncores, 0);
+  prof.axons.assign(prof.ncores, 0);
+  prof.synapses.assign(prof.ncores, 0);
+
+  // Pass 1: enabled masks and the inbound targeted-axon masks (the same
+  // masks compute_load builds; external input is deliberately excluded).
+  std::vector<util::BitRow256> enabled_mask(prof.ncores);
+  std::vector<util::BitRow256> targeted(prof.ncores);
+  for (std::size_t c = 0; c < prof.ncores; ++c) {
+    const core::CoreSpec& spec = net.cores[c];
+    for (int j = 0; j < kCoreSize; ++j) {
+      const core::NeuronParams& p = spec.neuron[j];
+      if (!p.enabled) continue;
+      enabled_mask[c].set(j);
+      if (spec.disabled) continue;  // Dead cores never fire.
+      ++prof.enabled[c];
+      if (!p.target.valid() || static_cast<std::size_t>(p.target.core) >= prof.ncores ||
+          p.target.axon >= kCoreSize) {
+        continue;
+      }
+      targeted[p.target.core].set(p.target.axon);
+      prof.edges.push_back(Edge{static_cast<CoreId>(c), p.target.core, p.target.delay,
+                                static_cast<std::uint8_t>(p.target.axon >> 6)});
+    }
+  }
+  std::sort(prof.edges.begin(), prof.edges.end());
+  prof.edges.erase(std::unique(prof.edges.begin(), prof.edges.end()), prof.edges.end());
+
+  // Pass 2: per-core work components. A disabled core is never processed, so
+  // it contributes nothing even when routed to.
+  for (std::size_t c = 0; c < prof.ncores; ++c) {
+    const core::CoreSpec& spec = net.cores[c];
+    if (spec.disabled) continue;
+    prof.axons[c] = static_cast<std::uint32_t>(targeted[c].count());
+    std::uint64_t reach = 0;
+    targeted[c].for_each_set([&](int a) {
+      reach += static_cast<std::uint64_t>(spec.crossbar.row(a).and_count(enabled_mask[c]));
+    });
+    prof.synapses[c] = reach;
+  }
+  return prof;
+}
+
+/// Per-rank bounds of `prof` sharded `ranks` ways (the spec-independent
+/// core of plan_deployment, reused by the recommendation scan).
+std::vector<RankBound> rank_bounds(const core::Network& net, const NetProfile& prof, int ranks) {
+  std::vector<RankBound> out(static_cast<std::size_t>(ranks));
+  const std::vector<compass::CoreRange> shards = compass::partition_balanced(net, ranks);
+  std::vector<int> rank_of(prof.ncores, 0);
+  for (std::size_t r = 0; r < shards.size() && r < out.size(); ++r) {
+    out[r].shard = shards[r];
+    for (CoreId c = shards[r].begin; c < shards[r].end; ++c) {
+      rank_of[c] = static_cast<int>(r);
+      out[r].enabled_neurons += prof.enabled[c];
+      out[r].axons_targeted += prof.axons[c];
+      out[r].reachable_synapses += prof.synapses[c];
+    }
+  }
+  // Distinct WordDeliveries per sending rank: dedupe (src rank, dst core,
+  // delay, word) — same-shard sources coalesce into one OR-mask word.
+  std::vector<std::tuple<int, CoreId, std::uint8_t, std::uint8_t>> cut;
+  cut.reserve(prof.edges.size());
+  for (const Edge& e : prof.edges) {
+    const int s = rank_of[e.src];
+    if (s != rank_of[e.dst]) cut.emplace_back(s, e.dst, e.delay, e.word);
+  }
+  std::sort(cut.begin(), cut.end());
+  cut.erase(std::unique(cut.begin(), cut.end()), cut.end());
+  std::vector<std::uint64_t> words(static_cast<std::size_t>(ranks), 0);
+  for (const auto& k : cut) ++words[static_cast<std::size_t>(std::get<0>(k))];
+
+  for (std::size_t r = 0; r < out.size(); ++r) {
+    RankBound& b = out[r];
+    b.work_bound = b.enabled_neurons + b.axons_targeted + b.reachable_synapses;
+    // One kSpikeBatch frame per live peer per tick, empty or not: an 8-byte
+    // tick header plus 16 bytes per coalesced WordDelivery.
+    b.send_messages = static_cast<std::uint64_t>(ranks - 1);
+    b.send_bytes = b.send_messages * 8 + 16 * words[r];
+    b.est_tick_ns = static_cast<double>(b.work_bound) * kWorkUnitNs +
+                    static_cast<double>(b.send_bytes) * kExchangeByteNs +
+                    static_cast<double>(ranks - 1) * kMessageOverheadNs;
+  }
+  return out;
+}
+
+double critical_tick_ns(const std::vector<RankBound>& bounds) {
+  double worst = 0.0;
+  for (const RankBound& b : bounds) worst = std::max(worst, b.est_tick_ns);
+  return worst;
+}
+
+ReplicaFootprint replica_footprint(const core::Network& net, int replicas) {
+  // The BatchSimulator state layout, byte for byte (src/replica/batch.hpp):
+  // shared read-only tables once, then per-replica dynamic state. The
+  // ActiveSet term is an allowance (flag byte + worklist entry per core).
+  const auto ncores = static_cast<std::uint64_t>(net.geom.total_cores());
+  ReplicaFootprint f;
+  f.shared_bytes = ncores * (32      // enabled_ (BitRow256)
+                             + 4     // enabled_count_
+                             + 1 + 1 + 1  // live_ / always_active_ / hot_ok_
+                             + 3 * kCoreSize * 4   // hot_ SoA (leak|alpha|floor)
+                             + core::kAxonTypes * kCoreSize * 2  // wtab_
+                             + kCoreSize);                       // target_ok_
+  f.per_replica_bytes = ncores * (kCoreSize * 4       // v_
+                                  + 16 * 32           // delay_ (16 slots)
+                                  + 1                 // hot_v_ok_
+                                  + 8)                // ActiveSet allowance
+                        + sizeof(core::KernelStats) + 8;  // stats_ + tick_
+  f.total_bytes = f.shared_bytes + static_cast<std::uint64_t>(replicas) * f.per_replica_bytes;
+  return f;
+}
+
+}  // namespace
+
+std::uint64_t snapshot_image_bytes_bound(const core::Geometry& geom) {
+  // The exact NSCK serialization (src/core/snapshot.cpp save_snapshot):
+  // 41-byte header, 11 u64 stats, dense fault bitmaps, potentials, delay
+  // words, then the extras and traffic sections at the loader's caps (64
+  // extras of <= 64-char names; traffic always written for the geometry).
+  const auto ncores = static_cast<std::uint64_t>(geom.total_cores());
+  const auto nlinks = static_cast<std::uint64_t>(geom.chips()) * 4;
+  return 41 + 11 * 8                                     // header + stats
+         + ncores + nlinks                               // fault bitmaps
+         + ncores * kCoreSize * 4                        // potentials
+         + ncores * 16 * 4 * 8                           // delay words
+         + 4 + 64 * (2 + 64 + 8)                         // extras allowance
+         + 4 + nlinks * 8 + 16;                          // traffic section
+}
+
+DeploymentPlan plan_deployment(const core::Network& net, const DeploymentSpec& spec) {
+  if (spec.ranks < 1) throw std::invalid_argument("plan: ranks must be >= 1");
+  if (spec.replicas < 1) throw std::invalid_argument("plan: replicas must be >= 1");
+  if (spec.recovery_interval < 1) {
+    throw std::invalid_argument("plan: recovery_interval must be >= 1");
+  }
+  DeploymentPlan plan;
+  plan.spec = spec;
+  const NetProfile prof = profile_network(net);
+  if (prof.ncores == 0) {  // NSC001-broken network: an empty but valid plan.
+    plan.ranks.resize(static_cast<std::size_t>(spec.ranks));
+    plan.recommended_ranks = 1;
+    return plan;
+  }
+
+  plan.ranks = rank_bounds(net, prof, spec.ranks);
+  for (const RankBound& b : plan.ranks) {
+    plan.total_messages_per_tick += b.send_messages;
+    plan.total_bytes_per_tick += b.send_bytes;
+    plan.total_work_per_tick += b.work_bound;
+  }
+  {
+    std::vector<compass::CoreRange> shards(plan.ranks.size());
+    for (std::size_t r = 0; r < shards.size(); ++r) shards[r] = plan.ranks[r].shard;
+    plan.load_imbalance = compass::load_imbalance(net, shards);
+  }
+  plan.est_tick_ns = critical_tick_ns(plan.ranks);
+
+  // Recommended rank count: argmin of the modeled critical-path tick time
+  // over 1..kMaxPlannedRanks (smaller wins ties — fewer processes).
+  plan.recommended_ranks = 1;
+  double best = 0.0;
+  for (int r = 1; r <= kMaxPlannedRanks; ++r) {
+    const double est = r == spec.ranks ? plan.est_tick_ns
+                                       : critical_tick_ns(rank_bounds(net, prof, r));
+    if (r == 1 || est < best) {
+      best = est;
+      plan.recommended_ranks = r;
+    }
+  }
+
+  plan.replica = replica_footprint(net, spec.replicas);
+  plan.recovery.image_bytes = snapshot_image_bytes_bound(net.geom);
+  plan.recovery.replay_work_bound =
+      static_cast<std::uint64_t>(spec.recovery_interval) * plan.total_work_per_tick;
+  plan.recovery.recovery_ns =
+      static_cast<double>(plan.recovery.image_bytes) * kSnapshotByteNs +
+      static_cast<double>(plan.recovery.replay_work_bound) * kWorkUnitNs;
+  return plan;
+}
+
+std::vector<Finding> plan_findings(const core::Network& net, const DeploymentPlan& plan) {
+  std::vector<Finding> fs;
+  const DeploymentSpec& spec = plan.spec;
+  auto emit = [&](std::string_view rule, std::string message, std::uint64_t count = 1) {
+    Finding f;
+    f.rule = std::string(rule);
+    f.severity = catalog_severity(rule);
+    f.message = std::move(message);
+    f.count = count;
+    fs.push_back(std::move(f));
+  };
+
+  // NSC055: the backends compose replicas XOR ranks; both > 1 cannot run.
+  if (spec.replicas > 1 && spec.ranks > 1) {
+    std::ostringstream os;
+    os << "deployment requests " << spec.replicas << " replicas across " << spec.ranks
+       << " ranks; the replica-batched backend is single-process, so replicas > 1 "
+          "cannot combine with ranks > 1 (run replicas on one rank or shard one replica)";
+    emit("NSC055", os.str());
+  }
+
+  // NSC041: empty shards burn a process (fork, frames, barrier waits) on
+  // zero work — the rank count exceeds what the network can use.
+  if (spec.ranks > 1) {
+    int empty = 0;
+    for (const RankBound& b : plan.ranks) empty += b.shard.size() == 0 ? 1 : 0;
+    if (empty > 0) {
+      std::ostringstream os;
+      os << empty << " of " << spec.ranks << " rank shard(s) own no cores at this rank "
+         << "count; each still forks, sends per-tick frames, and waits at the tick "
+         << "barrier for nothing — reduce --ranks to <= " << (spec.ranks - empty);
+      emit("NSC041", os.str(), static_cast<std::uint64_t>(empty));
+    }
+  }
+
+  // NSC042: a lopsided cut leaves ranks idling at the exchange barrier.
+  if (spec.ranks > 1 && plan.load_imbalance > kImbalanceWarnRatio) {
+    std::ostringstream os;
+    os << "static shard load imbalance " << plan.load_imbalance << " exceeds "
+       << kImbalanceWarnRatio << " at " << spec.ranks << " ranks (max/mean estimated "
+       << "per-tick work); the slowest shard gates every tick";
+    emit("NSC042", os.str());
+  }
+
+  // NSC043: the partition cut itself can dominate the tick.
+  if (plan.total_bytes_per_tick > kExchangeBytesPerTickCapacity) {
+    std::ostringstream os;
+    os << "partition-cut exchange bound " << plan.total_bytes_per_tick << " bytes/tick "
+       << "across " << plan.total_messages_per_tick << " frames exceeds the "
+       << kExchangeBytesPerTickCapacity << " bytes/tick exchange capacity; the cut "
+       << "crosses too many (core, delay, word) routes — repartition or reduce ranks";
+    emit("NSC043", os.str());
+  }
+
+  // NSC044: ranks heartbeat only while waiting (every deadline/4 ms); a
+  // compute phase longer than that window risks a false RankTimeout.
+  if (spec.rank_deadline_ms > 0 && spec.ranks > 1) {
+    const double quarter_ns = static_cast<double>(spec.rank_deadline_ms) * 1e6 / 4.0;
+    if (plan.est_tick_ns > quarter_ns) {
+      std::ostringstream os;
+      os << "worst-case tick bound " << plan.est_tick_ns / 1e6 << " ms exceeds "
+         << "rank-deadline-ms/4 = " << quarter_ns / 1e6 << " ms; a healthy rank can be "
+         << "silent longer than the heartbeat window and be killed as hung (false "
+         << "RankTimeout) — raise --rank-deadline-ms to >= "
+         << static_cast<std::uint64_t>(plan.est_tick_ns * 4.0 / 1e6) + 1;
+      emit("NSC044", os.str());
+    }
+  }
+
+  // NSC045: recovery = restore the shadow image + replay up to a full
+  // recovery interval of worst-case ticks.
+  if (spec.supervise && plan.recovery.recovery_ns > kRecoveryBudgetNs) {
+    std::ostringstream os;
+    os << "worst-case recovery cost " << plan.recovery.recovery_ns / 1e9 << " s ("
+       << plan.recovery.image_bytes << "-byte shadow image + replay of "
+       << spec.recovery_interval << " ticks x " << plan.total_work_per_tick
+       << " work/tick) exceeds the " << kRecoveryBudgetNs / 1e9
+       << " s budget; lower --recovery-interval";
+    emit("NSC045", os.str());
+  }
+
+  // NSC046: the replica-batch SoA footprint must fit the budget.
+  if (plan.replica.total_bytes > spec.replica_memory_budget) {
+    std::ostringstream os;
+    os << "replica-batch footprint " << plan.replica.total_bytes << " bytes ("
+       << plan.replica.shared_bytes << " shared + " << spec.replicas << " x "
+       << plan.replica.per_replica_bytes << " per replica) exceeds the "
+       << spec.replica_memory_budget << "-byte budget; reduce --replicas or raise "
+       << "--mem-budget-mb";
+    emit("NSC046", os.str());
+  }
+
+  // NSC047: the modeled critical path prefers a different rank count.
+  if (plan.recommended_ranks != spec.ranks) {
+    std::ostringstream os;
+    os << "modeled critical-path tick time favors " << plan.recommended_ranks
+       << " rank(s) over the requested " << spec.ranks << " (bound "
+       << plan.est_tick_ns / 1e3 << " us/tick at " << spec.ranks << ")";
+    emit("NSC047", os.str());
+  }
+
+  (void)net;
+  sort_findings(fs);
+  return fs;
+}
+
+obs::JsonValue plan_to_json(const DeploymentPlan& plan, const std::string& net_name,
+                            const core::Geometry& geom) {
+  obs::JsonValue doc = obs::JsonValue::object();
+  doc.set("schema", "nsc-plan-v1");
+  doc.set("net", net_name);
+  obs::JsonValue g = obs::JsonValue::object();
+  g.set("chips_x", geom.chips_x);
+  g.set("chips_y", geom.chips_y);
+  g.set("cores_x", geom.cores_x);
+  g.set("cores_y", geom.cores_y);
+  doc.set("geometry", std::move(g));
+
+  obs::JsonValue spec = obs::JsonValue::object();
+  spec.set("ranks", plan.spec.ranks);
+  spec.set("replicas", plan.spec.replicas);
+  spec.set("supervise", plan.spec.supervise);
+  spec.set("rank_deadline_ms", plan.spec.rank_deadline_ms);
+  spec.set("recovery_interval", static_cast<std::int64_t>(plan.spec.recovery_interval));
+  spec.set("replica_memory_budget", plan.spec.replica_memory_budget);
+  doc.set("spec", std::move(spec));
+
+  obs::JsonValue ranks = obs::JsonValue::array();
+  for (std::size_t r = 0; r < plan.ranks.size(); ++r) {
+    const RankBound& b = plan.ranks[r];
+    obs::JsonValue jr = obs::JsonValue::object();
+    jr.set("rank", static_cast<std::int64_t>(r));
+    jr.set("core_begin", static_cast<std::int64_t>(b.shard.begin));
+    jr.set("core_end", static_cast<std::int64_t>(b.shard.end));
+    jr.set("enabled_neurons", b.enabled_neurons);
+    jr.set("axons_targeted", b.axons_targeted);
+    jr.set("reachable_synapses", b.reachable_synapses);
+    jr.set("work_bound", b.work_bound);
+    jr.set("send_messages", b.send_messages);
+    jr.set("send_bytes", b.send_bytes);
+    jr.set("est_tick_ns", b.est_tick_ns);
+    ranks.push_back(std::move(jr));
+  }
+  doc.set("ranks", std::move(ranks));
+
+  obs::JsonValue totals = obs::JsonValue::object();
+  totals.set("messages_per_tick", plan.total_messages_per_tick);
+  totals.set("bytes_per_tick", plan.total_bytes_per_tick);
+  totals.set("work_per_tick", plan.total_work_per_tick);
+  totals.set("load_imbalance", plan.load_imbalance);
+  totals.set("est_tick_ns", plan.est_tick_ns);
+  doc.set("totals", std::move(totals));
+  doc.set("recommended_ranks", plan.recommended_ranks);
+
+  obs::JsonValue rep = obs::JsonValue::object();
+  rep.set("shared_bytes", plan.replica.shared_bytes);
+  rep.set("per_replica_bytes", plan.replica.per_replica_bytes);
+  rep.set("total_bytes", plan.replica.total_bytes);
+  doc.set("replica", std::move(rep));
+
+  obs::JsonValue rec = obs::JsonValue::object();
+  rec.set("image_bytes", plan.recovery.image_bytes);
+  rec.set("replay_work_bound", plan.recovery.replay_work_bound);
+  rec.set("recovery_ns", plan.recovery.recovery_ns);
+  doc.set("recovery", std::move(rec));
+  return doc;
+}
+
+namespace {
+
+const obs::JsonValue& need(const obs::JsonValue& doc, std::string_view path) {
+  const obs::JsonValue* v = doc.find_path(path);
+  if (v == nullptr) {
+    throw std::runtime_error("nsc-plan-v1: missing field '" + std::string(path) + "'");
+  }
+  return *v;
+}
+
+std::uint64_t need_u64(const obs::JsonValue& doc, std::string_view path) {
+  return static_cast<std::uint64_t>(need(doc, path).as_int());
+}
+
+}  // namespace
+
+DeploymentPlan plan_from_json(const obs::JsonValue& doc) {
+  const obs::JsonValue* schema = doc.find("schema");
+  if (schema == nullptr || schema->as_string() != "nsc-plan-v1") {
+    throw std::runtime_error("not an nsc-plan-v1 document");
+  }
+  DeploymentPlan plan;
+  plan.spec.ranks = static_cast<int>(need(doc, "spec.ranks").as_int());
+  plan.spec.replicas = static_cast<int>(need(doc, "spec.replicas").as_int());
+  plan.spec.supervise = need(doc, "spec.supervise").as_bool();
+  plan.spec.rank_deadline_ms = static_cast<int>(need(doc, "spec.rank_deadline_ms").as_int());
+  plan.spec.recovery_interval = need(doc, "spec.recovery_interval").as_int();
+  plan.spec.replica_memory_budget = need_u64(doc, "spec.replica_memory_budget");
+
+  const obs::JsonValue& ranks = need(doc, "ranks");
+  for (const obs::JsonValue& jr : ranks.items()) {
+    RankBound b;
+    b.shard.begin = static_cast<CoreId>(need(jr, "core_begin").as_int());
+    b.shard.end = static_cast<CoreId>(need(jr, "core_end").as_int());
+    b.enabled_neurons = need_u64(jr, "enabled_neurons");
+    b.axons_targeted = need_u64(jr, "axons_targeted");
+    b.reachable_synapses = need_u64(jr, "reachable_synapses");
+    b.work_bound = need_u64(jr, "work_bound");
+    b.send_messages = need_u64(jr, "send_messages");
+    b.send_bytes = need_u64(jr, "send_bytes");
+    b.est_tick_ns = need(jr, "est_tick_ns").as_double();
+    plan.ranks.push_back(b);
+  }
+  plan.total_messages_per_tick = need_u64(doc, "totals.messages_per_tick");
+  plan.total_bytes_per_tick = need_u64(doc, "totals.bytes_per_tick");
+  plan.total_work_per_tick = need_u64(doc, "totals.work_per_tick");
+  plan.load_imbalance = need(doc, "totals.load_imbalance").as_double();
+  plan.est_tick_ns = need(doc, "totals.est_tick_ns").as_double();
+  plan.recommended_ranks = static_cast<int>(need(doc, "recommended_ranks").as_int());
+  plan.replica.shared_bytes = need_u64(doc, "replica.shared_bytes");
+  plan.replica.per_replica_bytes = need_u64(doc, "replica.per_replica_bytes");
+  plan.replica.total_bytes = need_u64(doc, "replica.total_bytes");
+  plan.recovery.image_bytes = need_u64(doc, "recovery.image_bytes");
+  plan.recovery.replay_work_bound = need_u64(doc, "recovery.replay_work_bound");
+  plan.recovery.recovery_ns = need(doc, "recovery.recovery_ns").as_double();
+  return plan;
+}
+
+LintReport audit_checkpoint(const std::string& path, const core::Network* net,
+                            const std::vector<std::string>& suppress) {
+  LintReport rep;
+  rep.suppressed = suppress;
+  std::sort(rep.suppressed.begin(), rep.suppressed.end());
+  rep.suppressed.erase(std::unique(rep.suppressed.begin(), rep.suppressed.end()),
+                       rep.suppressed.end());
+  auto suppressed = [&](std::string_view rule) {
+    return std::binary_search(rep.suppressed.begin(), rep.suppressed.end(), std::string(rule));
+  };
+  auto emit = [&](std::string_view rule, std::string message, CoreId core = core::kInvalidCore,
+                  int neuron = -1, std::uint64_t count = 1) {
+    if (suppressed(rule)) return;
+    Finding f;
+    f.rule = std::string(rule);
+    f.severity = catalog_severity(rule);
+    f.message = std::move(message);
+    f.core = core;
+    f.neuron = neuron;
+    f.count = count;
+    rep.findings.push_back(std::move(f));
+  };
+
+  core::Snapshot snap;
+  try {
+    snap = core::load_snapshot(path);
+  } catch (const std::exception& e) {
+    // NSC048: the loader's hostile-file hardening already rejected the file
+    // (bad magic/version, implausible geometry, counts exceeding the stream)
+    // before allocating for it; surface its verdict as the finding.
+    emit("NSC048", path + ": rejected by the checkpoint loader: " + e.what());
+    sort_findings(rep.findings);
+    return rep;
+  }
+
+  // NSC049: a checkpoint only restores into the network it was taken from.
+  if (net != nullptr && (snap.geom != net->geom || snap.net_seed != net->seed)) {
+    std::ostringstream os;
+    os << path << ": checkpoint belongs to geometry " << snap.geom.chips_x << "x"
+       << snap.geom.chips_y << " chips of " << snap.geom.cores_x << "x" << snap.geom.cores_y
+       << " cores, seed " << snap.net_seed << "; the network declares "
+       << net->geom.chips_x << "x" << net->geom.chips_y << " chips of " << net->geom.cores_x
+       << "x" << net->geom.cores_y << ", seed " << net->seed
+       << " — restoring would be rejected (or silently wrong state)";
+    emit("NSC049", os.str());
+  }
+
+  // NSC050: fault bitmaps are strictly boolean; any other byte means the
+  // file was forged or corrupted past the loader's structural checks.
+  {
+    std::uint64_t bad = 0;
+    CoreId first = core::kInvalidCore;
+    for (std::size_t c = 0; c < snap.dead_cores.size(); ++c) {
+      if (snap.dead_cores[c] > 1) {
+        ++bad;
+        if (first == core::kInvalidCore) first = static_cast<CoreId>(c);
+      }
+    }
+    for (const std::uint8_t b : snap.dead_links) bad += b > 1 ? 1 : 0;
+    if (bad > 0) {
+      std::ostringstream os;
+      os << path << ": " << bad << " fault-bitmap byte(s) are neither 0 nor 1 (first: core "
+         << (first == core::kInvalidCore ? 0 : first)
+         << "); the liveness state is not interpretable";
+      emit("NSC050", os.str(), first, -1, bad);
+    }
+  }
+
+  // NSC051: potentials must lie in the hardware's 20-bit membrane envelope —
+  // hostile values outside it break the kernels' fast-path proofs.
+  {
+    std::uint64_t bad = 0;
+    CoreId first_core = core::kInvalidCore;
+    int first_neuron = -1;
+    for (std::size_t i = 0; i < snap.v.size(); ++i) {
+      const std::int32_t v = snap.v[i];
+      if (v > core::kPotentialMax || v < core::kPotentialMin) {
+        ++bad;
+        if (first_core == core::kInvalidCore) {
+          first_core = static_cast<CoreId>(i / kCoreSize);
+          first_neuron = static_cast<int>(i % kCoreSize);
+        }
+      }
+    }
+    if (bad > 0) {
+      std::ostringstream os;
+      os << path << ": " << bad << " membrane potential(s) outside the 20-bit envelope ["
+         << core::kPotentialMin << ", " << core::kPotentialMax << "] (first: core "
+         << first_core << " neuron " << first_neuron << ")";
+      emit("NSC051", os.str(), first_core, first_neuron, bad);
+    }
+  }
+
+  // NSC052: stats.ticks counts processed ticks since the last reset; it can
+  // trail the absolute clock but never lead it in an honestly produced file.
+  if (snap.tick < static_cast<core::Tick>(snap.stats.ticks)) {
+    std::ostringstream os;
+    os << path << ": header tick " << snap.tick << " is behind stats.ticks "
+       << snap.stats.ticks << "; the counters claim more ticks than the clock has seen";
+    emit("NSC052", os.str());
+  }
+
+  // NSC053 / NSC054: runtime fault state a deployer should know about, and
+  // deliveries buffered on cores that will never process them.
+  {
+    std::uint64_t dead_cores = 0, dead_links = 0;
+    for (const std::uint8_t b : snap.dead_cores) dead_cores += b == 1 ? 1 : 0;
+    for (const std::uint8_t b : snap.dead_links) dead_links += b == 1 ? 1 : 0;
+    if (dead_cores + dead_links > 0) {
+      std::ostringstream os;
+      os << path << ": checkpoint carries runtime fault state (" << dead_cores
+         << " dead core(s), " << dead_links << " dead link(s)); a restore resumes the "
+         << "degraded world, not the pristine network";
+      emit("NSC053", os.str(), core::kInvalidCore, -1, dead_cores + dead_links);
+    }
+    constexpr std::size_t kWordsPerCore = 16 * 4;
+    std::uint64_t stuck = 0;
+    CoreId first = core::kInvalidCore;
+    for (std::size_t c = 0; c < snap.dead_cores.size(); ++c) {
+      if (snap.dead_cores[c] != 1) continue;
+      const std::size_t base = c * kWordsPerCore;
+      if (base + kWordsPerCore > snap.delay_words.size()) break;
+      for (std::size_t w = 0; w < kWordsPerCore; ++w) {
+        if (snap.delay_words[base + w] != 0) {
+          ++stuck;
+          if (first == core::kInvalidCore) first = static_cast<CoreId>(c);
+          break;
+        }
+      }
+    }
+    if (stuck > 0) {
+      std::ostringstream os;
+      os << path << ": " << stuck << " dead core(s) still hold in-flight deliveries in "
+         << "their delay buffers (first: core " << first
+         << "); those spikes can never be processed";
+      emit("NSC054", os.str(), first, -1, stuck);
+    }
+  }
+
+  sort_findings(rep.findings);
+  return rep;
+}
+
+}  // namespace nsc::analysis

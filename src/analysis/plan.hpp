@@ -1,0 +1,166 @@
+// Deployment planner: partition-, replica-, and checkpoint-aware static
+// analysis (docs/ANALYSIS.md, "Deployment planner").
+//
+// plan_deployment composes the no-simulation firing-rate/load bounds
+// (load.hpp) with the compass balanced partitioner (src/compass/partition) to
+// bound, at any rank count and *without simulating*:
+//   - per-rank compute work per tick (neuron updates + axon events + SOPs),
+//   - partition-cut exchange messages and bytes per tick,
+//   - the static load imbalance of the resulting shard assignment,
+// plus heartbeat/deadline feasibility, supervisor recovery cost, and the
+// replica-batch SoA memory footprint. The count bounds are *provably
+// conservative*: CI runs fuzzed nets at {1,2,4} ranks and asserts the
+// measured `dist.messages`/`dist.bytes` and per-rank compute never exceed
+// them (tests/test_plan.cpp, the bench-smoke `--check-run` gate).
+//
+// The bound derivations (docs/ANALYSIS.md has the full argument):
+//   messages/tick  = ranks*(ranks-1), exactly: every rank sends one
+//     kSpikeBatch frame per live peer per tick, empty or not, and only those
+//     frames increment dist.messages (src/dist/rank.cpp).
+//   bytes/tick(s→d) <= 8 + 16 * W(s,d): a frame is an 8-byte tick header
+//     plus one 16-byte WordDelivery per distinct (target core, delay,
+//     axon/64) triple — deliveries coalesce per (core, slot, word), and at a
+//     fixed tick the slot is injective in the delay, so W(s,d) counts the
+//     distinct triples over enabled, validly-targeted neurons crossing s→d.
+//   work/tick(rank) <= enabled neurons on live shard cores (neuron_updates
+//     is exactly that, every tick) + Σ axons_targeted (each targeted axon
+//     fires its row at most once per tick) + Σ over targeted axons of
+//     |row ∩ enabled| (each active row does at most that many SOPs).
+// The work bound holds for fresh, input-free runs (external input is
+// statically unknowable and deliberately excluded, like load.hpp).
+//
+// The checkpoint audit (audit_checkpoint, `nsc_lint --checkpoint`) statically
+// verifies an NSCK file via core::load_snapshot — PR 2's hostile-file
+// hardening (magic/version/geometry/truncation validated before any
+// allocation) — then checks the decoded state against the hardware envelope.
+// No simulator is ever constructed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/analysis/lint.hpp"
+#include "src/compass/partition.hpp"
+#include "src/core/network.hpp"
+#include "src/obs/json.hpp"
+
+namespace nsc::analysis {
+
+// --- Deployment model constants (docs/ANALYSIS.md, "Planner model"). The
+// time/memory models are advisory (warn rules); the count bounds above are
+// the ones CI proves conservative. ---
+
+/// Modeled nanoseconds per compute work unit (one neuron update, axon event,
+/// or SOP) on a provisioned rank.
+inline constexpr double kWorkUnitNs = 2.0;
+/// Modeled nanoseconds per exchanged payload byte (socketpair copy cost).
+inline constexpr double kExchangeByteNs = 0.25;
+/// Modeled fixed cost per peer frame (syscall + framing) per tick.
+inline constexpr double kMessageOverheadNs = 4000.0;
+/// Exchange budget per tick across all rank pairs before NSC043 warns that
+/// the partition cut dominates the tick.
+inline constexpr std::uint64_t kExchangeBytesPerTickCapacity = 16ull << 20;
+/// Modeled nanoseconds per shadow-image byte (stitch + restore copy cost).
+inline constexpr double kSnapshotByteNs = 1.0;
+/// Worst-case recovery (restore + replay) budget before NSC045 warns; one
+/// biological second at the paper's 1 ms tick.
+inline constexpr double kRecoveryBudgetNs = 1e9;
+/// Static shard imbalance (max/mean core_load_estimate) above which NSC042
+/// warns that ranks will idle at the tick barrier.
+inline constexpr double kImbalanceWarnRatio = 1.5;
+/// Default replica-batch memory budget for NSC046 (1 GiB).
+inline constexpr std::uint64_t kDefaultReplicaMemoryBudgetBytes = 1ull << 30;
+/// Highest rank count the recommendation scan considers.
+inline constexpr int kMaxPlannedRanks = 16;
+
+/// The deployment configuration under analysis — mirrors the `nsc_run`
+/// flags (--ranks/--replicas/--supervise/--rank-deadline-ms/
+/// --recovery-interval) plus the replica memory budget.
+struct DeploymentSpec {
+  int ranks = 1;
+  int replicas = 1;
+  bool supervise = false;
+  int rank_deadline_ms = 0;               ///< 0 = failure detector disabled.
+  std::int64_t recovery_interval = 32;    ///< Shadow-checkpoint period (ticks).
+  std::uint64_t replica_memory_budget = kDefaultReplicaMemoryBudgetBytes;
+};
+
+/// Static per-tick bounds for one rank's shard. The three work components
+/// bound the rank's measured sops/axon_events/neuron_updates individually;
+/// `work_bound` is their sum (what the conservativeness gate checks against
+/// Coordinator::rank_compute_work).
+struct RankBound {
+  compass::CoreRange shard;
+  std::uint64_t enabled_neurons = 0;     ///< = per-tick neuron_updates (exact).
+  std::uint64_t axons_targeted = 0;      ///< >= per-tick axon_events.
+  std::uint64_t reachable_synapses = 0;  ///< >= per-tick SOPs.
+  std::uint64_t work_bound = 0;          ///< Sum of the three.
+  std::uint64_t send_messages = 0;       ///< = ranks - 1 (exact, per tick).
+  std::uint64_t send_bytes = 0;          ///< >= per-tick dist.bytes sent.
+  double est_tick_ns = 0.0;              ///< Modeled worst-case tick time.
+};
+
+/// Replica-batch SoA footprint (src/replica/batch.hpp layout, bytes).
+struct ReplicaFootprint {
+  std::uint64_t shared_bytes = 0;       ///< Read-only per-network tables.
+  std::uint64_t per_replica_bytes = 0;  ///< State one replica adds.
+  std::uint64_t total_bytes = 0;        ///< shared + replicas * per_replica.
+};
+
+/// Supervisor worst-case recovery cost (shadow image restore + rollback
+/// replay of up to `recovery_interval` ticks).
+struct RecoveryCost {
+  std::uint64_t image_bytes = 0;        ///< NSCK shadow-image size bound.
+  std::uint64_t replay_work_bound = 0;  ///< recovery_interval * total work.
+  double recovery_ns = 0.0;             ///< Modeled restore + replay time.
+};
+
+/// The full static deployment plan for (network, spec).
+struct DeploymentPlan {
+  DeploymentSpec spec;
+  std::vector<RankBound> ranks;              ///< One entry per rank.
+  std::uint64_t total_messages_per_tick = 0; ///< = ranks*(ranks-1), exact.
+  std::uint64_t total_bytes_per_tick = 0;    ///< >= measured dist.bytes/tick.
+  std::uint64_t total_work_per_tick = 0;     ///< Σ ranks[r].work_bound.
+  double load_imbalance = 0.0;               ///< Static max/mean shard load.
+  double est_tick_ns = 0.0;                  ///< max over ranks (critical path).
+  int recommended_ranks = 1;                 ///< argmin modeled tick time.
+  ReplicaFootprint replica;
+  RecoveryCost recovery;
+};
+
+/// Computes the static deployment plan. Throws std::invalid_argument when
+/// spec.ranks or spec.replicas < 1, or recovery_interval < 1.
+[[nodiscard]] DeploymentPlan plan_deployment(const core::Network& net,
+                                             const DeploymentSpec& spec);
+
+/// The planner rule pass (NSC041–NSC047, NSC055) over a computed plan.
+/// Returned findings carry catalog severities; lint() folds them through its
+/// recorder when LintOptions::deploy is set.
+[[nodiscard]] std::vector<Finding> plan_findings(const core::Network& net,
+                                                 const DeploymentPlan& plan);
+
+/// Serializes the plan to the round-trippable "nsc-plan-v1" schema.
+[[nodiscard]] obs::JsonValue plan_to_json(const DeploymentPlan& plan,
+                                          const std::string& net_name,
+                                          const core::Geometry& geom);
+
+/// Parses an "nsc-plan-v1" document back into a DeploymentPlan. Throws
+/// std::runtime_error on a schema mismatch.
+[[nodiscard]] DeploymentPlan plan_from_json(const obs::JsonValue& doc);
+
+/// Upper bound on the byte size of an NSCK snapshot of `geom` (exact
+/// serialized layout plus the loader-capped extras allowance).
+[[nodiscard]] std::uint64_t snapshot_image_bytes_bound(const core::Geometry& geom);
+
+/// Statically audits an NSCK checkpoint file (rules NSC048–NSC054) without
+/// constructing a simulator: core::load_snapshot performs the hostile-file
+/// hardening (NSC048 on throw), then the decoded state is checked against
+/// the envelope and, when `net` is non-null, against the network it claims
+/// to belong to. `suppress` lists rule IDs to skip (recorded in the report).
+[[nodiscard]] LintReport audit_checkpoint(const std::string& path,
+                                          const core::Network* net = nullptr,
+                                          const std::vector<std::string>& suppress = {});
+
+}  // namespace nsc::analysis

@@ -37,4 +37,11 @@ void write_lint_report(const std::string& path, const LintReport& report,
 /// refuse to simulate it. Warnings never block.
 [[nodiscard]] bool lint_preflight(const core::Network& net, const std::string& net_name);
 
+/// Deployment-aware preflight: same contract, but also runs the planner
+/// rules (NSC041–NSC047, NSC055) against `deploy`, so `--ranks`/
+/// `--replicas`/`--supervise` runs are vetted before any process forks.
+/// `deploy` must outlive the call (it is borrowed by LintOptions).
+[[nodiscard]] bool lint_preflight(const core::Network& net, const std::string& net_name,
+                                  const DeploymentSpec& deploy);
+
 }  // namespace nsc::analysis

@@ -48,6 +48,7 @@ Coordinator::Coordinator(const core::Network& net, Config cfg)
   }
   rank_compute_ns_.assign(static_cast<std::size_t>(cfg.ranks), 0);
   rank_exchange_ns_.assign(static_cast<std::size_t>(cfg.ranks), 0);
+  rank_work_.assign(static_cast<std::size_t>(cfg.ranks), 0);
 
   Spawned s = spawn_ranks(cfg.ranks);
   if (s.is_child()) {
@@ -171,6 +172,7 @@ void Coordinator::fold_report(int rank, const std::vector<std::uint8_t>& payload
   messages_total_ += rep.messages;
   rank_compute_ns_[static_cast<std::size_t>(rank)] += rep.compute_ns;
   rank_exchange_ns_[static_cast<std::size_t>(rank)] += rep.exchange_ns;
+  rank_work_[static_cast<std::size_t>(rank)] += rep.sops + rep.axon_events + rep.neuron_updates;
 }
 
 void Coordinator::collect_reports() {

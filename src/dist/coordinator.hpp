@@ -81,6 +81,13 @@ class Coordinator final : public core::Simulator {
     return rank_exchange_ns_;
   }
 
+  /// Compute work units (SOPs + axon events + neuron updates) each rank has
+  /// reported so far — the measured side of the deployment planner's
+  /// per-rank bound (src/analysis/plan.hpp, docs/ANALYSIS.md).
+  [[nodiscard]] const std::vector<std::uint64_t>& rank_compute_work() const noexcept {
+    return rank_work_;
+  }
+
   /// Load imbalance across ranks: max / mean per-rank compute time.
   [[nodiscard]] double load_imbalance() const noexcept;
 
@@ -132,6 +139,7 @@ class Coordinator final : public core::Simulator {
   std::uint64_t* ctr_heartbeats_missed_ = nullptr;
   std::vector<std::uint64_t> rank_compute_ns_;
   std::vector<std::uint64_t> rank_exchange_ns_;
+  std::vector<std::uint64_t> rank_work_;
 };
 
 }  // namespace nsc::dist

@@ -1,0 +1,497 @@
+// Deployment-planner suite (src/analysis/plan, docs/ANALYSIS.md): the
+// planner rules NSC041–NSC055 each fire on a crafted violating
+// network/config, the nsc-plan-v1 JSON round-trips, the checkpoint audit
+// rejects forged NSCK state, and — the load-bearing gate — the static
+// per-tick bounds are CONSERVATIVE: fuzzed nets run at {1, 2, 4} ranks on
+// the real forked Coordinator must never exceed the planned
+// dist.messages / dist.bytes / per-rank compute work.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/lint.hpp"
+#include "src/analysis/plan.hpp"
+#include "src/core/snapshot.hpp"
+#include "src/dist/coordinator.hpp"
+#include "src/obs/json.hpp"
+#include "tests/test_support.hpp"
+
+// Rank processes are forked from the test binary; under TSan the default
+// die_after_fork=1 would abort them before they ever reach rank_main.
+extern "C" const char* __tsan_default_options() { return "die_after_fork=0"; }
+
+namespace nsc {
+namespace {
+
+using analysis::DeploymentPlan;
+using analysis::DeploymentSpec;
+using analysis::LintReport;
+using analysis::Severity;
+using core::Geometry;
+using core::Network;
+using core::Tick;
+
+Network make_ring(int ncores = 4) {
+  Network net(Geometry{1, 1, 2, ncores / 2});
+  for (core::CoreId c = 0; c < ncores; ++c) {
+    for (int j = 0; j < core::kCoreSize; ++j) {
+      net.core(c).crossbar.set(j, j);
+      core::NeuronParams& p = net.core(c).neuron[j];
+      p.threshold = 100;
+      p.target = {(c + 1) % ncores, static_cast<std::uint16_t>(j), 1};
+    }
+  }
+  return net;
+}
+
+/// 16 fully-dense cores: every axon targeted, every row full — the planner's
+/// per-tick work bound is ~16 * (256 + 256 + 256*256), big enough to trip
+/// the deadline and recovery models with small knobs.
+Network make_dense16() {
+  Network net(Geometry{1, 1, 4, 4});
+  for (core::CoreId c = 0; c < 16; ++c) {
+    for (int a = 0; a < core::kCoreSize; ++a) {
+      for (int j = 0; j < core::kCoreSize; ++j) net.core(c).crossbar.set(a, j);
+    }
+    for (int j = 0; j < core::kCoreSize; ++j) {
+      core::NeuronParams& p = net.core(c).neuron[j];
+      p.threshold = 200;
+      p.target = {(c + 1) % 16, static_cast<std::uint16_t>(j),
+                  static_cast<std::uint8_t>(1 + (j % core::kMaxDelay))};
+    }
+  }
+  return net;
+}
+
+LintReport lint_with(const Network& net, const DeploymentSpec& spec) {
+  analysis::LintOptions options;
+  options.deploy = &spec;
+  return analysis::lint(net, options);
+}
+
+// ---------------------------------------------------------------------------
+// Plan structure
+// ---------------------------------------------------------------------------
+
+TEST(Plan, MessageBoundIsExactRankArithmetic) {
+  const Network net = make_ring();
+  DeploymentSpec spec;
+  spec.ranks = 3;
+  const DeploymentPlan plan = analysis::plan_deployment(net, spec);
+  ASSERT_EQ(plan.ranks.size(), 3u);
+  EXPECT_EQ(plan.total_messages_per_tick, 3u * 2u);
+  for (const analysis::RankBound& b : plan.ranks) {
+    EXPECT_EQ(b.send_messages, 2u);
+    EXPECT_GE(b.send_bytes, 2u * 8u) << "every peer frame carries its 8-byte tick header";
+    EXPECT_EQ(b.work_bound, b.enabled_neurons + b.axons_targeted + b.reachable_synapses);
+  }
+  EXPECT_GE(plan.load_imbalance, 1.0);
+  EXPECT_GE(plan.recommended_ranks, 1);
+}
+
+TEST(Plan, ShardsMatchCompassPartitioner) {
+  // The planner must reuse the runtime partitioner verbatim, or the bounds
+  // would describe shards no rank actually owns.
+  const Network net = make_ring(8);
+  DeploymentSpec spec;
+  spec.ranks = 4;
+  const DeploymentPlan plan = analysis::plan_deployment(net, spec);
+  const std::vector<compass::CoreRange> shards = compass::partition_balanced(net, 4);
+  ASSERT_EQ(plan.ranks.size(), shards.size());
+  for (std::size_t r = 0; r < shards.size(); ++r) {
+    EXPECT_EQ(plan.ranks[r].shard.begin, shards[r].begin);
+    EXPECT_EQ(plan.ranks[r].shard.end, shards[r].end);
+  }
+}
+
+TEST(Plan, RejectsInvalidSpecs) {
+  const Network net = make_ring();
+  DeploymentSpec bad;
+  bad.ranks = 0;
+  EXPECT_THROW((void)analysis::plan_deployment(net, bad), std::invalid_argument);
+  bad = DeploymentSpec{};
+  bad.replicas = 0;
+  EXPECT_THROW((void)analysis::plan_deployment(net, bad), std::invalid_argument);
+  bad = DeploymentSpec{};
+  bad.recovery_interval = 0;
+  EXPECT_THROW((void)analysis::plan_deployment(net, bad), std::invalid_argument);
+}
+
+TEST(Plan, SnapshotImageBoundCoversRealSnapshot) {
+  const Network net = testsup::hard_network();
+  core::Snapshot snap;
+  snap.geom = net.geom;
+  snap.net_seed = net.seed;
+  const auto ncores = static_cast<std::size_t>(net.geom.total_cores());
+  snap.dead_cores.assign(ncores, 0);
+  snap.dead_links.assign(static_cast<std::size_t>(net.geom.chips()) * 4, 0);
+  snap.v.assign(ncores * core::kCoreSize, 0);
+  snap.delay_words.assign(ncores * 16 * 4, 0);
+  for (int i = 0; i < 64; ++i) snap.set_extra("counter_" + std::to_string(i), i);
+  snap.traffic_link_totals.assign(static_cast<std::size_t>(net.geom.chips()) * 4, 0);
+  std::ostringstream os(std::ios::binary);
+  core::save_snapshot(snap, os);
+  EXPECT_LE(os.str().size(), analysis::snapshot_image_bytes_bound(net.geom));
+}
+
+// ---------------------------------------------------------------------------
+// One crafted violating net/config per planner rule
+// ---------------------------------------------------------------------------
+
+TEST(PlanRule, NSC041EmptyShards) {
+  // 4 cores across 6 ranks: two shards own nothing but still fork and frame.
+  const Network net = make_ring();
+  DeploymentSpec spec;
+  spec.ranks = 6;
+  const LintReport report = lint_with(net, spec);
+  EXPECT_TRUE(report.has_rule("NSC041"));
+  EXPECT_FALSE(lint_with(net, DeploymentSpec{.ranks = 4}).has_rule("NSC041"));
+}
+
+TEST(PlanRule, NSC042StaticImbalance) {
+  // Core 0 fully dense, core 1 barely used: a 2-way split is ~2x lopsided.
+  Network net(Geometry{1, 1, 2, 1});
+  for (int a = 0; a < core::kCoreSize; ++a) {
+    for (int j = 0; j < core::kCoreSize; ++j) net.core(0).crossbar.set(a, j);
+  }
+  for (int j = 0; j < core::kCoreSize; ++j) {
+    net.core(0).neuron[j].threshold = 100;
+    net.core(0).neuron[j].target = {1, static_cast<std::uint16_t>(j), 1};
+    net.core(1).neuron[j].enabled = false;
+  }
+  net.core(1).neuron[0].enabled = true;
+  net.core(1).neuron[0].threshold = 100;
+  net.core(1).neuron[0].target = {0, 0, 1};
+  const LintReport report = lint_with(net, DeploymentSpec{.ranks = 2});
+  EXPECT_TRUE(report.has_rule("NSC042"));
+}
+
+TEST(PlanRule, NSC043ExchangeOverCapacity) {
+  // The byte bound itself needs a ~10^6-route cut to trip; craft the plan
+  // and drive the rule pass directly.
+  const Network net = make_ring();
+  DeploymentPlan plan;
+  plan.spec.ranks = 2;
+  plan.total_messages_per_tick = 2;
+  plan.total_bytes_per_tick = analysis::kExchangeBytesPerTickCapacity + 1;
+  bool found = false;
+  for (const analysis::Finding& f : analysis::plan_findings(net, plan)) {
+    found = found || f.rule == "NSC043";
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PlanRule, NSC044DeadlineInfeasible) {
+  // Dense 16-core net at 2 ranks: >1 ms of bounded work per tick vs a 1 ms
+  // deadline whose heartbeat window is 250 us.
+  const Network net = make_dense16();
+  DeploymentSpec spec;
+  spec.ranks = 2;
+  spec.rank_deadline_ms = 1;
+  EXPECT_TRUE(lint_with(net, spec).has_rule("NSC044"));
+  spec.rank_deadline_ms = 60000;
+  EXPECT_FALSE(lint_with(net, spec).has_rule("NSC044"));
+}
+
+TEST(PlanRule, NSC045RecoveryOverBudget) {
+  const Network net = make_dense16();
+  DeploymentSpec spec;
+  spec.ranks = 2;
+  spec.supervise = true;
+  spec.recovery_interval = 1000000;  // replay bound ~2e12 ns >> 1e9 budget
+  EXPECT_TRUE(lint_with(net, spec).has_rule("NSC045"));
+  spec.supervise = false;
+  EXPECT_FALSE(lint_with(net, spec).has_rule("NSC045"))
+      << "recovery cost is moot without --supervise";
+}
+
+TEST(PlanRule, NSC046ReplicaFootprintOverBudget) {
+  const Network net = make_ring();
+  DeploymentSpec spec;
+  spec.replicas = 4;
+  spec.replica_memory_budget = 1024;  // nothing fits in 1 KiB
+  const LintReport report = lint_with(net, spec);
+  EXPECT_TRUE(report.has_rule("NSC046"));
+  spec.replica_memory_budget = analysis::kDefaultReplicaMemoryBudgetBytes;
+  EXPECT_FALSE(lint_with(net, spec).has_rule("NSC046"));
+}
+
+TEST(PlanRule, NSC047RecommendsDifferentRankCount) {
+  // A 4-core ring cannot use 4 processes: per-frame overhead dominates, so
+  // the modeled optimum is fewer ranks and the info rule says so.
+  const Network net = make_ring();
+  const LintReport report = lint_with(net, DeploymentSpec{.ranks = 4});
+  ASSERT_TRUE(report.has_rule("NSC047"));
+  for (const analysis::Finding& f : report.findings) {
+    if (f.rule == "NSC047") EXPECT_EQ(f.severity, Severity::kInfo);
+  }
+}
+
+TEST(PlanRule, NSC055ReplicasCannotShard) {
+  const Network net = make_ring();
+  DeploymentSpec spec;
+  spec.ranks = 2;
+  spec.replicas = 2;
+  const LintReport report = lint_with(net, spec);
+  ASSERT_TRUE(report.has_rule("NSC055"));
+  EXPECT_GE(report.count(Severity::kError), 1u);
+}
+
+TEST(PlanRule, CatalogCarriesTheDeploymentRules) {
+  int seen = 0;
+  for (const analysis::RuleInfo& r : analysis::rule_catalog()) {
+    if (r.id >= "NSC041" && r.id <= "NSC055") ++seen;
+    if (r.id == "NSC048" || r.id == "NSC049" || r.id == "NSC050" || r.id == "NSC051" ||
+        r.id == "NSC055") {
+      EXPECT_EQ(r.severity, Severity::kError) << r.id;
+    }
+  }
+  EXPECT_EQ(seen, 15);
+}
+
+// ---------------------------------------------------------------------------
+// nsc-plan-v1 round trip
+// ---------------------------------------------------------------------------
+
+TEST(PlanJson, RoundTripsThroughObsJson) {
+  const Network net = make_dense16();
+  DeploymentSpec spec;
+  spec.ranks = 3;
+  spec.supervise = true;
+  spec.rank_deadline_ms = 40;
+  spec.recovery_interval = 16;
+  const DeploymentPlan plan = analysis::plan_deployment(net, spec);
+
+  const std::string text = analysis::plan_to_json(plan, "dense16", net.geom).to_string(2);
+  const DeploymentPlan back = analysis::plan_from_json(obs::parse_json(text));
+
+  EXPECT_EQ(back.spec.ranks, plan.spec.ranks);
+  EXPECT_EQ(back.spec.replicas, plan.spec.replicas);
+  EXPECT_EQ(back.spec.supervise, plan.spec.supervise);
+  EXPECT_EQ(back.spec.rank_deadline_ms, plan.spec.rank_deadline_ms);
+  EXPECT_EQ(back.spec.recovery_interval, plan.spec.recovery_interval);
+  EXPECT_EQ(back.spec.replica_memory_budget, plan.spec.replica_memory_budget);
+  ASSERT_EQ(back.ranks.size(), plan.ranks.size());
+  for (std::size_t r = 0; r < plan.ranks.size(); ++r) {
+    EXPECT_EQ(back.ranks[r].shard.begin, plan.ranks[r].shard.begin);
+    EXPECT_EQ(back.ranks[r].shard.end, plan.ranks[r].shard.end);
+    EXPECT_EQ(back.ranks[r].enabled_neurons, plan.ranks[r].enabled_neurons);
+    EXPECT_EQ(back.ranks[r].axons_targeted, plan.ranks[r].axons_targeted);
+    EXPECT_EQ(back.ranks[r].reachable_synapses, plan.ranks[r].reachable_synapses);
+    EXPECT_EQ(back.ranks[r].work_bound, plan.ranks[r].work_bound);
+    EXPECT_EQ(back.ranks[r].send_messages, plan.ranks[r].send_messages);
+    EXPECT_EQ(back.ranks[r].send_bytes, plan.ranks[r].send_bytes);
+    EXPECT_NEAR(back.ranks[r].est_tick_ns, plan.ranks[r].est_tick_ns,
+                1e-6 * plan.ranks[r].est_tick_ns + 1e-9);
+  }
+  EXPECT_EQ(back.total_messages_per_tick, plan.total_messages_per_tick);
+  EXPECT_EQ(back.total_bytes_per_tick, plan.total_bytes_per_tick);
+  EXPECT_EQ(back.total_work_per_tick, plan.total_work_per_tick);
+  EXPECT_NEAR(back.load_imbalance, plan.load_imbalance, 1e-9);
+  EXPECT_EQ(back.recommended_ranks, plan.recommended_ranks);
+  EXPECT_EQ(back.replica.total_bytes, plan.replica.total_bytes);
+  EXPECT_EQ(back.recovery.image_bytes, plan.recovery.image_bytes);
+  EXPECT_EQ(back.recovery.replay_work_bound, plan.recovery.replay_work_bound);
+}
+
+TEST(PlanJson, RejectsForeignSchema) {
+  obs::JsonValue doc = obs::JsonValue::object();
+  doc.set("schema", "nsc-bench-v1");
+  EXPECT_THROW((void)analysis::plan_from_json(doc), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint audit (NSC048–NSC054): forged and hostile NSCK fixtures
+// ---------------------------------------------------------------------------
+
+core::Snapshot consistent_snapshot(const Network& net) {
+  core::Snapshot snap;
+  snap.backend = core::SnapshotBackend::kCompass;
+  snap.geom = net.geom;
+  snap.net_seed = net.seed;
+  snap.tick = 5;
+  snap.stats.ticks = 5;
+  const auto ncores = static_cast<std::size_t>(net.geom.total_cores());
+  snap.v.assign(ncores * core::kCoreSize, 0);
+  snap.delay_words.assign(ncores * 16 * 4, 0);
+  return snap;
+}
+
+std::string write_snapshot(const std::string& name, const core::Snapshot& snap) {
+  const std::string path = ::testing::TempDir() + name;
+  core::save_snapshot(snap, path);
+  return path;
+}
+
+TEST(CheckpointAudit, CleanSnapshotHasNoErrorFindings) {
+  const Network net = make_ring();
+  const std::string path = write_snapshot("audit_clean.nsck", consistent_snapshot(net));
+  const LintReport report = analysis::audit_checkpoint(path, &net);
+  EXPECT_EQ(report.count(Severity::kError), 0u);
+  EXPECT_EQ(report.count(Severity::kWarn), 0u);
+}
+
+TEST(CheckpointAudit, NSC048ForgedMagicAndTruncation) {
+  const Network net = make_ring();
+  std::ostringstream os(std::ios::binary);
+  core::save_snapshot(consistent_snapshot(net), os);
+  std::string bytes = os.str();
+
+  const std::string forged = ::testing::TempDir() + "audit_forged.nsck";
+  {
+    std::string b = bytes;
+    b[0] = static_cast<char>(b[0] ^ 0x5A);
+    std::ofstream f(forged, std::ios::binary);
+    f.write(b.data(), static_cast<std::streamsize>(b.size()));
+  }
+  EXPECT_TRUE(analysis::audit_checkpoint(forged).has_rule("NSC048"));
+
+  const std::string truncated = ::testing::TempDir() + "audit_truncated.nsck";
+  {
+    std::ofstream f(truncated, std::ios::binary);
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  const LintReport report = analysis::audit_checkpoint(truncated);
+  EXPECT_TRUE(report.has_rule("NSC048"));
+  EXPECT_GE(report.count(Severity::kError), 1u);
+}
+
+TEST(CheckpointAudit, NSC049GeometryOrSeedMismatch) {
+  const Network net = make_ring();
+  core::Snapshot snap = consistent_snapshot(net);
+  snap.net_seed = net.seed + 1;
+  const std::string path = write_snapshot("audit_seed.nsck", snap);
+  EXPECT_TRUE(analysis::audit_checkpoint(path, &net).has_rule("NSC049"));
+  // Without a network to cross-check there is nothing to mismatch.
+  EXPECT_FALSE(analysis::audit_checkpoint(path).has_rule("NSC049"));
+}
+
+TEST(CheckpointAudit, NSC050NonBooleanFaultBitmap) {
+  const Network net = make_ring();
+  core::Snapshot snap = consistent_snapshot(net);
+  snap.dead_cores.assign(static_cast<std::size_t>(net.geom.total_cores()), 0);
+  snap.dead_cores[1] = 2;
+  const std::string path = write_snapshot("audit_bitmap.nsck", snap);
+  const LintReport report = analysis::audit_checkpoint(path, &net);
+  EXPECT_TRUE(report.has_rule("NSC050"));
+  EXPECT_GE(report.count(Severity::kError), 1u);
+}
+
+TEST(CheckpointAudit, NSC051PotentialOutsideEnvelope) {
+  const Network net = make_ring();
+  core::Snapshot snap = consistent_snapshot(net);
+  snap.v[3] = core::kPotentialMax + 7;
+  snap.v[300] = core::kPotentialMin - 1;
+  const std::string path = write_snapshot("audit_hot.nsck", snap);
+  const LintReport report = analysis::audit_checkpoint(path, &net);
+  ASSERT_TRUE(report.has_rule("NSC051"));
+  for (const analysis::Finding& f : report.findings) {
+    if (f.rule == "NSC051") {
+      EXPECT_EQ(f.count, 2u);
+      EXPECT_EQ(f.core, 0);
+      EXPECT_EQ(f.neuron, 3);
+    }
+  }
+}
+
+TEST(CheckpointAudit, NSC052TickBehindStats) {
+  const Network net = make_ring();
+  core::Snapshot snap = consistent_snapshot(net);
+  snap.tick = 2;
+  snap.stats.ticks = 9;
+  const std::string path = write_snapshot("audit_stale.nsck", snap);
+  EXPECT_TRUE(analysis::audit_checkpoint(path, &net).has_rule("NSC052"));
+}
+
+TEST(CheckpointAudit, NSC053And054DeadCoreWithBufferedDeliveries) {
+  const Network net = make_ring();
+  core::Snapshot snap = consistent_snapshot(net);
+  snap.dead_cores.assign(static_cast<std::size_t>(net.geom.total_cores()), 0);
+  snap.dead_cores[2] = 1;
+  snap.delay_words[2 * 16 * 4] = 0x1;
+  const std::string path = write_snapshot("audit_dead.nsck", snap);
+  const LintReport report = analysis::audit_checkpoint(path, &net);
+  EXPECT_TRUE(report.has_rule("NSC053"));
+  EXPECT_TRUE(report.has_rule("NSC054"));
+  EXPECT_EQ(report.count(Severity::kError), 0u) << "degraded state is a warning, not an error";
+}
+
+TEST(CheckpointAudit, SuppressionSkipsAndRecordsRules) {
+  const Network net = make_ring();
+  core::Snapshot snap = consistent_snapshot(net);
+  snap.v[0] = core::kPotentialMax + 1;
+  const std::string path = write_snapshot("audit_suppress.nsck", snap);
+  const LintReport report = analysis::audit_checkpoint(path, &net, {"NSC051"});
+  EXPECT_FALSE(report.has_rule("NSC051"));
+  ASSERT_EQ(report.suppressed.size(), 1u);
+  EXPECT_EQ(report.suppressed[0], "NSC051");
+}
+
+// ---------------------------------------------------------------------------
+// THE conservativeness gate: fuzzed nets, real forked ranks, measured
+// counters never exceed the static bounds. Bounds assume fresh, input-free
+// runs (external input is statically unknowable), so no InputSchedule here.
+// ---------------------------------------------------------------------------
+
+void expect_run_within_bounds(const Network& net, Tick ticks, int ranks) {
+  DeploymentSpec spec;
+  spec.ranks = ranks;
+  const DeploymentPlan plan = analysis::plan_deployment(net, spec);
+
+  dist::Coordinator coord(net, {.ranks = ranks, .threads_per_rank = 1});
+  core::VectorSink sink;
+  coord.run(ticks, nullptr, &sink);
+
+  const auto t = static_cast<std::uint64_t>(ticks);
+  const std::uint64_t messages = testsup::counter_value(coord.metrics(), "dist.messages");
+  const std::uint64_t bytes = testsup::counter_value(coord.metrics(), "dist.bytes");
+  // Messages are exact arithmetic, not just a bound: one kSpikeBatch frame
+  // per ordered live pair per tick.
+  EXPECT_EQ(messages, t * plan.total_messages_per_tick);
+  EXPECT_LE(bytes, t * plan.total_bytes_per_tick);
+
+  const std::vector<std::uint64_t>& work = coord.rank_compute_work();
+  ASSERT_EQ(work.size(), plan.ranks.size());
+  std::uint64_t total_work = 0;
+  for (std::size_t r = 0; r < work.size(); ++r) {
+    EXPECT_LE(work[r], t * plan.ranks[r].work_bound) << "rank " << r;
+    total_work += work[r];
+  }
+  EXPECT_LE(total_work, t * plan.total_work_per_tick);
+  EXPECT_EQ(total_work, coord.stats().sops + coord.stats().axon_events +
+                            coord.stats().neuron_updates);
+}
+
+class PlanConservative : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PlanConservative, MeasuredRunNeverExceedsStaticBounds) {
+  const Network net = netgen::make_random(testsup::fuzz_spec(GetParam()));
+  const Tick ticks = 30 + static_cast<Tick>(GetParam() % 7);
+  for (const int ranks : {1, 2, 4}) {
+    SCOPED_TRACE("ranks=" + std::to_string(ranks));
+    expect_run_within_bounds(net, ticks, ranks);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanConservative, ::testing::Range<std::uint64_t>(1, 7));
+
+TEST(PlanConservative, SelfDrivenRecurrentTrafficStaysBounded) {
+  // The heaviest wire traffic: a self-driven recurrent net where every
+  // spike after tick 0 crosses shards.
+  netgen::RecurrentSpec spec;
+  spec.geom = Geometry{1, 1, 4, 2};
+  spec.rate_hz = 80;
+  spec.synapses_per_axon = 96;
+  spec.seed = 515;
+  const Network net = netgen::make_recurrent(spec);
+  for (const int ranks : {2, 4}) {
+    SCOPED_TRACE("ranks=" + std::to_string(ranks));
+    expect_run_within_bounds(net, 60, ranks);
+  }
+}
+
+}  // namespace
+}  // namespace nsc

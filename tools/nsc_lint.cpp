@@ -2,8 +2,12 @@
 // (docs/ANALYSIS.md).
 //
 //   nsc_lint --net net.nsc [--json report.json] [--fail-on error|warn|never]
-//            [--suppress NSC022,NSC040] [--max-findings N] [--no-graph]
-//            [--no-load] [--quiet]
+//            [--suppress NSC022,NSC041-NSC055] [--max-findings N]
+//            [--no-graph] [--no-load] [--quiet]
+//            [--ranks N] [--replicas M] [--supervise] [--rank-deadline-ms MS]
+//            [--recovery-interval K] [--mem-budget-mb MB]
+//            [--plan] [--plan-out plan.json] [--check-run bench.json]
+//            [--checkpoint state.nsck]
 //
 // Checks the hardware envelope (weights, delays, thresholds, axon types,
 // crossbar/grid shape), graph structure (dead neurons, unreachable cores,
@@ -12,17 +16,44 @@
 // (stochastic modes that must be seeded). Findings carry stable rule IDs
 // (NSC001...) and severities; --json writes the "nsc-lint-v1" report.
 //
+// Deployment planning (docs/ANALYSIS.md "Deployment planner"): any of
+// --ranks/--replicas/--supervise/--rank-deadline-ms/--recovery-interval/
+// --mem-budget-mb/--plan enables the planner rules NSC041–NSC055 against
+// that configuration. --plan prints the round-trippable "nsc-plan-v1" JSON
+// (per-rank shard assignment, per-rank compute/exchange bounds, recommended
+// rank count) to stdout; --plan-out writes it to a file instead.
+// --check-run compares an "nsc-bench-v1" report from a measured run of the
+// same net/rank count against the static bounds and exits 2 if the run ever
+// exceeded them — the CI conservativeness gate.
+//
+// --checkpoint statically audits an NSCK snapshot (rules NSC048–NSC054)
+// without constructing a simulator: hostile or forged files are rejected
+// with exit 2. With --net, the checkpoint is also cross-checked against the
+// network it claims to belong to (NSC049).
+//
+// --suppress takes comma-separated rule IDs and NSC0xx-NSC0yy ranges;
+// unknown rule IDs warn on stderr (they used to be silently accepted).
+//
 // Exit codes: 0 = deployable under the chosen gate, 1 = warnings present
-// and --fail-on=warn, 2 = error-level findings (or usage error).
+// and --fail-on=warn, 2 = error-level findings, a conservativeness-gate
+// violation, or a usage error.
+#include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
-#include <iostream>
+#include <fstream>
+#include <optional>
 #include <sstream>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "src/analysis/lint.hpp"
+#include "src/analysis/plan.hpp"
 #include "src/analysis/report.hpp"
 #include "src/core/network_io.hpp"
+#include "src/obs/json.hpp"
 
 namespace {
 
@@ -40,27 +71,145 @@ bool flag_present(int argc, char** argv, const char* name) {
   return false;
 }
 
-std::vector<std::string> parse_rule_list(const std::string& spec) {
+bool known_rule(const std::string& id) {
+  for (const nsc::analysis::RuleInfo& r : nsc::analysis::rule_catalog()) {
+    if (r.id == id) return true;
+  }
+  return false;
+}
+
+/// "NSC041" -> 41; -1 when the token is not an NSCxxx rule ID.
+int rule_number(const std::string& id) {
+  if (id.size() != 6 || id.compare(0, 3, "NSC") != 0) return -1;
+  int n = 0;
+  for (std::size_t i = 3; i < 6; ++i) {
+    if (id[i] < '0' || id[i] > '9') return -1;
+    n = n * 10 + (id[i] - '0');
+  }
+  return n;
+}
+
+/// Comma-separated rule IDs with NSC0xx-NSC0yy range expansion. Unknown IDs
+/// (not in the catalog) warn on stderr instead of being silently accepted;
+/// they are still passed through so the suppression list stays auditable.
+std::vector<std::string> parse_suppress(const std::string& spec) {
   std::vector<std::string> out;
+  auto add = [&](const std::string& id) {
+    if (!known_rule(id)) {
+      std::fprintf(stderr, "warning: --suppress lists unknown rule ID '%s' (not in the catalog)\n",
+                   id.c_str());
+    }
+    out.push_back(id);
+  };
   std::size_t pos = 0;
   while (pos <= spec.size()) {
     const std::size_t comma = std::min(spec.find(',', pos), spec.size());
     const std::string tok = spec.substr(pos, comma - pos);
-    if (!tok.empty()) out.push_back(tok);
     pos = comma + 1;
+    if (tok.empty()) continue;
+    const std::size_t dash = tok.find('-');
+    if (dash == std::string::npos) {
+      add(tok);
+      continue;
+    }
+    const int lo = rule_number(tok.substr(0, dash));
+    const int hi = rule_number(tok.substr(dash + 1));
+    if (lo < 0 || hi < 0 || lo > hi) {
+      std::fprintf(stderr, "warning: --suppress range '%s' is not NSC0xx-NSC0yy; ignored\n",
+                   tok.c_str());
+      continue;
+    }
+    for (int n = lo; n <= hi; ++n) {
+      char id[16];
+      std::snprintf(id, sizeof id, "NSC%03d", n);
+      // Ranges sweep catalog gaps (e.g. NSC015-NSC019 never existed), so
+      // only IDs the catalog knows expand — no unknown-ID warning spam.
+      if (known_rule(id)) out.push_back(id);
+    }
   }
   return out;
+}
+
+long long parse_ll(const char* name, const char* s) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') {
+    throw std::runtime_error(std::string("invalid integer for ") + name + ": '" + s + "'");
+  }
+  return v;
+}
+
+std::uint64_t json_u64(const nsc::obs::JsonValue& doc, const char* key, std::uint64_t fallback) {
+  const nsc::obs::JsonValue* v = doc.find(key);
+  return v != nullptr && v->is_number() ? static_cast<std::uint64_t>(v->as_int()) : fallback;
+}
+
+/// The bench-smoke conservativeness gate: asserts a measured "nsc-bench-v1"
+/// run never exceeded the plan's static per-tick bounds. Returns false (and
+/// prints the violation) when any measured total is above measured-ticks x
+/// bound — which for a correct planner can only mean the bound is not
+/// conservative.
+bool check_run_against_plan(const nsc::analysis::DeploymentPlan& plan, const std::string& run_path,
+                            std::FILE* status) {
+  const nsc::obs::JsonValue run = nsc::obs::load_json_file(run_path);
+  const nsc::obs::JsonValue* schema = run.find("schema");
+  if (schema == nullptr || schema->as_string() != "nsc-bench-v1") {
+    throw std::runtime_error(run_path + " is not an nsc-bench-v1 report");
+  }
+  const std::uint64_t ticks = json_u64(run, "ticks", 0);
+  if (ticks == 0) throw std::runtime_error(run_path + ": report covers zero ticks");
+  const nsc::obs::JsonValue* stats = run.find("stats");
+  if (stats == nullptr) throw std::runtime_error(run_path + ": report has no stats section");
+  const std::uint64_t work = json_u64(*stats, "sops", 0) + json_u64(*stats, "axon_events", 0) +
+                             json_u64(*stats, "neuron_updates", 0);
+  // Counter names contain dots, so they are direct keys of "counters".
+  const nsc::obs::JsonValue* counters = run.find("counters");
+  const std::uint64_t messages =
+      counters != nullptr ? json_u64(*counters, "dist.messages", 0) : 0;
+  const std::uint64_t bytes = counters != nullptr ? json_u64(*counters, "dist.bytes", 0) : 0;
+
+  bool ok = true;
+  auto gate = [&](const char* what, std::uint64_t measured, std::uint64_t per_tick) {
+    const std::uint64_t bound = ticks * per_tick;
+    if (measured > bound) {
+      std::fprintf(status,
+                   "CONSERVATIVENESS FAIL: measured %s %llu exceeds static bound %llu "
+                   "(%llu ticks x %llu/tick)\n",
+                   what, static_cast<unsigned long long>(measured),
+                   static_cast<unsigned long long>(bound),
+                   static_cast<unsigned long long>(ticks),
+                   static_cast<unsigned long long>(per_tick));
+      ok = false;
+    } else {
+      std::fprintf(status, "bound ok: %s %llu <= %llu (%llu ticks x %llu/tick)\n", what,
+                   static_cast<unsigned long long>(measured),
+                   static_cast<unsigned long long>(bound),
+                   static_cast<unsigned long long>(ticks),
+                   static_cast<unsigned long long>(per_tick));
+    }
+  };
+  gate("dist.messages", messages, plan.total_messages_per_tick);
+  gate("dist.bytes", bytes, plan.total_bytes_per_tick);
+  gate("compute work", work, plan.total_work_per_tick);
+  return ok;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string net_path = flag_value(argc, argv, "--net", "");
-  if (net_path.empty()) {
+  const std::string ckpt_path = flag_value(argc, argv, "--checkpoint", "");
+  if (net_path.empty() && ckpt_path.empty()) {
     std::fprintf(stderr,
                  "usage: nsc_lint --net FILE [--json FILE] [--fail-on error|warn|never]\n"
-                 "                [--suppress NSC0xx,NSC0yy] [--max-findings N]\n"
-                 "                [--no-graph] [--no-load] [--quiet]\n");
+                 "                [--suppress NSC0xx,NSC0yy-NSC0zz] [--max-findings N]\n"
+                 "                [--no-graph] [--no-load] [--quiet]\n"
+                 "                [--ranks N] [--replicas M] [--supervise]\n"
+                 "                [--rank-deadline-ms MS] [--recovery-interval K]\n"
+                 "                [--mem-budget-mb MB] [--plan] [--plan-out FILE]\n"
+                 "                [--check-run bench.json]\n"
+                 "       nsc_lint --checkpoint state.nsck [--net FILE] [...]\n");
     return 2;
   }
   try {
@@ -71,38 +220,121 @@ int main(int argc, char** argv) {
     const std::string json_path = flag_value(argc, argv, "--json", "");
     const long max_findings =
         std::strtol(flag_value(argc, argv, "--max-findings", "50"), nullptr, 10);
+    const bool quiet = flag_present(argc, argv, "--quiet");
 
     nsc::analysis::LintOptions options;
-    options.suppress = parse_rule_list(flag_value(argc, argv, "--suppress", ""));
+    options.suppress = parse_suppress(flag_value(argc, argv, "--suppress", ""));
     options.graph = !flag_present(argc, argv, "--no-graph");
     options.load = !flag_present(argc, argv, "--no-load");
 
-    const nsc::core::Network net = nsc::core::load_network(net_path);
-    const nsc::analysis::LintReport report = nsc::analysis::lint(net, options);
-
-    if (!flag_present(argc, argv, "--quiet")) {
-      std::ostringstream os;
-      nsc::analysis::print_report(
-          os, report, max_findings > 0 ? static_cast<std::size_t>(max_findings) : 0);
-      std::fputs(os.str().c_str(), stdout);
+    // Deployment planner: any deployment flag (or --plan/--check-run)
+    // enables the NSC041–NSC055 rule group against that configuration.
+    const std::string plan_out = flag_value(argc, argv, "--plan-out", "");
+    const std::string check_run = flag_value(argc, argv, "--check-run", "");
+    const bool want_plan_json = flag_present(argc, argv, "--plan") || !plan_out.empty();
+    const bool have_deploy =
+        want_plan_json || !check_run.empty() || flag_present(argc, argv, "--ranks") ||
+        flag_present(argc, argv, "--replicas") || flag_present(argc, argv, "--supervise") ||
+        flag_present(argc, argv, "--rank-deadline-ms") ||
+        flag_present(argc, argv, "--recovery-interval") ||
+        flag_present(argc, argv, "--mem-budget-mb");
+    nsc::analysis::DeploymentSpec spec;
+    if (have_deploy) {
+      if (net_path.empty()) {
+        throw std::runtime_error("the deployment planner needs --net (got only --checkpoint)");
+      }
+      spec.ranks = static_cast<int>(parse_ll("--ranks", flag_value(argc, argv, "--ranks", "1")));
+      spec.replicas =
+          static_cast<int>(parse_ll("--replicas", flag_value(argc, argv, "--replicas", "1")));
+      spec.supervise = flag_present(argc, argv, "--supervise");
+      spec.rank_deadline_ms = static_cast<int>(
+          parse_ll("--rank-deadline-ms", flag_value(argc, argv, "--rank-deadline-ms", "0")));
+      spec.recovery_interval =
+          parse_ll("--recovery-interval", flag_value(argc, argv, "--recovery-interval", "32"));
+      const long long budget_mb =
+          parse_ll("--mem-budget-mb", flag_value(argc, argv, "--mem-budget-mb", "1024"));
+      if (spec.ranks < 1) throw std::runtime_error("--ranks must be >= 1");
+      if (spec.replicas < 1) throw std::runtime_error("--replicas must be >= 1");
+      if (spec.rank_deadline_ms < 0) throw std::runtime_error("--rank-deadline-ms must be >= 0");
+      if (spec.recovery_interval < 1) throw std::runtime_error("--recovery-interval must be >= 1");
+      if (budget_mb < 1) throw std::runtime_error("--mem-budget-mb must be >= 1");
+      spec.replica_memory_budget = static_cast<std::uint64_t>(budget_mb) << 20;
+      options.deploy = &spec;
     }
-    if (!json_path.empty()) {
-      nsc::analysis::write_lint_report(json_path, report, net_path, net.geom);
-      std::printf("wrote lint report to %s\n", json_path.c_str());
+
+    // When --plan streams the JSON artifact to stdout, human-facing report and
+    // status lines move to stderr so `nsc_lint --plan > plan.json` stays
+    // machine-parseable.
+    std::FILE* status = want_plan_json && plan_out.empty() ? stderr : stdout;
+    std::uint64_t errors = 0, warns = 0;
+    std::optional<nsc::core::Network> net;
+    if (!net_path.empty()) {
+      net.emplace(nsc::core::load_network(net_path));
+      const nsc::analysis::LintReport report = nsc::analysis::lint(*net, options);
+      if (!quiet) {
+        std::ostringstream os;
+        nsc::analysis::print_report(
+            os, report, max_findings > 0 ? static_cast<std::size_t>(max_findings) : 0);
+        std::fputs(os.str().c_str(), status);
+      }
+      if (!json_path.empty()) {
+        nsc::analysis::write_lint_report(json_path, report, net_path, net->geom);
+        std::printf("wrote lint report to %s\n", json_path.c_str());
+      }
+      errors += report.count(nsc::analysis::Severity::kError);
+      warns += report.count(nsc::analysis::Severity::kWarn);
     }
 
-    const std::uint64_t errors = report.count(nsc::analysis::Severity::kError);
-    const std::uint64_t warns = report.count(nsc::analysis::Severity::kWarn);
+    if (!ckpt_path.empty()) {
+      // Static NSCK audit: load_snapshot is the hostile-file hardening; no
+      // simulator is ever constructed here.
+      const nsc::analysis::LintReport audit = nsc::analysis::audit_checkpoint(
+          ckpt_path, net ? &*net : nullptr, options.suppress);
+      if (!quiet) {
+        std::ostringstream os;
+        nsc::analysis::print_report(
+            os, audit, max_findings > 0 ? static_cast<std::size_t>(max_findings) : 0);
+        std::fputs(os.str().c_str(), status);
+      }
+      errors += audit.count(nsc::analysis::Severity::kError);
+      warns += audit.count(nsc::analysis::Severity::kWarn);
+    }
+
+    if (have_deploy && net) {
+      // The plan behind the NSC041–NSC055 findings above, surfaced as the
+      // round-trippable nsc-plan-v1 artifact (recomputing it is cheap).
+      const nsc::analysis::DeploymentPlan plan = nsc::analysis::plan_deployment(*net, spec);
+      if (want_plan_json) {
+        const std::string text =
+            nsc::analysis::plan_to_json(plan, net_path, net->geom).to_string(2);
+        if (plan_out.empty()) {
+          std::printf("%s\n", text.c_str());
+        } else {
+          std::ofstream os(plan_out);
+          if (!os) throw std::runtime_error("cannot open " + plan_out + " for writing");
+          os << text << "\n";
+          if (!os) throw std::runtime_error("write failed: " + plan_out);
+          std::printf("wrote deployment plan to %s\n", plan_out.c_str());
+        }
+      }
+      if (!check_run.empty() && !check_run_against_plan(plan, check_run, status)) {
+        std::fprintf(status, "FAIL: measured run exceeds the static deployment bounds\n");
+        return 2;
+      }
+    }
+
+    const std::string subject = net_path.empty() ? ckpt_path : net_path;
     if (fail_on != "never" && errors > 0) {
-      std::printf("FAIL: %llu error-level finding(s)\n", static_cast<unsigned long long>(errors));
+      std::fprintf(status, "FAIL: %llu error-level finding(s)\n",
+                   static_cast<unsigned long long>(errors));
       return 2;
     }
     if (fail_on == "warn" && warns > 0) {
-      std::printf("FAIL: %llu warn-level finding(s) with --fail-on=warn\n",
-                  static_cast<unsigned long long>(warns));
+      std::fprintf(status, "FAIL: %llu warn-level finding(s) with --fail-on=warn\n",
+                   static_cast<unsigned long long>(warns));
       return 1;
     }
-    std::printf("OK: %s is deployable (fail-on=%s)\n", net_path.c_str(), fail_on.c_str());
+    std::fprintf(status, "OK: %s is deployable (fail-on=%s)\n", subject.c_str(), fail_on.c_str());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;

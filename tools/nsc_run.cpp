@@ -60,6 +60,7 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/plan.hpp"
 #include "src/analysis/report.hpp"
 #include "src/compass/simulator.hpp"
 #include "src/core/aer.hpp"
@@ -329,8 +330,25 @@ int main(int argc, char** argv) {
         parse_ll("--checkpoint-at", flag_value(argc, argv, "--checkpoint-at", "-1")));
     if (ticks < 0) throw std::runtime_error("--ticks must be >= 0");
     const nsc::core::Network net = nsc::core::load_network(net_path);
-    if (flag_present(argc, argv, "--lint") && !nsc::analysis::lint_preflight(net, net_path)) {
-      return 1;
+    if (flag_present(argc, argv, "--lint")) {
+      // Deployment runs get the deployment-aware preflight: the planner
+      // rules (NSC041–NSC055) vet the rank/replica/supervision configuration
+      // before any process forks (docs/ANALYSIS.md).
+      const bool deployment_run = ranks > 1 || replicas > 1 || supervise ||
+                                  flag_present(argc, argv, "--rank-deadline-ms");
+      bool deployable = false;
+      if (deployment_run) {
+        nsc::analysis::DeploymentSpec spec;
+        spec.ranks = ranks;
+        spec.replicas = replicas;
+        spec.supervise = supervise;
+        spec.rank_deadline_ms = rank_deadline_ms > 0 ? rank_deadline_ms : 0;
+        spec.recovery_interval = recovery_interval;
+        deployable = nsc::analysis::lint_preflight(net, net_path, spec);
+      } else {
+        deployable = nsc::analysis::lint_preflight(net, net_path);
+      }
+      if (!deployable) return 1;
     }
     const auto neurons = static_cast<std::uint64_t>(net.geom.neurons());
     std::printf("loaded %s: %d cores, %llu enabled neurons, %llu synapses\n", net_path.c_str(),
