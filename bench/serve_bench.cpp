@@ -1,0 +1,148 @@
+// Multi-tenant served-throughput smoke (docs/SERVE.md). Boots an in-process
+// nsc_serve core on its own thread, drives N concurrent tenant sessions over
+// real Unix-domain sockets (each its own connection: create, chunked ticks
+// with spike streaming, destroy), verifies every tenant's streamed trace
+// hash against the solo compass witness (exit 1 on any divergence — a
+// throughput number from a wrong simulation is worse than no number), and
+// emits BENCH_serve.json with *aggregate* ticks (N x T), so ticks_per_s is
+// aggregate served session-ticks/s — the number CI's bench-smoke publishes.
+// Knobs: NSC_BENCH_TICKS (default 400), NSC_BENCH_SESSIONS (default 8),
+// NSC_BENCH_CHUNK (ticks per kTick command, default 50), NSC_BENCH_RATE /
+// NSC_BENCH_SYN (default 20 Hz / 128 synapses on an 8x8-core net),
+// NSC_BENCH_JSON_DIR (report directory, default cwd).
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "src/core/spike_sink.hpp"
+#include "src/netgen/recurrent.hpp"
+#include "src/obs/json.hpp"
+#include "src/obs/json_report.hpp"
+#include "src/obs/obs.hpp"
+#include "src/compass/simulator.hpp"
+#include "src/serve/client.hpp"
+#include "src/serve/server.hpp"
+
+namespace {
+
+long env_or(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' ? std::atol(v) : fallback;
+}
+
+nsc::core::Network sparse_point_net(double rate, int syn) {
+  nsc::netgen::RecurrentSpec spec;
+  spec.geom = nsc::core::Geometry{1, 1, 8, 8};
+  spec.rate_hz = rate;
+  spec.synapses_per_axon = syn;
+  spec.seed = 12345;
+  return nsc::netgen::make_recurrent(spec);
+}
+
+std::uint64_t json_counter(const nsc::obs::JsonValue& doc, const char* section,
+                           const char* key) {
+  const nsc::obs::JsonValue* s = doc.find(section);
+  const nsc::obs::JsonValue* v = s != nullptr ? s->find(key) : nullptr;
+  return v != nullptr ? static_cast<std::uint64_t>(v->as_int()) : 0;
+}
+
+}  // namespace
+
+int main() {
+  const auto ticks = static_cast<nsc::core::Tick>(env_or("NSC_BENCH_TICKS", 400));
+  const int sessions = static_cast<int>(env_or("NSC_BENCH_SESSIONS", 8));
+  const auto chunk = static_cast<nsc::core::Tick>(env_or("NSC_BENCH_CHUNK", 50));
+  const double rate = static_cast<double>(env_or("NSC_BENCH_RATE", 20));
+  const int syn = static_cast<int>(env_or("NSC_BENCH_SYN", 128));
+
+  // Solo witness: with no inputs every session runs the identical resident
+  // network, so one solo hash gates all N served streams.
+  const nsc::core::Network net = sparse_point_net(rate, syn);
+  nsc::core::TraceHashSink solo_sink;
+  {
+    nsc::compass::Simulator solo(net, nsc::compass::Config{});
+    solo.run(ticks, nullptr, &solo_sink);
+  }
+
+  nsc::serve::Server::Config cfg;
+  cfg.socket_path = "/tmp/nsc_serve_bench_" + std::to_string(::getpid()) + ".sock";
+  cfg.max_sessions = sessions;
+  cfg.poll_interval_ms = 5;
+  nsc::serve::Server server(cfg);
+  server.add_network("bench", sparse_point_net(rate, syn));
+  server.bind();
+  std::thread loop([&server] { server.run(); });
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> tenants;
+  tenants.reserve(static_cast<std::size_t>(sessions));
+  const std::uint64_t t0 = nsc::obs::now_ns();
+  for (int t = 0; t < sessions; ++t) {
+    tenants.emplace_back([&, t] {
+      try {
+        nsc::serve::Client c = nsc::serve::Client::connect(cfg.socket_path);
+        c.hello();
+        const std::uint64_t s = c.create("bench");
+        nsc::core::TraceHashSink hash;
+        std::vector<nsc::core::Spike> spikes;
+        nsc::core::Tick at = 0;
+        while (at < ticks) {
+          const nsc::core::Tick step = chunk > 0 && chunk < ticks - at ? chunk : ticks - at;
+          c.tick(s, step);
+          spikes.clear();
+          c.read_all_spikes(s, spikes);
+          for (const auto& sp : spikes) hash.on_spike(sp.tick, sp.core, sp.neuron);
+          at += step;
+        }
+        if (hash.hash() != solo_sink.hash()) {
+          std::fprintf(stderr, "session %d diverged from solo run: hash %016llx vs %016llx\n",
+                       t, static_cast<unsigned long long>(hash.hash()),
+                       static_cast<unsigned long long>(solo_sink.hash()));
+          ++failures;
+        }
+        c.destroy(s);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "session %d failed: %s\n", t, e.what());
+        ++failures;
+      }
+    });
+  }
+  for (auto& th : tenants) th.join();
+  const double wall_s = 1e-9 * static_cast<double>(nsc::obs::now_ns() - t0);
+
+  server.request_stop();
+  loop.join();
+  if (failures.load() != 0) {
+    std::fprintf(stderr, "FAIL: %d of %d served sessions diverged or errored\n",
+                 failures.load(), sessions);
+    return 1;
+  }
+
+  // Kernel counters come from the daemon's own post-run stats document (the
+  // retired fold), so the report reflects what was actually served.
+  const nsc::obs::JsonValue daemon = nsc::obs::parse_json(server.stats_json());
+  nsc::obs::BenchReport report;
+  report.name = "serve";
+  report.threads = sessions;
+  report.ticks = static_cast<std::uint64_t>(sessions) * static_cast<std::uint64_t>(ticks);
+  report.wall_s = wall_s;
+  report.stats.ticks = json_counter(daemon, "stats", "ticks");
+  report.stats.spikes = json_counter(daemon, "stats", "spikes");
+  report.stats.sops = json_counter(daemon, "stats", "sops");
+  report.stats.axon_events = json_counter(daemon, "stats", "axon_events");
+  report.stats.neuron_updates = json_counter(daemon, "stats", "neuron_updates");
+  report.stats.dropped_spikes = json_counter(daemon, "stats", "dropped_spikes");
+  report.metrics = server.metrics();
+
+  const std::string path = nsc::obs::default_report_path(report.name);
+  nsc::obs::write_bench_report(path, report);
+  std::printf("sessions=%d ticks=%lld chunk=%lld: %.0f served session-ticks/s aggregate, "
+              "all %d trace hashes match solo (%s)\n",
+              sessions, static_cast<long long>(ticks), static_cast<long long>(chunk),
+              report.ticks_per_s(), sessions, path.c_str());
+  return 0;
+}

@@ -15,13 +15,10 @@
 #pragma once
 
 #include <cstdint>
-#include <cstring>
-#include <stdexcept>
-#include <type_traits>
-#include <vector>
 
 #include "src/compass/simulator.hpp"
 #include "src/core/types.hpp"
+#include "src/ipc/channel.hpp"
 
 namespace nsc::dist {
 
@@ -67,38 +64,11 @@ static_assert(sizeof(core::Spike) == 16);
 static_assert(sizeof(core::InputSpike) == 16);
 static_assert(sizeof(compass::Simulator::WordDelivery) == 16);
 
-/// Appends the raw bytes of a POD to a payload buffer.
-template <class T>
-void put_pod(std::vector<std::uint8_t>& buf, const T& v) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
-  buf.insert(buf.end(), p, p + sizeof(T));
-}
-
-/// Reads a POD back, advancing `off`; throws on truncated payloads so a
-/// malformed frame can never read out of bounds.
-template <class T>
-T get_pod(const std::vector<std::uint8_t>& buf, std::size_t& off) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  if (buf.size() - off < sizeof(T)) throw std::runtime_error("dist: truncated frame payload");
-  T v;
-  std::memcpy(&v, buf.data() + off, sizeof(T));
-  off += sizeof(T);
-  return v;
-}
-
-/// Reads `n` PODs as a vector (bounds-checked as one block).
-template <class T>
-std::vector<T> get_pod_array(const std::vector<std::uint8_t>& buf, std::size_t& off,
-                             std::size_t n) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  if (n > (buf.size() - off) / sizeof(T)) {
-    throw std::runtime_error("dist: truncated frame payload");
-  }
-  std::vector<T> v(n);
-  std::memcpy(v.data(), buf.data() + off, n * sizeof(T));
-  off += n * sizeof(T);
-  return v;
-}
+// POD wire helpers live in the shared IPC layer (bounds-checked there so a
+// malformed frame can never read out of bounds); re-exported for the rank
+// and coordinator encode/decode paths.
+using ipc::get_pod;
+using ipc::get_pod_array;
+using ipc::put_pod;
 
 }  // namespace nsc::dist

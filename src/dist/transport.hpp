@@ -1,10 +1,14 @@
 // Local multi-process transport for the sharded backend.
 //
-// This is the ONLY translation unit allowed to create processes and sockets
-// (lint_invariants INV005): everything above it talks in framed messages
-// over an abstract Channel, so an MPI or TCP transport can replace the
-// socketpair/fork implementation without touching the protocol, the rank
-// loop or the coordinator.
+// The generic framed-message primitives (Frame, Channel, the poll-driven
+// PeerPump, and the POD wire helpers) live in the shared src/ipc/ layer —
+// promoted there so nsc_serve and future transports reuse them — and are
+// aliased back into nsc::dist here so the rank/coordinator/supervisor code
+// and its callers are unchanged. What remains in this translation unit is
+// the dist-specific part: the full socketpair mesh + fork of the rank
+// fleet, and the rank-process lifecycle helpers (together with src/ipc this
+// is the only home of raw process/socket syscalls — lint_invariants
+// INV005/INV006).
 //
 // Topology: spawn_ranks(N) builds a full mesh — one Unix-domain stream
 // socketpair per (coordinator, rank) pair and one per unordered rank pair —
@@ -14,18 +18,18 @@
 // a peer's death surfaces deterministically as EOF on its channel.
 #pragma once
 
-#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "src/ipc/channel.hpp"
+
 namespace nsc::dist {
 
-/// One framed message: kind tag + raw payload bytes (src/dist/protocol.hpp).
-struct Frame {
-  std::uint32_t kind = 0;
-  std::vector<std::uint8_t> payload;
-};
+using Frame = ipc::Frame;
+using Channel = ipc::Channel;
+using RecvStatus = ipc::RecvStatus;
+using PeerPump = ipc::PeerPump;
 
 /// Thrown when a rank stays silent past its configured I/O deadline
 /// (Config::rank_deadline_ms): the rank was declared hung (not merely slow —
@@ -36,52 +40,6 @@ struct Frame {
 class RankTimeout : public std::runtime_error {
  public:
   explicit RankTimeout(const std::string& what) : std::runtime_error(what) {}
-};
-
-/// Outcome of a deadline-bounded frame receive.
-enum class RecvStatus {
-  kOk,       ///< A full frame arrived.
-  kClosed,   ///< EOF or error: the peer is gone; the channel is now dead.
-  kTimeout,  ///< No bytes for `deadline_ms`: the caller must treat the
-             ///< channel as wedged (it may hold a partial frame — kill it).
-};
-
-/// A bidirectional framed byte channel over one socket. Blocking send/recv
-/// (used on the coordinator<->rank channels); peer channels are switched to
-/// non-blocking and driven by PeerPump instead. A closed/EOF/EPIPE channel
-/// turns dead and stays dead — death is state, not an exception.
-class Channel {
- public:
-  Channel() = default;
-  explicit Channel(int fd) : fd_(fd) {}
-  ~Channel() { close(); }
-
-  Channel(const Channel&) = delete;
-  Channel& operator=(const Channel&) = delete;
-  Channel(Channel&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
-  Channel& operator=(Channel&& other) noexcept;
-
-  /// Sends one frame; false when the peer is gone (EPIPE/reset), after which
-  /// the channel is dead. Signals are never raised (MSG_NOSIGNAL).
-  bool send_frame(std::uint32_t kind, const void* payload, std::size_t size);
-
-  /// Receives one frame (blocking); false on EOF or a dead channel.
-  bool recv_frame(Frame& out);
-
-  /// Deadline-bounded receive: waits at most `deadline_ms` of silence for
-  /// progress (the clock resets on every byte, so a slow-but-streaming peer
-  /// never times out while a wedged one does). deadline_ms <= 0 degrades to
-  /// the blocking recv_frame. On kTimeout the channel may hold a partial
-  /// frame — the caller must not reuse it for framed I/O (kill + close it).
-  RecvStatus recv_frame_deadline(Frame& out, int deadline_ms);
-
-  void set_nonblocking();
-  void close();
-  [[nodiscard]] bool alive() const noexcept { return fd_ >= 0; }
-  [[nodiscard]] int fd() const noexcept { return fd_; }
-
- private:
-  int fd_ = -1;
 };
 
 /// Result of spawn_ranks, valid in exactly one of two shapes:
@@ -129,32 +87,5 @@ void stop_rank_process(int pid);
 /// Test hook for Config::hang_rank: parks the calling rank process forever
 /// without closing its fds (the in-process twin of stop_rank_process).
 [[noreturn]] void wedge_rank_process();
-
-/// Poll-driven duplex frame exchange across the peer mesh. Each round sends
-/// exactly one frame to every live peer and receives exactly one from each;
-/// receive buffers persist across rounds because a fast peer's next-tick
-/// frame can arrive early (the tick-window protocol tolerates one tick of
-/// skew). Peers that reach EOF mid-round are reported dead, not fatal.
-class PeerPump {
- public:
-  PeerPump(std::vector<Channel>* peers, int self);
-
-  /// `out[r]`: frame to send to live peer r (ignored for self/dead peers).
-  /// On return, `in[r]` holds the received frame for every peer that was
-  /// alive at entry and stayed alive; `newly_dead` lists peers whose channel
-  /// hit EOF this round. With `deadline_ms > 0`, a round that makes no byte
-  /// progress for that long declares every still-pending peer dead (same
-  /// degrade semantics as EOF) instead of blocking forever — the clock
-  /// resets on any progress, so a slow-but-streaming peer never trips it.
-  void round(const std::vector<Frame>& out, std::vector<Frame>& in,
-             std::vector<int>& newly_dead, int deadline_ms = 0);
-
- private:
-  bool try_extract(std::size_t i, Frame& f);
-
-  std::vector<Channel>* peers_;
-  int self_;
-  std::vector<std::vector<std::uint8_t>> rbuf_;  ///< Per-peer receive accumulation.
-};
 
 }  // namespace nsc::dist

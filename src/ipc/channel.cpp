@@ -1,0 +1,316 @@
+#include "src/ipc/channel.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+namespace nsc::ipc {
+
+namespace {
+
+bool send_all(int fd, const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (n > 0) {
+    const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;  // EPIPE/ECONNRESET: peer is gone.
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool recv_all(int fd, void* data, std::size_t n) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  while (n > 0) {
+    const ssize_t r = ::recv(fd, p, n, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r == 0) return false;  // EOF: peer closed (died or shut down).
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+/// Milliseconds elapsed since `since` on the monotonic clock (deadlines must
+/// survive wall-clock adjustments; std::chrono is allowed here — INV002 only
+/// bans time sources inside the deterministic kernel).
+long long ms_since(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+/// Deadline-bounded recv_all: the silence window resets on every byte, so
+/// only `deadline_ms` of *no progress* times out, not a slow transfer.
+RecvStatus recv_all_deadline(int fd, void* data, std::size_t n, int deadline_ms) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  auto last_progress = std::chrono::steady_clock::now();
+  while (n > 0) {
+    const long long remaining = deadline_ms - ms_since(last_progress);
+    if (remaining <= 0) return RecvStatus::kTimeout;
+    pollfd pfd{fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, static_cast<int>(remaining));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return RecvStatus::kClosed;
+    }
+    if (rc == 0) return RecvStatus::kTimeout;
+    const ssize_t r = ::recv(fd, p, n, 0);
+    if (r < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return RecvStatus::kClosed;
+    }
+    if (r == 0) return RecvStatus::kClosed;  // EOF: peer closed.
+    p += r;
+    n -= static_cast<std::size_t>(r);
+    last_progress = std::chrono::steady_clock::now();
+  }
+  return RecvStatus::kOk;
+}
+
+}  // namespace
+
+Channel& Channel::operator=(Channel&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Channel::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Channel::set_nonblocking() {
+  if (fd_ < 0) return;
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+}
+
+bool Channel::send_frame(std::uint32_t kind, const void* payload, std::size_t size) {
+  if (fd_ < 0) return false;
+  const FrameHeader h{kind, static_cast<std::uint32_t>(size)};
+  if (!send_all(fd_, &h, sizeof h) || (size > 0 && !send_all(fd_, payload, size))) {
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Channel::recv_frame(Frame& out) {
+  if (fd_ < 0) return false;
+  FrameHeader h;
+  if (!recv_all(fd_, &h, sizeof h)) {
+    close();
+    return false;
+  }
+  if (h.size > kMaxFramePayload) {
+    close();
+    throw std::runtime_error("ipc: frame header claims an implausible payload size");
+  }
+  out.kind = h.kind;
+  out.payload.resize(h.size);
+  if (h.size > 0 && !recv_all(fd_, out.payload.data(), h.size)) {
+    close();
+    return false;
+  }
+  return true;
+}
+
+RecvStatus Channel::recv_frame_deadline(Frame& out, int deadline_ms) {
+  if (deadline_ms <= 0) {
+    return recv_frame(out) ? RecvStatus::kOk : RecvStatus::kClosed;
+  }
+  if (fd_ < 0) return RecvStatus::kClosed;
+  FrameHeader h;
+  RecvStatus st = recv_all_deadline(fd_, &h, sizeof h, deadline_ms);
+  if (st != RecvStatus::kOk) {
+    // kTimeout leaves the fd open on purpose: the caller owns the decision
+    // (kill + on_rank_death closes it); kClosed means the peer is gone.
+    if (st == RecvStatus::kClosed) close();
+    return st;
+  }
+  if (h.size > kMaxFramePayload) {
+    close();
+    throw std::runtime_error("ipc: frame header claims an implausible payload size");
+  }
+  out.kind = h.kind;
+  out.payload.resize(h.size);
+  if (h.size > 0) {
+    st = recv_all_deadline(fd_, out.payload.data(), h.size, deadline_ms);
+    if (st != RecvStatus::kOk) {
+      if (st == RecvStatus::kClosed) close();
+      return st;
+    }
+  }
+  return RecvStatus::kOk;
+}
+
+int Channel::read_some(std::vector<std::uint8_t>& buf) {
+  if (fd_ < 0) return -1;
+  std::uint8_t chunk[65536];
+  for (;;) {
+    const ssize_t r = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (r > 0) {
+      buf.insert(buf.end(), chunk, chunk + r);
+      return static_cast<int>(r);
+    }
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    }
+    close();  // EOF or hard error.
+    return -1;
+  }
+}
+
+long Channel::write_some(const void* data, std::size_t n) {
+  if (fd_ < 0) return -1;
+  for (;;) {
+    const ssize_t w = ::send(fd_, data, n, MSG_NOSIGNAL);
+    if (w >= 0) return w;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    close();
+    return -1;
+  }
+}
+
+PeerPump::PeerPump(std::vector<Channel>* peers, int self) : peers_(peers), self_(self) {
+  rbuf_.resize(peers->size());
+  for (std::size_t i = 0; i < peers->size(); ++i) {
+    if (static_cast<int>(i) != self_) (*peers_)[i].set_nonblocking();
+  }
+}
+
+bool PeerPump::try_extract(std::size_t i, Frame& f) {
+  auto& buf = rbuf_[i];
+  if (buf.size() < sizeof(FrameHeader)) return false;
+  FrameHeader h;
+  std::memcpy(&h, buf.data(), sizeof h);
+  if (h.size > kMaxFramePayload) {
+    throw std::runtime_error("ipc: peer frame header claims an implausible payload size");
+  }
+  const std::size_t total = sizeof h + h.size;
+  if (buf.size() < total) return false;
+  f.kind = h.kind;
+  f.payload.assign(buf.begin() + sizeof h, buf.begin() + static_cast<std::ptrdiff_t>(total));
+  buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(total));
+  return true;
+}
+
+void PeerPump::round(const std::vector<Frame>& out, std::vector<Frame>& in,
+                     std::vector<int>& newly_dead, int deadline_ms) {
+  const std::size_t n = peers_->size();
+  in.assign(n, Frame{});
+  newly_dead.clear();
+
+  // Pre-encoded outgoing bytes (header + payload) and progress cursors.
+  std::vector<std::vector<std::uint8_t>> sbuf(n);
+  std::vector<std::size_t> sent(n, 0);
+  std::vector<std::uint8_t> got(n, 0);
+  std::vector<std::uint8_t> want(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (static_cast<int>(i) == self_ || !(*peers_)[i].alive()) continue;
+    want[i] = 1;
+    const FrameHeader h{out[i].kind, static_cast<std::uint32_t>(out[i].payload.size())};
+    sbuf[i].resize(sizeof h + out[i].payload.size());
+    std::memcpy(sbuf[i].data(), &h, sizeof h);
+    if (!out[i].payload.empty()) {
+      std::memcpy(sbuf[i].data() + sizeof h, out[i].payload.data(), out[i].payload.size());
+    }
+    // A fast peer's frame may already be buffered from a previous round.
+    if (try_extract(i, in[i])) got[i] = 1;
+  }
+
+  const auto mark_dead = [&](std::size_t i) {
+    (*peers_)[i].close();
+    want[i] = 0;
+    sent[i] = sbuf[i].size();
+    newly_dead.push_back(static_cast<int>(i));
+  };
+
+  auto last_progress = std::chrono::steady_clock::now();
+  for (;;) {
+    std::vector<pollfd> pfds;
+    std::vector<std::size_t> idx;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (want[i] == 0) continue;
+      short ev = 0;
+      if (got[i] == 0) ev |= POLLIN;
+      if (sent[i] < sbuf[i].size()) ev |= POLLOUT;
+      if (ev == 0) continue;
+      pfds.push_back({(*peers_)[i].fd(), ev, 0});
+      idx.push_back(i);
+    }
+    if (pfds.empty()) break;
+    int timeout = -1;
+    if (deadline_ms > 0) {
+      const long long remaining = deadline_ms - ms_since(last_progress);
+      if (remaining <= 0) {
+        // No byte moved in `deadline_ms`: every still-pending peer is
+        // declared dead (degrade semantics, same as EOF) so this rank can
+        // never wedge behind a hung one. A live coordinator will kill the
+        // actual culprit; the collateral closes just desynchronize us from
+        // a world that is being torn down or rolled back anyway.
+        for (std::size_t i = 0; i < n; ++i) {
+          if (want[i] != 0 && (got[i] == 0 || sent[i] < sbuf[i].size())) mark_dead(i);
+        }
+        continue;  // Pending set is now empty -> loop exits via break.
+      }
+      timeout = static_cast<int>(remaining);
+    }
+    const int rc = ::poll(pfds.data(), pfds.size(), timeout);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("ipc: poll failed during peer exchange");
+    }
+    if (rc == 0) continue;  // Timeout: next iteration re-checks the clock.
+    for (std::size_t k = 0; k < pfds.size(); ++k) {
+      const std::size_t i = idx[k];
+      const short re = pfds[k].revents;
+      if (re == 0) continue;
+      if ((re & (POLLIN | POLLHUP | POLLERR)) != 0 && got[i] == 0) {
+        std::uint8_t chunk[65536];
+        const ssize_t r = ::recv((*peers_)[i].fd(), chunk, sizeof chunk, 0);
+        if (r > 0) {
+          rbuf_[i].insert(rbuf_[i].end(), chunk, chunk + r);
+          if (try_extract(i, in[i])) got[i] = 1;
+          last_progress = std::chrono::steady_clock::now();
+        } else if (r == 0 || (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)) {
+          mark_dead(i);
+          continue;
+        }
+      }
+      if ((re & POLLOUT) != 0 && want[i] != 0 && sent[i] < sbuf[i].size()) {
+        const ssize_t w = ::send((*peers_)[i].fd(), sbuf[i].data() + sent[i],
+                                 sbuf[i].size() - sent[i], MSG_NOSIGNAL);
+        if (w > 0) {
+          sent[i] += static_cast<std::size_t>(w);
+          last_progress = std::chrono::steady_clock::now();
+        } else if (w < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+          mark_dead(i);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace nsc::ipc

@@ -1,0 +1,81 @@
+// Client side of the nsc_serve session protocol: one blocking RPC per
+// method over a framed Channel. Shared by tools/nsc_client and the
+// conformance/soak tests so every caller speaks the exact same encoding the
+// daemon validates.
+//
+// Error model: daemon-reported failures surface as the same serve::ServeError
+// the daemon threw (stable ErrorCode + message); transport failures (daemon
+// gone, reply deadline exceeded) surface as std::runtime_error.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/types.hpp"
+#include "src/ipc/channel.hpp"
+#include "src/serve/protocol.hpp"
+
+namespace nsc::serve {
+
+class Client {
+ public:
+  /// Wraps an already-connected channel (in-process test harnesses).
+  explicit Client(ipc::Channel ch, int reply_deadline_ms = 60000);
+
+  /// Connects to the daemon's socket, retrying until `connect_deadline_ms`
+  /// elapses (covers the daemon still binding after spawn); throws
+  /// std::runtime_error when the socket never appears.
+  [[nodiscard]] static Client connect(const std::string& socket_path,
+                                      int connect_deadline_ms = 5000,
+                                      int reply_deadline_ms = 60000);
+
+  /// Handshake; must be the first call. Returns the daemon's capacity view.
+  HelloOk hello();
+
+  /// Creates a session over a daemon-loaded network (threads = 0 picks the
+  /// daemon default). Returns the session id.
+  std::uint64_t create(const std::string& net_name, std::uint32_t threads = 0);
+
+  /// Advances the session; with `record`, output spikes queue server-side.
+  TickOk tick(std::uint64_t session, core::Tick nticks, bool record = true);
+
+  /// Injects external spikes (absolute ticks, >= the session's now).
+  void inject(std::uint64_t session, const std::vector<core::InputSpike>& events);
+
+  /// Drains up to `max_spikes` queued spikes into `out` (appended). Returns
+  /// the count still queued server-side.
+  std::uint64_t read_spikes(std::uint64_t session, std::uint64_t max_spikes,
+                            std::vector<core::Spike>& out);
+
+  /// Drains the whole queue into `out`.
+  void read_all_spikes(std::uint64_t session, std::vector<core::Spike>& out);
+
+  /// Full checkpoint blob of the session's simulator.
+  std::vector<std::uint8_t> checkpoint(std::uint64_t session);
+
+  /// Restores the session from a blob (see Session::restore_checkpoint).
+  void restore(std::uint64_t session, const std::vector<std::uint8_t>& blob);
+
+  void destroy(std::uint64_t session);
+
+  /// "nsc-bench-v1" stats JSON text.
+  std::string stats_json();
+
+  /// Asks the daemon to drain and exit.
+  void shutdown();
+
+  /// Raw channel access (hostile-frame tests forge their own frames here).
+  [[nodiscard]] ipc::Channel& channel() noexcept { return ch_; }
+
+ private:
+  /// Sends one frame and receives the reply frame; throws on transport
+  /// failure/timeout, converts a kError reply into a ServeError throw, and
+  /// verifies the reply kind is `expect`.
+  ipc::Frame rpc(Cmd cmd, const std::vector<std::uint8_t>& payload, Cmd expect);
+
+  ipc::Channel ch_;
+  int reply_deadline_ms_;
+};
+
+}  // namespace nsc::serve

@@ -1,0 +1,154 @@
+// Wire protocol of the nsc_serve session daemon (docs/SERVE.md).
+//
+// Every message is one ipc::Frame: an 8-byte (kind, size) header followed by
+// `size` payload bytes over a Unix-domain stream socket. The daemon never
+// trusts a byte of it: payload decoding goes through the bounds-checked
+// ipc::get_pod helpers, every id/count/tick is validated against the
+// session's actual state, and a reply is always either the command's typed
+// success frame or one kError frame carrying a stable ErrorCode — so a
+// malformed command can kill at most the session that sent it, never the
+// daemon (tests/test_serve.cpp drives a hostile-frame corpus through this
+// surface).
+//
+// Connection lifecycle: the first frame on a fresh connection MUST be kHello
+// with the right magic+version; anything else is protocol abuse and drops
+// the connection (along with any sessions it owns — sessions are owned by
+// the connection that created them and die with it). After the handshake,
+// command frames may arrive in any order; errors at command level keep the
+// connection alive.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "src/core/types.hpp"
+#include "src/ipc/channel.hpp"
+
+namespace nsc::serve {
+
+/// Handshake magic ("NSSV") and the protocol revision this build speaks.
+inline constexpr std::uint32_t kMagic = 0x4E535356u;
+inline constexpr std::uint32_t kVersion = 1;
+
+/// Frame kinds. Client -> daemon commands are < 64, daemon -> client replies
+/// are >= 64; the split makes a reflected or mis-directed frame instantly
+/// recognizable as abuse.
+enum class Cmd : std::uint32_t {
+  kHello = 1,       ///< HelloReq. Must be the first frame on a connection.
+  kCreate = 2,      ///< CreateReq + network name bytes -> CreateOk | kError.
+  kTick = 3,        ///< TickReq -> TickOk | kError.
+  kInject = 4,      ///< InjectReq + InputSpike[count] -> kAck | kError.
+  kReadSpikes = 5,  ///< ReadReq -> SpikesOk + Spike[count] | kError.
+  kCheckpoint = 6,  ///< SessionReq -> kBlob | kError.
+  kRestore = 7,     ///< SessionReq + checkpoint bytes -> kAck | kError.
+  kDestroy = 8,     ///< SessionReq -> kAck | kError.
+  kStats = 9,       ///< (empty) -> kStatsJson. Needs no session.
+  kShutdown = 10,   ///< (empty) -> kAck, then the daemon drains and exits.
+
+  kHelloOk = 64,    ///< HelloOk: handshake accepted.
+  kAck = 65,        ///< Empty success reply.
+  kCreateOk = 66,   ///< CreateOk.
+  kTickOk = 67,     ///< TickOk.
+  kSpikesOk = 68,   ///< SpikesOk + Spike[count].
+  kBlob = 69,       ///< Raw checkpoint bytes (kCheckpoint reply).
+  kStatsJson = 70,  ///< UTF-8 "nsc-bench-v1" JSON text.
+  kError = 71,      ///< ErrorReply + message bytes.
+};
+
+/// Stable error codes (the CLI maps all of them to exit 1; tests assert on
+/// specific codes).
+enum class ErrorCode : std::uint32_t {
+  kBadRequest = 1,        ///< Malformed/truncated payload, bad argument.
+  kNoSuchSession = 2,     ///< Unknown or already-destroyed session id.
+  kNoSuchNetwork = 3,     ///< kCreate named a network the daemon never loaded.
+  kAdmissionRefused = 4,  ///< Session cap reached (or network lint-refused).
+  kBadCheckpoint = 5,     ///< kRestore blob rejected; session state unchanged.
+  kLimitExceeded = 6,     ///< Per-session input/tick bound exceeded.
+  kShuttingDown = 7,      ///< Daemon is draining; no new work accepted.
+};
+
+[[nodiscard]] std::string_view error_code_name(ErrorCode code) noexcept;
+
+/// Thrown by session/server command handlers; the dispatch loop turns it
+/// into one kError reply on the offending connection.
+class ServeError : public std::runtime_error {
+ public:
+  ServeError(ErrorCode code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+// --- POD payload layouts (decoded with ipc::get_pod, so truncation throws
+// before any out-of-bounds read). Variable-length tails follow the POD.
+
+struct HelloReq {
+  std::uint32_t magic = kMagic;
+  std::uint32_t version = kVersion;
+};
+
+struct HelloOk {
+  std::uint32_t version = kVersion;
+  std::uint32_t max_sessions = 0;
+  std::uint32_t active_sessions = 0;
+  std::uint32_t networks = 0;
+};
+
+struct CreateReq {
+  std::uint32_t threads = 1;     ///< compass worker threads for the instance.
+  std::uint32_t name_len = 0;    ///< Network name bytes following this POD.
+};
+
+struct CreateOk {
+  std::uint64_t session = 0;
+};
+
+struct TickReq {
+  std::uint64_t session = 0;
+  std::int64_t nticks = 0;
+  std::uint32_t record = 1;  ///< 0 = advance without queuing output spikes.
+  std::uint32_t pad = 0;
+};
+
+struct TickOk {
+  std::int64_t now = 0;            ///< Session tick after the command.
+  std::uint64_t queued = 0;        ///< Spikes waiting in the session queue.
+  std::uint64_t dropped_total = 0; ///< Lifetime queue-overflow drops.
+};
+
+struct InjectReq {
+  std::uint64_t session = 0;
+  std::uint64_t count = 0;  ///< core::InputSpike records following.
+};
+
+struct ReadReq {
+  std::uint64_t session = 0;
+  std::uint64_t max_spikes = 0;  ///< Upper bound on spikes in the reply.
+};
+
+struct SpikesOk {
+  std::uint64_t count = 0;      ///< core::Spike records following.
+  std::uint64_t remaining = 0;  ///< Spikes still queued after this reply.
+};
+
+struct SessionReq {
+  std::uint64_t session = 0;
+};
+
+struct ErrorReply {
+  std::uint32_t code = 0;     ///< ErrorCode.
+  std::uint32_t msg_len = 0;  ///< Message bytes following this POD.
+};
+
+/// Encodes a kError frame payload.
+[[nodiscard]] std::vector<std::uint8_t> encode_error(ErrorCode code, const std::string& msg);
+
+/// Decodes a kError payload (used by the client). Tolerates a truncated
+/// message tail — the code is the load-bearing part.
+[[nodiscard]] ErrorCode decode_error(const std::vector<std::uint8_t>& payload,
+                                     std::string& msg_out);
+
+}  // namespace nsc::serve

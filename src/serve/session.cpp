@@ -1,0 +1,105 @@
+#include "src/serve/session.hpp"
+
+#include <utility>
+
+namespace nsc::serve {
+
+namespace {
+
+/// Bounded queue sink: spills recorded spikes into the session queue,
+/// dropping newest past the cap so a tenant that never reads cannot grow the
+/// daemon's memory without bound.
+class QueueSink final : public core::SpikeSink {
+ public:
+  QueueSink(std::deque<core::Spike>* queue, std::size_t cap, SessionCounters* counters)
+      : queue_(queue), cap_(cap), counters_(counters) {}
+
+  void on_spike(core::Tick tick, core::CoreId core, std::uint16_t neuron) override {
+    if (queue_->size() >= cap_) {
+      ++counters_->spikes_dropped;
+      return;
+    }
+    queue_->push_back({tick, core, neuron});
+    ++counters_->spikes_queued;
+  }
+
+ private:
+  std::deque<core::Spike>* queue_;
+  std::size_t cap_;
+  SessionCounters* counters_;
+};
+
+}  // namespace
+
+Session::Session(std::shared_ptr<const core::Network> net, std::string net_name, int threads,
+                 SessionLimits limits)
+    : net_(std::move(net)), net_name_(std::move(net_name)), limits_(limits) {
+  cfg_.threads = threads;
+  sim_ = std::make_unique<compass::Simulator>(*net_, cfg_);
+}
+
+void Session::inject(const std::vector<core::InputSpike>& events) {
+  if (inputs_.size() + events.size() > limits_.max_pending_inputs) {
+    throw ServeError(ErrorCode::kLimitExceeded,
+                     "serve: session input budget exceeded (max_pending_inputs)");
+  }
+  const core::Tick horizon = sim_->now();
+  const auto ncores = static_cast<core::CoreId>(net_->geom.total_cores());
+  for (const core::InputSpike& e : events) {
+    if (e.tick < horizon) {
+      throw ServeError(ErrorCode::kBadRequest, "serve: input spike scheduled in the past");
+    }
+    if (e.core >= ncores || e.axon >= core::kCoreSize) {
+      throw ServeError(ErrorCode::kBadRequest, "serve: input spike addressed outside network");
+    }
+  }
+  for (const core::InputSpike& e : events) inputs_.add(e);
+  inputs_dirty_ = !events.empty() || inputs_dirty_;
+  counters_.inputs_injected += events.size();
+}
+
+void Session::tick(core::Tick nticks, bool record) {
+  if (nticks < 0) throw ServeError(ErrorCode::kBadRequest, "serve: negative tick count");
+  if (nticks > limits_.max_ticks_per_cmd) {
+    throw ServeError(ErrorCode::kLimitExceeded,
+                     "serve: tick count exceeds per-command bound (chunk the run)");
+  }
+  if (nticks == 0) return;
+  if (inputs_dirty_) {
+    inputs_.finalize();  // Re-sorts absolute-tick events; past ones stay consumed.
+    inputs_dirty_ = false;
+  }
+  QueueSink sink(&queue_, limits_.max_queued_spikes, &counters_);
+  sim_->run(nticks, inputs_.empty() ? nullptr : &inputs_, record ? &sink : nullptr);
+  counters_.ticks_served += static_cast<std::uint64_t>(nticks);
+}
+
+std::uint64_t Session::read_spikes(std::uint64_t max_spikes, std::vector<core::Spike>& out) {
+  std::uint64_t n = 0;
+  while (n < max_spikes && !queue_.empty()) {
+    out.push_back(queue_.front());
+    queue_.pop_front();
+    ++n;
+  }
+  counters_.spikes_streamed += n;
+  return queue_.size();
+}
+
+void Session::save_checkpoint(std::ostream& os) {
+  sim_->save_checkpoint(os);
+  ++counters_.checkpoints;
+}
+
+void Session::restore_checkpoint(std::istream& is) {
+  auto fresh = std::make_unique<compass::Simulator>(*net_, cfg_);
+  try {
+    fresh->load_checkpoint(is);
+  } catch (const std::exception& e) {
+    throw ServeError(ErrorCode::kBadCheckpoint,
+                     std::string("serve: checkpoint rejected: ") + e.what());
+  }
+  sim_ = std::move(fresh);
+  ++counters_.restores;
+}
+
+}  // namespace nsc::serve

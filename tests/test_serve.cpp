@@ -1,0 +1,814 @@
+// Conformance + soak suite for the simulation-as-a-service daemon
+// (src/serve, docs/SERVE.md). Three contracts are enforced here:
+//
+//   1. Protocol conformance — every command's happy path, every documented
+//      ErrorCode, and the connection-lifecycle rules (hello-first, sessions
+//      die with their connection, command errors keep the connection alive).
+//   2. Hostility containment — a fuzzed corpus of truncated frames,
+//      oversized lengths, bad session ids, reflected reply kinds and raw
+//      garbage may kill at most the offending connection; the daemon must
+//      survive every one of them and still serve exact sessions afterwards.
+//   3. Exactness — a served, resident session is spike-for-spike identical
+//      to a solo compass run of the same network + inputs (the paper's
+//      §VI-A one-to-one contract extended over the wire), including through
+//      a mid-session checkpoint/restore round trip.
+//
+// The server runs single-threaded on its own std::thread; clients talk to it
+// over real Unix-domain sockets, so the TSan soak exercises the only
+// cross-thread surface (the atomic stop flag) plus full protocol traffic
+// from N concurrent tenants.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "src/core/input_schedule.hpp"
+#include "src/core/spike_sink.hpp"
+#include "src/netgen/recurrent.hpp"
+#include "src/obs/json.hpp"
+#include "src/serve/client.hpp"
+#include "src/serve/server.hpp"
+#include "tests/test_support.hpp"
+
+namespace nsc {
+namespace {
+
+using core::InputSchedule;
+using core::InputSpike;
+using core::Network;
+using core::Spike;
+using core::Tick;
+using serve::Client;
+using serve::Cmd;
+using serve::ErrorCode;
+using serve::ServeError;
+
+// ---------------------------------------------------------------------------
+// Harness: one Server on its own thread, clients over its real socket.
+// ---------------------------------------------------------------------------
+
+std::string unique_socket_path() {
+  static std::atomic<int> counter{0};
+  return "/tmp/nscsv_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+class ServeHarness {
+ public:
+  explicit ServeHarness(serve::Server::Config cfg = {}) {
+    if (cfg.socket_path.empty()) cfg.socket_path = unique_socket_path();
+    cfg.poll_interval_ms = 5;
+    path_ = cfg.socket_path;
+    server_ = std::make_unique<serve::Server>(std::move(cfg));
+  }
+
+  ~ServeHarness() { stop(); }
+
+  void add_net(const std::string& name, Network net) {
+    server_->add_network(name, std::move(net));
+  }
+
+  void start() {
+    server_->bind();
+    loop_ = std::thread([this] { server_->run(); });
+  }
+
+  /// Joins the loop without requesting a stop (kShutdown tests).
+  void join() {
+    if (loop_.joinable()) loop_.join();
+  }
+
+  void stop() {
+    if (loop_.joinable()) {
+      server_->request_stop();
+      loop_.join();
+    }
+  }
+
+  [[nodiscard]] Client client(int reply_deadline_ms = 30000) {
+    return Client::connect(path_, 5000, reply_deadline_ms);
+  }
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] serve::Server& server() { return *server_; }
+
+ private:
+  std::string path_;
+  std::unique_ptr<serve::Server> server_;
+  std::thread loop_;
+};
+
+/// Small self-driven recurrent network (4 cores): fast, but chaotic enough
+/// that any missed or extra synaptic op diverges the stream.
+Network small_net(std::uint64_t seed = 11) {
+  netgen::RecurrentSpec spec;
+  spec.geom = core::Geometry{1, 1, 2, 2};
+  spec.rate_hz = 80;
+  spec.synapses_per_axon = 32;
+  spec.seed = seed;
+  return netgen::make_recurrent(spec);
+}
+
+/// Deterministic external drive (absolute ticks, a few events per tick).
+std::vector<InputSpike> drive_events(const Network& net, Tick ticks) {
+  const auto ncores = static_cast<std::uint32_t>(net.cores.size());
+  std::vector<InputSpike> events;
+  for (Tick t = 0; t < ticks; ++t) {
+    for (int k = 0; k < 3; ++k) {
+      InputSpike e;
+      e.tick = t;
+      e.core = static_cast<core::CoreId>((t * 7 + k * 5) % ncores);
+      e.axon = static_cast<std::uint16_t>((t * 13 + k * 31) % core::kCoreSize);
+      events.push_back(e);
+    }
+  }
+  return events;
+}
+
+std::vector<Spike> solo_witness(const Network& net, const std::vector<InputSpike>& events,
+                                Tick ticks, int threads = 1) {
+  InputSchedule in;
+  for (const auto& e : events) in.add(e);
+  in.finalize();
+  return testsup::run_compass(net, events.empty() ? nullptr : &in, ticks, threads).spikes;
+}
+
+/// Drives a served session across [0, ticks) in `chunk`-tick commands,
+/// draining the queue after each command.
+std::vector<Spike> serve_session_run(Client& c, std::uint64_t session, Tick ticks,
+                                     Tick chunk) {
+  std::vector<Spike> out;
+  Tick at = 0;
+  while (at < ticks) {
+    const Tick step = chunk > 0 && chunk < ticks - at ? chunk : ticks - at;
+    c.tick(session, step);
+    c.read_all_spikes(session, out);
+    at += step;
+  }
+  return out;
+}
+
+ErrorCode error_code_of(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const ServeError& e) {
+    return e.code();
+  }
+  ADD_FAILURE() << "expected a ServeError";
+  return ErrorCode::kBadRequest;
+}
+
+// ---------------------------------------------------------------------------
+// Protocol conformance: happy paths and the documented error codes.
+// ---------------------------------------------------------------------------
+
+TEST(ServeProtocol, HelloReportsCapacity) {
+  ServeHarness h;
+  h.add_net("a", small_net(1));
+  h.add_net("b", small_net(2));
+  h.start();
+  Client c = h.client();
+  const serve::HelloOk ok = c.hello();
+  EXPECT_EQ(ok.version, serve::kVersion);
+  EXPECT_EQ(ok.max_sessions, 16u);
+  EXPECT_EQ(ok.active_sessions, 0u);
+  EXPECT_EQ(ok.networks, 2u);
+}
+
+TEST(ServeProtocol, SessionLifecycleHappyPath) {
+  ServeHarness h;
+  h.add_net("net", small_net());
+  h.start();
+  Client c = h.client();
+  c.hello();
+  const std::uint64_t s = c.create("net");
+  const serve::TickOk t1 = c.tick(s, 10);
+  EXPECT_EQ(t1.now, 10);
+  const serve::TickOk t2 = c.tick(s, 5);
+  EXPECT_EQ(t2.now, 15);
+  std::vector<Spike> spikes;
+  c.read_all_spikes(s, spikes);
+  EXPECT_FALSE(spikes.empty());
+  c.destroy(s);
+  EXPECT_EQ(error_code_of([&] { c.destroy(s); }), ErrorCode::kNoSuchSession);
+}
+
+TEST(ServeProtocol, CommandErrorsKeepConnectionAlive) {
+  ServeHarness h;
+  h.add_net("net", small_net());
+  h.start();
+  Client c = h.client();
+  c.hello();
+  EXPECT_EQ(error_code_of([&] { c.create("nosuch"); }), ErrorCode::kNoSuchNetwork);
+  EXPECT_EQ(error_code_of([&] { c.tick(999, 5); }), ErrorCode::kNoSuchSession);
+  std::vector<Spike> sink;
+  EXPECT_EQ(error_code_of([&] { c.read_spikes(999, 10, sink); }),
+            ErrorCode::kNoSuchSession);
+  // The same connection still works after every refused command.
+  const std::uint64_t s = c.create("net");
+  EXPECT_EQ(c.tick(s, 3).now, 3);
+}
+
+TEST(ServeProtocol, AdmissionCapRefusesAndReleases) {
+  serve::Server::Config cfg;
+  cfg.max_sessions = 1;
+  ServeHarness h(cfg);
+  h.add_net("net", small_net());
+  h.start();
+  Client c = h.client();
+  c.hello();
+  const std::uint64_t s = c.create("net");
+  EXPECT_EQ(error_code_of([&] { c.create("net"); }), ErrorCode::kAdmissionRefused);
+  c.destroy(s);
+  // Destroying the resident session frees the slot.
+  const std::uint64_t s2 = c.create("net");
+  c.destroy(s2);
+}
+
+TEST(ServeProtocol, InjectValidatesAllOrNothing) {
+  ServeHarness h;
+  h.add_net("net", small_net());
+  h.start();
+  Client c = h.client();
+  c.hello();
+  const std::uint64_t s = c.create("net");
+  c.tick(s, 10, /*record=*/false);
+
+  InputSpike past;
+  past.tick = 5;  // Session is at tick 10; the past is immutable.
+  past.core = 0;
+  past.axon = 0;
+  EXPECT_EQ(error_code_of([&] { c.inject(s, {past}); }), ErrorCode::kBadRequest);
+
+  InputSpike bad_core;
+  bad_core.tick = 20;
+  bad_core.core = 1u << 20;  // Way past the 4-core network.
+  bad_core.axon = 0;
+  EXPECT_EQ(error_code_of([&] { c.inject(s, {bad_core}); }), ErrorCode::kBadRequest);
+
+  InputSpike bad_axon;
+  bad_axon.tick = 20;
+  bad_axon.core = 0;
+  bad_axon.axon = core::kCoreSize;  // One past the crossbar.
+  EXPECT_EQ(error_code_of([&] { c.inject(s, {bad_axon}); }), ErrorCode::kBadRequest);
+  c.destroy(s);
+}
+
+TEST(ServeProtocol, TickBoundsEnforced) {
+  serve::Server::Config cfg;
+  cfg.limits.max_ticks_per_cmd = 100;
+  ServeHarness h(cfg);
+  h.add_net("net", small_net());
+  h.start();
+  Client c = h.client();
+  c.hello();
+  const std::uint64_t s = c.create("net");
+  EXPECT_EQ(error_code_of([&] { c.tick(s, -1); }), ErrorCode::kBadRequest);
+  EXPECT_EQ(error_code_of([&] { c.tick(s, 101); }), ErrorCode::kLimitExceeded);
+  EXPECT_EQ(c.tick(s, 100).now, 100);  // The bound itself is admitted.
+}
+
+TEST(ServeProtocol, CreateThreadsOutOfRangeRefused) {
+  ServeHarness h;
+  h.add_net("net", small_net());
+  h.start();
+  Client c = h.client();
+  c.hello();
+  EXPECT_EQ(error_code_of([&] { c.create("net", 100000); }), ErrorCode::kBadRequest);
+}
+
+TEST(ServeProtocol, RecordOffQueuesNothing) {
+  ServeHarness h;
+  h.add_net("net", small_net());
+  h.start();
+  Client c = h.client();
+  c.hello();
+  const std::uint64_t s = c.create("net");
+  const serve::TickOk t = c.tick(s, 20, /*record=*/false);
+  EXPECT_EQ(t.now, 20);
+  EXPECT_EQ(t.queued, 0u);
+  std::vector<Spike> spikes;
+  EXPECT_EQ(c.read_spikes(s, 100, spikes), 0u);
+  EXPECT_TRUE(spikes.empty());
+}
+
+TEST(ServeProtocol, QueueBackpressureDropsNewest) {
+  serve::Server::Config cfg;
+  cfg.limits.max_queued_spikes = 4;
+  ServeHarness h(cfg);
+  h.add_net("net", small_net());
+  h.start();
+  Client c = h.client();
+  c.hello();
+  const std::uint64_t s = c.create("net");
+  const serve::TickOk t = c.tick(s, 30);  // Far more than 4 spikes in 30 ticks.
+  EXPECT_LE(t.queued, 4u);
+  EXPECT_GT(t.dropped_total, 0u);
+  std::vector<Spike> spikes;
+  c.read_all_spikes(s, spikes);
+  EXPECT_LE(spikes.size(), 4u);
+  // Drop-newest: what survives is the *head* of the stream.
+  const std::vector<Spike> solo = solo_witness(small_net(), {}, 30);
+  ASSERT_LE(spikes.size(), solo.size());
+  for (std::size_t i = 0; i < spikes.size(); ++i) EXPECT_EQ(spikes[i], solo[i]) << i;
+}
+
+TEST(ServeProtocol, ShutdownCommandDrainsAndExits) {
+  ServeHarness h;
+  h.add_net("net", small_net());
+  h.start();
+  Client c = h.client();
+  c.hello();
+  c.shutdown();
+  h.join();  // run() must return on its own — no request_stop().
+  EXPECT_THROW(Client::connect(h.path(), 200), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Exactness: served == solo, spike for spike (§VI-A over the wire).
+// ---------------------------------------------------------------------------
+
+TEST(ServeExactness, ServedSessionMatchesSoloCompass) {
+  const Network net = small_net(21);
+  const Tick ticks = 60;
+  const std::vector<InputSpike> events = drive_events(net, ticks);
+  const std::vector<Spike> solo = solo_witness(net, events, ticks);
+
+  ServeHarness h;
+  h.add_net("net", small_net(21));
+  h.start();
+  Client c = h.client();
+  c.hello();
+  for (const Tick chunk : {Tick{0}, Tick{7}, Tick{1}}) {
+    SCOPED_TRACE("chunk=" + std::to_string(chunk));
+    const std::uint64_t s = c.create("net");
+    c.inject(s, events);
+    testsup::expect_spikes_equal(solo, serve_session_run(c, s, ticks, chunk),
+                                 "served vs solo");
+    c.destroy(s);
+  }
+}
+
+TEST(ServeExactness, SessionThreadCountNeverChangesTheStream) {
+  const Network net = small_net(22);
+  const Tick ticks = 50;
+  const std::vector<Spike> solo = solo_witness(net, {}, ticks);
+
+  ServeHarness h;
+  h.add_net("net", small_net(22));
+  h.start();
+  Client c = h.client();
+  c.hello();
+  for (const std::uint32_t threads : {1u, 3u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const std::uint64_t s = c.create("net", threads);
+    testsup::expect_spikes_equal(solo, serve_session_run(c, s, ticks, 0), "served vs solo");
+    c.destroy(s);
+  }
+}
+
+TEST(ServeExactness, CheckpointRestoreRoundTripMidSession) {
+  const Network net = testsup::hard_network();
+  const Tick ticks = 40;
+  const InputSchedule solo_in = testsup::hard_inputs(net, ticks);
+  const std::vector<InputSpike> events(solo_in.events().begin(), solo_in.events().end());
+  const std::vector<Spike> solo = testsup::run_compass(net, &solo_in, ticks, 1).spikes;
+
+  ServeHarness h;
+  h.add_net("hard", testsup::hard_network());
+  h.start();
+  Client c = h.client();
+  c.hello();
+  const std::uint64_t s = c.create("hard");
+  c.inject(s, events);
+
+  std::vector<Spike> head;
+  c.tick(s, 20);
+  c.read_all_spikes(s, head);
+  const std::vector<std::uint8_t> blob = c.checkpoint(s);
+  EXPECT_FALSE(blob.empty());
+
+  std::vector<Spike> tail_a;
+  c.tick(s, 20);
+  c.read_all_spikes(s, tail_a);
+
+  c.restore(s, blob);
+  EXPECT_EQ(c.tick(s, 0).now, 20);  // Restored to the checkpoint tick.
+  std::vector<Spike> tail_b;
+  c.tick(s, 20);
+  c.read_all_spikes(s, tail_b);
+
+  testsup::expect_spikes_equal(tail_a, tail_b, "replayed tail vs original tail");
+  std::vector<Spike> full = head;
+  full.insert(full.end(), tail_a.begin(), tail_a.end());
+  testsup::expect_spikes_equal(solo, full, "served (with roundtrip) vs solo");
+  c.destroy(s);
+}
+
+TEST(ServeExactness, RestoreRejectsGarbageAndPreservesSession) {
+  const Network net = small_net(23);
+  const Tick ticks = 40;
+  const std::vector<Spike> solo = solo_witness(net, {}, ticks);
+
+  ServeHarness h;
+  h.add_net("net", small_net(23));
+  h.start();
+  Client c = h.client();
+  c.hello();
+  const std::uint64_t s = c.create("net");
+  std::vector<Spike> stream;
+  c.tick(s, 20);
+  c.read_all_spikes(s, stream);
+
+  const std::vector<std::uint8_t> garbage(256, 0xAB);
+  EXPECT_EQ(error_code_of([&] { c.restore(s, garbage); }), ErrorCode::kBadCheckpoint);
+  EXPECT_EQ(error_code_of([&] { c.restore(s, {}); }), ErrorCode::kBadCheckpoint);
+
+  // The failed restores must not have perturbed the resident simulator.
+  EXPECT_EQ(c.tick(s, 20).now, 40);
+  c.read_all_spikes(s, stream);
+  testsup::expect_spikes_equal(solo, stream, "post-bad-restore stream vs solo");
+  c.destroy(s);
+}
+
+// ---------------------------------------------------------------------------
+// Hostility: nothing a client sends may kill the daemon.
+// ---------------------------------------------------------------------------
+
+/// Expects the daemon to drop this connection (recv sees EOF, or the send
+/// itself fails once the daemon closed first).
+void expect_connection_dropped(ipc::Channel& ch) {
+  ipc::Frame f;
+  const ipc::RecvStatus st = ch.recv_frame_deadline(f, 10000);
+  EXPECT_EQ(st, ipc::RecvStatus::kClosed);
+}
+
+/// After any hostile episode the daemon must still serve an exact session.
+void expect_daemon_still_exact(ServeHarness& h, const std::vector<Spike>& solo) {
+  Client c = h.client();
+  c.hello();
+  const std::uint64_t s = c.create("net");
+  testsup::expect_spikes_equal(solo, serve_session_run(c, s, 30, 0),
+                               "post-hostility served vs solo");
+  c.destroy(s);
+}
+
+TEST(ServeHostile, FirstFrameMustBeHello) {
+  ServeHarness h;
+  h.add_net("net", small_net(31));
+  h.start();
+  const std::vector<Spike> solo = solo_witness(small_net(31), {}, 30);
+
+  {  // A command before the handshake is protocol abuse.
+    Client c = h.client();
+    serve::SessionReq req;
+    std::vector<std::uint8_t> payload;
+    ipc::put_pod(payload, req);
+    ASSERT_TRUE(c.channel().send_frame(static_cast<std::uint32_t>(Cmd::kDestroy),
+                                       payload.data(), payload.size()));
+    expect_connection_dropped(c.channel());
+  }
+  {  // Wrong magic.
+    Client c = h.client();
+    serve::HelloReq req;
+    req.magic = 0xDEADBEEF;
+    std::vector<std::uint8_t> payload;
+    ipc::put_pod(payload, req);
+    ASSERT_TRUE(c.channel().send_frame(static_cast<std::uint32_t>(Cmd::kHello),
+                                       payload.data(), payload.size()));
+    expect_connection_dropped(c.channel());
+  }
+  {  // Wrong version.
+    Client c = h.client();
+    serve::HelloReq req;
+    req.version = 999;
+    std::vector<std::uint8_t> payload;
+    ipc::put_pod(payload, req);
+    ASSERT_TRUE(c.channel().send_frame(static_cast<std::uint32_t>(Cmd::kHello),
+                                       payload.data(), payload.size()));
+    expect_connection_dropped(c.channel());
+  }
+  expect_daemon_still_exact(h, solo);
+}
+
+TEST(ServeHostile, OversizedFrameHeaderKillsOnlyThatConnection) {
+  serve::Server::Config cfg;
+  cfg.max_frame_payload = 1u << 16;
+  ServeHarness h(cfg);
+  h.add_net("net", small_net(31));
+  h.start();
+  const std::vector<Spike> solo = solo_witness(small_net(31), {}, 30);
+
+  Client victim = h.client();
+  victim.hello();
+  const std::uint64_t s = victim.create("net");
+  victim.tick(s, 5);
+
+  // A header claiming a payload past the daemon's bound: unframeable, fatal
+  // for the connection — and its session dies with it.
+  const std::uint32_t hostile[2] = {static_cast<std::uint32_t>(Cmd::kTick), 1u << 30};
+  EXPECT_GT(victim.channel().write_some(hostile, sizeof hostile), 0);
+  expect_connection_dropped(victim.channel());
+
+  expect_daemon_still_exact(h, solo);
+  // The killed connection's session was reaped (slot free again under a
+  // fresh connection).
+  Client c = h.client();
+  c.hello();
+  EXPECT_EQ(error_code_of([&] { c.tick(s, 1); }), ErrorCode::kNoSuchSession);
+}
+
+TEST(ServeHostile, TruncatedPayloadCorpusGetsErrorsNeverDeath) {
+  ServeHarness h;
+  h.add_net("net", small_net(31));
+  h.start();
+  const std::vector<Spike> solo = solo_witness(small_net(31), {}, 30);
+
+  Client c = h.client();
+  c.hello();
+  // Every command kind, with payloads cut to every prefix of a plausible
+  // request: all must come back as one kError (well-framed abuse), and the
+  // connection must stay usable throughout.
+  for (const Cmd cmd : {Cmd::kCreate, Cmd::kTick, Cmd::kInject, Cmd::kReadSpikes,
+                        Cmd::kCheckpoint, Cmd::kRestore, Cmd::kDestroy}) {
+    std::vector<std::uint8_t> full(24, 0x5C);
+    for (const std::size_t len : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                                  std::size_t{15}}) {
+      ASSERT_TRUE(c.channel().send_frame(static_cast<std::uint32_t>(cmd), full.data(),
+                                         std::min(len, full.size())));
+      ipc::Frame reply;
+      ASSERT_EQ(c.channel().recv_frame_deadline(reply, 10000), ipc::RecvStatus::kOk)
+          << "cmd=" << static_cast<std::uint32_t>(cmd) << " len=" << len;
+      EXPECT_EQ(reply.kind, static_cast<std::uint32_t>(Cmd::kError));
+    }
+  }
+  // Inject whose count promises more records than the frame carries.
+  {
+    serve::InjectReq req;
+    req.session = 1;
+    req.count = 1u << 20;
+    std::vector<std::uint8_t> payload;
+    ipc::put_pod(payload, req);
+    ASSERT_TRUE(c.channel().send_frame(static_cast<std::uint32_t>(Cmd::kInject),
+                                       payload.data(), payload.size()));
+    ipc::Frame reply;
+    ASSERT_EQ(c.channel().recv_frame_deadline(reply, 10000), ipc::RecvStatus::kOk);
+    EXPECT_EQ(reply.kind, static_cast<std::uint32_t>(Cmd::kError));
+  }
+  // The abused connection can still do real work.
+  const std::uint64_t s = c.create("net");
+  testsup::expect_spikes_equal(solo, serve_session_run(c, s, 30, 0),
+                               "post-corpus served vs solo");
+  c.destroy(s);
+  expect_daemon_still_exact(h, solo);
+}
+
+TEST(ServeHostile, RandomGarbageFramesNeverKillTheDaemon) {
+  ServeHarness h;
+  h.add_net("net", small_net(31));
+  h.start();
+  const std::vector<Spike> solo = solo_witness(small_net(31), {}, 30);
+
+  // Seeded LCG so the corpus is reproducible (no wall-clock entropy).
+  std::uint64_t state = 0x9E3779B97F4A7C15ull;
+  const auto next = [&state] {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 33;
+  };
+  Client c = h.client();
+  c.hello();
+  for (int i = 0; i < 200; ++i) {
+    // Kinds sweep commands, replies (reflected), and unknown values; session
+    // ids and payload bytes are garbage.
+    const auto kind = static_cast<std::uint32_t>(next() % 97);
+    std::vector<std::uint8_t> payload(next() % 48);
+    for (auto& b : payload) b = static_cast<std::uint8_t>(next());
+    ASSERT_TRUE(c.channel().send_frame(kind, payload.data(), payload.size())) << i;
+    ipc::Frame reply;
+    ASSERT_EQ(c.channel().recv_frame_deadline(reply, 10000), ipc::RecvStatus::kOk) << i;
+    // Every well-framed command gets exactly one reply; garbage is refused,
+    // never fatal. (kStats/kShutdown are excluded kinds-wise only by luck of
+    // the modulus — both are harmless no-session commands anyway, but a
+    // drained daemon would break the exactness check below, so skip them.)
+    if (kind == static_cast<std::uint32_t>(Cmd::kStats)) continue;
+    if (kind == static_cast<std::uint32_t>(Cmd::kHello)) continue;
+    if (kind == static_cast<std::uint32_t>(Cmd::kShutdown)) continue;
+    EXPECT_EQ(reply.kind, static_cast<std::uint32_t>(Cmd::kError)) << "kind=" << kind;
+  }
+  expect_daemon_still_exact(h, solo);
+}
+
+TEST(ServeHostile, ForgedCheckpointBlobsAreContained) {
+  ServeHarness h;
+  h.add_net("net", small_net(31));
+  h.start();
+  Client c = h.client();
+  c.hello();
+  const std::uint64_t s = c.create("net");
+  std::vector<std::uint8_t> blob = c.checkpoint(s);
+  ASSERT_GT(blob.size(), 64u);
+  // Corrupt interior bytes at seeded offsets; every forged blob must be
+  // refused (kBadCheckpoint) or — if the mutation is semantically invisible
+  // — accepted; either way the daemon survives and the session stays live.
+  std::uint64_t state = 12345;
+  for (int i = 0; i < 16; ++i) {
+    state = state * 6364136223846793005ull + 1;
+    std::vector<std::uint8_t> forged = blob;
+    forged[state % forged.size()] ^= 0xFF;
+    try {
+      c.restore(s, forged);
+      c.restore(s, blob);  // Undo an accepted forgery: back to known state.
+    } catch (const ServeError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kBadCheckpoint) << i;
+    }
+  }
+  EXPECT_GE(c.tick(s, 5).now, 5);
+  c.destroy(s);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-tenancy: ownership, reaping, per-tenant stats, eviction, soak.
+// ---------------------------------------------------------------------------
+
+TEST(ServeTenancy, SessionsAreOwnedByTheirConnection) {
+  ServeHarness h;
+  h.add_net("net", small_net(41));
+  h.start();
+  Client a = h.client();
+  a.hello();
+  const std::uint64_t s = a.create("net");
+
+  Client b = h.client();
+  b.hello();
+  // Another tenant cannot tick, read, checkpoint, restore or destroy it —
+  // the id is not even acknowledged to exist.
+  EXPECT_EQ(error_code_of([&] { b.tick(s, 1); }), ErrorCode::kNoSuchSession);
+  std::vector<Spike> sink;
+  EXPECT_EQ(error_code_of([&] { b.read_spikes(s, 1, sink); }), ErrorCode::kNoSuchSession);
+  EXPECT_EQ(error_code_of([&] { b.checkpoint(s); }), ErrorCode::kNoSuchSession);
+  EXPECT_EQ(error_code_of([&] { b.destroy(s); }), ErrorCode::kNoSuchSession);
+  // The owner is unaffected by the attempts.
+  EXPECT_EQ(a.tick(s, 5).now, 5);
+  a.destroy(s);
+}
+
+TEST(ServeTenancy, ConnectionDeathReapsItsSessions) {
+  serve::Server::Config cfg;
+  cfg.max_sessions = 1;
+  ServeHarness h(cfg);
+  h.add_net("net", small_net(41));
+  h.start();
+  {
+    Client a = h.client();
+    a.hello();
+    a.create("net");  // Occupies the only slot, then the connection dies.
+  }
+  // The daemon notices the hangup and frees the slot; a new tenant must get
+  // it within the poll cadence.
+  Client b = h.client();
+  b.hello();
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  for (;;) {
+    try {
+      b.destroy(b.create("net"));
+      break;
+    } catch (const ServeError& e) {
+      ASSERT_EQ(e.code(), ErrorCode::kAdmissionRefused);
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "slot never reaped";
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+}
+
+TEST(ServeTenancy, StatsIsolatePerTenantCounters) {
+  ServeHarness h;
+  h.add_net("net", small_net(41));
+  h.start();
+  Client c = h.client();
+  c.hello();
+  const std::uint64_t s1 = c.create("net");
+  const std::uint64_t s2 = c.create("net");
+  c.tick(s1, 7);
+  c.tick(s2, 31, /*record=*/false);
+
+  const obs::JsonValue doc = obs::parse_json(c.stats_json());
+  ASSERT_NE(doc.find("schema"), nullptr);
+  EXPECT_EQ(doc.find("schema")->as_string(), "nsc-bench-v1");
+  const obs::JsonValue* sessions = doc.find("sessions");
+  ASSERT_NE(sessions, nullptr);
+  ASSERT_EQ(sessions->items().size(), 2u);
+  for (const obs::JsonValue& row : sessions->items()) {
+    const auto id = static_cast<std::uint64_t>(row.find("id")->as_int());
+    const std::int64_t ticks = row.find("ticks_served")->as_int();
+    const auto queued = static_cast<std::uint64_t>(row.find("queue_depth")->as_int());
+    if (id == s1) {
+      EXPECT_EQ(ticks, 7);
+      EXPECT_GT(queued, 0u);  // record=true queued its spikes.
+    } else {
+      EXPECT_EQ(id, s2);
+      EXPECT_EQ(ticks, 31);
+      EXPECT_EQ(queued, 0u);  // record=false queued nothing.
+    }
+  }
+  c.destroy(s1);
+  c.destroy(s2);
+
+  // Daemon totals survive session churn (folded into retired counters).
+  const obs::JsonValue after = obs::parse_json(c.stats_json());
+  EXPECT_EQ(after.find("ticks")->as_int(), 38);
+  EXPECT_EQ(after.find("sessions")->items().size(), 0u);
+}
+
+TEST(ServeTenancy, SlowClientIsEvictedOthersUnaffected) {
+  serve::Server::Config cfg;
+  cfg.max_conn_out_bytes = 4096;  // One checkpoint blob blows this bound.
+  ServeHarness h(cfg);
+  h.add_net("net", small_net(41));
+  h.add_net("hard", testsup::hard_network());
+  h.start();
+
+  Client healthy = h.client();
+  healthy.hello();
+  const std::uint64_t hs = healthy.create("net");
+  healthy.tick(hs, 5, /*record=*/false);
+
+  // The slow tenant asks for a reply (a 16-core checkpoint blob) far larger
+  // than its allowed backlog: the daemon sheds it instead of buffering
+  // without bound.
+  Client slow = h.client();
+  slow.hello();
+  const std::uint64_t ss = slow.create("hard");
+  EXPECT_THROW(slow.checkpoint(ss), std::runtime_error);
+
+  // The healthy tenant never noticed: still resident, still exact ticks.
+  EXPECT_EQ(healthy.tick(hs, 5, false).now, 10);
+  healthy.destroy(hs);
+  EXPECT_GT(testsup::counter_value(h.server().metrics(), "serve.conns_evicted_slow"), 0u);
+}
+
+TEST(ServeSoak, ConcurrentTenantsStayExactAndIsolated) {
+  const Tick ticks = 30;
+  const std::vector<Spike> solo = solo_witness(small_net(51), {}, ticks);
+
+  ServeHarness h;
+  h.add_net("net", small_net(51));
+  h.start();
+
+  constexpr int kTenants = 4;
+  constexpr int kIterations = 4;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> tenants;
+  tenants.reserve(kTenants);
+  for (int t = 0; t < kTenants; ++t) {
+    tenants.emplace_back([&, t] {
+      try {
+        Client c = h.client();
+        c.hello();
+        for (int i = 0; i < kIterations; ++i) {
+          const std::uint64_t s = c.create("net");
+          // Interleave plain runs with checkpoint/restore round trips so
+          // blob traffic and tick traffic contend.
+          std::vector<Spike> stream;
+          if ((t + i) % 2 == 0) {
+            stream = serve_session_run(c, s, ticks, 1 + t);
+          } else {
+            c.tick(s, ticks / 2);
+            c.read_all_spikes(s, stream);
+            const std::vector<std::uint8_t> blob = c.checkpoint(s);
+            c.restore(s, blob);
+            c.tick(s, ticks - ticks / 2);
+            c.read_all_spikes(s, stream);
+          }
+          if (stream != solo) {
+            ++failures;
+            return;
+          }
+          c.destroy(s);
+        }
+      } catch (const std::exception&) {
+        ++failures;
+      }
+    });
+  }
+  for (auto& th : tenants) th.join();
+  EXPECT_EQ(failures.load(), 0) << "a tenant diverged or was refused";
+
+  h.stop();
+  // Post-mortem counter audit: every tenant's ticks arrived, nothing leaked.
+  const obs::Registry& m = h.server().metrics();
+  EXPECT_EQ(testsup::counter_value(m, "serve.sessions_created"),
+            static_cast<std::uint64_t>(kTenants * kIterations));
+  EXPECT_EQ(testsup::counter_value(m, "serve.ticks_served"),
+            static_cast<std::uint64_t>(kTenants * kIterations) * ticks);
+  EXPECT_EQ(h.server().active_sessions(), 0u);
+}
+
+}  // namespace
+}  // namespace nsc

@@ -1,0 +1,325 @@
+// nsc_client — scriptable driver for the nsc_serve session protocol
+// (docs/SERVE.md). One invocation = one session, driven end to end; ctest
+// chains invocations to exercise the daemon like a real tenant.
+//
+//   nsc_client --socket PATH --create NET --ticks N
+//              [--threads N] [--chunk N] [--in events.aer] [--out spikes.aer]
+//              [--trace-hash] [--expect-trace-hash HEX]
+//              [--checkpoint-roundtrip-at T] [--verify-solo net.nsc]
+//              [--stats-out FILE] [--shutdown | --sigterm]
+//              [--spawn-serve BIN [--spawn-arg ARG ...]]
+//
+// The session is created over a daemon-preloaded network, inputs from --in
+// are injected up front (absolute ticks, same AER file nsc_run takes), the
+// run advances in --chunk-tick commands (default: one command) draining the
+// spike queue after each, and the streamed spike train is hashed with the
+// same FNV-1a digest as nsc_run --trace-hash — so a served session is
+// golden-gated against the solo witness hashes. --checkpoint-roundtrip-at T
+// checkpoints mid-run, finishes, restores the blob and replays the tail,
+// requiring the two tails to be spike-for-spike identical (exit 1 on drift).
+// --verify-solo runs the same network+inputs on an in-process solo compass
+// simulator and requires exact stream equality. --spawn-serve forks the
+// daemon (args via repeated --spawn-arg), waits for its socket, and shuts it
+// down afterwards, propagating a non-zero daemon exit; --sigterm stops the
+// spawned daemon with the signal instead of the kShutdown command, asserting
+// the signal path also exits 0 (the clean-shutdown contract).
+//
+// Exit codes: 0 success, 1 runtime/protocol failure (daemon refused the
+// session, hash or roundtrip or solo mismatch, daemon died), 2 usage error.
+#include <cerrno>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <sys/wait.h>
+#include <vector>
+
+#include "src/compass/simulator.hpp"
+#include "src/core/aer.hpp"
+#include "src/core/network_io.hpp"
+#include "src/core/spike_sink.hpp"
+#include "src/ipc/endpoint.hpp"
+#include "src/serve/client.hpp"
+
+namespace {
+
+long long parse_ll(const char* name, const char* s) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') {
+    throw std::runtime_error(std::string("invalid integer for ") + name + ": '" + s + "'");
+  }
+  return v;
+}
+
+std::uint64_t parse_hex64(const char* name, const char* s) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 16);
+  if (errno != 0 || end == s || *end != '\0') {
+    throw std::runtime_error(std::string("invalid hex value for ") + name + ": '" + s + "'");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket PATH --create NET --ticks N [--threads N] [--chunk N]\n"
+               "          [--in events.aer] [--out spikes.aer] [--trace-hash]\n"
+               "          [--expect-trace-hash HEX] [--checkpoint-roundtrip-at T]\n"
+               "          [--verify-solo net.nsc] [--stats-out FILE] [--shutdown | --sigterm]\n"
+               "          [--spawn-serve BIN [--spawn-arg ARG ...]]\n",
+               argv0);
+  return 2;
+}
+
+std::uint64_t hash_spikes(const std::vector<nsc::core::Spike>& spikes) {
+  nsc::core::TraceHashSink h;
+  for (const auto& s : spikes) h.on_spike(s.tick, s.core, s.neuron);
+  return h.hash();
+}
+
+/// Advances the session from `from` to `to` in `chunk`-tick commands,
+/// draining the queue after each so the stream arrives in canonical order.
+void run_span(nsc::serve::Client& client, std::uint64_t session, nsc::core::Tick from,
+              nsc::core::Tick to, nsc::core::Tick chunk,
+              std::vector<nsc::core::Spike>& out) {
+  nsc::core::Tick at = from;
+  while (at < to) {
+    const nsc::core::Tick step = chunk > 0 && chunk < to - at ? chunk : to - at;
+    client.tick(session, step, /*record=*/true);
+    client.read_all_spikes(session, out);
+    at += step;
+  }
+}
+
+struct Options {
+  std::string socket;
+  std::string net_name;
+  std::string in_path;
+  std::string out_path;
+  std::string solo_net;
+  std::string stats_out;
+  std::string spawn_serve;
+  std::vector<std::string> spawn_args;
+  nsc::core::Tick ticks = 0;
+  nsc::core::Tick chunk = 0;
+  nsc::core::Tick roundtrip_at = -1;
+  std::uint32_t threads = 0;
+  bool trace_hash = false;
+  bool has_expect = false;
+  std::uint64_t expect_hash = 0;
+  bool do_shutdown = false;
+  bool do_sigterm = false;
+};
+
+int run_session(const Options& opt) {
+  nsc::serve::Client client = nsc::serve::Client::connect(opt.socket);
+  client.hello();
+
+  std::vector<nsc::core::InputSpike> inputs;
+  if (!opt.in_path.empty()) {
+    const nsc::core::InputSchedule sched = nsc::core::load_aer_inputs(opt.in_path);
+    inputs.assign(sched.events().begin(), sched.events().end());
+  }
+
+  const std::uint64_t session = client.create(opt.net_name, opt.threads);
+  if (!inputs.empty()) client.inject(session, inputs);
+
+  std::vector<nsc::core::Spike> stream;
+  if (opt.roundtrip_at > 0 && opt.roundtrip_at < opt.ticks) {
+    run_span(client, session, 0, opt.roundtrip_at, opt.chunk, stream);
+    const std::vector<std::uint8_t> blob = client.checkpoint(session);
+    std::vector<nsc::core::Spike> tail_a;
+    run_span(client, session, opt.roundtrip_at, opt.ticks, opt.chunk, tail_a);
+    client.restore(session, blob);
+    std::vector<nsc::core::Spike> tail_b;
+    run_span(client, session, opt.roundtrip_at, opt.ticks, opt.chunk, tail_b);
+    if (tail_a != tail_b) {
+      std::fprintf(stderr,
+                   "nsc_client: checkpoint roundtrip diverged (%zu vs %zu spikes, "
+                   "hash %016llx vs %016llx)\n",
+                   tail_a.size(), tail_b.size(),
+                   static_cast<unsigned long long>(hash_spikes(tail_a)),
+                   static_cast<unsigned long long>(hash_spikes(tail_b)));
+      return 1;
+    }
+    stream.insert(stream.end(), tail_a.begin(), tail_a.end());
+  } else {
+    run_span(client, session, 0, opt.ticks, opt.chunk, stream);
+  }
+
+  if (!opt.stats_out.empty()) {
+    const std::string json = client.stats_json();
+    std::FILE* f = std::fopen(opt.stats_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "nsc_client: cannot write %s\n", opt.stats_out.c_str());
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+  }
+
+  client.destroy(session);
+  if (opt.do_shutdown) client.shutdown();
+
+  const std::uint64_t hash = hash_spikes(stream);
+  if (opt.trace_hash || opt.has_expect) {
+    std::printf("trace-hash         : %016llx (%zu spikes)\n",
+                static_cast<unsigned long long>(hash), stream.size());
+  }
+  if (!opt.out_path.empty()) nsc::core::save_aer(stream, opt.out_path);
+
+  if (!opt.solo_net.empty()) {
+    const nsc::core::Network net = nsc::core::load_network(opt.solo_net);
+    nsc::compass::Config cfg;
+    cfg.threads = opt.threads == 0 ? 1 : static_cast<int>(opt.threads);
+    nsc::compass::Simulator solo(net, cfg);
+    nsc::core::InputSchedule sched;
+    for (const auto& e : inputs) sched.add(e);
+    sched.finalize();
+    nsc::core::VectorSink sink;
+    solo.run(opt.ticks, inputs.empty() ? nullptr : &sched, &sink);
+    if (sink.spikes() != stream) {
+      std::fprintf(stderr,
+                   "nsc_client: served stream diverges from solo run "
+                   "(%zu vs %zu spikes)\n",
+                   stream.size(), sink.spikes().size());
+      return 1;
+    }
+    std::printf("solo-verify        : identical (%zu spikes)\n", stream.size());
+  }
+
+  if (opt.has_expect && hash != opt.expect_hash) {
+    std::fprintf(stderr, "nsc_client: trace hash mismatch: got %016llx, expected %016llx\n",
+                 static_cast<unsigned long long>(hash),
+                 static_cast<unsigned long long>(opt.expect_hash));
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto need = [&](const char* flag) -> const char* {
+        if (i + 1 >= argc) throw std::invalid_argument(std::string(flag) + " needs a value");
+        return argv[++i];
+      };
+      if (arg == "--socket") {
+        opt.socket = need("--socket");
+      } else if (arg == "--create") {
+        opt.net_name = need("--create");
+      } else if (arg == "--ticks") {
+        opt.ticks = parse_ll("--ticks", need(arg.c_str()));
+        if (opt.ticks < 0) throw std::invalid_argument("--ticks must be >= 0");
+      } else if (arg == "--chunk") {
+        opt.chunk = parse_ll("--chunk", need(arg.c_str()));
+        if (opt.chunk < 0) throw std::invalid_argument("--chunk must be >= 0");
+      } else if (arg == "--threads") {
+        const long long v = parse_ll("--threads", need(arg.c_str()));
+        if (v < 0) throw std::invalid_argument("--threads must be >= 0");
+        opt.threads = static_cast<std::uint32_t>(v);
+      } else if (arg == "--in") {
+        opt.in_path = need("--in");
+      } else if (arg == "--out") {
+        opt.out_path = need("--out");
+      } else if (arg == "--trace-hash") {
+        opt.trace_hash = true;
+      } else if (arg == "--expect-trace-hash") {
+        opt.expect_hash = parse_hex64("--expect-trace-hash", need(arg.c_str()));
+        opt.has_expect = true;
+      } else if (arg == "--checkpoint-roundtrip-at") {
+        opt.roundtrip_at = parse_ll("--checkpoint-roundtrip-at", need(arg.c_str()));
+        if (opt.roundtrip_at < 1) {
+          throw std::invalid_argument("--checkpoint-roundtrip-at must be >= 1");
+        }
+      } else if (arg == "--verify-solo") {
+        opt.solo_net = need("--verify-solo");
+      } else if (arg == "--stats-out") {
+        opt.stats_out = need("--stats-out");
+      } else if (arg == "--shutdown") {
+        opt.do_shutdown = true;
+      } else if (arg == "--sigterm") {
+        opt.do_sigterm = true;
+      } else if (arg == "--spawn-serve") {
+        opt.spawn_serve = need("--spawn-serve");
+      } else if (arg == "--spawn-arg") {
+        opt.spawn_args.emplace_back(need("--spawn-arg"));
+      } else {
+        throw std::invalid_argument("unknown flag '" + arg + "'");
+      }
+    }
+    if (opt.socket.empty()) throw std::invalid_argument("--socket is required");
+    if (opt.net_name.empty()) throw std::invalid_argument("--create is required");
+    if (opt.do_shutdown && opt.do_sigterm) {
+      throw std::invalid_argument("--shutdown and --sigterm are mutually exclusive");
+    }
+    if (opt.do_sigterm && opt.spawn_serve.empty()) {
+      throw std::invalid_argument("--sigterm requires --spawn-serve");
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "nsc_client: %s\n", e.what());
+    return usage(argv[0]);
+  }
+
+  int serve_pid = -1;
+  if (!opt.spawn_serve.empty()) {
+    std::vector<std::string> argv_serve;
+    argv_serve.push_back(opt.spawn_serve);
+    argv_serve.push_back("--socket");
+    argv_serve.push_back(opt.socket);
+    for (const std::string& a : opt.spawn_args) argv_serve.push_back(a);
+    try {
+      serve_pid = nsc::ipc::spawn_process(argv_serve);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "nsc_client: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  int rc;
+  try {
+    rc = run_session(opt);
+  } catch (const nsc::serve::ServeError& e) {
+    std::fprintf(stderr, "nsc_client: daemon refused: %s (%s)\n", e.what(),
+                 std::string(nsc::serve::error_code_name(e.code())).c_str());
+    rc = 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "nsc_client: %s\n", e.what());
+    rc = 1;
+  }
+
+  if (serve_pid > 0) {
+    if (opt.do_sigterm) {
+      nsc::ipc::signal_process(serve_pid, SIGTERM);
+    } else if (!opt.do_shutdown) {
+      // The script did not shut the daemon down itself; do it now so the
+      // test never leaks a process (SIGTERM as the fallback path).
+      try {
+        nsc::serve::Client c = nsc::serve::Client::connect(opt.socket, 1000);
+        c.hello();
+        c.shutdown();
+      } catch (const std::exception&) {
+        nsc::ipc::signal_process(serve_pid, SIGTERM);
+      }
+    }
+    const int status = nsc::ipc::reap_process_deadline(serve_pid, 10000);
+    const bool clean = status >= 0 && WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    if (!clean && rc == 0) {
+      std::fprintf(stderr, "nsc_client: spawned daemon exited uncleanly (status %d)\n",
+                   status);
+      rc = 1;
+    }
+  }
+  return rc;
+}

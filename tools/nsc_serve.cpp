@@ -1,0 +1,137 @@
+// nsc_serve — simulation-as-a-service daemon (docs/SERVE.md).
+//
+//   nsc_serve --socket PATH --net NAME=FILE [--net NAME=FILE ...]
+//             [--max-sessions N] [--max-connections N] [--threads N]
+//             [--max-queued-spikes N] [--max-ticks-per-cmd N]
+//             [--max-conn-mb N] [--no-lint]
+//
+// Loads every named network once at startup (refusing, exit 1, any network
+// whose nsc_lint report contains error-severity findings — the same
+// admission bar deployment uses), binds a Unix-domain socket, and serves the
+// framed session protocol: tenants create resident simulator instances over
+// the preloaded networks, tick them, inject AER events, stream spikes back,
+// checkpoint/restore, and destroy. One poll-driven thread serializes all
+// commands; per-session queues and slow-client eviction keep one tenant from
+// stalling the rest. SIGTERM/SIGINT shut down cleanly: pending replies are
+// flushed, every session is destroyed, and the socket path is unlinked.
+//
+// Exit codes: 0 clean shutdown (signal or kShutdown command), 1 runtime
+// failure (unreadable/invalid network, lint-refused network, bind failure),
+// 2 usage error (missing --socket, no --net, malformed NAME=FILE or numeric
+// flag).
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/ipc/endpoint.hpp"
+#include "src/serve/server.hpp"
+
+namespace {
+
+long long parse_ll(const char* name, const char* s) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') {
+    throw std::runtime_error(std::string("invalid integer for ") + name + ": '" + s + "'");
+  }
+  return v;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket PATH --net NAME=FILE [--net NAME=FILE ...]\n"
+               "          [--max-sessions N] [--max-connections N] [--threads N]\n"
+               "          [--max-queued-spikes N] [--max-ticks-per-cmd N]\n"
+               "          [--max-conn-mb N] [--no-lint]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  nsc::serve::Server::Config cfg;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto need = [&](const char* flag) -> const char* {
+        if (i + 1 >= argc) throw std::invalid_argument(std::string(flag) + " needs a value");
+        return argv[++i];
+      };
+      if (arg == "--socket") {
+        cfg.socket_path = need("--socket");
+      } else if (arg == "--net") {
+        const std::string spec = need("--net");
+        const std::size_t eq = spec.find('=');
+        if (eq == std::string::npos || eq == 0 || eq + 1 >= spec.size()) {
+          throw std::invalid_argument("--net expects NAME=FILE, got '" + spec + "'");
+        }
+        cfg.net_paths.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+      } else if (arg == "--max-sessions") {
+        cfg.max_sessions = static_cast<int>(parse_ll("--max-sessions", need(arg.c_str())));
+        if (cfg.max_sessions < 0) throw std::invalid_argument("--max-sessions must be >= 0");
+      } else if (arg == "--max-connections") {
+        cfg.max_connections =
+            static_cast<int>(parse_ll("--max-connections", need(arg.c_str())));
+        if (cfg.max_connections < 1) {
+          throw std::invalid_argument("--max-connections must be >= 1");
+        }
+      } else if (arg == "--threads") {
+        cfg.default_threads = static_cast<int>(parse_ll("--threads", need(arg.c_str())));
+        if (cfg.default_threads < 1) throw std::invalid_argument("--threads must be >= 1");
+      } else if (arg == "--max-queued-spikes") {
+        const long long v = parse_ll("--max-queued-spikes", need(arg.c_str()));
+        if (v < 1) throw std::invalid_argument("--max-queued-spikes must be >= 1");
+        cfg.limits.max_queued_spikes = static_cast<std::size_t>(v);
+      } else if (arg == "--max-ticks-per-cmd") {
+        const long long v = parse_ll("--max-ticks-per-cmd", need(arg.c_str()));
+        if (v < 1) throw std::invalid_argument("--max-ticks-per-cmd must be >= 1");
+        cfg.limits.max_ticks_per_cmd = v;
+      } else if (arg == "--max-conn-mb") {
+        const long long v = parse_ll("--max-conn-mb", need(arg.c_str()));
+        if (v < 1) throw std::invalid_argument("--max-conn-mb must be >= 1");
+        cfg.max_conn_out_bytes = static_cast<std::size_t>(v) << 20;
+      } else if (arg == "--no-lint") {
+        cfg.lint_admission = false;
+      } else {
+        throw std::invalid_argument("unknown flag '" + arg + "'");
+      }
+    }
+    if (cfg.socket_path.empty()) throw std::invalid_argument("--socket is required");
+    if (cfg.net_paths.empty()) throw std::invalid_argument("at least one --net is required");
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "nsc_serve: %s\n", e.what());
+    return usage(argv[0]);
+  } catch (const std::runtime_error& e) {
+    std::fprintf(stderr, "nsc_serve: %s\n", e.what());
+    return usage(argv[0]);
+  }
+
+  try {
+    nsc::serve::Server server(cfg);
+    server.load_networks();
+    server.bind();
+    nsc::ipc::install_stop_signal(SIGTERM);
+    nsc::ipc::install_stop_signal(SIGINT);
+    std::fprintf(stderr, "nsc_serve: serving %zu network(s) on %s (max %d sessions)\n",
+                 cfg.net_paths.size(), cfg.socket_path.c_str(), cfg.max_sessions);
+    server.run();
+    const auto& m = server.metrics();
+    std::fprintf(stderr,
+                 "nsc_serve: clean shutdown — %llu session(s) served, %llu tick(s), "
+                 "%llu spike(s) streamed\n",
+                 static_cast<unsigned long long>(m.counter_value("serve.sessions_created")),
+                 static_cast<unsigned long long>(m.counter_value("serve.ticks_served")),
+                 static_cast<unsigned long long>(m.counter_value("serve.spikes_streamed")));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "nsc_serve: %s\n", e.what());
+    return 1;
+  }
+}
