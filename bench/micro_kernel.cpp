@@ -9,11 +9,14 @@
 // Knobs: NSC_BENCH_TICKS (default 200), NSC_BENCH_THREADS (default 4),
 // NSC_BENCH_RATE / NSC_BENCH_SYN (operating point of the instrumented run;
 // default 20 Hz / 128 synapses — the paper's sparse headline point),
-// NSC_BENCH_JSON_DIR (report directory, default cwd).
+// NSC_BENCH_POINT (suffix appended to the report name, e.g. "dense" writes
+// BENCH_micro_kernel_dense.json so one CI job can gate several operating
+// points side by side), NSC_BENCH_JSON_DIR (report directory, default cwd).
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "src/compass/simulator.hpp"
 #include "src/core/reference_sim.hpp"
@@ -171,6 +174,9 @@ nsc::obs::BenchReport instrumented_compass_run() {
 
   nsc::obs::BenchReport report;
   report.name = "micro_kernel";
+  if (const char* point = std::getenv("NSC_BENCH_POINT"); point != nullptr && point[0] != '\0') {
+    report.name += std::string("_") + point;
+  }
   report.threads = threads;
   report.ticks = static_cast<std::uint64_t>(ticks);
   report.wall_s = 1e-9 * static_cast<double>(wall_ns);

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cstring>
 #include <stdexcept>
+#include <string>
 #include <thread>
 
 #include "src/core/snapshot.hpp"
@@ -61,6 +61,15 @@ Simulator::Simulator(const core::Network& net, Config cfg)
   ctr_cores_visited_ = &obs_.counter("cores_visited");
   ctr_cores_skipped_ = &obs_.counter("cores_skipped");
   ctr_events_delivered_ = &obs_.counter("events_delivered");
+  ctr_kernel_isa_ =
+      &obs_.counter(std::string("kernel.isa_") + kernels::isa_name(kern_->isa));
+  *ctr_kernel_isa_ = 1;
+  ctr_dispatch_[0] = &obs_.counter("kernel.dispatch_sparse");
+  ctr_dispatch_[1] = &obs_.counter("kernel.dispatch_hybrid");
+  ctr_dispatch_[2] = &obs_.counter("kernel.dispatch_dense");
+  for (int b = 0; b < 8; ++b) {
+    ctr_density_[b] = &obs_.counter("kernel.density_b" + std::to_string(b));
+  }
   const auto ncores = static_cast<CoreId>(net.geom.total_cores());
   owner_.assign(static_cast<std::size_t>(ncores), -1);
   for (std::size_t p = 0; p < parts_.size(); ++p) {
@@ -110,6 +119,11 @@ void Simulator::init_activity() {
   hot_ok_.assign(static_cast<std::size_t>(ncores), 0);
   hot_.assign(static_cast<std::size_t>(ncores) * core::kHotStride, 0);
   wtab_.assign(static_cast<std::size_t>(ncores) * core::kWeightTabPerCore, 0);
+  fire_.assign(static_cast<std::size_t>(ncores) * kCoreSize, core::HotFire{});
+  rowpop_.assign(static_cast<std::size_t>(ncores) * kCoreSize, 0);
+  // Density profiles restart at the hybrid default: perf-only derived state,
+  // so a restored run re-learns its strategies without perturbing output.
+  profile_.assign(static_cast<std::size_t>(ncores), kernels::CoreProfile{});
   part_enabled_.assign(parts_.size(), 0);
   part_live_cores_.assign(parts_.size(), 0);
   for (CoreId c = 0; c < ncores; ++c) {
@@ -132,6 +146,11 @@ void Simulator::init_activity() {
       hot_ok_[c] = 1;
       core::fill_hot_core(spec, &hot_[static_cast<std::size_t>(c) * core::kHotStride],
                           &wtab_[static_cast<std::size_t>(c) * core::kWeightTabPerCore]);
+      core::fill_hot_fire(spec, &fire_[static_cast<std::size_t>(c) * kCoreSize]);
+      for (int i = 0; i < kCoreSize; ++i) {
+        rowpop_[static_cast<std::size_t>(c) * kCoreSize + static_cast<std::size_t>(i)] =
+            static_cast<std::uint16_t>(spec.crossbar.row(i).count());
+      }
     }
     const bool always = core::core_always_active(spec, enabled_[c]);
     always_active_[c] = always ? 1 : 0;
@@ -152,6 +171,7 @@ void Simulator::reset_stats() {
 
 void Simulator::reset_metrics() noexcept {
   obs_.reset();
+  *ctr_kernel_isa_ = 1;  // The dispatched tier marker survives metric resets.
   std::fill(part_compute_ns_.begin(), part_compute_ns_.end(), 0);
 }
 
@@ -217,25 +237,59 @@ void Simulator::phase_compute(int p, Tick t, const core::InputSchedule* inputs, 
       if (hot) {
         // Fast path: every synapse deterministic — a dense weight-table row
         // per axon type replaces the scattered per-synapse NeuronParams load.
+        // The profile-chosen strategy folds to one per-word cutoff (always
+        // SIMD / popcount branch / always ctz); every branch computes the
+        // identical accumulator, so the choice is performance-only.
+        kernels::CoreProfile& prof = profile_[c];
+        const int cut = kernels::strategy_cut(prof.strategy);
+        std::uint32_t vis_words = 0;
+        std::uint32_t vis_bits = 0;
         const std::int16_t* wt = &wtab_[static_cast<std::size_t>(c) * core::kWeightTabPerCore];
-        axons.for_each_set([&](int i) {
-          const std::int16_t* wrow =
-              wt +
-              static_cast<std::size_t>(spec.axon_type[static_cast<std::size_t>(i)]) * kCoreSize;
-          spec.crossbar.row(i).for_each_masked_word(en, [&](int base, std::uint64_t bits) {
-            const int pc = util::popcount64(bits);
-            ls.sops += static_cast<std::uint64_t>(pc);
-            if (pc >= core::kDenseWordCut) {
-              core::hot_accumulate_word(acc + base, wrow + base, bits);
-              return;
-            }
-            do {
-              const int j = base + util::lowest_set(bits);
-              acc[j] += wrow[j];
-              bits = util::clear_lowest(bits);
-            } while (bits != 0);
+        if (prof.strategy == kernels::Strategy::kDense) {
+          // Dense strategy: the whole visit goes to the fused SIMD kernel in
+          // one dispatch — no per-word popcount branch, no per-row indirect
+          // call. Hot cores have every lane enabled, so the raw crossbar row
+          // is the mask and SOPs come from the init-time row popcounts.
+          std::int16_t idx[kCoreSize];
+          int nax = 0;
+          std::uint32_t row_bits = 0;
+          const std::uint16_t* rp = &rowpop_[static_cast<std::size_t>(c) * kCoreSize];
+          axons.for_each_set([&](int i) {
+            idx[nax++] = static_cast<std::int16_t>(i);
+            row_bits += rp[i];
           });
-        });
+          ls.sops += row_bits;
+          vis_words = static_cast<std::uint32_t>(nax) * util::BitRow256::kWords;
+          vis_bits = row_bits;
+          kern_->accumulate_core(acc, wt, &spec.crossbar.row(0), spec.axon_type.data(), rp, idx,
+                                 nax);
+        } else {
+          axons.for_each_set([&](int i) {
+            const std::int16_t* wrow =
+                wt +
+                static_cast<std::size_t>(spec.axon_type[static_cast<std::size_t>(i)]) * kCoreSize;
+            spec.crossbar.row(i).for_each_masked_word(en, [&](int base, std::uint64_t bits) {
+              const int pc = util::popcount64(bits);
+              ls.sops += static_cast<std::uint64_t>(pc);
+              ++vis_words;
+              vis_bits += static_cast<std::uint32_t>(pc);
+              if (pc >= cut) {
+                kern_->accumulate_word(acc + base, wrow + base, bits);
+                return;
+              }
+              do {
+                const int j = base + util::lowest_set(bits);
+                acc[j] += wrow[j];
+                bits = util::clear_lowest(bits);
+              } while (bits != 0);
+            });
+          });
+        }
+        ++ls.dispatch[static_cast<int>(prof.strategy)];
+        if (vis_words != 0) {
+          ++ls.density[std::min<std::uint32_t>(7, (vis_bits / vis_words) >> 3)];
+          kernels::update_profile(prof, vis_words, vis_bits, core::kDenseWordCut);
+        }
       } else {
         axons.for_each_set([&](int i) {
           const int g = spec.axon_type[static_cast<std::size_t>(i)];
@@ -260,7 +314,7 @@ void Simulator::phase_compute(int p, Tick t, const core::InputSchedule* inputs, 
     const bool check_restless = always_active_[c] == 0;
     bool restless = false;
     // Spike emission/delivery tail shared by the fast and generic loops.
-    const auto emit = [&](int j, const NeuronParams& pj, std::size_t nid) {
+    const auto emit = [&](int j, const core::AxonTarget& tgt, std::size_t nid) {
       ++ls.spikes;
       if (record) {
         spike_buf_[static_cast<std::size_t>(p)].push_back({t, c, static_cast<std::uint16_t>(j)});
@@ -270,11 +324,11 @@ void Simulator::phase_compute(int p, Tick t, const core::InputSchedule* inputs, 
         if (target_faulted_[nid] != 0) ++ls.fault_dropped;
         return;
       }
-      const Tick arrive = t + pj.target.delay;
-      if (range.contains(pj.target.core)) {
+      const Tick arrive = t + tgt.delay;
+      if (range.contains(tgt.core)) {
         // Local delivery: straight into the owner's own delay buffer.
-        slot_of(pj.target.core, arrive).set(pj.target.axon);
-        active.mark_event(pj.target.core, static_cast<int>(arrive % kDelaySlots));
+        slot_of(tgt.core, arrive).set(tgt.axon);
+        active.mark_event(tgt.core, static_cast<int>(arrive % kDelaySlots));
         ++ls.events_delivered;
       } else {
         // Remote delivery: enqueue for the owning process. In aggregated
@@ -282,43 +336,43 @@ void Simulator::phase_compute(int p, Tick t, const core::InputSchedule* inputs, 
         // delivery is its own message. Shard mode: cores outside this rank
         // (owner -1) queue for their owning rank instead; dist_tick batches
         // them for the transport.
-        const int dst = owner_[pj.target.core];
+        const int dst = owner_[tgt.core];
         if (dst >= 0) {
           outbox_[static_cast<std::size_t>(p) * static_cast<std::size_t>(P) +
                   static_cast<std::size_t>(dst)]
-              .push_back({pj.target.core, pj.target.axon,
-                          static_cast<std::uint16_t>(arrive % kDelaySlots)});
+              .push_back({tgt.core, tgt.axon, static_cast<std::uint16_t>(arrive % kDelaySlots)});
         } else {
           remote_out_[static_cast<std::size_t>(p) * static_cast<std::size_t>(cfg_.ranks) +
-                      static_cast<std::size_t>(rank_owner_[pj.target.core])]
-              .push_back({pj.target.core, pj.target.axon,
-                          static_cast<std::uint16_t>(arrive % kDelaySlots)});
+                      static_cast<std::size_t>(rank_owner_[tgt.core])]
+              .push_back({tgt.core, tgt.axon, static_cast<std::uint16_t>(arrive % kDelaySlots)});
         }
       }
     };
     if (hot) {
-      // Fast path: a vectorizable int32 sweep folds acc+leak into the whole
-      // core and flags the neurons where a fire or floor event is possible;
-      // only those run the exact slow functions (src/core/neuron_hot.hpp).
+      // Fast path: a vectorizable int32 sweep (dispatched tier, src/kernels/)
+      // folds acc+leak into the whole core and flags the neurons where a fire
+      // or floor event is possible; only those run the exact slow functions.
+      // The sweep hands back the flags as four bit-words walked with ctz.
       std::int32_t* vrow = &v_[static_cast<std::size_t>(c) * kCoreSize];
-      std::uint8_t bad[kCoreSize];
-      core::hot_neuron_sweep(vrow, core_axons != 0 ? acc : nullptr,
-                             &hot_[static_cast<std::size_t>(c) * core::kHotStride], bad);
-      for (int base = 0; base < kCoreSize; base += 8) {
-        std::uint64_t word;
-        std::memcpy(&word, bad + base, sizeof word);
-        if (word == 0) continue;
-        for (int k = 0; k < 8; ++k) {
-          if (bad[base + k] == 0) continue;
-          const int j = base + k;
+      const std::int32_t* hrow = &hot_[static_cast<std::size_t>(c) * core::kHotStride];
+      const core::HotFire* frow = &fire_[static_cast<std::size_t>(c) * kCoreSize];
+      std::uint64_t bad[4];
+      kern_->sweep_badmask(vrow, core_axons != 0 ? acc : nullptr, hrow, bad);
+      for (int w = 0; w < 4; ++w) {
+        std::uint64_t word = bad[w];
+        while (word != 0) {
+          const int j = w * 64 + util::lowest_set(word);
+          word = util::clear_lowest(word);
           std::int32_t vj = vrow[j];
-          const NeuronParams& pj = spec.neuron[static_cast<std::size_t>(j)];
+          const core::HotFire& fj = frow[j];
+          const std::int32_t alpha = hrow[kCoreSize + j];
           const bool fired =
-              core::threshold_fire_reset(vj, pj, prng_, c, static_cast<std::uint32_t>(j), t);
+              core::hot_fire_reset(vj, alpha, fj, prng_, c, static_cast<std::uint32_t>(j), t);
           vrow[j] = vj;
-          if (check_restless && !core::idle_quiescent(pj, vj)) restless = true;
+          if (check_restless && !core::hot_idle_quiescent(vj, hrow[j], alpha, fj)) restless = true;
           if (fired) {
-            emit(j, pj, static_cast<std::size_t>(c) * kCoreSize + static_cast<std::size_t>(j));
+            emit(j, fj.target,
+                 static_cast<std::size_t>(c) * kCoreSize + static_cast<std::size_t>(j));
           }
         }
       }
@@ -335,7 +389,7 @@ void Simulator::phase_compute(int p, Tick t, const core::InputSchedule* inputs, 
             core::leak_threshold_update(vj, pj, prng_, c, static_cast<std::uint32_t>(j), t);
         v_[nid] = vj;
         if (check_restless && !core::idle_quiescent(pj, vj)) restless = true;
-        if (fired) emit(j, pj, nid);
+        if (fired) emit(j, pj.target, nid);
       });
     }
     if (check_restless) active.set_restless(c, restless);
@@ -427,7 +481,7 @@ void Simulator::run(Tick nticks, const core::InputSchedule* inputs, core::SpikeS
   // concatenation is the canonical (core, neuron) order.
   const auto commit_tick = [&](Tick t) {
     for (auto& buf : spike_buf_) {
-      for (const core::Spike& s : buf) sink->on_spike(s.tick, s.core, s.neuron);
+      sink->on_spike_batch(buf.data(), buf.size());
       buf.clear();
     }
     sink->on_tick_end(t);
@@ -513,6 +567,8 @@ void Simulator::fold_local_stats() {
     *ctr_cores_visited_ += ls.cores_visited;
     *ctr_cores_skipped_ += ls.cores_skipped;
     *ctr_events_delivered_ += ls.events_delivered;
+    for (int s = 0; s < 3; ++s) *ctr_dispatch_[s] += ls.dispatch[s];
+    for (int b = 0; b < 8; ++b) *ctr_density_[b] += ls.density[b];
     part_compute_ns_[p] += ls.compute_ns;
     ls = LocalStats{};
   }

@@ -31,6 +31,7 @@
 #include "src/core/input_schedule.hpp"
 #include "src/core/neuron_hot.hpp"
 #include "src/core/network.hpp"
+#include "src/kernels/kernels.hpp"
 #include "src/noc/route.hpp"
 #include "src/obs/obs.hpp"
 #include "src/util/barrier.hpp"
@@ -245,6 +246,11 @@ class Simulator final : public core::Simulator {
     std::uint64_t compute_ns = 0;  ///< Wall time this partition spent in phase_compute.
     std::uint64_t cores_visited = 0, cores_skipped = 0;  ///< Worklist visit/skip split.
     std::uint64_t events_delivered = 0;  ///< Spike deliveries into delay slots.
+    /// Hot-core synapse-phase visits by accumulate strategy (kernel.dispatch_*)
+    /// and by mean-crossbar-word-density bucket (kernel.density_b*, buckets of
+    /// 8 bits/word) — the per-core density view the dispatcher steers by.
+    std::uint64_t dispatch[3] = {0, 0, 0};
+    std::uint64_t density[8] = {0, 0, 0, 0, 0, 0, 0, 0};
   };
   std::vector<LocalStats> local_;
   std::uint64_t messages_ = 0;
@@ -263,6 +269,9 @@ class Simulator final : public core::Simulator {
   std::uint64_t* ctr_cores_visited_ = nullptr;
   std::uint64_t* ctr_cores_skipped_ = nullptr;
   std::uint64_t* ctr_events_delivered_ = nullptr;
+  std::uint64_t* ctr_kernel_isa_ = nullptr;       ///< kernel.isa_<tier> = 1.
+  std::uint64_t* ctr_dispatch_[3] = {};           ///< kernel.dispatch_{sparse,hybrid,dense}.
+  std::uint64_t* ctr_density_[8] = {};            ///< kernel.density_b0..b7.
   std::vector<std::uint64_t> part_compute_ns_;
 
   /// Event-driven worklist state (derived; rebuilt by init_activity). One
@@ -280,6 +289,16 @@ class Simulator final : public core::Simulator {
   std::vector<std::uint8_t> hot_ok_;  ///< Core qualifies for the fast loops.
   std::vector<std::int32_t> hot_;     ///< SoA leak|alpha|floor rows (kHotStride/core).
   std::vector<std::int16_t> wtab_;    ///< Dense per-(core, type) weight rows.
+  std::vector<core::HotFire> fire_;   ///< Packed fire-path constants (kCoreSize/core).
+  std::vector<std::uint16_t> rowpop_;///< Crossbar row popcounts (kCoreSize/core).
+
+  /// Runtime-dispatched SIMD kernels (src/kernels/): tier resolved once at
+  /// construction (NSC_FORCE_ISA honored), then called through `kern_` on
+  /// every hot-core visit. Per-core density profiles drive the accumulate
+  /// strategy; derived perf-only state, reset by init_activity (cores touch
+  /// only their owner partition's entries, so no cross-thread sharing).
+  const kernels::Kernels* kern_ = &kernels::select_kernels();
+  std::vector<kernels::CoreProfile> profile_;
 };
 
 }  // namespace nsc::compass

@@ -95,6 +95,16 @@ class SpikeSink {
  public:
   virtual ~SpikeSink() = default;
   virtual void on_spike(Tick tick, CoreId core, std::uint16_t neuron) = 0;
+  /// Batched delivery of `n` already-canonically-ordered spikes — one
+  /// virtual dispatch per commit instead of one per spike (the commit phase
+  /// is on the dense-end critical path, docs/PERFORMANCE.md §kernels). The
+  /// default forwards to on_spike one record at a time, so the stream a sink
+  /// observes is identical either way; bulk sinks override it.
+  virtual void on_spike_batch(const Spike* spikes, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      on_spike(spikes[i].tick, spikes[i].core, spikes[i].neuron);
+    }
+  }
   /// Called once per simulated tick after all of that tick's spikes.
   virtual void on_tick_end(Tick /*tick*/) {}
 };

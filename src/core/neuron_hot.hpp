@@ -115,6 +115,74 @@ inline void fill_hot_core(const CoreSpec& spec, std::int32_t* hot, std::int16_t*
   }
 }
 
+/// Fire-path constants for one hot-core neuron, packed so the slow-path
+/// lanes flagged by the sweep (possible fire or floor event) touch 24
+/// sequential bytes instead of the full ~48-byte NeuronParams block — the
+/// per-spike NeuronParams load is the dominant cache miss at the dense end
+/// of the Fig. 5 sweep (docs/PERFORMANCE.md §kernels). Alpha and leak stay
+/// in the int32 SoA rows the sweep already streams.
+struct HotFire {
+  std::int32_t reset_v;         ///< R_j.
+  std::uint32_t threshold_mask; ///< Mα; bit 31 clear (eligibility).
+  std::int32_t floor;           ///< -β_j, the exact int32 the generic path computes.
+  ResetMode reset_mode;
+  NegativeMode negative_mode;
+  AxonTarget target;            ///< Copied verbatim for the emit path.
+};
+
+/// Fills one eligible core's fire-path constant row (kCoreSize entries).
+inline void fill_hot_fire(const CoreSpec& spec, HotFire* fire) {
+  for (int j = 0; j < kCoreSize; ++j) {
+    const NeuronParams& p = spec.neuron[static_cast<std::size_t>(j)];
+    fire[j] = HotFire{p.reset_v, p.threshold_mask, -p.neg_threshold,
+                      p.reset_mode, p.negative_mode, p.target};
+  }
+}
+
+/// core::threshold_fire_reset transcribed onto HotFire. Exact under the
+/// eligibility contract: mask bit 31 is clear, so the generic path's
+/// signed-mask disjunct is statically false and the draw happens under the
+/// identical `mask != 0 && v >= alpha` condition (same counter-keyed draw,
+/// so the streams match lane for lane).
+[[nodiscard]] inline bool hot_fire_reset(std::int32_t& v, std::int32_t alpha, const HotFire& f,
+                                         const util::CounterPrng& prng, std::uint32_t core,
+                                         std::uint32_t neuron, Tick tick) noexcept {
+  if (f.threshold_mask != 0 && v >= alpha) {
+    const std::uint32_t draw = static_cast<std::uint32_t>(
+        prng.draw(core, neuron, static_cast<std::uint64_t>(tick), kSaltThreshold));
+    alpha += static_cast<std::int32_t>(draw & f.threshold_mask);
+  }
+  if (v >= alpha) {
+    switch (f.reset_mode) {
+      case ResetMode::kAbsolute: v = f.reset_v; break;
+      case ResetMode::kLinear: v = clamp_potential(static_cast<std::int64_t>(v) - alpha); break;
+      case ResetMode::kNone: break;
+    }
+    return true;
+  }
+  if (f.negative_mode == NegativeMode::kSaturate) {
+    if (v < f.floor) v = f.floor;
+  } else {
+    if (v <= f.floor) v = -f.reset_v;
+  }
+  return false;
+}
+
+/// core::idle_quiescent transcribed onto HotFire, same eligibility argument
+/// (leak_reversal == 0 makes the leak test a plain `leak != 0`; mask bit 31
+/// clear removes the signed-jitter test).
+[[nodiscard]] inline bool hot_idle_quiescent(std::int32_t v, std::int32_t leak,
+                                             std::int32_t alpha, const HotFire& f) noexcept {
+  if (leak != 0) return false;
+  if (v >= alpha) return false;
+  if (f.negative_mode == NegativeMode::kSaturate) {
+    if (v < f.floor) return false;
+  } else {
+    if (v <= f.floor && v != -f.reset_v) return false;
+  }
+  return true;
+}
+
 namespace detail {
 /// Byte → eight int16 lanes of 0 / -1 (bit i of the byte selects lane i).
 /// 4 KiB, L1-resident on the hot path; used to expand a crossbar word into a

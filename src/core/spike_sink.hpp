@@ -22,6 +22,10 @@ class VectorSink final : public SpikeSink {
     spikes_.push_back({tick, core, neuron});
   }
 
+  void on_spike_batch(const Spike* spikes, std::size_t n) override {
+    spikes_.insert(spikes_.end(), spikes, spikes + n);
+  }
+
   [[nodiscard]] const std::vector<Spike>& spikes() const noexcept { return spikes_; }
   void clear() { spikes_.clear(); }
 

@@ -1,0 +1,540 @@
+// All four dispatch tiers live in this one translation unit — the single
+// SIMD-intrinsics home the INV007 invariant linter allows — so every
+// vector-width assumption sits next to the scalar expression it must match.
+#include "src/kernels/kernels.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "src/core/neuron_hot.hpp"
+#include "src/core/types.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#define NSC_KERNELS_X86 1
+#else
+#define NSC_KERNELS_X86 0
+#endif
+
+namespace nsc::kernels {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// scalar: the reference expression, one lane at a time. Every other tier is
+// this arithmetic at a wider lane count; tests/test_kernels.cpp additionally
+// checks it against an int64 oracle so "the reference is itself exact" is
+// not circular.
+// ---------------------------------------------------------------------------
+
+std::int32_t clamp_potential(std::int32_t x) {
+  x = x > core::kPotentialMax ? core::kPotentialMax : x;
+  x = x < core::kPotentialMin ? core::kPotentialMin : x;
+  return x;
+}
+
+void sweep_badmask_scalar(std::int32_t* vrow, const std::int32_t* acc, const std::int32_t* hot,
+                          std::uint64_t bad[4]) {
+  const std::int32_t* leak = hot;
+  const std::int32_t* alpha = hot + core::kCoreSize;
+  const std::int32_t* floor_le = hot + 2 * core::kCoreSize;
+  for (int w = 0; w < 4; ++w) {
+    std::uint64_t m = 0;
+    for (int k = 0; k < 64; ++k) {
+      const int j = w * 64 + k;
+      std::int32_t x = vrow[j];
+      if (acc != nullptr) {
+        x = clamp_potential(x + acc[j]);
+      }
+      x = clamp_potential(x + leak[j]);
+      vrow[j] = x;
+      const bool is_bad = x >= alpha[j] || x <= floor_le[j];
+      m |= static_cast<std::uint64_t>(is_bad) << static_cast<unsigned>(k);
+    }
+    bad[w] = m;
+  }
+}
+
+void accumulate_word_scalar(std::int32_t* acc, const std::int16_t* wrow, std::uint64_t bits) {
+  for (int k = 0; k < 64; ++k) {
+    if (((bits >> static_cast<unsigned>(k)) & 1U) != 0) {
+      acc[k] += wrow[k];
+    }
+  }
+}
+
+void accumulate_row_scalar(std::int32_t* acc, const std::int16_t* wrow,
+                           const std::uint64_t bits[4]) {
+  for (int w = 0; w < 4; ++w) {
+    accumulate_word_scalar(acc + w * 64, wrow + w * 64, bits[w]);
+  }
+}
+
+// Splits a core visit's axon list into fully-populated crossbar rows —
+// batched as a per-axon-type count — and the remaining partial rows. A full
+// row delivers wrow[j] to every lane, so cnt[g] * wt[g][j] reproduces the
+// combined contribution of all full rows of type g exactly (a sum of
+// identical int32 addends; the hot-core envelope keeps cnt * w far inside
+// int32). Every tier consumes this split the same way, so per-lane sums stay
+// tier-identical.
+struct CoreSplit {
+  std::int32_t cnt[core::kAxonTypes];
+  std::int16_t rest[core::kCoreSize];
+  int nrest;
+  bool any_full;
+};
+
+inline CoreSplit split_full_rows(const std::uint8_t* types, const std::uint16_t* rowpop,
+                                 const std::int16_t* axons, int n) {
+  CoreSplit s;
+  for (int g = 0; g < core::kAxonTypes; ++g) s.cnt[g] = 0;
+  s.nrest = 0;
+  for (int k = 0; k < n; ++k) {
+    const int i = axons[k];
+    if (rowpop[i] == core::kCoreSize) {
+      ++s.cnt[types[i]];
+    } else {
+      s.rest[s.nrest++] = static_cast<std::int16_t>(i);
+    }
+  }
+  s.any_full = (s.cnt[0] | s.cnt[1] | s.cnt[2] | s.cnt[3]) != 0;
+  return s;
+}
+
+void accumulate_core_scalar(std::int32_t* acc, const std::int16_t* wt,
+                            const util::BitRow256* xbar, const std::uint8_t* types,
+                            const std::uint16_t* rowpop, const std::int16_t* axons, int n) {
+  const CoreSplit s = split_full_rows(types, rowpop, axons, n);
+  for (int g = 0; g < core::kAxonTypes; ++g) {
+    if (s.cnt[g] == 0) continue;
+    const std::int16_t* wrow = wt + static_cast<std::size_t>(g) * core::kCoreSize;
+    for (int j = 0; j < core::kCoreSize; ++j) acc[j] += s.cnt[g] * wrow[j];
+  }
+  for (int k = 0; k < s.nrest; ++k) {
+    const int i = s.rest[k];
+    if (k + 2 < s.nrest) __builtin_prefetch(&xbar[s.rest[k + 2]]);
+    const std::int16_t* wrow = wt + static_cast<std::size_t>(types[i]) * core::kCoreSize;
+    for (int w = 0; w < 4; ++w) {
+      const std::uint64_t bits = xbar[i].word(w);
+      if (bits != 0) accumulate_word_scalar(acc + w * 64, wrow + w * 64, bits);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// swar: the branch-free byte-array/LUT forms from src/core/neuron_hot.hpp —
+// plain C++ the auto-vectorizer turns into generic x86-64 (SSE2) code. The
+// sweep writes bad bytes (each 0 or 1) which we pack into the bit-mask
+// interface.
+// ---------------------------------------------------------------------------
+
+void sweep_badmask_swar(std::int32_t* vrow, const std::int32_t* acc, const std::int32_t* hot,
+                        std::uint64_t bad[4]) {
+  std::uint8_t bytes[core::kCoreSize];
+  core::hot_neuron_sweep(vrow, acc, hot, bytes);
+  for (int w = 0; w < 4; ++w) {
+    std::uint64_t m = 0;
+    for (int k = 0; k < 64; ++k) {
+      m |= static_cast<std::uint64_t>(bytes[w * 64 + k]) << static_cast<unsigned>(k);
+    }
+    bad[w] = m;
+  }
+}
+
+void accumulate_row_swar(std::int32_t* acc, const std::int16_t* wrow,
+                         const std::uint64_t bits[4]) {
+  for (int w = 0; w < 4; ++w) {
+    core::hot_accumulate_word(acc + w * 64, wrow + w * 64, bits[w]);
+  }
+}
+
+void accumulate_core_swar(std::int32_t* acc, const std::int16_t* wt,
+                          const util::BitRow256* xbar, const std::uint8_t* types,
+                          const std::uint16_t* rowpop, const std::int16_t* axons, int n) {
+  const CoreSplit s = split_full_rows(types, rowpop, axons, n);
+  for (int g = 0; g < core::kAxonTypes; ++g) {
+    if (s.cnt[g] == 0) continue;
+    const std::int16_t* wrow = wt + static_cast<std::size_t>(g) * core::kCoreSize;
+    const std::int32_t c = s.cnt[g];
+    for (int j = 0; j < core::kCoreSize; ++j) acc[j] += c * wrow[j];
+  }
+  for (int k = 0; k < s.nrest; ++k) {
+    const int i = s.rest[k];
+    if (k + 2 < s.nrest) __builtin_prefetch(&xbar[s.rest[k + 2]]);
+    const std::int16_t* wrow = wt + static_cast<std::size_t>(types[i]) * core::kCoreSize;
+    for (int w = 0; w < 4; ++w) {
+      const std::uint64_t bits = xbar[i].word(w);
+      if (bits != 0) core::hot_accumulate_word(acc + w * 64, wrow + w * 64, bits);
+    }
+  }
+}
+
+#if NSC_KERNELS_X86
+
+// ---------------------------------------------------------------------------
+// sse: explicit SSE4.1, 4 int32 lanes. Same int32 arithmetic as scalar lane
+// for lane: add, clamp via 32-bit signed min/max (pminsd/pmaxsd are the
+// SSE4.1 requirement), compare — no reassociation, no widening differences.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("sse4.1"))) inline __m128i clamp_epi32_sse(__m128i x, __m128i lo,
+                                                                 __m128i hi) {
+  return _mm_max_epi32(_mm_min_epi32(x, hi), lo);
+}
+
+__attribute__((target("sse4.1"))) void sweep_badmask_sse(std::int32_t* vrow,
+                                                         const std::int32_t* acc,
+                                                         const std::int32_t* hot,
+                                                         std::uint64_t bad[4]) {
+  const std::int32_t* leak = hot;
+  const std::int32_t* alpha = hot + core::kCoreSize;
+  const std::int32_t* floor_le = hot + 2 * core::kCoreSize;
+  const __m128i lo = _mm_set1_epi32(core::kPotentialMin);
+  const __m128i hi = _mm_set1_epi32(core::kPotentialMax);
+  for (int w = 0; w < 4; ++w) {
+    std::uint64_t m = 0;
+    for (int k = 0; k < 64; k += 4) {
+      const int j = w * 64 + k;
+      __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(vrow + j));
+      if (acc != nullptr) {
+        x = _mm_add_epi32(x, _mm_loadu_si128(reinterpret_cast<const __m128i*>(acc + j)));
+        x = clamp_epi32_sse(x, lo, hi);
+      }
+      x = _mm_add_epi32(x, _mm_loadu_si128(reinterpret_cast<const __m128i*>(leak + j)));
+      x = clamp_epi32_sse(x, lo, hi);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(vrow + j), x);
+      // bad = (x >= alpha) | (x <= floor_le) == !((x < alpha) & (x > floor_le)).
+      const __m128i below_alpha =
+          _mm_cmpgt_epi32(_mm_loadu_si128(reinterpret_cast<const __m128i*>(alpha + j)), x);
+      const __m128i above_floor =
+          _mm_cmpgt_epi32(x, _mm_loadu_si128(reinterpret_cast<const __m128i*>(floor_le + j)));
+      const auto good = static_cast<std::uint32_t>(
+          _mm_movemask_ps(_mm_castsi128_ps(_mm_and_si128(below_alpha, above_floor))));
+      m |= static_cast<std::uint64_t>(~good & 0xFU) << static_cast<unsigned>(k);
+    }
+    bad[w] = m;
+  }
+}
+
+__attribute__((target("sse4.1"))) void accumulate_word_sse(std::int32_t* acc,
+                                                           const std::int16_t* wrow,
+                                                           std::uint64_t bits) {
+  for (int k = 0; k < 64; k += 8) {
+    // One byte of `bits` expands to 8 int16 select masks via the same 4 KiB
+    // LUT the swar kernel uses (one 16-byte row per byte value).
+    const auto b = static_cast<unsigned>((bits >> static_cast<unsigned>(k)) & 0xFFU);
+    const __m128i mask16 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(core::detail::kBitSpread.m[b]));
+    const __m128i w16 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(wrow + k));
+    const __m128i sel = _mm_and_si128(w16, mask16);
+    const __m128i lo32 = _mm_cvtepi16_epi32(sel);
+    const __m128i hi32 = _mm_cvtepi16_epi32(_mm_srli_si128(sel, 8));
+    __m128i* accv = reinterpret_cast<__m128i*>(acc + k);
+    _mm_storeu_si128(accv, _mm_add_epi32(_mm_loadu_si128(accv), lo32));
+    __m128i* accv2 = reinterpret_cast<__m128i*>(acc + k + 4);
+    _mm_storeu_si128(accv2, _mm_add_epi32(_mm_loadu_si128(accv2), hi32));
+  }
+}
+
+__attribute__((target("sse4.1"))) void accumulate_row_sse(std::int32_t* acc,
+                                                          const std::int16_t* wrow,
+                                                          const std::uint64_t bits[4]) {
+  for (int w = 0; w < 4; ++w) {
+    accumulate_word_sse(acc + w * 64, wrow + w * 64, bits[w]);
+  }
+}
+
+__attribute__((target("sse4.1"))) void accumulate_core_sse(std::int32_t* acc,
+                                                           const std::int16_t* wt,
+                                                           const util::BitRow256* xbar,
+                                                           const std::uint8_t* types,
+                                                           const std::uint16_t* rowpop,
+                                                           const std::int16_t* axons, int n) {
+  const CoreSplit s = split_full_rows(types, rowpop, axons, n);
+  for (int g = 0; g < core::kAxonTypes; ++g) {
+    if (s.cnt[g] == 0) continue;
+    const std::int16_t* wrow = wt + static_cast<std::size_t>(g) * core::kCoreSize;
+    const __m128i c = _mm_set1_epi32(s.cnt[g]);
+    for (int j = 0; j < core::kCoreSize; j += 8) {
+      const __m128i w16 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(wrow + j));
+      const __m128i lo32 = _mm_mullo_epi32(_mm_cvtepi16_epi32(w16), c);
+      const __m128i hi32 = _mm_mullo_epi32(_mm_cvtepi16_epi32(_mm_srli_si128(w16, 8)), c);
+      __m128i* accv = reinterpret_cast<__m128i*>(acc + j);
+      _mm_storeu_si128(accv, _mm_add_epi32(_mm_loadu_si128(accv), lo32));
+      __m128i* accv2 = reinterpret_cast<__m128i*>(acc + j + 4);
+      _mm_storeu_si128(accv2, _mm_add_epi32(_mm_loadu_si128(accv2), hi32));
+    }
+  }
+  for (int k = 0; k < s.nrest; ++k) {
+    const int i = s.rest[k];
+    if (k + 2 < s.nrest) __builtin_prefetch(&xbar[s.rest[k + 2]]);
+    const std::int16_t* wrow = wt + static_cast<std::size_t>(types[i]) * core::kCoreSize;
+    for (int w = 0; w < 4; ++w) {
+      const std::uint64_t bits = xbar[i].word(w);
+      if (bits != 0) accumulate_word_sse(acc + w * 64, wrow + w * 64, bits);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// avx2: 8 int32 lanes, migrated verbatim from src/replica/kernels.cpp (PR 6).
+// Same int32 arithmetic lane for lane, same LUT mask expansion.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx2"))) inline __m256i clamp_epi32_avx2(__m256i x, __m256i lo,
+                                                                __m256i hi) {
+  return _mm256_max_epi32(_mm256_min_epi32(x, hi), lo);
+}
+
+__attribute__((target("avx2"))) void sweep_badmask_avx2(std::int32_t* vrow,
+                                                        const std::int32_t* acc,
+                                                        const std::int32_t* hot,
+                                                        std::uint64_t bad[4]) {
+  const std::int32_t* leak = hot;
+  const std::int32_t* alpha = hot + core::kCoreSize;
+  const std::int32_t* floor_le = hot + 2 * core::kCoreSize;
+  const __m256i lo = _mm256_set1_epi32(core::kPotentialMin);
+  const __m256i hi = _mm256_set1_epi32(core::kPotentialMax);
+  for (int w = 0; w < 4; ++w) {
+    std::uint64_t m = 0;
+    for (int k = 0; k < 64; k += 8) {
+      const int j = w * 64 + k;
+      __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(vrow + j));
+      if (acc != nullptr) {
+        x = _mm256_add_epi32(x, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + j)));
+        x = clamp_epi32_avx2(x, lo, hi);
+      }
+      x = _mm256_add_epi32(x, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(leak + j)));
+      x = clamp_epi32_avx2(x, lo, hi);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(vrow + j), x);
+      // bad = (x >= alpha) | (x <= floor_le) == !((x < alpha) & (x > floor_le)).
+      const __m256i below_alpha =
+          _mm256_cmpgt_epi32(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(alpha + j)), x);
+      const __m256i above_floor =
+          _mm256_cmpgt_epi32(x, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(floor_le + j)));
+      const auto good = static_cast<std::uint32_t>(
+          _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_and_si256(below_alpha, above_floor))));
+      m |= static_cast<std::uint64_t>(~good & 0xFFU) << static_cast<unsigned>(k);
+    }
+    bad[w] = m;
+  }
+}
+
+__attribute__((target("avx2"))) void accumulate_word_avx2(std::int32_t* acc,
+                                                          const std::int16_t* wrow,
+                                                          std::uint64_t bits) {
+  for (int k = 0; k < 64; k += 16) {
+    // Two bytes of `bits` expand to 16 int16 select masks via the same 4 KiB
+    // LUT the swar kernel uses (one 16-byte row per byte value).
+    const auto b0 = static_cast<unsigned>((bits >> static_cast<unsigned>(k)) & 0xFFU);
+    const auto b1 = static_cast<unsigned>((bits >> static_cast<unsigned>(k + 8)) & 0xFFU);
+    const __m128i m0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(core::detail::kBitSpread.m[b0]));
+    const __m128i m1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(core::detail::kBitSpread.m[b1]));
+    const __m256i mask16 = _mm256_set_m128i(m1, m0);
+    const __m256i w16 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(wrow + k));
+    const __m256i sel = _mm256_and_si256(w16, mask16);
+    const __m256i lo32 = _mm256_cvtepi16_epi32(_mm256_castsi256_si128(sel));
+    const __m256i hi32 = _mm256_cvtepi16_epi32(_mm256_extracti128_si256(sel, 1));
+    __m256i* accv = reinterpret_cast<__m256i*>(acc + k);
+    _mm256_storeu_si256(accv, _mm256_add_epi32(_mm256_loadu_si256(accv), lo32));
+    __m256i* accv2 = reinterpret_cast<__m256i*>(acc + k + 8);
+    _mm256_storeu_si256(accv2, _mm256_add_epi32(_mm256_loadu_si256(accv2), hi32));
+  }
+}
+
+__attribute__((target("avx2"))) void accumulate_row_avx2(std::int32_t* acc,
+                                                         const std::int16_t* wrow,
+                                                         const std::uint64_t bits[4]) {
+  for (int w = 0; w < 4; ++w) {
+    accumulate_word_avx2(acc + w * 64, wrow + w * 64, bits[w]);
+  }
+}
+
+__attribute__((target("avx2"))) void accumulate_core_avx2(std::int32_t* acc,
+                                                          const std::int16_t* wt,
+                                                          const util::BitRow256* xbar,
+                                                          const std::uint8_t* types,
+                                                          const std::uint16_t* rowpop,
+                                                          const std::int16_t* axons, int n) {
+  const CoreSplit s = split_full_rows(types, rowpop, axons, n);
+  if (s.any_full) {
+    for (int g = 0; g < core::kAxonTypes; ++g) {
+      if (s.cnt[g] == 0) continue;
+      const std::int16_t* wrow = wt + static_cast<std::size_t>(g) * core::kCoreSize;
+      const __m256i c = _mm256_set1_epi32(s.cnt[g]);
+      for (int j = 0; j < core::kCoreSize; j += 16) {
+        const __m256i w16 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(wrow + j));
+        const __m256i lo32 =
+            _mm256_mullo_epi32(_mm256_cvtepi16_epi32(_mm256_castsi256_si128(w16)), c);
+        const __m256i hi32 =
+            _mm256_mullo_epi32(_mm256_cvtepi16_epi32(_mm256_extracti128_si256(w16, 1)), c);
+        __m256i* accv = reinterpret_cast<__m256i*>(acc + j);
+        _mm256_storeu_si256(accv, _mm256_add_epi32(_mm256_loadu_si256(accv), lo32));
+        __m256i* accv2 = reinterpret_cast<__m256i*>(acc + j + 8);
+        _mm256_storeu_si256(accv2, _mm256_add_epi32(_mm256_loadu_si256(accv2), hi32));
+      }
+    }
+  }
+  if (s.nrest == 0) return;
+  // Word-outer schedule for the partial rows: one 64-lane accumulator block
+  // stays in eight ymm registers across the whole axon list instead of
+  // round-tripping through `acc` once per row. Each lane still receives the
+  // same addends as the row-inner tiers (int32 addition is commutative), so
+  // the sums are identical.
+  for (int w = 0; w < 4; ++w) {
+    std::int32_t* accw = acc + w * 64;
+    __m256i a[8];
+    for (int v = 0; v < 8; ++v) {
+      a[v] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(accw + 8 * v));
+    }
+    for (int k = 0; k < s.nrest; ++k) {
+      const int i = s.rest[k];
+      if (w == 0 && k + 2 < s.nrest) __builtin_prefetch(&xbar[s.rest[k + 2]]);
+      const std::uint64_t bits = xbar[i].word(w);
+      if (bits == 0) continue;
+      const std::int16_t* wrow =
+          wt + static_cast<std::size_t>(types[i]) * core::kCoreSize + w * 64;
+      for (int k16 = 0; k16 < 64; k16 += 16) {
+        const auto b0 = static_cast<unsigned>((bits >> static_cast<unsigned>(k16)) & 0xFFU);
+        const auto b1 = static_cast<unsigned>((bits >> static_cast<unsigned>(k16 + 8)) & 0xFFU);
+        const __m128i m0 =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(core::detail::kBitSpread.m[b0]));
+        const __m128i m1 =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(core::detail::kBitSpread.m[b1]));
+        const __m256i mask16 = _mm256_set_m128i(m1, m0);
+        const __m256i w16 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(wrow + k16));
+        const __m256i sel = _mm256_and_si256(w16, mask16);
+        a[k16 / 8] =
+            _mm256_add_epi32(a[k16 / 8], _mm256_cvtepi16_epi32(_mm256_castsi256_si128(sel)));
+        a[k16 / 8 + 1] = _mm256_add_epi32(
+            a[k16 / 8 + 1], _mm256_cvtepi16_epi32(_mm256_extracti128_si256(sel, 1)));
+      }
+    }
+    for (int v = 0; v < 8; ++v) {
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(accw + 8 * v), a[v]);
+    }
+  }
+}
+
+#endif  // NSC_KERNELS_X86
+
+// ---------------------------------------------------------------------------
+// Dispatch.
+// ---------------------------------------------------------------------------
+
+constexpr Kernels kScalarKernels{&sweep_badmask_scalar, &accumulate_word_scalar,
+                                 &accumulate_row_scalar, &accumulate_core_scalar, Isa::kScalar};
+constexpr Kernels kSwarKernels{&sweep_badmask_swar, &core::hot_accumulate_word,
+                               &accumulate_row_swar, &accumulate_core_swar, Isa::kSwar};
+#if NSC_KERNELS_X86
+constexpr Kernels kSseKernels{&sweep_badmask_sse, &accumulate_word_sse, &accumulate_row_sse,
+                              &accumulate_core_sse, Isa::kSse};
+constexpr Kernels kAvx2Kernels{&sweep_badmask_avx2, &accumulate_word_avx2, &accumulate_row_avx2,
+                               &accumulate_core_avx2, Isa::kAvx2};
+#endif
+
+Isa probe_best_isa() {
+#if NSC_KERNELS_X86
+  // __builtin_cpu_init() runs via constructor before main on GCC/Clang; the
+  // supports checks are plain bit tests after that.
+  if (__builtin_cpu_supports("avx2")) return Isa::kAvx2;
+  if (__builtin_cpu_supports("sse4.1")) return Isa::kSse;
+#endif
+  return Isa::kSwar;
+}
+
+}  // namespace
+
+const char* isa_name(Isa isa) noexcept {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kSwar:
+      return "swar";
+    case Isa::kSse:
+      return "sse";
+    case Isa::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+std::optional<Isa> parse_isa(std::string_view name) noexcept {
+  if (name == "scalar") return Isa::kScalar;
+  if (name == "swar") return Isa::kSwar;
+  if (name == "sse") return Isa::kSse;
+  if (name == "avx2") return Isa::kAvx2;
+  return std::nullopt;
+}
+
+Isa best_supported_isa() noexcept {
+  static const Isa kBest = probe_best_isa();
+  return kBest;
+}
+
+const Kernels& kernels_for(Isa isa) noexcept {
+  if (static_cast<int>(isa) > static_cast<int>(best_supported_isa())) {
+    isa = best_supported_isa();
+  }
+  switch (isa) {
+    case Isa::kScalar:
+      return kScalarKernels;
+    case Isa::kSwar:
+      return kSwarKernels;
+#if NSC_KERNELS_X86
+    case Isa::kSse:
+      return kSseKernels;
+    case Isa::kAvx2:
+      return kAvx2Kernels;
+#else
+    case Isa::kSse:
+    case Isa::kAvx2:
+      return kSwarKernels;  // Demotion above makes this unreachable.
+#endif
+  }
+  return kSwarKernels;
+}
+
+const Kernels& select_kernels() noexcept {
+  if (const char* force = std::getenv("NSC_FORCE_ISA"); force != nullptr && force[0] != '\0') {
+    if (const auto forced = parse_isa(force); forced.has_value()) {
+      return kernels_for(*forced);
+    }
+  }
+  return kernels_for(best_supported_isa());
+}
+
+int strategy_cut(Strategy s) noexcept {
+  switch (s) {
+    case Strategy::kSparse:
+      return 65;
+    case Strategy::kHybrid:
+      return core::kDenseWordCut;
+    case Strategy::kDense:
+      return 0;
+  }
+  return core::kDenseWordCut;
+}
+
+void update_profile(CoreProfile& p, std::uint32_t words, std::uint32_t bits,
+                    int dense_mean_cut) noexcept {
+  p.words += words;
+  p.bits += bits;
+  if (p.words < kProfileWindow) return;
+  const std::uint32_t mean = p.bits / p.words;
+  if (mean <= kSparseMeanCut) {
+    p.strategy = Strategy::kSparse;
+  } else if (mean >= static_cast<std::uint32_t>(dense_mean_cut)) {
+    p.strategy = Strategy::kDense;
+  } else {
+    p.strategy = Strategy::kHybrid;
+  }
+  // Exponential decay: the window keeps half its weight so the strategy can
+  // track density drift without thrashing on one atypical tick.
+  p.words /= 2;
+  p.bits /= 2;
+}
+
+}  // namespace nsc::kernels

@@ -1,0 +1,155 @@
+// Shared runtime-dispatched SIMD kernel layer for the dense inner loops of
+// every backend (docs/PERFORMANCE.md §kernels).
+//
+// The two loops that dominate the dense end of the Fig. 5 sweep — the
+// integrate+leak sweep over a core's 256 potentials and the dense-word
+// synaptic accumulate — are provided in four semantically identical tiers:
+//
+//   scalar  plain per-lane int32 loops; the portable reference expression
+//           every other tier must match lane for lane.
+//   swar    the LUT/byte-array forms from src/core/neuron_hot.hpp (SWAR
+//           mask expansion, auto-vectorizable streams) — the generic
+//           x86-64 (SSE2) baseline the compiler can always emit.
+//   sse     explicit SSE4.1 intrinsics (4 × int32 lanes).
+//   avx2    explicit AVX2 intrinsics (8 × int32 lanes, fused bad-lane
+//           mask extraction).
+//
+// The tier is resolved once per process via __builtin_cpu_supports and is
+// overridable with NSC_FORCE_ISA=scalar|swar|sse|avx2 for testing (a forced
+// tier the CPU cannot execute demotes to the best supported one at or below
+// it, so the override can never fault). Integer arithmetic is identical
+// lane-for-lane in every tier — add, 32-bit signed clamp, compare, no
+// reassociation and no widening differences — so spike output, and
+// therefore every golden trace hash, does not depend on the host ISA.
+// tests/test_kernels.cpp pins this with a forced-ISA equivalence matrix
+// across the tn/compass/replica backends plus per-kernel property tests
+// against the int64 scalar oracle.
+//
+// This layer also owns the profile-guided per-core accumulate-strategy
+// choice (sparse ctz walk vs per-word hybrid vs always-SIMD dense), driven
+// by the measured row densities the backends already observe; see
+// CoreProfile below and the kernel.dispatch_* counters in
+// docs/OBSERVABILITY.md.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "src/util/bitrow.hpp"
+
+namespace nsc::kernels {
+
+/// Dispatch tiers, ordered by capability. Numeric values are stable: they
+/// appear in the kernel.isa_* obs counters and NSC_FORCE_ISA diagnostics.
+enum class Isa : int { kScalar = 0, kSwar = 1, kSse = 2, kAvx2 = 3 };
+
+/// Stable lowercase tier name ("scalar", "swar", "sse", "avx2").
+[[nodiscard]] const char* isa_name(Isa isa) noexcept;
+
+/// Parses an NSC_FORCE_ISA-style tier name; nullopt on unknown spellings.
+[[nodiscard]] std::optional<Isa> parse_isa(std::string_view name) noexcept;
+
+/// Vectorizable kernel entry points, resolved once at startup.
+struct Kernels {
+  /// The fast-path integrate+leak sweep over one core's 256 potentials,
+  /// fused with bad-lane extraction: folds `acc` (when non-null) and the
+  /// leak row into all potentials with the hardware clamp after each add
+  /// (exactly core::hot_neuron_sweep), and sets bit k of bad[k / 64] when
+  /// neuron k needs the exact slow path this tick (possible fire or floor
+  /// event). The vector compare produces the mask for free; consumers walk
+  /// it with count-trailing-zeros.
+  void (*sweep_badmask)(std::int32_t* vrow, const std::int32_t* acc, const std::int32_t* hot,
+                        std::uint64_t bad[4]);
+
+  /// Dense-word synaptic accumulate: adds `wrow[k]` into `acc[k]` for every
+  /// set bit k of `bits` (exactly core::hot_accumulate_word). `acc`/`wrow`
+  /// point at the word's base lane (a multiple of 64).
+  void (*accumulate_word)(std::int32_t* acc, const std::int16_t* wrow, std::uint64_t bits);
+
+  /// Whole-row accumulate for the kDense strategy: all four 64-lane words of
+  /// one crossbar row in a single call, equivalent to accumulate_word on
+  /// bits[w] at base w*64 for w = 0..3 (addition is per-lane, so the
+  /// grouping cannot change any sum). One dispatch per *row* instead of per
+  /// word — on dense rows the per-word indirect calls are pure overhead.
+  void (*accumulate_row)(std::int32_t* acc, const std::int16_t* wrow,
+                         const std::uint64_t bits[4]);
+
+  /// Fused kDense synapse phase for one core visit: for each of the `n`
+  /// active axons i = axons[k], adds the axon-type weight row
+  /// (wt + types[i] * 256) into `acc` under the crossbar row mask xbar[i] —
+  /// exactly accumulate_row per axon, so the fusion cannot change any sum.
+  /// One dispatch per core *visit* instead of per row. `rowpop[i]` must be
+  /// the popcount of xbar[i]; rows with all 256 bits set (the Fig. 5 dense
+  /// corner) deliver the same weight to every lane, so the tiers may batch
+  /// them per axon type and apply cnt_g * w_g[j] in one multiply-add pass —
+  /// per lane that is the identical sum of identical addends (int32 wrap
+  /// arithmetic is commutative, and the hot-core bounds keep it far from
+  /// wrapping anyway). Callers guarantee every lane is enabled (hot-core
+  /// contract), which is what makes the raw crossbar row the correct mask.
+  void (*accumulate_core)(std::int32_t* acc, const std::int16_t* wt,
+                          const util::BitRow256* xbar, const std::uint8_t* types,
+                          const std::uint16_t* rowpop, const std::int16_t* axons, int n);
+
+  /// The tier these entry points implement (after any demotion).
+  Isa isa;
+};
+
+/// Best tier the executing CPU supports (CPU probe cached per process;
+/// NSC_FORCE_ISA is not consulted).
+[[nodiscard]] Isa best_supported_isa() noexcept;
+
+/// The kernels of `isa`, demoted to the best supported tier at or below it
+/// when the CPU lacks the instruction set. Direct tier access for tests;
+/// backends use select_kernels().
+[[nodiscard]] const Kernels& kernels_for(Isa isa) noexcept;
+
+/// The tier this process dispatches to: the NSC_FORCE_ISA override when set
+/// and parseable (demoted if unsupported), else the best supported tier.
+/// The CPU probe runs once per process; the environment is consulted per
+/// call so a test harness can re-force between simulator constructions —
+/// backends resolve this once at construction, never per tick.
+[[nodiscard]] const Kernels& select_kernels() noexcept;
+
+// ---------------------------------------------------------------------------
+// Profile-guided per-core accumulate strategy.
+// ---------------------------------------------------------------------------
+
+/// How a core's synapse phase treats each nonzero masked crossbar word.
+/// Every strategy computes the identical accumulator (the kernels are exact
+/// and addition is per-lane), so the choice is performance-only and cannot
+/// perturb spike output, at any thread count and across checkpoints.
+enum class Strategy : std::uint8_t {
+  kSparse = 0,  ///< Always the O(popcount) ctz walk (rows measured sparse).
+  kHybrid = 1,  ///< Per-word popcount branch at kDenseWordCut (the default).
+  kDense = 2,   ///< Always the SIMD accumulate (rows measured dense).
+};
+
+/// Per-word popcount cutoffs the strategies translate to: a word runs the
+/// SIMD accumulate when popcount >= cut. kSparse never does (cut 65),
+/// kDense always does (masked words are nonzero, so popcount >= 1 >= cut).
+[[nodiscard]] int strategy_cut(Strategy s) noexcept;
+
+/// Running density profile of one core's crossbar-word stream. The backends
+/// fold each visit's (masked words, set bits) in with update_profile; once
+/// enough words accumulate the strategy is re-evaluated from the mean bits
+/// per word and the window decays exponentially so the choice tracks drift.
+/// Derived perf-only state: reset (to kHybrid) at construction and after
+/// every checkpoint restore.
+struct CoreProfile {
+  std::uint32_t words = 0;
+  std::uint32_t bits = 0;
+  Strategy strategy = Strategy::kHybrid;
+};
+
+/// Words observed before the first (and between consecutive) strategy
+/// re-evaluations, and the mean-bits-per-word boundaries: <= kSparseMeanCut
+/// chooses kSparse, >= the dense-word cutoff (core::kDenseWordCut) chooses
+/// kDense, anything between keeps the per-word hybrid.
+inline constexpr std::uint32_t kProfileWindow = 512;
+inline constexpr std::uint32_t kSparseMeanCut = 4;
+
+void update_profile(CoreProfile& p, std::uint32_t words, std::uint32_t bits,
+                    int dense_mean_cut) noexcept;
+
+}  // namespace nsc::kernels

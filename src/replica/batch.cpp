@@ -8,7 +8,7 @@
 #include "src/core/input_schedule.hpp"
 #include "src/core/neuron_model.hpp"
 #include "src/core/snapshot.hpp"
-#include "src/replica/kernels.hpp"
+#include "src/kernels/kernels.hpp"
 #include "src/util/bits.hpp"
 
 namespace nsc::replica {

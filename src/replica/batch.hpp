@@ -43,8 +43,8 @@
 #include "src/core/active_set.hpp"
 #include "src/core/network.hpp"
 #include "src/core/neuron_hot.hpp"
+#include "src/kernels/kernels.hpp"
 #include "src/obs/obs.hpp"
-#include "src/replica/kernels.hpp"
 #include "src/util/bitrow.hpp"
 #include "src/util/prng.hpp"
 #include "src/util/thread_pool.hpp"
@@ -136,7 +136,7 @@ class BatchSimulator {
   const core::Network& net_;
   Config cfg_;
   util::CounterPrng prng_;
-  Kernels kern_ = select_kernels();
+  kernels::Kernels kern_ = kernels::select_kernels();
   std::size_t ncores_ = 0;
   std::unique_ptr<util::ThreadPool> pool_;
 

@@ -1,8 +1,8 @@
 #include "src/tn/chip_sim.hpp"
 
 #include <algorithm>
-#include <cstring>
 #include <stdexcept>
+#include <string>
 
 #include "src/core/snapshot.hpp"
 
@@ -38,6 +38,15 @@ TrueNorthSimulator::TrueNorthSimulator(const core::Network& net, SimOptions opts
   ctr_cores_visited_ = &obs_.counter("cores_visited");
   ctr_cores_skipped_ = &obs_.counter("cores_skipped");
   ctr_events_delivered_ = &obs_.counter("events_delivered");
+  ctr_kernel_isa_ =
+      &obs_.counter(std::string("kernel.isa_") + kernels::isa_name(kern_->isa));
+  *ctr_kernel_isa_ = 1;
+  ctr_dispatch_[0] = &obs_.counter("kernel.dispatch_sparse");
+  ctr_dispatch_[1] = &obs_.counter("kernel.dispatch_hybrid");
+  ctr_dispatch_[2] = &obs_.counter("kernel.dispatch_dense");
+  for (int b = 0; b < 8; ++b) {
+    ctr_density_[b] = &obs_.counter("kernel.density_b" + std::to_string(b));
+  }
   const auto ncores = static_cast<CoreId>(net.geom.total_cores());
   for (CoreId c = 0; c < ncores; ++c) {
     if (net.core(c).disabled) faults_.mark(c);
@@ -79,6 +88,11 @@ void TrueNorthSimulator::init_activity() {
   hot_ok_.assign(static_cast<std::size_t>(ncores), 0);
   hot_.assign(static_cast<std::size_t>(ncores) * core::kHotStride, 0);
   wtab_.assign(static_cast<std::size_t>(ncores) * core::kWeightTabPerCore, 0);
+  fire_.assign(static_cast<std::size_t>(ncores) * kCoreSize, core::HotFire{});
+  rowpop_.assign(static_cast<std::size_t>(ncores) * kCoreSize, 0);
+  // Density profiles restart at the hybrid default: perf-only derived state,
+  // so a restored run re-learns its strategies without perturbing output.
+  profile_.assign(static_cast<std::size_t>(ncores), kernels::CoreProfile{});
   live_enabled_ = 0;
   live_cores_ = 0;
   for (CoreId c = 0; c < ncores; ++c) {
@@ -97,6 +111,11 @@ void TrueNorthSimulator::init_activity() {
       hot_ok_[c] = 1;
       core::fill_hot_core(spec, &hot_[static_cast<std::size_t>(c) * core::kHotStride],
                           &wtab_[static_cast<std::size_t>(c) * core::kWeightTabPerCore]);
+      core::fill_hot_fire(spec, &fire_[static_cast<std::size_t>(c) * kCoreSize]);
+      for (int i = 0; i < kCoreSize; ++i) {
+        rowpop_[static_cast<std::size_t>(c) * kCoreSize + static_cast<std::size_t>(i)] =
+            static_cast<std::uint16_t>(spec.crossbar.row(i).count());
+      }
     }
     const bool always = core::core_always_active(spec, enabled_[c]);
     always_active_[c] = always ? 1 : 0;
@@ -168,25 +187,59 @@ void TrueNorthSimulator::step(Tick t, const core::InputSchedule* inputs, core::S
       if (hot) {
         // Fast path: every synapse deterministic — a dense weight-table row
         // per axon type replaces the scattered per-synapse NeuronParams load.
+        // The profile-chosen strategy folds to one per-word cutoff (always
+        // SIMD / popcount branch / always ctz); every branch computes the
+        // identical accumulator, so the choice is performance-only.
+        kernels::CoreProfile& prof = profile_[c];
+        const int cut = kernels::strategy_cut(prof.strategy);
+        std::uint32_t vis_words = 0;
+        std::uint32_t vis_bits = 0;
         const std::int16_t* wt = &wtab_[static_cast<std::size_t>(c) * core::kWeightTabPerCore];
-        axons.for_each_set([&](int i) {
-          const std::int16_t* wrow =
-              wt +
-              static_cast<std::size_t>(spec.axon_type[static_cast<std::size_t>(i)]) * kCoreSize;
-          spec.crossbar.row(i).for_each_masked_word(en, [&](int base, std::uint64_t bits) {
-            const int pc = util::popcount64(bits);
-            core_sops += static_cast<std::uint64_t>(pc);
-            if (pc >= core::kDenseWordCut) {
-              core::hot_accumulate_word(acc + base, wrow + base, bits);
-              return;
-            }
-            do {
-              const int j = base + util::lowest_set(bits);
-              acc[j] += wrow[j];
-              bits = util::clear_lowest(bits);
-            } while (bits != 0);
+        if (prof.strategy == kernels::Strategy::kDense) {
+          // Dense strategy: the whole visit goes to the fused SIMD kernel in
+          // one dispatch — no per-word popcount branch, no per-row indirect
+          // call. Hot cores have every lane enabled, so the raw crossbar row
+          // is the mask and SOPs come from the init-time row popcounts.
+          std::int16_t idx[kCoreSize];
+          int nax = 0;
+          std::uint32_t row_bits = 0;
+          const std::uint16_t* rp = &rowpop_[static_cast<std::size_t>(c) * kCoreSize];
+          axons.for_each_set([&](int i) {
+            idx[nax++] = static_cast<std::int16_t>(i);
+            row_bits += rp[i];
           });
-        });
+          core_sops += row_bits;
+          vis_words = static_cast<std::uint32_t>(nax) * util::BitRow256::kWords;
+          vis_bits = row_bits;
+          kern_->accumulate_core(acc, wt, &spec.crossbar.row(0), spec.axon_type.data(), rp, idx,
+                                 nax);
+        } else {
+          axons.for_each_set([&](int i) {
+            const std::int16_t* wrow =
+                wt +
+                static_cast<std::size_t>(spec.axon_type[static_cast<std::size_t>(i)]) * kCoreSize;
+            spec.crossbar.row(i).for_each_masked_word(en, [&](int base, std::uint64_t bits) {
+              const int pc = util::popcount64(bits);
+              core_sops += static_cast<std::uint64_t>(pc);
+              ++vis_words;
+              vis_bits += static_cast<std::uint32_t>(pc);
+              if (pc >= cut) {
+                kern_->accumulate_word(acc + base, wrow + base, bits);
+                return;
+              }
+              do {
+                const int j = base + util::lowest_set(bits);
+                acc[j] += wrow[j];
+                bits = util::clear_lowest(bits);
+              } while (bits != 0);
+            });
+          });
+        }
+        ++*ctr_dispatch_[static_cast<int>(prof.strategy)];
+        if (vis_words != 0) {
+          ++*ctr_density_[std::min<std::uint32_t>(7, (vis_bits / vis_words) >> 3)];
+          kernels::update_profile(prof, vis_words, vis_bits, core::kDenseWordCut);
+        }
       } else {
         axons.for_each_set([&](int i) {
           const int g = spec.axon_type[static_cast<std::size_t>(i)];
@@ -215,45 +268,47 @@ void TrueNorthSimulator::step(Tick t, const core::InputSchedule* inputs, core::S
     const bool check_restless = always_active_[c] == 0;
     bool restless = false;
     // Spike emission/delivery tail shared by the fast and generic loops.
-    const auto emit = [&](int j, const NeuronParams& p, std::size_t nid) {
+    const auto emit = [&](int j, const core::AxonTarget& tgt, std::size_t nid) {
       ++core_spikes;
       if (sink != nullptr) sink->on_spike(t, c, static_cast<std::uint16_t>(j));
       if (target_ok_[nid] != 0) {
-        const Tick arrive = t + p.target.delay;
-        slot(p.target.core, arrive).set(p.target.axon);
-        active_.mark_event(p.target.core, static_cast<int>(arrive % kDelaySlots));
+        const Tick arrive = t + tgt.delay;
+        slot(tgt.core, arrive).set(tgt.axon);
+        active_.mark_event(tgt.core, static_cast<int>(arrive % kDelaySlots));
         ++delivered;
         stats_.hop_sum += static_cast<std::uint64_t>(route_[nid].hops);
         stats_.interchip_crossings += static_cast<std::uint64_t>(route_[nid].chip_crossings);
-        if (multichip && route_[nid].chip_crossings > 0) traffic_.record_route(c, p.target.core);
+        if (multichip && route_[nid].chip_crossings > 0) traffic_.record_route(c, tgt.core);
       } else {
         ++stats_.dropped_spikes;
         if (target_faulted_[nid] != 0) ++*ctr_fault_dropped_;
       }
     };
     if (hot) {
-      // Fast path: a vectorizable int32 sweep folds acc+leak into the whole
-      // core and flags the neurons where a fire or floor event is possible;
-      // only those run the exact slow functions (src/core/neuron_hot.hpp).
+      // Fast path: a vectorizable int32 sweep (dispatched tier, src/kernels/)
+      // folds acc+leak into the whole core and flags the neurons where a fire
+      // or floor event is possible; only those run the exact slow functions.
+      // The sweep hands back the flags as four bit-words walked with ctz.
       std::int32_t* vrow = &v_[static_cast<std::size_t>(c) * kCoreSize];
-      std::uint8_t bad[kCoreSize];
-      core::hot_neuron_sweep(vrow, core_axons != 0 ? acc : nullptr,
-                             &hot_[static_cast<std::size_t>(c) * core::kHotStride], bad);
-      for (int base = 0; base < kCoreSize; base += 8) {
-        std::uint64_t word;
-        std::memcpy(&word, bad + base, sizeof word);
-        if (word == 0) continue;
-        for (int k = 0; k < 8; ++k) {
-          if (bad[base + k] == 0) continue;
-          const int j = base + k;
+      const std::int32_t* hrow = &hot_[static_cast<std::size_t>(c) * core::kHotStride];
+      const core::HotFire* frow = &fire_[static_cast<std::size_t>(c) * kCoreSize];
+      std::uint64_t bad[4];
+      kern_->sweep_badmask(vrow, core_axons != 0 ? acc : nullptr, hrow, bad);
+      for (int w = 0; w < 4; ++w) {
+        std::uint64_t word = bad[w];
+        while (word != 0) {
+          const int j = w * 64 + util::lowest_set(word);
+          word = util::clear_lowest(word);
           std::int32_t vj = vrow[j];
-          const NeuronParams& p = spec.neuron[static_cast<std::size_t>(j)];
+          const core::HotFire& fj = frow[j];
+          const std::int32_t alpha = hrow[kCoreSize + j];
           const bool fired =
-              core::threshold_fire_reset(vj, p, prng_, c, static_cast<std::uint32_t>(j), t);
+              core::hot_fire_reset(vj, alpha, fj, prng_, c, static_cast<std::uint32_t>(j), t);
           vrow[j] = vj;
-          if (check_restless && !core::idle_quiescent(p, vj)) restless = true;
+          if (check_restless && !core::hot_idle_quiescent(vj, hrow[j], alpha, fj)) restless = true;
           if (fired) {
-            emit(j, p, static_cast<std::size_t>(c) * kCoreSize + static_cast<std::size_t>(j));
+            emit(j, fj.target,
+                 static_cast<std::size_t>(c) * kCoreSize + static_cast<std::size_t>(j));
           }
         }
       }
@@ -270,7 +325,7 @@ void TrueNorthSimulator::step(Tick t, const core::InputSchedule* inputs, core::S
             core::leak_threshold_update(vj, p, prng_, c, static_cast<std::uint32_t>(j), t);
         v_[nid] = vj;
         if (check_restless && !core::idle_quiescent(p, vj)) restless = true;
-        if (fired) emit(j, p, nid);
+        if (fired) emit(j, p.target, nid);
       });
     }
     if (check_restless) active_.set_restless(c, restless);

@@ -22,6 +22,7 @@
 #include "src/core/input_schedule.hpp"
 #include "src/core/neuron_hot.hpp"
 #include "src/core/network.hpp"
+#include "src/kernels/kernels.hpp"
 #include "src/noc/route.hpp"
 #include "src/noc/traffic.hpp"
 #include "src/obs/obs.hpp"
@@ -86,7 +87,10 @@ class TrueNorthSimulator final : public core::Simulator {
   [[nodiscard]] const obs::Registry& metrics() const noexcept { return obs_; }
 
   /// Zeroes the phase timers.
-  void reset_metrics() noexcept { obs_.reset(); }
+  void reset_metrics() noexcept {
+    obs_.reset();
+    *ctr_kernel_isa_ = 1;  // The dispatched tier marker survives metric resets.
+  }
 
   /// Mean mesh hops per routed spike so far.
   [[nodiscard]] double mean_hops_per_spike() const {
@@ -146,6 +150,9 @@ class TrueNorthSimulator final : public core::Simulator {
   std::uint64_t* ctr_cores_visited_ = nullptr;
   std::uint64_t* ctr_cores_skipped_ = nullptr;
   std::uint64_t* ctr_events_delivered_ = nullptr;
+  std::uint64_t* ctr_kernel_isa_ = nullptr;  ///< kernel.isa_<tier> = 1.
+  std::uint64_t* ctr_dispatch_[3] = {};      ///< kernel.dispatch_{sparse,hybrid,dense}.
+  std::uint64_t* ctr_density_[8] = {};       ///< kernel.density_b0..b7.
 
   std::vector<std::int32_t> v_;              ///< Membrane potentials, core-major.
   std::vector<util::BitRow256> delay_;       ///< Axon delay buffers, 16 slots/core.
@@ -171,6 +178,15 @@ class TrueNorthSimulator final : public core::Simulator {
   std::vector<std::uint8_t> hot_ok_;     ///< Core qualifies for the fast loops.
   std::vector<std::int32_t> hot_;        ///< SoA leak|alpha|floor rows (kHotStride/core).
   std::vector<std::int16_t> wtab_;       ///< Dense per-(core, type) weight rows.
+  std::vector<core::HotFire> fire_;      ///< Packed fire-path constants (kCoreSize/core).
+  std::vector<std::uint16_t> rowpop_;   ///< Crossbar row popcounts (kCoreSize/core).
+
+  /// Runtime-dispatched SIMD kernels (src/kernels/): tier resolved once at
+  /// construction (NSC_FORCE_ISA honored). Per-core density profiles drive
+  /// the accumulate strategy; perf-only derived state, reset by
+  /// init_activity.
+  const kernels::Kernels* kern_ = &kernels::select_kernels();
+  std::vector<kernels::CoreProfile> profile_;
 };
 
 }  // namespace nsc::tn

@@ -130,6 +130,53 @@ TEST_P(DifferentialFuzzGrid, AllExpressionsAgree) {
 INSTANTIATE_TEST_SUITE_P(GridPoints, DifferentialFuzzGrid,
                          ::testing::Range<std::size_t>(0, 20));
 
+/// Dense-end networks (>= 128 synapses per axon at high firing rates): the
+/// regime where the SIMD kernel layer's kDense strategy — including the
+/// fully-populated-row multiply-add batch at 256 syn/axon — carries the
+/// whole synapse phase. The characterization grid above only samples this
+/// corner sparsely, so it gets its own sweep: one wrong lane in any
+/// accumulate tier diverges within a few ticks here.
+struct DenseEndPoint {
+  int rate_hz;
+  int synapses;
+  bool jitter;
+};
+
+class DifferentialFuzzDenseEnd : public ::testing::TestWithParam<DenseEndPoint> {};
+
+TEST_P(DifferentialFuzzDenseEnd, AllExpressionsAgree) {
+  const DenseEndPoint p = GetParam();
+  netgen::RecurrentSpec spec;
+  spec.geom = Geometry{1, 1, 2, 2};
+  spec.rate_hz = p.rate_hz;
+  spec.synapses_per_axon = p.synapses;
+  spec.seed = 5000 + static_cast<std::uint64_t>(p.rate_hz) * 1000 +
+              static_cast<std::uint64_t>(p.synapses);
+  spec.threshold_jitter = p.jitter;
+  const Network net = netgen::make_recurrent(spec);
+
+  const core::Tick ticks = 50;
+  const std::vector<Spike> ref = run_reference(net, nullptr, ticks);
+  EXPECT_FALSE(ref.empty()) << "dense-end net must actually spike";
+  expect_spikes_equal(ref, run_truenorth(net, nullptr, ticks), "reference vs truenorth");
+  for (const int threads : {1, 3, 4}) {
+    expect_spikes_equal(ref, run_compass(net, nullptr, ticks, threads), "reference vs compass");
+  }
+  // The strategy choice is perf-only derived state: it must also survive a
+  // mid-run checkpoint splice (profiles reset to kHybrid and re-learn).
+  tn::TrueNorthSimulator tn_sim(net);
+  compass::Simulator c4(net, {.threads = 4});
+  expect_spikes_equal(ref, run_split(tn_sim, c4, nullptr, ticks), "tn -> compass split");
+}
+
+INSTANTIATE_TEST_SUITE_P(DensePoints, DifferentialFuzzDenseEnd,
+                         ::testing::Values(DenseEndPoint{150, 128, true},
+                                           DenseEndPoint{150, 128, false},
+                                           DenseEndPoint{180, 192, true},
+                                           DenseEndPoint{200, 256, true},
+                                           DenseEndPoint{200, 256, false},
+                                           DenseEndPoint{120, 224, true}));
+
 // ---------------------------------------------------------------------------
 // S4: a warm-restored simulator (kept running after save_checkpoint) and a
 // cold-restored one (fresh object + load_checkpoint) must behave identically

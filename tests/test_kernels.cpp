@@ -1,0 +1,397 @@
+// The SIMD kernel layer's exactness contract (src/kernels/kernels.hpp):
+// every dispatch tier computes identical int32 results lane for lane, so
+// spike output — and therefore every golden trace hash — cannot depend on
+// the host ISA or on NSC_FORCE_ISA. Two layers of proof:
+//
+//  1. The forced-ISA equivalence matrix: full simulations of networks
+//     spanning the Fig. 5 density axes (including the fully-populated
+//     256-synapse corner that exercises the kDense full-row batch path),
+//     run under each forced tier across the tn / compass (1, 3, 4 threads)
+//     / replica backends, must produce the identical trace hash the scalar
+//     tier produces.
+//
+//  2. Per-kernel property tests: each tier's sweep_badmask /
+//     accumulate_word / accumulate_row / accumulate_core checked against an
+//     independent int64 oracle on random lanes, the int32 clamp boundaries,
+//     and the ±2^20 hot-envelope edges (where bad-mask extraction must flip
+//     on exact >= / <= equality).
+//
+// kernels_for demotes a tier the CPU cannot execute to the best supported
+// one at or below it, so the matrix is safe to run anywhere; on hosts
+// without AVX2 the avx2 leg degenerates to re-checking a lower tier.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "src/kernels/kernels.hpp"
+#include "src/replica/batch.hpp"
+#include "src/util/prng.hpp"
+#include "tests/test_support.hpp"
+
+namespace nsc {
+namespace {
+
+using core::Geometry;
+using core::InputSchedule;
+using core::Network;
+using core::Spike;
+using core::VectorSink;
+using kernels::Isa;
+using kernels::Kernels;
+
+constexpr Isa kAllTiers[] = {Isa::kScalar, Isa::kSwar, Isa::kSse, Isa::kAvx2};
+constexpr const char* kTierNames[] = {"scalar", "swar", "sse", "avx2"};
+
+/// Scoped NSC_FORCE_ISA override. Backends re-read the variable at
+/// construction, so each simulator built inside the scope runs the forced
+/// tier (after demotion).
+class ForcedIsa {
+ public:
+  explicit ForcedIsa(const char* name) { setenv("NSC_FORCE_ISA", name, 1); }
+  ~ForcedIsa() { unsetenv("NSC_FORCE_ISA"); }
+  ForcedIsa(const ForcedIsa&) = delete;
+  ForcedIsa& operator=(const ForcedIsa&) = delete;
+};
+
+// ---------------------------------------------------------------------------
+// 1. Forced-ISA equivalence matrix.
+// ---------------------------------------------------------------------------
+
+struct MatrixNet {
+  const char* name;
+  Network net;
+  InputSchedule inputs;
+  bool has_inputs;
+};
+
+/// The density axis: two adversarial random nets (one stochastic multichip)
+/// plus two dense recurrent points — 128 syn/row and the fully-populated
+/// 256-syn corner whose crossbar rows are all-ones (the kDense full-row
+/// batch path).
+std::vector<MatrixNet> matrix_nets() {
+  std::vector<MatrixNet> nets;
+  for (const std::uint64_t seed : {3ULL, 6ULL}) {
+    const netgen::RandomNetSpec spec = testsup::fuzz_spec(seed);
+    Network net = netgen::make_random(spec);
+    InputSchedule in = netgen::make_poisson_inputs(spec, net, 40);
+    nets.push_back({seed == 3 ? "random_s3" : "random_s6", std::move(net), std::move(in), true});
+  }
+  for (const int syn : {128, 256}) {
+    netgen::RecurrentSpec spec;
+    spec.geom = Geometry{1, 1, 2, 2};
+    spec.rate_hz = syn == 128 ? 150 : 200;
+    spec.synapses_per_axon = syn;
+    spec.seed = 4242 + static_cast<std::uint64_t>(syn);
+    const Network net = netgen::make_recurrent(spec);
+    nets.push_back({syn == 128 ? "dense_128" : "dense_256", net, InputSchedule{}, false});
+  }
+  return nets;
+}
+
+struct MatrixHashes {
+  std::uint64_t tn = 0;
+  std::uint64_t compass[3] = {0, 0, 0};  // threads 1, 3, 4.
+  std::uint64_t replica = 0;
+  std::uint64_t spikes = 0;
+};
+
+MatrixHashes run_matrix(const MatrixNet& m, core::Tick ticks) {
+  const InputSchedule* in = m.has_inputs ? &m.inputs : nullptr;
+  MatrixHashes h;
+  {
+    const auto r = testsup::run_truenorth(m.net, in, ticks);
+    h.tn = core::trace_hash(r.spikes);
+    h.spikes = r.spikes.size();
+  }
+  const int kThreads[3] = {1, 3, 4};
+  for (int t = 0; t < 3; ++t) {
+    h.compass[t] = core::trace_hash(testsup::run_compass(m.net, in, ticks, kThreads[t]).spikes);
+  }
+  {
+    replica::BatchSimulator batch(m.net, {.replicas = 2, .threads = 2});
+    const InputSchedule* ins[2] = {in, in};
+    VectorSink sinks[2];
+    core::SpikeSink* sink_ptrs[2] = {&sinks[0], &sinks[1]};
+    batch.run(ticks, m.has_inputs ? ins : nullptr, sink_ptrs);
+    h.replica = core::trace_hash(sinks[0].spikes());
+    // Both replicas ran the same network + inputs: identical by construction.
+    EXPECT_EQ(h.replica, core::trace_hash(sinks[1].spikes()));
+  }
+  return h;
+}
+
+TEST(ForcedIsaMatrix, AllTiersAllBackendsIdenticalTraceHashes) {
+  const std::vector<MatrixNet> nets = matrix_nets();
+  constexpr core::Tick kTicks = 40;
+  for (const MatrixNet& m : nets) {
+    MatrixHashes want;
+    {
+      ForcedIsa force("scalar");
+      want = run_matrix(m, kTicks);
+    }
+    // A silent network proves nothing; every matrix net must actually spike.
+    EXPECT_GT(want.spikes, 0U) << m.name;
+    // The backends must agree with each other under the scalar tier too.
+    for (int t = 0; t < 3; ++t) EXPECT_EQ(want.tn, want.compass[t]) << m.name;
+    EXPECT_EQ(want.tn, want.replica) << m.name;
+
+    for (int tier = 1; tier < 4; ++tier) {
+      ForcedIsa force(kTierNames[tier]);
+      const MatrixHashes got = run_matrix(m, kTicks);
+      EXPECT_EQ(want.tn, got.tn) << m.name << " tn tier=" << kTierNames[tier];
+      for (int t = 0; t < 3; ++t) {
+        EXPECT_EQ(want.compass[t], got.compass[t])
+            << m.name << " compass tier=" << kTierNames[tier];
+      }
+      EXPECT_EQ(want.replica, got.replica) << m.name << " replica tier=" << kTierNames[tier];
+      EXPECT_EQ(want.spikes, got.spikes) << m.name << " tier=" << kTierNames[tier];
+    }
+  }
+}
+
+TEST(ForcedIsaMatrix, ForcedTierIsReportedInObsCounters) {
+  // The kernel.isa_<tier> marker must name the tier actually dispatched —
+  // the forced one after demotion, so the check is host-independent.
+  netgen::RecurrentSpec spec;
+  spec.geom = Geometry{1, 1, 2, 2};
+  spec.rate_hz = 100;
+  spec.synapses_per_axon = 64;
+  spec.seed = 7;
+  const Network net = netgen::make_recurrent(spec);
+  for (int tier = 0; tier < 4; ++tier) {
+    ForcedIsa force(kTierNames[tier]);
+    const Isa resolved = kernels::kernels_for(kAllTiers[tier]).isa;
+    compass::Simulator sim(net, {.threads = 1});
+    VectorSink sink;
+    sim.run(5, nullptr, &sink);
+    const std::string name = std::string("kernel.isa_") + kernels::isa_name(resolved);
+    EXPECT_EQ(testsup::counter_value(sim.metrics(), name), 1U) << kTierNames[tier];
+  }
+}
+
+TEST(ForcedIsaMatrix, UnknownForceSpellingFallsBackToBestSupported) {
+  ForcedIsa force("not-a-tier");
+  EXPECT_EQ(kernels::select_kernels().isa, kernels::best_supported_isa());
+}
+
+TEST(ForcedIsaMatrix, DemotionNeverExceedsForcedTier) {
+  for (int tier = 0; tier < 4; ++tier) {
+    const Kernels& k = kernels::kernels_for(kAllTiers[tier]);
+    EXPECT_LE(static_cast<int>(k.isa), tier);
+    EXPECT_LE(static_cast<int>(k.isa), static_cast<int>(kernels::best_supported_isa()));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 2. Per-kernel property tests against an int64 oracle.
+// ---------------------------------------------------------------------------
+
+constexpr std::int32_t kEnv = core::kHotPotentialBound;  // ±2^20 hot envelope.
+
+std::int64_t clamp64(std::int64_t x) {
+  if (x > core::kPotentialMax) return core::kPotentialMax;
+  if (x < core::kPotentialMin) return core::kPotentialMin;
+  return x;
+}
+
+/// A signed draw in [-bound, bound], with the exact edges over-sampled so
+/// the >= / <= equality cases actually occur.
+std::int32_t edgy(util::Xoshiro& rng, std::int32_t bound) {
+  switch (rng.next_below(8)) {
+    case 0:
+      return bound;
+    case 1:
+      return -bound;
+    case 2:
+      return core::kPotentialMax;
+    case 3:
+      return core::kPotentialMin;
+    default:
+      return static_cast<std::int32_t>(rng.next_below(2 * static_cast<std::uint64_t>(bound) + 1)) -
+             bound;
+  }
+}
+
+TEST(KernelProperties, SweepBadmaskMatchesInt64Oracle) {
+  util::Xoshiro rng(101);
+  for (int trial = 0; trial < 40; ++trial) {
+    alignas(32) std::int32_t v0[core::kCoreSize];
+    alignas(32) std::int32_t acc[core::kCoreSize];
+    alignas(32) std::int32_t hot[core::kHotStride];
+    for (int j = 0; j < core::kCoreSize; ++j) {
+      v0[j] = edgy(rng, kEnv);
+      acc[j] = edgy(rng, kEnv);
+      hot[j] = edgy(rng, core::kHotLeakBound);                      // leak row.
+      hot[core::kCoreSize + j] = edgy(rng, kEnv);                   // alpha row.
+      hot[2 * core::kCoreSize + j] = edgy(rng, kEnv);               // floor_le row.
+    }
+    const bool with_acc = (trial % 2) == 0;
+
+    std::int32_t want_v[core::kCoreSize];
+    std::uint64_t want_bad[4] = {0, 0, 0, 0};
+    for (int j = 0; j < core::kCoreSize; ++j) {
+      std::int64_t x = v0[j];
+      if (with_acc) x = clamp64(x + acc[j]);
+      x = clamp64(x + hot[j]);
+      want_v[j] = static_cast<std::int32_t>(x);
+      const bool bad = x >= hot[core::kCoreSize + j] || x <= hot[2 * core::kCoreSize + j];
+      if (bad) want_bad[j / 64] |= std::uint64_t{1} << (j % 64);
+    }
+
+    for (const Isa tier : kAllTiers) {
+      const Kernels& k = kernels::kernels_for(tier);
+      std::int32_t v[core::kCoreSize];
+      std::uint64_t bad[4] = {0, 0, 0, 0};
+      for (int j = 0; j < core::kCoreSize; ++j) v[j] = v0[j];
+      k.sweep_badmask(v, with_acc ? acc : nullptr, hot, bad);
+      for (int w = 0; w < 4; ++w) {
+        EXPECT_EQ(bad[w], want_bad[w]) << "tier " << kernels::isa_name(k.isa) << " word " << w;
+      }
+      for (int j = 0; j < core::kCoreSize; ++j) {
+        ASSERT_EQ(v[j], want_v[j]) << "tier " << kernels::isa_name(k.isa) << " lane " << j;
+      }
+    }
+  }
+}
+
+TEST(KernelProperties, AccumulateWordAndRowMatchInt64Oracle) {
+  util::Xoshiro rng(202);
+  for (int trial = 0; trial < 60; ++trial) {
+    alignas(32) std::int32_t acc0[core::kCoreSize];
+    alignas(32) std::int16_t wrow[core::kCoreSize];
+    std::uint64_t bits[4];
+    for (int j = 0; j < core::kCoreSize; ++j) {
+      acc0[j] = edgy(rng, kEnv);
+      wrow[j] = static_cast<std::int16_t>(static_cast<std::int32_t>(rng.next_below(65536)) -
+                                          32768);
+    }
+    for (auto& b : bits) {
+      b = rng.next();
+      if (trial % 5 == 0) b = ~std::uint64_t{0};  // Fully-dense words.
+      if (trial % 7 == 0) b = 0;
+    }
+
+    std::int64_t want[core::kCoreSize];
+    for (int j = 0; j < core::kCoreSize; ++j) {
+      want[j] = acc0[j];
+      if ((bits[j / 64] >> (j % 64)) & 1U) want[j] += wrow[j];
+      ASSERT_EQ(want[j], static_cast<std::int32_t>(want[j]));  // No int32 overflow.
+    }
+
+    for (const Isa tier : kAllTiers) {
+      const Kernels& k = kernels::kernels_for(tier);
+      std::int32_t a[core::kCoreSize];
+      // Per-word form.
+      for (int j = 0; j < core::kCoreSize; ++j) a[j] = acc0[j];
+      for (int w = 0; w < 4; ++w) k.accumulate_word(a + w * 64, wrow + w * 64, bits[w]);
+      for (int j = 0; j < core::kCoreSize; ++j) {
+        ASSERT_EQ(a[j], want[j]) << "word tier " << kernels::isa_name(k.isa) << " lane " << j;
+      }
+      // Whole-row form must be the identical grouping.
+      for (int j = 0; j < core::kCoreSize; ++j) a[j] = acc0[j];
+      k.accumulate_row(a, wrow, bits);
+      for (int j = 0; j < core::kCoreSize; ++j) {
+        ASSERT_EQ(a[j], want[j]) << "row tier " << kernels::isa_name(k.isa) << " lane " << j;
+      }
+    }
+  }
+}
+
+TEST(KernelProperties, AccumulateCoreMatchesInt64Oracle) {
+  util::Xoshiro rng(303);
+  for (int trial = 0; trial < 30; ++trial) {
+    // A random crossbar mixing empty, sparse, dense, and fully-populated
+    // rows — the last is what the tiers may batch per axon type, so it must
+    // be well represented.
+    util::BitRow256 xbar[core::kCoreSize];
+    std::uint16_t rowpop[core::kCoreSize];
+    std::uint8_t types[core::kCoreSize];
+    alignas(32) std::int16_t wt[core::kAxonTypes * core::kCoreSize];
+    alignas(32) std::int32_t acc0[core::kCoreSize];
+    for (int i = 0; i < core::kCoreSize; ++i) {
+      xbar[i].reset();
+      switch (rng.next_below(4)) {
+        case 0:
+          break;  // Empty row.
+        case 1:
+          for (int w = 0; w < 4; ++w) xbar[i].set_word(w, ~std::uint64_t{0});  // Full row.
+          break;
+        case 2:  // Sparse.
+          for (int b = 0; b < 8; ++b) xbar[i].set(static_cast<int>(rng.next_below(256)));
+          break;
+        default:  // Dense but partial.
+          for (int w = 0; w < 4; ++w) xbar[i].set_word(w, rng.next() | rng.next());
+          if (xbar[i].count() == core::kCoreSize) xbar[i].clear(0);
+          break;
+      }
+      rowpop[i] = static_cast<std::uint16_t>(xbar[i].count());
+      types[i] = static_cast<std::uint8_t>(rng.next_below(core::kAxonTypes));
+    }
+    for (int j = 0; j < core::kAxonTypes * core::kCoreSize; ++j) {
+      wt[j] = static_cast<std::int16_t>(static_cast<std::int32_t>(rng.next_below(513)) - 256);
+    }
+    for (int j = 0; j < core::kCoreSize; ++j) acc0[j] = edgy(rng, kEnv);
+
+    // A random ascending active-axon subset.
+    std::int16_t axons[core::kCoreSize];
+    int n = 0;
+    for (int i = 0; i < core::kCoreSize; ++i) {
+      if (rng.next_below(4) != 0) axons[n++] = static_cast<std::int16_t>(i);
+    }
+
+    std::int64_t want[core::kCoreSize];
+    for (int j = 0; j < core::kCoreSize; ++j) want[j] = acc0[j];
+    for (int k = 0; k < n; ++k) {
+      const int i = axons[k];
+      const std::int16_t* wrow = wt + static_cast<std::size_t>(types[i]) * core::kCoreSize;
+      for (int j = 0; j < core::kCoreSize; ++j) {
+        if (xbar[i].test(j)) want[j] += wrow[j];
+      }
+    }
+    for (int j = 0; j < core::kCoreSize; ++j) {
+      ASSERT_EQ(want[j], static_cast<std::int32_t>(want[j]));  // No int32 overflow.
+    }
+
+    for (const Isa tier : kAllTiers) {
+      const Kernels& k = kernels::kernels_for(tier);
+      alignas(32) std::int32_t a[core::kCoreSize];
+      for (int j = 0; j < core::kCoreSize; ++j) a[j] = acc0[j];
+      k.accumulate_core(a, wt, xbar, types, rowpop, axons, n);
+      for (int j = 0; j < core::kCoreSize; ++j) {
+        ASSERT_EQ(a[j], want[j]) << "tier " << kernels::isa_name(k.isa) << " lane " << j
+                                 << " trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(KernelProperties, AccumulateWordClampFreedomAtEnvelopeEdge) {
+  // The accumulate kernels are add-only (no clamp): starting exactly at the
+  // ±2^20 envelope edge plus the extreme weight must round-trip through
+  // every tier without saturating — saturation here would silently diverge
+  // from the generic path, which clamps later in the sweep.
+  alignas(32) std::int16_t wrow[core::kCoreSize];
+  std::uint64_t bits[4] = {~std::uint64_t{0}, ~std::uint64_t{0}, ~std::uint64_t{0},
+                           ~std::uint64_t{0}};
+  for (int j = 0; j < core::kCoreSize; ++j) {
+    wrow[j] = (j % 2) == 0 ? std::int16_t{32767} : std::int16_t{-32768};
+  }
+  for (const Isa tier : kAllTiers) {
+    const Kernels& k = kernels::kernels_for(tier);
+    alignas(32) std::int32_t a[core::kCoreSize];
+    for (int j = 0; j < core::kCoreSize; ++j) a[j] = (j % 2) == 0 ? kEnv : -kEnv;
+    k.accumulate_word(a, wrow, bits[0]);
+    k.accumulate_word(a + 64, wrow + 64, bits[1]);
+    k.accumulate_word(a + 128, wrow + 128, bits[2]);
+    k.accumulate_word(a + 192, wrow + 192, bits[3]);
+    for (int j = 0; j < core::kCoreSize; ++j) {
+      const std::int32_t want = ((j % 2) == 0 ? kEnv + 32767 : -kEnv - 32768);
+      ASSERT_EQ(a[j], want) << "tier " << kernels::isa_name(k.isa) << " lane " << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nsc

@@ -307,6 +307,50 @@ TEST(ObsEquivalence, TrueNorthSpikesIdenticalWithMetricsOnAndOff) {
   EXPECT_EQ(off.metrics().find_phase("compute")->calls, 0u);
 }
 
+TEST(ObsEquivalence, DensityHistogramCollectionDoesNotPerturbSpikes) {
+  // Fully-dense recurrent net (256 syn/axon): every core visit lands in the
+  // kDense strategy, so the kernel.density_b* histogram and dispatch
+  // counters are exercised on every tick. They are derived-observation
+  // state only — spike output must be identical with phase-metric
+  // collection on and off, and the histogram's top bucket (mean bits/word
+  // 64 -> b7) must actually populate.
+  netgen::RecurrentSpec spec;
+  spec.geom = core::Geometry{1, 1, 2, 2};
+  spec.rate_hz = 200;
+  spec.synapses_per_axon = 256;
+  spec.seed = 31337;
+  const Network net = netgen::make_recurrent(spec);
+
+  VectorSink on_sink, off_sink;
+  compass::Simulator on(net, {.threads = 3, .collect_phase_metrics = true});
+  compass::Simulator off(net, {.threads = 3, .collect_phase_metrics = false});
+  on.run(80, nullptr, &on_sink);
+  off.run(80, nullptr, &off_sink);
+  EXPECT_EQ(on_sink.spikes(), off_sink.spikes());
+  EXPECT_EQ(on.stats().sops, off.stats().sops);
+  // The histogram and dispatch counters are always-live (like the visit
+  // counters): both simulators must agree bucket for bucket.
+  std::uint64_t top_bucket = 0;
+  std::uint64_t dense_dispatch = 0;
+  for (int b = 0; b < 8; ++b) {
+    const std::string name = "kernel.density_b" + std::to_string(b);
+    EXPECT_EQ(on.metrics().counter_value(name), off.metrics().counter_value(name)) << name;
+    if (b == 7) top_bucket = on.metrics().counter_value(name);
+  }
+  dense_dispatch = on.metrics().counter_value("kernel.dispatch_dense");
+  EXPECT_GT(top_bucket, 0u) << "256 syn/axon visits must land in density_b7";
+  EXPECT_GT(dense_dispatch, 0u) << "profile must converge to the kDense strategy";
+
+  VectorSink tn_on_sink, tn_off_sink;
+  tn::TrueNorthSimulator tn_on(net, {.collect_phase_metrics = true});
+  tn::TrueNorthSimulator tn_off(net, {.collect_phase_metrics = false});
+  tn_on.run(80, nullptr, &tn_on_sink);
+  tn_off.run(80, nullptr, &tn_off_sink);
+  EXPECT_EQ(tn_on_sink.spikes(), tn_off_sink.spikes());
+  EXPECT_EQ(on_sink.spikes(), tn_on_sink.spikes());  // And across backends.
+  EXPECT_GT(tn_on.metrics().counter_value("kernel.density_b7"), 0u);
+}
+
 TEST(ObsMetrics, CompassCollectsPhaseTimingsAndCounters) {
   const Network net = obs_test_net();
   compass::Simulator sim(net, {.threads = 2});
